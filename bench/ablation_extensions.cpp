@@ -1,0 +1,90 @@
+// Ablation: the design extensions DESIGN.md calls out, measured against
+// plain uncoordinated checkpointing on the Table II workload under three
+// failures — (a) multi-level checkpointing (node-local + PFS levels),
+// (b) proactive checkpointing at several predictor qualities, and (c) the
+// staging redundancy policy's cost (write response + staging memory).
+#include "bench/common.hpp"
+
+int main() {
+  using namespace dstage;
+  constexpr int kSeeds = 8;
+  constexpr int kFailures = 3;
+
+  bench::print_header(
+      "Ablation — checkpointing extensions (Table II, 3 failures)",
+      "Mean over 8 seeds; Un baseline vs multi-level and proactive "
+      "variants.");
+
+  auto measure = [&](auto mutate) {
+    double total = 0, rework = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      auto spec = core::table2_setup(core::Scheme::kUncoordinated);
+      spec.failures.count = kFailures;
+      spec.failures.seed = static_cast<std::uint64_t>(seed);
+      spec.failures.node_failure_fraction = 0.3;
+      mutate(spec);
+      auto m = bench::run(std::move(spec));
+      total += m.total_time_s;
+      for (const auto& c : m.components) rework += c.timesteps_reworked;
+    }
+    return std::pair{total / kSeeds, rework / kSeeds};
+  };
+
+  const auto [base_t, base_r] = measure([](core::WorkflowSpec&) {});
+  std::printf("%34s %10.1f s %8.1f reworked ts\n", "Un (PFS-only)", base_t,
+              base_r);
+
+  const auto [ml_t, ml_r] = measure([](core::WorkflowSpec& s) {
+    for (auto& c : s.components) c.local_ckpt_period = 1;
+  });
+  std::printf("%34s %10.1f s %8.1f reworked ts  (%+.2f%%)\n",
+              "Un + multi-level (local @1 ts)", ml_t, ml_r,
+              bench::pct(ml_t, base_t));
+
+  for (double recall : {0.5, 1.0}) {
+    const auto [p_t, p_r] = measure([recall](core::WorkflowSpec& s) {
+      s.failures.predictor_recall = recall;
+    });
+    std::printf("%30s %.1f %10.1f s %8.1f reworked ts  (%+.2f%%)\n",
+                "Un + proactive, recall", recall, p_t, p_r,
+                bench::pct(p_t, base_t));
+  }
+  const auto [fa_t, fa_r] = measure([](core::WorkflowSpec& s) {
+    s.failures.predictor_recall = 1.0;
+    s.failures.predictor_false_alarms = 6;
+  });
+  std::printf("%34s %10.1f s %8.1f reworked ts  (%+.2f%%)\n",
+              "Un + proactive, 6 false alarms", fa_t, fa_r,
+              bench::pct(fa_t, base_t));
+
+  bench::print_header(
+      "Ablation — staging redundancy policy (Table II, failure-free)",
+      "Cost of protecting staged + logged data against staging-server "
+      "loss.");
+  std::printf("%22s %14s %14s %14s\n", "policy", "write resp", "vs none",
+              "staging bytes");
+  double none_wr = 0;
+  for (int p = 0; p < 3; ++p) {
+    auto spec = core::table2_setup(core::Scheme::kUncoordinated);
+    const char* label = "none";
+    if (p == 1) {
+      spec.server.policy.kind = resilience::Redundancy::kReplication;
+      spec.server.policy.replicas = 2;
+      label = "replication x2";
+    } else if (p == 2) {
+      spec.server.policy.kind = resilience::Redundancy::kErasureCode;
+      spec.server.policy.rs_k = 4;
+      spec.server.policy.rs_m = 2;
+      label = "erasure RS(4,2)";
+    }
+    auto m = bench::run(std::move(spec));
+    const double wr = m.component("simulation").cum_put_response_s;
+    if (p == 0) none_wr = wr;
+    std::printf("%22s %13.3fs %+13.1f%% %14s\n", label, wr,
+                bench::pct(wr, none_wr),
+                format_bytes(static_cast<std::uint64_t>(
+                                 m.staging.total_bytes_mean))
+                    .c_str());
+  }
+  return 0;
+}

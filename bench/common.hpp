@@ -1,0 +1,37 @@
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// regenerates one table/figure of the paper's evaluation section and prints
+// the measured series next to the values the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+
+namespace dstage::bench {
+
+inline core::RunMetrics run(core::WorkflowSpec spec) {
+  core::WorkflowRunner runner(std::move(spec));
+  return runner.run();
+}
+
+/// Mean total execution time over `seeds` runs of `make(seed)`.
+template <class MakeSpec>
+double mean_total_time(MakeSpec make, int seeds) {
+  double total = 0;
+  for (int s = 1; s <= seeds; ++s)
+    total += run(make(static_cast<std::uint64_t>(s))).total_time_s;
+  return total / seeds;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("\n=== %s ===\n%s\n\n", figure, description);
+}
+
+inline double pct(double measured, double baseline) {
+  return 100.0 * (measured / baseline - 1.0);
+}
+
+}  // namespace dstage::bench

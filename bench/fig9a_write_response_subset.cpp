@@ -1,0 +1,28 @@
+// Figure 9(a): cumulative data write response time, Case 1 — different
+// subsets (20..100%) of the data domain written each timestep; plain data
+// staging (Ds) vs staging with data/event logging.
+// Paper: logging increased write response time by 10/12/14/14/15 %.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace dstage;
+  bench::print_header(
+      "Figure 9(a) — cumulative write response time vs subset size",
+      "Table II setup, 40 ts, failure-free; Ds = original staging, "
+      "Ds+log = staging with data/event logging (paper: +10..15%).");
+
+  std::printf("%8s %14s %14s %10s %12s\n", "subset", "Ds (s)", "Ds+log (s)",
+              "delta", "paper");
+  const double paper[] = {10, 12, 14, 14, 15};
+  int i = 0;
+  for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto ds = bench::run(core::table2_setup(core::Scheme::kNone, fraction));
+    auto logged =
+        bench::run(core::table2_setup(core::Scheme::kUncoordinated, fraction));
+    const double ds_wr = ds.component("simulation").cum_put_response_s;
+    const double log_wr = logged.component("simulation").cum_put_response_s;
+    std::printf("%7.0f%% %14.3f %14.3f %+9.1f%% %+11.0f%%\n", fraction * 100,
+                ds_wr, log_wr, bench::pct(log_wr, ds_wr), paper[i++]);
+  }
+  return 0;
+}

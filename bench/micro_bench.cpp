@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) for the building blocks under the
+// workflow harness: DES engine throughput, Hilbert mapping, spatial
+// placement, object-store operations, event-queue bookkeeping, GF(256)
+// arithmetic, and Reed–Solomon encode/decode.
+#include <benchmark/benchmark.h>
+
+#include "dht/spatial_index.hpp"
+#include "gc/garbage_collector.hpp"
+#include "resilience/reed_solomon.hpp"
+#include "sim/spawn.hpp"
+#include "staging/object_store.hpp"
+#include "util/hilbert.hpp"
+#include "util/rng.hpp"
+#include "wlog/event_queue.hpp"
+
+namespace {
+
+using namespace dstage;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_call(sim::microseconds(i), [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng), b(eng);
+    sim::spawn(eng, [](sim::Channel<int>* in,
+                       sim::Channel<int>* out) -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        int v = co_await in->recv(nullptr);
+        out->send(v + 1);
+      }
+    }(&a, &b));
+    sim::spawn(eng, [](sim::Channel<int>* in,
+                       sim::Channel<int>* out) -> sim::Task<void> {
+      out->send(0);
+      for (int i = 0; i < 500; ++i) {
+        int v = co_await in->recv(nullptr);
+        if (i + 1 < 500) out->send(v + 1);
+      }
+    }(&b, &a));
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_HilbertIndexOf(benchmark::State& state) {
+  HilbertCurve curve(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const std::uint32_t mask = (1u << state.range(0)) - 1;
+  for (auto _ : state) {
+    const auto v = rng.next_u64();
+    benchmark::DoNotOptimize(curve.index_of(
+        static_cast<std::uint32_t>(v) & mask,
+        static_cast<std::uint32_t>(v >> 20) & mask,
+        static_cast<std::uint32_t>(v >> 40) & mask));
+  }
+}
+BENCHMARK(BM_HilbertIndexOf)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SpatialPlace(benchmark::State& state) {
+  dht::SpatialIndex index(Box::from_dims(512, 512, 256),
+                          static_cast<int>(state.range(0)), 8);
+  Box query{{17, 33, 9}, {430, 401, 200}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.place(query));
+  }
+}
+BENCHMARK(BM_SpatialPlace)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ObjectStorePutGet(benchmark::State& state) {
+  const Box region = Box::from_dims(64, 64, 64);
+  for (auto _ : state) {
+    staging::ObjectStore store(2);
+    for (staging::Version v = 1; v <= 16; ++v) {
+      store.put(staging::make_chunk("f", v, region, 8.0, 65536));
+      benchmark::DoNotOptimize(store.get("f", v, region));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ObjectStorePutGet);
+
+void BM_EventQueueRecordTruncate(benchmark::State& state) {
+  const auto events = state.range(0);
+  for (auto _ : state) {
+    wlog::EventQueue q;
+    for (std::int64_t i = 0; i < events; ++i) {
+      q.record(wlog::LogEvent{wlog::EventKind::kPut, 0,
+                              static_cast<staging::Version>(i), "f",
+                              Box::from_dims(8, 8, 8), 512, 0});
+    }
+    q.record(wlog::LogEvent{wlog::EventKind::kCheckpoint, 0,
+                            static_cast<staging::Version>(events), {},
+                            Box{}, 0, 1});
+    benchmark::DoNotOptimize(q.truncate_before_last_checkpoint());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueRecordTruncate)->Arg(64)->Arg(1024);
+
+void BM_GcSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    gc::GarbageCollector gc;
+    gc.register_var("f", {{1, true}});
+    gc.on_checkpoint(1, 48);
+    wlog::DataLog log;
+    for (staging::Version v = 1; v <= 64; ++v)
+      log.add(staging::make_chunk("f", v, Box::from_dims(16, 16, 16), 8.0,
+                                  65536));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(gc.sweep(log));
+  }
+}
+BENCHMARK(BM_GcSweep);
+
+void BM_Gf256MulAdd(benchmark::State& state) {
+  const auto& gf = resilience::gf256();
+  std::vector<std::uint8_t> dst(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> src(dst.size());
+  Rng rng(5);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+  for (auto _ : state) {
+    gf.mul_add(dst, src, 0x8e);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Gf256MulAdd)->Arg(4096)->Arg(1 << 20);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  resilience::ReedSolomon rs(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)));
+  std::vector<std::uint8_t> data(1 << 20);
+  Rng rng(6);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Args({4, 2})->Args({8, 4});
+
+void BM_ReedSolomonDecodeWithErasures(benchmark::State& state) {
+  resilience::ReedSolomon rs(4, 2);
+  std::vector<std::uint8_t> data(1 << 20);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  auto shards = rs.encode(data);
+  shards[1].clear();
+  shards[4].clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(shards, data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ReedSolomonDecodeWithErasures);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Quickstart: a two-component coupled workflow (simulation → analytic)
+// protected by workflow-level uncoordinated checkpoint/restart with data
+// logging. One failure is injected; the run recovers via the staging
+// replay mechanism and finishes with zero consistency anomalies.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+
+int main() {
+  using namespace dstage;
+
+  // Start from the paper's Table II setup: 256 simulation cores writing a
+  // 512x512x256 field each timestep, 64 analytic cores reading it back,
+  // 4 staging server processes in between.
+  core::WorkflowSpec spec =
+      core::table2_setup(core::Scheme::kUncoordinated);
+  spec.total_ts = 20;        // keep the demo short
+  spec.failures.count = 1;   // one fail-stop crash at a random timestep
+  spec.failures.seed = 6;    // hits the simulation mid-interval (3 ts replay)
+
+  std::printf("running %d timesteps under scheme %s with %d failure(s)\n",
+              spec.total_ts, core::scheme_name(spec.scheme),
+              spec.failures.count);
+
+  core::WorkflowRunner runner(spec);
+  core::RunMetrics m = runner.run();
+
+  std::printf("\n== run summary ==\n");
+  std::printf("total workflow execution time: %.2f s (virtual)\n",
+              m.total_time_s);
+  std::printf("failures injected: %d\n", m.failures_injected);
+  for (const auto& c : m.components) {
+    std::printf(
+        "  %-12s finished at %8.2f s | %2d ckpts | %d failures | "
+        "%d ts reworked\n",
+        c.name.c_str(), c.completion_time_s, c.checkpoints, c.failures,
+        c.timesteps_reworked);
+  }
+  std::printf("staging: %llu puts (%llu suppressed on replay), %llu gets "
+              "(%llu served from log)\n",
+              static_cast<unsigned long long>(m.staging.puts),
+              static_cast<unsigned long long>(m.staging.puts_suppressed),
+              static_cast<unsigned long long>(m.staging.gets),
+              static_cast<unsigned long long>(m.staging.gets_from_log));
+  std::printf("consistency anomalies observed: %d (must be 0 with logging)\n",
+              m.total_anomalies());
+  return m.total_anomalies() == 0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// The paper's motivating workflow (Figs. 1-2): an S3D-style DNS solver
+// coupled through the staging area to a lower-resolution LES solver and a
+// visualization/feature-extraction analysis running at a lower temporal
+// frequency. All three components run under uncoordinated checkpoint/
+// restart with data logging; failures are injected into the mix.
+//
+// Demonstrates: multi-variable coupling, temporal-frequency reads
+// (analyses at different rates on non-overlapping subsets), per-component
+// checkpoint periods, and workflow-level recovery.
+#include <cstdio>
+
+#include "core/executor.hpp"
+
+int main() {
+  using namespace dstage;
+  core::WorkflowSpec spec;
+  spec.domain = Box::from_dims(512, 512, 256);
+  spec.total_ts = 24;
+  spec.staging_servers = 4;
+  spec.staging_cores = 32;
+  spec.scheme = core::Scheme::kUncoordinated;
+  spec.failures.count = 2;
+  spec.failures.seed = 3;
+
+  // DNS producer: resolves the full domain, writes species + temperature.
+  core::ComponentSpec dns;
+  dns.name = "s3d-dns";
+  dns.cores = 256;
+  dns.compute_per_ts_s = 9.0;
+  dns.ckpt_period = 4;
+  dns.writes.push_back(core::CouplingWrite{"species", 1.0});
+  dns.writes.push_back(core::CouplingWrite{"temperature", 1.0});
+  spec.components.push_back(dns);
+
+  // LES consumer: coupled every timestep on a coarse (40%) subset.
+  core::ComponentSpec les;
+  les.name = "les";
+  les.cores = 128;
+  les.compute_per_ts_s = 4.0;
+  les.ckpt_period = 6;
+  les.reads.push_back(core::CouplingRead{"species", 0.4, 1});
+  spec.components.push_back(les);
+
+  // Visualization / feature extraction: every 2nd timestep, temperature.
+  core::ComponentSpec viz;
+  viz.name = "viz";
+  viz.cores = 64;
+  viz.compute_per_ts_s = 2.0;
+  viz.ckpt_period = 5;
+  viz.reads.push_back(core::CouplingRead{"temperature", 1.0, 2});
+  spec.components.push_back(viz);
+
+  std::printf("S3D coupled workflow: DNS -> {LES @1x, viz @2x}, "
+              "%d timesteps, %d failures\n",
+              spec.total_ts, spec.failures.count);
+
+  core::WorkflowRunner runner(spec);
+  core::RunMetrics m = runner.run();
+
+  std::printf("\ntotal execution time: %.2f s (virtual)\n", m.total_time_s);
+  for (const auto& c : m.components) {
+    std::printf(
+        "  %-8s %8.2f s | %2d ckpts | %d failures | %2d ts reworked | "
+        "%d anomalies\n",
+        c.name.c_str(), c.completion_time_s, c.checkpoints, c.failures,
+        c.timesteps_reworked, c.wrong_version_reads + c.corrupt_reads);
+  }
+  std::printf("staging: %llu puts (%llu suppressed), %llu gets "
+              "(%llu from log), GC reclaimed %llu versions\n",
+              static_cast<unsigned long long>(m.staging.puts),
+              static_cast<unsigned long long>(m.staging.puts_suppressed),
+              static_cast<unsigned long long>(m.staging.gets),
+              static_cast<unsigned long long>(m.staging.gets_from_log),
+              static_cast<unsigned long long>(m.staging.gc_versions_dropped));
+  const int anomalies = m.total_anomalies();
+  std::printf("consistency anomalies: %d (logging keeps the coupling "
+              "consistent through recovery)\n", anomalies);
+  return anomalies == 0 ? 0 : 1;
+}

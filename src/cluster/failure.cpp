@@ -1,0 +1,62 @@
+#include "cluster/failure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dstage::cluster {
+
+int FailureInjector::pick_group() {
+  if (groups_.empty()) throw std::logic_error("no victim groups registered");
+  std::vector<double> weights;
+  weights.reserve(groups_.size());
+  for (const auto& g : groups_) weights.push_back(g.weight);
+  return rng_.weighted_pick(weights);
+}
+
+std::vector<PlannedFailure> FailureInjector::plan_uniform(
+    int count, sim::TimePoint window_start, sim::TimePoint window_end) {
+  if (window_end <= window_start)
+    throw std::invalid_argument("empty failure window");
+  std::vector<PlannedFailure> plan;
+  plan.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto span =
+        static_cast<std::uint64_t>((window_end - window_start).ns);
+    const auto offset =
+        static_cast<std::int64_t>(rng_.uniform_u64(0, span - 1));
+    plan.push_back(PlannedFailure{
+        window_start + sim::Duration{offset}, pick_group()});
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedFailure& a, const PlannedFailure& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
+std::vector<PlannedFailure> FailureInjector::plan_mtbf(
+    sim::Duration mtbf, sim::TimePoint window_start,
+    sim::TimePoint window_end) {
+  if (mtbf.ns <= 0) throw std::invalid_argument("non-positive MTBF");
+  std::vector<PlannedFailure> plan;
+  sim::TimePoint t = window_start;
+  while (true) {
+    t = t + sim::from_seconds(rng_.exponential(mtbf.seconds()));
+    if (t >= window_end) break;
+    plan.push_back(PlannedFailure{t, pick_group()});
+  }
+  return plan;
+}
+
+void FailureInjector::arm(const std::vector<PlannedFailure>& plan,
+                          std::function<void(int)> kill_one) {
+  auto& eng = cluster_->engine();
+  for (const auto& failure : plan) {
+    if (failure.at < eng.now())
+      throw std::invalid_argument("failure planned in the past");
+    eng.schedule_call(failure.at - eng.now(),
+                      [kill_one, g = failure.group] { kill_one(g); });
+  }
+}
+
+}  // namespace dstage::cluster

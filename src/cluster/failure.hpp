@@ -1,0 +1,66 @@
+// Failure injection. Two modes, matching the paper's evaluation:
+//   * planned — exactly N failures at times drawn uniformly inside the run
+//     window ("a failure was randomly introduced ... within 40 time steps");
+//   * mtbf — exponential inter-arrival times with a given MTBF, truncated to
+//     the window (Table III's 600/300/200 s rows).
+// Victims are picked with probability proportional to component core counts:
+// bigger components absorb proportionally more faults.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace dstage::cluster {
+
+/// A victim class with a relative weight (core count).
+struct VictimGroup {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct PlannedFailure {
+  sim::TimePoint at;
+  int group = 0;  // index into the victim groups
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(Cluster& cluster, Rng rng)
+      : cluster_(&cluster), rng_(rng) {}
+
+  void add_group(VictimGroup group) { groups_.push_back(std::move(group)); }
+
+  /// Draw exactly `count` failure times uniformly in [window_start, window_end).
+  std::vector<PlannedFailure> plan_uniform(int count,
+                                           sim::TimePoint window_start,
+                                           sim::TimePoint window_end);
+
+  /// Draw failure times as an exponential arrival process with mean `mtbf`,
+  /// truncated to the window.
+  std::vector<PlannedFailure> plan_mtbf(sim::Duration mtbf,
+                                        sim::TimePoint window_start,
+                                        sim::TimePoint window_end);
+
+  /// Schedule the planned failures; `kill_one(group_index)` is called at
+  /// each failure time and decides which concrete vproc dies (the executor
+  /// knows the live membership).
+  void arm(const std::vector<PlannedFailure>& plan,
+           std::function<void(int)> kill_one);
+
+  [[nodiscard]] const std::vector<VictimGroup>& groups() const {
+    return groups_;
+  }
+
+ private:
+  int pick_group();
+
+  Cluster* cluster_;
+  Rng rng_;
+  std::vector<VictimGroup> groups_;
+};
+
+}  // namespace dstage::cluster

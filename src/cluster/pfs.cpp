@@ -1,0 +1,21 @@
+#include "cluster/pfs.hpp"
+
+namespace dstage::cluster {
+
+sim::Task<void> Pfs::write(sim::Ctx ctx, std::uint64_t bytes) {
+  auto slot = co_await channel_.acquire(ctx.tok, 1);
+  co_await ctx.delay(params_.open_latency +
+                     sim::from_seconds(static_cast<double>(bytes) /
+                                       params_.write_bw));
+  bytes_written_ += bytes;
+}
+
+sim::Task<void> Pfs::read(sim::Ctx ctx, std::uint64_t bytes) {
+  auto slot = co_await channel_.acquire(ctx.tok, 1);
+  co_await ctx.delay(params_.open_latency +
+                     sim::from_seconds(static_cast<double>(bytes) /
+                                       params_.read_bw));
+  bytes_read_ += bytes;
+}
+
+}  // namespace dstage::cluster

@@ -1,0 +1,44 @@
+// Parallel-file-system model used for checkpoint traffic. A single FIFO
+// bandwidth channel: concurrent writers serialize, so an aggregate of B
+// bytes always takes B / bandwidth regardless of writer count — which is
+// exactly what makes globally coordinated checkpoints (everyone writes at
+// once) pay queueing delay that staggered uncoordinated checkpoints avoid.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace dstage::cluster {
+
+class Pfs {
+ public:
+  struct Params {
+    double write_bw = 60e9;  // aggregate bytes/s (Lustre-like, scaled)
+    double read_bw = 80e9;   // restart reads are typically faster
+    sim::Duration open_latency = sim::milliseconds(5);
+  };
+
+  Pfs(sim::Engine& eng, Params params)
+      : params_(params), channel_(eng, 1) {}
+
+  /// Write `bytes` of checkpoint state; suspends for queueing + transfer.
+  sim::Task<void> write(sim::Ctx ctx, std::uint64_t bytes);
+  /// Read `bytes` of checkpoint state during restart.
+  sim::Task<void> read(sim::Ctx ctx, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  sim::Resource channel_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace dstage::cluster

@@ -1,0 +1,63 @@
+// Calibration constants for the virtual-time cost model (DESIGN.md §6).
+// These stand in for the Cori testbed: absolute values are representative,
+// and the experiment shapes (who wins, crossovers, growth trends) are what
+// the reproduction preserves.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace dstage::core {
+
+struct CostModel {
+  // --- compute -----------------------------------------------------------
+  /// Simulation (producer) compute per timestep at base scale; weak scaling
+  /// keeps this constant as cores grow.
+  double sim_compute_per_ts_s = 9.0;
+  /// Analytic (consumer) compute per timestep.
+  double analytic_compute_per_ts_s = 3.0;
+
+  /// Physical cores per node (Cori Haswell: 32); an application component
+  /// spanning C cores aggregates C/cores_per_node NICs of injection
+  /// bandwidth.
+  int cores_per_node = 32;
+
+  // --- coordination ------------------------------------------------------
+  /// Barrier / collective cost multiplier: alpha * log2(P).
+  double barrier_alpha_s = 40e-6;
+
+  // --- checkpoint state --------------------------------------------------
+  /// Process state checkpointed per core (solver arrays + runtime).
+  double ckpt_bytes_per_core = 8e6;
+
+  /// Node-local checkpoint device bandwidth (NVRAM / burst buffer),
+  /// uncontended per component.
+  double local_ckpt_bw = 5e9;
+
+  // --- recovery ----------------------------------------------------------
+  /// Time from crash to detection (heartbeat timeout).
+  double detection_delay_s = 0.5;
+  /// ULMF revoke/shrink/agree collective: alpha * log2(P).
+  double ulfm_alpha_s = 2e-3;
+  /// Spare process join + communicator reconstruction, flat.
+  double spare_join_s = 1.5;
+  /// Replication failover (switch task to the replica), flat.
+  double failover_s = 0.4;
+
+  [[nodiscard]] sim::Duration barrier_time(int procs) const {
+    return sim::from_seconds(barrier_alpha_s *
+                             std::log2(std::max(2, procs)));
+  }
+  [[nodiscard]] sim::Duration ulfm_time(int procs) const {
+    return sim::from_seconds(ulfm_alpha_s * std::log2(std::max(2, procs)) +
+                             spare_join_s);
+  }
+  [[nodiscard]] std::uint64_t state_bytes(int cores) const {
+    return static_cast<std::uint64_t>(ckpt_bytes_per_core *
+                                      static_cast<double>(cores));
+  }
+};
+
+}  // namespace dstage::core

@@ -1,0 +1,41 @@
+// Paper-fidelity aliases for the Global User Interface (Table 1). These
+// free functions map the published API names onto StagingClient methods so
+// code written against the paper reads verbatim:
+//
+//   workflow_check()         — send a checkpoint event to data staging
+//   workflow_restart()       — recover the staging client and notify the
+//                              recovery event to data staging
+//   dspaces_put_with_log()   — log data to data staging
+//   dspaces_get_with_log()   — retrieve the logged data specified by a
+//                              geometric descriptor from data staging
+#pragma once
+
+#include "staging/client.hpp"
+
+namespace dstage::core {
+
+inline sim::Task<std::uint64_t> workflow_check(staging::StagingClient& client,
+                                               sim::Ctx ctx,
+                                               staging::Version version) {
+  return client.workflow_check(ctx, version);
+}
+
+inline sim::Task<std::size_t> workflow_restart(staging::StagingClient& client,
+                                               sim::Ctx ctx,
+                                               staging::Version restored) {
+  return client.workflow_restart(ctx, restored);
+}
+
+inline sim::Task<staging::PutResult> dspaces_put_with_log(
+    staging::StagingClient& client, sim::Ctx ctx, const std::string& var,
+    staging::Version version, const Box& region) {
+  return client.put(ctx, var, version, region);
+}
+
+inline sim::Task<staging::GetResult> dspaces_get_with_log(
+    staging::StagingClient& client, sim::Ctx ctx, const std::string& var,
+    staging::Version version, const Box& region) {
+  return client.get(ctx, var, version, region);
+}
+
+}  // namespace dstage::core

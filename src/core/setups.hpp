@@ -1,0 +1,27 @@
+// Experiment presets encoding Table II (base synthetic setup, 352 cores)
+// and Table III (scalability scenarios, 704 .. 11,264 cores) of the paper.
+#pragma once
+
+#include "core/workflow.hpp"
+
+namespace dstage::core {
+
+/// Table II: 256 simulation + 64 analytic + 32 staging cores over a
+/// 512×512×256 domain, 40 timesteps, ~20 GB staged over the run;
+/// write-immediately-followed-by-read coupling on variable "field".
+/// @param subset_fraction Case-1 sweep parameter (0.2 .. 1.0)
+/// @param sim_period / analytic_period per-component checkpoint periods
+WorkflowSpec table2_setup(Scheme scheme, double subset_fraction = 1.0,
+                          int sim_period = 4, int analytic_period = 5);
+
+/// Table III scalability scenario. scale_index 0..4 selects
+/// 704/1408/2816/5632/11264 total cores (512/1024/.../8192 simulation
+/// cores) with proportional staging and analytic cores and data volume.
+/// Checkpoint periods 8 (coordinated and simulation) / 10 (analytic).
+WorkflowSpec table3_setup(Scheme scheme, int scale_index, int failures,
+                          std::uint64_t seed = 1);
+
+/// Total core count of a Table III scale index (for labels).
+int table3_total_cores(int scale_index);
+
+}  // namespace dstage::core

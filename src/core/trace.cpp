@@ -1,0 +1,81 @@
+#include "core/trace.hpp"
+
+#include <ostream>
+
+#include "util/checksum.hpp"
+
+namespace dstage::core {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kTimestepStart:
+      return "ts_start";
+    case TraceKind::kReadDone:
+      return "read_done";
+    case TraceKind::kComputeDone:
+      return "compute_done";
+    case TraceKind::kWriteDone:
+      return "write_done";
+    case TraceKind::kTimestepDone:
+      return "ts_done";
+    case TraceKind::kCheckpoint:
+      return "checkpoint";
+    case TraceKind::kLocalCheckpoint:
+      return "local_checkpoint";
+    case TraceKind::kProactiveCheckpoint:
+      return "proactive_checkpoint";
+    case TraceKind::kFailure:
+      return "failure";
+    case TraceKind::kRecoveryStart:
+      return "recovery_start";
+    case TraceKind::kRecoveryDone:
+      return "recovery_done";
+    case TraceKind::kReplayDone:
+      return "replay_done";
+  }
+  return "?";
+}
+
+void Trace::record(sim::TimePoint at, TraceKind kind, std::string component,
+                   int timestep, std::int64_t value) {
+  events_.push_back(
+      TraceEvent{at, kind, std::move(component), timestep, value});
+}
+
+std::vector<TraceEvent> Trace::of_kind(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::of_component(
+    const std::string& component) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.component == component) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t Trace::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& e : events_) {
+    const std::int64_t fields[4] = {e.at.ns, static_cast<std::int64_t>(e.kind),
+                                    e.timestep, e.value};
+    h = fnv1a(std::as_bytes(std::span{fields}), h);
+    h = fnv1a_str(e.component, h);
+  }
+  return h;
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "time_s,kind,component,timestep,value\n";
+  for (const auto& e : events_) {
+    os << e.at.seconds() << ',' << trace_kind_name(e.kind) << ','
+       << e.component << ',' << e.timestep << ',' << e.value << '\n';
+  }
+}
+
+}  // namespace dstage::core

@@ -1,0 +1,70 @@
+// Structured execution timeline. The runner records one entry per
+// workflow-level event (timestep phases, checkpoints, failures, recoveries,
+// replay milestones) with virtual timestamps; the trace can be queried in
+// tests, printed, or exported as CSV for plotting. Recording is exact and
+// deterministic, so trace digests double as whole-run fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dstage::core {
+
+enum class TraceKind {
+  kTimestepStart,
+  kReadDone,
+  kComputeDone,
+  kWriteDone,
+  kTimestepDone,
+  kCheckpoint,       // PFS level
+  kLocalCheckpoint,  // node-local level
+  kProactiveCheckpoint,
+  kFailure,
+  kRecoveryStart,
+  kRecoveryDone,
+  kReplayDone,
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  sim::TimePoint at;
+  TraceKind kind = TraceKind::kTimestepStart;
+  std::string component;
+  int timestep = 0;
+  /// Event-specific detail (bytes written, versions replayed, ...).
+  std::int64_t value = 0;
+};
+
+class Trace {
+ public:
+  void record(sim::TimePoint at, TraceKind kind, std::string component,
+              int timestep, std::int64_t value = 0);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceKind kind) const;
+  /// Events of one component, in order.
+  [[nodiscard]] std::vector<TraceEvent> of_component(
+      const std::string& component) const;
+
+  /// Order- and content-sensitive digest (FNV over the serialized records);
+  /// equal digests ⇔ identical executions.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// CSV with header: time_s,kind,component,timestep,value
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dstage::core

@@ -1,0 +1,47 @@
+#include "core/workflow.hpp"
+
+#include <stdexcept>
+
+namespace dstage::core {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kNone:
+      return "Ds";
+    case Scheme::kCoordinated:
+      return "Co";
+    case Scheme::kUncoordinated:
+      return "Un";
+    case Scheme::kIndividual:
+      return "In";
+    case Scheme::kHybrid:
+      return "Hy";
+  }
+  return "?";
+}
+
+bool scheme_uses_logging(Scheme s) {
+  return s == Scheme::kUncoordinated || s == Scheme::kHybrid;
+}
+
+const ComponentMetrics& RunMetrics::component(const std::string& name) const {
+  for (const auto& c : components) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("no component named " + name);
+}
+
+int RunMetrics::total_anomalies() const {
+  int n = 0;
+  for (const auto& c : components)
+    n += c.wrong_version_reads + c.corrupt_reads;
+  return n;
+}
+
+double RunMetrics::cum_write_response_s() const {
+  double total = 0;
+  for (const auto& c : components) total += c.cum_put_response_s;
+  return total;
+}
+
+}  // namespace dstage::core

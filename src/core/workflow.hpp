@@ -1,0 +1,163 @@
+// Workflow specification and run metrics — the library's top-level public
+// API. A WorkflowSpec describes the coupled components, the staging fabric,
+// the fault-tolerance scheme, and the failure plan; WorkflowRunner (see
+// executor.hpp) executes it and returns RunMetrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/pfs.hpp"
+#include "core/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "staging/server.hpp"
+#include "util/geometry.hpp"
+#include "util/stats.hpp"
+
+namespace dstage::core {
+
+/// Workflow-level fault-tolerance scheme (the paper's Ds/Co/Un/In/Hy).
+enum class Scheme {
+  kNone,           // Ds: plain staging, no fault tolerance
+  kCoordinated,    // Co: global coordinated checkpoint/restart
+  kUncoordinated,  // Un: per-component C/R + data logging
+  kIndividual,     // In: per-component C/R, no logging (lower bound,
+                   //     sacrifices correctness)
+  kHybrid,         // Hy: C/R + data logging, replication where declared
+};
+
+const char* scheme_name(Scheme s);
+
+/// Per-component fault-tolerance method (meaningful under kHybrid;
+/// kCheckpointRestart elsewhere).
+enum class FtMethod { kCheckpointRestart, kReplication };
+
+/// One coupled variable written by a component each timestep.
+struct CouplingWrite {
+  std::string var;
+  /// Fraction of the global domain written (Case 1 sweeps 0.2 .. 1.0).
+  double subset_fraction = 1.0;
+};
+
+/// One coupled variable read by a component.
+struct CouplingRead {
+  std::string var;
+  double subset_fraction = 1.0;
+  /// Temporal frequency: read every `every` timesteps (S3D analyses run at
+  /// different temporal frequencies).
+  int every = 1;
+};
+
+struct ComponentSpec {
+  std::string name;
+  int cores = 1;
+  double compute_per_ts_s = 1.0;
+  /// Checkpoint period in timesteps (per-component under Un/In/Hy); these
+  /// checkpoints go to the parallel file system and survive node loss.
+  int ckpt_period = 4;
+  /// Multi-level checkpointing (the paper's future-work direction, after
+  /// Moody et al. [16]): additional fast checkpoints to node-local storage
+  /// every `local_ckpt_period` timesteps (0 disables). Process failures
+  /// restart from the freshest local or PFS checkpoint; node failures can
+  /// only use the PFS level.
+  int local_ckpt_period = 0;
+  FtMethod method = FtMethod::kCheckpointRestart;
+  std::vector<CouplingWrite> writes;
+  std::vector<CouplingRead> reads;
+};
+
+struct FailurePlan {
+  /// Exactly this many failures, uniformly placed in the run window.
+  int count = 0;
+  /// When > 0, draw failures from an exponential process instead.
+  double mtbf_s = 0;
+  std::uint64_t seed = 1;
+  /// Fraction of failures that take the whole node down (local checkpoints
+  /// lost); the rest are process failures.
+  double node_failure_fraction = 0.2;
+  /// Proactive checkpointing (the paper's future-work direction, after
+  /// Bouguerra et al. [15]): a failure predictor flags this fraction of
+  /// failures ahead of time; the doomed component takes an emergency
+  /// checkpoint just before dying, shrinking rework to the interrupted
+  /// timestep. 0 disables prediction.
+  double predictor_recall = 0;
+  /// False alarms per run: emergency checkpoints taken with no failure
+  /// following (the precision cost of the predictor).
+  int predictor_false_alarms = 0;
+};
+
+struct WorkflowSpec {
+  Box domain = Box::from_dims(512, 512, 256);
+  double bytes_per_point = 8.0;
+  std::uint64_t mem_scale = 65536;
+  int total_ts = 40;
+  int staging_servers = 4;
+  int staging_cores = 32;  // reported, and used for victim weighting context
+  Scheme scheme = Scheme::kUncoordinated;
+  /// Global period under kCoordinated.
+  int coordinated_period = 4;
+  std::vector<ComponentSpec> components;
+  FailurePlan failures;
+  CostModel costs;
+  net::Fabric::Params fabric;
+  cluster::Pfs::Params pfs;
+  staging::ServerParams server;  // `logging` is overridden by the scheme
+  /// DHT grid resolution.
+  int cells_per_axis = 8;
+};
+
+/// True when the scheme logs data/events in staging.
+bool scheme_uses_logging(Scheme s);
+
+struct ComponentMetrics {
+  std::string name;
+  double completion_time_s = 0;
+  int timesteps_done = 0;
+  int timesteps_reworked = 0;  // re-executed after rollbacks
+  int failures = 0;
+  int checkpoints = 0;       // PFS-level checkpoints
+  int local_checkpoints = 0; // node-local checkpoints (multi-level)
+  int proactive_checkpoints = 0;
+  SampleSet put_response_s;
+  SampleSet get_response_s;
+  double cum_put_response_s = 0;
+  double cum_get_response_s = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t suppressed_puts = 0;
+  int wrong_version_reads = 0;  // Fig.-2 case-1 anomalies observed
+  int corrupt_reads = 0;
+};
+
+struct StagingMetrics {
+  std::uint64_t store_bytes_peak = 0;       // summed over servers
+  std::uint64_t total_bytes_peak = 0;       // store + log + metadata
+  double store_bytes_mean = 0;
+  double total_bytes_mean = 0;
+  std::uint64_t log_payload_bytes_peak = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts_suppressed = 0;
+  std::uint64_t gets_from_log = 0;
+  std::uint64_t replay_mismatches = 0;
+  std::uint64_t gc_versions_dropped = 0;
+};
+
+struct RunMetrics {
+  Scheme scheme = Scheme::kNone;
+  double total_time_s = 0;
+  int failures_injected = 0;
+  std::vector<ComponentMetrics> components;
+  StagingMetrics staging;
+  std::uint64_t pfs_bytes_written = 0;
+  std::uint64_t pfs_bytes_read = 0;
+  std::uint64_t events_processed = 0;
+
+  [[nodiscard]] const ComponentMetrics& component(
+      const std::string& name) const;
+  [[nodiscard]] int total_anomalies() const;
+  /// Producer-side cumulative write response (Fig. 9a/9b metric).
+  [[nodiscard]] double cum_write_response_s() const;
+};
+
+}  // namespace dstage::core

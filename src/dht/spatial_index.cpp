@@ -1,0 +1,125 @@
+#include "dht/spatial_index.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace dstage::dht {
+
+namespace {
+int log2_exact(int v) {
+  int order = 0;
+  while ((1 << order) < v) ++order;
+  if ((1 << order) != v)
+    throw std::invalid_argument("cells_per_axis must be a power of two");
+  return order;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+SpatialIndex::SpatialIndex(Box domain, int server_count, int cells_per_axis)
+    : domain_(domain),
+      server_count_(server_count),
+      cells_(cells_per_axis),
+      order_(log2_exact(cells_per_axis)),
+      curve_(std::max(order_, 1)) {
+  if (domain_.empty()) throw std::invalid_argument("empty domain");
+  if (server_count_ < 1)
+    throw std::invalid_argument("need at least one server");
+  const auto ext = domain_.extents();
+  cell_sx_ = std::max<std::int64_t>(1, ceil_div(ext[0], cells_));
+  cell_sy_ = std::max<std::int64_t>(1, ceil_div(ext[1], cells_));
+  cell_sz_ = std::max<std::int64_t>(1, ceil_div(ext[2], cells_));
+}
+
+std::uint32_t SpatialIndex::cell_coord(std::int64_t v, std::int64_t lo,
+                                       std::int64_t cell_size) const {
+  auto c = (v - lo) / cell_size;
+  c = std::clamp<std::int64_t>(c, 0, cells_ - 1);
+  return static_cast<std::uint32_t>(c);
+}
+
+int SpatialIndex::server_of_index(std::uint64_t curve_index) const {
+  // Contiguous equal curve segments per server.
+  const std::uint64_t total = curve_.length();
+  const auto server = static_cast<int>(
+      (curve_index * static_cast<std::uint64_t>(server_count_)) / total);
+  return std::min(server, server_count_ - 1);
+}
+
+int SpatialIndex::server_of(const Point3& p) const {
+  if (!domain_.contains(p)) throw std::out_of_range("point outside domain");
+  const auto cx = cell_coord(p.x, domain_.lo.x, cell_sx_);
+  const auto cy = cell_coord(p.y, domain_.lo.y, cell_sy_);
+  const auto cz = cell_coord(p.z, domain_.lo.z, cell_sz_);
+  return server_of_index(curve_.index_of(cx, cy, cz));
+}
+
+Box SpatialIndex::cell_box(std::uint32_t cx, std::uint32_t cy,
+                           std::uint32_t cz) const {
+  Box b;
+  b.lo = {domain_.lo.x + static_cast<std::int64_t>(cx) * cell_sx_,
+          domain_.lo.y + static_cast<std::int64_t>(cy) * cell_sy_,
+          domain_.lo.z + static_cast<std::int64_t>(cz) * cell_sz_};
+  b.hi = {b.lo.x + cell_sx_ - 1, b.lo.y + cell_sy_ - 1,
+          b.lo.z + cell_sz_ - 1};
+  return b.intersection(domain_);
+}
+
+std::vector<Placement> SpatialIndex::place(const Box& query) const {
+  std::map<int, Placement> by_server;
+  const Box clipped = query.intersection(domain_);
+  if (clipped.empty()) return {};
+
+  const auto c0x = cell_coord(clipped.lo.x, domain_.lo.x, cell_sx_);
+  const auto c1x = cell_coord(clipped.hi.x, domain_.lo.x, cell_sx_);
+  const auto c0y = cell_coord(clipped.lo.y, domain_.lo.y, cell_sy_);
+  const auto c1y = cell_coord(clipped.hi.y, domain_.lo.y, cell_sy_);
+  const auto c0z = cell_coord(clipped.lo.z, domain_.lo.z, cell_sz_);
+  const auto c1z = cell_coord(clipped.hi.z, domain_.lo.z, cell_sz_);
+
+  for (std::uint32_t cz = c0z; cz <= c1z; ++cz) {
+    for (std::uint32_t cy = c0y; cy <= c1y; ++cy) {
+      for (std::uint32_t cx = c0x; cx <= c1x; ++cx) {
+        const Box overlap = cell_box(cx, cy, cz).intersection(clipped);
+        if (overlap.empty()) continue;
+        const int server = server_of_index(curve_.index_of(cx, cy, cz));
+        Placement& p = by_server[server];
+        p.server = server;
+        p.total_points += overlap.volume();
+        // Merge x-adjacent cells owned by the same server into strips to
+        // bound the per-request piece count.
+        if (!p.pieces.empty()) {
+          Box& last = p.pieces.back();
+          if (last.lo.y == overlap.lo.y && last.hi.y == overlap.hi.y &&
+              last.lo.z == overlap.lo.z && last.hi.z == overlap.hi.z &&
+              last.hi.x + 1 == overlap.lo.x) {
+            last.hi.x = overlap.hi.x;
+            continue;
+          }
+        }
+        p.pieces.push_back(overlap);
+      }
+    }
+  }
+
+  std::vector<Placement> out;
+  out.reserve(by_server.size());
+  for (auto& [server, placement] : by_server)
+    out.push_back(std::move(placement));
+  return out;
+}
+
+std::vector<std::uint64_t> SpatialIndex::cells_per_server() const {
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(server_count_), 0);
+  for (std::uint64_t idx = 0; idx < curve_.length(); ++idx) {
+    ++counts[static_cast<std::size_t>(server_of_index(idx))];
+  }
+  return counts;
+}
+
+}  // namespace dstage::dht

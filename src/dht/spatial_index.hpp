@@ -1,0 +1,62 @@
+// Spatial metadata index: DataSpaces' DHT partitions the global domain
+// across staging servers by Hilbert space-filling-curve index, so each
+// server owns a contiguous curve segment (spatially compact set of cells)
+// and any geometric query resolves to a small server set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/hilbert.hpp"
+
+namespace dstage::dht {
+
+/// One server's share of a geometric query.
+struct Placement {
+  int server = -1;
+  std::vector<Box> pieces;          // cell-clipped sub-regions, disjoint
+  std::uint64_t total_points = 0;   // sum of piece volumes
+};
+
+class SpatialIndex {
+ public:
+  /// @param domain          global domain box (non-empty)
+  /// @param server_count    number of staging servers (>= 1)
+  /// @param cells_per_axis  power of two; the domain is coarsened to a
+  ///                        cells³ grid that the curve runs over
+  SpatialIndex(Box domain, int server_count, int cells_per_axis = 16);
+
+  [[nodiscard]] int server_count() const { return server_count_; }
+  [[nodiscard]] int cells_per_axis() const { return cells_; }
+  [[nodiscard]] const Box& domain() const { return domain_; }
+
+  /// Owning server of the cell containing `p`.
+  [[nodiscard]] int server_of(const Point3& p) const;
+
+  /// Split `query` into per-server placements (cell-granular, clipped).
+  /// Placements appear in ascending server order; servers with no overlap
+  /// are omitted.
+  [[nodiscard]] std::vector<Placement> place(const Box& query) const;
+
+  /// Number of curve cells owned by each server (for balance tests).
+  [[nodiscard]] std::vector<std::uint64_t> cells_per_server() const;
+
+  /// Box covered by cell (cx, cy, cz), clipped to the domain.
+  [[nodiscard]] Box cell_box(std::uint32_t cx, std::uint32_t cy,
+                             std::uint32_t cz) const;
+
+ private:
+  [[nodiscard]] int server_of_index(std::uint64_t curve_index) const;
+  [[nodiscard]] std::uint32_t cell_coord(std::int64_t v, std::int64_t lo,
+                                         std::int64_t cell_size) const;
+
+  Box domain_;
+  int server_count_;
+  int cells_;
+  int order_;
+  HilbertCurve curve_;
+  std::int64_t cell_sx_, cell_sy_, cell_sz_;  // cell extents per axis
+};
+
+}  // namespace dstage::dht

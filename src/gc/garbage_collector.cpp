@@ -1,0 +1,52 @@
+#include "gc/garbage_collector.hpp"
+
+#include <algorithm>
+
+namespace dstage::gc {
+
+void GarbageCollector::register_var(
+    const std::string& var, std::vector<std::pair<AppId, bool>> consumers) {
+  consumers_[var] = std::move(consumers);
+}
+
+void GarbageCollector::on_checkpoint(AppId app, Version version) {
+  auto& v = last_ckpt_[app];
+  v = std::max(v, version);
+}
+
+Version GarbageCollector::last_checkpoint(AppId app) const {
+  auto it = last_ckpt_.find(app);
+  return it == last_ckpt_.end() ? 0 : it->second;
+}
+
+Version GarbageCollector::watermark(const std::string& var) const {
+  auto it = consumers_.find(var);
+  Version mark = std::numeric_limits<Version>::max();
+  if (it == consumers_.end()) return mark;
+  for (const auto& [app, can_rollback] : it->second) {
+    if (!can_rollback) continue;  // replicated consumer: never replays
+    mark = std::min(mark, last_checkpoint(app));
+  }
+  return mark;
+}
+
+SweepResult GarbageCollector::sweep(wlog::DataLog& log) const {
+  SweepResult result;
+  for (const std::string& var : log.variables()) {
+    const Version mark = watermark(var);
+    const auto versions = log.versions_of(var);
+    result.entries_scanned += versions.size();
+    if (versions.empty()) continue;
+    const Version latest = versions.back();
+    // Never reclaim the newest retained version: it is the live coupling
+    // data (the base store's window may share its buffer).
+    const Version upto =
+        std::min<Version>(mark, latest > 0 ? latest - 1 : 0);
+    const std::uint64_t before = log.nominal_bytes();
+    result.versions_dropped += log.drop_upto(var, upto);
+    result.nominal_freed += before - log.nominal_bytes();
+  }
+  return result;
+}
+
+}  // namespace dstage::gc

@@ -1,0 +1,56 @@
+// Garbage Collection Component (Section III-A2). A logged payload of
+// version v can be reclaimed once every rollback-capable consumer of the
+// variable has checkpointed at or beyond v — no replay can ever re-read it.
+// Sweeps run at checkpoint events; the sweep cost (entries scanned) feeds
+// the staging server's virtual-time cost model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "staging/types.hpp"
+#include "wlog/data_log.hpp"
+#include "wlog/event_queue.hpp"
+
+namespace dstage::gc {
+
+using staging::AppId;
+using staging::Version;
+
+struct SweepResult {
+  std::size_t versions_dropped = 0;
+  std::uint64_t nominal_freed = 0;
+  std::size_t entries_scanned = 0;
+};
+
+class GarbageCollector {
+ public:
+  /// Declare a coupling: `consumers` lists the apps reading `var` together
+  /// with whether each can roll back (checkpoint/restart). Consumers
+  /// protected by process replication never replay, so they never pin log
+  /// retention.
+  void register_var(const std::string& var,
+                    std::vector<std::pair<AppId, bool>> consumers);
+
+  /// Record that `app` checkpointed at timestep `version`.
+  void on_checkpoint(AppId app, Version version);
+
+  /// Highest version of `var` whose logged payload is reclaimable: the
+  /// minimum checkpointed version over rollback-capable consumers (max
+  /// Version when none exist — everything reclaimable but the latest).
+  [[nodiscard]] Version watermark(const std::string& var) const;
+
+  /// Reclaim every reclaimable non-latest version in the log.
+  SweepResult sweep(wlog::DataLog& log) const;
+
+  [[nodiscard]] Version last_checkpoint(AppId app) const;
+
+ private:
+  std::map<std::string, std::vector<std::pair<AppId, bool>>> consumers_;
+  std::map<AppId, Version> last_ckpt_;
+};
+
+}  // namespace dstage::gc

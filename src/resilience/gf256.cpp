@@ -1,0 +1,60 @@
+#include "resilience/gf256.hpp"
+
+#include <stdexcept>
+
+namespace dstage::resilience {
+
+Gf256::Gf256() {
+  // Generate the field with primitive element 2 over polynomial 0x11d.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    log_[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11d;
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp_[static_cast<std::size_t>(i)] = exp_[static_cast<std::size_t>(i - 255)];
+  }
+  log_[0] = 0;  // undefined; guarded by callers
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) const {
+  if (b == 0) throw std::domain_error("GF(256) division by zero");
+  if (a == 0) return 0;
+  return exp_[static_cast<std::size_t>(log_[a]) + 255 - log_[b]];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) const {
+  if (a == 0) throw std::domain_error("GF(256) inverse of zero");
+  return exp_[static_cast<std::size_t>(255 - log_[a])];
+}
+
+std::uint8_t Gf256::pow(std::uint8_t a, int p) const {
+  if (p == 0) return 1;
+  if (a == 0) return 0;
+  const int l = (log_[a] * p) % 255;
+  return exp_[static_cast<std::size_t>(l < 0 ? l + 255 : l)];
+}
+
+void Gf256::mul_add(std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src, std::uint8_t c) const {
+  if (c == 0) return;
+  const std::size_t n = std::min(dst.size(), src.size());
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t lc = log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= exp_[static_cast<std::size_t>(log_[s]) + lc];
+  }
+}
+
+const Gf256& gf256() {
+  static const Gf256 instance;
+  return instance;
+}
+
+}  // namespace dstage::resilience

@@ -1,0 +1,50 @@
+// GF(2^8) arithmetic over the AES-adjacent polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), the field under the Reed–Solomon codes that give staged (and
+// logged) data CoREC-style erasure resilience.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dstage::resilience {
+
+class Gf256 {
+ public:
+  /// Tables are built once; the class is a stateless value afterwards.
+  Gf256();
+
+  [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+  [[nodiscard]] std::uint8_t sub(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;  // characteristic 2: addition is subtraction
+  }
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[static_cast<std::size_t>(log_[a]) + log_[b]];
+  }
+  /// b must be non-zero.
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+  /// a must be non-zero.
+  [[nodiscard]] std::uint8_t inv(std::uint8_t a) const;
+  /// exponentiation g^p of the generator, p in [0, 254].
+  [[nodiscard]] std::uint8_t exp(int p) const {
+    return exp_[static_cast<std::size_t>(p % 255)];
+  }
+  [[nodiscard]] std::uint8_t pow(std::uint8_t a, int p) const;
+
+  /// dst[i] ^= c * src[i] — the inner loop of encode/decode.
+  void mul_add(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+               std::uint8_t c) const;
+
+ private:
+  std::array<std::uint8_t, 512> exp_{};  // doubled to skip the mod in mul
+  std::array<std::uint8_t, 256> log_{};
+};
+
+/// Process-wide shared instance (construction is cheap but avoid rebuilding
+/// tables per call site).
+const Gf256& gf256();
+
+}  // namespace dstage::resilience

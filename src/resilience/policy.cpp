@@ -1,0 +1,78 @@
+#include "resilience/policy.hpp"
+
+#include <stdexcept>
+
+namespace dstage::resilience {
+
+std::uint64_t ResiliencePolicy::redundancy_bytes(std::uint64_t n) const {
+  switch (kind) {
+    case Redundancy::kNone:
+      return 0;
+    case Redundancy::kReplication:
+      return n * static_cast<std::uint64_t>(replicas - 1);
+    case Redundancy::kErasureCode: {
+      // m parity shards of size ceil(n / k).
+      const std::uint64_t shard =
+          (n + static_cast<std::uint64_t>(rs_k) - 1) /
+          static_cast<std::uint64_t>(rs_k);
+      return shard * static_cast<std::uint64_t>(rs_m);
+    }
+  }
+  return 0;
+}
+
+std::uint64_t ResiliencePolicy::stored_bytes(std::uint64_t n) const {
+  return n + redundancy_bytes(n);
+}
+
+sim::Duration ResiliencePolicy::encode_time(std::uint64_t n) const {
+  if (kind == Redundancy::kNone) return {};
+  if (encode_bw <= 0) throw std::logic_error("non-positive encode bandwidth");
+  // Replication touches n bytes per extra copy; RS touches n bytes per
+  // parity shard row (k multiply-adds over n/k bytes each).
+  const std::uint64_t touched =
+      kind == Redundancy::kReplication
+          ? n * static_cast<std::uint64_t>(replicas - 1)
+          : n * static_cast<std::uint64_t>(rs_m);
+  return sim::from_seconds(static_cast<double>(touched) / encode_bw);
+}
+
+int ResiliencePolicy::fragments_needed() const {
+  switch (kind) {
+    case Redundancy::kNone:
+    case Redundancy::kReplication:
+      return 1;
+    case Redundancy::kErasureCode:
+      return rs_k;
+  }
+  return 1;
+}
+
+int ResiliencePolicy::fragments_total() const {
+  switch (kind) {
+    case Redundancy::kNone:
+      return 1;
+    case Redundancy::kReplication:
+      return replicas;
+    case Redundancy::kErasureCode:
+      return rs_k + rs_m;
+  }
+  return 1;
+}
+
+int ResiliencePolicy::max_losses() const {
+  return fragments_total() - fragments_needed();
+}
+
+std::vector<int> fragment_placement(int owner, int fragments,
+                                    int server_count) {
+  if (server_count < 1) throw std::invalid_argument("no servers");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(fragments));
+  for (int j = 0; j < fragments; ++j) {
+    out.push_back((owner + j) % server_count);
+  }
+  return out;
+}
+
+}  // namespace dstage::resilience

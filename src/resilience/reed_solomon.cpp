@@ -1,0 +1,234 @@
+#include "resilience/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dstage::resilience {
+
+GfMatrix GfMatrix::multiply(const GfMatrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("shape mismatch");
+  const auto& gf = gf256();
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const std::uint8_t a = at(r, i);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) ^= gf.mul(a, other.at(i, c));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<GfMatrix> GfMatrix::inverted() const {
+  if (rows_ != cols_) throw std::invalid_argument("inverse of non-square");
+  const auto& gf = gf256();
+  const std::size_t n = rows_;
+  GfMatrix work(*this);
+  GfMatrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t scale = gf.inv(work.at(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      work.at(col, c) = gf.mul(work.at(col, c), scale);
+      inv.at(col, c) = gf.mul(inv.at(col, c), scale);
+    }
+    // Eliminate other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(r, c) ^= gf.mul(factor, work.at(col, c));
+        inv.at(r, c) ^= gf.mul(factor, inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::vandermonde(std::size_t rows, std::size_t cols) {
+  const auto& gf = gf256();
+  GfMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = gf.pow(static_cast<std::uint8_t>(r), static_cast<int>(c));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::sub_rows(const std::vector<std::size_t>& rows) const {
+  GfMatrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(i, c) = at(rows[i], c);
+    }
+  }
+  return out;
+}
+
+ReedSolomon::ReedSolomon(int k, int m)
+    : k_(k), m_(m), encode_matrix_(1, 1) {
+  if (k < 1 || m < 0 || k + m > 255)
+    throw std::invalid_argument("invalid RS(k, m) parameters");
+  // Systematic [I ; Cauchy] construction. With parity row p and data column
+  // i mapped to distinct field points x_p = k + p and y_i = i, the Cauchy
+  // block at(k+p, i) = 1 / (x_p ^ y_i) makes every k-row submatrix of the
+  // whole encoding matrix invertible (the MDS property), unlike the naive
+  // Vandermonde-times-inverse construction which can produce singular
+  // subsets for some (k, m).
+  const auto& gf = gf256();
+  encode_matrix_ = GfMatrix(static_cast<std::size_t>(k + m),
+                            static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    encode_matrix_.at(static_cast<std::size_t>(i),
+                      static_cast<std::size_t>(i)) = 1;
+  }
+  for (int p = 0; p < m; ++p) {
+    for (int i = 0; i < k; ++i) {
+      const auto x = static_cast<std::uint8_t>(k + p);
+      const auto y = static_cast<std::uint8_t>(i);
+      encode_matrix_.at(static_cast<std::size_t>(k + p),
+                        static_cast<std::size_t>(i)) =
+          gf.inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+}
+
+std::vector<Shard> ReedSolomon::encode(
+    std::span<const std::uint8_t> data) const {
+  const std::size_t shard_size =
+      (data.size() + static_cast<std::size_t>(k_) - 1) /
+      static_cast<std::size_t>(k_);
+  std::vector<Shard> shards(static_cast<std::size_t>(k_ + m_));
+  // Data shards: zero-padded slices.
+  for (int i = 0; i < k_; ++i) {
+    Shard& s = shards[static_cast<std::size_t>(i)];
+    s.assign(shard_size, 0);
+    const std::size_t off = static_cast<std::size_t>(i) * shard_size;
+    if (off < data.size()) {
+      const std::size_t n = std::min(shard_size, data.size() - off);
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), n,
+                  s.begin());
+    }
+  }
+  // Parity shards.
+  const auto& gf = gf256();
+  for (int p = 0; p < m_; ++p) {
+    Shard& out = shards[static_cast<std::size_t>(k_ + p)];
+    out.assign(shard_size, 0);
+    for (int i = 0; i < k_; ++i) {
+      gf.mul_add(out, shards[static_cast<std::size_t>(i)],
+                 encode_matrix_.at(static_cast<std::size_t>(k_ + p),
+                                   static_cast<std::size_t>(i)));
+    }
+  }
+  return shards;
+}
+
+bool ReedSolomon::reconstruct(std::vector<Shard>& shards) const {
+  if (shards.size() != static_cast<std::size_t>(k_ + m_))
+    throw std::invalid_argument("wrong shard count");
+  std::vector<std::size_t> present;
+  std::size_t shard_size = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].empty()) {
+      present.push_back(i);
+      if (shard_size == 0) shard_size = shards[i].size();
+      if (shards[i].size() != shard_size)
+        throw std::invalid_argument("inconsistent shard sizes");
+    }
+  }
+  if (present.size() == shards.size()) return true;  // nothing missing
+  if (present.size() < static_cast<std::size_t>(k_)) return false;
+  present.resize(static_cast<std::size_t>(k_));  // any k rows suffice
+
+  auto decode_matrix = encode_matrix_.sub_rows(present).inverted();
+  if (!decode_matrix) return false;  // cannot happen for Vandermonde-derived
+
+  const auto& gf = gf256();
+  // Recover the k data shards first.
+  std::vector<Shard> data_shards(static_cast<std::size_t>(k_));
+  for (int r = 0; r < k_; ++r) {
+    Shard& out = data_shards[static_cast<std::size_t>(r)];
+    const std::size_t ur = static_cast<std::size_t>(r);
+    if (!shards[ur].empty()) {
+      continue;  // filled below from the original
+    }
+    out.assign(shard_size, 0);
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      gf.mul_add(out, shards[present[i]],
+                 decode_matrix->at(ur, i));
+    }
+  }
+  for (int r = 0; r < k_; ++r) {
+    const std::size_t ur = static_cast<std::size_t>(r);
+    if (shards[ur].empty()) shards[ur] = std::move(data_shards[ur]);
+  }
+  // Re-derive any missing parity from the (now complete) data shards.
+  for (int p = 0; p < m_; ++p) {
+    const std::size_t up = static_cast<std::size_t>(k_ + p);
+    if (!shards[up].empty()) continue;
+    shards[up].assign(shard_size, 0);
+    for (int i = 0; i < k_; ++i) {
+      gf.mul_add(shards[up], shards[static_cast<std::size_t>(i)],
+                 encode_matrix_.at(up, static_cast<std::size_t>(i)));
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
+    const std::vector<Shard>& shards, std::size_t original_size) const {
+  if (original_size == 0) return std::vector<std::uint8_t>{};
+  std::vector<Shard> work = shards;
+  if (!reconstruct(work)) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  for (int i = 0; i < k_ && out.size() < original_size; ++i) {
+    const Shard& s = work[static_cast<std::size_t>(i)];
+    const std::size_t n = std::min(s.size(), original_size - out.size());
+    out.insert(out.end(), s.begin(),
+               s.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  if (out.size() != original_size) return std::nullopt;
+  return out;
+}
+
+bool ReedSolomon::verify(const std::vector<Shard>& shards) const {
+  if (shards.size() != static_cast<std::size_t>(k_ + m_)) return false;
+  for (const auto& s : shards) {
+    if (s.empty() || s.size() != shards[0].size()) return false;
+  }
+  const auto& gf = gf256();
+  for (int p = 0; p < m_; ++p) {
+    Shard expect(shards[0].size(), 0);
+    for (int i = 0; i < k_; ++i) {
+      gf.mul_add(expect, shards[static_cast<std::size_t>(i)],
+                 encode_matrix_.at(static_cast<std::size_t>(k_ + p),
+                                   static_cast<std::size_t>(i)));
+    }
+    if (expect != shards[static_cast<std::size_t>(k_ + p)]) return false;
+  }
+  return true;
+}
+
+}  // namespace dstage::resilience

@@ -1,0 +1,80 @@
+// Systematic Reed–Solomon erasure code RS(k, m): k data shards, m parity
+// shards, tolerating any m erasures. Encoding matrix is a Vandermonde matrix
+// reduced to systematic form (identity over the data rows), the standard
+// construction used by storage systems.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "resilience/gf256.hpp"
+
+namespace dstage::resilience {
+
+/// Dense matrix over GF(256).
+class GfMatrix {
+ public:
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::uint8_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] GfMatrix multiply(const GfMatrix& other) const;
+  /// Gauss–Jordan inverse; nullopt when singular.
+  [[nodiscard]] std::optional<GfMatrix> inverted() const;
+  [[nodiscard]] static GfMatrix identity(std::size_t n);
+  /// rows × cols Vandermonde: at(r, c) = r^c.
+  [[nodiscard]] static GfMatrix vandermonde(std::size_t rows,
+                                            std::size_t cols);
+  /// Extract a subset of rows.
+  [[nodiscard]] GfMatrix sub_rows(const std::vector<std::size_t>& rows) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+using Shard = std::vector<std::uint8_t>;
+
+class ReedSolomon {
+ public:
+  /// Requires 1 <= k, 0 <= m, k + m <= 255.
+  ReedSolomon(int k, int m);
+
+  [[nodiscard]] int data_shards() const { return k_; }
+  [[nodiscard]] int parity_shards() const { return m_; }
+  [[nodiscard]] int total_shards() const { return k_ + m_; }
+
+  /// Split `data` into k shards (zero-padded) and append m parity shards.
+  /// Shard size is ceil(len / k).
+  [[nodiscard]] std::vector<Shard> encode(
+      std::span<const std::uint8_t> data) const;
+
+  /// Rebuild the original byte stream from any k surviving shards.
+  /// `shards[i]` must be empty when shard i is lost; `original_size` trims
+  /// the padding. Returns nullopt when more than m shards are missing.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode(
+      const std::vector<Shard>& shards, std::size_t original_size) const;
+
+  /// Reconstruct every missing shard in place. Returns false when more than
+  /// m shards are missing.
+  [[nodiscard]] bool reconstruct(std::vector<Shard>& shards) const;
+
+  /// Verify that parity shards are consistent with data shards.
+  [[nodiscard]] bool verify(const std::vector<Shard>& shards) const;
+
+ private:
+  int k_, m_;
+  GfMatrix encode_matrix_;  // (k+m) × k, top k×k block is identity
+};
+
+}  // namespace dstage::resilience

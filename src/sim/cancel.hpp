@@ -1,0 +1,65 @@
+// Cooperative cancellation, used to model fail-stop process crashes. Killing
+// a virtual process cancels its token; whatever awaitable the process is
+// suspended on resumes immediately and throws Cancelled, unwinding the
+// coroutine stack (RAII releases any held resources) until the process's
+// root task completes exceptionally.
+#pragma once
+
+#include <algorithm>
+#include <exception>
+#include <vector>
+
+namespace dstage::sim {
+
+/// Thrown inside a coroutine whose CancelToken was cancelled.
+struct Cancelled : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "sim process cancelled";
+  }
+};
+
+/// Implemented by suspended awaiters so cancel() can wake them.
+class CancelWaiter {
+ public:
+  /// Called exactly once, synchronously, from CancelToken::cancel(). The
+  /// implementation must deregister itself from any wait queue and schedule
+  /// its own resumption with a cancelled flag set.
+  virtual void on_cancel() = 0;
+
+ protected:
+  ~CancelWaiter() = default;
+};
+
+class CancelToken {
+ public:
+  [[nodiscard]] bool cancelled() const { return cancelled_; }
+
+  /// Marks the token cancelled and wakes every registered waiter. Idempotent.
+  void cancel() {
+    if (cancelled_) return;
+    cancelled_ = true;
+    // Waiters deregister themselves; iterate over a moved-out copy so
+    // on_cancel() may mutate the live list safely.
+    std::vector<CancelWaiter*> pending;
+    pending.swap(waiters_);
+    for (CancelWaiter* w : pending) w->on_cancel();
+  }
+
+  /// Re-arms a token for a process slot being recycled from the spare pool.
+  void reset() {
+    cancelled_ = false;
+    waiters_.clear();
+  }
+
+  void add(CancelWaiter* w) { waiters_.push_back(w); }
+  void remove(CancelWaiter* w) {
+    auto it = std::find(waiters_.begin(), waiters_.end(), w);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+
+ private:
+  bool cancelled_ = false;
+  std::vector<CancelWaiter*> waiters_;
+};
+
+}  // namespace dstage::sim

@@ -1,0 +1,103 @@
+// Unbounded FIFO channel between simulated processes — the mailbox primitive
+// under every RPC endpoint. send() never blocks; recv() suspends until a
+// value arrives or the receiver is killed.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/cancel.hpp"
+#include "sim/engine.hpp"
+
+namespace dstage::sim {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(&eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  class RecvAwaiter : public CancelWaiter {
+   public:
+    RecvAwaiter(Channel& ch, CancelToken* tok) : ch_(&ch), tok_(tok) {}
+
+    [[nodiscard]] bool await_ready() {
+      if (tok_ != nullptr && tok_->cancelled()) {
+        cancelled_ = true;
+        return true;
+      }
+      if (!ch_->items_.empty()) {
+        value_.emplace(std::move(ch_->items_.front()));
+        ch_->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      ch_->waiters_.push_back(this);
+      if (tok_ != nullptr) tok_->add(this);
+    }
+    T await_resume() {
+      if (tok_ != nullptr) tok_->remove(this);
+      if (cancelled_) throw Cancelled{};
+      return std::move(*value_);
+    }
+
+    void on_cancel() override {
+      cancelled_ = true;
+      ch_->remove_waiter(this);
+      ch_->eng_->schedule_now(handle_);
+    }
+
+   private:
+    friend class Channel;
+    Channel* ch_;
+    CancelToken* tok_;
+    std::coroutine_handle<> handle_;
+    std::optional<T> value_;
+    bool cancelled_ = false;
+  };
+
+  /// Enqueue a value; wakes the oldest waiting receiver, if any.
+  void send(T v) {
+    if (!waiters_.empty()) {
+      RecvAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->value_.emplace(std::move(v));
+      if (w->tok_ != nullptr) w->tok_->remove(w);
+      eng_->schedule_now(w->handle_);
+    } else {
+      items_.push_back(std::move(v));
+    }
+  }
+
+  [[nodiscard]] RecvAwaiter recv(CancelToken* tok) {
+    return RecvAwaiter{*this, tok};
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t waiting_receivers() const {
+    return waiters_.size();
+  }
+
+ private:
+  void remove_waiter(RecvAwaiter* w) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == w) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Engine* eng_;
+  std::deque<T> items_;
+  std::deque<RecvAwaiter*> waiters_;
+};
+
+}  // namespace dstage::sim

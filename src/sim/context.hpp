@@ -1,0 +1,75 @@
+// Execution context threaded through every simulated activity: the engine
+// (clock + scheduler) plus the cancellation token of the owning virtual
+// process. All awaitables take the context so a process kill interrupts any
+// suspension point.
+#pragma once
+
+#include <coroutine>
+
+#include "sim/cancel.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace dstage::sim {
+
+/// Awaitable pause of virtual time; wakes early (throwing Cancelled) if the
+/// owning process is killed.
+class DelayAwaiter : public CancelWaiter {
+ public:
+  DelayAwaiter(Engine& eng, CancelToken* tok, Duration d)
+      : eng_(&eng), tok_(tok), d_(d) {}
+
+  [[nodiscard]] bool await_ready() {
+    if (tok_ != nullptr && tok_->cancelled()) {
+      cancelled_ = true;
+      return true;
+    }
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    handle_ = h;
+    timer_ = eng_->schedule(d_, h);
+    if (tok_ != nullptr) tok_->add(this);
+  }
+  void await_resume() {
+    if (tok_ != nullptr) tok_->remove(this);
+    if (cancelled_) throw Cancelled{};
+  }
+
+  void on_cancel() override {
+    cancelled_ = true;
+    eng_->cancel_event(timer_);
+    eng_->schedule_now(handle_);
+  }
+
+ private:
+  Engine* eng_;
+  CancelToken* tok_;
+  Duration d_;
+  std::coroutine_handle<> handle_;
+  EventId timer_ = 0;
+  bool cancelled_ = false;
+};
+
+struct Ctx {
+  Engine* eng = nullptr;
+  CancelToken* tok = nullptr;
+
+  [[nodiscard]] TimePoint now() const { return eng->now(); }
+
+  /// co_await ctx.delay(d): advance this process by d of virtual time.
+  [[nodiscard]] DelayAwaiter delay(Duration d) const {
+    return DelayAwaiter{*eng, tok, d};
+  }
+
+  /// Throws Cancelled when the owning process has been killed. Call at the
+  /// top of long compute sections that otherwise would not hit an await.
+  void check() const {
+    if (tok != nullptr && tok->cancelled()) throw Cancelled{};
+  }
+
+  /// Context for the same process but a different (e.g. system) token.
+  [[nodiscard]] Ctx with_token(CancelToken* t) const { return Ctx{eng, t}; }
+};
+
+}  // namespace dstage::sim

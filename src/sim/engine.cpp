@@ -1,0 +1,91 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dstage::sim {
+
+EventId Engine::schedule(Duration d, std::coroutine_handle<> h) {
+  if (d.ns < 0) throw std::invalid_argument("negative delay");
+  const EventId id = next_id_++;
+  queue_.push(Item{now_ + d, id, h, {}});
+  ++live_items_;
+  return id;
+}
+
+EventId Engine::schedule_call(Duration d, std::function<void()> fn) {
+  if (d.ns < 0) throw std::invalid_argument("negative delay");
+  const EventId id = next_id_++;
+  queue_.push(Item{now_ + d, id, nullptr, std::move(fn)});
+  ++live_items_;
+  return id;
+}
+
+void Engine::cancel_event(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  // Lazy deletion: remember the id and skip it when popped.
+  if (dead_.insert(id).second && live_items_ > 0) --live_items_;
+}
+
+bool Engine::pop_one(Item& out) {
+  while (!queue_.empty()) {
+    out = queue_.top();
+    queue_.pop();
+    if (auto it = dead_.find(out.id); it != dead_.end()) {
+      dead_.erase(it);
+      continue;
+    }
+    --live_items_;
+    return true;
+  }
+  return false;
+}
+
+void Engine::dispatch(Item& item) {
+  assert(item.at >= now_);
+  now_ = item.at;
+  ++processed_;
+  if (item.handle) {
+    item.handle.resume();
+  } else {
+    item.fn();
+  }
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  Item item;
+  while (pop_one(item)) {
+    dispatch(item);
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Engine::run_until(TimePoint limit) {
+  std::uint64_t n = 0;
+  Item item;
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    if (!pop_one(item)) break;
+    if (item.at > limit) {
+      // pop_one skipped dead items and surfaced one beyond the limit; put
+      // it back untouched.
+      queue_.push(item);
+      ++live_items_;
+      break;
+    }
+    dispatch(item);
+    ++n;
+  }
+  if (now_ < limit) now_ = limit;
+  return n;
+}
+
+bool Engine::step() {
+  Item item;
+  if (!pop_one(item)) return false;
+  dispatch(item);
+  return true;
+}
+
+}  // namespace dstage::sim

@@ -1,0 +1,73 @@
+// Single-threaded discrete-event engine. Coroutine handles and plain
+// callbacks are scheduled at virtual times; ties are broken by insertion
+// order so runs are fully deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dstage::sim {
+
+/// Identifier of a scheduled item, usable with cancel_event().
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Resume `h` after `d` of virtual time (d >= 0).
+  EventId schedule(Duration d, std::coroutine_handle<> h);
+  /// Resume `h` at the current virtual time, after already-queued items.
+  EventId schedule_now(std::coroutine_handle<> h) { return schedule({0}, h); }
+  /// Run `fn` after `d` of virtual time.
+  EventId schedule_call(Duration d, std::function<void()> fn);
+
+  /// Drop a not-yet-fired item. Safe to call on an already-fired id.
+  void cancel_event(EventId id);
+
+  /// Process events until the queue drains. Returns number processed.
+  std::uint64_t run();
+  /// Process events with time <= limit; clock ends at min(limit, last event).
+  std::uint64_t run_until(TimePoint limit);
+  /// Process a single event if one exists; returns false on empty queue.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return live_items_ == 0; }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Item {
+    TimePoint at;
+    EventId id;
+    std::coroutine_handle<> handle;      // one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at.ns != b.at.ns) return a.at.ns > b.at.ns;
+      return a.id > b.id;
+    }
+  };
+
+  bool pop_one(Item& out);
+  void dispatch(Item& item);
+
+  TimePoint now_{};
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::uint64_t live_items_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_set<EventId> dead_;
+};
+
+}  // namespace dstage::sim

@@ -1,0 +1,147 @@
+// Counted FIFO resource with RAII grants — the contention primitive behind
+// the PFS bandwidth model and NIC injection queues. Strict FIFO granting
+// keeps runs deterministic and models store-and-forward queueing.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/cancel.hpp"
+#include "sim/engine.hpp"
+
+namespace dstage::sim {
+
+class Resource {
+ public:
+  Resource(Engine& eng, std::uint64_t capacity)
+      : eng_(&eng), capacity_(capacity), available_(capacity) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// RAII ownership of `amount` units; releases on destruction.
+  class [[nodiscard]] Guard {
+   public:
+    Guard() = default;
+    Guard(Resource* res, std::uint64_t amount) : res_(res), amount_(amount) {}
+    Guard(Guard&& o) noexcept
+        : res_(std::exchange(o.res_, nullptr)), amount_(o.amount_) {}
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        reset();
+        res_ = std::exchange(o.res_, nullptr);
+        amount_ = o.amount_;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { reset(); }
+
+    void reset() {
+      if (res_ != nullptr) {
+        res_->release(amount_);
+        res_ = nullptr;
+      }
+    }
+    [[nodiscard]] bool owns() const { return res_ != nullptr; }
+
+   private:
+    Resource* res_ = nullptr;
+    std::uint64_t amount_ = 0;
+  };
+
+  class AcquireAwaiter : public CancelWaiter {
+   public:
+    AcquireAwaiter(Resource& res, CancelToken* tok, std::uint64_t amount)
+        : res_(&res), tok_(tok), amount_(amount) {
+      if (amount_ > res_->capacity_)
+        throw std::invalid_argument("acquire exceeds resource capacity");
+    }
+
+    [[nodiscard]] bool await_ready() {
+      if (tok_ != nullptr && tok_->cancelled()) {
+        cancelled_ = true;
+        return true;
+      }
+      if (res_->queue_.empty() && amount_ <= res_->available_) {
+        res_->available_ -= amount_;
+        granted_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      res_->queue_.push_back(this);
+      if (tok_ != nullptr) tok_->add(this);
+    }
+    Guard await_resume() {
+      if (tok_ != nullptr) tok_->remove(this);
+      if (cancelled_) throw Cancelled{};
+      return Guard{res_, amount_};
+    }
+
+    void on_cancel() override {
+      cancelled_ = true;
+      res_->remove_waiter(this);
+      res_->eng_->schedule_now(handle_);
+    }
+
+   private:
+    friend class Resource;
+    Resource* res_;
+    CancelToken* tok_;
+    std::uint64_t amount_;
+    std::coroutine_handle<> handle_;
+    bool granted_ = false;
+    bool cancelled_ = false;
+  };
+
+  /// auto guard = co_await res.acquire(tok, n);
+  [[nodiscard]] AcquireAwaiter acquire(CancelToken* tok,
+                                       std::uint64_t amount = 1) {
+    return AcquireAwaiter{*this, tok, amount};
+  }
+
+  void release(std::uint64_t amount) {
+    available_ += amount;
+    if (available_ > capacity_)
+      throw std::logic_error("resource over-released");
+    grant();
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t available() const { return available_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+
+ private:
+  void grant() {
+    while (!queue_.empty()) {
+      AcquireAwaiter* w = queue_.front();
+      if (w->amount_ > available_) break;  // strict FIFO: no overtaking
+      queue_.pop_front();
+      available_ -= w->amount_;
+      w->granted_ = true;
+      if (w->tok_ != nullptr) w->tok_->remove(w);
+      eng_->schedule_now(w->handle_);
+    }
+  }
+  void remove_waiter(AcquireAwaiter* w) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == w) {
+        queue_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Engine* eng_;
+  std::uint64_t capacity_;
+  std::uint64_t available_;
+  std::deque<AcquireAwaiter*> queue_;
+};
+
+}  // namespace dstage::sim

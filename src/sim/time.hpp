@@ -1,0 +1,55 @@
+// Virtual time for the discrete-event engine. Integer nanoseconds keep the
+// simulation exactly deterministic across runs and platforms (no FP drift in
+// event ordering), which the replay-equivalence tests rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace dstage::sim {
+
+/// Signed span of virtual time, in nanoseconds.
+struct Duration {
+  std::int64_t ns = 0;
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns) * 1e-9;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return {a.ns + b.ns};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return {a.ns - b.ns};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return {a.ns * k};
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+};
+
+constexpr Duration nanoseconds(std::int64_t v) { return {v}; }
+constexpr Duration microseconds(std::int64_t v) { return {v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) { return {v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return {v * 1'000'000'000}; }
+
+/// Rounded conversion from fractional seconds (cost-model outputs).
+constexpr Duration from_seconds(double s) {
+  return {static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+/// Instant on the virtual clock.
+struct TimePoint {
+  std::int64_t ns = 0;
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns) * 1e-9;
+  }
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return {t.ns + d.ns};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return {a.ns - b.ns};
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+};
+
+}  // namespace dstage::sim

@@ -1,0 +1,221 @@
+#include "staging/client.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/spawn.hpp"
+
+namespace dstage::staging {
+
+StagingClient::StagingClient(cluster::Cluster& cluster,
+                             const dht::SpatialIndex& index,
+                             std::vector<cluster::VprocId> servers,
+                             cluster::VprocId self, ClientParams params)
+    : cluster_(&cluster),
+      index_(&index),
+      servers_(std::move(servers)),
+      self_(self),
+      params_(params) {}
+
+net::EndpointId StagingClient::self_endpoint() const {
+  return cluster_->vproc(self_).endpoint;
+}
+
+net::EndpointId StagingClient::server_endpoint(int server) const {
+  return cluster_->vproc(servers_[static_cast<std::size_t>(server)]).endpoint;
+}
+
+sim::Task<PutResponse> StagingClient::send_put(sim::Ctx ctx, int server,
+                                               Chunk chunk) {
+  const std::uint64_t bytes = chunk.nominal_bytes + 128;
+  for (int attempt = 0;; ++attempt) {
+    auto reply = net::make_reply<PutResponse>(*ctx.eng);
+    PutRequest req{params_.app, chunk, params_.logged, self_endpoint(),
+                   reply};
+    std::any payload = Request{std::move(req)};
+    co_await cluster_->fabric().send(ctx, self_endpoint(),
+                                     server_endpoint(server),
+                                     std::move(payload), bytes);
+    if (params_.put_timeout.ns <= 0) co_return co_await reply->take(ctx);
+    auto resp = co_await reply->take_for(ctx, params_.put_timeout);
+    if (resp) co_return std::move(*resp);
+    if (attempt + 1 >= params_.max_retries)
+      throw std::runtime_error("staging put timed out after retries");
+  }
+}
+
+sim::Task<GetResponse> StagingClient::send_get(sim::Ctx ctx, int server,
+                                               ObjectDesc desc) {
+  for (int attempt = 0;; ++attempt) {
+    auto reply = net::make_reply<GetResponse>(*ctx.eng);
+    GetRequest req{params_.app, desc, params_.logged, self_endpoint(),
+                   reply};
+    std::any payload = Request{std::move(req)};
+    co_await cluster_->fabric().send(ctx, self_endpoint(),
+                                     server_endpoint(server),
+                                     std::move(payload), 128);
+    if (params_.get_timeout.ns <= 0) co_return co_await reply->take(ctx);
+    auto resp = co_await reply->take_for(ctx, params_.get_timeout);
+    if (resp) co_return std::move(*resp);
+    if (attempt + 1 >= params_.max_retries)
+      throw std::runtime_error("staging get timed out after retries");
+  }
+}
+
+sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
+                                             Version version, Box region) {
+  const sim::TimePoint start = ctx.now();
+  ++puts_issued_;
+  PutResult result;
+
+  std::vector<sim::Task<PutResponse>> sends;
+  for (const dht::Placement& placement : index_->place(region)) {
+    for (const Box& piece : placement.pieces) {
+      Chunk chunk = make_chunk(var, version, piece, params_.bytes_per_point,
+                               params_.mem_scale);
+      result.nominal_bytes += chunk.nominal_bytes;
+      ++result.pieces;
+      sends.push_back(send_put(ctx, placement.server, std::move(chunk)));
+    }
+  }
+  auto responses = co_await sim::when_all(ctx, std::move(sends));
+  for (const PutResponse& r : responses) {
+    if (r.suppressed) ++result.suppressed;
+  }
+  result.response_time = ctx.now() - start;
+  co_return result;
+}
+
+sim::Task<GetResult> StagingClient::get_impl(sim::Ctx ctx, std::string var,
+                                             Version version, Box region) {
+  const sim::TimePoint start = ctx.now();
+  ++gets_issued_;
+  GetResult result;
+
+  std::vector<sim::Task<GetResponse>> sends;
+  for (const dht::Placement& placement : index_->place(region)) {
+    for (const Box& piece : placement.pieces) {
+      ObjectDesc desc{var, version, piece};
+      sends.push_back(send_get(ctx, placement.server, std::move(desc)));
+    }
+  }
+  auto responses = co_await sim::when_all(ctx, std::move(sends));
+  for (GetResponse& r : responses) {
+    result.any_from_log |= r.from_log;
+    for (Chunk& piece : r.pieces) {
+      result.nominal_bytes += piece.nominal_bytes;
+      switch (check_chunk(piece, var, version)) {
+        case ChunkCheck::kOk:
+          break;
+        case ChunkCheck::kWrongVersion:
+          ++result.wrong_version;
+          break;
+        case ChunkCheck::kCorrupt:
+          ++result.corrupt;
+          break;
+      }
+      result.pieces.push_back(std::move(piece));
+    }
+  }
+  result.response_time = ctx.now() - start;
+  co_return result;
+}
+
+sim::Task<std::uint64_t> StagingClient::workflow_check(sim::Ctx ctx,
+                                                       Version version) {
+  std::vector<sim::Task<CheckpointAck>> sends;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    sends.push_back([](StagingClient* self, sim::Ctx c,
+                       int server, Version v) -> sim::Task<CheckpointAck> {
+      auto reply = net::make_reply<CheckpointAck>(*c.eng);
+      CheckpointEvent ev{self->params_.app, v, self->self_endpoint(), reply};
+      std::any payload = Request{std::move(ev)};
+      co_await self->cluster_->fabric().send(
+          c, self->self_endpoint(), self->server_endpoint(server),
+          std::move(payload), 64);
+      co_return co_await reply->take(c);
+    }(this, ctx, static_cast<int>(s), version));
+  }
+  auto acks = co_await sim::when_all(ctx, std::move(sends));
+  std::uint64_t max_id = 0;
+  for (const CheckpointAck& a : acks) max_id = std::max(max_id, a.chk_id);
+  co_return max_id;
+}
+
+sim::Task<std::size_t> StagingClient::workflow_restart(
+    sim::Ctx ctx, Version restored_version) {
+  // Re-initialize the staging client: rebuild RDMA connections to every
+  // server before the recovery notification goes out.
+  co_await ctx.delay(params_.reconnect_cost);
+
+  std::vector<sim::Task<RecoveryAck>> sends;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    sends.push_back([](StagingClient* self, sim::Ctx c, int server,
+                       Version v) -> sim::Task<RecoveryAck> {
+      auto reply = net::make_reply<RecoveryAck>(*c.eng);
+      RecoveryEvent ev{self->params_.app, v, self->self_endpoint(), reply};
+      std::any payload = Request{std::move(ev)};
+      co_await self->cluster_->fabric().send(
+          c, self->self_endpoint(), self->server_endpoint(server),
+          std::move(payload), 64);
+      co_return co_await reply->take(c);
+    }(this, ctx, static_cast<int>(s), restored_version));
+  }
+  auto acks = co_await sim::when_all(ctx, std::move(sends));
+  std::size_t total = 0;
+  for (const RecoveryAck& a : acks) total += a.replay_events;
+  co_return total;
+}
+
+sim::Task<QueryResult> StagingClient::query_impl(sim::Ctx ctx,
+                                                 std::string var) {
+  std::vector<sim::Task<QueryResponse>> sends;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    sends.push_back([](StagingClient* self, sim::Ctx c, int server,
+                       std::string v) -> sim::Task<QueryResponse> {
+      auto reply = net::make_reply<QueryResponse>(*c.eng);
+      QueryRequest req{std::move(v), self->self_endpoint(), reply};
+      std::any payload = Request{std::move(req)};
+      co_await self->cluster_->fabric().send(
+          c, self->self_endpoint(), self->server_endpoint(server),
+          std::move(payload), 64);
+      co_return co_await reply->take(c);
+    }(this, ctx, static_cast<int>(s), var));
+  }
+  auto responses = co_await sim::when_all(ctx, std::move(sends));
+
+  QueryResult result;
+  std::map<Version, std::size_t> log_counts;
+  std::set<Version> available;
+  for (const QueryResponse& r : responses) {
+    available.insert(r.store_versions.begin(), r.store_versions.end());
+    for (Version v : r.logged_versions) ++log_counts[v];
+  }
+  result.available.assign(available.begin(), available.end());
+  for (const auto& [v, n] : log_counts) {
+    if (n == responses.size()) result.fully_logged.push_back(v);
+  }
+  co_return result;
+}
+
+sim::Task<void> StagingClient::rollback_staging(sim::Ctx ctx,
+                                                Version version) {
+  std::vector<sim::Task<RollbackAck>> sends;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    sends.push_back([](StagingClient* self, sim::Ctx c, int server,
+                       Version v) -> sim::Task<RollbackAck> {
+      auto reply = net::make_reply<RollbackAck>(*c.eng);
+      RollbackRequest req{v, self->self_endpoint(), reply};
+      std::any payload = Request{std::move(req)};
+      co_await self->cluster_->fabric().send(
+          c, self->self_endpoint(), self->server_endpoint(server),
+          std::move(payload), 64);
+      co_return co_await reply->take(c);
+    }(this, ctx, static_cast<int>(s), version));
+  }
+  co_await sim::when_all(ctx, std::move(sends));
+}
+
+}  // namespace dstage::staging

@@ -1,0 +1,139 @@
+// Staging client: the application-side half of the Global User Interface
+// (Table 1 of the paper). Geometric puts/gets are sharded across servers by
+// the spatial DHT and issued in parallel; workflow_check()/workflow_restart()
+// broadcast checkpoint and recovery events to every server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dht/spatial_index.hpp"
+#include "staging/types.hpp"
+
+namespace dstage::staging {
+
+struct ClientParams {
+  AppId app = 0;
+  /// Issue requests with data logging (the *_with_log interface). Plain
+  /// DataSpaces semantics when false.
+  bool logged = true;
+  /// Nominal payload size per grid point.
+  double bytes_per_point = 8.0;
+  /// Physical payloads are nominal / mem_scale (floor 16 B) so paper-scale
+  /// runs fit in RAM while virtual-time costs use nominal sizes.
+  std::uint64_t mem_scale = 4096;
+  /// Cost of (re)building RDMA connections to all servers on restart.
+  sim::Duration reconnect_cost = sim::milliseconds(50);
+  /// RPC retry timeouts; zero disables retries (the default — coupling
+  /// reads legitimately block for long stretches). Enable when staging
+  /// servers can fail so requests lost in a crash are re-sent to the
+  /// recovered replacement.
+  sim::Duration put_timeout{0};
+  sim::Duration get_timeout{0};
+  int max_retries = 6;
+};
+
+struct PutResult {
+  sim::Duration response_time{};
+  std::uint64_t nominal_bytes = 0;
+  std::size_t pieces = 0;
+  std::size_t suppressed = 0;  // pieces recognized as replay duplicates
+};
+
+/// Aggregated version metadata across the staging group.
+struct QueryResult {
+  /// Versions some server still holds in its base window (union).
+  std::vector<Version> available;
+  /// Versions every contacted server retains in its data log
+  /// (intersection — i.e. fully replayable versions).
+  std::vector<Version> fully_logged;
+};
+
+struct GetResult {
+  sim::Duration response_time{};
+  std::uint64_t nominal_bytes = 0;
+  std::vector<Chunk> pieces;
+  int wrong_version = 0;  // Fig.-2 anomaly: stale/newer version observed
+  int corrupt = 0;
+  bool any_from_log = false;
+};
+
+class StagingClient {
+ public:
+  StagingClient(cluster::Cluster& cluster, const dht::SpatialIndex& index,
+                std::vector<cluster::VprocId> servers,
+                cluster::VprocId self, ClientParams params);
+
+  // put()/get() are plain shims over private coroutines. GCC 12 coroutines
+  // double-destroy prvalue argument temporaries in co_await expressions, so
+  // the shims take only trivially-destructible parameter types
+  // (string_view, Box) and materialize the owned string inside the shim,
+  // moving it (an xvalue, which is safe) into the coroutine.
+
+  /// dspaces_put_with_log(): write (var, version, region); the payload is
+  /// synthesized deterministically so consumers can verify it.
+  sim::Task<PutResult> put(sim::Ctx ctx, std::string_view var,
+                           Version version, Box region) {
+    std::string owned(var);
+    return put_impl(ctx, std::move(owned), version, region);
+  }
+
+  /// dspaces_get_with_log(): read (var, version, region); blocks until the
+  /// data is available; verifies every returned piece.
+  sim::Task<GetResult> get(sim::Ctx ctx, std::string_view var,
+                           Version version, Box region) {
+    std::string owned(var);
+    return get_impl(ctx, std::move(owned), version, region);
+  }
+
+  /// workflow_check(): notify every staging server of a checkpoint event at
+  /// timestep `version`. Returns the highest assigned W_Chk_ID.
+  sim::Task<std::uint64_t> workflow_check(sim::Ctx ctx, Version version);
+
+  /// workflow_restart(): re-initialize the client after recovery (RDMA
+  /// reconnect) and notify servers; returns the total number of logged
+  /// events the servers will replay.
+  sim::Task<std::size_t> workflow_restart(sim::Ctx ctx,
+                                          Version restored_version);
+
+  /// Coordinated-restart support: roll the staging state itself back.
+  sim::Task<void> rollback_staging(sim::Ctx ctx, Version version);
+
+  /// dspaces_query-style metadata lookup: which versions of `var` are
+  /// currently available / fully logged across the staging group.
+  sim::Task<QueryResult> query(sim::Ctx ctx, std::string_view var) {
+    std::string owned(var);
+    return query_impl(ctx, std::move(owned));
+  }
+
+  [[nodiscard]] AppId app() const { return params_.app; }
+  [[nodiscard]] const ClientParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t puts_issued() const { return puts_issued_; }
+  [[nodiscard]] std::uint64_t gets_issued() const { return gets_issued_; }
+
+ private:
+  [[nodiscard]] net::EndpointId self_endpoint() const;
+  [[nodiscard]] net::EndpointId server_endpoint(int server) const;
+
+  sim::Task<PutResult> put_impl(sim::Ctx ctx, std::string var,
+                                Version version, Box region);
+  sim::Task<QueryResult> query_impl(sim::Ctx ctx, std::string var);
+  sim::Task<GetResult> get_impl(sim::Ctx ctx, std::string var,
+                                Version version, Box region);
+  sim::Task<PutResponse> send_put(sim::Ctx ctx, int server, Chunk chunk);
+  sim::Task<GetResponse> send_get(sim::Ctx ctx, int server,
+                                  ObjectDesc desc);
+
+  cluster::Cluster* cluster_;
+  const dht::SpatialIndex* index_;
+  std::vector<cluster::VprocId> servers_;
+  cluster::VprocId self_;
+  ClientParams params_;
+  std::uint64_t puts_issued_ = 0;
+  std::uint64_t gets_issued_ = 0;
+};
+
+}  // namespace dstage::staging

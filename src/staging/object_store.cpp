@@ -1,0 +1,143 @@
+#include "staging/object_store.hpp"
+
+#include <stdexcept>
+
+namespace dstage::staging {
+
+ObjectStore::ObjectStore(int version_window)
+    : version_window_(version_window) {
+  if (version_window < 1)
+    throw std::invalid_argument("version window must be >= 1");
+}
+
+void ObjectStore::account(const Chunk& c, int sign) {
+  if (sign > 0) {
+    nominal_bytes_ += c.nominal_bytes;
+    physical_bytes_ += c.physical_bytes();
+    watermark_.add(static_cast<std::int64_t>(c.nominal_bytes));
+  } else {
+    nominal_bytes_ -= c.nominal_bytes;
+    physical_bytes_ -= c.physical_bytes();
+    watermark_.add(-static_cast<std::int64_t>(c.nominal_bytes));
+  }
+}
+
+void ObjectStore::put(Chunk chunk) {
+  auto& versions = store_[chunk.var];
+  auto& chunks = versions[chunk.version];
+  // A re-put of the same region (client retry, or an individually restarted
+  // producer) overwrites in place rather than duplicating.
+  for (Chunk& existing : chunks) {
+    if (existing.region == chunk.region) {
+      account(existing, -1);
+      account(chunk, +1);
+      existing = std::move(chunk);
+      return;
+    }
+  }
+  account(chunk, +1);
+  chunks.push_back(std::move(chunk));
+  // Rotate versions that fell out of the retention window.
+  while (static_cast<int>(versions.size()) > version_window_) {
+    auto oldest = versions.begin();
+    // Never rotate out a version newer than the one just written.
+    if (oldest->first >= versions.rbegin()->first) break;
+    for (const Chunk& c : oldest->second) account(c, -1);
+    versions.erase(oldest);
+  }
+}
+
+std::vector<Chunk> ObjectStore::get(const std::string& var, Version version,
+                                    const Box& region) const {
+  std::vector<Chunk> out;
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return out;
+  auto it = vit->second.find(version);
+  if (it == vit->second.end()) return out;
+  for (const Chunk& c : it->second) {
+    const Box overlap = c.region.intersection(region);
+    if (overlap.empty()) continue;
+    // Return the piece clipped to the overlap; bytes stay shared, and the
+    // clipped nominal size is proportional to the clipped volume.
+    Chunk piece = c;
+    const double frac = static_cast<double>(overlap.volume()) /
+                        static_cast<double>(c.region.volume());
+    piece.nominal_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(c.nominal_bytes) * frac);
+    // The content key stays that of the *source* chunk: consumers verify
+    // against the source region carried in `region`.
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+bool ObjectStore::covers(const std::string& var, Version version,
+                         const Box& region) const {
+  if (region.empty()) return true;
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return false;
+  auto it = vit->second.find(version);
+  if (it == vit->second.end()) return false;
+  std::vector<Box> cover;
+  cover.reserve(it->second.size());
+  for (const Chunk& c : it->second) cover.push_back(c.region);
+  // Exact even when stored chunks overlap (e.g. writes from overlapping
+  // producer decompositions).
+  return boxes_cover(region, cover);
+}
+
+std::optional<Version> ObjectStore::latest(const std::string& var) const {
+  auto vit = store_.find(var);
+  if (vit == store_.end() || vit->second.empty()) return std::nullopt;
+  return vit->second.rbegin()->first;
+}
+
+std::vector<Version> ObjectStore::versions_of(const std::string& var) const {
+  std::vector<Version> out;
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return out;
+  out.reserve(vit->second.size());
+  for (const auto& [version, chunks] : vit->second) out.push_back(version);
+  return out;
+}
+
+std::vector<std::string> ObjectStore::variables() const {
+  std::vector<std::string> out;
+  out.reserve(store_.size());
+  for (const auto& [var, versions] : store_) {
+    if (!versions.empty()) out.push_back(var);
+  }
+  return out;
+}
+
+std::size_t ObjectStore::drop_versions_above(Version version) {
+  std::size_t dropped = 0;
+  for (auto& [var, versions] : store_) {
+    for (auto it = versions.upper_bound(version); it != versions.end();) {
+      for (const Chunk& c : it->second) account(c, -1);
+      it = versions.erase(it);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+bool ObjectStore::drop_version(const std::string& var, Version version) {
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return false;
+  auto it = vit->second.find(version);
+  if (it == vit->second.end()) return false;
+  for (const Chunk& c : it->second) account(c, -1);
+  vit->second.erase(it);
+  return true;
+}
+
+std::size_t ObjectStore::object_count() const {
+  std::size_t n = 0;
+  for (const auto& [var, versions] : store_) {
+    for (const auto& [version, chunks] : versions) n += chunks.size();
+  }
+  return n;
+}
+
+}  // namespace dstage::staging

@@ -1,0 +1,73 @@
+// Versioned in-memory object store held by each staging server. The base
+// store keeps a bounded window of recent versions per variable (DataSpaces
+// retains the latest coupling data; historical versions belong to the data
+// log). All byte accounting distinguishes nominal (paper-scale) from
+// physical (scaled-down) sizes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "staging/types.hpp"
+#include "util/stats.hpp"
+
+namespace dstage::staging {
+
+class ObjectStore {
+ public:
+  /// @param version_window how many most-recent versions of each variable
+  ///        the base store retains (older ones rotate out on put).
+  explicit ObjectStore(int version_window = 1);
+
+  /// Insert a chunk; rotates versions older than the window out.
+  void put(Chunk chunk);
+
+  /// All stored pieces of (var, version) clipped to `region`.
+  [[nodiscard]] std::vector<Chunk> get(const std::string& var,
+                                       Version version,
+                                       const Box& region) const;
+
+  /// True when stored pieces of (var, version) cover `region` entirely
+  /// (producer puts are disjoint, so coverage is volume-additive).
+  [[nodiscard]] bool covers(const std::string& var, Version version,
+                            const Box& region) const;
+
+  [[nodiscard]] std::optional<Version> latest(const std::string& var) const;
+
+  /// Stored versions of `var`, ascending.
+  [[nodiscard]] std::vector<Version> versions_of(const std::string& var) const;
+  /// All variable names with at least one stored version.
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Coordinated-restart rollback: drop all versions > `version` of every
+  /// variable. Returns the number of dropped (var, version) entries.
+  std::size_t drop_versions_above(Version version);
+
+  /// Explicitly drop one version of a variable (GC helper).
+  bool drop_version(const std::string& var, Version version);
+
+  [[nodiscard]] std::uint64_t nominal_bytes() const { return nominal_bytes_; }
+  [[nodiscard]] std::uint64_t physical_bytes() const {
+    return physical_bytes_;
+  }
+  [[nodiscard]] std::uint64_t peak_nominal_bytes() const {
+    return static_cast<std::uint64_t>(watermark_.peak());
+  }
+  [[nodiscard]] std::size_t object_count() const;
+  [[nodiscard]] int version_window() const { return version_window_; }
+
+ private:
+  void account(const Chunk& c, int sign);
+
+  int version_window_;
+  // var → version → pieces
+  std::map<std::string, std::map<Version, std::vector<Chunk>>> store_;
+  std::uint64_t nominal_bytes_ = 0;
+  std::uint64_t physical_bytes_ = 0;
+  Watermark watermark_;
+};
+
+}  // namespace dstage::staging

@@ -1,0 +1,45 @@
+#include "staging/recovery.hpp"
+
+#include "sim/spawn.hpp"
+
+namespace dstage::staging {
+
+void StagingRecoveryManager::arm() {
+  cluster_->on_failure([this](cluster::VprocId vp) { on_failure(vp); });
+}
+
+void StagingRecoveryManager::on_failure(cluster::VprocId vproc) {
+  for (std::size_t i = 0; i < server_vprocs_.size(); ++i) {
+    if (server_vprocs_[i] != vproc) continue;
+    ++stats_.server_failures;
+    if (!spares_.acquire()) {
+      ++stats_.spare_exhausted;
+      return;  // no replacement available; staging runs degraded
+    }
+    sim::spawn(cluster_->engine(), recover(static_cast<int>(i)));
+    return;
+  }
+}
+
+sim::Task<void> StagingRecoveryManager::recover(int index) {
+  sim::Ctx sys{&cluster_->engine(), nullptr};
+  // Spare process joins and re-registers with the staging group.
+  co_await sys.delay(respawn_cost_);
+  const auto vp = server_vprocs_[static_cast<std::size_t>(index)];
+  cluster_->revive(vp);
+
+  // Fresh server instance on the same vproc/endpoint: the mailbox (and any
+  // backlog that accumulated during the outage) is preserved.
+  auto replacement =
+      std::make_unique<StagingServer>(*cluster_, vp, params_);
+  std::vector<net::EndpointId> endpoints;
+  endpoints.reserve(server_vprocs_.size());
+  for (auto v : server_vprocs_)
+    endpoints.push_back(cluster_->vproc(v).endpoint);
+  replacement->set_peers(index, std::move(endpoints));
+  (*servers_)[static_cast<std::size_t>(index)] = std::move(replacement);
+  (*servers_)[static_cast<std::size_t>(index)]->start_with_recovery();
+  ++stats_.servers_recovered;
+}
+
+}  // namespace dstage::staging

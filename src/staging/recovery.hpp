@@ -1,0 +1,59 @@
+// Staging-service recovery manager (the paper's Process/Data Resilience
+// Component, Fig. 8): watches for staging-server failures, allocates a
+// replacement from the spare pool, and brings it up through the
+// rebuild-from-peers path (fragments restore the store and data log, the
+// successor's mirror restores the event queues). Client requests that
+// arrived while the server was down wait in its mailbox and are served
+// after the rebuild.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "staging/server.hpp"
+
+namespace dstage::staging {
+
+struct RecoveryManagerStats {
+  int server_failures = 0;
+  int servers_recovered = 0;
+  int spare_exhausted = 0;
+};
+
+class StagingRecoveryManager {
+ public:
+  /// @param servers the staging group (the manager replaces entries
+  ///        in-place on recovery); all servers must have set_peers() wired.
+  StagingRecoveryManager(cluster::Cluster& cluster,
+                         std::vector<std::unique_ptr<StagingServer>>* servers,
+                         std::vector<cluster::VprocId> server_vprocs,
+                         ServerParams server_params, int spares = 4)
+      : cluster_(&cluster),
+        servers_(servers),
+        server_vprocs_(std::move(server_vprocs)),
+        params_(server_params),
+        spares_(spares) {}
+
+  /// Register the failure observer. Call once, after servers are started.
+  void arm();
+
+  [[nodiscard]] const RecoveryManagerStats& stats() const { return stats_; }
+  /// Recovery latency model: spare join + service re-registration.
+  void set_respawn_cost(sim::Duration d) { respawn_cost_ = d; }
+
+ private:
+  void on_failure(cluster::VprocId vproc);
+  sim::Task<void> recover(int index);
+
+  cluster::Cluster* cluster_;
+  std::vector<std::unique_ptr<StagingServer>>* servers_;
+  std::vector<cluster::VprocId> server_vprocs_;
+  ServerParams params_;
+  cluster::SparePool spares_;
+  sim::Duration respawn_cost_ = sim::seconds(2);
+  RecoveryManagerStats stats_;
+};
+
+}  // namespace dstage::staging

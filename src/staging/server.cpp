@@ -1,0 +1,680 @@
+#include "staging/server.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "resilience/reed_solomon.hpp"
+#include "sim/spawn.hpp"
+
+namespace dstage::staging {
+
+StagingServer::StagingServer(cluster::Cluster& cluster,
+                             cluster::VprocId vproc, ServerParams params)
+    : cluster_(&cluster),
+      vproc_(vproc),
+      params_(params),
+      store_(params.version_window) {}
+
+net::EndpointId StagingServer::endpoint() const {
+  return cluster_->vproc(vproc_).endpoint;
+}
+
+sim::Task<void> StagingServer::respond(net::EndpointId dst,
+                                       std::uint64_t bytes,
+                                       std::function<void()> fulfil) {
+  if (bytes <= 256) {
+    // Small acks are RDMA completion notifications: control path only.
+    co_await cluster_->fabric().notify(ctx(), endpoint(), dst,
+                                       std::move(fulfil));
+  } else {
+    co_await cluster_->fabric().transmit(ctx(), endpoint(), dst, bytes,
+                                         std::move(fulfil));
+  }
+}
+
+sim::Duration StagingServer::copy_time(std::uint64_t bytes) const {
+  return sim::from_seconds(static_cast<double>(bytes) / params_.mem_bw);
+}
+
+MemoryReport StagingServer::memory() const {
+  MemoryReport r;
+  r.store_bytes = store_.nominal_bytes();
+  r.log_payload_bytes = dlog_.nominal_bytes();
+  for (const auto& [app, q] : queues_) r.log_metadata_bytes += q.metadata_bytes();
+  r.redundancy_bytes = fragment_bytes_;
+  return r;
+}
+
+void StagingServer::sample_memory() {
+  const sim::TimePoint now = cluster_->engine().now();
+  byte_seconds_ +=
+      static_cast<double>(last_total_) * (now - last_sample_).seconds();
+  last_sample_ = now;
+  last_total_ = memory().total();
+  peak_total_ = std::max(peak_total_, last_total_);
+}
+
+double StagingServer::mean_total_bytes() const {
+  const double elapsed = last_sample_.seconds();
+  return elapsed > 0 ? byte_seconds_ / elapsed
+                     : static_cast<double>(last_total_);
+}
+
+void StagingServer::set_peers(int self_index,
+                              std::vector<net::EndpointId> endpoints) {
+  self_index_ = self_index;
+  peer_endpoints_ = std::move(endpoints);
+}
+
+void StagingServer::start() {
+  sim::spawn(cluster_->engine(), run());
+}
+
+void StagingServer::start_with_recovery() {
+  sim::spawn(cluster_->engine(), run_after_recovery());
+}
+
+sim::Task<void> StagingServer::run_after_recovery() {
+  co_await rebuild_from_peers();
+  co_await run();
+}
+
+sim::Task<void> StagingServer::run() {
+  auto& ep = cluster_->fabric().endpoint(endpoint());
+  sim::Ctx c = ctx();
+  for (;;) {
+    net::Packet packet = co_await ep.recv(c.tok);
+    auto* request = std::any_cast<Request>(&packet.payload);
+    if (request == nullptr) continue;  // foreign packet: ignore
+    co_await handle(std::move(*request));
+    sample_memory();
+  }
+}
+
+sim::Task<void> StagingServer::handle(Request request) {
+  switch (request.index()) {
+    case 0:
+      co_await handle_put(std::get<0>(std::move(request)));
+      break;
+    case 1:
+      co_await handle_get(std::get<1>(std::move(request)));
+      break;
+    case 2:
+      co_await handle_checkpoint(std::get<2>(std::move(request)));
+      break;
+    case 3:
+      co_await handle_recovery(std::get<3>(std::move(request)));
+      break;
+    case 4:
+      co_await handle_rollback(std::get<4>(std::move(request)));
+      break;
+    case 5:
+      handle_fragment_put(std::get<5>(std::move(request)));
+      break;
+    case 6:
+      handle_fragment_prune(std::get<6>(request));
+      break;
+    case 7:
+      handle_queue_backup(std::get<7>(std::move(request)));
+      break;
+    case 8:
+      co_await handle_recovery_pull(std::get<8>(std::move(request)));
+      break;
+    default:
+      co_await handle_query(std::get<9>(std::move(request)));
+      break;
+  }
+}
+
+sim::Task<void> StagingServer::handle_put(PutRequest req) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.puts;
+
+  PutResponse resp;
+  bool apply = true;
+
+  if (params_.logging && req.logged) {
+    auto& q = queues_[req.app];
+    if (q.replaying()) {
+      const wlog::LogEvent* expected = q.expected();
+      if (expected != nullptr && expected->kind == wlog::EventKind::kPut &&
+          expected->var == req.chunk.var &&
+          expected->version == req.chunk.version &&
+          expected->region == req.chunk.region) {
+        // Redundant write from a rolled-back producer: the payload is
+        // already staged/logged, so the write request is omitted.
+        q.advance();
+        apply = false;
+        resp.suppressed = true;
+        ++stats_.puts_suppressed;
+      } else {
+        ++stats_.replay_mismatches;  // diverged replay: apply as fresh
+      }
+    }
+    if (apply) {
+      // Client retries are idempotent: an identical chunk already staged is
+      // acknowledged without re-applying or re-logging.
+      auto existing =
+          store_.get(req.chunk.var, req.chunk.version, req.chunk.region);
+      if (existing.size() == 1 && existing[0].region == req.chunk.region &&
+          existing[0].content_key == req.chunk.content_key) {
+        apply = false;
+        resp.applied = true;
+      }
+    }
+    if (apply) {
+      co_await c.delay(params_.log_event_overhead);
+      wlog::LogEvent event{wlog::EventKind::kPut, req.app,
+                           req.chunk.version, req.chunk.var,
+                           req.chunk.region, req.chunk.nominal_bytes, 0};
+      q.record(event);
+      sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
+    }
+  }
+
+  if (apply) {
+    co_await c.delay(copy_time(req.chunk.nominal_bytes));
+    if (params_.logging && req.logged) {
+      // Log append: the data log retains the payload for replay (buffer
+      // shared with the base store; the cost is version/index bookkeeping).
+      co_await c.delay(sim::from_seconds(
+          copy_time(req.chunk.nominal_bytes).seconds() *
+          params_.log_append_fraction));
+      dlog_.add(req.chunk);
+    }
+    const std::string var = req.chunk.var;
+    const Version version = req.chunk.version;
+    if (params_.policy.kind != resilience::Redundancy::kNone) {
+      co_await c.delay(params_.policy.encode_time(req.chunk.nominal_bytes));
+      const bool was_logged = params_.logging && req.logged;
+      sim::spawn(cluster_->engine(),
+                 push_fragments(req.chunk, was_logged));
+    }
+    store_.put(std::move(req.chunk));
+    resp.applied = true;
+    poke_pending(var, version);
+  }
+
+  // Named deliver closure: GCC 12 double-destroys non-trivial prvalue
+  // temporaries inside co_await full-expressions.
+  std::function<void()> deliver = [reply = req.reply, resp] {
+    reply->fulfill(resp);
+  };
+  co_await respond(req.reply_to, 64, std::move(deliver));
+}
+
+sim::Task<void> StagingServer::handle_get(GetRequest req) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.gets;
+
+  if (params_.logging && req.logged) {
+    auto& q = queues_[req.app];
+    if (q.replaying()) {
+      const wlog::LogEvent* expected = q.expected();
+      if (expected != nullptr && expected->kind == wlog::EventKind::kGet &&
+          expected->var == req.desc.var &&
+          expected->region == req.desc.region) {
+        // Serve the version observed during the initial execution.
+        const Version logged_version = expected->version;
+        q.advance();
+        std::vector<Chunk> pieces =
+            dlog_.get(req.desc.var, logged_version, req.desc.region);
+        if (pieces.empty() ||
+            !dlog_.covers(req.desc.var, logged_version, req.desc.region)) {
+          pieces = store_.get(req.desc.var, logged_version, req.desc.region);
+        }
+        ++stats_.gets_from_log;
+        sim::spawn(cluster_->engine(),
+                   respond_get(std::move(req), std::move(pieces), true));
+        co_return;
+      }
+      ++stats_.replay_mismatches;  // fall through as a fresh request
+    }
+  }
+
+  if (store_.covers(req.desc.var, req.desc.version, req.desc.region)) {
+    if (params_.logging && req.logged) {
+      co_await c.delay(params_.log_event_overhead);
+      wlog::LogEvent event{wlog::EventKind::kGet, req.app, req.desc.version,
+                           req.desc.var, req.desc.region, 0, 0};
+      queues_[req.app].record(event);
+      sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
+    }
+    auto pieces = store_.get(req.desc.var, req.desc.version, req.desc.region);
+    sim::spawn(cluster_->engine(),
+               respond_get(std::move(req), std::move(pieces), false));
+    co_return;
+  }
+  if (params_.logging && req.logged &&
+      dlog_.covers(req.desc.var, req.desc.version, req.desc.region)) {
+    // Version already rotated out of the base window but still retained in
+    // the log (slow consumer).
+    co_await c.delay(params_.log_event_overhead);
+    wlog::LogEvent levent{wlog::EventKind::kGet, req.app, req.desc.version,
+                          req.desc.var, req.desc.region, 0, 0};
+    queues_[req.app].record(levent);
+    sim::spawn(cluster_->engine(), mirror_event(std::move(levent)));
+    auto pieces = dlog_.get(req.desc.var, req.desc.version, req.desc.region);
+    ++stats_.gets_from_log;
+    sim::spawn(cluster_->engine(),
+               respond_get(std::move(req), std::move(pieces), true));
+    co_return;
+  }
+
+  // Without logging, a request for an already-superseded version is
+  // answered with the newest available data — exactly the Fig.-2 case-1
+  // anomaly that individual checkpoint/restart exhibits and the data log
+  // exists to prevent. (Consumers detect it via content keys.)
+  if (!(params_.logging && req.logged)) {
+    const auto latest = store_.latest(req.desc.var);
+    if (latest && *latest > req.desc.version &&
+        store_.covers(req.desc.var, *latest, req.desc.region)) {
+      auto pieces = store_.get(req.desc.var, *latest, req.desc.region);
+      sim::spawn(cluster_->engine(),
+                 respond_get(std::move(req), std::move(pieces), false));
+      co_return;
+    }
+  }
+
+  // Data not yet produced: park the request until a covering put arrives
+  // (DataSpaces-style blocking get).
+  ++stats_.gets_pending;
+  pending_.push_back(std::move(req));
+}
+
+// Runs detached from the request loop: the gather copy and the NIC DMA of
+// the response overlap with subsequent request processing, as with real
+// RDMA; concurrent responses still serialize on the node's NIC resource.
+sim::Task<void> StagingServer::respond_get(GetRequest req,
+                                           std::vector<Chunk> pieces,
+                                           bool from_log) {
+  GetResponse resp;
+  resp.found = !pieces.empty();
+  resp.from_log = from_log;
+  std::uint64_t bytes = 128;
+  for (const Chunk& piece : pieces) bytes += piece.nominal_bytes;
+  resp.pieces = std::move(pieces);
+  co_await ctx().delay(copy_time(bytes));  // gather/pack on the server
+  std::function<void()> deliver = [reply = req.reply,
+                                   resp = std::move(resp)]() mutable {
+    reply->fulfill(std::move(resp));
+  };
+  co_await respond(req.reply_to, bytes, std::move(deliver));
+}
+
+void StagingServer::poke_pending(const std::string& var, Version version) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    GetRequest& req = pending_[i];
+    // Exact-version match always serves; a non-logged request parked on an
+    // older version is unblocked by any newer covering write (and will
+    // observe the wrong-version anomaly).
+    const bool exact = req.desc.version == version;
+    const bool superseded = !(params_.logging && req.logged) &&
+                            req.desc.version < version;
+    if (req.desc.var == var && (exact || superseded) &&
+        store_.covers(var, version, req.desc.region)) {
+      GetRequest ready = std::move(req);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (params_.logging && ready.logged) {
+        wlog::LogEvent event{wlog::EventKind::kGet, ready.app,
+                             ready.desc.version, ready.desc.var,
+                             ready.desc.region, 0, 0};
+        queues_[ready.app].record(event);
+        sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
+      }
+      // `version` (not desc.version) so superseded requests observe the
+      // newer data.
+      auto pieces = store_.get(ready.desc.var, version, ready.desc.region);
+      sim::spawn(cluster_->engine(),
+                 respond_get(std::move(ready), std::move(pieces), false));
+    } else {
+      ++i;
+    }
+  }
+}
+
+sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.checkpoints;
+
+  CheckpointAck ack;
+  ack.chk_id = next_chk_id_++;
+  gc_.on_checkpoint(ev.app, ev.version);
+
+  if (params_.logging) {
+    auto& q = queues_[ev.app];
+    wlog::LogEvent marker{wlog::EventKind::kCheckpoint, ev.app, ev.version,
+                          {}, Box{}, 0, ack.chk_id};
+    q.record(marker);
+    sim::spawn(cluster_->engine(), mirror_event(std::move(marker)));
+    // End of a checkpoint cycle: clean the event queue and reclaim
+    // unreachable logged payloads.
+    q.truncate_before_last_checkpoint();
+    const gc::SweepResult sweep = gc_.sweep(dlog_);
+    stats_.gc_versions_dropped += sweep.versions_dropped;
+    stats_.gc_nominal_freed += sweep.nominal_freed;
+    co_await c.delay(params_.gc_cost_per_entry *
+                     static_cast<std::int64_t>(sweep.entries_scanned + 1));
+    // Peers can reclaim fragments that neither the log's retention nor the
+    // base store's window still needs.
+    if (params_.policy.kind != resilience::Redundancy::kNone &&
+        peer_endpoints_.size() > 1) {
+      for (const std::string& var : store_.variables()) {
+        const auto store_versions = store_.versions_of(var);
+        const Version oldest_store =
+            store_versions.empty() ? 0 : store_versions.front();
+        const auto log_versions = dlog_.versions_of(var);
+        const Version oldest_log =
+            log_versions.empty() ? oldest_store : log_versions.front();
+        const Version keep_from = std::min(oldest_store, oldest_log);
+        if (keep_from == 0) continue;
+        for (std::size_t p = 0; p < peer_endpoints_.size(); ++p) {
+          if (static_cast<int>(p) == self_index_) continue;
+          sim::Ctx sc = ctx();
+          std::any payload =
+              Request{FragmentPrune{self_index_, var, keep_from - 1}};
+          sim::spawn(cluster_->engine(),
+                     cluster_->fabric().send(sc, endpoint(),
+                                             peer_endpoints_[p],
+                                             std::move(payload), 64));
+        }
+      }
+    }
+  }
+
+  std::function<void()> deliver = [reply = ev.reply, ack] {
+    reply->fulfill(ack);
+  };
+  co_await respond(ev.reply_to, 64, std::move(deliver));
+}
+
+sim::Task<void> StagingServer::handle_recovery(RecoveryEvent ev) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.recoveries;
+
+  RecoveryAck ack;
+  if (params_.logging) {
+    auto& q = queues_[ev.app];
+    q.record(wlog::LogEvent{wlog::EventKind::kRecovery, ev.app,
+                            ev.restored_version, {}, Box{}, 0, 0});
+    ack.replay_events = q.begin_replay();
+  }
+  std::function<void()> deliver = [reply = ev.reply, ack] {
+    reply->fulfill(ack);
+  };
+  co_await respond(ev.reply_to, 64, std::move(deliver));
+}
+
+sim::Task<void> StagingServer::handle_rollback(RollbackRequest req) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+
+  RollbackAck ack;
+  ack.versions_dropped = store_.drop_versions_above(req.version);
+  dlog_.drop_above(req.version);
+  queues_.clear();
+  // Parked gets for discarded versions belong to rolled-back clients.
+  std::erase_if(pending_, [&](const GetRequest& g) {
+    return g.desc.version > req.version;
+  });
+
+  std::function<void()> deliver = [reply = req.reply, ack] {
+    reply->fulfill(ack);
+  };
+  co_await respond(req.reply_to, 64, std::move(deliver));
+}
+
+void StagingServer::handle_fragment_put(FragmentPut frag) {
+  fragment_bytes_ += frag.nominal_bytes;
+  ++stats_.fragments_held;
+  fragments_[frag.owner].push_back(std::move(frag));
+}
+
+void StagingServer::handle_fragment_prune(const FragmentPrune& prune) {
+  auto it = fragments_.find(prune.owner);
+  if (it == fragments_.end()) return;
+  std::erase_if(it->second, [&](const FragmentPut& f) {
+    const bool drop = f.var == prune.var && f.version <= prune.upto;
+    if (drop) fragment_bytes_ -= f.nominal_bytes;
+    return drop;
+  });
+}
+
+void StagingServer::handle_queue_backup(QueueBackup backup) {
+  ++stats_.mirrored_events;
+  auto& q = mirrors_[backup.owner][backup.app];
+  q.record(wlog::LogEvent{static_cast<wlog::EventKind>(backup.kind),
+                          backup.app, backup.version, std::move(backup.var),
+                          backup.region, backup.nominal_bytes,
+                          backup.chk_id});
+  if (static_cast<wlog::EventKind>(backup.kind) ==
+      wlog::EventKind::kCheckpoint) {
+    q.truncate_before_last_checkpoint();
+  }
+}
+
+sim::Task<void> StagingServer::handle_recovery_pull(RecoveryPull pull) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  RecoveryPullResponse resp;
+  if (auto it = fragments_.find(pull.owner); it != fragments_.end()) {
+    resp.fragments = it->second;
+  }
+  if (auto it = mirrors_.find(pull.owner); it != mirrors_.end()) {
+    for (const auto& [app, queue] : it->second) {
+      for (const wlog::LogEvent& e : queue.events()) {
+        resp.events.push_back(QueueBackup{pull.owner, app,
+                                          static_cast<int>(e.kind),
+                                          e.version, e.var, e.region,
+                                          e.nominal_bytes, e.chk_id});
+      }
+    }
+  }
+  for (const FragmentPut& f : resp.fragments)
+    resp.transport_bytes += f.nominal_bytes;
+  resp.transport_bytes += 96 * resp.events.size() + 128;
+  const std::uint64_t bytes = resp.transport_bytes;
+  co_await c.delay(copy_time(bytes));
+  std::function<void()> deliver = [reply = pull.reply,
+                                   resp = std::move(resp)]() mutable {
+    reply->fulfill(std::move(resp));
+  };
+  co_await respond(pull.reply_to, bytes, std::move(deliver));
+}
+
+sim::Task<void> StagingServer::handle_query(QueryRequest query) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  QueryResponse resp;
+  resp.store_versions = store_.versions_of(query.var);
+  resp.logged_versions = dlog_.versions_of(query.var);
+  const std::uint64_t bytes =
+      64 + 4 * (resp.store_versions.size() + resp.logged_versions.size());
+  std::function<void()> deliver = [reply = query.reply,
+                                   resp = std::move(resp)]() mutable {
+    reply->fulfill(std::move(resp));
+  };
+  co_await respond(query.reply_to, bytes, std::move(deliver));
+}
+
+sim::Task<void> StagingServer::mirror_event(wlog::LogEvent event) {
+  if (peer_endpoints_.size() < 2) co_return;
+  const auto successor = static_cast<std::size_t>(
+      (self_index_ + 1) % static_cast<int>(peer_endpoints_.size()));
+  QueueBackup backup{self_index_,       event.app,
+                     static_cast<int>(event.kind), event.version,
+                     std::move(event.var),         event.region,
+                     event.nominal_bytes,          event.chk_id};
+  sim::Ctx c = ctx();
+  std::any payload = Request{std::move(backup)};
+  co_await cluster_->fabric().send(c, endpoint(), peer_endpoints_[successor],
+                                   std::move(payload), 96);
+}
+
+sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
+  const int total_servers = static_cast<int>(peer_endpoints_.size());
+  if (total_servers < 2) co_return;
+  sim::Ctx c = ctx();
+  ++stats_.fragments_pushed;
+
+  auto push_one = [&](int frag_index, std::uint64_t nominal,
+                      std::shared_ptr<const std::vector<std::uint8_t>> data)
+      -> sim::Task<void> {
+    // Round-robin over the *other* servers only: a fragment stored on its
+    // own owner would die with it.
+    const auto peer = static_cast<std::size_t>(
+        (self_index_ + 1 + (frag_index - 1) % (total_servers - 1)) %
+        total_servers);
+    FragmentPut frag{self_index_,       chunk.var,
+                     chunk.version,     chunk.region,
+                     frag_index,        nominal,
+                     chunk.data ? chunk.data->size() : 0,
+                     chunk.content_key, logged,
+                     std::move(data)};
+    std::any payload = Request{std::move(frag)};
+    return cluster_->fabric().send(c, endpoint(), peer_endpoints_[peer],
+                                   std::move(payload), nominal);
+  };
+
+  if (params_.policy.kind == resilience::Redundancy::kReplication) {
+    // Full copies on the next replicas-1 peers.
+    for (int j = 1; j < params_.policy.replicas && j < total_servers; ++j) {
+      co_await push_one(j, chunk.nominal_bytes, chunk.data);
+    }
+    co_return;
+  }
+
+  // Erasure coding: the owner keeps the full payload (fast local reads) and
+  // spreads all k+m shards of it across the following peers, so the loss of
+  // this server leaves k-1+m >= k survivors for reconstruction.
+  const resilience::ReedSolomon rs(params_.policy.rs_k, params_.policy.rs_m);
+  std::vector<resilience::Shard> shards;
+  if (chunk.data) {
+    shards = rs.encode(*chunk.data);
+  }
+  const std::uint64_t shard_nominal =
+      chunk.nominal_bytes / static_cast<std::uint64_t>(params_.policy.rs_k);
+  for (int j = 1; j < rs.total_shards(); ++j) {
+    std::shared_ptr<const std::vector<std::uint8_t>> data;
+    if (!shards.empty()) {
+      data = std::make_shared<std::vector<std::uint8_t>>(
+          std::move(shards[static_cast<std::size_t>(j)]));
+    }
+    co_await push_one(j, shard_nominal, std::move(data));
+  }
+}
+
+sim::Task<void> StagingServer::rebuild_from_peers() {
+  sim::Ctx c = ctx();
+  const int total_servers = static_cast<int>(peer_endpoints_.size());
+  if (total_servers < 2 ||
+      params_.policy.kind == resilience::Redundancy::kNone) {
+    co_return;  // nothing recoverable
+  }
+
+  // Pull everything our peers hold on our behalf.
+  std::vector<sim::Task<RecoveryPullResponse>> pulls;
+  for (int p = 0; p < total_servers; ++p) {
+    if (p == self_index_) continue;
+    pulls.push_back([](StagingServer* self, sim::Ctx ctx2,
+                       net::EndpointId peer)
+                        -> sim::Task<RecoveryPullResponse> {
+      auto reply = net::make_reply<RecoveryPullResponse>(*ctx2.eng);
+      RecoveryPull pull{self->self_index_, self->endpoint(), reply};
+      std::any payload = Request{std::move(pull)};
+      co_await self->cluster_->fabric().send(ctx2, self->endpoint(), peer,
+                                             std::move(payload), 64);
+      co_return co_await reply->take(ctx2);
+    }(this, c, peer_endpoints_[static_cast<std::size_t>(p)]));
+  }
+  auto responses = co_await sim::when_all(c, std::move(pulls));
+
+  // Group fragments by object; replay mirrored queue events in order (the
+  // single successor mirror preserves per-app ordering).
+  struct Key {
+    std::string var;
+    Version version;
+    std::uint64_t region;
+    bool operator<(const Key& o) const {
+      return std::tie(var, version, region) <
+             std::tie(o.var, o.version, o.region);
+    }
+  };
+  std::map<Key, std::vector<FragmentPut>> objects;
+  for (auto& resp : responses) {
+    for (FragmentPut& f : resp.fragments) {
+      objects[Key{f.var, f.version, region_hash(f.region)}].push_back(
+          std::move(f));
+    }
+    for (QueueBackup& e : resp.events) {
+      auto& q = queues_[e.app];
+      q.record(wlog::LogEvent{static_cast<wlog::EventKind>(e.kind), e.app,
+                              e.version, std::move(e.var), e.region,
+                              e.nominal_bytes, e.chk_id});
+    }
+  }
+
+  const resilience::ReedSolomon rs(params_.policy.rs_k, params_.policy.rs_m);
+  for (auto& [key, frags] : objects) {
+    const FragmentPut& first = frags.front();
+    Chunk chunk;
+    chunk.var = first.var;
+    chunk.version = first.version;
+    chunk.region = first.region;
+    chunk.content_key = first.content_key;
+    bool restored = false;
+
+    if (params_.policy.kind == resilience::Redundancy::kReplication) {
+      chunk.nominal_bytes = first.nominal_bytes;
+      chunk.data = first.data;
+      restored = chunk.data != nullptr;
+    } else {
+      chunk.nominal_bytes =
+          first.nominal_bytes *
+          static_cast<std::uint64_t>(params_.policy.rs_k);
+      std::vector<resilience::Shard> shards(
+          static_cast<std::size_t>(rs.total_shards()));
+      std::size_t original_physical = 0;
+      for (const FragmentPut& f : frags) {
+        original_physical = f.original_physical;
+        if (f.data && f.frag_index >= 0 &&
+            f.frag_index < rs.total_shards()) {
+          shards[static_cast<std::size_t>(f.frag_index)] = *f.data;
+        }
+      }
+      auto decoded = rs.decode(shards, original_physical);
+      if (decoded) {
+        // Verify the reconstruction against the chunk's content key.
+        if (verify_payload(std::as_bytes(std::span{*decoded}),
+                           chunk.content_key)) {
+          chunk.data = std::make_shared<std::vector<std::uint8_t>>(
+              std::move(*decoded));
+          restored = true;
+        }
+      }
+    }
+
+    if (restored) {
+      ++stats_.chunks_rebuilt;
+      co_await c.delay(copy_time(chunk.nominal_bytes));
+      if (params_.logging && first.logged) dlog_.add(chunk);
+      store_.put(std::move(chunk));
+      // Re-protect the restored object on the (new) fragment layout.
+      if (params_.policy.kind != resilience::Redundancy::kNone) {
+        Chunk copy = store_.get(key.var, key.version, first.region).front();
+        copy.region = first.region;
+        sim::spawn(cluster_->engine(),
+                   push_fragments(std::move(copy), first.logged));
+      }
+    } else {
+      ++stats_.rebuild_failures;
+    }
+  }
+}
+
+}  // namespace dstage::staging

@@ -1,0 +1,179 @@
+// Staging server actor. One vproc per server; requests arrive at its
+// endpoint and are processed sequentially (queueing under load is the
+// server-side contribution to write response time). Integrates the four
+// components Figure 8 adds to the staging runtime: data logging, garbage
+// collection, the global user interface events, and data resilience.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "gc/garbage_collector.hpp"
+#include "resilience/policy.hpp"
+#include "staging/object_store.hpp"
+#include "staging/types.hpp"
+#include "wlog/data_log.hpp"
+#include "wlog/event_queue.hpp"
+
+namespace dstage::staging {
+
+struct ServerParams {
+  bool logging = false;
+  /// Per-server payload processing bandwidth (copy + DHT index + version
+  /// chain upkeep on a handful of staging cores — the staging service is
+  /// compute-poor by design, which is why server-side logging shows up in
+  /// write response times).
+  double mem_bw = 6e9;
+  /// Log-append work per payload byte, as a fraction of the store copy
+  /// (the data log shares buffers with the store; appending is index,
+  /// version-chain and refcount bookkeeping, not a second full copy).
+  double log_append_fraction = 0.14;
+  /// Fixed per-request processing overhead.
+  sim::Duration request_overhead = sim::microseconds(3);
+  /// GC sweep cost per scanned log entry (index walk).
+  sim::Duration gc_cost_per_entry = sim::microseconds(2);
+  /// Per-event queue/index maintenance cost when logging.
+  sim::Duration log_event_overhead = sim::microseconds(2);
+  /// Redundancy applied to staged (and logged) payloads.
+  resilience::ResiliencePolicy policy;
+  /// Versions per variable retained by the base store.
+  int version_window = 2;
+};
+
+struct ServerStats {
+  std::uint64_t puts = 0;
+  std::uint64_t fragments_held = 0;     // fragments stored for peers
+  std::uint64_t fragments_pushed = 0;   // fragments sent to peers
+  std::uint64_t mirrored_events = 0;    // queue records mirrored here
+  std::uint64_t chunks_rebuilt = 0;     // objects restored after recovery
+  std::uint64_t rebuild_failures = 0;   // unrecoverable objects
+  std::uint64_t gets = 0;
+  std::uint64_t gets_pending = 0;   // gets that had to wait for data
+  std::uint64_t puts_suppressed = 0;
+  std::uint64_t gets_from_log = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t replay_mismatches = 0;
+  std::uint64_t gc_versions_dropped = 0;
+  std::uint64_t gc_nominal_freed = 0;
+};
+
+/// Point-in-time memory report (nominal, i.e. paper-scale bytes).
+struct MemoryReport {
+  std::uint64_t store_bytes = 0;       // base object store
+  std::uint64_t log_payload_bytes = 0; // data-log retained payloads
+  std::uint64_t log_metadata_bytes = 0;
+  std::uint64_t redundancy_bytes = 0;  // parity / replica overhead
+  [[nodiscard]] std::uint64_t total() const {
+    return store_bytes + log_payload_bytes + log_metadata_bytes +
+           redundancy_bytes;
+  }
+};
+
+class StagingServer {
+ public:
+  StagingServer(cluster::Cluster& cluster, cluster::VprocId vproc,
+                ServerParams params);
+
+  /// Spawn the request-processing loop.
+  void start();
+
+  /// Wire this server into the staging group: its own index and every
+  /// server's endpoint (enables fragment push and queue mirroring).
+  void set_peers(int self_index, std::vector<net::EndpointId> endpoints);
+
+  /// Spawn a replacement server's loop: first rebuild the store, log and
+  /// event queues from the peers' fragments/mirrors, then serve the (queued)
+  /// mailbox backlog.
+  void start_with_recovery();
+
+  /// Declare variable coupling for GC retention decisions (mirrors what the
+  /// workflow registers at startup).
+  void register_var(const std::string& var,
+                    std::vector<std::pair<AppId, bool>> consumers) {
+    gc_.register_var(var, std::move(consumers));
+  }
+
+  [[nodiscard]] cluster::VprocId vproc() const { return vproc_; }
+  [[nodiscard]] net::EndpointId endpoint() const;
+  [[nodiscard]] const ObjectStore& store() const { return store_; }
+  [[nodiscard]] const wlog::DataLog& data_log() const { return dlog_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] MemoryReport memory() const;
+  /// Peak total nominal bytes observed at request boundaries.
+  [[nodiscard]] std::uint64_t peak_total_bytes() const { return peak_total_; }
+  /// Time-averaged total nominal bytes (sampled at request boundaries,
+  /// weighted by virtual time between samples).
+  [[nodiscard]] double mean_total_bytes() const;
+  [[nodiscard]] std::size_t pending_get_count() const {
+    return pending_.size();
+  }
+  [[nodiscard]] const ServerParams& params() const { return params_; }
+
+ private:
+  sim::Task<void> run();
+  sim::Task<void> handle(Request request);
+  sim::Task<void> handle_put(PutRequest req);
+  sim::Task<void> handle_get(GetRequest req);
+  sim::Task<void> handle_checkpoint(CheckpointEvent ev);
+  sim::Task<void> handle_recovery(RecoveryEvent ev);
+  sim::Task<void> handle_rollback(RollbackRequest req);
+  void handle_fragment_put(FragmentPut frag);
+  void handle_fragment_prune(const FragmentPrune& prune);
+  void handle_queue_backup(QueueBackup backup);
+  sim::Task<void> handle_recovery_pull(RecoveryPull pull);
+  sim::Task<void> handle_query(QueryRequest query);
+
+  /// Push redundancy fragments of a freshly applied chunk to peers and
+  /// notify them of reclaimable older versions (detached).
+  sim::Task<void> push_fragments(Chunk chunk, bool logged);
+  sim::Task<void> mirror_event(wlog::LogEvent event);
+  /// Rebuild state from peers (runs before the replacement serves traffic).
+  sim::Task<void> rebuild_from_peers();
+  sim::Task<void> run_after_recovery();
+
+  /// Serve a get whose data is present; pays response transport.
+  sim::Task<void> respond_get(GetRequest req, std::vector<Chunk> pieces,
+                              bool from_log);
+  /// Pay response transport for `bytes`, then run `fulfil` after the wire
+  /// latency. Call sites must pass a *named* std::function via std::move
+  /// (GCC 12 double-destroys prvalue temporaries in co_await expressions).
+  sim::Task<void> respond(net::EndpointId dst, std::uint64_t bytes,
+                          std::function<void()> fulfil);
+  /// Re-check pending gets after a put made (var, version) more complete.
+  void poke_pending(const std::string& var, Version version);
+
+  [[nodiscard]] sim::Ctx ctx() { return cluster_->ctx_for(vproc_); }
+  [[nodiscard]] sim::Duration copy_time(std::uint64_t bytes) const;
+  void sample_memory();
+
+  cluster::Cluster* cluster_;
+  cluster::VprocId vproc_;
+  ServerParams params_;
+  ObjectStore store_;
+  wlog::DataLog dlog_;
+  std::map<AppId, wlog::EventQueue> queues_;
+  gc::GarbageCollector gc_;
+  std::vector<GetRequest> pending_;
+  std::uint64_t next_chk_id_ = 1;
+  ServerStats stats_;
+  // Resilience state.
+  int self_index_ = 0;
+  std::vector<net::EndpointId> peer_endpoints_;  // all servers, by index
+  // owner → fragments held on that owner's behalf.
+  std::map<int, std::vector<FragmentPut>> fragments_;
+  std::uint64_t fragment_bytes_ = 0;
+  // owner → app → mirrored event queue.
+  std::map<int, std::map<AppId, wlog::EventQueue>> mirrors_;
+  // Memory sampling for peak / time-averaged usage.
+  std::uint64_t peak_total_ = 0;
+  double byte_seconds_ = 0;
+  sim::TimePoint last_sample_{};
+  std::uint64_t last_total_ = 0;
+};
+
+}  // namespace dstage::staging

@@ -1,0 +1,50 @@
+#include "staging/types.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace dstage::staging {
+
+std::uint64_t region_hash(const Box& b) {
+  const std::array<std::int64_t, 6> coords{b.lo.x, b.lo.y, b.lo.z,
+                                           b.hi.x, b.hi.y, b.hi.z};
+  return fnv1a(std::as_bytes(std::span{coords}));
+}
+
+std::uint64_t chunk_content_key(const std::string& var, Version version,
+                                const Box& source_region) {
+  return content_key(var, version, region_hash(source_region));
+}
+
+Chunk make_chunk(const std::string& var, Version version, const Box& region,
+                 double bytes_per_point, std::uint64_t mem_scale) {
+  Chunk c;
+  c.var = var;
+  c.version = version;
+  c.region = region;
+  c.nominal_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(region.volume()) * bytes_per_point);
+  c.content_key = chunk_content_key(var, version, region);
+  const std::uint64_t physical =
+      std::max<std::uint64_t>(16, c.nominal_bytes / std::max<std::uint64_t>(
+                                                        1, mem_scale));
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(physical);
+  fill_payload(std::as_writable_bytes(std::span{*buf}), c.content_key);
+  c.data = std::move(buf);
+  return c;
+}
+
+ChunkCheck check_chunk(const Chunk& chunk, const std::string& expected_var,
+                       Version expected_version) {
+  const std::uint64_t expected_key =
+      chunk_content_key(expected_var, expected_version, chunk.region);
+  if (chunk.content_key != expected_key) return ChunkCheck::kWrongVersion;
+  if (chunk.data &&
+      !verify_payload(std::as_bytes(std::span{*chunk.data}),
+                      chunk.content_key)) {
+    return ChunkCheck::kCorrupt;
+  }
+  return ChunkCheck::kOk;
+}
+
+}  // namespace dstage::staging

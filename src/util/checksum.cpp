@@ -1,0 +1,69 @@
+#include "util/checksum.hpp"
+
+namespace dstage {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t content_key(std::string_view variable, std::uint32_t version,
+                          std::uint64_t region_hash) {
+  std::uint64_t h = fnv1a_str(variable);
+  h ^= (static_cast<std::uint64_t>(version) + 0x9e3779b97f4a7c15ULL) *
+       0xff51afd7ed558ccdULL;
+  h ^= region_hash * 0xc4ceb9fe1a85ec53ULL;
+  return h;
+}
+
+void fill_payload(std::span<std::byte> out, std::uint64_t key) {
+  std::uint64_t s = key;
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t w = splitmix64(s);
+    for (int b = 0; b < 8; ++b)
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>((w >> (8 * b)) & 0xff);
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t w = splitmix64(s);
+    for (int b = 0; i < out.size(); ++i, ++b)
+      out[i] = static_cast<std::byte>((w >> (8 * b)) & 0xff);
+  }
+}
+
+std::vector<std::byte> make_payload(std::size_t n, std::uint64_t key) {
+  std::vector<std::byte> v(n);
+  fill_payload(v, key);
+  return v;
+}
+
+bool verify_payload(std::span<const std::byte> data, std::uint64_t key) {
+  std::uint64_t s = key;
+  std::size_t i = 0;
+  while (i + 8 <= data.size()) {
+    const std::uint64_t w = splitmix64(s);
+    for (int b = 0; b < 8; ++b) {
+      if (data[i + static_cast<std::size_t>(b)] !=
+          static_cast<std::byte>((w >> (8 * b)) & 0xff))
+        return false;
+    }
+    i += 8;
+  }
+  if (i < data.size()) {
+    const std::uint64_t w = splitmix64(s);
+    for (int b = 0; i < data.size(); ++i, ++b) {
+      if (data[i] != static_cast<std::byte>((w >> (8 * b)) & 0xff))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dstage

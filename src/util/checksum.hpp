@@ -1,0 +1,49 @@
+// Payload synthesis and verification. Every staged object carries real bytes
+// whose content is a deterministic function of (variable, version, region),
+// so any consumer can detect the Fig.-2 anomalies (reading the wrong version
+// after a restart) by checksum mismatch rather than by trusting the protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dstage {
+
+/// FNV-1a 64-bit.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> data,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a_str(std::string_view s,
+                                  std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a tag tuple into a single content key.
+std::uint64_t content_key(std::string_view variable, std::uint32_t version,
+                          std::uint64_t region_hash);
+
+/// Fills `out` with bytes derived from `key` (SplitMix64 stream).
+void fill_payload(std::span<std::byte> out, std::uint64_t key);
+
+/// Creates a payload of `n` bytes for `key`.
+std::vector<std::byte> make_payload(std::size_t n, std::uint64_t key);
+
+/// True when `data` matches fill_payload(key) byte-for-byte.
+bool verify_payload(std::span<const std::byte> data, std::uint64_t key);
+
+}  // namespace dstage

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the CLI driver and bench binaries:
+// --name=value / --name value / --bool-switch. No external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dstage {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  /// Flags that were provided but never queried (typo detection).
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dstage

@@ -1,0 +1,217 @@
+#include "util/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace dstage {
+
+Box Box::from_dims(std::int64_t dx, std::int64_t dy, std::int64_t dz) {
+  if (dx <= 0 || dy <= 0 || dz <= 0) return Box{};
+  return Box{{0, 0, 0}, {dx - 1, dy - 1, dz - 1}};
+}
+
+bool Box::empty() const {
+  return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+}
+
+std::uint64_t Box::volume() const {
+  if (empty()) return 0;
+  return static_cast<std::uint64_t>(hi.x - lo.x + 1) *
+         static_cast<std::uint64_t>(hi.y - lo.y + 1) *
+         static_cast<std::uint64_t>(hi.z - lo.z + 1);
+}
+
+bool Box::contains(const Point3& p) const {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+         p.z >= lo.z && p.z <= hi.z;
+}
+
+bool Box::contains(const Box& inner) const {
+  if (inner.empty()) return true;
+  return contains(inner.lo) && contains(inner.hi);
+}
+
+bool Box::intersects(const Box& other) const {
+  return !intersection(other).empty();
+}
+
+Box Box::intersection(const Box& other) const {
+  Box r;
+  r.lo = {std::max(lo.x, other.lo.x), std::max(lo.y, other.lo.y),
+          std::max(lo.z, other.lo.z)};
+  r.hi = {std::min(hi.x, other.hi.x), std::min(hi.y, other.hi.y),
+          std::min(hi.z, other.hi.z)};
+  if (r.empty()) return Box{};
+  return r;
+}
+
+Box Box::bounding_union(const Box& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  Box r;
+  r.lo = {std::min(lo.x, other.lo.x), std::min(lo.y, other.lo.y),
+          std::min(lo.z, other.lo.z)};
+  r.hi = {std::max(hi.x, other.hi.x), std::max(hi.y, other.hi.y),
+          std::max(hi.z, other.hi.z)};
+  return r;
+}
+
+std::array<std::int64_t, 3> Box::extents() const {
+  if (empty()) return {0, 0, 0};
+  return {hi.x - lo.x + 1, hi.y - lo.y + 1, hi.z - lo.z + 1};
+}
+
+std::string Box::str() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "[empty]";
+  } else {
+    os << "[(" << lo.x << "," << lo.y << "," << lo.z << ")-(" << hi.x << ","
+       << hi.y << "," << hi.z << ")]";
+  }
+  return os.str();
+}
+
+BlockDecomposition::BlockDecomposition(Box domain, int px, int py, int pz)
+    : domain_(domain), px_(px), py_(py), pz_(pz) {
+  if (domain_.empty()) throw std::invalid_argument("empty domain");
+  if (px <= 0 || py <= 0 || pz <= 0)
+    throw std::invalid_argument("non-positive process grid");
+  const auto ext = domain_.extents();
+  if (ext[0] < px || ext[1] < py || ext[2] < pz)
+    throw std::invalid_argument("more blocks than points on an axis");
+}
+
+std::pair<std::int64_t, std::int64_t> BlockDecomposition::axis_range(
+    std::int64_t lo, std::int64_t extent, int parts, int idx) const {
+  const std::int64_t base = extent / parts;
+  const std::int64_t rem = extent % parts;
+  const std::int64_t start =
+      lo + idx * base + std::min<std::int64_t>(idx, rem);
+  const std::int64_t len = base + (idx < rem ? 1 : 0);
+  return {start, start + len - 1};
+}
+
+Box BlockDecomposition::block(int rank) const {
+  if (rank < 0 || rank >= block_count())
+    throw std::out_of_range("block rank out of range");
+  const int ix = rank % px_;
+  const int iy = (rank / px_) % py_;
+  const int iz = rank / (px_ * py_);
+  const auto ext = domain_.extents();
+  const auto [x0, x1] = axis_range(domain_.lo.x, ext[0], px_, ix);
+  const auto [y0, y1] = axis_range(domain_.lo.y, ext[1], py_, iy);
+  const auto [z0, z1] = axis_range(domain_.lo.z, ext[2], pz_, iz);
+  return Box{{x0, y0, z0}, {x1, y1, z1}};
+}
+
+std::vector<std::pair<int, Box>> BlockDecomposition::blocks_intersecting(
+    const Box& query) const {
+  std::vector<std::pair<int, Box>> out;
+  for (int r = 0; r < block_count(); ++r) {
+    Box overlap = block(r).intersection(query);
+    if (!overlap.empty()) out.emplace_back(r, overlap);
+  }
+  return out;
+}
+
+std::vector<Box> split_box(const Box& box, int pieces) {
+  std::vector<Box> out;
+  if (box.empty() || pieces <= 0) return out;
+  out.push_back(box);
+  while (static_cast<int>(out.size()) < pieces) {
+    // Split the piece with the largest volume along its longest axis.
+    auto it = std::max_element(
+        out.begin(), out.end(),
+        [](const Box& a, const Box& b) { return a.volume() < b.volume(); });
+    const auto ext = it->extents();
+    const int axis = static_cast<int>(std::distance(
+        ext.begin(), std::max_element(ext.begin(), ext.end())));
+    if (ext[axis] < 2) break;  // nothing further to split
+    Box a = *it;
+    Box b = *it;
+    switch (axis) {
+      case 0: {
+        const std::int64_t mid = a.lo.x + (ext[0] / 2) - 1;
+        a.hi.x = mid;
+        b.lo.x = mid + 1;
+        break;
+      }
+      case 1: {
+        const std::int64_t mid = a.lo.y + (ext[1] / 2) - 1;
+        a.hi.y = mid;
+        b.lo.y = mid + 1;
+        break;
+      }
+      default: {
+        const std::int64_t mid = a.lo.z + (ext[2] / 2) - 1;
+        a.hi.z = mid;
+        b.lo.z = mid + 1;
+        break;
+      }
+    }
+    *it = a;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Box> box_difference(const Box& a, const Box& b) {
+  std::vector<Box> out;
+  if (a.empty()) return out;
+  const Box cut = a.intersection(b);
+  if (cut.empty()) {
+    out.push_back(a);
+    return out;
+  }
+  // Peel up to six slabs around the cut, axis by axis.
+  Box rest = a;
+  auto peel = [&out](Box slab) {
+    if (!slab.empty()) out.push_back(slab);
+  };
+  // x-slabs
+  if (rest.lo.x < cut.lo.x)
+    peel(Box{{rest.lo.x, rest.lo.y, rest.lo.z},
+             {cut.lo.x - 1, rest.hi.y, rest.hi.z}});
+  if (rest.hi.x > cut.hi.x)
+    peel(Box{{cut.hi.x + 1, rest.lo.y, rest.lo.z},
+             {rest.hi.x, rest.hi.y, rest.hi.z}});
+  rest.lo.x = cut.lo.x;
+  rest.hi.x = cut.hi.x;
+  // y-slabs
+  if (rest.lo.y < cut.lo.y)
+    peel(Box{{rest.lo.x, rest.lo.y, rest.lo.z},
+             {rest.hi.x, cut.lo.y - 1, rest.hi.z}});
+  if (rest.hi.y > cut.hi.y)
+    peel(Box{{rest.lo.x, cut.hi.y + 1, rest.lo.z},
+             {rest.hi.x, rest.hi.y, rest.hi.z}});
+  rest.lo.y = cut.lo.y;
+  rest.hi.y = cut.hi.y;
+  // z-slabs
+  if (rest.lo.z < cut.lo.z)
+    peel(Box{{rest.lo.x, rest.lo.y, rest.lo.z},
+             {rest.hi.x, rest.hi.y, cut.lo.z - 1}});
+  if (rest.hi.z > cut.hi.z)
+    peel(Box{{rest.lo.x, rest.lo.y, cut.hi.z + 1},
+             {rest.hi.x, rest.hi.y, rest.hi.z}});
+  return out;
+}
+
+bool boxes_cover(const Box& region, const std::vector<Box>& cover) {
+  std::vector<Box> uncovered;
+  if (!region.empty()) uncovered.push_back(region);
+  for (const Box& c : cover) {
+    if (uncovered.empty()) return true;
+    std::vector<Box> next;
+    for (const Box& u : uncovered) {
+      auto pieces = box_difference(u, c);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    uncovered = std::move(next);
+  }
+  return uncovered.empty();
+}
+
+}  // namespace dstage

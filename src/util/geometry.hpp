@@ -1,0 +1,85 @@
+// 3-d integer geometry for staging: points, axis-aligned bounding boxes and
+// regular block decompositions of a global domain. Boxes use inclusive bounds
+// on both ends, matching DataSpaces' geometric descriptors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dstage {
+
+/// A point in the 3-d index space of the global domain.
+struct Point3 {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+
+  friend bool operator==(const Point3&, const Point3&) = default;
+};
+
+/// Axis-aligned box with inclusive lower and upper corners.
+///
+/// The default-constructed box is *empty* (lo > hi on every axis); empty
+/// boxes have zero volume and intersect nothing.
+struct Box {
+  Point3 lo{0, 0, 0};
+  Point3 hi{-1, -1, -1};
+
+  /// Box spanning [0, dims) — the usual whole-domain constructor.
+  static Box from_dims(std::int64_t dx, std::int64_t dy, std::int64_t dz);
+
+  [[nodiscard]] bool empty() const;
+  /// Number of grid points covered; 0 for an empty box.
+  [[nodiscard]] std::uint64_t volume() const;
+  [[nodiscard]] bool contains(const Point3& p) const;
+  /// True when `inner` lies entirely within this box (empty inner: true).
+  [[nodiscard]] bool contains(const Box& inner) const;
+  [[nodiscard]] bool intersects(const Box& other) const;
+  /// Intersection; empty box when disjoint.
+  [[nodiscard]] Box intersection(const Box& other) const;
+  /// Smallest box covering both operands (empty operands are ignored).
+  [[nodiscard]] Box bounding_union(const Box& other) const;
+  [[nodiscard]] std::array<std::int64_t, 3> extents() const;
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// Splits `domain` into a px × py × pz grid of near-equal blocks, one per
+/// rank, mirroring the regular decomposition used by S3D-style producers.
+/// Remainder points are distributed to the leading blocks on each axis.
+class BlockDecomposition {
+ public:
+  BlockDecomposition(Box domain, int px, int py, int pz);
+
+  [[nodiscard]] int block_count() const { return px_ * py_ * pz_; }
+  /// Box owned by linearized block id `rank` (x-fastest ordering).
+  [[nodiscard]] Box block(int rank) const;
+  /// All blocks intersecting `query`, as (rank, overlap) pairs.
+  [[nodiscard]] std::vector<std::pair<int, Box>> blocks_intersecting(
+      const Box& query) const;
+  [[nodiscard]] const Box& domain() const { return domain_; }
+
+ private:
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> axis_range(
+      std::int64_t lo, std::int64_t extent, int parts, int idx) const;
+
+  Box domain_;
+  int px_, py_, pz_;
+};
+
+/// Splits a box into at most `max_pieces` near-equal sub-boxes along the
+/// longest axis first. Used to shard puts across staging servers.
+std::vector<Box> split_box(const Box& box, int pieces);
+
+/// Set difference `a \ b` as up to 6 disjoint boxes (empty when b covers a).
+std::vector<Box> box_difference(const Box& a, const Box& b);
+
+/// True when the union of `cover` contains every point of `region`.
+/// Exact even when cover boxes overlap each other.
+bool boxes_cover(const Box& region, const std::vector<Box>& cover);
+
+}  // namespace dstage

@@ -1,0 +1,106 @@
+#include "util/hilbert.hpp"
+
+#include <stdexcept>
+
+namespace dstage {
+
+namespace {
+
+// Skilling's transform: converts between Hilbert "transposed" form and
+// ordinary coordinates, in place. X holds one word per axis with `bits`
+// significant bits each.
+void axes_to_transpose(std::array<std::uint32_t, 3>& x, int bits) {
+  constexpr int n = 3;
+  std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  // Inverse undo of the Gray-code-like mixing.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i)
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+void transpose_to_axes(std::array<std::uint32_t, 3>& x, int bits) {
+  constexpr int n = 3;
+  const std::uint32_t m = std::uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i)
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t w = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= w;
+        x[static_cast<std::size_t>(i)] ^= w;
+      }
+    }
+  }
+}
+
+// Interleave the transposed representation into a single 64-bit index, most
+// significant bit of axis 0 first.
+std::uint64_t interleave(const std::array<std::uint32_t, 3>& x, int bits) {
+  std::uint64_t out = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      out = (out << 1) |
+            ((x[static_cast<std::size_t>(i)] >> b) & std::uint32_t{1});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(int order) : order_(order) {
+  if (order < 1 || order > 20)
+    throw std::invalid_argument("hilbert order must be in [1,20]");
+}
+
+std::uint64_t HilbertCurve::index_of(std::uint32_t x, std::uint32_t y,
+                                     std::uint32_t z) const {
+  const std::uint32_t limit = std::uint32_t{1} << order_;
+  if (x >= limit || y >= limit || z >= limit)
+    throw std::out_of_range("hilbert coordinate out of range");
+  std::array<std::uint32_t, 3> v{x, y, z};
+  axes_to_transpose(v, order_);
+  return interleave(v, order_);
+}
+
+std::array<std::uint32_t, 3> HilbertCurve::point_of(std::uint64_t index) const {
+  if (index >= length()) throw std::out_of_range("hilbert index out of range");
+  // Recover transposed form: bit b of the index group goes to axis i.
+  std::array<std::uint32_t, 3> v{0, 0, 0};
+  for (int b = order_ - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      const int shift = 3 * b + (2 - i);
+      v[static_cast<std::size_t>(i)] |=
+          static_cast<std::uint32_t>((index >> shift) & 1u) << b;
+    }
+  }
+  transpose_to_axes(v, order_);
+  return v;
+}
+
+}  // namespace dstage

@@ -1,0 +1,37 @@
+// 3-d Hilbert space-filling curve used to partition the global domain across
+// staging servers while preserving spatial locality (DataSpaces' DHT keys
+// metadata by SFC index so neighbouring regions land on neighbouring
+// servers). Implementation follows John Skilling, "Programming the Hilbert
+// curve", AIP Conf. Proc. 707 (2004).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dstage {
+
+/// Hilbert curve over a 2^order × 2^order × 2^order grid.
+class HilbertCurve {
+ public:
+  /// @param order bits per axis, 1..20 (total index fits in 64 bits for
+  ///              order ≤ 21; we cap at 20 to keep headroom).
+  explicit HilbertCurve(int order);
+
+  [[nodiscard]] int order() const { return order_; }
+  /// Points on the curve: 2^(3*order).
+  [[nodiscard]] std::uint64_t length() const {
+    return std::uint64_t{1} << (3 * order_);
+  }
+
+  /// Map grid coordinates (each < 2^order) to the curve index.
+  [[nodiscard]] std::uint64_t index_of(std::uint32_t x, std::uint32_t y,
+                                       std::uint32_t z) const;
+  /// Inverse of index_of.
+  [[nodiscard]] std::array<std::uint32_t, 3> point_of(
+      std::uint64_t index) const;
+
+ private:
+  int order_;
+};
+
+}  // namespace dstage

@@ -1,0 +1,102 @@
+// Deterministic random number generation for failure injection and workload
+// synthesis. All experiment randomness flows through Rng so a (seed, scheme)
+// pair fully determines a run — a requirement for the replay-equivalence
+// property tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dstage {
+
+/// xoshiro256** seeded via SplitMix64. Header-only, no global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (requires lo <= hi).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % span;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return lo + v % span;
+  }
+
+  int uniform_int(int lo, int hi) {
+    return static_cast<int>(
+        uniform_u64(0, static_cast<std::uint64_t>(hi - lo))) + lo;
+  }
+
+  /// Exponential with the given mean (MTBF draws).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Pick an index in [0, n) with probability proportional to weights[i].
+  template <class Weights>
+  int weighted_pick(const Weights& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = next_double() * total;
+    int i = 0;
+    const int n = static_cast<int>(weights.size());
+    for (; i < n - 1; ++i) {
+      r -= weights[static_cast<std::size_t>(i)];
+      if (r < 0) break;
+    }
+    return i;
+  }
+
+  /// Deterministically derive an independent stream (e.g. per component).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    return Rng(state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^ state_[3]);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& s) {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dstage

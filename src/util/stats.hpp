@@ -1,0 +1,67 @@
+// Lightweight statistics accumulators for run metrics (write response times,
+// memory watermarks, per-timestep timelines).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dstage {
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains samples for percentile queries. Used where the tail matters
+/// (e.g. per-put response under contention).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// High-water-mark tracker for byte counts.
+class Watermark {
+ public:
+  void add(std::int64_t delta);
+  [[nodiscard]] std::int64_t current() const { return current_; }
+  [[nodiscard]] std::int64_t peak() const { return peak_; }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// Human-readable byte size ("1.25 GiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace dstage

@@ -1,0 +1,23 @@
+#include "wlog/data_log.hpp"
+
+namespace dstage::wlog {
+
+std::vector<staging::Version> DataLog::versions_of(
+    const std::string& var) const {
+  return store_.versions_of(var);
+}
+
+std::vector<std::string> DataLog::variables() const {
+  return store_.variables();
+}
+
+std::size_t DataLog::drop_upto(const std::string& var,
+                               staging::Version watermark) {
+  std::size_t dropped = 0;
+  for (staging::Version v : store_.versions_of(var)) {
+    if (v <= watermark && store_.drop_version(var, v)) ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace dstage::wlog

@@ -1,0 +1,60 @@
+// Payload retention for replay (the Data Logging Component's storage half).
+// While the base ObjectStore keeps only the current coupling window, the
+// data log retains every logged version that a rolled-back consumer might
+// re-read, until the garbage collector proves it unreachable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "staging/object_store.hpp"
+#include "staging/types.hpp"
+
+namespace dstage::wlog {
+
+class DataLog {
+ public:
+  DataLog() : store_(1 << 30) {}  // effectively unbounded window
+
+  /// Retain a logged payload (bytes shared with the base store's buffer).
+  void add(staging::Chunk chunk) { store_.put(std::move(chunk)); }
+
+  [[nodiscard]] std::vector<staging::Chunk> get(const std::string& var,
+                                                staging::Version version,
+                                                const Box& region) const {
+    return store_.get(var, version, region);
+  }
+  [[nodiscard]] bool covers(const std::string& var, staging::Version version,
+                            const Box& region) const {
+    return store_.covers(var, version, region);
+  }
+
+  /// Retained versions of `var`, ascending.
+  [[nodiscard]] std::vector<staging::Version> versions_of(
+      const std::string& var) const;
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Drop all retained versions of `var` up to and including `watermark`.
+  /// Returns the number of versions dropped.
+  std::size_t drop_upto(const std::string& var, staging::Version watermark);
+  /// Drop versions newer than `version` (staging rollback support).
+  std::size_t drop_above(staging::Version version) {
+    return store_.drop_versions_above(version);
+  }
+
+  [[nodiscard]] std::uint64_t nominal_bytes() const {
+    return store_.nominal_bytes();
+  }
+  [[nodiscard]] std::uint64_t physical_bytes() const {
+    return store_.physical_bytes();
+  }
+  [[nodiscard]] std::size_t entry_count() const {
+    return store_.object_count();
+  }
+
+ private:
+  staging::ObjectStore store_;
+};
+
+}  // namespace dstage::wlog

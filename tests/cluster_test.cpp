@@ -1,0 +1,231 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "cluster/pfs.hpp"
+#include "sim/spawn.hpp"
+
+namespace dstage::cluster {
+namespace {
+
+struct Rig {
+  sim::Engine eng;
+  net::Fabric fabric{eng, {}};
+  Cluster cluster{eng, fabric};
+};
+
+TEST(ClusterTest, AddVprocAssignsEndpointAndToken) {
+  Rig rig;
+  auto n = rig.cluster.add_node();
+  auto vp = rig.cluster.add_vproc("worker", n);
+  const Vproc& v = rig.cluster.vproc(vp);
+  EXPECT_EQ(v.name, "worker");
+  EXPECT_TRUE(v.alive);
+  EXPECT_EQ(v.incarnation, 0u);
+  EXPECT_GE(v.endpoint, 0);
+  EXPECT_NE(v.token, nullptr);
+  EXPECT_THROW(rig.cluster.vproc(99), std::out_of_range);
+}
+
+TEST(ClusterTest, KillCancelsAndNotifiesAfterDetectionDelay) {
+  Rig rig;
+  rig.cluster.set_detection_delay(sim::milliseconds(500));
+  auto vp = rig.cluster.add_vproc("w", rig.cluster.add_node());
+  sim::TimePoint detected{.ns = -1};
+  bool unwound = false;
+  rig.cluster.on_failure([&](VprocId id) {
+    EXPECT_EQ(id, vp);
+    detected = rig.eng.now();
+  });
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    auto ctx = rig.cluster.ctx_for(vp);
+    try {
+      co_await ctx.delay(sim::seconds(100));
+    } catch (const sim::Cancelled&) {
+      unwound = true;
+    }
+  });
+  rig.eng.schedule_call(sim::seconds(2), [&] { rig.cluster.kill(vp); });
+  rig.eng.run();
+  EXPECT_TRUE(unwound);
+  EXPECT_FALSE(rig.cluster.vproc(vp).alive);
+  EXPECT_EQ(detected.ns, (sim::seconds(2) + sim::milliseconds(500)).ns);
+  EXPECT_EQ(rig.cluster.kill_count(), 1);
+}
+
+TEST(ClusterTest, KillIsIdempotent) {
+  Rig rig;
+  auto vp = rig.cluster.add_vproc("w", rig.cluster.add_node());
+  int notifications = 0;
+  rig.cluster.on_failure([&](VprocId) { ++notifications; });
+  rig.cluster.kill(vp);
+  rig.cluster.kill(vp);
+  rig.eng.run();
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(rig.cluster.kill_count(), 1);
+}
+
+TEST(ClusterTest, ReviveBumpsIncarnationAndReArmsToken) {
+  Rig rig;
+  auto vp = rig.cluster.add_vproc("w", rig.cluster.add_node());
+  rig.cluster.kill(vp);
+  rig.eng.run();
+  rig.cluster.revive(vp);
+  const Vproc& v = rig.cluster.vproc(vp);
+  EXPECT_TRUE(v.alive);
+  EXPECT_EQ(v.incarnation, 1u);
+  EXPECT_FALSE(v.token->cancelled());
+  // The revived process runs normally.
+  bool ran = false;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    auto ctx = rig.cluster.ctx_for(vp);
+    co_await ctx.delay(sim::seconds(1));
+    ran = true;
+  });
+  rig.eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ClusterTest, ReviveLiveProcessThrows) {
+  Rig rig;
+  auto vp = rig.cluster.add_vproc("w", rig.cluster.add_node());
+  EXPECT_THROW(rig.cluster.revive(vp), std::logic_error);
+}
+
+TEST(SparePoolTest, AcquireAndExhaust) {
+  SparePool pool(2);
+  EXPECT_TRUE(pool.acquire());
+  EXPECT_TRUE(pool.acquire());
+  EXPECT_FALSE(pool.acquire());
+  EXPECT_EQ(pool.remaining(), 0);
+  pool.refund();
+  EXPECT_TRUE(pool.acquire());
+}
+
+TEST(FailureInjectorTest, UniformPlanWithinWindowSorted) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(42));
+  inj.add_group({"sim", 256});
+  inj.add_group({"analytic", 64});
+  auto plan = inj.plan_uniform(10, sim::TimePoint{} + sim::seconds(10),
+                               sim::TimePoint{} + sim::seconds(50));
+  ASSERT_EQ(plan.size(), 10u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i].at.seconds(), 10.0);
+    EXPECT_LT(plan[i].at.seconds(), 50.0);
+    if (i > 0) EXPECT_GE(plan[i].at.ns, plan[i - 1].at.ns);
+    EXPECT_GE(plan[i].group, 0);
+    EXPECT_LE(plan[i].group, 1);
+  }
+}
+
+TEST(FailureInjectorTest, WeightingFavorsLargerGroups) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(7));
+  inj.add_group({"big", 900});
+  inj.add_group({"small", 100});
+  auto plan = inj.plan_uniform(2000, sim::TimePoint{},
+                               sim::TimePoint{} + sim::seconds(1));
+  int big = 0;
+  for (const auto& f : plan) big += (f.group == 0);
+  EXPECT_NEAR(static_cast<double>(big) / 2000.0, 0.9, 0.03);
+}
+
+TEST(FailureInjectorTest, MtbfPlanApproximatesRate) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(11));
+  inj.add_group({"g", 1});
+  // 10,000 s window, MTBF 100 s → ~100 failures.
+  auto plan = inj.plan_mtbf(sim::seconds(100), sim::TimePoint{},
+                            sim::TimePoint{} + sim::seconds(10000));
+  EXPECT_GT(plan.size(), 70u);
+  EXPECT_LT(plan.size(), 140u);
+}
+
+TEST(FailureInjectorTest, ArmSchedulesKills) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(3));
+  inj.add_group({"g", 1});
+  std::vector<PlannedFailure> plan{
+      {sim::TimePoint{} + sim::seconds(1), 0},
+      {sim::TimePoint{} + sim::seconds(3), 0},
+  };
+  std::vector<double> kill_times;
+  inj.arm(plan, [&](int group) {
+    EXPECT_EQ(group, 0);
+    kill_times.push_back(rig.eng.now().seconds());
+  });
+  rig.eng.run();
+  ASSERT_EQ(kill_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(kill_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(kill_times[1], 3.0);
+}
+
+TEST(FailureInjectorTest, InvalidArguments) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(1));
+  EXPECT_THROW(inj.plan_uniform(1, sim::TimePoint{} + sim::seconds(5),
+                                sim::TimePoint{} + sim::seconds(5)),
+               std::invalid_argument);
+  inj.add_group({"g", 1});
+  EXPECT_THROW(inj.plan_mtbf(sim::Duration{0}, sim::TimePoint{},
+                             sim::TimePoint{} + sim::seconds(1)),
+               std::invalid_argument);
+}
+
+TEST(PfsTest, WriteTimeMatchesBandwidth) {
+  Rig rig;
+  Pfs pfs(rig.eng, Pfs::Params{.write_bw = 60e9,
+                               .read_bw = 80e9,
+                               .open_latency = sim::milliseconds(5)});
+  sim::TimePoint done{};
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await pfs.write(ctx, 60'000'000'000ull);  // 60 GB at 60 GB/s = 1 s
+    done = rig.eng.now();
+  });
+  rig.eng.run();
+  EXPECT_EQ(done.ns, (sim::seconds(1) + sim::milliseconds(5)).ns);
+  EXPECT_EQ(pfs.bytes_written(), 60'000'000'000ull);
+}
+
+TEST(PfsTest, ConcurrentWritersSerialize) {
+  // Aggregate-bandwidth model: N concurrent checkpointers take N times as
+  // long as one — the coordinated-checkpoint contention effect.
+  Rig rig;
+  Pfs pfs(rig.eng, Pfs::Params{.write_bw = 10e9,
+                               .read_bw = 10e9,
+                               .open_latency = sim::Duration{0}});
+  std::vector<double> finish;
+  auto writer = [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await pfs.write(ctx, 10'000'000'000ull);  // 1 s each
+    finish.push_back(rig.eng.now().seconds());
+  };
+  for (int i = 0; i < 4; ++i) sim::spawn(rig.eng, writer());
+  rig.eng.run();
+  ASSERT_EQ(finish.size(), 4u);
+  EXPECT_NEAR(finish.back(), 4.0, 1e-9);
+}
+
+TEST(PfsTest, ReadsUseReadBandwidth) {
+  Rig rig;
+  Pfs pfs(rig.eng, Pfs::Params{.write_bw = 10e9,
+                               .read_bw = 20e9,
+                               .open_latency = sim::Duration{0}});
+  sim::TimePoint done{};
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await pfs.read(ctx, 20'000'000'000ull);  // 1 s at 20 GB/s
+    done = rig.eng.now();
+  });
+  rig.eng.run();
+  EXPECT_EQ(done.ns, sim::seconds(1).ns);
+  EXPECT_EQ(pfs.bytes_read(), 20'000'000'000ull);
+}
+
+}  // namespace
+}  // namespace dstage::cluster

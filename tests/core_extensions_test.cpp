@@ -1,0 +1,141 @@
+// Tests for the paper's future-work extensions: multi-level (node-local +
+// PFS) checkpointing and proactive, prediction-triggered checkpoints.
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+
+namespace dstage::core {
+namespace {
+
+WorkflowSpec base_spec(int failures, std::uint64_t seed) {
+  WorkflowSpec spec = table2_setup(Scheme::kUncoordinated);
+  spec.total_ts = 12;
+  spec.failures.count = failures;
+  spec.failures.seed = seed;
+  spec.failures.node_failure_fraction = 0;  // process failures by default
+  return spec;
+}
+
+RunMetrics run(WorkflowSpec spec) {
+  WorkflowRunner runner(std::move(spec));
+  return runner.run();
+}
+
+TEST(MultilevelCkptTest, LocalLevelCheckpointsAtItsOwnPeriod) {
+  WorkflowSpec spec = base_spec(0, 1);
+  spec.components[0].local_ckpt_period = 2;  // sim: local@2, PFS@4
+  auto m = run(std::move(spec));
+  // 12 ts: PFS at 4, 8, 12 (3); local at 2, 6, 10 (the other multiples of 2).
+  EXPECT_EQ(m.component("simulation").checkpoints, 3);
+  EXPECT_EQ(m.component("simulation").local_checkpoints, 3);
+  EXPECT_EQ(m.component("analytic").local_checkpoints, 0);
+}
+
+TEST(MultilevelCkptTest, ProcessFailureRestartsFromLocalLevel) {
+  // With a local checkpoint every timestep, a process failure loses at most
+  // the interrupted timestep.
+  for (std::uint64_t seed : {2, 3, 6, 7}) {
+    WorkflowSpec spec = base_spec(1, seed);
+    for (auto& c : spec.components) c.local_ckpt_period = 1;
+    auto m = run(std::move(spec));
+    EXPECT_EQ(m.total_anomalies(), 0) << "seed " << seed;
+    for (const auto& c : m.components) {
+      EXPECT_LE(c.timesteps_reworked, 1)
+          << c.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(MultilevelCkptTest, NodeFailureFallsBackToPfsLevel) {
+  // Node failures lose the local level: rework returns to the PFS period.
+  WorkflowSpec spec = base_spec(1, 6);  // seed 6 hits the simulation
+  spec.failures.node_failure_fraction = 1.0;
+  for (auto& c : spec.components) c.local_ckpt_period = 1;
+  auto m = run(std::move(spec));
+  EXPECT_EQ(m.total_anomalies(), 0);
+  EXPECT_GT(m.component("simulation").timesteps_reworked, 1);
+  EXPECT_GT(m.pfs_bytes_read, 0u);  // restart came from the PFS
+}
+
+TEST(MultilevelCkptTest, LocalRestartsAvoidPfsReads) {
+  WorkflowSpec spec = base_spec(1, 6);
+  for (auto& c : spec.components) c.local_ckpt_period = 1;
+  auto m = run(std::move(spec));
+  EXPECT_EQ(m.pfs_bytes_read, 0u);  // restored from node-local storage
+  EXPECT_EQ(m.total_anomalies(), 0);
+}
+
+TEST(MultilevelCkptTest, FasterRecoveryThanPfsOnly) {
+  WorkflowSpec plain = base_spec(1, 6);
+  WorkflowSpec multilevel = base_spec(1, 6);
+  for (auto& c : multilevel.components) c.local_ckpt_period = 1;
+  const double t_plain = run(std::move(plain)).total_time_s;
+  const double t_multi = run(std::move(multilevel)).total_time_s;
+  EXPECT_LT(t_multi, t_plain);
+}
+
+TEST(ProactiveCkptTest, PredictedFailuresShrinkRework) {
+  WorkflowSpec spec = base_spec(1, 6);  // sim fails mid-run
+  spec.failures.predictor_recall = 1.0;
+  auto m = run(std::move(spec));
+  EXPECT_EQ(m.total_anomalies(), 0);
+  EXPECT_GE(m.component("simulation").proactive_checkpoints, 1);
+  // The emergency checkpoint right before death means only the interrupted
+  // timestep is redone.
+  EXPECT_LE(m.component("simulation").timesteps_reworked, 1);
+}
+
+TEST(ProactiveCkptTest, UnpredictedBaselineReworksMore) {
+  WorkflowSpec predicted = base_spec(1, 6);
+  predicted.failures.predictor_recall = 1.0;
+  WorkflowSpec blind = base_spec(1, 6);
+  auto mp = run(std::move(predicted));
+  auto mb = run(std::move(blind));
+  EXPECT_LT(mp.component("simulation").timesteps_reworked,
+            mb.component("simulation").timesteps_reworked);
+  EXPECT_LT(mp.total_time_s, mb.total_time_s);
+}
+
+TEST(ProactiveCkptTest, FalseAlarmsCostTimeNotCorrectness) {
+  WorkflowSpec noisy = base_spec(0, 5);
+  noisy.failures.predictor_false_alarms = 4;
+  WorkflowSpec quiet = base_spec(0, 5);
+  auto mn = run(std::move(noisy));
+  auto mq = run(std::move(quiet));
+  EXPECT_EQ(mn.total_anomalies(), 0);
+  int alarms = 0;
+  for (const auto& c : mn.components) alarms += c.proactive_checkpoints;
+  EXPECT_GT(alarms, 0);
+  EXPECT_GE(mn.total_time_s, mq.total_time_s);
+  EXPECT_EQ(mn.failures_injected, 0);  // alarms kill nothing
+}
+
+TEST(ProactiveCkptTest, ReplayStillConsistentAfterEmergencyCheckpoint) {
+  // The emergency checkpoint inserts a W_Chk_ID mid-cycle; the replay
+  // anchored on it must stay byte-exact across a seed sweep.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkflowSpec spec = base_spec(1, seed);
+    spec.failures.predictor_recall = 1.0;
+    auto m = run(std::move(spec));
+    EXPECT_EQ(m.total_anomalies(), 0) << "seed " << seed;
+    EXPECT_EQ(m.staging.replay_mismatches, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ExtensionTest, DeterministicWithExtensionsEnabled) {
+  auto make = [] {
+    WorkflowSpec spec = base_spec(2, 9);
+    spec.failures.predictor_recall = 0.5;
+    spec.failures.node_failure_fraction = 0.5;
+    for (auto& c : spec.components) c.local_ckpt_period = 2;
+    return spec;
+  };
+  auto a = run(make());
+  auto b = run(make());
+  EXPECT_DOUBLE_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+}  // namespace
+}  // namespace dstage::core

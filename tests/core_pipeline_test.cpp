@@ -1,0 +1,133 @@
+// Three-stage pipeline workflows (simulation → filter → analysis): the
+// middle component both consumes and produces coupled data, so failures
+// propagate through two coupling hops. Exercises transitive stalls,
+// replay of a read-write component, and end-to-end consistency.
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+
+namespace dstage::core {
+namespace {
+
+WorkflowSpec pipeline_spec(Scheme scheme, int failures, std::uint64_t seed) {
+  WorkflowSpec spec;
+  spec.domain = Box::from_dims(128, 128, 128);
+  spec.total_ts = 10;
+  spec.staging_servers = 4;
+  spec.scheme = scheme;
+  spec.failures.count = failures;
+  spec.failures.seed = seed;
+  spec.failures.node_failure_fraction = 0;
+
+  ComponentSpec sim;
+  sim.name = "sim";
+  sim.cores = 128;
+  sim.compute_per_ts_s = 4.0;
+  sim.ckpt_period = 3;
+  sim.writes.push_back(CouplingWrite{"raw", 1.0});
+  spec.components.push_back(sim);
+
+  ComponentSpec filter;  // reads raw, writes features — the chain's middle
+  filter.name = "filter";
+  filter.cores = 64;
+  filter.compute_per_ts_s = 2.0;
+  filter.ckpt_period = 4;
+  filter.reads.push_back(CouplingRead{"raw", 1.0, 1});
+  filter.writes.push_back(CouplingWrite{"features", 1.0});
+  spec.components.push_back(filter);
+
+  ComponentSpec analysis;
+  analysis.name = "analysis";
+  analysis.cores = 32;
+  analysis.compute_per_ts_s = 1.0;
+  analysis.ckpt_period = 5;
+  analysis.reads.push_back(CouplingRead{"features", 1.0, 1});
+  spec.components.push_back(analysis);
+
+  return spec;
+}
+
+TEST(PipelineTest, FailureFreeChainCompletesInOrder) {
+  WorkflowRunner runner(pipeline_spec(Scheme::kUncoordinated, 0, 1));
+  auto m = runner.run();
+  EXPECT_EQ(m.total_anomalies(), 0);
+  for (const auto& c : m.components) EXPECT_EQ(c.timesteps_done, 10);
+  // The chain is paced by the producer: downstream stages finish later.
+  EXPECT_LE(m.component("sim").completion_time_s,
+            m.component("filter").completion_time_s);
+  EXPECT_LE(m.component("filter").completion_time_s,
+            m.component("analysis").completion_time_s);
+  // Each coupled variable moved 10 versions of the full domain.
+  EXPECT_EQ(m.component("filter").put_bytes,
+            10ull * 128 * 128 * 128 * 8);
+}
+
+TEST(PipelineTest, MiddleStageFailureReplaysReadsAndWrites) {
+  // Find a seed that fails the filter; its replay must resolve reads from
+  // the log AND suppress its re-issued writes.
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !exercised; ++seed) {
+    WorkflowRunner runner(pipeline_spec(Scheme::kUncoordinated, 1, seed));
+    auto m = runner.run();
+    EXPECT_EQ(m.total_anomalies(), 0) << "seed " << seed;
+    EXPECT_EQ(m.staging.replay_mismatches, 0u) << "seed " << seed;
+    if (m.component("filter").failures == 1 &&
+        m.component("filter").timesteps_reworked > 0) {
+      exercised = true;
+      EXPECT_GT(m.staging.puts_suppressed + m.staging.gets_from_log, 0u)
+          << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(exercised) << "no seed produced a filter failure with rework";
+}
+
+TEST(PipelineTest, HeadFailureStallsTheWholeChainButStaysConsistent) {
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !exercised; ++seed) {
+    WorkflowRunner ok(pipeline_spec(Scheme::kUncoordinated, 0, seed));
+    auto base = ok.run();
+    WorkflowRunner failed(pipeline_spec(Scheme::kUncoordinated, 1, seed));
+    auto m = failed.run();
+    EXPECT_EQ(m.total_anomalies(), 0) << "seed " << seed;
+    if (m.component("sim").failures == 1 &&
+        m.component("sim").timesteps_reworked > 0) {
+      exercised = true;
+      // Downstream completion slips with the producer.
+      EXPECT_GT(m.component("analysis").completion_time_s,
+                base.component("analysis").completion_time_s);
+    }
+  }
+  EXPECT_TRUE(exercised);
+}
+
+TEST(PipelineTest, SweepAllSchemesStayConsistent) {
+  for (Scheme scheme : {Scheme::kCoordinated, Scheme::kUncoordinated,
+                        Scheme::kHybrid}) {
+    for (std::uint64_t seed : {3, 9, 14}) {
+      WorkflowRunner runner(pipeline_spec(scheme, 2, seed));
+      auto m = runner.run();
+      EXPECT_EQ(m.total_anomalies(), 0)
+          << scheme_name(scheme) << " seed " << seed;
+      for (const auto& c : m.components) {
+        EXPECT_EQ(c.timesteps_done - c.timesteps_reworked, 10)
+            << scheme_name(scheme) << " seed " << seed << " " << c.name;
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, TemporalSubsamplingAcrossTheChain) {
+  // The analysis reads features only every 2nd timestep; versions it skips
+  // must not deadlock GC or retention.
+  WorkflowSpec spec = pipeline_spec(Scheme::kUncoordinated, 0, 1);
+  spec.components[2].reads[0].every = 2;
+  WorkflowRunner runner(std::move(spec));
+  auto m = runner.run();
+  EXPECT_EQ(m.total_anomalies(), 0);
+  EXPECT_EQ(m.component("analysis").timesteps_done, 10);
+  // Half as many reads as the every-timestep consumer would issue.
+  EXPECT_EQ(m.component("analysis").get_response_s.count(), 5u);
+}
+
+}  // namespace
+}  // namespace dstage::core

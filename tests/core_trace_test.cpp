@@ -1,0 +1,113 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+
+namespace dstage::core {
+namespace {
+
+TEST(TraceTest, RecordAndQuery) {
+  Trace t;
+  t.record(sim::TimePoint{} + sim::seconds(1), TraceKind::kTimestepStart,
+           "sim", 1);
+  t.record(sim::TimePoint{} + sim::seconds(2), TraceKind::kWriteDone, "sim",
+           1, 4096);
+  t.record(sim::TimePoint{} + sim::seconds(3), TraceKind::kTimestepStart,
+           "analytic", 1);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.of_kind(TraceKind::kTimestepStart).size(), 2u);
+  EXPECT_EQ(t.of_component("sim").size(), 2u);
+  EXPECT_EQ(t.of_kind(TraceKind::kWriteDone)[0].value, 4096);
+}
+
+TEST(TraceTest, DigestDistinguishesContentAndOrder) {
+  Trace a, b, c;
+  a.record({}, TraceKind::kFailure, "x", 3);
+  a.record({}, TraceKind::kRecoveryDone, "x", 2);
+  b.record({}, TraceKind::kRecoveryDone, "x", 2);
+  b.record({}, TraceKind::kFailure, "x", 3);
+  c.record({}, TraceKind::kFailure, "x", 3);
+  c.record({}, TraceKind::kRecoveryDone, "x", 2);
+  EXPECT_NE(a.digest(), b.digest());  // order matters
+  EXPECT_EQ(a.digest(), c.digest());  // identical content matches
+}
+
+TEST(TraceTest, CsvRoundTripShape) {
+  Trace t;
+  t.record(sim::TimePoint{} + sim::milliseconds(1500),
+           TraceKind::kCheckpoint, "sim", 4);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_s,kind,component,timestep,value\n"
+            "1.5,checkpoint,sim,4,0\n");
+}
+
+TEST(TraceTest, KindNamesAreUnique) {
+  std::set<std::string> names;
+  for (int k = 0; k <= static_cast<int>(TraceKind::kReplayDone); ++k) {
+    names.insert(trace_kind_name(static_cast<TraceKind>(k)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(TraceKind::kReplayDone) + 1);
+}
+
+WorkflowSpec spec_for_trace(int failures, std::uint64_t seed) {
+  WorkflowSpec spec = table2_setup(Scheme::kUncoordinated);
+  spec.total_ts = 10;
+  spec.failures.count = failures;
+  spec.failures.seed = seed;
+  return spec;
+}
+
+TEST(TraceIntegrationTest, FailureFreeRunTimelineIsComplete) {
+  WorkflowRunner runner(spec_for_trace(0, 1));
+  runner.run();
+  const Trace& t = runner.trace();
+  // Every component starts and finishes every timestep exactly once.
+  EXPECT_EQ(t.of_kind(TraceKind::kTimestepStart).size(), 20u);
+  EXPECT_EQ(t.of_kind(TraceKind::kTimestepDone).size(), 20u);
+  EXPECT_TRUE(t.of_kind(TraceKind::kFailure).empty());
+  // Timestamps are monotone within a component.
+  auto sim_events = t.of_component("simulation");
+  for (std::size_t i = 1; i < sim_events.size(); ++i) {
+    EXPECT_LE(sim_events[i - 1].at.ns, sim_events[i].at.ns);
+  }
+}
+
+TEST(TraceIntegrationTest, FailureRunRecordsRecoverySequence) {
+  WorkflowRunner runner(spec_for_trace(1, 6));  // simulation fails
+  runner.run();
+  const Trace& t = runner.trace();
+  auto failures = t.of_kind(TraceKind::kFailure);
+  auto rec_start = t.of_kind(TraceKind::kRecoveryStart);
+  auto rec_done = t.of_kind(TraceKind::kRecoveryDone);
+  auto replay = t.of_kind(TraceKind::kReplayDone);
+  ASSERT_EQ(failures.size(), 1u);
+  ASSERT_EQ(rec_start.size(), 1u);
+  ASSERT_EQ(rec_done.size(), 1u);
+  ASSERT_EQ(replay.size(), 1u);
+  // Fig. 7(b) ordering: failure -> detection/recovery -> replay.
+  EXPECT_LT(failures[0].at.ns, rec_start[0].at.ns);
+  EXPECT_LT(rec_start[0].at.ns, rec_done[0].at.ns);
+  EXPECT_LE(rec_done[0].at.ns, replay[0].at.ns);
+  EXPECT_GT(replay[0].value, 0);  // events were queued for replay
+}
+
+TEST(TraceIntegrationTest, DigestIsARunFingerprint) {
+  WorkflowRunner a(spec_for_trace(2, 7));
+  WorkflowRunner b(spec_for_trace(2, 7));
+  WorkflowRunner c(spec_for_trace(2, 8));
+  a.run();
+  b.run();
+  c.run();
+  EXPECT_EQ(a.trace().digest(), b.trace().digest());
+  EXPECT_NE(a.trace().digest(), c.trace().digest());
+}
+
+}  // namespace
+}  // namespace dstage::core

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "resilience/gf256.hpp"
+#include "resilience/policy.hpp"
+#include "resilience/reed_solomon.hpp"
+#include "util/rng.hpp"
+
+namespace dstage::resilience {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  const auto& gf = gf256();
+  EXPECT_EQ(gf.add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(gf.sub(0x57, 0x83), 0x57 ^ 0x83);
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  const auto& gf = gf256();
+  for (int a = 0; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf.mul(ua, 1), ua);
+    EXPECT_EQ(gf.mul(1, ua), ua);
+    EXPECT_EQ(gf.mul(ua, 0), 0);
+    EXPECT_EQ(gf.mul(0, ua), 0);
+  }
+}
+
+TEST(Gf256Test, MulCommutativeExhaustive) {
+  const auto& gf = gf256();
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; ++b) {
+      EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a),
+                       static_cast<std::uint8_t>(b)),
+                gf.mul(static_cast<std::uint8_t>(b),
+                       static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256Test, MulAssociativeSampled) {
+  const auto& gf = gf256();
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)),
+              gf.add(gf.mul(a, b), gf.mul(a, c)));  // distributivity
+  }
+}
+
+TEST(Gf256Test, EveryNonZeroElementHasInverse) {
+  const auto& gf = gf256();
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf.mul(ua, gf.inv(ua)), 1) << "a=" << a;
+    EXPECT_EQ(gf.div(ua, ua), 1);
+  }
+  EXPECT_THROW((void)gf.inv(0), std::domain_error);
+  EXPECT_THROW((void)gf.div(1, 0), std::domain_error);
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  const auto& gf = gf256();
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_u64(1, 255));
+    EXPECT_EQ(gf.div(a, b), gf.mul(a, gf.inv(b)));
+  }
+}
+
+TEST(Gf256Test, GeneratorHasFullOrder) {
+  const auto& gf = gf256();
+  std::set<std::uint8_t> seen;
+  for (int p = 0; p < 255; ++p) seen.insert(gf.exp(p));
+  EXPECT_EQ(seen.size(), 255u);  // all non-zero elements
+}
+
+TEST(Gf256Test, MulAddMatchesScalarLoop) {
+  const auto& gf = gf256();
+  Rng rng(17);
+  std::vector<std::uint8_t> dst(257), src(257), expect(257);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    src[i] = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+  }
+  const std::uint8_t c = 0x9d;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    expect[i] = gf.add(dst[i], gf.mul(c, src[i]));
+  gf.mul_add(dst, src, c);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(GfMatrixTest, IdentityInverse) {
+  auto id = GfMatrix::identity(5);
+  auto inv = id.inverted();
+  ASSERT_TRUE(inv);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_EQ(inv->at(r, c), r == c ? 1 : 0);
+}
+
+TEST(GfMatrixTest, InverseTimesSelfIsIdentity) {
+  Rng rng(23);
+  GfMatrix m(6, 6);
+  // Random matrices over GF(256) are invertible with high probability;
+  // retry until one is.
+  std::optional<GfMatrix> inv;
+  do {
+    for (std::size_t r = 0; r < 6; ++r)
+      for (std::size_t c = 0; c < 6; ++c)
+        m.at(r, c) = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    inv = m.inverted();
+  } while (!inv);
+  auto prod = m.multiply(*inv);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      EXPECT_EQ(prod.at(r, c), r == c ? 1 : 0);
+}
+
+TEST(GfMatrixTest, SingularDetected) {
+  GfMatrix m(2, 2);  // all zeros
+  EXPECT_FALSE(m.inverted().has_value());
+}
+
+class ReedSolomonParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReedSolomonParamTest, DecodeSurvivesAnyMaxErasurePattern) {
+  const auto [k, m] = GetParam();
+  ReedSolomon rs(k, m);
+  Rng rng(static_cast<std::uint64_t>(k * 100 + m));
+  std::vector<std::uint8_t> data(1017);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+
+  auto shards = rs.encode(data);
+  ASSERT_EQ(shards.size(), static_cast<std::size_t>(k + m));
+  EXPECT_TRUE(rs.verify(shards));
+
+  // Erase m random distinct shards, many patterns.
+  for (int trial = 0; trial < 20; ++trial) {
+    auto damaged = shards;
+    std::set<int> erased;
+    while (static_cast<int>(erased.size()) < m) {
+      erased.insert(rng.uniform_int(0, k + m - 1));
+    }
+    for (int e : erased) damaged[static_cast<std::size_t>(e)].clear();
+    auto decoded = rs.decode(damaged, data.size());
+    ASSERT_TRUE(decoded) << "k=" << k << " m=" << m;
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST_P(ReedSolomonParamTest, ReconstructRestoresAllShards) {
+  const auto [k, m] = GetParam();
+  if (m == 0) return;
+  ReedSolomon rs(k, m);
+  Rng rng(static_cast<std::uint64_t>(k * 7 + m));
+  std::vector<std::uint8_t> data(513);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+  auto shards = rs.encode(data);
+  auto damaged = shards;
+  damaged[0].clear();                                    // a data shard
+  damaged[static_cast<std::size_t>(k + m - 1)].clear();  // a parity shard
+  if (m >= 2) {
+    ASSERT_TRUE(rs.reconstruct(damaged));
+    EXPECT_EQ(damaged, shards);
+  } else {
+    EXPECT_FALSE(rs.reconstruct(damaged));  // 2 losses > m=1
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, ReedSolomonParamTest,
+    ::testing::Values(std::make_tuple(1, 0), std::make_tuple(1, 1),
+                      std::make_tuple(2, 1), std::make_tuple(3, 2),
+                      std::make_tuple(4, 2), std::make_tuple(4, 4),
+                      std::make_tuple(6, 3), std::make_tuple(8, 4),
+                      std::make_tuple(10, 4), std::make_tuple(16, 4)));
+
+TEST(ReedSolomonTest, TooManyErasuresFails) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::uint8_t> data(100, 0xab);
+  auto shards = rs.encode(data);
+  shards[0].clear();
+  shards[1].clear();
+  shards[2].clear();
+  EXPECT_FALSE(rs.decode(shards, data.size()).has_value());
+}
+
+TEST(ReedSolomonTest, VerifyDetectsCorruption) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::uint8_t> data(64, 0x11);
+  auto shards = rs.encode(data);
+  EXPECT_TRUE(rs.verify(shards));
+  shards[2][5] ^= 1;
+  EXPECT_FALSE(rs.verify(shards));
+}
+
+TEST(ReedSolomonTest, EmptyData) {
+  ReedSolomon rs(4, 2);
+  auto shards = rs.encode({});
+  auto decoded = rs.decode(shards, 0);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ReedSolomonTest, DataNotMultipleOfK) {
+  ReedSolomon rs(3, 2);
+  std::vector<std::uint8_t> data(10, 0x42);
+  auto shards = rs.encode(data);
+  EXPECT_EQ(shards[0].size(), 4u);  // ceil(10/3)
+  auto decoded = rs.decode(shards, data.size());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(-1, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(4, -1), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+}
+
+TEST(PolicyTest, NoneHasNoOverhead) {
+  ResiliencePolicy p;
+  EXPECT_EQ(p.redundancy_bytes(1000), 0u);
+  EXPECT_EQ(p.stored_bytes(1000), 1000u);
+  EXPECT_EQ(p.encode_time(1000).ns, 0);
+  EXPECT_EQ(p.max_losses(), 0);
+}
+
+TEST(PolicyTest, ReplicationOverhead) {
+  ResiliencePolicy p;
+  p.kind = Redundancy::kReplication;
+  p.replicas = 3;
+  EXPECT_EQ(p.redundancy_bytes(1000), 2000u);
+  EXPECT_EQ(p.fragments_total(), 3);
+  EXPECT_EQ(p.fragments_needed(), 1);
+  EXPECT_EQ(p.max_losses(), 2);
+  EXPECT_GT(p.encode_time(1 << 20).ns, 0);
+}
+
+TEST(PolicyTest, ErasureCodeOverhead) {
+  ResiliencePolicy p;
+  p.kind = Redundancy::kErasureCode;
+  p.rs_k = 4;
+  p.rs_m = 2;
+  EXPECT_EQ(p.redundancy_bytes(4000), 2000u);  // 2 shards of 1000
+  EXPECT_EQ(p.redundancy_bytes(4001), 2002u);  // ceil division
+  EXPECT_EQ(p.fragments_total(), 6);
+  EXPECT_EQ(p.fragments_needed(), 4);
+  EXPECT_EQ(p.max_losses(), 2);
+}
+
+TEST(PolicyTest, FragmentPlacementDistinctServers) {
+  auto placement = fragment_placement(3, 6, 8);
+  EXPECT_EQ(placement.size(), 6u);
+  std::set<int> unique(placement.begin(), placement.end());
+  EXPECT_EQ(unique.size(), 6u);
+  EXPECT_EQ(placement[0], 3);  // primary on the owner
+  for (int s : placement) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 8);
+  }
+}
+
+TEST(PolicyTest, FragmentPlacementWrapsAround) {
+  auto placement = fragment_placement(6, 4, 8);
+  EXPECT_EQ(placement, (std::vector<int>{6, 7, 0, 1}));
+  EXPECT_THROW(fragment_placement(0, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dstage::resilience

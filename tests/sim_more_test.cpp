@@ -1,0 +1,194 @@
+// Additional edge-case coverage for the simulation substrate: membership
+// changes on barriers, multi-unit resource grants, run_until with live
+// coroutines, and nested fan-out.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/resource.hpp"
+#include "sim/spawn.hpp"
+#include "sim/task.hpp"
+
+namespace dstage::sim {
+namespace {
+
+TEST(BarrierMoreTest, SetPartiesChangesMembership) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Barrier bar(eng, 3);
+  int released = 0;
+  for (int i = 0; i < 2; ++i) {
+    spawn(eng, [&]() -> Task<void> {
+      co_await bar.arrive_and_wait(nullptr);
+      ++released;
+    });
+  }
+  // With 3 parties the two arrivals block...
+  eng.run();
+  EXPECT_EQ(released, 0);
+  // ...and shrinking the membership to 2 releases the waiting generation
+  // immediately (recovery rebuilds the group smaller).
+  bar.set_parties(2);
+  eng.run();
+  EXPECT_EQ(released, 2);
+  // The next generation works at the new size.
+  spawn(eng, [&]() -> Task<void> {
+    co_await bar.arrive_and_wait(nullptr);
+    ++released;
+  });
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(1));
+    co_await bar.arrive_and_wait(nullptr);
+    ++released;
+  });
+  eng.run();
+  EXPECT_EQ(released, 4);
+}
+
+TEST(ResourceMoreTest, MultiUnitGrantsRespectAvailability) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Resource res(eng, 8);
+  std::vector<int> order;
+  auto worker = [&](int id, std::uint64_t amount,
+                    std::int64_t hold) -> Task<void> {
+    auto g = co_await res.acquire(nullptr, amount);
+    order.push_back(id);
+    co_await ctx.delay(seconds(hold));
+  };
+  spawn(eng, worker(0, 5, 4));
+  spawn(eng, worker(1, 3, 2));  // fits alongside worker 0
+  spawn(eng, worker(2, 6, 1));  // must wait for both
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(res.available(), 8u);
+}
+
+TEST(ResourceMoreTest, QueueLengthVisible) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Resource res(eng, 1);
+  spawn(eng, [&]() -> Task<void> {
+    auto g = co_await res.acquire(nullptr, 1);
+    co_await ctx.delay(seconds(10));
+  });
+  for (int i = 0; i < 3; ++i) {
+    spawn(eng, [&]() -> Task<void> {
+      auto g = co_await res.acquire(nullptr, 1);
+    });
+  }
+  eng.run_until(TimePoint{} + seconds(1));
+  EXPECT_EQ(res.queue_length(), 3u);
+  eng.run();
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+TEST(EngineMoreTest, RunUntilSuspendsAndResumesCoroutines) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  std::vector<int> marks;
+  spawn(eng, [&]() -> Task<void> {
+    for (int i = 1; i <= 5; ++i) {
+      co_await ctx.delay(seconds(2));
+      marks.push_back(i);
+    }
+  });
+  eng.run_until(TimePoint{} + seconds(5));
+  EXPECT_EQ(marks, (std::vector<int>{1, 2}));  // t=2, t=4 fired
+  eng.run();
+  EXPECT_EQ(marks, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ChannelMoreTest, WaitingReceiversCount) {
+  Engine eng;
+  Channel<int> ch(eng);
+  for (int i = 0; i < 2; ++i) {
+    spawn(eng, [&]() -> Task<void> { (void)co_await ch.recv(nullptr); });
+  }
+  eng.run();
+  EXPECT_EQ(ch.waiting_receivers(), 2u);
+  ch.send(1);
+  ch.send(2);
+  eng.run();
+  EXPECT_EQ(ch.waiting_receivers(), 0u);
+}
+
+TEST(EventMoreTest, PreCancelledTokenBeatsSetEvent) {
+  Engine eng;
+  OneShotEvent ev(eng);
+  ev.set();
+  CancelToken tok;
+  tok.cancel();
+  bool threw = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await ev.wait(&tok);
+    } catch (const Cancelled&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);  // death wins over readiness
+}
+
+TEST(WhenAllMoreTest, NestedFanOutStaysParallel) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  TimePoint finish{};
+  auto leaf = [&](std::int64_t s) -> Task<void> {
+    co_await ctx.delay(seconds(s));
+  };
+  auto branch = [&](std::int64_t base) -> Task<void> {
+    std::vector<Task<void>> leaves;
+    leaves.push_back(leaf(base));
+    leaves.push_back(leaf(base + 1));
+    co_await when_all(ctx, std::move(leaves));
+  };
+  spawn(eng, [&]() -> Task<void> {
+    std::vector<Task<void>> branches;
+    branches.push_back(branch(1));
+    branches.push_back(branch(3));
+    co_await when_all(ctx, std::move(branches));
+    finish = ctx.now();
+  });
+  eng.run();
+  // max(max(1,2), max(3,4)) = 4 seconds, not the serialized 10.
+  EXPECT_EQ(finish, TimePoint{} + seconds(4));
+}
+
+TEST(CancelMoreTest, KillDuringNestedWhenAllUnwindsEverything) {
+  Engine eng;
+  CancelToken tok;
+  Ctx ctx{&eng, &tok};
+  bool parent_cancelled = false;
+  int leaves_cancelled = 0;
+  auto leaf = [&]() -> Task<void> {
+    try {
+      co_await ctx.delay(seconds(100));
+    } catch (const Cancelled&) {
+      ++leaves_cancelled;
+      throw;
+    }
+  };
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      std::vector<Task<void>> ts;
+      ts.push_back(leaf());
+      ts.push_back(leaf());
+      co_await when_all(ctx, std::move(ts));
+    } catch (const Cancelled&) {
+      parent_cancelled = true;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] { tok.cancel(); });
+  eng.run();
+  EXPECT_TRUE(parent_cancelled);
+  EXPECT_EQ(leaves_cancelled, 2);
+}
+
+}  // namespace
+}  // namespace dstage::sim

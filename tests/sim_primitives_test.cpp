@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/resource.hpp"
+#include "sim/spawn.hpp"
+#include "sim/task.hpp"
+
+namespace dstage::sim {
+namespace {
+
+TEST(ChannelTest, SendBeforeRecvDeliversQueuedValue) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.send(7);
+  ch.send(8);
+  std::vector<int> got;
+  spawn(eng, [&]() -> Task<void> {
+    got.push_back(co_await ch.recv(nullptr));
+    got.push_back(co_await ch.recv(nullptr));
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{7, 8}));
+}
+
+TEST(ChannelTest, RecvBlocksUntilSend) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  Ctx ctx{&eng, nullptr};
+  TimePoint when{};
+  spawn(eng, [&]() -> Task<void> {
+    auto v = co_await ch.recv(nullptr);
+    EXPECT_EQ(v, "late");
+    when = ctx.now();
+  });
+  eng.schedule_call(seconds(3), [&] { ch.send("late"); });
+  eng.run();
+  EXPECT_EQ(when, TimePoint{} + seconds(3));
+}
+
+TEST(ChannelTest, MultipleReceiversServedFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  for (int r = 0; r < 3; ++r) {
+    spawn(eng, [&, r]() -> Task<void> {
+      int v = co_await ch.recv(nullptr);
+      got.emplace_back(r, v);
+    });
+  }
+  eng.schedule_call(seconds(1), [&] {
+    ch.send(10);
+    ch.send(20);
+    ch.send(30);
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 3u);
+  // First-suspended receiver gets the first value.
+  EXPECT_EQ(got[0], std::make_pair(0, 10));
+  EXPECT_EQ(got[1], std::make_pair(1, 20));
+  EXPECT_EQ(got[2], std::make_pair(2, 30));
+}
+
+TEST(ChannelTest, CancelWhileWaitingThrows) {
+  Engine eng;
+  Channel<int> ch(eng);
+  CancelToken tok;
+  bool cancelled = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await ch.recv(&tok);
+    } catch (const Cancelled&) {
+      cancelled = true;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] { tok.cancel(); });
+  eng.run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(ch.waiting_receivers(), 0u);
+  // A later send is simply queued, not delivered to the dead receiver.
+  ch.send(5);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(ChannelTest, DeliveredValueNotLostWhenCancelRacesAtSameTimestamp) {
+  // send() delivers and deregisters the waiter from the token; a cancel at
+  // the same virtual time must not produce a double resume.
+  Engine eng;
+  Channel<int> ch(eng);
+  CancelToken tok;
+  int received = -1;
+  bool cancelled = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      received = co_await ch.recv(&tok);
+    } catch (const Cancelled&) {
+      cancelled = true;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] {
+    ch.send(99);   // delivery scheduled at t=1
+    tok.cancel();  // cancel at t=1, after delivery
+  });
+  eng.run();
+  EXPECT_EQ(received, 99);
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(OneShotEventTest, WaitersReleasedOnSet) {
+  Engine eng;
+  OneShotEvent ev(eng);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn(eng, [&]() -> Task<void> {
+      co_await ev.wait(nullptr);
+      ++released;
+    });
+  }
+  eng.schedule_call(seconds(2), [&] { ev.set(); });
+  eng.run();
+  EXPECT_EQ(released, 3);
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(OneShotEventTest, WaitAfterSetCompletesImmediately) {
+  Engine eng;
+  OneShotEvent ev(eng);
+  ev.set();
+  ev.set();  // idempotent
+  bool done = false;
+  spawn(eng, [&]() -> Task<void> {
+    co_await ev.wait(nullptr);
+    done = true;
+  });
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(OneShotEventTest, CancelledWaiterUnwinds) {
+  Engine eng;
+  OneShotEvent ev(eng);
+  CancelToken tok;
+  bool cancelled = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await ev.wait(&tok);
+    } catch (const Cancelled&) {
+      cancelled = true;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] { tok.cancel(); });
+  eng.schedule_call(seconds(2), [&] { ev.set(); });
+  eng.run();
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(BarrierTest, ReleasesWhenAllArrive) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Barrier bar(eng, 3);
+  std::vector<TimePoint> released;
+  for (std::int64_t delay : {1, 5, 3}) {
+    spawn(eng, [&, delay]() -> Task<void> {
+      co_await ctx.delay(seconds(delay));
+      co_await bar.arrive_and_wait(nullptr);
+      released.push_back(ctx.now());
+    });
+  }
+  eng.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (auto t : released) EXPECT_EQ(t, TimePoint{} + seconds(5));
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Barrier bar(eng, 2);
+  std::vector<std::string> log;
+  auto worker = [&](std::string name, std::int64_t pace) -> Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      co_await ctx.delay(seconds(pace));
+      co_await bar.arrive_and_wait(nullptr);
+      log.push_back(name + std::to_string(round));
+    }
+  };
+  // Named lvalues: GCC 12 coroutines double-destroy prvalue arguments.
+  std::string a = "a", b = "b";
+  spawn(eng, worker(a, 1));
+  spawn(eng, worker(b, 4));
+  eng.run();
+  ASSERT_EQ(log.size(), 6u);
+  // Rounds stay in lockstep: a0/b0 before a1/b1 before a2/b2.
+  EXPECT_EQ(log[0].back(), '0');
+  EXPECT_EQ(log[1].back(), '0');
+  EXPECT_EQ(log[2].back(), '1');
+  EXPECT_EQ(log[3].back(), '1');
+  EXPECT_EQ(log[4].back(), '2');
+  EXPECT_EQ(log[5].back(), '2');
+}
+
+TEST(BarrierTest, CancelledParticipantDoesNotCorruptCount) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Barrier bar(eng, 2);
+  CancelToken tok;
+  bool cancelled = false;
+  bool other_released = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await bar.arrive_and_wait(&tok);
+    } catch (const Cancelled&) {
+      cancelled = true;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] { tok.cancel(); });
+  // After the cancel, two fresh arrivals must release normally.
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(2));
+    co_await bar.arrive_and_wait(nullptr);
+    other_released = true;
+  });
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(3));
+    co_await bar.arrive_and_wait(nullptr);
+  });
+  eng.run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_TRUE(other_released);
+}
+
+TEST(ResourceTest, GrantsImmediatelyWhenAvailable) {
+  Engine eng;
+  Resource res(eng, 4);
+  bool got = false;
+  spawn(eng, [&]() -> Task<void> {
+    auto g = co_await res.acquire(nullptr, 3);
+    got = true;
+    EXPECT_EQ(res.available(), 1u);
+  });
+  eng.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(res.available(), 4u);  // guard released on scope exit
+}
+
+TEST(ResourceTest, ContendersQueueFifo) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Resource res(eng, 1);
+  std::vector<std::pair<int, TimePoint>> entries;
+  auto worker = [&](int id) -> Task<void> {
+    auto g = co_await res.acquire(nullptr, 1);
+    entries.emplace_back(id, ctx.now());
+    co_await ctx.delay(seconds(2));
+  };
+  for (int i = 0; i < 3; ++i) spawn(eng, worker(i));
+  eng.run();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], std::make_pair(0, TimePoint{} + seconds(0)));
+  EXPECT_EQ(entries[1], std::make_pair(1, TimePoint{} + seconds(2)));
+  EXPECT_EQ(entries[2], std::make_pair(2, TimePoint{} + seconds(4)));
+}
+
+TEST(ResourceTest, NoOvertakingEvenWhenSmallerFits) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Resource res(eng, 4);
+  std::vector<int> order;
+  auto worker = [&](int id, std::uint64_t amount,
+                    std::int64_t start) -> Task<void> {
+    co_await ctx.delay(seconds(start));
+    auto g = co_await res.acquire(nullptr, amount);
+    order.push_back(id);
+    co_await ctx.delay(seconds(10));
+  };
+  spawn(eng, worker(0, 3, 0));  // holds 3 of 4
+  spawn(eng, worker(1, 3, 1));  // must wait (needs 3, only 1 free)
+  spawn(eng, worker(2, 1, 2));  // would fit, but FIFO forbids overtaking
+  eng.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ResourceTest, CancelWhileQueuedRemovesWaiter) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Resource res(eng, 1);
+  CancelToken tok;
+  bool cancelled = false;
+  bool third_got = false;
+  spawn(eng, [&]() -> Task<void> {
+    auto g = co_await res.acquire(nullptr, 1);
+    co_await ctx.delay(seconds(5));
+  });
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      auto g = co_await res.acquire(&tok, 1);
+    } catch (const Cancelled&) {
+      cancelled = true;
+    }
+  });
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(1));
+    auto g = co_await res.acquire(nullptr, 1);
+    third_got = true;
+  });
+  eng.schedule_call(seconds(2), [&] { tok.cancel(); });
+  eng.run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_TRUE(third_got);
+  EXPECT_EQ(res.available(), 1u);
+}
+
+TEST(ResourceTest, CancelledHolderReleasesViaRaii) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  Resource res(eng, 1);
+  CancelToken tok;
+  bool successor_got = false;
+  spawn(eng, [&]() -> Task<void> {
+    auto g = co_await res.acquire(&tok, 1);
+    co_await ctx.delay(seconds(100));  // killed mid-hold
+  });
+  spawn(eng, [&]() -> Task<void> {
+    auto g = co_await res.acquire(nullptr, 1);
+    successor_got = true;
+  });
+  eng.schedule_call(seconds(3), [&] { tok.cancel(); });
+  eng.run();
+  EXPECT_TRUE(successor_got);
+  EXPECT_EQ(res.available(), 1u);
+}
+
+TEST(ResourceTest, AcquireBeyondCapacityThrows) {
+  Engine eng;
+  Resource res(eng, 2);
+  EXPECT_THROW(res.acquire(nullptr, 3), std::invalid_argument);
+}
+
+TEST(ResourceTest, OverReleaseThrows) {
+  Engine eng;
+  Resource res(eng, 2);
+  EXPECT_THROW(res.release(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dstage::sim

@@ -1,0 +1,333 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/spawn.hpp"
+
+namespace dstage::sim {
+namespace {
+
+Task<int> make_value(int v) { co_return v; }
+
+Task<int> add_async(int a, int b) {
+  int x = co_await make_value(a);
+  int y = co_await make_value(b);
+  co_return x + y;
+}
+
+Task<void> set_flag(bool& flag) {
+  flag = true;
+  co_return;
+}
+
+Task<int> throws_logic_error() {
+  throw std::logic_error("boom");
+  co_return 0;  // unreachable
+}
+
+Task<int> rethrows_from_child() {
+  int v = co_await throws_logic_error();
+  co_return v;
+}
+
+TEST(TaskTest, LazyStart) {
+  bool ran = false;
+  Engine eng;
+  {
+    Task<void> t = set_flag(ran);
+    EXPECT_FALSE(ran);  // not started until awaited/spawned
+  }                     // destroying an unstarted task must not leak or run it
+  EXPECT_FALSE(ran);
+}
+
+TEST(TaskTest, SpawnRunsToCompletion) {
+  Engine eng;
+  bool ran = false;
+  spawn(eng, set_flag(ran));
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(TaskTest, NestedAwaitsPropagateValues) {
+  Engine eng;
+  int result = 0;
+  spawn(eng, [&]() -> Task<void> {
+    result = co_await add_async(20, 22);
+  });
+  eng.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskTest, ExceptionPropagatesThroughNestedTasks) {
+  Engine eng;
+  std::exception_ptr captured;
+  spawn(
+      eng, [&]() -> Task<void> { co_await rethrows_from_child(); },
+      [&](std::exception_ptr ep) { captured = ep; });
+  eng.run();
+  ASSERT_TRUE(captured);
+  EXPECT_THROW(std::rethrow_exception(captured), std::logic_error);
+}
+
+TEST(TaskTest, OnDoneReceivesNullOnSuccess) {
+  Engine eng;
+  bool done_called = false;
+  std::exception_ptr captured = std::make_exception_ptr(std::logic_error("x"));
+  spawn(
+      eng, []() -> Task<void> { co_return; },
+      [&](std::exception_ptr ep) {
+        done_called = true;
+        captured = ep;
+      });
+  eng.run();
+  EXPECT_TRUE(done_called);
+  EXPECT_FALSE(captured);
+}
+
+TEST(TaskTest, MoveSemantics) {
+  Task<int> a = make_value(5);
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  Task<int> c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(TaskTest, DelayAdvancesVirtualTime) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  TimePoint finish{};
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(5));
+    co_await ctx.delay(milliseconds(500));
+    finish = ctx.now();
+  });
+  eng.run();
+  EXPECT_EQ(finish, TimePoint{} + seconds(5) + milliseconds(500));
+}
+
+TEST(TaskTest, TwoProcessesInterleaveDeterministically) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  std::vector<std::string> log;
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(1));
+    log.push_back("a@1");
+    co_await ctx.delay(seconds(2));
+    log.push_back("a@3");
+  });
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(2));
+    log.push_back("b@2");
+    co_await ctx.delay(seconds(2));
+    log.push_back("b@4");
+  });
+  eng.run();
+  EXPECT_EQ(log,
+            (std::vector<std::string>{"a@1", "b@2", "a@3", "b@4"}));
+}
+
+Task<std::string> make_string() { co_return "payload"; }
+
+TEST(TaskTest, StringResult) {
+  Engine eng;
+  std::string out;
+  spawn(eng, [&]() -> Task<void> { out = co_await make_string(); });
+  eng.run();
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(CancelTest, CancelDuringDelayThrowsCancelled) {
+  Engine eng;
+  CancelToken tok;
+  Ctx ctx{&eng, &tok};
+  bool saw_cancelled = false;
+  bool reached_end = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await ctx.delay(seconds(100));
+      reached_end = true;
+    } catch (const Cancelled&) {
+      saw_cancelled = true;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] { tok.cancel(); });
+  eng.run();
+  EXPECT_TRUE(saw_cancelled);
+  EXPECT_FALSE(reached_end);
+  // The kill happened at t=1, not at the delay's natural expiry.
+  EXPECT_EQ(eng.now(), TimePoint{} + seconds(1));
+}
+
+TEST(CancelTest, CancelPropagatesThroughNestedTasks) {
+  Engine eng;
+  CancelToken tok;
+  Ctx ctx{&eng, &tok};
+  std::exception_ptr captured;
+  auto inner = [&]() -> Task<int> {
+    co_await ctx.delay(seconds(50));
+    co_return 1;
+  };
+  spawn(
+      eng,
+      [&, inner]() -> Task<void> { co_await inner(); },
+      [&](std::exception_ptr ep) { captured = ep; });
+  eng.schedule_call(seconds(2), [&] { tok.cancel(); });
+  eng.run();
+  ASSERT_TRUE(captured);
+  EXPECT_THROW(std::rethrow_exception(captured), Cancelled);
+}
+
+TEST(CancelTest, PreCancelledTokenThrowsImmediately) {
+  Engine eng;
+  CancelToken tok;
+  tok.cancel();
+  Ctx ctx{&eng, &tok};
+  bool threw = false;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await ctx.delay(seconds(1));
+    } catch (const Cancelled&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(CancelTest, CheckThrowsWhenCancelled) {
+  Engine eng;
+  CancelToken tok;
+  Ctx ctx{&eng, &tok};
+  EXPECT_NO_THROW(ctx.check());
+  tok.cancel();
+  EXPECT_THROW(ctx.check(), Cancelled);
+}
+
+TEST(CancelTest, CancelIsIdempotent) {
+  Engine eng;
+  CancelToken tok;
+  Ctx ctx{&eng, &tok};
+  int cancel_count = 0;
+  spawn(eng, [&]() -> Task<void> {
+    try {
+      co_await ctx.delay(seconds(10));
+    } catch (const Cancelled&) {
+      ++cancel_count;
+    }
+  });
+  eng.schedule_call(seconds(1), [&] {
+    tok.cancel();
+    tok.cancel();
+  });
+  eng.run();
+  EXPECT_EQ(cancel_count, 1);
+}
+
+TEST(CancelTest, ResetReArmsToken) {
+  Engine eng;
+  CancelToken tok;
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  tok.reset();
+  EXPECT_FALSE(tok.cancelled());
+  Ctx ctx{&eng, &tok};
+  bool completed = false;
+  spawn(eng, [&]() -> Task<void> {
+    co_await ctx.delay(seconds(1));
+    completed = true;
+  });
+  eng.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(WhenAllTest, RunsChildrenConcurrently) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  TimePoint finish{};
+  auto sleeper = [&](std::int64_t secs) -> Task<int> {
+    co_await ctx.delay(seconds(secs));
+    co_return static_cast<int>(secs);
+  };
+  spawn(eng, [&]() -> Task<void> {
+    std::vector<Task<int>> ts;
+    ts.push_back(sleeper(3));
+    ts.push_back(sleeper(5));
+    ts.push_back(sleeper(2));
+    auto results = co_await when_all(ctx, std::move(ts));
+    EXPECT_EQ(results, (std::vector<int>{3, 5, 2}));
+    finish = ctx.now();
+  });
+  eng.run();
+  // Parallel in virtual time: max(3,5,2), not the 10s sum.
+  EXPECT_EQ(finish, TimePoint{} + seconds(5));
+}
+
+TEST(WhenAllTest, EmptyCompletesImmediately) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  bool done = false;
+  spawn(eng, [&]() -> Task<void> {
+    auto r = co_await when_all(ctx, std::vector<Task<int>>{});
+    EXPECT_TRUE(r.empty());
+    co_await when_all(ctx, std::vector<Task<void>>{});
+    done = true;
+  });
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(eng.now().ns, 0);
+}
+
+TEST(WhenAllTest, PropagatesFirstChildError) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  bool threw = false;
+  auto failing = [&]() -> Task<void> {
+    co_await ctx.delay(seconds(1));
+    throw std::runtime_error("child failed");
+  };
+  auto ok = [&]() -> Task<void> { co_await ctx.delay(seconds(2)); };
+  spawn(eng, [&]() -> Task<void> {
+    std::vector<Task<void>> ts;
+    ts.push_back(failing());
+    ts.push_back(ok());
+    try {
+      co_await when_all(ctx, std::move(ts));
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_STREQ(e.what(), "child failed");
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(WhenAllTest, VoidVariantWaitsForAll) {
+  Engine eng;
+  Ctx ctx{&eng, nullptr};
+  int completed = 0;
+  TimePoint finish{};
+  auto worker = [&](std::int64_t secs) -> Task<void> {
+    co_await ctx.delay(seconds(secs));
+    ++completed;
+  };
+  spawn(eng, [&]() -> Task<void> {
+    std::vector<Task<void>> ts;
+    for (std::int64_t s : {1, 4, 2}) ts.push_back(worker(s));
+    co_await when_all(ctx, std::move(ts));
+    finish = ctx.now();
+  });
+  eng.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(finish, TimePoint{} + seconds(4));
+}
+
+}  // namespace
+}  // namespace dstage::sim

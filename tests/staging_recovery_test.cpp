@@ -1,0 +1,227 @@
+// Staging-service resilience (CoREC layer): redundancy fragments and queue
+// mirrors on peer servers let a failed staging server be rebuilt without
+// losing staged data, logged payloads, or replay state. Clients ride out
+// the outage via RPC timeouts + retries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dht/spatial_index.hpp"
+#include "sim/spawn.hpp"
+#include "staging/client.hpp"
+#include "staging/recovery.hpp"
+#include "staging/server.hpp"
+
+namespace dstage::staging {
+namespace {
+
+ServerParams params_with(resilience::Redundancy kind) {
+  ServerParams p;
+  p.logging = true;
+  p.policy.kind = kind;
+  p.policy.replicas = 2;
+  p.policy.rs_k = 4;
+  p.policy.rs_m = 2;
+  return p;
+}
+
+struct Rig {
+  sim::Engine eng;
+  net::Fabric fabric{eng, {}};
+  cluster::Cluster cluster{eng, fabric};
+  Box domain = Box::from_dims(64, 64, 64);
+  dht::SpatialIndex index;
+  std::vector<cluster::VprocId> server_vprocs;
+  std::vector<std::unique_ptr<StagingServer>> servers;
+  std::unique_ptr<StagingRecoveryManager> manager;
+
+  explicit Rig(int nservers, ServerParams params, int spares = 4)
+      : index(domain, nservers, 8) {
+    for (int s = 0; s < nservers; ++s) {
+      auto vp =
+          cluster.add_vproc("srv" + std::to_string(s), cluster.add_node());
+      server_vprocs.push_back(vp);
+      servers.push_back(
+          std::make_unique<StagingServer>(cluster, vp, params));
+      servers.back()->register_var("f", {{1, true}});
+    }
+    std::vector<net::EndpointId> endpoints;
+    for (auto vp : server_vprocs)
+      endpoints.push_back(cluster.vproc(vp).endpoint);
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      servers[s]->set_peers(static_cast<int>(s), endpoints);
+      servers[s]->start();
+    }
+    manager = std::make_unique<StagingRecoveryManager>(
+        cluster, &servers, server_vprocs, params, spares);
+    manager->arm();
+  }
+
+  std::unique_ptr<StagingClient> make_client(AppId app) {
+    auto vp =
+        cluster.add_vproc("app" + std::to_string(app), cluster.add_node());
+    ClientParams cp;
+    cp.app = app;
+    cp.logged = true;
+    cp.mem_scale = 4096;
+    cp.put_timeout = sim::seconds(15);
+    cp.get_timeout = sim::seconds(30);
+    return std::make_unique<StagingClient>(cluster, index, server_vprocs,
+                                           vp, cp);
+  }
+
+  void run() { eng.run(); }
+};
+
+class RecoveryPolicyTest
+    : public ::testing::TestWithParam<resilience::Redundancy> {};
+
+TEST_P(RecoveryPolicyTest, ServerLossIsTransparentToReaders) {
+  Rig rig(3, params_with(GetParam()));
+  auto producer = rig.make_client(0);
+  auto consumer = rig.make_client(1);
+  int wrong = 0, corrupt = 0;
+  std::uint64_t bytes_before = 0, bytes_after = 0;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    for (Version v = 1; v <= 3; ++v)
+      co_await producer->put(ctx, "f", v, rig.domain);
+    co_await ctx.delay(sim::seconds(5));  // let fragments propagate
+
+    // Kill staging server 0; the manager replaces and rebuilds it.
+    rig.cluster.kill(rig.server_vprocs[0]);
+    co_await ctx.delay(sim::seconds(10));
+
+    // Reads of the latest versions must succeed with verified content.
+    for (Version v = 2; v <= 3; ++v) {
+      auto gr = co_await consumer->get(ctx, "f", v, rig.domain);
+      wrong += gr.wrong_version;
+      corrupt += gr.corrupt;
+      bytes_after += gr.nominal_bytes;
+    }
+    bytes_before = 2 * rig.domain.volume() * 8;
+  });
+  rig.run();
+  EXPECT_EQ(wrong, 0);
+  EXPECT_EQ(corrupt, 0);
+  EXPECT_EQ(bytes_after, bytes_before);
+  EXPECT_EQ(rig.manager->stats().server_failures, 1);
+  EXPECT_EQ(rig.manager->stats().servers_recovered, 1);
+  EXPECT_GT(rig.servers[0]->stats().chunks_rebuilt, 0u);
+  EXPECT_EQ(rig.servers[0]->stats().rebuild_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RecoveryPolicyTest,
+                         ::testing::Values(
+                             resilience::Redundancy::kReplication,
+                             resilience::Redundancy::kErasureCode),
+                         [](const auto& info) {
+                           return info.param ==
+                                          resilience::Redundancy::kReplication
+                                      ? std::string("Replication")
+                                      : std::string("ErasureCode");
+                         });
+
+TEST(StagingRecoveryTest, RequestsDuringOutageAreServedAfterRebuild) {
+  Rig rig(3, params_with(resilience::Redundancy::kErasureCode));
+  auto producer = rig.make_client(0);
+  auto consumer = rig.make_client(1);
+  int wrong = 0;
+  bool got = false;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await producer->put(ctx, "f", 1, rig.domain);
+    co_await ctx.delay(sim::seconds(2));
+    rig.cluster.kill(rig.server_vprocs[1]);
+    // Put the next version while server 1 is down: pieces for the dead
+    // server wait in its mailbox (plus client retries) and apply once the
+    // replacement finishes rebuilding.
+    co_await producer->put(ctx, "f", 2, rig.domain);
+    auto gr = co_await consumer->get(ctx, "f", 2, rig.domain);
+    wrong = gr.wrong_version + gr.corrupt;
+    got = gr.nominal_bytes == rig.domain.volume() * 8;
+  });
+  rig.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(wrong, 0);
+  EXPECT_EQ(rig.manager->stats().servers_recovered, 1);
+}
+
+TEST(StagingRecoveryTest, QueueMirrorPreservesReplayAcrossServerLoss) {
+  // The producer's event queue survives the staging server's death via the
+  // successor mirror, so a producer rollback after the staging recovery
+  // still suppresses its redundant writes.
+  Rig rig(3, params_with(resilience::Redundancy::kErasureCode));
+  auto producer = rig.make_client(0);
+  std::size_t suppressed = 0;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await producer->put(ctx, "f", 1, rig.domain);
+    co_await producer->workflow_check(ctx, 1);
+    co_await producer->put(ctx, "f", 2, rig.domain);
+    co_await ctx.delay(sim::seconds(2));  // mirrors propagate
+
+    rig.cluster.kill(rig.server_vprocs[0]);
+    co_await ctx.delay(sim::seconds(10));  // recovery completes
+
+    // Now the *producer* rolls back to its ts-1 checkpoint and replays.
+    co_await producer->workflow_restart(ctx, 1);
+    auto pr = co_await producer->put(ctx, "f", 2, rig.domain);
+    suppressed = pr.suppressed;
+  });
+  rig.run();
+  EXPECT_GT(suppressed, 0u);
+}
+
+TEST(StagingRecoveryTest, FragmentsPrunedAtCheckpoints) {
+  Rig rig(2, params_with(resilience::Redundancy::kReplication));
+  auto producer = rig.make_client(0);
+  auto consumer = rig.make_client(1);
+  std::uint64_t before = 0, after = 0;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    for (Version v = 1; v <= 6; ++v) {
+      co_await producer->put(ctx, "f", v, rig.domain);
+      co_await consumer->get(ctx, "f", v, rig.domain);
+    }
+    co_await ctx.delay(sim::seconds(2));
+    for (const auto& s : rig.servers)
+      before += s->memory().redundancy_bytes;
+    // Consumer checkpoint releases replay retention; producer checkpoint
+    // triggers the sweep + prune broadcast.
+    co_await consumer->workflow_check(ctx, 6);
+    co_await producer->workflow_check(ctx, 6);
+    co_await ctx.delay(sim::seconds(2));
+    for (const auto& s : rig.servers)
+      after += s->memory().redundancy_bytes;
+  });
+  rig.run();
+  EXPECT_GT(before, 0u);
+  EXPECT_LT(after, before);
+}
+
+TEST(StagingRecoveryTest, NoSparesMeansDegradedNotCrashed) {
+  Rig rig(3, params_with(resilience::Redundancy::kErasureCode), /*spares=*/0);
+  auto producer = rig.make_client(0);
+  bool finished = false;
+  sim::CancelToken app_tok;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, &app_tok};
+    try {
+      co_await producer->put(ctx, "f", 1, rig.domain);
+      rig.cluster.kill(rig.server_vprocs[0]);
+      // Requests to the dead server eventually exhaust retries.
+      co_await producer->put(ctx, "f", 2, rig.domain);
+    } catch (const std::runtime_error&) {
+      finished = true;  // timed out after retries, as designed
+    }
+  });
+  rig.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(rig.manager->stats().spare_exhausted, 1);
+}
+
+}  // namespace
+}  // namespace dstage::staging

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "staging/object_store.hpp"
+#include "staging/types.hpp"
+
+namespace dstage::staging {
+namespace {
+
+Chunk chunk_of(const std::string& var, Version v, Box region,
+               double bpp = 8.0) {
+  return make_chunk(var, v, region, bpp, 1024);
+}
+
+TEST(ChunkTest, MakeChunkSizes) {
+  Box r = Box::from_dims(32, 32, 32);
+  Chunk c = chunk_of("t", 3, r);
+  EXPECT_EQ(c.nominal_bytes, 32ull * 32 * 32 * 8);
+  EXPECT_EQ(c.physical_bytes(), c.nominal_bytes / 1024);
+  EXPECT_EQ(c.content_key, chunk_content_key("t", 3, r));
+}
+
+TEST(ChunkTest, PhysicalFloorIs16Bytes) {
+  Chunk c = chunk_of("t", 0, Box{{0, 0, 0}, {0, 0, 0}});
+  EXPECT_GE(c.physical_bytes(), 16u);
+}
+
+TEST(ChunkTest, CheckDetectsVersionMismatch) {
+  Chunk c = chunk_of("t", 5, Box::from_dims(8, 8, 8));
+  EXPECT_EQ(check_chunk(c, "t", 5), ChunkCheck::kOk);
+  EXPECT_EQ(check_chunk(c, "t", 6), ChunkCheck::kWrongVersion);
+  EXPECT_EQ(check_chunk(c, "u", 5), ChunkCheck::kWrongVersion);
+}
+
+TEST(ChunkTest, CheckDetectsCorruption) {
+  Chunk c = chunk_of("t", 5, Box::from_dims(8, 8, 8));
+  auto mutable_data = std::make_shared<std::vector<std::uint8_t>>(*c.data);
+  (*mutable_data)[3] ^= 0xff;
+  c.data = mutable_data;
+  EXPECT_EQ(check_chunk(c, "t", 5), ChunkCheck::kCorrupt);
+}
+
+TEST(RegionHashTest, DistinctRegionsDistinctHashes) {
+  EXPECT_NE(region_hash(Box{{0, 0, 0}, {1, 1, 1}}),
+            region_hash(Box{{0, 0, 0}, {1, 1, 2}}));
+  EXPECT_EQ(region_hash(Box{{1, 2, 3}, {4, 5, 6}}),
+            region_hash(Box{{1, 2, 3}, {4, 5, 6}}));
+}
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store(2);
+  Box r = Box::from_dims(16, 16, 16);
+  store.put(chunk_of("v", 1, r));
+  auto got = store.get("v", 1, r);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].version, 1u);
+  EXPECT_TRUE(store.covers("v", 1, r));
+}
+
+TEST(ObjectStoreTest, GetClipsToRequest) {
+  ObjectStore store(2);
+  store.put(chunk_of("v", 1, Box::from_dims(16, 16, 16)));
+  Box half{{0, 0, 0}, {15, 15, 7}};
+  auto got = store.get("v", 1, half);
+  ASSERT_EQ(got.size(), 1u);
+  // Clipped nominal size is proportional to overlap volume.
+  EXPECT_EQ(got[0].nominal_bytes, half.volume() * 8);
+}
+
+TEST(ObjectStoreTest, MissingVersionNotCovered) {
+  ObjectStore store(2);
+  store.put(chunk_of("v", 1, Box::from_dims(8, 8, 8)));
+  EXPECT_FALSE(store.covers("v", 2, Box::from_dims(8, 8, 8)));
+  EXPECT_FALSE(store.covers("w", 1, Box::from_dims(8, 8, 8)));
+  EXPECT_TRUE(store.get("v", 2, Box::from_dims(8, 8, 8)).empty());
+}
+
+TEST(ObjectStoreTest, PartialCoverageDetected) {
+  ObjectStore store(2);
+  store.put(chunk_of("v", 1, Box{{0, 0, 0}, {7, 7, 3}}));
+  EXPECT_FALSE(store.covers("v", 1, Box::from_dims(8, 8, 8)));
+  store.put(chunk_of("v", 1, Box{{0, 0, 4}, {7, 7, 7}}));
+  EXPECT_TRUE(store.covers("v", 1, Box::from_dims(8, 8, 8)));
+}
+
+TEST(ObjectStoreTest, WindowRotatesOldVersions) {
+  ObjectStore store(2);
+  Box r = Box::from_dims(8, 8, 8);
+  for (Version v = 1; v <= 5; ++v) store.put(chunk_of("v", v, r));
+  EXPECT_FALSE(store.covers("v", 3, r));
+  EXPECT_TRUE(store.covers("v", 4, r));
+  EXPECT_TRUE(store.covers("v", 5, r));
+  EXPECT_EQ(store.latest("v"), Version{5});
+  EXPECT_EQ(store.versions_of("v"), (std::vector<Version>{4, 5}));
+}
+
+TEST(ObjectStoreTest, MemoryAccountingFollowsRotation) {
+  ObjectStore store(1);
+  Box r = Box::from_dims(8, 8, 8);
+  const std::uint64_t per_version = r.volume() * 8;
+  store.put(chunk_of("v", 1, r));
+  EXPECT_EQ(store.nominal_bytes(), per_version);
+  store.put(chunk_of("v", 2, r));
+  EXPECT_EQ(store.nominal_bytes(), per_version);  // v1 rotated out
+  EXPECT_EQ(store.peak_nominal_bytes(), 2 * per_version);
+}
+
+TEST(ObjectStoreTest, StaleRePutRotatesImmediately) {
+  // An individually restarted producer re-writes an old version; the store
+  // accepts and immediately rotates it out (Fig. 2 case 2's wasted write).
+  ObjectStore store(1);
+  Box r = Box::from_dims(8, 8, 8);
+  store.put(chunk_of("v", 5, r));
+  store.put(chunk_of("v", 2, r));
+  EXPECT_EQ(store.latest("v"), Version{5});
+  EXPECT_FALSE(store.covers("v", 2, r));
+}
+
+TEST(ObjectStoreTest, DropVersionsAboveRollsBack) {
+  ObjectStore store(8);
+  Box r = Box::from_dims(4, 4, 4);
+  for (Version v = 1; v <= 6; ++v) store.put(chunk_of("v", v, r));
+  const std::size_t dropped = store.drop_versions_above(3);
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_EQ(store.latest("v"), Version{3});
+  EXPECT_EQ(store.nominal_bytes(), 3 * r.volume() * 8);
+}
+
+TEST(ObjectStoreTest, DropVersion) {
+  ObjectStore store(8);
+  Box r = Box::from_dims(4, 4, 4);
+  store.put(chunk_of("v", 1, r));
+  store.put(chunk_of("v", 2, r));
+  EXPECT_TRUE(store.drop_version("v", 1));
+  EXPECT_FALSE(store.drop_version("v", 1));
+  EXPECT_FALSE(store.drop_version("w", 2));
+  EXPECT_EQ(store.versions_of("v"), (std::vector<Version>{2}));
+}
+
+TEST(ObjectStoreTest, MultipleVariablesIndependent) {
+  ObjectStore store(1);
+  Box r = Box::from_dims(4, 4, 4);
+  store.put(chunk_of("a", 1, r));
+  store.put(chunk_of("b", 7, r));
+  EXPECT_TRUE(store.covers("a", 1, r));
+  EXPECT_TRUE(store.covers("b", 7, r));
+  EXPECT_EQ(store.variables().size(), 2u);
+  EXPECT_EQ(store.object_count(), 2u);
+}
+
+TEST(ObjectStoreTest, RejectsBadWindow) {
+  EXPECT_THROW(ObjectStore(0), std::invalid_argument);
+}
+
+TEST(ObjectStoreTest, OverlappingChunksDoNotFakeCoverage) {
+  // Chunks [0..3] and [2..5] on the x line sum to 8 points but cover only
+  // 6 of [0..7]: the exact-coverage test must say "not covered".
+  ObjectStore store(2);
+  store.put(chunk_of("v", 1, Box{{0, 0, 0}, {3, 0, 0}}));
+  store.put(chunk_of("v", 1, Box{{2, 0, 0}, {5, 0, 0}}));
+  EXPECT_FALSE(store.covers("v", 1, Box{{0, 0, 0}, {7, 0, 0}}));
+  store.put(chunk_of("v", 1, Box{{6, 0, 0}, {7, 0, 0}}));
+  EXPECT_TRUE(store.covers("v", 1, Box{{0, 0, 0}, {7, 0, 0}}));
+}
+
+TEST(ObjectStoreTest, EmptyRegionTriviallyCovered) {
+  ObjectStore store(1);
+  store.put(chunk_of("v", 1, Box::from_dims(4, 4, 4)));
+  EXPECT_TRUE(store.covers("v", 1, Box{}));
+}
+
+}  // namespace
+}  // namespace dstage::staging

@@ -1,0 +1,71 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dstage {
+namespace {
+
+Flags make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto f = make({"--scheme=un", "--failures=3"});
+  EXPECT_EQ(f.get("scheme", "x"), "un");
+  EXPECT_EQ(f.get_int("failures", 0), 3);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  auto f = make({"--scheme", "co", "--seed", "42"});
+  EXPECT_EQ(f.get("scheme", ""), "co");
+  EXPECT_EQ(f.get_int("seed", 0), 42);
+}
+
+TEST(FlagsTest, BareSwitch) {
+  auto f = make({"--verbose", "--subset=0.4"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(f.get_double("subset", 1.0), 0.4);
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  auto f = make({});
+  EXPECT_EQ(f.get("scheme", "un"), "un");
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(f.get_bool("b", false));
+  EXPECT_FALSE(f.has("scheme"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto f = make({"input.csv", "--n=1", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, UnusedDetectsTypos) {
+  auto f = make({"--schem=un", "--failures=1"});
+  (void)f.get("scheme", "");
+  (void)f.get_int("failures", 0);
+  auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "schem");
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  auto f = make({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+  EXPECT_FALSE(f.get_bool("e", true));
+}
+
+}  // namespace
+}  // namespace dstage

@@ -1,0 +1,237 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dstage {
+namespace {
+
+TEST(BoxTest, DefaultIsEmpty) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.volume(), 0u);
+}
+
+TEST(BoxTest, FromDimsCoversExpectedVolume) {
+  Box b = Box::from_dims(512, 512, 256);
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.volume(), 512ull * 512 * 256);
+  EXPECT_EQ(b.lo, (Point3{0, 0, 0}));
+  EXPECT_EQ(b.hi, (Point3{511, 511, 255}));
+}
+
+TEST(BoxTest, FromDimsRejectsNonPositive) {
+  EXPECT_TRUE(Box::from_dims(0, 4, 4).empty());
+  EXPECT_TRUE(Box::from_dims(4, -1, 4).empty());
+}
+
+TEST(BoxTest, ContainsPoint) {
+  Box b{{1, 1, 1}, {3, 3, 3}};
+  EXPECT_TRUE(b.contains(Point3{1, 1, 1}));
+  EXPECT_TRUE(b.contains(Point3{3, 3, 3}));
+  EXPECT_TRUE(b.contains(Point3{2, 3, 1}));
+  EXPECT_FALSE(b.contains(Point3{0, 2, 2}));
+  EXPECT_FALSE(b.contains(Point3{2, 4, 2}));
+}
+
+TEST(BoxTest, ContainsBox) {
+  Box outer{{0, 0, 0}, {9, 9, 9}};
+  EXPECT_TRUE(outer.contains(Box{{2, 2, 2}, {5, 5, 5}}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_TRUE(outer.contains(Box{}));  // empty is contained anywhere
+  EXPECT_FALSE(outer.contains(Box{{5, 5, 5}, {10, 9, 9}}));
+}
+
+TEST(BoxTest, IntersectionBasic) {
+  Box a{{0, 0, 0}, {5, 5, 5}};
+  Box b{{3, 3, 3}, {8, 8, 8}};
+  Box i = a.intersection(b);
+  EXPECT_EQ(i, (Box{{3, 3, 3}, {5, 5, 5}}));
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BoxTest, IntersectionDisjointIsEmpty) {
+  Box a{{0, 0, 0}, {2, 2, 2}};
+  Box b{{3, 0, 0}, {5, 2, 2}};
+  EXPECT_TRUE(a.intersection(b).empty());
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(BoxTest, IntersectionTouchingFaceIsSinglePlane) {
+  Box a{{0, 0, 0}, {2, 2, 2}};
+  Box b{{2, 0, 0}, {4, 2, 2}};
+  Box i = a.intersection(b);
+  EXPECT_EQ(i.volume(), 9u);  // 1 x 3 x 3 plane
+}
+
+TEST(BoxTest, BoundingUnion) {
+  Box a{{0, 0, 0}, {1, 1, 1}};
+  Box b{{5, 5, 5}, {6, 6, 6}};
+  EXPECT_EQ(a.bounding_union(b), (Box{{0, 0, 0}, {6, 6, 6}}));
+  EXPECT_EQ(Box{}.bounding_union(b), b);
+  EXPECT_EQ(a.bounding_union(Box{}), a);
+}
+
+TEST(BoxTest, CommutativityOfIntersection) {
+  Box a{{1, 2, 3}, {7, 8, 9}};
+  Box b{{4, 0, 5}, {10, 6, 7}};
+  EXPECT_EQ(a.intersection(b), b.intersection(a));
+}
+
+TEST(BlockDecompositionTest, ExactSplit) {
+  BlockDecomposition dec(Box::from_dims(8, 8, 4), 2, 2, 2);
+  EXPECT_EQ(dec.block_count(), 8);
+  std::uint64_t total = 0;
+  for (int r = 0; r < dec.block_count(); ++r) total += dec.block(r).volume();
+  EXPECT_EQ(total, 8ull * 8 * 4);
+}
+
+TEST(BlockDecompositionTest, BlocksArePairwiseDisjoint) {
+  BlockDecomposition dec(Box::from_dims(10, 7, 5), 3, 2, 2);
+  for (int i = 0; i < dec.block_count(); ++i) {
+    for (int j = i + 1; j < dec.block_count(); ++j) {
+      EXPECT_FALSE(dec.block(i).intersects(dec.block(j)))
+          << "blocks " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(BlockDecompositionTest, RemainderDistribution) {
+  // 10 points over 3 parts: 4 + 3 + 3.
+  BlockDecomposition dec(Box::from_dims(10, 1, 1), 3, 1, 1);
+  EXPECT_EQ(dec.block(0).extents()[0], 4);
+  EXPECT_EQ(dec.block(1).extents()[0], 3);
+  EXPECT_EQ(dec.block(2).extents()[0], 3);
+}
+
+TEST(BlockDecompositionTest, BlocksTileDomain) {
+  BlockDecomposition dec(Box::from_dims(9, 6, 7), 2, 3, 2);
+  std::uint64_t total = 0;
+  Box cover;
+  for (int r = 0; r < dec.block_count(); ++r) {
+    total += dec.block(r).volume();
+    cover = cover.bounding_union(dec.block(r));
+  }
+  EXPECT_EQ(total, dec.domain().volume());
+  EXPECT_EQ(cover, dec.domain());
+}
+
+TEST(BlockDecompositionTest, IntersectingQueryFindsExactCover) {
+  BlockDecomposition dec(Box::from_dims(8, 8, 8), 2, 2, 2);
+  Box query{{2, 2, 2}, {5, 5, 5}};  // straddles all 8 blocks
+  auto hits = dec.blocks_intersecting(query);
+  EXPECT_EQ(hits.size(), 8u);
+  std::uint64_t covered = 0;
+  for (const auto& [rank, overlap] : hits) covered += overlap.volume();
+  EXPECT_EQ(covered, query.volume());
+}
+
+TEST(BlockDecompositionTest, RejectsInvalidArguments) {
+  EXPECT_THROW(BlockDecomposition(Box{}, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(BlockDecomposition(Box::from_dims(4, 4, 4), 0, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(BlockDecomposition(Box::from_dims(2, 2, 2), 4, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(SplitBoxTest, ProducesRequestedPieceCountWhenDivisible) {
+  Box b = Box::from_dims(16, 16, 16);
+  auto pieces = split_box(b, 8);
+  EXPECT_EQ(pieces.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto& p : pieces) {
+    total += p.volume();
+    EXPECT_TRUE(b.contains(p));
+  }
+  EXPECT_EQ(total, b.volume());
+}
+
+TEST(SplitBoxTest, PiecesAreDisjoint) {
+  auto pieces = split_box(Box::from_dims(12, 5, 9), 6);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+    }
+  }
+}
+
+TEST(SplitBoxTest, SinglePointCannotSplit) {
+  Box b{{3, 3, 3}, {3, 3, 3}};
+  auto pieces = split_box(b, 4);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], b);
+}
+
+TEST(SplitBoxTest, EmptyAndZeroPieces) {
+  EXPECT_TRUE(split_box(Box{}, 4).empty());
+  EXPECT_TRUE(split_box(Box::from_dims(4, 4, 4), 0).empty());
+}
+
+TEST(BoxDifferenceTest, DisjointLeavesAUntouched) {
+  Box a{{0, 0, 0}, {3, 3, 3}};
+  Box b{{10, 10, 10}, {12, 12, 12}};
+  auto d = box_difference(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], a);
+}
+
+TEST(BoxDifferenceTest, FullCoverIsEmpty) {
+  Box a{{1, 1, 1}, {3, 3, 3}};
+  EXPECT_TRUE(box_difference(a, Box{{0, 0, 0}, {4, 4, 4}}).empty());
+  EXPECT_TRUE(box_difference(a, a).empty());
+  EXPECT_TRUE(box_difference(Box{}, a).empty());
+}
+
+TEST(BoxDifferenceTest, PiecesAreDisjointAndExact) {
+  Box a{{0, 0, 0}, {9, 9, 9}};
+  Box b{{3, 4, 5}, {6, 7, 12}};  // cuts through and sticks out in z
+  auto d = box_difference(a, b);
+  std::uint64_t vol = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(a.contains(d[i]));
+    EXPECT_FALSE(d[i].intersects(b));
+    vol += d[i].volume();
+    for (std::size_t j = i + 1; j < d.size(); ++j) {
+      EXPECT_FALSE(d[i].intersects(d[j]));
+    }
+  }
+  EXPECT_EQ(vol, a.volume() - a.intersection(b).volume());
+}
+
+TEST(BoxDifferenceTest, CornerCutProducesThreeSlabs) {
+  Box a{{0, 0, 0}, {3, 3, 3}};
+  Box b{{2, 2, 2}, {3, 3, 3}};
+  auto d = box_difference(a, b);
+  std::uint64_t vol = 0;
+  for (const Box& p : d) vol += p.volume();
+  EXPECT_EQ(vol, 64u - 8u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(BoxesCoverTest, ExactTiling) {
+  Box region = Box::from_dims(4, 4, 4);
+  auto tiles = split_box(region, 8);
+  EXPECT_TRUE(boxes_cover(region, tiles));
+  tiles.pop_back();
+  EXPECT_FALSE(boxes_cover(region, tiles));
+}
+
+TEST(BoxesCoverTest, OverlappingCoverIsNotDoubleCounted) {
+  // Two overlapping boxes whose volumes sum to the region's volume but
+  // which leave a gap — the naive volume-sum test would wrongly pass.
+  Box region{{0, 0, 0}, {7, 0, 0}};  // 8 points on a line
+  std::vector<Box> cover{{{0, 0, 0}, {3, 0, 0}},   // 4 points
+                         {{2, 0, 0}, {5, 0, 0}}};  // 4 points, overlaps by 2
+  EXPECT_FALSE(boxes_cover(region, cover));  // points 6, 7 uncovered
+  cover.push_back(Box{{6, 0, 0}, {7, 0, 0}});
+  EXPECT_TRUE(boxes_cover(region, cover));
+}
+
+TEST(BoxesCoverTest, EmptyRegionTriviallyCovered) {
+  EXPECT_TRUE(boxes_cover(Box{}, {}));
+  EXPECT_FALSE(boxes_cover(Box::from_dims(2, 2, 2), {}));
+}
+
+}  // namespace
+}  // namespace dstage

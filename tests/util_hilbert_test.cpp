@@ -1,0 +1,89 @@
+#include "util/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dstage {
+namespace {
+
+TEST(HilbertTest, Order1EnumeratesAllEightCells) {
+  HilbertCurve h(1);
+  EXPECT_EQ(h.length(), 8u);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 2; ++x)
+    for (std::uint32_t y = 0; y < 2; ++y)
+      for (std::uint32_t z = 0; z < 2; ++z) seen.insert(h.index_of(x, y, z));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(HilbertTest, RoundTripOrder3Exhaustive) {
+  HilbertCurve h(3);
+  for (std::uint64_t idx = 0; idx < h.length(); ++idx) {
+    auto p = h.point_of(idx);
+    EXPECT_EQ(h.index_of(p[0], p[1], p[2]), idx);
+  }
+}
+
+TEST(HilbertTest, BijectiveOrder3) {
+  HilbertCurve h(3);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        auto idx = h.index_of(x, y, z);
+        EXPECT_LT(idx, h.length());
+        EXPECT_TRUE(seen.insert(idx).second)
+            << "duplicate index " << idx << " at " << x << "," << y << ","
+            << z;
+      }
+  EXPECT_EQ(seen.size(), h.length());
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreAdjacentCells) {
+  // The defining locality property of the Hilbert curve: successive curve
+  // positions differ by exactly one step along exactly one axis.
+  HilbertCurve h(4);
+  auto prev = h.point_of(0);
+  for (std::uint64_t idx = 1; idx < h.length(); ++idx) {
+    auto cur = h.point_of(idx);
+    int manhattan = 0;
+    for (int a = 0; a < 3; ++a) {
+      manhattan += std::abs(static_cast<int>(cur[static_cast<std::size_t>(a)]) -
+                            static_cast<int>(prev[static_cast<std::size_t>(a)]));
+    }
+    ASSERT_EQ(manhattan, 1) << "discontinuity at index " << idx;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, RandomRoundTripHighOrder) {
+  HilbertCurve h(10);
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_u64(0, 1023));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_u64(0, 1023));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_u64(0, 1023));
+    auto idx = h.index_of(x, y, z);
+    auto p = h.point_of(idx);
+    EXPECT_EQ(p[0], x);
+    EXPECT_EQ(p[1], y);
+    EXPECT_EQ(p[2], z);
+  }
+}
+
+TEST(HilbertTest, RejectsBadArguments) {
+  EXPECT_THROW(HilbertCurve(0), std::invalid_argument);
+  EXPECT_THROW(HilbertCurve(21), std::invalid_argument);
+  HilbertCurve h(2);
+  EXPECT_THROW((void)h.index_of(4, 0, 0), std::out_of_range);
+  EXPECT_THROW((void)h.point_of(h.length()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dstage

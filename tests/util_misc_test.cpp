@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dstage {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximatesParameter) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(600.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 600.0, 600.0 * 0.02);
+}
+
+TEST(RngTest, WeightedPickRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w{1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_pick(w)];
+  const double frac1 = static_cast<double>(counts[1]) / 40000.0;
+  EXPECT_NEAR(frac1, 0.75, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng base(21);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1b = Rng(21).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.next_double() * 10;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.next_double() * 3 - 5;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SampleSetTest, Percentiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSetTest, EmptyIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(WatermarkTest, TracksPeak) {
+  Watermark w;
+  w.add(100);
+  w.add(250);
+  w.add(-300);
+  w.add(10);
+  EXPECT_EQ(w.current(), 60);
+  EXPECT_EQ(w.peak(), 350);
+}
+
+TEST(FormatBytesTest, Formats) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(20ull << 30), "20.00 GiB");
+}
+
+TEST(ChecksumTest, PayloadRoundTrip) {
+  const std::uint64_t key = content_key("temperature", 7, 0x1234);
+  auto p = make_payload(1000, key);
+  EXPECT_TRUE(verify_payload(p, key));
+}
+
+TEST(ChecksumTest, WrongVersionDetected) {
+  const std::uint64_t k7 = content_key("temperature", 7, 0x1234);
+  const std::uint64_t k8 = content_key("temperature", 8, 0x1234);
+  auto p = make_payload(64, k7);
+  EXPECT_FALSE(verify_payload(p, k8));
+}
+
+TEST(ChecksumTest, DifferentVariablesDiffer) {
+  EXPECT_NE(content_key("pressure", 1, 0), content_key("velocity", 1, 0));
+  EXPECT_NE(content_key("pressure", 1, 0), content_key("pressure", 2, 0));
+  EXPECT_NE(content_key("pressure", 1, 0), content_key("pressure", 1, 1));
+}
+
+TEST(ChecksumTest, NonMultipleOfEightSizes) {
+  for (std::size_t n : {0u, 1u, 7u, 9u, 63u, 65u}) {
+    const std::uint64_t key = content_key("v", 0, n);
+    auto p = make_payload(n, key);
+    EXPECT_TRUE(verify_payload(p, key)) << "size " << n;
+  }
+}
+
+TEST(ChecksumTest, CorruptionDetected) {
+  const std::uint64_t key = content_key("v", 3, 99);
+  auto p = make_payload(256, key);
+  p[100] ^= std::byte{0x01};
+  EXPECT_FALSE(verify_payload(p, key));
+}
+
+TEST(Fnv1aTest, KnownValues) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a_str(""), 0xcbf29ce484222325ULL);
+  // Differs for different strings and is stable.
+  EXPECT_NE(fnv1a_str("a"), fnv1a_str("b"));
+  EXPECT_EQ(fnv1a_str("dataspaces"), fnv1a_str("dataspaces"));
+}
+
+}  // namespace
+}  // namespace dstage

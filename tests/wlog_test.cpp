@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "staging/types.hpp"
+#include "wlog/data_log.hpp"
+#include "wlog/event_queue.hpp"
+
+namespace dstage::wlog {
+namespace {
+
+using staging::make_chunk;
+
+LogEvent put_evt(int app, Version v, const std::string& var = "f") {
+  return LogEvent{EventKind::kPut, app, v, var, Box::from_dims(4, 4, 4),
+                  512, 0};
+}
+LogEvent get_evt(int app, Version v, const std::string& var = "f") {
+  return LogEvent{EventKind::kGet, app, v, var, Box::from_dims(4, 4, 4), 0,
+                  0};
+}
+LogEvent ckpt_evt(int app, Version v, WChkId id) {
+  return LogEvent{EventKind::kCheckpoint, app, v, {}, Box{}, 0, id};
+}
+
+TEST(EventQueueTest, RecordAccumulatesMetadata) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.metadata_bytes(), 0u);
+  q.record(put_evt(0, 1));
+  q.record(get_evt(1, 1));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_GT(q.metadata_bytes(), 0u);
+}
+
+TEST(EventQueueTest, ReplayWithoutCheckpointCoversWholeQueue) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  q.record(put_evt(0, 2));
+  q.record(put_evt(0, 3));
+  EXPECT_EQ(q.begin_replay(), 3u);
+  EXPECT_TRUE(q.replaying());
+  ASSERT_NE(q.expected(), nullptr);
+  EXPECT_EQ(q.expected()->version, 1u);
+}
+
+TEST(EventQueueTest, ReplayStartsAfterLastCheckpoint) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  q.record(ckpt_evt(0, 1, 11));
+  q.record(put_evt(0, 2));
+  q.record(ckpt_evt(0, 2, 12));
+  q.record(put_evt(0, 3));
+  q.record(put_evt(0, 4));
+  EXPECT_EQ(q.begin_replay(), 2u);
+  EXPECT_EQ(q.expected()->version, 3u);
+  q.advance();
+  EXPECT_EQ(q.expected()->version, 4u);
+  q.advance();
+  EXPECT_FALSE(q.replaying());
+  EXPECT_EQ(q.expected(), nullptr);
+}
+
+TEST(EventQueueTest, EmptyScriptDoesNotEnterReplay) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  q.record(ckpt_evt(0, 1, 1));
+  EXPECT_EQ(q.begin_replay(), 0u);
+  EXPECT_FALSE(q.replaying());
+}
+
+TEST(EventQueueTest, AdvanceOutsideReplayThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.advance(), std::logic_error);
+}
+
+TEST(EventQueueTest, SecondFailureDuringReplayRestartsScript) {
+  EventQueue q;
+  q.record(ckpt_evt(0, 4, 1));
+  q.record(put_evt(0, 5));
+  q.record(get_evt(0, 5));
+  q.begin_replay();
+  q.advance();  // consumed the put
+  // Second failure: replay restarts from the script head.
+  EXPECT_EQ(q.begin_replay(), 2u);
+  EXPECT_EQ(q.expected()->kind, EventKind::kPut);
+}
+
+TEST(EventQueueTest, RecoveryMarkersSkippedInScript) {
+  EventQueue q;
+  q.record(ckpt_evt(0, 2, 1));
+  q.record(put_evt(0, 3));
+  q.record(LogEvent{EventKind::kRecovery, 0, 2, {}, Box{}, 0, 0});
+  q.record(put_evt(0, 4));
+  EXPECT_EQ(q.begin_replay(), 2u);
+  EXPECT_EQ(q.expected()->version, 3u);
+  q.advance();
+  EXPECT_EQ(q.expected()->version, 4u);  // recovery marker skipped
+}
+
+TEST(EventQueueTest, TruncateDropsOnlyBeforeLastCheckpoint) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  q.record(put_evt(0, 2));
+  q.record(ckpt_evt(0, 2, 7));
+  q.record(put_evt(0, 3));
+  const std::uint64_t before = q.metadata_bytes();
+  EXPECT_EQ(q.truncate_before_last_checkpoint(), 2u);
+  EXPECT_EQ(q.size(), 2u);  // checkpoint marker + the ts-3 put
+  EXPECT_LT(q.metadata_bytes(), before);
+  EXPECT_TRUE(q.has_checkpoint());
+  EXPECT_EQ(q.last_checkpoint_version(), 2u);
+  // Replay still anchors correctly after truncation.
+  EXPECT_EQ(q.begin_replay(), 1u);
+  EXPECT_EQ(q.expected()->version, 3u);
+}
+
+TEST(EventQueueTest, TruncateWithoutCheckpointIsNoop) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  EXPECT_EQ(q.truncate_before_last_checkpoint(), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, TruncateDuringReplayPreservesCursor) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  q.record(ckpt_evt(0, 1, 1));
+  q.record(put_evt(0, 2));
+  q.record(put_evt(0, 3));
+  q.begin_replay();
+  q.advance();  // consumed put(2); expecting put(3)
+  q.truncate_before_last_checkpoint();
+  ASSERT_TRUE(q.replaying());
+  EXPECT_EQ(q.expected()->version, 3u);
+}
+
+TEST(EventQueueTest, LastCheckpointVersionOfEmptyQueueIsZero) {
+  EventQueue q;
+  EXPECT_FALSE(q.has_checkpoint());
+  EXPECT_EQ(q.last_checkpoint_version(), 0u);
+}
+
+TEST(EventMetadataTest, ScalesWithNameLength) {
+  LogEvent a = put_evt(0, 1, "x");
+  LogEvent b = put_evt(0, 1, "a_much_longer_variable_name");
+  EXPECT_LT(event_metadata_bytes(a), event_metadata_bytes(b));
+}
+
+TEST(DataLogTest, RetainsAllVersions) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  for (Version v = 1; v <= 10; ++v)
+    log.add(make_chunk("f", v, r, 8.0, 1024));
+  EXPECT_EQ(log.versions_of("f").size(), 10u);
+  EXPECT_TRUE(log.covers("f", 1, r));
+  EXPECT_TRUE(log.covers("f", 10, r));
+  EXPECT_EQ(log.nominal_bytes(), 10 * r.volume() * 8);
+}
+
+TEST(DataLogTest, DropUptoReclaims) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  for (Version v = 1; v <= 6; ++v)
+    log.add(make_chunk("f", v, r, 8.0, 1024));
+  EXPECT_EQ(log.drop_upto("f", 4), 4u);
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{5, 6}));
+  EXPECT_FALSE(log.covers("f", 4, r));
+  EXPECT_EQ(log.drop_upto("f", 4), 0u);  // idempotent
+}
+
+TEST(DataLogTest, DropAboveForRollback) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  for (Version v = 1; v <= 6; ++v)
+    log.add(make_chunk("f", v, r, 8.0, 1024));
+  EXPECT_EQ(log.drop_above(2), 4u);
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{1, 2}));
+}
+
+TEST(DataLogTest, GetServesHistoricalVersion) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  log.add(make_chunk("f", 3, r, 8.0, 1024));
+  log.add(make_chunk("f", 9, r, 8.0, 1024));
+  auto pieces = log.get("f", 3, r);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].version, 3u);
+  EXPECT_EQ(staging::check_chunk(pieces[0], "f", 3),
+            staging::ChunkCheck::kOk);
+}
+
+}  // namespace
+}  // namespace dstage::wlog
