@@ -1,29 +1,33 @@
-// Shared helpers for the figure-reproduction harnesses. Each bench binary
-// regenerates one table/figure of the paper's evaluation section and prints
-// the measured series next to the values the paper reports.
+// Shared harness for the figure-reproduction benches. Each bench binary
+// regenerates one table/figure of the paper's evaluation section, prints
+// the measured series next to the values the paper reports, and can emit
+// the same series machine-readably.
+//
+// Every figure bench accepts:
+//   --seeds=N     failure seeds per cell (default: the figure's own batch)
+//   --threads=N   sweep worker threads (default: hardware concurrency)
+//   --json[=PATH] write a BENCH_<name>.json results document
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/executor.hpp"
 #include "core/setups.hpp"
+#include "core/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
 
 namespace dstage::bench {
 
+/// One-shot run (kept for tests/examples that need a single spec).
 inline core::RunMetrics run(core::WorkflowSpec spec) {
   core::WorkflowRunner runner(std::move(spec));
   return runner.run();
-}
-
-/// Mean total execution time over `seeds` runs of `make(seed)`.
-template <class MakeSpec>
-double mean_total_time(MakeSpec make, int seeds) {
-  double total = 0;
-  for (int s = 1; s <= seeds; ++s)
-    total += run(make(static_cast<std::uint64_t>(s))).total_time_s;
-  return total / seeds;
 }
 
 inline void print_header(const char* figure, const char* description) {
@@ -33,5 +37,81 @@ inline void print_header(const char* figure, const char* description) {
 inline double pct(double measured, double baseline) {
   return 100.0 * (measured / baseline - 1.0);
 }
+
+/// Mean of `f(metrics)` over a sweep's runs.
+template <class F>
+double mean_over(const std::vector<core::SweepRun>& runs, F f) {
+  if (runs.empty()) return 0;
+  double total = 0;
+  for (const auto& r : runs) total += f(r.metrics);
+  return total / static_cast<double>(runs.size());
+}
+
+/// Mean total execution time over `seeds` runs of `make(seed)` — the
+/// classic serial helper, now backed by the parallel sweep.
+template <class MakeSpec>
+double mean_total_time(MakeSpec make, int seeds) {
+  return core::mean_total_time(core::run_seed_sweep(make, seeds));
+}
+
+/// Flag plumbing + JSON accumulation shared by the figure benches.
+class Harness {
+ public:
+  Harness(std::string name, int argc, char** argv, int default_seeds)
+      : name_(std::move(name)), flags_(argc, argv) {
+    seeds_ = flags_.get_int("seeds", default_seeds);
+    threads_ = flags_.get_int("threads", 0);
+    json_path_ = flags_.get("json", "");
+    if (json_path_ == "true") json_path_ = "BENCH_" + name_ + ".json";
+  }
+
+  [[nodiscard]] int seeds() const { return seeds_; }
+  [[nodiscard]] core::SweepOptions sweep_options() const {
+    core::SweepOptions opts;
+    opts.threads = threads_;
+    return opts;
+  }
+
+  /// Parallel sweep of make(seed) for seeds 1..seeds().
+  std::vector<core::SweepRun> sweep(
+      const std::function<core::WorkflowSpec(std::uint64_t)>& make) const {
+    return core::run_seed_sweep(make, seeds_, sweep_options());
+  }
+
+  /// One measured cell of the figure (a subset fraction, a scale, ...).
+  void add_point(Json point) { points_.push(std::move(point)); }
+
+  /// Validate flags and write the JSON document if requested. Return value
+  /// is the process exit code.
+  int finish() {
+    bool bad = false;
+    for (const auto& unknown : flags_.unused()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+      bad = true;
+    }
+    if (bad) return 2;
+    if (json_path_.empty()) return 0;
+    Json doc = Json::object();
+    doc.set("bench", name_);
+    doc.set("seeds", seeds_);
+    doc.set("points", std::move(points_));
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path_.c_str());
+      return 1;
+    }
+    doc.dump(out);
+    std::printf("\nresults written to %s\n", json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  Flags flags_;
+  int seeds_ = 1;
+  int threads_ = 0;
+  std::string json_path_;
+  Json points_ = Json::array();
+};
 
 }  // namespace dstage::bench

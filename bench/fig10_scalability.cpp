@@ -5,17 +5,19 @@
 // on which component absorbs the failures (an analytic failure is nearly
 // free under Un but triggers a full global rollback under Co), so both the
 // mean and the best case over the seed batch are reported.
+#include <algorithm>
+
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dstage;
+  bench::Harness h("fig10_scalability", argc, argv, 8);
   bench::print_header(
       "Figure 10 — total execution time at scale (Table III)",
       "704..11264 cores; failures follow Table III's MTBF rows (1..3 per "
-      "run); 8 seeds per cell (paper: Un saves up to "
+      "run); a seed batch per cell (paper: Un saves up to "
       "7.89/10.48/11.5/12.03/13.48%).");
 
-  constexpr int kSeeds = 8;
   const double paper_up_to[] = {7.89, 10.48, 11.5, 12.03, 13.48};
 
   std::printf("%7s %4s %10s %10s %10s %10s %10s %10s\n", "cores", "fail",
@@ -25,27 +27,39 @@ int main() {
     // Table III: MTBF 600/300/200 s maps to 1/2/3 failures per run; the
     // larger scales keep the highest failure rate.
     const int failures = k == 0 ? 1 : (k == 1 ? 2 : 3);
-    double co_sum = 0, un_sum = 0, hy_sum = 0, max_save = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      auto co = bench::run(core::table3_setup(
-          core::Scheme::kCoordinated, k, failures,
-          static_cast<std::uint64_t>(seed)));
-      auto un = bench::run(core::table3_setup(
-          core::Scheme::kUncoordinated, k, failures,
-          static_cast<std::uint64_t>(seed)));
-      auto hy = bench::run(core::table3_setup(
-          core::Scheme::kHybrid, k, failures,
-          static_cast<std::uint64_t>(seed)));
-      co_sum += co.total_time_s;
-      un_sum += un.total_time_s;
-      hy_sum += hy.total_time_s;
+    auto sweep_scheme = [&](core::Scheme scheme) {
+      return h.sweep([&, scheme](std::uint64_t seed) {
+        return core::table3_setup(scheme, k, failures, seed);
+      });
+    };
+    auto co = sweep_scheme(core::Scheme::kCoordinated);
+    auto un = sweep_scheme(core::Scheme::kUncoordinated);
+    auto hy = sweep_scheme(core::Scheme::kHybrid);
+    const double co_mean = core::mean_total_time(co);
+    const double un_mean = core::mean_total_time(un);
+    const double hy_mean = core::mean_total_time(hy);
+    double max_save = 0;
+    for (std::size_t s = 0; s < co.size(); ++s) {
       max_save = std::max(max_save,
-                          100.0 * (1.0 - un.total_time_s / co.total_time_s));
+                          100.0 * (1.0 - un[s].metrics.total_time_s /
+                                             co[s].metrics.total_time_s));
     }
+    const double mean_save = 100.0 * (1.0 - un_mean / co_mean);
     std::printf("%7d %4d %10.1f %10.1f %10.1f %9.2f%% %9.2f%% %9.2f%%\n",
-                core::table3_total_cores(k), failures, co_sum / kSeeds,
-                un_sum / kSeeds, hy_sum / kSeeds,
-                100.0 * (1.0 - un_sum / co_sum), max_save, paper_up_to[k]);
+                core::table3_total_cores(k), failures, co_mean, un_mean,
+                hy_mean, mean_save, max_save, paper_up_to[k]);
+
+    Json p = Json::object();
+    p.set("scale_index", k);
+    p.set("total_cores", core::table3_total_cores(k));
+    p.set("failures", failures);
+    p.set("co_mean_total_time_s", co_mean);
+    p.set("un_mean_total_time_s", un_mean);
+    p.set("hy_mean_total_time_s", hy_mean);
+    p.set("mean_saving_pct", mean_save);
+    p.set("max_saving_pct", max_save);
+    p.set("paper_up_to_pct", paper_up_to[k]);
+    h.add_point(std::move(p));
   }
-  return 0;
+  return h.finish();
 }

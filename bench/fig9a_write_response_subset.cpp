@@ -4,8 +4,9 @@
 // Paper: logging increased write response time by 10/12/14/14/15 %.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dstage;
+  bench::Harness h("fig9a_write_response_subset", argc, argv, 1);
   bench::print_header(
       "Figure 9(a) — cumulative write response time vs subset size",
       "Table II setup, 40 ts, failure-free; Ds = original staging, "
@@ -15,14 +16,34 @@ int main() {
               "delta", "paper");
   const double paper[] = {10, 12, 14, 14, 15};
   int i = 0;
+  auto cum_wr = [](const core::RunMetrics& m) {
+    return m.component("simulation").cum_put_response_s;
+  };
   for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    auto ds = bench::run(core::table2_setup(core::Scheme::kNone, fraction));
-    auto logged =
-        bench::run(core::table2_setup(core::Scheme::kUncoordinated, fraction));
-    const double ds_wr = ds.component("simulation").cum_put_response_s;
-    const double log_wr = logged.component("simulation").cum_put_response_s;
+    auto ds = h.sweep([fraction](std::uint64_t seed) {
+      auto spec = core::table2_setup(core::Scheme::kNone, fraction);
+      spec.failures.seed = seed;
+      return spec;
+    });
+    auto logged = h.sweep([fraction](std::uint64_t seed) {
+      auto spec = core::table2_setup(core::Scheme::kUncoordinated, fraction);
+      spec.failures.seed = seed;
+      return spec;
+    });
+    const double ds_wr = bench::mean_over(ds, cum_wr);
+    const double log_wr = bench::mean_over(logged, cum_wr);
+    const double delta = bench::pct(log_wr, ds_wr);
     std::printf("%7.0f%% %14.3f %14.3f %+9.1f%% %+11.0f%%\n", fraction * 100,
-                ds_wr, log_wr, bench::pct(log_wr, ds_wr), paper[i++]);
+                ds_wr, log_wr, delta, paper[i]);
+
+    Json p = Json::object();
+    p.set("subset_fraction", fraction);
+    p.set("ds_cum_write_response_s", ds_wr);
+    p.set("logged_cum_write_response_s", log_wr);
+    p.set("delta_pct", delta);
+    p.set("paper_delta_pct", paper[i]);
+    h.add_point(std::move(p));
+    ++i;
   }
-  return 0;
+  return h.finish();
 }

@@ -3,8 +3,9 @@
 // Paper: logging increased write response time by at most 14 %.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dstage;
+  bench::Harness h("fig9b_write_response_period", argc, argv, 1);
   bench::print_header(
       "Figure 9(b) — cumulative write response time vs checkpoint period",
       "Table II setup, full domain, 40 ts, failure-free "
@@ -12,15 +13,34 @@ int main() {
 
   std::printf("%8s %14s %14s %10s\n", "period", "Ds (s)", "Ds+log (s)",
               "delta");
+  auto cum_wr = [](const core::RunMetrics& m) {
+    return m.component("simulation").cum_put_response_s;
+  };
   for (int period : {2, 3, 4, 5, 6}) {
-    auto ds = bench::run(
-        core::table2_setup(core::Scheme::kNone, 1.0, period, period + 1));
-    auto logged = bench::run(core::table2_setup(
-        core::Scheme::kUncoordinated, 1.0, period, period + 1));
-    const double ds_wr = ds.component("simulation").cum_put_response_s;
-    const double log_wr = logged.component("simulation").cum_put_response_s;
+    auto ds = h.sweep([period](std::uint64_t seed) {
+      auto spec =
+          core::table2_setup(core::Scheme::kNone, 1.0, period, period + 1);
+      spec.failures.seed = seed;
+      return spec;
+    });
+    auto logged = h.sweep([period](std::uint64_t seed) {
+      auto spec = core::table2_setup(core::Scheme::kUncoordinated, 1.0,
+                                     period, period + 1);
+      spec.failures.seed = seed;
+      return spec;
+    });
+    const double ds_wr = bench::mean_over(ds, cum_wr);
+    const double log_wr = bench::mean_over(logged, cum_wr);
+    const double delta = bench::pct(log_wr, ds_wr);
     std::printf("%5d ts %14.3f %14.3f %+9.1f%%\n", period, ds_wr, log_wr,
-                bench::pct(log_wr, ds_wr));
+                delta);
+
+    Json p = Json::object();
+    p.set("ckpt_period", period);
+    p.set("ds_cum_write_response_s", ds_wr);
+    p.set("logged_cum_write_response_s", log_wr);
+    p.set("delta_pct", delta);
+    h.add_point(std::move(p));
   }
-  return 0;
+  return h.finish();
 }

@@ -11,12 +11,13 @@
 // time by ~3 % relative to Co (both cases).
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dstage;
+  bench::Harness h("fig9e_exec_time", argc, argv, 16);
   bench::print_header(
       "Figure 9(e) — total workflow execution time (Table II, 1 failure)",
-      "Averaged over 16 failure seeds; anomalies shown for the unlogged "
-      "individual scheme (paper: Un/Hy ~= In, ~3% under Co).");
+      "Averaged over the failure-seed batch; anomalies shown for the "
+      "unlogged individual scheme (paper: Un/Hy ~= In, ~3% under Co).");
 
   struct Row {
     const char* label;
@@ -30,30 +31,37 @@ int main() {
       {"Hy+1f", core::Scheme::kHybrid, 1},
       {"In+1f", core::Scheme::kIndividual, 1},
   };
-  constexpr int kSeeds = 16;
 
   std::printf("%8s %12s %12s %12s\n", "config", "time (s)", "vs Co",
               "anomalies");
   double co_time = 0;
   for (const Row& row : rows) {
-    double total = 0;
-    int anomalies = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
+    auto runs = h.sweep([&row](std::uint64_t seed) {
       auto spec = core::table2_setup(row.scheme);
       spec.failures.count = row.failures;
-      spec.failures.seed = static_cast<std::uint64_t>(seed);
-      auto m = bench::run(std::move(spec));
-      total += m.total_time_s;
-      anomalies += m.total_anomalies();
-    }
-    total /= kSeeds;
+      spec.failures.seed = seed;
+      return spec;
+    });
+    const double total = core::mean_total_time(runs);
+    int anomalies = 0;
+    for (const auto& r : runs) anomalies += r.metrics.total_anomalies();
     if (row.scheme == core::Scheme::kCoordinated) co_time = total;
+
+    Json p = Json::object();
+    p.set("config", row.label);
+    p.set("scheme", core::scheme_name(row.scheme));
+    p.set("failures", row.failures);
+    p.set("mean_total_time_s", total);
+    p.set("anomalies", anomalies);
     if (co_time > 0 && row.scheme != core::Scheme::kNone) {
-      std::printf("%8s %12.1f %+11.2f%% %12d\n", row.label, total,
-                  bench::pct(total, co_time), anomalies);
+      const double vs_co = bench::pct(total, co_time);
+      std::printf("%8s %12.1f %+11.2f%% %12d\n", row.label, total, vs_co,
+                  anomalies);
+      p.set("vs_co_pct", vs_co);
     } else {
       std::printf("%8s %12.1f %12s %12d\n", row.label, total, "-", anomalies);
     }
+    h.add_point(std::move(p));
   }
-  return 0;
+  return h.finish();
 }

@@ -1,201 +1,61 @@
 #include "core/executor.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "core/recovery_pipeline.hpp"
 #include "sim/spawn.hpp"
 
 namespace dstage::core {
 
 WorkflowRunner::WorkflowRunner(WorkflowSpec spec)
-    : spec_(std::move(spec)),
-      fabric_(engine_, spec_.fabric),
-      cluster_(engine_, fabric_),
-      pfs_(engine_, spec_.pfs),
-      rng_(spec_.failures.seed) {
-  if (spec_.components.empty())
-    throw std::invalid_argument("workflow has no components");
-  if (spec_.staging_servers < 1)
-    throw std::invalid_argument("need at least one staging server");
-  build();
+    : policy_(make_scheme_policy(spec.scheme)) {
+  runtime_ = RuntimeBuilder(std::move(spec)).policy(*policy_).build();
+  services_ = runtime_->services();
+  services_.resume = [this](Comp* comp, int start_ts) {
+    sim::spawn(runtime_->engine(), run_component(comp, start_ts));
+  };
+  services_.resume_recovered = [this](Comp* comp) {
+    sim::spawn(runtime_->engine(), run_component_recovered(comp));
+  };
 }
 
-WorkflowRunner::~WorkflowRunner() { teardown(); }
-
-int WorkflowRunner::total_app_cores() const {
-  int n = 0;
-  for (const auto& c : comps_) n += c->spec.cores;
-  return n;
-}
-
-bool WorkflowRunner::comp_logged(const Comp& c) const {
-  // Replication-protected components never roll back, so their requests
-  // bypass the log (Fig. 6: replica failover does not trigger replay).
-  return uses_logging() && c.spec.method == FtMethod::kCheckpointRestart;
-}
-
-Box WorkflowRunner::subset_region(double fraction) const {
-  const auto ext = spec_.domain.extents();
-  const auto dz = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(
-             std::llround(fraction * static_cast<double>(ext[2]))));
-  Box r = spec_.domain;
-  r.hi.z = r.lo.z + std::min(dz, ext[2]) - 1;
-  return r;
-}
-
-void WorkflowRunner::build() {
-  cluster_.set_detection_delay(
-      sim::from_seconds(spec_.costs.detection_delay_s));
-  index_ = std::make_unique<dht::SpatialIndex>(
-      spec_.domain, spec_.staging_servers, spec_.cells_per_axis);
-  all_done_ = std::make_unique<sim::OneShotEvent>(engine_);
-
-  // Staging servers: one vproc on its own node each.
-  staging::ServerParams server_params = spec_.server;
-  server_params.logging = uses_logging();
-  for (int s = 0; s < spec_.staging_servers; ++s) {
-    const auto node = cluster_.add_node();
-    const auto vp = cluster_.add_vproc("staging-" + std::to_string(s), node);
-    server_vprocs_.push_back(vp);
-    servers_.push_back(
-        std::make_unique<staging::StagingServer>(cluster_, vp, server_params));
-  }
-
-  {
-    std::vector<net::EndpointId> server_endpoints;
-    server_endpoints.reserve(server_vprocs_.size());
-    for (auto vp : server_vprocs_)
-      server_endpoints.push_back(cluster_.vproc(vp).endpoint);
-    for (std::size_t s = 0; s < servers_.size(); ++s) {
-      servers_[s]->set_peers(static_cast<int>(s), server_endpoints);
-    }
-  }
-
-  // Application components: one actor vproc each.
-  for (std::size_t i = 0; i < spec_.components.size(); ++i) {
-    auto comp = std::make_unique<Comp>();
-    comp->spec = spec_.components[i];
-    comp->id = static_cast<staging::AppId>(i);
-    comp->metrics.name = comp->spec.name;
-    const auto node = cluster_.add_node();
-    const int nodes_spanned =
-        std::max(1, comp->spec.cores / spec_.costs.cores_per_node);
-    fabric_.set_node_injection_bw(
-        node, spec_.fabric.injection_bw * nodes_spanned);
-    comp->vproc = cluster_.add_vproc(comp->spec.name, node);
-    staging::ClientParams cp;
-    cp.app = comp->id;
-    cp.logged = comp_logged(*comp);
-    cp.bytes_per_point = spec_.bytes_per_point;
-    cp.mem_scale = spec_.mem_scale;
-    comp->client = std::make_unique<staging::StagingClient>(
-        cluster_, *index_, server_vprocs_, comp->vproc, cp);
-    comps_.push_back(std::move(comp));
-  }
-
-  // Control client (staging rollback broadcasts during coordinated restart).
-  {
-    const auto node = cluster_.add_node();
-    control_vproc_ = cluster_.add_vproc("control", node);
-    staging::ClientParams cp;
-    cp.app = static_cast<staging::AppId>(comps_.size());
-    cp.logged = false;
-    control_client_ = std::make_unique<staging::StagingClient>(
-        cluster_, *index_, server_vprocs_, control_vproc_, cp);
-  }
-
-  // Variable registry for GC retention: consumers pin retention only when
-  // they are rollback-capable.
-  for (const auto& producer : comps_) {
-    for (const auto& write : producer->spec.writes) {
-      std::vector<std::pair<staging::AppId, bool>> consumers;
-      for (const auto& reader : comps_) {
-        for (const auto& read : reader->spec.reads) {
-          if (read.var == write.var) {
-            consumers.emplace_back(
-                reader->id,
-                reader->spec.method == FtMethod::kCheckpointRestart &&
-                    uses_logging());
-          }
-        }
-      }
-      for (auto& server : servers_) {
-        server->register_var(write.var, consumers);
-      }
-    }
-  }
-
-  barrier_ = std::make_unique<sim::Barrier>(
-      engine_, static_cast<int>(comps_.size()));
-
-  plan_failures();
-}
-
-void WorkflowRunner::plan_failures() {
-  const int count = spec_.failures.count;
-  if (count <= 0 && spec_.failures.predictor_false_alarms <= 0) return;
-  std::vector<double> weights;
-  weights.reserve(comps_.size());
-  for (const auto& c : comps_)
-    weights.push_back(static_cast<double>(c->spec.cores));
-  for (int i = 0; i < count; ++i) {
-    PlannedFailure f;
-    f.comp = rng_.weighted_pick(weights);
-    f.ts = rng_.uniform_int(1, spec_.total_ts);
-    f.phase = rng_.next_double();
-    f.node_level = rng_.next_double() < spec_.failures.node_failure_fraction;
-    f.predicted = rng_.next_double() < spec_.failures.predictor_recall;
-    plan_.push_back(f);
-  }
-  // Predictor false alarms: emergency checkpoints with no failure behind
-  // them, modeled as predicted "failures" that never kill anything.
-  for (int i = 0; i < spec_.failures.predictor_false_alarms; ++i) {
-    PlannedFailure f;
-    f.comp = rng_.weighted_pick(weights);
-    f.ts = rng_.uniform_int(1, spec_.total_ts);
-    f.predicted = true;
-    f.fired = false;
-    f.phase = -1;  // sentinel: alarm only, no kill
-    plan_.push_back(f);
-  }
-}
-
-void WorkflowRunner::check_all_done() {
-  for (const auto& c : comps_) {
-    if (!c->done) return;
-  }
-  all_done_->set();
+WorkflowRunner::~WorkflowRunner() {
+  tearing_down_ = true;
+  runtime_->teardown();
 }
 
 RunMetrics WorkflowRunner::run() {
   if (ran_) throw std::logic_error("WorkflowRunner::run() is single-shot");
   ran_ = true;
 
-  for (auto& server : servers_) server->start();
-  cluster_.on_failure([this](cluster::VprocId vp) { on_vproc_failure(vp); });
-  for (auto& comp : comps_) {
-    sim::spawn(engine_, run_component(comp.get(), 0));
+  for (auto& server : runtime_->servers()) server->start();
+  runtime_->cluster().on_failure(
+      [this](cluster::VprocId vp) { on_vproc_failure(vp); });
+  for (auto& comp : runtime_->comps()) {
+    sim::spawn(runtime_->engine(), run_component(comp.get(), 0));
   }
 
-  engine_.run();
+  runtime_->engine().run();
 
-  if (!all_done_->is_set()) {
+  if (!runtime_->all_done().is_set()) {
     std::string stuck;
-    for (const auto& c : comps_) {
+    for (const auto& c : runtime_->comps()) {
       if (!c->done) stuck += " " + c->spec.name + "@ts" +
                              std::to_string(c->current_ts);
     }
     throw std::runtime_error("workflow deadlocked; unfinished:" + stuck);
   }
-  return collect();
+  return runtime_->collect(failures_injected_);
 }
 
 sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
-  sim::Ctx ctx = cluster_.ctx_for(comp->vproc);
-  for (int ts = start_ts + 1; ts <= spec_.total_ts; ++ts) {
-    trace_.record(ctx.now(), TraceKind::kTimestepStart, comp->spec.name, ts);
+  const WorkflowSpec& spec = runtime_->spec();
+  Trace& trace = runtime_->trace();
+  sim::Ctx ctx = runtime_->cluster().ctx_for(comp->vproc);
+  for (int ts = start_ts + 1; ts <= spec.total_ts; ++ts) {
+    trace.record(ctx.now(), TraceKind::kTimestepStart, comp->spec.name, ts);
     co_await maybe_fail(comp, ts, ctx);
 
     // Reads first (consumers pull the coupled data for this timestep).
@@ -203,50 +63,56 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
       if (ts % read.every != 0) continue;
       auto result = co_await comp->client->get(
           ctx, read.var, static_cast<staging::Version>(ts),
-          subset_region(read.subset_fraction));
+          runtime_->subset_region(read.subset_fraction));
       comp->metrics.get_response_s.add(result.response_time.seconds());
       comp->metrics.cum_get_response_s += result.response_time.seconds();
       comp->metrics.wrong_version_reads += result.wrong_version;
       comp->metrics.corrupt_reads += result.corrupt;
-      trace_.record(ctx.now(), TraceKind::kReadDone, comp->spec.name, ts,
-                    static_cast<std::int64_t>(result.nominal_bytes));
+      trace.record(ctx.now(), TraceKind::kReadDone, comp->spec.name, ts,
+                   static_cast<std::int64_t>(result.nominal_bytes));
     }
 
     co_await ctx.delay(sim::from_seconds(comp->spec.compute_per_ts_s));
-    trace_.record(ctx.now(), TraceKind::kComputeDone, comp->spec.name, ts);
+    trace.record(ctx.now(), TraceKind::kComputeDone, comp->spec.name, ts);
 
     for (const auto& write : comp->spec.writes) {
       auto result = co_await comp->client->put(
           ctx, write.var, static_cast<staging::Version>(ts),
-          subset_region(write.subset_fraction));
+          runtime_->subset_region(write.subset_fraction));
       comp->metrics.put_response_s.add(result.response_time.seconds());
       comp->metrics.cum_put_response_s += result.response_time.seconds();
       comp->metrics.put_bytes += result.nominal_bytes;
       comp->metrics.suppressed_puts += result.suppressed;
-      trace_.record(ctx.now(), TraceKind::kWriteDone, comp->spec.name, ts,
-                    static_cast<std::int64_t>(result.nominal_bytes));
+      trace.record(ctx.now(), TraceKind::kWriteDone, comp->spec.name, ts,
+                   static_cast<std::int64_t>(result.nominal_bytes));
     }
 
     comp->current_ts = ts;
     ++comp->metrics.timesteps_done;
-    trace_.record(ctx.now(), TraceKind::kTimestepDone, comp->spec.name, ts);
+    trace.record(ctx.now(), TraceKind::kTimestepDone, comp->spec.name, ts);
 
-    co_await maybe_checkpoint(comp, ts, ctx);
+    co_await policy_->on_timestep_end(services_, *comp, ts, ctx);
   }
   comp->done = true;
   comp->metrics.completion_time_s = ctx.now().seconds();
-  check_all_done();
+  runtime_->check_all_done();
+}
+
+sim::Task<void> WorkflowRunner::run_component_recovered(Comp* comp) {
+  sim::Ctx ctx = runtime_->cluster().ctx_for(comp->vproc);
+  const bool logged = policy_->component_logged(comp->spec);
+  co_await stage_reattach_and_replay(services_, *comp, logged, ctx);
+  co_await run_component(comp, comp->last_ckpt_ts);
 }
 
 sim::Task<void> WorkflowRunner::maybe_fail(Comp* comp, int ts, sim::Ctx ctx) {
-  for (auto& f : plan_) {
+  for (auto& f : runtime_->plan()) {
     if (f.fired || f.comp != comp->id || f.ts != ts) continue;
     f.fired = true;
-    if (f.predicted && comp->spec.method == FtMethod::kCheckpointRestart &&
-        spec_.scheme != Scheme::kNone) {
+    if (f.predicted && policy_->proactive_eligible(comp->spec)) {
       // The failure predictor raised an alert: take an emergency local
       // checkpoint so the imminent failure loses only the current timestep.
-      co_await proactive_checkpoint(comp, ts - 1, ctx);
+      co_await policy_->emergency_checkpoint(services_, *comp, ts - 1, ctx);
     }
     if (f.phase < 0) continue;  // false alarm: no failure follows
     ++failures_injected_;
@@ -254,237 +120,18 @@ sim::Task<void> WorkflowRunner::maybe_fail(Comp* comp, int ts, sim::Ctx ctx) {
     co_await ctx.delay(
         sim::from_seconds(f.phase * comp->spec.compute_per_ts_s));
     if (f.node_level) comp->last_ckpt_ts = comp->last_pfs_ckpt_ts;
-    trace_.record(ctx.now(), TraceKind::kFailure, comp->spec.name, ts,
-                  f.node_level ? 1 : 0);
-    cluster_.kill(comp->vproc);
+    runtime_->trace().record(ctx.now(), TraceKind::kFailure, comp->spec.name,
+                             ts, f.node_level ? 1 : 0);
+    runtime_->cluster().kill(comp->vproc);
     co_await ctx.delay({0});  // the cancelled token unwinds here
   }
 }
 
-sim::Task<void> WorkflowRunner::proactive_checkpoint(Comp* comp, int ts,
-                                                     sim::Ctx ctx) {
-  if (ts <= comp->last_ckpt_ts) co_return;  // already covered
-  co_await ctx.delay(sim::from_seconds(
-      static_cast<double>(spec_.costs.state_bytes(comp->spec.cores)) /
-      spec_.costs.local_ckpt_bw));
-  if (comp_logged(*comp)) {
-    co_await comp->client->workflow_check(ctx,
-                                          static_cast<staging::Version>(ts));
-  }
-  comp->last_ckpt_ts = ts;
-  ++comp->metrics.proactive_checkpoints;
-  trace_.record(ctx.now(), TraceKind::kProactiveCheckpoint, comp->spec.name,
-                ts);
-}
-
-sim::Task<void> WorkflowRunner::maybe_checkpoint(Comp* comp, int ts,
-                                                 sim::Ctx ctx) {
-  switch (spec_.scheme) {
-    case Scheme::kNone:
-      co_return;
-    case Scheme::kCoordinated: {
-      if (ts % spec_.coordinated_period != 0) co_return;
-      // Synchronizing barriers before and after the snapshot flush any
-      // in-flight coupling traffic (Section II).
-      co_await barrier_->arrive_and_wait(ctx.tok);
-      co_await ctx.delay(spec_.costs.barrier_time(total_app_cores()));
-      co_await pfs_.write(ctx, spec_.costs.state_bytes(comp->spec.cores));
-      co_await barrier_->arrive_and_wait(ctx.tok);
-      co_await ctx.delay(spec_.costs.barrier_time(total_app_cores()));
-      comp->last_ckpt_ts = ts;
-      comp->last_pfs_ckpt_ts = ts;
-      global_ckpt_ts_ = ts;
-      ++comp->metrics.checkpoints;
-      trace_.record(ctx.now(), TraceKind::kCheckpoint, comp->spec.name, ts);
-      co_return;
-    }
-    case Scheme::kUncoordinated:
-    case Scheme::kIndividual:
-    case Scheme::kHybrid: {
-      if (comp->spec.method != FtMethod::kCheckpointRestart) co_return;
-      const bool pfs_due = ts % comp->spec.ckpt_period == 0;
-      const bool local_due = comp->spec.local_ckpt_period > 0 &&
-                             ts % comp->spec.local_ckpt_period == 0;
-      if (!pfs_due && !local_due) co_return;
-      if (pfs_due) {
-        co_await pfs_.write(ctx, spec_.costs.state_bytes(comp->spec.cores));
-        comp->last_pfs_ckpt_ts = ts;
-        ++comp->metrics.checkpoints;
-        trace_.record(ctx.now(), TraceKind::kCheckpoint, comp->spec.name, ts);
-      } else {
-        // Node-local level: fast, uncontended, lost on node failure.
-        co_await ctx.delay(sim::from_seconds(
-            static_cast<double>(spec_.costs.state_bytes(comp->spec.cores)) /
-            spec_.costs.local_ckpt_bw));
-        ++comp->metrics.local_checkpoints;
-        trace_.record(ctx.now(), TraceKind::kLocalCheckpoint,
-                      comp->spec.name, ts);
-      }
-      if (comp_logged(*comp)) {
-        co_await comp->client->workflow_check(
-            ctx, static_cast<staging::Version>(ts));
-      }
-      comp->last_ckpt_ts = ts;
-      co_return;
-    }
-  }
-}
-
 void WorkflowRunner::on_vproc_failure(cluster::VprocId vproc) {
-  if (tearing_down_ || all_done_->is_set()) return;
-  Comp* comp = nullptr;
-  for (auto& c : comps_) {
-    if (c->vproc == vproc) {
-      comp = c.get();
-      break;
-    }
-  }
+  if (tearing_down_ || runtime_->all_done().is_set()) return;
+  Comp* comp = runtime_->comp_for_vproc(vproc);
   if (comp == nullptr || comp->done) return;
-
-  if (spec_.scheme == Scheme::kCoordinated) {
-    if (co_recovery_active_) return;  // secondary kill of the global restart
-    co_recovery_active_ = true;
-    ++comp->metrics.failures;
-    sim::spawn(engine_, recover_coordinated());
-    return;
-  }
-  if (comp->recovering) return;
-  comp->recovering = true;
-  ++comp->metrics.failures;
-  if (comp->spec.method == FtMethod::kReplication) {
-    sim::spawn(engine_, recover_failover(comp));
-  } else {
-    sim::spawn(engine_, recover_cr(comp));
-  }
-}
-
-sim::Task<void> WorkflowRunner::recover_cr(Comp* comp) {
-  sim::Ctx sys{&engine_, &sys_token_};
-  trace_.record(sys.now(), TraceKind::kRecoveryStart, comp->spec.name,
-                comp->current_ts);
-  // ULFM: revoke, shrink, agree, then a spare joins the communicator.
-  co_await sys.delay(spec_.costs.ulfm_time(comp->spec.cores));
-  // Restore process state from the freshest usable checkpoint: the fast
-  // node-local level when it holds the anchor, the PFS otherwise.
-  if (comp->last_ckpt_ts > comp->last_pfs_ckpt_ts) {
-    co_await sys.delay(sim::from_seconds(
-        static_cast<double>(spec_.costs.state_bytes(comp->spec.cores)) /
-        spec_.costs.local_ckpt_bw));
-  } else {
-    co_await pfs_.read(sys, spec_.costs.state_bytes(comp->spec.cores));
-  }
-  comp->metrics.timesteps_reworked += comp->current_ts - comp->last_ckpt_ts;
-  cluster_.revive(comp->vproc);
-  comp->recovering = false;
-  trace_.record(sys.now(), TraceKind::kRecoveryDone, comp->spec.name,
-                comp->last_ckpt_ts);
-  sim::spawn(engine_, run_component_recovered(comp));
-}
-
-sim::Task<void> WorkflowRunner::run_component_recovered(Comp* comp) {
-  sim::Ctx ctx = cluster_.ctx_for(comp->vproc);
-  if (comp_logged(*comp)) {
-    // workflow_restart(): client re-init + recovery event; the servers
-    // switch this app's queues into replay mode.
-    const std::size_t replay = co_await comp->client->workflow_restart(
-        ctx, static_cast<staging::Version>(comp->last_ckpt_ts));
-    trace_.record(ctx.now(), TraceKind::kReplayDone, comp->spec.name,
-                  comp->last_ckpt_ts, static_cast<std::int64_t>(replay));
-  } else {
-    co_await ctx.delay(comp->client->params().reconnect_cost);
-  }
-  comp->current_ts = comp->last_ckpt_ts;
-  co_await run_component(comp, comp->last_ckpt_ts);
-}
-
-sim::Task<void> WorkflowRunner::recover_failover(Comp* comp) {
-  sim::Ctx sys{&engine_, &sys_token_};
-  // The replica takes over; the interrupted timestep is re-executed by the
-  // surviving copy. No rollback, no staging recovery event.
-  co_await sys.delay(sim::from_seconds(spec_.costs.failover_s));
-  cluster_.revive(comp->vproc);
-  comp->recovering = false;
-  const int resume_from = comp->current_ts;
-  sim::spawn(engine_, run_component(comp, resume_from));
-}
-
-sim::Task<void> WorkflowRunner::recover_coordinated() {
-  sim::Ctx sys{&engine_, &sys_token_};
-  // Everyone rolls back: kill all surviving components.
-  for (auto& c : comps_) {
-    if (cluster_.vproc(c->vproc).alive) cluster_.kill(c->vproc);
-  }
-  // Global ULFM recovery across the whole workflow.
-  co_await sys.delay(spec_.costs.ulfm_time(total_app_cores()));
-  // Every component restores its state from the PFS (contended).
-  {
-    std::vector<sim::Task<void>> reads;
-    for (auto& c : comps_) {
-      reads.push_back(pfs_.read(sys, spec_.costs.state_bytes(c->spec.cores)));
-    }
-    co_await sim::when_all(sys, std::move(reads));
-  }
-  // Roll the staging area back to the global snapshot.
-  co_await control_client_->rollback_staging(
-      sys, static_cast<staging::Version>(global_ckpt_ts_));
-  // Post-recovery resynchronization barrier.
-  co_await sys.delay(spec_.costs.barrier_time(total_app_cores()));
-  for (auto& c : comps_) {
-    c->metrics.timesteps_reworked +=
-        std::max(0, c->current_ts - global_ckpt_ts_);
-    c->current_ts = global_ckpt_ts_;
-    c->last_ckpt_ts = global_ckpt_ts_;
-    c->last_pfs_ckpt_ts = global_ckpt_ts_;
-    c->done = false;
-    cluster_.revive(c->vproc);
-  }
-  co_recovery_active_ = false;
-  for (auto& c : comps_) {
-    sim::spawn(engine_, run_component(c.get(), global_ckpt_ts_));
-  }
-}
-
-RunMetrics WorkflowRunner::collect() {
-  RunMetrics m;
-  m.scheme = spec_.scheme;
-  m.failures_injected = failures_injected_;
-  double total = 0;
-  for (auto& c : comps_) {
-    total = std::max(total, c->metrics.completion_time_s);
-    m.components.push_back(c->metrics);
-  }
-  m.total_time_s = total;
-  for (auto& server : servers_) {
-    const auto& st = server->stats();
-    m.staging.puts += st.puts;
-    m.staging.gets += st.gets;
-    m.staging.puts_suppressed += st.puts_suppressed;
-    m.staging.gets_from_log += st.gets_from_log;
-    m.staging.replay_mismatches += st.replay_mismatches;
-    m.staging.gc_versions_dropped += st.gc_versions_dropped;
-    m.staging.store_bytes_peak += server->store().peak_nominal_bytes();
-    m.staging.total_bytes_peak += server->peak_total_bytes();
-    m.staging.total_bytes_mean += server->mean_total_bytes();
-    const auto mem = server->memory();
-    m.staging.log_payload_bytes_peak += mem.log_payload_bytes;
-  }
-  m.pfs_bytes_written = pfs_.bytes_written();
-  m.pfs_bytes_read = pfs_.bytes_read();
-  m.events_processed = engine_.processed();
-  return m;
-}
-
-void WorkflowRunner::teardown() {
-  // Unwind every suspended actor so coroutine frames are reclaimed.
-  tearing_down_ = true;
-  sys_token_.cancel();
-  for (auto& c : comps_) {
-    if (cluster_.vproc(c->vproc).alive) cluster_.kill(c->vproc);
-  }
-  for (auto vp : server_vprocs_) {
-    if (cluster_.vproc(vp).alive) cluster_.kill(vp);
-  }
-  engine_.run();
+  policy_->recover(services_, *comp);
 }
 
 }  // namespace dstage::core

@@ -1,23 +1,17 @@
-// WorkflowRunner: builds the virtual cluster, staging service, and
-// application actors described by a WorkflowSpec, arms the failure plan,
-// runs the discrete-event simulation to completion, and collects metrics.
-// One runner executes one workflow run; construct a fresh runner per run.
+// WorkflowRunner: the thin orchestrator over the layered runtime. It builds
+// a Runtime (via RuntimeBuilder) for the scheme policy selected by the
+// spec, drives each component's timestep loop (read -> compute -> write),
+// injects the planned failures, and delegates every scheme-dependent
+// decision — checkpointing, barrier costs, recovery — to the SchemePolicy
+// and the Fig. 7(b) recovery pipeline. One runner executes one workflow
+// run; construct a fresh runner per run. For multi-run batches see
+// core/sweep.hpp.
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "cluster/cluster.hpp"
-#include "cluster/pfs.hpp"
-#include "core/trace.hpp"
-#include "core/workflow.hpp"
-#include "dht/spatial_index.hpp"
-#include "net/fabric.hpp"
-#include "sim/engine.hpp"
-#include "sim/event.hpp"
-#include "staging/client.hpp"
-#include "staging/server.hpp"
-#include "util/rng.hpp"
+#include "core/runtime.hpp"
+#include "core/scheme/policy.hpp"
 
 namespace dstage::core {
 
@@ -35,81 +29,26 @@ class WorkflowRunner {
 
   /// Post-run introspection.
   [[nodiscard]] const staging::StagingServer& server(int i) const {
-    return *servers_[static_cast<std::size_t>(i)];
+    return runtime_->server(i);
   }
-  [[nodiscard]] int server_count() const {
-    return static_cast<int>(servers_.size());
-  }
-  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] int server_count() const { return runtime_->server_count(); }
+  [[nodiscard]] sim::Engine& engine() { return runtime_->engine(); }
   /// Structured execution timeline (populated during run()).
-  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return runtime_->trace(); }
+  /// The scheme policy driving this run.
+  [[nodiscard]] const SchemePolicy& policy() const { return *policy_; }
+  /// The assembled runtime (engine, cluster, staging, components).
+  [[nodiscard]] Runtime& runtime() { return *runtime_; }
 
  private:
-  struct Comp {
-    ComponentSpec spec;
-    staging::AppId id = -1;
-    cluster::VprocId vproc = -1;
-    std::unique_ptr<staging::StagingClient> client;
-    int current_ts = 0;       // last fully completed timestep
-    int last_ckpt_ts = 0;     // freshest restartable checkpoint (any level)
-    int last_pfs_ckpt_ts = 0; // freshest PFS-level checkpoint
-    bool done = false;
-    bool recovering = false;
-    ComponentMetrics metrics;
-  };
-
-  struct PlannedFailure {
-    int comp = 0;
-    int ts = 1;
-    double phase = 0.5;  // fraction of the timestep's compute before death
-    bool node_level = false;  // node failure: local checkpoints are lost
-    bool predicted = false;   // the failure predictor flagged it in advance
-    bool fired = false;
-  };
-
-  void build();
-  void plan_failures();
-  [[nodiscard]] Box subset_region(double fraction) const;
-  [[nodiscard]] int total_app_cores() const;
-  [[nodiscard]] bool uses_logging() const {
-    return scheme_uses_logging(spec_.scheme);
-  }
-  [[nodiscard]] bool comp_logged(const Comp& c) const;
-  void check_all_done();
-  void on_vproc_failure(cluster::VprocId vproc);
-
   sim::Task<void> run_component(Comp* comp, int start_ts);
   sim::Task<void> run_component_recovered(Comp* comp);
   sim::Task<void> maybe_fail(Comp* comp, int ts, sim::Ctx ctx);
-  sim::Task<void> maybe_checkpoint(Comp* comp, int ts, sim::Ctx ctx);
-  /// Emergency (proactive) checkpoint to node-local storage + staging event.
-  sim::Task<void> proactive_checkpoint(Comp* comp, int ts, sim::Ctx ctx);
-  sim::Task<void> recover_cr(Comp* comp);
-  sim::Task<void> recover_failover(Comp* comp);
-  sim::Task<void> recover_coordinated();
+  void on_vproc_failure(cluster::VprocId vproc);
 
-  RunMetrics collect();
-  void teardown();
-
-  WorkflowSpec spec_;
-  sim::Engine engine_;
-  net::Fabric fabric_;
-  cluster::Cluster cluster_;
-  cluster::Pfs pfs_;
-  std::unique_ptr<dht::SpatialIndex> index_;
-  std::vector<std::unique_ptr<staging::StagingServer>> servers_;
-  std::vector<cluster::VprocId> server_vprocs_;
-  std::vector<std::unique_ptr<Comp>> comps_;
-  std::unique_ptr<sim::Barrier> barrier_;  // coordinated checkpoint barrier
-  std::unique_ptr<sim::OneShotEvent> all_done_;
-  std::unique_ptr<staging::StagingClient> control_client_;
-  cluster::VprocId control_vproc_ = -1;
-  sim::CancelToken sys_token_;
-  std::vector<PlannedFailure> plan_;
-  Rng rng_;
-  Trace trace_;
-  int global_ckpt_ts_ = 0;
-  bool co_recovery_active_ = false;
+  std::unique_ptr<SchemePolicy> policy_;
+  std::unique_ptr<Runtime> runtime_;
+  RuntimeServices services_;
   int failures_injected_ = 0;
   bool ran_ = false;
   bool tearing_down_ = false;

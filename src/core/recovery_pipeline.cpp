@@ -1,0 +1,108 @@
+#include "core/recovery_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/spawn.hpp"
+
+namespace dstage::core {
+
+sim::Task<void> stage_process_recovery(RuntimeServices& rt, Comp& comp,
+                                       sim::Ctx sys) {
+  rt.trace->record(sys.now(), TraceKind::kRecoveryStart, comp.spec.name,
+                   comp.current_ts);
+  // ULFM: revoke, shrink, agree, then a spare joins the communicator.
+  co_await sys.delay(rt.spec->costs.ulfm_time(comp.spec.cores));
+}
+
+sim::Task<void> stage_data_recovery(RuntimeServices& rt, Comp& comp,
+                                    sim::Ctx sys) {
+  if (comp.last_ckpt_ts > comp.last_pfs_ckpt_ts) {
+    co_await sys.delay(sim::from_seconds(
+        static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
+        rt.spec->costs.local_ckpt_bw));
+  } else {
+    co_await rt.pfs->read(sys, rt.spec->costs.state_bytes(comp.spec.cores));
+  }
+  comp.metrics.timesteps_reworked += comp.current_ts - comp.last_ckpt_ts;
+}
+
+sim::Task<void> stage_reattach_and_replay(RuntimeServices& rt, Comp& comp,
+                                          bool logged, sim::Ctx ctx) {
+  if (logged) {
+    // workflow_restart(): client re-init + recovery event; the servers
+    // switch this app's queues into replay mode.
+    const std::size_t replay = co_await comp.client->workflow_restart(
+        ctx, static_cast<staging::Version>(comp.last_ckpt_ts));
+    rt.trace->record(ctx.now(), TraceKind::kReplayDone, comp.spec.name,
+                     comp.last_ckpt_ts, static_cast<std::int64_t>(replay));
+  } else {
+    co_await ctx.delay(comp.client->params().reconnect_cost);
+  }
+  comp.current_ts = comp.last_ckpt_ts;
+}
+
+sim::Task<void> run_checkpoint_restart_recovery(RuntimeServices& rt,
+                                                Comp& comp) {
+  sim::Ctx sys = rt.system_ctx();
+  co_await stage_process_recovery(rt, comp, sys);
+  co_await stage_data_recovery(rt, comp, sys);
+  rt.cluster->revive(comp.vproc);
+  comp.recovering = false;
+  rt.trace->record(sys.now(), TraceKind::kRecoveryDone, comp.spec.name,
+                   comp.last_ckpt_ts);
+  rt.resume_recovered(&comp);
+}
+
+sim::Task<void> run_failover_recovery(RuntimeServices& rt, Comp& comp) {
+  sim::Ctx sys = rt.system_ctx();
+  // The replica takes over; the interrupted timestep is re-executed by the
+  // surviving copy. No rollback, no staging recovery event.
+  co_await sys.delay(sim::from_seconds(rt.spec->costs.failover_s));
+  rt.cluster->revive(comp.vproc);
+  comp.recovering = false;
+  const int resume_from = comp.current_ts;
+  rt.resume(&comp, resume_from);
+}
+
+sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
+                                         int global_ckpt_ts,
+                                         std::function<void()> on_restarted) {
+  sim::Ctx sys = rt.system_ctx();
+  // Everyone rolls back: kill all surviving components.
+  for (auto& c : *rt.comps) {
+    if (rt.cluster->vproc(c->vproc).alive) rt.cluster->kill(c->vproc);
+  }
+  // Global ULFM recovery across the whole workflow.
+  co_await sys.delay(rt.spec->costs.ulfm_time(rt.total_app_cores()));
+  // Every component restores its state from the PFS (contended).
+  {
+    std::vector<sim::Task<void>> reads;
+    for (auto& c : *rt.comps) {
+      reads.push_back(
+          rt.pfs->read(sys, rt.spec->costs.state_bytes(c->spec.cores)));
+    }
+    co_await sim::when_all(sys, std::move(reads));
+  }
+  // Roll the staging area back to the global snapshot.
+  co_await rt.control_client->rollback_staging(
+      sys, static_cast<staging::Version>(global_ckpt_ts));
+  // Post-recovery resynchronization barrier.
+  co_await sys.delay(rt.spec->costs.barrier_time(rt.total_app_cores()));
+  for (auto& c : *rt.comps) {
+    c->metrics.timesteps_reworked +=
+        std::max(0, c->current_ts - global_ckpt_ts);
+    c->current_ts = global_ckpt_ts;
+    c->last_ckpt_ts = global_ckpt_ts;
+    c->last_pfs_ckpt_ts = global_ckpt_ts;
+    c->done = false;
+    rt.cluster->revive(c->vproc);
+  }
+  if (on_restarted) on_restarted();
+  for (auto& c : *rt.comps) {
+    rt.resume(c.get(), global_ckpt_ts);
+  }
+}
+
+}  // namespace dstage::core

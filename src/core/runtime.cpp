@@ -1,0 +1,241 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/scheme/policy.hpp"
+
+namespace dstage::core {
+
+int RuntimeServices::total_app_cores() const {
+  return runtime->total_app_cores();
+}
+
+Runtime::Runtime(WorkflowSpec spec, const SchemePolicy& policy)
+    : spec_(std::move(spec)),
+      fabric_(engine_, spec_.fabric),
+      cluster_(engine_, fabric_),
+      pfs_(engine_, spec_.pfs),
+      rng_(spec_.failures.seed) {
+  build(policy);
+}
+
+Runtime::~Runtime() { teardown(); }
+
+int Runtime::total_app_cores() const {
+  int n = 0;
+  for (const auto& c : comps_) n += c->spec.cores;
+  return n;
+}
+
+Box Runtime::subset_region(double fraction) const {
+  const auto ext = spec_.domain.extents();
+  const auto dz = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(fraction * static_cast<double>(ext[2]))));
+  Box r = spec_.domain;
+  r.hi.z = r.lo.z + std::min(dz, ext[2]) - 1;
+  return r;
+}
+
+Comp* Runtime::comp_for_vproc(cluster::VprocId vproc) {
+  for (auto& c : comps_) {
+    if (c->vproc == vproc) return c.get();
+  }
+  return nullptr;
+}
+
+void Runtime::check_all_done() {
+  for (const auto& c : comps_) {
+    if (!c->done) return;
+  }
+  all_done_->set();
+}
+
+void Runtime::build(const SchemePolicy& policy) {
+  cluster_.set_detection_delay(
+      sim::from_seconds(spec_.costs.detection_delay_s));
+  index_ = std::make_unique<dht::SpatialIndex>(
+      spec_.domain, spec_.staging_servers, spec_.cells_per_axis);
+  all_done_ = std::make_unique<sim::OneShotEvent>(engine_);
+
+  // Staging servers: one vproc on its own node each.
+  staging::ServerParams server_params = spec_.server;
+  server_params.logging = policy.uses_logging();
+  for (int s = 0; s < spec_.staging_servers; ++s) {
+    const auto node = cluster_.add_node();
+    const auto vp = cluster_.add_vproc("staging-" + std::to_string(s), node);
+    server_vprocs_.push_back(vp);
+    servers_.push_back(
+        std::make_unique<staging::StagingServer>(cluster_, vp, server_params));
+  }
+
+  {
+    std::vector<net::EndpointId> server_endpoints;
+    server_endpoints.reserve(server_vprocs_.size());
+    for (auto vp : server_vprocs_)
+      server_endpoints.push_back(cluster_.vproc(vp).endpoint);
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      servers_[s]->set_peers(static_cast<int>(s), server_endpoints);
+    }
+  }
+
+  // Application components: one actor vproc each.
+  for (std::size_t i = 0; i < spec_.components.size(); ++i) {
+    auto comp = std::make_unique<Comp>();
+    comp->spec = spec_.components[i];
+    comp->id = static_cast<staging::AppId>(i);
+    comp->metrics.name = comp->spec.name;
+    const auto node = cluster_.add_node();
+    const int nodes_spanned =
+        std::max(1, comp->spec.cores / spec_.costs.cores_per_node);
+    fabric_.set_node_injection_bw(
+        node, spec_.fabric.injection_bw * nodes_spanned);
+    comp->vproc = cluster_.add_vproc(comp->spec.name, node);
+    staging::ClientParams cp;
+    cp.app = comp->id;
+    cp.logged = policy.component_logged(comp->spec);
+    cp.bytes_per_point = spec_.bytes_per_point;
+    cp.mem_scale = spec_.mem_scale;
+    comp->client = std::make_unique<staging::StagingClient>(
+        cluster_, *index_, server_vprocs_, comp->vproc, cp);
+    comps_.push_back(std::move(comp));
+  }
+
+  // Control client (staging rollback broadcasts during coordinated restart).
+  {
+    const auto node = cluster_.add_node();
+    control_vproc_ = cluster_.add_vproc("control", node);
+    staging::ClientParams cp;
+    cp.app = static_cast<staging::AppId>(comps_.size());
+    cp.logged = false;
+    control_client_ = std::make_unique<staging::StagingClient>(
+        cluster_, *index_, server_vprocs_, control_vproc_, cp);
+  }
+
+  // Variable registry for GC retention: consumers pin retention only when
+  // they are rollback-capable.
+  for (const auto& producer : comps_) {
+    for (const auto& write : producer->spec.writes) {
+      std::vector<std::pair<staging::AppId, bool>> consumers;
+      for (const auto& reader : comps_) {
+        for (const auto& read : reader->spec.reads) {
+          if (read.var == write.var) {
+            consumers.emplace_back(reader->id,
+                                   policy.component_logged(reader->spec));
+          }
+        }
+      }
+      for (auto& server : servers_) {
+        server->register_var(write.var, consumers);
+      }
+    }
+  }
+
+  barrier_ = std::make_unique<sim::Barrier>(
+      engine_, static_cast<int>(comps_.size()));
+
+  plan_failures();
+}
+
+void Runtime::plan_failures() {
+  const int count = spec_.failures.count;
+  if (count <= 0 && spec_.failures.predictor_false_alarms <= 0) return;
+  std::vector<double> weights;
+  weights.reserve(comps_.size());
+  for (const auto& c : comps_)
+    weights.push_back(static_cast<double>(c->spec.cores));
+  for (int i = 0; i < count; ++i) {
+    PlannedFailure f;
+    f.comp = rng_.weighted_pick(weights);
+    f.ts = rng_.uniform_int(1, spec_.total_ts);
+    f.phase = rng_.next_double();
+    f.node_level = rng_.next_double() < spec_.failures.node_failure_fraction;
+    f.predicted = rng_.next_double() < spec_.failures.predictor_recall;
+    plan_.push_back(f);
+  }
+  // Predictor false alarms: emergency checkpoints with no failure behind
+  // them, modeled as predicted "failures" that never kill anything.
+  for (int i = 0; i < spec_.failures.predictor_false_alarms; ++i) {
+    PlannedFailure f;
+    f.comp = rng_.weighted_pick(weights);
+    f.ts = rng_.uniform_int(1, spec_.total_ts);
+    f.predicted = true;
+    f.fired = false;
+    f.phase = -1;  // sentinel: alarm only, no kill
+    plan_.push_back(f);
+  }
+}
+
+RuntimeServices Runtime::services() {
+  RuntimeServices rt;
+  rt.spec = &spec_;
+  rt.engine = &engine_;
+  rt.fabric = &fabric_;
+  rt.cluster = &cluster_;
+  rt.pfs = &pfs_;
+  rt.index = index_.get();
+  rt.servers = &servers_;
+  rt.comps = &comps_;
+  rt.control_client = control_client_.get();
+  rt.barrier = barrier_.get();
+  rt.sys_token = &sys_token_;
+  rt.trace = &trace_;
+  rt.runtime = this;
+  return rt;
+}
+
+RunMetrics Runtime::collect(int failures_injected) const {
+  RunMetrics m;
+  m.scheme = spec_.scheme;
+  m.failures_injected = failures_injected;
+  double total = 0;
+  for (const auto& c : comps_) {
+    total = std::max(total, c->metrics.completion_time_s);
+    m.components.push_back(c->metrics);
+  }
+  m.total_time_s = total;
+  for (const auto& server : servers_) {
+    const auto& st = server->stats();
+    m.staging.puts += st.puts;
+    m.staging.gets += st.gets;
+    m.staging.puts_suppressed += st.puts_suppressed;
+    m.staging.gets_from_log += st.gets_from_log;
+    m.staging.replay_mismatches += st.replay_mismatches;
+    m.staging.gc_versions_dropped += st.gc_versions_dropped;
+    m.staging.store_bytes_peak += server->store().peak_nominal_bytes();
+    m.staging.total_bytes_peak += server->peak_total_bytes();
+    m.staging.total_bytes_mean += server->mean_total_bytes();
+    const auto mem = server->memory();
+    m.staging.log_payload_bytes_peak += mem.log_payload_bytes;
+  }
+  m.pfs_bytes_written = pfs_.bytes_written();
+  m.pfs_bytes_read = pfs_.bytes_read();
+  m.events_processed = engine_.processed();
+  return m;
+}
+
+void Runtime::teardown() {
+  if (torn_down_) return;
+  torn_down_ = true;
+  sys_token_.cancel();
+  for (auto& c : comps_) {
+    if (cluster_.vproc(c->vproc).alive) cluster_.kill(c->vproc);
+  }
+  for (auto vp : server_vprocs_) {
+    if (cluster_.vproc(vp).alive) cluster_.kill(vp);
+  }
+  engine_.run();
+}
+
+std::unique_ptr<Runtime> RuntimeBuilder::build() {
+  if (policy_ == nullptr)
+    throw std::logic_error("RuntimeBuilder: no scheme policy set");
+  spec_.validate();
+  return std::make_unique<Runtime>(std::move(spec_), *policy_);
+}
+
+}  // namespace dstage::core

@@ -1,0 +1,178 @@
+// Runtime layer: owns every subsystem a workflow run needs — the DES
+// engine, fabric, virtual cluster, PFS, spatial index, staging servers and
+// per-component clients — and arms the failure plan. RuntimeBuilder
+// validates a WorkflowSpec and assembles a Runtime; RuntimeServices is the
+// borrowed view handed to scheme policies and the recovery pipeline, so
+// protocol code never reaches into the orchestrator.
+//
+// One Runtime is one self-contained simulation: independent Runtimes share
+// no mutable state, which is what makes multi-seed sweeps (core/sweep.hpp)
+// embarrassingly parallel.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pfs.hpp"
+#include "core/trace.hpp"
+#include "core/workflow.hpp"
+#include "dht/spatial_index.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "staging/client.hpp"
+#include "staging/server.hpp"
+#include "util/rng.hpp"
+
+namespace dstage::core {
+
+class SchemePolicy;
+class Runtime;
+
+/// One instantiated application component: its spec, its actor vproc, its
+/// staging client, and the checkpoint/progress state the protocol tracks.
+struct Comp {
+  ComponentSpec spec;
+  staging::AppId id = -1;
+  cluster::VprocId vproc = -1;
+  std::unique_ptr<staging::StagingClient> client;
+  int current_ts = 0;        // last fully completed timestep
+  int last_ckpt_ts = 0;      // freshest restartable checkpoint (any level)
+  int last_pfs_ckpt_ts = 0;  // freshest PFS-level checkpoint
+  bool done = false;
+  bool recovering = false;
+  ComponentMetrics metrics;
+};
+
+/// One entry of the pre-drawn failure plan.
+struct PlannedFailure {
+  int comp = 0;
+  int ts = 1;
+  double phase = 0.5;       // fraction of the timestep's compute before death
+  bool node_level = false;  // node failure: local checkpoints are lost
+  bool predicted = false;   // the failure predictor flagged it in advance
+  bool fired = false;
+};
+
+/// Borrowed view over a Runtime's subsystems plus the orchestrator hooks a
+/// policy needs to restart component actors. Cheap to copy; valid for the
+/// lifetime of the Runtime it came from.
+struct RuntimeServices {
+  const WorkflowSpec* spec = nullptr;
+  sim::Engine* engine = nullptr;
+  net::Fabric* fabric = nullptr;
+  cluster::Cluster* cluster = nullptr;
+  cluster::Pfs* pfs = nullptr;
+  dht::SpatialIndex* index = nullptr;
+  std::vector<std::unique_ptr<staging::StagingServer>>* servers = nullptr;
+  std::vector<std::unique_ptr<Comp>>* comps = nullptr;
+  staging::StagingClient* control_client = nullptr;
+  sim::Barrier* barrier = nullptr;  // coordinated checkpoint barrier
+  sim::CancelToken* sys_token = nullptr;
+  Trace* trace = nullptr;
+  Runtime* runtime = nullptr;
+
+  // Orchestrator hooks, installed by the executor before run():
+  /// Respawn a component's timestep loop, resuming after `start_ts`.
+  std::function<void(Comp*, int start_ts)> resume;
+  /// Run the Fig. 7(b) re-attach (+ replay) stage in the component's own
+  /// process context, then resume its loop from its restored checkpoint.
+  std::function<void(Comp*)> resume_recovered;
+
+  /// Context for system activities that survive component kills.
+  [[nodiscard]] sim::Ctx system_ctx() const { return {engine, sys_token}; }
+  [[nodiscard]] int total_app_cores() const;
+};
+
+/// Owns the full simulated deployment for one workflow run.
+class Runtime {
+ public:
+  /// Prefer RuntimeBuilder; the policy supplies the logging flags wired
+  /// into servers, clients, and the GC retention registry.
+  Runtime(WorkflowSpec spec, const SchemePolicy& policy);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] const WorkflowSpec& spec() const { return spec_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] cluster::Pfs& pfs() { return pfs_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Comp>>& comps() { return comps_; }
+  [[nodiscard]] std::vector<std::unique_ptr<staging::StagingServer>>&
+  servers() {
+    return servers_;
+  }
+  [[nodiscard]] const staging::StagingServer& server(int i) const {
+    return *servers_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int server_count() const {
+    return static_cast<int>(servers_.size());
+  }
+  [[nodiscard]] std::vector<PlannedFailure>& plan() { return plan_; }
+  [[nodiscard]] sim::OneShotEvent& all_done() { return *all_done_; }
+
+  /// Subsystem view with unset orchestrator hooks.
+  [[nodiscard]] RuntimeServices services();
+
+  [[nodiscard]] int total_app_cores() const;
+  /// Case-1 subsets: the written/read fraction of the global domain.
+  [[nodiscard]] Box subset_region(double fraction) const;
+  [[nodiscard]] Comp* comp_for_vproc(cluster::VprocId vproc);
+  /// Sets all_done once every component has finished.
+  void check_all_done();
+  /// Aggregate per-component, staging, PFS, and engine metrics.
+  [[nodiscard]] RunMetrics collect(int failures_injected) const;
+  /// Unwind every suspended actor so coroutine frames are reclaimed.
+  /// Idempotent; also run by the destructor.
+  void teardown();
+
+ private:
+  void build(const SchemePolicy& policy);
+  void plan_failures();
+
+  WorkflowSpec spec_;
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  cluster::Cluster cluster_;
+  cluster::Pfs pfs_;
+  std::unique_ptr<dht::SpatialIndex> index_;
+  std::vector<std::unique_ptr<staging::StagingServer>> servers_;
+  std::vector<cluster::VprocId> server_vprocs_;
+  std::vector<std::unique_ptr<Comp>> comps_;
+  std::unique_ptr<sim::Barrier> barrier_;  // coordinated checkpoint barrier
+  std::unique_ptr<sim::OneShotEvent> all_done_;
+  std::unique_ptr<staging::StagingClient> control_client_;
+  cluster::VprocId control_vproc_ = -1;
+  sim::CancelToken sys_token_;
+  std::vector<PlannedFailure> plan_;
+  Rng rng_;
+  Trace trace_;
+  bool torn_down_ = false;
+};
+
+/// Front door: validates the spec (WorkflowSpec::validate()) and assembles
+/// the Runtime with the scheme policy's logging flags applied.
+class RuntimeBuilder {
+ public:
+  explicit RuntimeBuilder(WorkflowSpec spec) : spec_(std::move(spec)) {}
+
+  /// The scheme policy whose logging predicates configure servers, clients
+  /// and GC retention. Required before build().
+  RuntimeBuilder& policy(const SchemePolicy& p) {
+    policy_ = &p;
+    return *this;
+  }
+
+  [[nodiscard]] std::unique_ptr<Runtime> build();
+
+ private:
+  WorkflowSpec spec_;
+  const SchemePolicy* policy_ = nullptr;
+};
+
+}  // namespace dstage::core

@@ -1,0 +1,49 @@
+#include "core/scheme/coordinated.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "core/recovery_pipeline.hpp"
+#include "sim/spawn.hpp"
+
+namespace dstage::core {
+
+sim::Duration CoordinatedPolicy::barrier_cost(
+    const RuntimeServices& rt) const {
+  return rt.spec->costs.barrier_time(rt.total_app_cores());
+}
+
+sim::Task<void> CoordinatedPolicy::on_timestep_end(RuntimeServices& rt,
+                                                   Comp& comp, int ts,
+                                                   sim::Ctx ctx) {
+  if (ts % rt.spec->coordinated_period != 0) co_return;
+  co_await checkpoint(rt, comp, ts, ctx);
+}
+
+sim::Task<void> CoordinatedPolicy::checkpoint(RuntimeServices& rt, Comp& comp,
+                                              int ts, sim::Ctx ctx) {
+  // Synchronizing barriers before and after the snapshot flush any
+  // in-flight coupling traffic (Section II).
+  co_await rt.barrier->arrive_and_wait(ctx.tok);
+  co_await ctx.delay(barrier_cost(rt));
+  co_await rt.pfs->write(ctx, rt.spec->costs.state_bytes(comp.spec.cores));
+  co_await rt.barrier->arrive_and_wait(ctx.tok);
+  co_await ctx.delay(barrier_cost(rt));
+  comp.last_ckpt_ts = ts;
+  comp.last_pfs_ckpt_ts = ts;
+  global_ckpt_ts_ = ts;
+  ++comp.metrics.checkpoints;
+  rt.trace->record(ctx.now(), TraceKind::kCheckpoint, comp.spec.name, ts);
+}
+
+void CoordinatedPolicy::recover(RuntimeServices& rt, Comp& comp) {
+  if (recovery_active_) return;  // secondary kill of the global restart
+  recovery_active_ = true;
+  ++comp.metrics.failures;
+  std::function<void()> on_restarted = [this] { recovery_active_ = false; };
+  sim::spawn(*rt.engine,
+             run_coordinated_recovery(rt, global_ckpt_ts_,
+                                      std::move(on_restarted)));
+}
+
+}  // namespace dstage::core

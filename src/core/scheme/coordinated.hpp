@@ -1,0 +1,35 @@
+// Coordinated checkpoint/restart (the paper's Co): synchronized barriers
+// bracket a global PFS snapshot every coordinated_period timesteps, and any
+// failure rolls the whole workflow back to the last global snapshot.
+#pragma once
+
+#include "core/scheme/policy.hpp"
+
+namespace dstage::core {
+
+class CoordinatedPolicy final : public SchemePolicy {
+ public:
+  [[nodiscard]] Scheme scheme() const override { return Scheme::kCoordinated; }
+  [[nodiscard]] bool uses_logging() const override { return false; }
+  [[nodiscard]] sim::Duration barrier_cost(
+      const RuntimeServices& rt) const override;
+
+  sim::Task<void> on_timestep_end(RuntimeServices& rt, Comp& comp, int ts,
+                                  sim::Ctx ctx) override;
+  /// The Section-II barrier protocol: barrier → snapshot to the (contended)
+  /// PFS → barrier, flushing in-flight coupling traffic around the cut.
+  sim::Task<void> checkpoint(RuntimeServices& rt, Comp& comp, int ts,
+                             sim::Ctx ctx) override;
+  /// First failure starts one global rollback; secondary kills of the same
+  /// restart are absorbed.
+  void recover(RuntimeServices& rt, Comp& comp) override;
+
+  /// Timestep of the last completed global snapshot.
+  [[nodiscard]] int global_ckpt_ts() const { return global_ckpt_ts_; }
+
+ private:
+  int global_ckpt_ts_ = 0;
+  bool recovery_active_ = false;
+};
+
+}  // namespace dstage::core

@@ -1,0 +1,17 @@
+// Hybrid scheme (the paper's Hy, Fig. 6): checkpoint/restart + logging for
+// components that declare FtMethod::kCheckpointRestart, process replication
+// for those that declare FtMethod::kReplication. A replicated component
+// masks failures by failing over to its replica — no rollback and no
+// staging replay — so its requests bypass the log entirely.
+#pragma once
+
+#include "core/scheme/uncoordinated.hpp"
+
+namespace dstage::core {
+
+class HybridPolicy final : public UncoordinatedPolicy {
+ public:
+  [[nodiscard]] Scheme scheme() const override { return Scheme::kHybrid; }
+};
+
+}  // namespace dstage::core

@@ -1,0 +1,18 @@
+// Individual checkpoint/restart (the paper's In): per-component C/R with
+// no staging-side logging — the theoretical lower bound on overhead that
+// sacrifices correctness. Restarted components re-read newer versions and
+// re-put staged data (the Fig. 2 case-1/case-2 anomalies), which the
+// harness detects by payload checksum and counts.
+#pragma once
+
+#include "core/scheme/uncoordinated.hpp"
+
+namespace dstage::core {
+
+class IndividualPolicy final : public UncoordinatedPolicy {
+ public:
+  [[nodiscard]] Scheme scheme() const override { return Scheme::kIndividual; }
+  [[nodiscard]] bool uses_logging() const override { return false; }
+};
+
+}  // namespace dstage::core

@@ -1,0 +1,94 @@
+#include "core/scheme/policy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/recovery_pipeline.hpp"
+#include "core/scheme/coordinated.hpp"
+#include "core/scheme/hybrid.hpp"
+#include "core/scheme/individual.hpp"
+#include "core/scheme/uncoordinated.hpp"
+#include "sim/spawn.hpp"
+
+namespace dstage::core {
+
+sim::Duration SchemePolicy::barrier_cost(const RuntimeServices&) const {
+  return sim::Duration{0};
+}
+
+sim::Task<void> SchemePolicy::emergency_checkpoint(RuntimeServices& rt,
+                                                   Comp& comp, int ts,
+                                                   sim::Ctx ctx) {
+  if (ts <= comp.last_ckpt_ts) co_return;  // already covered
+  co_await ctx.delay(sim::from_seconds(
+      static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
+      rt.spec->costs.local_ckpt_bw));
+  if (component_logged(comp.spec)) {
+    co_await comp.client->workflow_check(ctx,
+                                         static_cast<staging::Version>(ts));
+  }
+  comp.last_ckpt_ts = ts;
+  ++comp.metrics.proactive_checkpoints;
+  rt.trace->record(ctx.now(), TraceKind::kProactiveCheckpoint, comp.spec.name,
+                   ts);
+}
+
+void SchemePolicy::recover_local(RuntimeServices& rt, Comp& comp) {
+  if (comp.recovering) return;
+  comp.recovering = true;
+  ++comp.metrics.failures;
+  if (comp.spec.method == FtMethod::kReplication) {
+    sim::spawn(*rt.engine, run_failover_recovery(rt, comp));
+  } else {
+    sim::spawn(*rt.engine, run_checkpoint_restart_recovery(rt, comp));
+  }
+}
+
+namespace {
+
+/// Plain staging (the paper's Ds): no checkpoints, no logging. Failures
+/// still recover — components restart from scratch (checkpoint ts 0) via
+/// the same pipeline — so failure injection composes with every scheme.
+class NonePolicy final : public SchemePolicy {
+ public:
+  [[nodiscard]] Scheme scheme() const override { return Scheme::kNone; }
+  [[nodiscard]] bool uses_logging() const override { return false; }
+  [[nodiscard]] bool proactive_eligible(const ComponentSpec&) const override {
+    return false;  // no fault-tolerance scheme, no emergency checkpoints
+  }
+  sim::Task<void> on_timestep_end(RuntimeServices&, Comp&, int,
+                                  sim::Ctx) override {
+    co_return;
+  }
+  sim::Task<void> checkpoint(RuntimeServices&, Comp&, int,
+                             sim::Ctx) override {
+    co_return;
+  }
+  void recover(RuntimeServices& rt, Comp& comp) override {
+    recover_local(rt, comp);
+  }
+};
+
+}  // namespace
+
+bool scheme_uses_logging(Scheme s) {
+  return make_scheme_policy(s)->uses_logging();
+}
+
+std::unique_ptr<SchemePolicy> make_scheme_policy(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone:
+      return std::make_unique<NonePolicy>();
+    case Scheme::kCoordinated:
+      return std::make_unique<CoordinatedPolicy>();
+    case Scheme::kUncoordinated:
+      return std::make_unique<UncoordinatedPolicy>();
+    case Scheme::kIndividual:
+      return std::make_unique<IndividualPolicy>();
+    case Scheme::kHybrid:
+      return std::make_unique<HybridPolicy>();
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+}  // namespace dstage::core

@@ -1,0 +1,75 @@
+// SchemePolicy: the strategy interface behind the paper's Ds/Co/Un/In/Hy
+// fault-tolerance schemes. Every scheme-dependent protocol decision —
+// whether staging logs, when and how components checkpoint, what a barrier
+// costs, and how a detected failure is recovered — lives behind this
+// interface; the executor and runtime never branch on Scheme. A new scheme
+// (multi-level, proactive, replication variants) is a new subclass plus a
+// factory case, with no executor surgery.
+#pragma once
+
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dstage::core {
+
+class SchemePolicy {
+ public:
+  virtual ~SchemePolicy() = default;
+
+  [[nodiscard]] virtual Scheme scheme() const = 0;
+  [[nodiscard]] const char* name() const { return scheme_name(scheme()); }
+
+  /// Does this scheme log coupled data/events in staging (the paper's
+  /// *_with_log path)? Wired into servers, clients and GC retention.
+  [[nodiscard]] virtual bool uses_logging() const = 0;
+
+  /// True when `c`'s requests go through the log and replay on restart.
+  /// Replication-protected components never roll back, so their requests
+  /// bypass the log (Fig. 6: replica failover does not trigger replay).
+  [[nodiscard]] bool component_logged(const ComponentSpec& c) const {
+    return uses_logging() && c.method == FtMethod::kCheckpointRestart;
+  }
+
+  /// May `c` take a predictor-triggered emergency checkpoint?
+  [[nodiscard]] virtual bool proactive_eligible(const ComponentSpec& c) const {
+    return c.method == FtMethod::kCheckpointRestart;
+  }
+
+  /// Synchronization cost this scheme charges around a collective step:
+  /// alpha * log2(P) for the coordinated barrier protocol, zero elsewhere.
+  [[nodiscard]] virtual sim::Duration barrier_cost(
+      const RuntimeServices& rt) const;
+
+  /// End-of-timestep hook: decide what checkpointing falls due at `ts` and
+  /// perform it (via checkpoint()). Runs in the component's own process.
+  virtual sim::Task<void> on_timestep_end(RuntimeServices& rt, Comp& comp,
+                                          int ts, sim::Ctx ctx) = 0;
+
+  /// Take the checkpoint due for `comp` at `ts`.
+  virtual sim::Task<void> checkpoint(RuntimeServices& rt, Comp& comp, int ts,
+                                     sim::Ctx ctx) = 0;
+
+  /// A failure of `comp` was detected: arrange recovery by spawning the
+  /// appropriate recovery-pipeline stages (core/recovery_pipeline.hpp).
+  virtual void recover(RuntimeServices& rt, Comp& comp) = 0;
+
+  /// Emergency (proactive) checkpoint to node-local storage, plus a
+  /// staging checkpoint event for logged components. Shared across schemes;
+  /// invoked when the failure predictor flags an imminent crash.
+  sim::Task<void> emergency_checkpoint(RuntimeServices& rt, Comp& comp,
+                                       int ts, sim::Ctx ctx);
+
+ protected:
+  /// Per-component recovery dispatch shared by every non-coordinated
+  /// scheme: replication failover for replicated components, the Fig. 7(b)
+  /// checkpoint/restart pipeline for everything else.
+  void recover_local(RuntimeServices& rt, Comp& comp);
+};
+
+/// The one place a Scheme value maps to protocol behavior.
+[[nodiscard]] std::unique_ptr<SchemePolicy> make_scheme_policy(Scheme scheme);
+
+}  // namespace dstage::core

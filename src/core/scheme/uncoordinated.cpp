@@ -1,0 +1,44 @@
+#include "core/scheme/uncoordinated.hpp"
+
+namespace dstage::core {
+
+sim::Task<void> UncoordinatedPolicy::on_timestep_end(RuntimeServices& rt,
+                                                     Comp& comp, int ts,
+                                                     sim::Ctx ctx) {
+  if (comp.spec.method != FtMethod::kCheckpointRestart) co_return;
+  const bool pfs_due = ts % comp.spec.ckpt_period == 0;
+  const bool local_due = comp.spec.local_ckpt_period > 0 &&
+                         ts % comp.spec.local_ckpt_period == 0;
+  if (!pfs_due && !local_due) co_return;
+  co_await checkpoint(rt, comp, ts, ctx);
+}
+
+sim::Task<void> UncoordinatedPolicy::checkpoint(RuntimeServices& rt,
+                                                Comp& comp, int ts,
+                                                sim::Ctx ctx) {
+  if (ts % comp.spec.ckpt_period == 0) {
+    co_await rt.pfs->write(ctx, rt.spec->costs.state_bytes(comp.spec.cores));
+    comp.last_pfs_ckpt_ts = ts;
+    ++comp.metrics.checkpoints;
+    rt.trace->record(ctx.now(), TraceKind::kCheckpoint, comp.spec.name, ts);
+  } else {
+    // Node-local level: fast, uncontended, lost on node failure.
+    co_await ctx.delay(sim::from_seconds(
+        static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
+        rt.spec->costs.local_ckpt_bw));
+    ++comp.metrics.local_checkpoints;
+    rt.trace->record(ctx.now(), TraceKind::kLocalCheckpoint, comp.spec.name,
+                     ts);
+  }
+  if (component_logged(comp.spec)) {
+    co_await comp.client->workflow_check(ctx,
+                                         static_cast<staging::Version>(ts));
+  }
+  comp.last_ckpt_ts = ts;
+}
+
+void UncoordinatedPolicy::recover(RuntimeServices& rt, Comp& comp) {
+  recover_local(rt, comp);
+}
+
+}  // namespace dstage::core

@@ -1,0 +1,31 @@
+// Uncoordinated checkpoint/restart with data/event logging (the paper's Un
+// — its contribution): components checkpoint independently on their own
+// periods, staging logs every coupled put/get, and a failed component
+// replays its own data-access history without disturbing the others.
+// Also the base for the Individual and Hybrid variants, which share the
+// per-component checkpoint machinery (including the multi-level node-local
+// layer) and differ only in logging and per-component recovery method.
+#pragma once
+
+#include "core/scheme/policy.hpp"
+
+namespace dstage::core {
+
+class UncoordinatedPolicy : public SchemePolicy {
+ public:
+  [[nodiscard]] Scheme scheme() const override {
+    return Scheme::kUncoordinated;
+  }
+  [[nodiscard]] bool uses_logging() const override { return true; }
+
+  sim::Task<void> on_timestep_end(RuntimeServices& rt, Comp& comp, int ts,
+                                  sim::Ctx ctx) override;
+  /// PFS-level checkpoint when the component's period is due (the PFS level
+  /// wins when both fall on the same timestep), else the fast node-local
+  /// level; logged components also insert a W_Chk_ID staging event.
+  sim::Task<void> checkpoint(RuntimeServices& rt, Comp& comp, int ts,
+                             sim::Ctx ctx) override;
+  void recover(RuntimeServices& rt, Comp& comp) override;
+};
+
+}  // namespace dstage::core

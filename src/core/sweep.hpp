@@ -1,0 +1,52 @@
+// Multi-seed sweep harness. A sweep runs one independent WorkflowRunner
+// per spec on a small thread pool (each Runtime is a self-contained
+// simulation, so runs share no mutable state) and returns per-run metrics
+// plus the trace digest fingerprint. Results are positionally stable:
+// out[i] always corresponds to specs[i] regardless of thread count, so a
+// parallel sweep is bit-identical to a serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "util/json.hpp"
+
+namespace dstage::core {
+
+struct SweepRun {
+  std::uint64_t seed = 0;  // spec.failures.seed of this run
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 means hardware concurrency. Thread count never
+  /// affects results, only wall-clock time.
+  int threads = 0;
+};
+
+/// Run every spec to completion. Throws the first run's exception (after
+/// all workers have drained) if any run fails.
+std::vector<SweepRun> run_sweep(std::vector<WorkflowSpec> specs,
+                                const SweepOptions& opts = {});
+
+/// Convenience: sweep `make(seed)` for seeds 1..count.
+std::vector<SweepRun> run_seed_sweep(
+    const std::function<WorkflowSpec(std::uint64_t)>& make, int count,
+    const SweepOptions& opts = {});
+
+/// Mean total_time_s over a sweep's runs.
+double mean_total_time(const std::vector<SweepRun>& runs);
+
+/// Machine-readable forms (see util/json.hpp).
+Json metrics_to_json(const RunMetrics& m);
+Json sweep_to_json(const std::vector<SweepRun>& runs);
+
+/// Trace digest formatted as the 16-hex-digit fingerprint used in logs,
+/// golden tests, and JSON output.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace dstage::core

@@ -1,8 +1,64 @@
 #include "core/workflow.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace dstage::core {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("invalid WorkflowSpec: " + what);
+}
+
+}  // namespace
+
+void WorkflowSpec::validate() const {
+  if (components.empty()) reject("components must be non-empty");
+  if (staging_servers < 1) reject("staging_servers must be >= 1");
+  if (total_ts < 1) reject("total_ts must be >= 1");
+  if (coordinated_period < 1) reject("coordinated_period must be >= 1");
+  if (cells_per_axis < 1) reject("cells_per_axis must be >= 1");
+  if (!(bytes_per_point > 0)) reject("bytes_per_point must be > 0");
+  if (mem_scale < 1) reject("mem_scale must be >= 1");
+  if (failures.count < 0) reject("failures.count must be >= 0");
+  if (failures.mtbf_s < 0) reject("failures.mtbf_s must be >= 0");
+  if (failures.node_failure_fraction < 0 ||
+      failures.node_failure_fraction > 1) {
+    reject("failures.node_failure_fraction must be in [0, 1]");
+  }
+  if (failures.predictor_recall < 0 || failures.predictor_recall > 1) {
+    reject("failures.predictor_recall must be in [0, 1]");
+  }
+  if (failures.predictor_false_alarms < 0) {
+    reject("failures.predictor_false_alarms must be >= 0");
+  }
+  for (const auto& c : components) {
+    if (c.name.empty()) reject("component name must be non-empty");
+    const std::string who = "component '" + c.name + "': ";
+    if (c.cores < 1) reject(who + "cores must be >= 1");
+    if (c.compute_per_ts_s < 0) reject(who + "compute_per_ts_s must be >= 0");
+    if (c.ckpt_period < 1) reject(who + "ckpt_period must be >= 1");
+    if (c.local_ckpt_period < 0) {
+      reject(who + "local_ckpt_period must be >= 0 (0 disables)");
+    }
+    for (const auto& w : c.writes) {
+      if (w.var.empty()) reject(who + "write var must be non-empty");
+      if (!(w.subset_fraction > 0) || w.subset_fraction > 1) {
+        reject(who + "write '" + w.var +
+               "' subset_fraction must be in (0, 1]");
+      }
+    }
+    for (const auto& r : c.reads) {
+      if (r.var.empty()) reject(who + "read var must be non-empty");
+      if (!(r.subset_fraction > 0) || r.subset_fraction > 1) {
+        reject(who + "read '" + r.var +
+               "' subset_fraction must be in (0, 1]");
+      }
+      if (r.every < 1) reject(who + "read '" + r.var + "' every must be >= 1");
+    }
+  }
+}
 
 const char* scheme_name(Scheme s) {
   switch (s) {
@@ -18,10 +74,6 @@ const char* scheme_name(Scheme s) {
       return "Hy";
   }
   return "?";
-}
-
-bool scheme_uses_logging(Scheme s) {
-  return s == Scheme::kUncoordinated || s == Scheme::kHybrid;
 }
 
 const ComponentMetrics& RunMetrics::component(const std::string& name) const {

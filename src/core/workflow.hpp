@@ -105,6 +105,11 @@ struct WorkflowSpec {
   staging::ServerParams server;  // `logging` is overridden by the scheme
   /// DHT grid resolution.
   int cells_per_axis = 8;
+
+  /// Reject malformed specs before the runtime is assembled. Throws
+  /// std::invalid_argument with a message naming the offending field (and
+  /// component, where applicable). Called by RuntimeBuilder::build().
+  void validate() const;
 };
 
 /// True when the scheme logs data/events in staging.

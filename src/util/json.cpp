@@ -1,0 +1,144 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dstage {
+
+Json::Json(bool b) : kind_(Kind::kLiteral), scalar_(b ? "true" : "false") {}
+Json::Json(int v) : kind_(Kind::kLiteral), scalar_(std::to_string(v)) {}
+Json::Json(std::int64_t v)
+    : kind_(Kind::kLiteral), scalar_(std::to_string(v)) {}
+Json::Json(std::uint64_t v)
+    : kind_(Kind::kLiteral), scalar_(std::to_string(v)) {}
+
+Json::Json(double v) {
+  if (!std::isfinite(v)) return;  // null
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  kind_ = Kind::kLiteral;
+  scalar_ = buf;
+}
+
+Json::Json(const char* s) : kind_(Kind::kString), scalar_(s) {}
+Json::Json(std::string s) : kind_(Kind::kString), scalar_(std::move(s)) {}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::dump_inner(std::ostream& os, int depth) const {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kLiteral:
+      os << scalar_;
+      break;
+    case Kind::kString:
+      os << json_quote(scalar_);
+      break;
+    case Kind::kArray:
+      if (elements_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        os << pad_in;
+        elements_[i].dump_inner(os, depth + 1);
+        os << (i + 1 < elements_.size() ? ",\n" : "\n");
+      }
+      os << pad << ']';
+      break;
+    case Kind::kObject:
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        os << pad_in << json_quote(members_[i].first) << ": ";
+        members_[i].second.dump_inner(os, depth + 1);
+        os << (i + 1 < members_.size() ? ",\n" : "\n");
+      }
+      os << pad << '}';
+      break;
+  }
+}
+
+void Json::dump(std::ostream& os) const {
+  dump_inner(os, 0);
+  os << '\n';
+}
+
+std::string Json::str() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+}  // namespace dstage

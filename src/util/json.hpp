@@ -1,0 +1,60 @@
+// Minimal ordered JSON writer for the bench/CLI machine-readable output.
+// Write-only by design: build a tree of values, dump it with stable key
+// order (insertion order), no external dependencies. Integers are emitted
+// exactly (no double round-trip), so 64-bit counters and digests survive.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dstage {
+
+class Json {
+ public:
+  /// Scalars. The default-constructed value is JSON null.
+  Json() = default;
+  Json(bool b);
+  Json(int v);
+  Json(std::int64_t v);
+  Json(std::uint64_t v);
+  Json(double v);  // non-finite values degrade to null
+  Json(const char* s);
+  Json(std::string s);
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  /// Object member (insertion-ordered; duplicate keys overwrite in place).
+  Json& set(std::string key, Json value);
+  /// Array element.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] std::size_t size() const {
+    return is_object() ? members_.size() : elements_.size();
+  }
+
+  /// Pretty-print with 2-space indentation and a trailing newline at the
+  /// top level.
+  void dump(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Kind { kNull, kLiteral, kString, kArray, kObject };
+
+  void dump_inner(std::ostream& os, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  std::string scalar_;  // literal text (kLiteral) or raw string (kString)
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// JSON string escaping (quotes included).
+std::string json_quote(const std::string& s);
+
+}  // namespace dstage

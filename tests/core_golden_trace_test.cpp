@@ -1,0 +1,73 @@
+// Golden trace-fingerprint regression test. The digests below were captured
+// from the pre-refactor WorkflowRunner on the Table II presets (40 ts,
+// dstage_cli defaults: node_failure_fraction 0.2) across all schemes and
+// three failure seeds, plus the failure-free and the multi-level/proactive
+// extension configurations. Any behavioral drift in the runtime, scheme
+// policies, or recovery pipeline changes a digest; these values must only
+// ever be updated for an intentional, explained semantic change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+
+namespace dstage::core {
+namespace {
+
+struct Golden {
+  Scheme scheme;
+  int failures;
+  std::uint64_t seed;
+  std::uint64_t digest;
+};
+
+constexpr Golden kGolden[] = {
+    {Scheme::kCoordinated, 2, 1, 0xba25ef72a474a18bull},
+    {Scheme::kCoordinated, 2, 2, 0xe405ac115efeeab2ull},
+    {Scheme::kCoordinated, 2, 3, 0xab68c19fd7602e2bull},
+    {Scheme::kUncoordinated, 2, 1, 0x9f4f954ecec58cfbull},
+    {Scheme::kUncoordinated, 2, 2, 0x56fc10ffb64783b9ull},
+    {Scheme::kUncoordinated, 2, 3, 0x3728dcd7bfe64794ull},
+    {Scheme::kHybrid, 2, 1, 0x30dbf21780b1000eull},
+    {Scheme::kHybrid, 2, 2, 0xb75b72c3e6583dcfull},
+    {Scheme::kHybrid, 2, 3, 0xcd2db6b7b8dc694cull},
+    {Scheme::kIndividual, 2, 1, 0x5d133bf32f9d9ff8ull},
+    {Scheme::kIndividual, 2, 2, 0xf88ce33b3fe6f00cull},
+    {Scheme::kIndividual, 2, 3, 0x04976d8ecbbc8a21ull},
+    {Scheme::kCoordinated, 0, 1, 0xdb784046d757071bull},
+    {Scheme::kNone, 0, 1, 0xe2da97408d9fc49dull},
+};
+
+WorkflowSpec golden_spec(Scheme scheme, int failures, std::uint64_t seed) {
+  WorkflowSpec spec = table2_setup(scheme);
+  spec.failures.count = failures;
+  spec.failures.seed = seed;
+  spec.failures.node_failure_fraction = 0.2;
+  return spec;
+}
+
+TEST(GoldenTraceTest, Table2PresetDigestsAreStable) {
+  for (const Golden& g : kGolden) {
+    WorkflowRunner runner(golden_spec(g.scheme, g.failures, g.seed));
+    runner.run();
+    EXPECT_EQ(runner.trace().digest(), g.digest)
+        << scheme_name(g.scheme) << " failures=" << g.failures
+        << " seed=" << g.seed;
+  }
+}
+
+// The multi-level + proactive extension path (local checkpoints every
+// timestep, perfect predictor) exercises emergency checkpoints, local
+// restore, and the local/PFS retention split.
+TEST(GoldenTraceTest, ExtensionConfigDigestIsStable) {
+  WorkflowSpec spec = golden_spec(Scheme::kUncoordinated, 2, 1);
+  for (auto& c : spec.components) c.local_ckpt_period = 1;
+  spec.failures.predictor_recall = 1.0;
+  WorkflowRunner runner(spec);
+  runner.run();
+  EXPECT_EQ(runner.trace().digest(), 0x4d553f5cdc60dda3ull);
+}
+
+}  // namespace
+}  // namespace dstage::core

@@ -1,0 +1,126 @@
+// Unit tests for the SchemePolicy strategy layer: factory wiring, logging
+// and proactive predicates, the coordinated barrier cost, and the paper's
+// per-scheme recovery semantics (hybrid failover without replay, Fig. 2
+// anomalies under the unlogged individual scheme).
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/scheme/policy.hpp"
+#include "core/setups.hpp"
+
+namespace dstage::core {
+namespace {
+
+WorkflowSpec small_spec(Scheme scheme, int failures, std::uint64_t seed) {
+  WorkflowSpec spec = table2_setup(scheme);
+  spec.total_ts = 12;
+  spec.failures.count = failures;
+  spec.failures.seed = seed;
+  return spec;
+}
+
+TEST(SchemePolicyTest, FactoryMapsEveryScheme) {
+  for (Scheme s : {Scheme::kNone, Scheme::kCoordinated, Scheme::kUncoordinated,
+                   Scheme::kIndividual, Scheme::kHybrid}) {
+    auto policy = make_scheme_policy(s);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->scheme(), s);
+    EXPECT_STREQ(policy->name(), scheme_name(s));
+    EXPECT_EQ(policy->uses_logging(), scheme_uses_logging(s));
+  }
+}
+
+TEST(SchemePolicyTest, ComponentLoggedFollowsMethodAndScheme) {
+  ComponentSpec cr;
+  cr.name = "cr";
+  ComponentSpec repl;
+  repl.name = "repl";
+  repl.method = FtMethod::kReplication;
+
+  auto un = make_scheme_policy(Scheme::kUncoordinated);
+  EXPECT_TRUE(un->component_logged(cr));
+  EXPECT_FALSE(un->component_logged(repl));  // replicas never replay
+
+  auto in = make_scheme_policy(Scheme::kIndividual);
+  EXPECT_FALSE(in->component_logged(cr));  // no logging at all
+
+  auto hy = make_scheme_policy(Scheme::kHybrid);
+  EXPECT_TRUE(hy->component_logged(cr));
+  EXPECT_FALSE(hy->component_logged(repl));
+}
+
+TEST(SchemePolicyTest, ProactiveEligibility) {
+  ComponentSpec cr;
+  ComponentSpec repl;
+  repl.method = FtMethod::kReplication;
+
+  EXPECT_FALSE(make_scheme_policy(Scheme::kNone)->proactive_eligible(cr));
+  EXPECT_TRUE(
+      make_scheme_policy(Scheme::kUncoordinated)->proactive_eligible(cr));
+  EXPECT_TRUE(make_scheme_policy(Scheme::kHybrid)->proactive_eligible(cr));
+  EXPECT_FALSE(make_scheme_policy(Scheme::kHybrid)->proactive_eligible(repl));
+}
+
+TEST(SchemePolicyTest, CoordinatedBarrierCostIsAlphaLogP) {
+  WorkflowRunner runner(small_spec(Scheme::kCoordinated, 0, 1));
+  const auto services = runner.runtime().services();
+  const auto expected =
+      runner.runtime().spec().costs.barrier_time(services.total_app_cores());
+  EXPECT_EQ(runner.policy().barrier_cost(services), expected);
+  EXPECT_GT(expected, sim::Duration{0});
+}
+
+TEST(SchemePolicyTest, NonCoordinatedSchemesPayNoBarrier) {
+  for (Scheme s : {Scheme::kNone, Scheme::kUncoordinated, Scheme::kIndividual,
+                   Scheme::kHybrid}) {
+    WorkflowRunner runner(small_spec(s, 0, 1));
+    EXPECT_EQ(runner.policy().barrier_cost(runner.runtime().services()),
+              sim::Duration{0})
+        << scheme_name(s);
+  }
+}
+
+TEST(SchemePolicyTest, CoordinatedRuntimeGrowsWithBarrierAlpha) {
+  auto base = small_spec(Scheme::kCoordinated, 0, 1);
+  auto free_spec = base;
+  free_spec.costs.barrier_alpha_s = 0;
+  WorkflowRunner with_alpha(base);
+  WorkflowRunner without_alpha(free_spec);
+  EXPECT_GT(with_alpha.run().total_time_s,
+            without_alpha.run().total_time_s);
+}
+
+// Fig. 6: a failure of the replicated analytic under Hy fails over to the
+// replica — no rollback, no rework, and no staging replay.
+TEST(SchemePolicyTest, HybridAnalyticFailoverTriggersNoReplay) {
+  // Seed 16 places the single failure on the analytic (found by scan;
+  // guarded by the assertion below).
+  WorkflowRunner runner(small_spec(Scheme::kHybrid, 1, 16));
+  auto m = runner.run();
+  const auto& analytic = m.component("analytic");
+  ASSERT_EQ(analytic.failures, 1);
+  EXPECT_EQ(analytic.timesteps_reworked, 0);
+  EXPECT_EQ(analytic.checkpoints, 0);
+  EXPECT_EQ(analytic.timesteps_done, 12);
+  EXPECT_EQ(m.total_anomalies(), 0);
+  // Failover is not a checkpoint/restart: the recovery pipeline's restart
+  // stages never run, so no recovery or replay milestones are traced.
+  EXPECT_TRUE(runner.trace().of_kind(TraceKind::kRecoveryStart).empty());
+  EXPECT_TRUE(runner.trace().of_kind(TraceKind::kReplayDone).empty());
+  EXPECT_EQ(runner.trace().of_kind(TraceKind::kFailure).size(), 1u);
+}
+
+// Fig. 2: without logging, an individually-restarted component re-reads
+// stale coupled data — the consistency anomalies the paper's scheme exists
+// to prevent. The logged uncoordinated scheme sees none on the same seed.
+TEST(SchemePolicyTest, IndividualSchemeExhibitsAnomaliesUnCannotSee) {
+  auto in = WorkflowRunner(small_spec(Scheme::kIndividual, 1, 16)).run();
+  EXPECT_GT(in.total_anomalies(), 0);
+
+  auto un = WorkflowRunner(small_spec(Scheme::kUncoordinated, 1, 16)).run();
+  EXPECT_EQ(un.total_anomalies(), 0);
+  EXPECT_EQ(un.failures_injected, 1);
+}
+
+}  // namespace
+}  // namespace dstage::core

@@ -1,0 +1,86 @@
+// Sweep harness tests: thread-count invariance (a parallel sweep must be
+// bit-identical to a serial one), error propagation, and the JSON export.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/setups.hpp"
+#include "core/sweep.hpp"
+
+namespace dstage::core {
+namespace {
+
+WorkflowSpec sweep_spec(std::uint64_t seed) {
+  WorkflowSpec spec = table2_setup(Scheme::kUncoordinated);
+  spec.total_ts = 12;
+  spec.failures.count = 2;
+  spec.failures.seed = seed;
+  return spec;
+}
+
+TEST(SweepTest, ParallelSweepMatchesSerialPerSeed) {
+  constexpr int kSeeds = 6;
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+
+  const auto a = run_seed_sweep(sweep_spec, kSeeds, serial);
+  const auto b = run_seed_sweep(sweep_spec, kSeeds, parallel);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(kSeeds));
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, i + 1);
+    EXPECT_EQ(b[i].seed, a[i].seed);
+    EXPECT_EQ(b[i].trace_digest, a[i].trace_digest) << "seed " << a[i].seed;
+    EXPECT_EQ(b[i].metrics.total_time_s, a[i].metrics.total_time_s);
+    EXPECT_EQ(b[i].metrics.events_processed, a[i].metrics.events_processed);
+    EXPECT_EQ(b[i].metrics.failures_injected, a[i].metrics.failures_injected);
+    EXPECT_EQ(b[i].metrics.pfs_bytes_written, a[i].metrics.pfs_bytes_written);
+  }
+  EXPECT_EQ(mean_total_time(a), mean_total_time(b));
+}
+
+TEST(SweepTest, EmptySweepIsEmpty) {
+  EXPECT_TRUE(run_sweep({}).empty());
+  EXPECT_TRUE(run_seed_sweep(sweep_spec, 0).empty());
+  EXPECT_EQ(mean_total_time({}), 0);
+}
+
+TEST(SweepTest, InvalidSpecPropagatesOutOfWorkerThreads) {
+  auto bad = sweep_spec(1);
+  bad.staging_servers = 0;
+  SweepOptions opts;
+  opts.threads = 2;
+  EXPECT_THROW(run_sweep({sweep_spec(1), bad}, opts), std::invalid_argument);
+}
+
+TEST(SweepTest, MeanTotalTimeAveragesRuns) {
+  std::vector<SweepRun> runs(2);
+  runs[0].metrics.total_time_s = 10;
+  runs[1].metrics.total_time_s = 30;
+  EXPECT_DOUBLE_EQ(mean_total_time(runs), 20);
+}
+
+TEST(SweepTest, DigestHexIsZeroPadded) {
+  EXPECT_EQ(digest_hex(0xba25ef72a474a18bull), "ba25ef72a474a18b");
+  EXPECT_EQ(digest_hex(0x1ull), "0000000000000001");
+}
+
+TEST(SweepTest, SweepJsonCarriesSeedDigestAndMetrics) {
+  const auto runs = run_seed_sweep(sweep_spec, 2, SweepOptions{.threads = 2});
+  const Json doc = sweep_to_json(runs);
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.size(), 2u);
+  const std::string text = doc.str();
+  EXPECT_NE(text.find("\"seed\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"seed\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"trace_digest\": \"" + digest_hex(runs[0].trace_digest)
+                      + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"total_time_s\""), std::string::npos);
+  EXPECT_NE(text.find("\"components\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dstage::core

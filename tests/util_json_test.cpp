@@ -1,0 +1,84 @@
+// Tests for the minimal ordered JSON writer backing the bench/CLI output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace dstage {
+namespace {
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json().str(), "null\n");
+  EXPECT_EQ(Json(true).str(), "true\n");
+  EXPECT_EQ(Json(false).str(), "false\n");
+  EXPECT_EQ(Json(42).str(), "42\n");
+  EXPECT_EQ(Json(-7).str(), "-7\n");
+  EXPECT_EQ(Json("hi").str(), "\"hi\"\n");
+}
+
+TEST(JsonTest, SixtyFourBitIntegersAreExact) {
+  EXPECT_EQ(Json(std::uint64_t{0xffffffffffffffffull}).str(),
+            "18446744073709551615\n");
+  EXPECT_EQ(Json(std::int64_t{-9007199254740993}).str(),
+            "-9007199254740993\n");
+}
+
+TEST(JsonTest, DoublesRoundTripAndNonFiniteDegradesToNull) {
+  EXPECT_EQ(Json(0.5).str(), "0.5\n");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).str(), "null\n");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).str(), "null\n");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").str(), "\"a\\\"b\\\\c\\nd\"\n");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", 1).set("alpha", 2).set("mid", 3);
+  const std::string text = j.str();
+  EXPECT_LT(text.find("zebra"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mid"));
+}
+
+TEST(JsonTest, DuplicateKeyOverwritesInPlace) {
+  Json j = Json::object();
+  j.set("k", 1).set("other", 2).set("k", 9);
+  EXPECT_EQ(j.size(), 2u);
+  const std::string text = j.str();
+  EXPECT_EQ(text.find("\"k\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"k\": 9"), std::string::npos);
+  EXPECT_LT(text.find("\"k\""), text.find("\"other\""));
+}
+
+TEST(JsonTest, NestedPrettyPrint) {
+  Json doc = Json::object();
+  doc.set("name", "run");
+  Json arr = Json::array();
+  arr.push(1);
+  Json inner = Json::object();
+  inner.set("ok", true);
+  arr.push(std::move(inner));
+  doc.set("points", std::move(arr));
+  doc.set("empty_list", Json::array());
+  doc.set("empty_obj", Json::object());
+
+  EXPECT_EQ(doc.str(),
+            "{\n"
+            "  \"name\": \"run\",\n"
+            "  \"points\": [\n"
+            "    1,\n"
+            "    {\n"
+            "      \"ok\": true\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty_list\": [],\n"
+            "  \"empty_obj\": {}\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace dstage

@@ -1,18 +1,23 @@
 // dstage_cli — run any workflow configuration from the command line and
 // print the metrics the paper's evaluation reports; optionally export the
-// structured execution trace as CSV.
+// structured execution trace as CSV, the metrics as JSON, or a whole
+// multi-seed sweep.
 //
 //   dstage_cli --scheme=un --failures=1 --seed=6
 //   dstage_cli --setup=table3 --scale=2 --scheme=co --failures=3
-//   dstage_cli --scheme=un --failures=2 --trace=run.csv \
+//   dstage_cli --scheme=un --failures=2 --trace=run.csv
 //              --local-ckpt-period=1 --predictor-recall=1.0
+//   dstage_cli --scheme=hy --failures=2 --seeds=16 --json=sweep.json
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "core/executor.hpp"
 #include "core/setups.hpp"
+#include "core/sweep.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -36,6 +41,8 @@ int usage() {
       "  --scheme=ds|co|un|in|hy     fault-tolerance scheme   [un]\n"
       "  --failures=N                injected failures        [0]\n"
       "  --seed=N                    failure seed             [1]\n"
+      "  --seeds=N                   sweep seeds 1..N instead [off]\n"
+      "  --threads=N                 sweep worker threads     [auto]\n"
       "  --timesteps=N               run length               [40]\n"
       "  --subset=F                  coupled fraction (0,1]   [1.0]\n"
       "  --sim-period=N              sim ckpt period          [4]\n"
@@ -44,13 +51,36 @@ int usage() {
       "  --predictor-recall=F        proactive ckpt recall    [0=off]\n"
       "  --node-failure-fraction=F   node-level failure share [0.2]\n"
       "  --trace=FILE                write execution trace CSV\n"
+      "  --json=FILE                 write metrics/sweep JSON\n"
       "  --help                      this text");
   return 2;
 }
 
+bool write_json(const std::string& path, const Json& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  doc.dump(out);
+  std::printf("JSON written to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
+int run_cli(int argc, char** argv);
+
 int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+int run_cli(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.get_bool("help", false)) return usage();
 
@@ -78,10 +108,46 @@ int main(int argc, char** argv) {
   const int local_period = flags.get_int("local-ckpt-period", 0);
   for (auto& c : spec.components) c.local_ckpt_period = local_period;
   const std::string trace_file = flags.get("trace", "");
+  const std::string json_file = flags.get("json", "");
+  const int seeds = flags.get_int("seeds", 0);
+  const int threads = flags.get_int("threads", 0);
 
   for (const auto& unknown : flags.unused()) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     return usage();
+  }
+
+  if (seeds > 0) {
+    // Multi-seed sweep: one independent simulation per seed, in parallel.
+    std::vector<core::WorkflowSpec> specs;
+    specs.reserve(static_cast<std::size_t>(seeds));
+    for (int s = 1; s <= seeds; ++s) {
+      core::WorkflowSpec one = spec;
+      one.failures.seed = static_cast<std::uint64_t>(s);
+      specs.push_back(std::move(one));
+    }
+    core::SweepOptions opts;
+    opts.threads = threads;
+    const auto runs = core::run_sweep(std::move(specs), opts);
+
+    std::printf("scheme %s | %d ts | sweep of %d seeds\n",
+                core::scheme_name(scheme), spec.total_ts, seeds);
+    int anomalies = 0;
+    for (const auto& r : runs) {
+      anomalies += r.metrics.total_anomalies();
+      std::printf(
+          "  seed %3llu: total %8.2f s | %d failure(s) | %d anomalies | "
+          "digest %s\n",
+          static_cast<unsigned long long>(r.seed), r.metrics.total_time_s,
+          r.metrics.failures_injected, r.metrics.total_anomalies(),
+          core::digest_hex(r.trace_digest).c_str());
+    }
+    std::printf("mean total workflow execution time: %.2f s (virtual)\n",
+                core::mean_total_time(runs));
+    if (!json_file.empty() && !write_json(json_file, sweep_to_json(runs))) {
+      return 1;
+    }
+    return anomalies == 0 ? 0 : 1;
   }
 
   core::WorkflowRunner runner(spec);
@@ -127,6 +193,12 @@ int main(int argc, char** argv) {
     }
     runner.trace().write_csv(out);
     std::printf("trace written to %s\n", trace_file.c_str());
+  }
+  if (!json_file.empty()) {
+    Json doc = core::metrics_to_json(m);
+    doc.set("trace_digest", core::digest_hex(runner.trace().digest()));
+    doc.set("seed", spec.failures.seed);
+    if (!write_json(json_file, doc)) return 1;
   }
   return m.total_anomalies() == 0 ? 0 : 1;
 }
