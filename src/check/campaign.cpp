@@ -1,0 +1,85 @@
+#include "check/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace dstage::check {
+
+CampaignResult run_campaign(const CampaignOptions& opts) {
+  const std::vector<Schedule> schedules = generate_schedules(opts.gen);
+
+  CampaignResult result;
+  result.schedules = static_cast<int>(schedules.size());
+  if (schedules.empty()) return result;
+
+  ReferenceCache cache;
+  std::vector<OracleReport> reports(schedules.size());
+
+  const int jobs = static_cast<int>(schedules.size());
+  int threads = opts.threads;
+  if (threads <= 0) {
+    threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = std::min(threads, jobs);
+
+  std::atomic<int> next{0};
+  std::vector<std::exception_ptr> errors(schedules.size());
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
+          const auto idx = static_cast<std::size_t>(i);
+          try {
+            reports[idx] = check_schedule(schedules[idx], cache,
+                                          opts.sabotage);
+          } catch (...) {
+            errors[idx] = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthread joins here
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    result.total_failures_injected += reports[i].failures_injected;
+    if (reports[i].ok()) {
+      ++result.passed;
+      continue;
+    }
+    CampaignFailure failure;
+    failure.schedule = schedules[i];
+    failure.report = std::move(reports[i]);
+    failure.shrunk = schedules[i];
+    result.failures.push_back(std::move(failure));
+  }
+
+  // Shrink serially: each shrink is itself a budgeted oracle loop, and a
+  // healthy campaign has nothing to shrink.
+  if (opts.shrink) {
+    const int to_shrink = std::min<int>(
+        opts.max_shrunk, static_cast<int>(result.failures.size()));
+    for (int i = 0; i < to_shrink; ++i) {
+      CampaignFailure& failure =
+          result.failures[static_cast<std::size_t>(i)];
+      ShrinkResult shrunk = shrink_schedule(failure.schedule, cache,
+                                            opts.sabotage,
+                                            opts.shrink_budget);
+      failure.shrunk = std::move(shrunk.minimal);
+      failure.report = std::move(shrunk.report);
+      failure.shrink_attempts = shrunk.attempts;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace dstage::check

@@ -1,0 +1,521 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "core/executor.hpp"
+#include "core/scheme/policy.hpp"
+#include "staging/server.hpp"
+#include "util/geometry.hpp"
+
+namespace dstage::check {
+
+namespace {
+
+using staging::AppId;
+using staging::Version;
+
+/// Reports are bounded: a systemic bug (e.g. a sabotaged GC) would
+/// otherwise produce one violation per dropped version.
+constexpr std::size_t kMaxViolations = 32;
+
+void add_violation(std::vector<Violation>& out, int invariant,
+                   std::string detail) {
+  if (out.size() < kMaxViolations) {
+    out.push_back(Violation{invariant, std::move(detail)});
+  }
+}
+
+/// Sabotage decorator: forwards every protocol decision to the real scheme
+/// policy except the post-recovery log replay, which it silently skips —
+/// exactly the bug class the oracle's invariants 2 and 4 exist to catch.
+class SkipReplayPolicy final : public core::SchemePolicy {
+ public:
+  explicit SkipReplayPolicy(std::unique_ptr<core::SchemePolicy> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] core::Scheme scheme() const override {
+    return inner_->scheme();
+  }
+  [[nodiscard]] bool uses_logging() const override {
+    return inner_->uses_logging();
+  }
+  [[nodiscard]] bool replay_on_restart(
+      const core::ComponentSpec&) const override {
+    return false;
+  }
+  [[nodiscard]] bool proactive_eligible(
+      const core::ComponentSpec& c) const override {
+    return inner_->proactive_eligible(c);
+  }
+  [[nodiscard]] sim::Duration barrier_cost(
+      const core::RuntimeServices& rt) const override {
+    return inner_->barrier_cost(rt);
+  }
+  sim::Task<void> on_timestep_end(core::RuntimeServices& rt, core::Comp& comp,
+                                  int ts, sim::Ctx ctx) override {
+    return inner_->on_timestep_end(rt, comp, ts, ctx);
+  }
+  sim::Task<void> checkpoint(core::RuntimeServices& rt, core::Comp& comp,
+                             int ts, sim::Ctx ctx) override {
+    return inner_->checkpoint(rt, comp, ts, ctx);
+  }
+  void recover(core::RuntimeServices& rt, core::Comp& comp) override {
+    inner_->recover(rt, comp);
+  }
+
+ private:
+  std::unique_ptr<core::SchemePolicy> inner_;
+};
+
+/// var -> apps that may roll back and re-read it (the GC's retention
+/// audience), derived from the spec under the *real* scheme semantics so a
+/// sabotaged run is still judged against the correct protocol.
+using ConsumerMap = std::map<std::string, std::vector<AppId>>;
+
+ConsumerMap rollback_consumers(const core::WorkflowSpec& spec,
+                               const core::SchemePolicy& policy) {
+  ConsumerMap out;
+  for (const auto& writer : spec.components) {
+    for (const auto& write : writer.writes) {
+      auto& apps = out[write.var];
+      for (std::size_t r = 0; r < spec.components.size(); ++r) {
+        const auto& reader = spec.components[r];
+        if (!policy.component_logged(reader)) continue;
+        for (const auto& read : reader.reads) {
+          if (read.var == write.var) {
+            apps.push_back(static_cast<AppId>(r));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Everything the probes accumulate during one instrumented run.
+struct Observation {
+  std::map<std::string, std::vector<ReferenceCache::ReadObs>> reads;
+  /// Per staging server: app -> highest checkpoint version it announced.
+  std::vector<std::map<AppId, Version>> server_ckpts;
+  int recovery_starts = 0;
+  int recovery_dones = 0;
+};
+
+/// The retention watermark server `si` is *entitled* to believe, rebuilt
+/// from the checkpoints the oracle watched arrive — mirroring
+/// gc::GarbageCollector::watermark() exactly, minus any sabotage bias.
+Version true_watermark(const Observation& obs, std::size_t si,
+                       const std::string& var, const ConsumerMap& consumers) {
+  auto it = consumers.find(var);
+  Version mark = std::numeric_limits<Version>::max();
+  if (it == consumers.end()) return mark;
+  for (AppId app : it->second) {
+    const auto& ckpts = obs.server_ckpts[si];
+    auto f = ckpts.find(app);
+    mark = std::min(mark, f == ckpts.end() ? Version{0} : f->second);
+  }
+  return mark;
+}
+
+bool events_equal(const core::TraceEvent& a, const core::TraceEvent& b) {
+  return a.at == b.at && a.kind == b.kind && a.timestep == b.timestep &&
+         a.value == b.value && a.component == b.component;
+}
+
+std::string describe(const core::TraceEvent& e) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s(%s, ts=%d) at %.6fs",
+                core::trace_kind_name(e.kind), e.component.c_str(),
+                e.timestep, e.at.seconds());
+  return buf;
+}
+
+std::shared_ptr<const ReferenceCache::Entry> run_reference(
+    const Schedule& base) {
+  auto entry = std::make_shared<ReferenceCache::Entry>();
+  core::WorkflowRunner runner(base.to_spec());
+  runner.services().read_probe =
+      [&entry](const core::Comp& c, int ts, const std::string& var,
+               std::uint64_t checksum, std::uint64_t bytes, int wrong_version,
+               int corrupt) {
+        entry->reads[read_key(c.spec.name, var, ts)] =
+            ReferenceCache::ReadObs{checksum, bytes, wrong_version + corrupt};
+      };
+  runner.run();
+  entry->trace = runner.trace().events();
+  entry->digest = runner.trace().digest();
+  return entry;
+}
+
+}  // namespace
+
+const char* sabotage_name(Sabotage s) {
+  switch (s) {
+    case Sabotage::kNone:
+      return "none";
+    case Sabotage::kSkipReplay:
+      return "skip-replay";
+    case Sabotage::kGcOvercollect:
+      return "gc-overcollect";
+  }
+  throw std::invalid_argument("unknown sabotage");
+}
+
+Sabotage parse_sabotage(const std::string& name) {
+  for (Sabotage s :
+       {Sabotage::kNone, Sabotage::kSkipReplay, Sabotage::kGcOvercollect}) {
+    if (name == sabotage_name(s)) return s;
+  }
+  throw std::invalid_argument("unknown sabotage '" + name +
+                              "' (want none|skip-replay|gc-overcollect)");
+}
+
+std::string read_key(const std::string& comp, const std::string& var,
+                     int ts) {
+  return comp + "|" + var + "|" + std::to_string(ts);
+}
+
+std::string OracleReport::summary() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += "invariant " + std::to_string(v.invariant) + ": " + v.detail +
+           "\n";
+  }
+  return out;
+}
+
+std::shared_ptr<const ReferenceCache::Entry> ReferenceCache::reference_for(
+    const Schedule& s) {
+  Schedule base = s;
+  base.id = 0;
+  base.mtbf = false;
+  base.failures.clear();
+  const std::string key = base.repro();
+
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = slots_[key];
+    if (!entry) entry = std::make_shared<Slot>();
+    slot = entry;
+  }
+  std::call_once(slot->once, [&] { slot->entry = run_reference(base); });
+  return slot->entry;
+}
+
+OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
+                            Sabotage sabotage) {
+  OracleReport report;
+  const auto ref = cache.reference_for(s);
+  report.reference_digest = ref->digest;
+
+  const auto real_policy = core::make_scheme_policy(s.scheme);
+  core::WorkflowSpec spec = s.to_spec();
+  const ConsumerMap consumers = rollback_consumers(spec, *real_policy);
+
+  std::unique_ptr<core::SchemePolicy> run_policy;
+  if (sabotage == Sabotage::kSkipReplay) {
+    run_policy =
+        std::make_unique<SkipReplayPolicy>(core::make_scheme_policy(s.scheme));
+  }
+  core::WorkflowRunner runner(std::move(spec), std::move(run_policy));
+  const core::WorkflowSpec& rspec = runner.runtime().spec();
+
+  Observation obs;
+  auto& servers = runner.runtime().servers();
+  obs.server_ckpts.resize(servers.size());
+  for (std::size_t si = 0; si < servers.size(); ++si) {
+    staging::StagingServer* srv = servers[si].get();
+    if (sabotage == Sabotage::kGcOvercollect) srv->set_gc_watermark_bias(2);
+
+    staging::StagingServer::ProbeSet probes;
+    probes.gc_checkpoint = [&obs, si](AppId app, Version version) {
+      auto& mark = obs.server_ckpts[si][app];
+      mark = std::max(mark, version);
+    };
+    // Invariant 3, at reclaim time: a log drop is legal only at or below
+    // the watermark this server could honestly have derived from the
+    // checkpoints it has seen.
+    probes.log_drop = [&obs, &consumers, &report, si](
+                          const std::string& var, Version version,
+                          staging::DropReason why) {
+      if (why == staging::DropReason::kRollback) return;
+      if (why == staging::DropReason::kRotation) {
+        add_violation(report.violations, 3,
+                      "data log rotated out " + var + " v" +
+                          std::to_string(version) + " on server " +
+                          std::to_string(si) +
+                          " (log retention must be unbounded)");
+        return;
+      }
+      const Version mark = true_watermark(obs, si, var, consumers);
+      if (version > mark) {
+        add_violation(
+            report.violations, 3,
+            "GC reclaimed " + var + " v" + std::to_string(version) +
+                " on server " + std::to_string(si) +
+                " above the true watermark v" + std::to_string(mark));
+      }
+    };
+    // Invariant 3, after each sweep: nothing the sweep proved unreachable
+    // may remain retained.
+    probes.gc_sweep = [&report, si, srv](const std::string& var,
+                                         Version /*watermark*/, Version upto,
+                                         std::size_t /*dropped*/) {
+      for (Version v : srv->data_log().versions_of(var)) {
+        if (v <= upto) {
+          add_violation(report.violations, 3,
+                        "sweep left unreachable " + var + " v" +
+                            std::to_string(v) + " retained on server " +
+                            std::to_string(si) + " (swept up to v" +
+                            std::to_string(upto) + ")");
+        }
+      }
+    };
+    srv->install_probes(std::move(probes));
+  }
+  runner.services().read_probe =
+      [&obs](const core::Comp& c, int ts, const std::string& var,
+             std::uint64_t checksum, std::uint64_t bytes, int wrong_version,
+             int corrupt) {
+        obs.reads[read_key(c.spec.name, var, ts)].push_back(
+            ReferenceCache::ReadObs{checksum, bytes,
+                                    wrong_version + corrupt});
+      };
+  runner.services().recovery_probe = [&obs](core::TraceKind stage,
+                                            const core::Comp*, int) {
+    if (stage == core::TraceKind::kRecoveryStart) ++obs.recovery_starts;
+    if (stage == core::TraceKind::kRecoveryDone) ++obs.recovery_dones;
+  };
+
+  bool deadlocked = false;
+  try {
+    runner.run();
+  } catch (const std::runtime_error& e) {
+    deadlocked = true;
+    add_violation(report.violations, 4,
+                  std::string("recovery did not terminate: ") + e.what());
+  }
+  report.trace_digest = runner.trace().digest();
+
+  bool any_fired = false;
+  for (const core::PlannedFailure& f : runner.runtime().plan()) {
+    if (!f.fired) continue;
+    any_fired = true;
+    if (f.phase < 0) {
+      ++report.alarms_fired;
+    } else {
+      ++report.failures_injected;
+    }
+  }
+
+  if (deadlocked) {
+    // Mid-flight state is not meaningful for the remaining invariants;
+    // the liveness violation above is the verdict.
+    return report;
+  }
+
+  const auto& ftrace = runner.trace().events();
+
+  // ---- Invariant 4: recovery bookkeeping and prefix consistency. ----
+  if (obs.recovery_starts != obs.recovery_dones) {
+    add_violation(report.violations, 4,
+                  "unbalanced recovery pipeline: " +
+                      std::to_string(obs.recovery_starts) + " starts vs " +
+                      std::to_string(obs.recovery_dones) + " completions");
+  }
+  if (!any_fired) {
+    if (report.trace_digest != ref->digest) {
+      add_violation(report.violations, 4,
+                    "no failure fired but the trace digest diverged from "
+                    "the failure-free reference");
+    }
+  } else {
+    // The earliest instant any fired schedule entry could have perturbed
+    // the run: the victim's entry into the timestep it strikes.
+    sim::TimePoint t_perturb{std::numeric_limits<std::int64_t>::max()};
+    for (const core::PlannedFailure& f : runner.runtime().plan()) {
+      if (!f.fired) continue;
+      const std::string& victim =
+          rspec.components[static_cast<std::size_t>(f.comp)].name;
+      for (const core::TraceEvent& e : ftrace) {
+        if (e.kind == core::TraceKind::kTimestepStart &&
+            e.timestep == f.ts && e.component == victim) {
+          t_perturb = std::min(t_perturb, e.at);
+          break;
+        }
+      }
+    }
+    const auto& rtrace = ref->trace;
+    const std::size_t n = std::min(ftrace.size(), rtrace.size());
+    std::size_t d = 0;
+    while (d < n && events_equal(ftrace[d], rtrace[d])) ++d;
+    if (d < ftrace.size() || d < rtrace.size()) {
+      const bool f_before = d >= ftrace.size() || ftrace[d].at < t_perturb;
+      const bool r_before = d >= rtrace.size() || rtrace[d].at < t_perturb;
+      if (f_before && r_before) {
+        add_violation(
+            report.violations, 4,
+            "trace diverged before the first failure struck (at " +
+                std::to_string(t_perturb.seconds()) + "s): got " +
+                (d < ftrace.size() ? describe(ftrace[d]) : "end of trace") +
+                ", reference has " +
+                (d < rtrace.size() ? describe(rtrace[d]) : "end of trace"));
+      }
+    }
+  }
+
+  // ---- Invariant 4 (structural): every recovered logged component must
+  // pass through log replay before it resumes timesteps. Catches a
+  // skipped replay stage even when idempotent re-puts keep the data
+  // correct by accident.
+  std::map<std::string, bool> logged_by_name;
+  for (const auto& c : rspec.components) {
+    logged_by_name[c.name] = real_policy->component_logged(c);
+  }
+  for (std::size_t i = 0; i < ftrace.size(); ++i) {
+    const core::TraceEvent& e = ftrace[i];
+    if (e.kind != core::TraceKind::kRecoveryDone) continue;
+    if (!logged_by_name[e.component]) continue;
+    bool replayed = false;
+    bool resumed = false;
+    for (std::size_t j = i + 1; j < ftrace.size(); ++j) {
+      if (ftrace[j].component != e.component) continue;
+      if (ftrace[j].kind == core::TraceKind::kReplayDone) {
+        replayed = true;
+        break;
+      }
+      if (ftrace[j].kind == core::TraceKind::kTimestepStart) {
+        resumed = true;
+        break;
+      }
+    }
+    if (!replayed) {
+      add_violation(report.violations, 4,
+                    e.component + " recovered at ts " +
+                        std::to_string(e.timestep) +
+                        (resumed ? " and resumed without log replay"
+                                 : " but never replayed or resumed"));
+    }
+  }
+
+  // ---- Invariant 2: replayed consumers read what the reference read. ----
+  for (const auto& [key, occurrences] : obs.reads) {
+    const auto it = ref->reads.find(key);
+    if (it == ref->reads.end()) {
+      add_violation(report.violations, 2,
+                    "read " + key + " has no reference counterpart");
+      continue;
+    }
+    const std::string comp_name = key.substr(0, key.find('|'));
+    const bool must_match = logged_by_name[comp_name];
+    const ReferenceCache::ReadObs& expect = it->second;
+    for (const ReferenceCache::ReadObs& got : occurrences) {
+      if (got.checksum == expect.checksum && got.bytes == expect.bytes) {
+        continue;
+      }
+      if (!must_match && got.anomalies > 0) continue;  // flagged, not silent
+      add_violation(
+          report.violations, 2,
+          "read " + key + " diverged from the reference" +
+              (must_match ? " (logged consumer must replay identically)"
+                          : " with no anomaly flag raised") +
+              ": got checksum=" + std::to_string(got.checksum) + " bytes=" +
+              std::to_string(got.bytes) + " anomalies=" +
+              std::to_string(got.anomalies) + ", want checksum=" +
+              std::to_string(expect.checksum) + " bytes=" +
+              std::to_string(expect.bytes) + " anomalies=" +
+              std::to_string(expect.anomalies));
+    }
+  }
+
+  // ---- Invariant 1: durability of committed versions. ----
+  // Committed versions per var, recovered from the write trail (replayed
+  // re-puts are suppressed but still acknowledged, so a set suffices).
+  std::map<std::string, const core::ComponentSpec*> spec_by_name;
+  for (const auto& c : rspec.components) spec_by_name[c.name] = &c;
+  std::map<std::string, std::set<Version>> written;
+  std::map<std::string, Box> write_region;
+  std::map<std::string, std::map<int, int>> write_occurrence;
+  for (const core::TraceEvent& e : ftrace) {
+    if (e.kind != core::TraceKind::kWriteDone) continue;
+    const core::ComponentSpec* c = spec_by_name[e.component];
+    if (c == nullptr || c->writes.empty()) continue;
+    const int k = write_occurrence[e.component][e.timestep]++;
+    const auto& w =
+        c->writes[static_cast<std::size_t>(k) % c->writes.size()];
+    written[w.var].insert(static_cast<Version>(e.timestep));
+    write_region.emplace(
+        w.var, runner.runtime().subset_region(w.subset_fraction));
+  }
+
+  // Integrity: every chunk still retained anywhere must be byte-exact for
+  // its declared (var, version) — in every scheme.
+  for (std::size_t si = 0; si < servers.size(); ++si) {
+    const staging::StagingServer& srv = *servers[si];
+    const auto verify_holdings = [&](const auto& holder, const char* what) {
+      for (const std::string& var : holder.variables()) {
+        for (Version v : holder.versions_of(var)) {
+          for (const staging::Chunk& chunk :
+               holder.get(var, v, rspec.domain)) {
+            if (staging::check_chunk(chunk, var, v) !=
+                staging::ChunkCheck::kOk) {
+              add_violation(report.violations, 1,
+                            std::string(what) + " on server " +
+                                std::to_string(si) + " retains a corrupt " +
+                                var + " v" + std::to_string(v) + " chunk");
+            }
+          }
+        }
+      }
+    };
+    verify_holdings(srv.store(), "store");
+    verify_holdings(srv.data_log(), "data log");
+  }
+
+  // Retention: under a logging scheme, every committed version a
+  // rolled-back consumer could still demand must remain fully covered by
+  // the union of store and log holdings.
+  if (real_policy->uses_logging()) {
+    for (const auto& [var, versions] : written) {
+      if (consumers.find(var) == consumers.end() ||
+          consumers.at(var).empty()) {
+        continue;  // nobody can roll back onto this var
+      }
+      Version required_above = 0;
+      for (std::size_t si = 0; si < servers.size(); ++si) {
+        required_above =
+            std::max(required_above, true_watermark(obs, si, var, consumers));
+      }
+      const Box& region = write_region.at(var);
+      for (Version v : versions) {
+        if (v <= required_above) continue;
+        std::vector<Box> cover;
+        for (const auto& srv : servers) {
+          for (const staging::Chunk& chunk : srv->store().get(var, v, region))
+            cover.push_back(chunk.region);
+          for (const staging::Chunk& chunk :
+               srv->data_log().get(var, v, region))
+            cover.push_back(chunk.region);
+        }
+        if (!boxes_cover(region, cover)) {
+          add_violation(report.violations, 1,
+                        "committed " + var + " v" + std::to_string(v) +
+                            " (above watermark v" +
+                            std::to_string(required_above) +
+                            ") is no longer fully retained");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dstage::check

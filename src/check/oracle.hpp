@@ -1,0 +1,110 @@
+// The crash-consistency oracle. check_schedule() executes one failure
+// schedule through the real runtime with probe instrumentation installed
+// (staging store/log drops, GC checkpoints and sweeps, consumer read
+// checksums, recovery-pipeline milestones) and asserts four machine-checked
+// invariants against a failure-free reference run of the same
+// configuration:
+//
+//   1. Durability — no committed staged version a rolled-back consumer may
+//      still need is lost, and every retained chunk is byte-exact for its
+//      (var, version, region) content key.
+//   2. Read equivalence — a replayed consumer observes data identical to
+//      the reference run; non-logged schemes may diverge only with the
+//      anomaly (wrong-version / corrupt) flags raised, never silently.
+//   3. GC safety — the data log drops nothing above the true retention
+//      watermark (computed independently from observed checkpoints, so a
+//      sabotaged collector cannot vouch for itself), never rotates logged
+//      payloads out, and retains nothing a completed sweep proved
+//      unreachable.
+//   4. Recovery liveness and prefix consistency — recovery terminates
+//      (every start has a matching done, no deadlock), the trace never
+//      diverges from the reference before the first injected failure
+//      strikes, and every recovered logged component passes through log
+//      replay before resuming timesteps.
+//
+// Reference runs are memoized per failure-free configuration so a campaign
+// pays for each distinct (scheme, periods, resilience) combination once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "core/trace.hpp"
+
+namespace dstage::check {
+
+/// Deliberate protocol corruptions the campaign injects to prove the
+/// oracle catches real bugs (and that the shrinker minimizes them).
+enum class Sabotage {
+  kNone,
+  /// Recovered components skip the log-replay stage (drops the paper's
+  /// re-attach protocol step).
+  kSkipReplay,
+  /// The garbage collector believes a watermark two versions above the
+  /// truth and reclaims logged data consumers may still re-read.
+  kGcOvercollect,
+};
+
+const char* sabotage_name(Sabotage s);
+Sabotage parse_sabotage(const std::string& name);
+
+struct Violation {
+  int invariant = 0;  // 1..4, numbering above
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+  int failures_injected = 0;
+  int alarms_fired = 0;       // false-alarm entries that perturbed the run
+  std::uint64_t trace_digest = 0;
+  std::uint64_t reference_digest = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Human-readable one-per-line violation list (empty string when ok).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Memoized failure-free reference runs, shared across campaign workers.
+/// Thread-safe; each distinct configuration is computed exactly once.
+class ReferenceCache {
+ public:
+  /// What invariant 2 compares against: one observation per completed get.
+  struct ReadObs {
+    std::uint64_t checksum = 0;  // order-independent piece checksum
+    std::uint64_t bytes = 0;     // nominal bytes returned
+    int anomalies = 0;           // wrong-version + corrupt counts
+  };
+
+  struct Entry {
+    std::map<std::string, ReadObs> reads;  // "comp|var|ts" -> observation
+    std::vector<core::TraceEvent> trace;
+    std::uint64_t digest = 0;
+  };
+
+  /// The failure-free reference for `s`'s configuration (failures and id
+  /// stripped). Blocks on first use per configuration; cheap thereafter.
+  std::shared_ptr<const Entry> reference_for(const Schedule& s);
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<const Entry> entry;
+  };
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+};
+
+/// Key of one consumer get occurrence: "component|var|timestep".
+std::string read_key(const std::string& comp, const std::string& var, int ts);
+
+/// Run `s` under the oracle and return every invariant violation found.
+OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
+                            Sabotage sabotage = Sabotage::kNone);
+
+}  // namespace dstage::check

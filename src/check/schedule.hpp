@@ -1,0 +1,77 @@
+// Randomized fault-injection schedules for the consistency campaign. A
+// Schedule is a fully explicit description of one oracle run — scheme,
+// checkpoint periods, resilience policy, and a hand-listed set of failures
+// — so the shrinker can drop or simplify individual failures without
+// re-shuffling anything else (which any seed-drawn plan would). Schedules
+// serialize to a compact one-line repro string that `tools/campaign
+// --repro=...` replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+
+namespace dstage::check {
+
+/// One injected failure of a schedule (mirrors core::ExplicitFailure, plus
+/// schedule-level equality for the shrinker's fixpoint test).
+struct ScheduleFailure {
+  int comp = 0;             // index into the Table-II pair: 0 sim, 1 analytic
+  int ts = 1;               // timestep the failure strikes
+  double phase = 0.5;       // fraction of the timestep's compute before death;
+                            // < 0 means predictor false alarm (no kill)
+  bool node_level = false;  // node failure: local checkpoints are lost
+  bool predicted = false;   // the failure predictor flagged it in advance
+
+  friend bool operator==(const ScheduleFailure&,
+                         const ScheduleFailure&) = default;
+};
+
+/// Redundancy applied to staged payloads by the schedule.
+/// 0 = none, 1 = replication x2, 2 = Reed-Solomon RS(2, 1).
+inline constexpr int kResilienceKinds = 3;
+
+struct Schedule {
+  int id = 0;  // position in the campaign (label only; not part of config)
+  core::Scheme scheme = core::Scheme::kUncoordinated;
+  int total_ts = 12;
+  int sim_period = 3;        // simulation PFS checkpoint period
+  int analytic_period = 4;   // analytic PFS checkpoint period
+  int local_ckpt_period = 0; // multi-level local checkpoints (0 disables)
+  int resilience = 0;        // see kResilienceKinds
+  bool mtbf = false;         // provenance: failure times drawn via MTBF
+  std::vector<ScheduleFailure> failures;
+
+  /// The Table-II workflow spec this schedule runs: total_ts shortened to
+  /// the schedule's horizon and the failures injected verbatim.
+  [[nodiscard]] core::WorkflowSpec to_spec() const;
+
+  /// One-line re-runnable serialization (exact round-trip incl. phases).
+  [[nodiscard]] std::string repro() const;
+  /// Inverse of repro(). Throws std::invalid_argument on malformed input.
+  static Schedule parse(const std::string& repro);
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+struct GenerateOptions {
+  int count = 100;
+  std::uint64_t seed = 1;
+  /// Schemes to draw from; empty means all five (Ds/Co/Un/In/Hy).
+  std::vector<core::Scheme> schemes;
+  int total_ts = 12;
+  int max_failures = 3;
+};
+
+/// Draw `count` independent schedules. Schedule i depends only on
+/// (seed, i) — via Rng::fork — so campaigns are reproducible and
+/// parallelizable in any order.
+std::vector<Schedule> generate_schedules(const GenerateOptions& opts);
+
+/// Short scheme tokens used by repro strings and the CLI: ds|co|un|in|hy.
+const char* scheme_token(core::Scheme s);
+core::Scheme parse_scheme_token(const std::string& token);
+
+}  // namespace dstage::check

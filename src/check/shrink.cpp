@@ -1,0 +1,66 @@
+#include "check/shrink.hpp"
+
+#include <utility>
+
+namespace dstage::check {
+
+ShrinkResult shrink_schedule(const Schedule& failing, ReferenceCache& cache,
+                             Sabotage sabotage, int budget) {
+  ShrinkResult result;
+  result.minimal = failing;
+  result.report = check_schedule(failing, cache, sabotage);
+  result.attempts = 1;
+  if (result.report.ok()) return result;  // not failing: nothing to shrink
+
+  // Adopt `candidate` iff it still fails; returns whether it was adopted.
+  const auto try_adopt = [&](Schedule candidate) {
+    if (result.attempts >= budget) return false;
+    ++result.attempts;
+    OracleReport report = check_schedule(candidate, cache, sabotage);
+    if (report.ok()) return false;
+    result.minimal = std::move(candidate);
+    result.report = std::move(report);
+    return true;
+  };
+
+  // Phase 1: drop whole failures, greedily to a fixpoint. Scanning from
+  // the back keeps indices of unvisited entries stable after an erase.
+  bool changed = true;
+  while (changed && result.attempts < budget) {
+    changed = false;
+    for (std::size_t i = result.minimal.failures.size(); i-- > 0;) {
+      Schedule candidate = result.minimal;
+      candidate.failures.erase(candidate.failures.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      if (try_adopt(std::move(candidate))) changed = true;
+      if (result.attempts >= budget) break;
+    }
+  }
+
+  // Phase 2: simplify the survivors, one field at a time.
+  for (std::size_t i = 0; i < result.minimal.failures.size(); ++i) {
+    const auto tweak = [&](auto&& mutate) {
+      Schedule candidate = result.minimal;
+      mutate(candidate.failures[i]);
+      if (candidate.failures[i] == result.minimal.failures[i]) return;
+      try_adopt(std::move(candidate));
+    };
+    tweak([](ScheduleFailure& f) { f.node_level = false; });
+    tweak([](ScheduleFailure& f) { f.predicted = false; });
+    tweak([](ScheduleFailure& f) {
+      if (f.phase >= 0) f.phase = 0.5;  // keep false alarms as alarms
+    });
+    // Bisect the strike timestep toward 1.
+    int lo = 1;
+    while (lo < result.minimal.failures[i].ts && result.attempts < budget) {
+      const int mid = lo + (result.minimal.failures[i].ts - lo) / 2;
+      Schedule candidate = result.minimal;
+      candidate.failures[i].ts = mid;
+      if (!try_adopt(std::move(candidate))) lo = mid + 1;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace dstage::check

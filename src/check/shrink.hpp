@@ -1,0 +1,28 @@
+// Schedule shrinker: greedy delta-debugging over a failing schedule's
+// failure list. Repeatedly re-runs the oracle on candidate simplifications
+// — dropping whole failures, clearing node/predictor flags, normalizing
+// phases, bisecting strike timesteps toward 1 — and keeps every candidate
+// that still fails, yielding a minimal re-runnable reproducer for the
+// campaign to print.
+#pragma once
+
+#include "check/oracle.hpp"
+#include "check/schedule.hpp"
+
+namespace dstage::check {
+
+struct ShrinkResult {
+  /// The smallest still-failing schedule found within budget.
+  Schedule minimal;
+  /// Oracle report of the minimal schedule (the violation that survives).
+  OracleReport report;
+  /// Oracle runs spent.
+  int attempts = 0;
+};
+
+/// Minimize `failing` (which must fail check_schedule under `sabotage`).
+/// Deterministic; spends at most `budget` oracle runs.
+ShrinkResult shrink_schedule(const Schedule& failing, ReferenceCache& cache,
+                             Sabotage sabotage, int budget = 120);
+
+}  // namespace dstage::check

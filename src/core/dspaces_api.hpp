@@ -16,8 +16,9 @@ namespace dstage::core {
 
 inline sim::Task<std::uint64_t> workflow_check(staging::StagingClient& client,
                                                sim::Ctx ctx,
-                                               staging::Version version) {
-  return client.workflow_check(ctx, version);
+                                               staging::Version version,
+                                               bool durable = true) {
+  return client.workflow_check(ctx, version, durable);
 }
 
 inline sim::Task<std::size_t> workflow_restart(staging::StagingClient& client,

@@ -6,11 +6,38 @@
 
 #include "core/recovery_pipeline.hpp"
 #include "sim/spawn.hpp"
+#include "util/checksum.hpp"
 
 namespace dstage::core {
 
+namespace {
+
+/// Order-independent fingerprint of a get's returned pieces: equal piece
+/// multisets give equal checksums regardless of server response order.
+std::uint64_t pieces_checksum(const std::vector<staging::Chunk>& pieces) {
+  std::uint64_t sum = 0;
+  for (const staging::Chunk& piece : pieces) {
+    std::uint64_t h = piece.content_key ^ staging::region_hash(piece.region) ^
+                      (piece.nominal_bytes * 0x100000001b3ULL);
+    if (piece.data) {
+      h ^= fnv1a(std::as_bytes(std::span{*piece.data}));
+    }
+    // SplitMix64 finalizer decorrelates before the XOR combine.
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    sum ^= h ^ (h >> 31);
+  }
+  return sum;
+}
+
+}  // namespace
+
 WorkflowRunner::WorkflowRunner(WorkflowSpec spec)
-    : policy_(make_scheme_policy(spec.scheme)) {
+    : WorkflowRunner(std::move(spec), nullptr) {}
+
+WorkflowRunner::WorkflowRunner(WorkflowSpec spec,
+                               std::unique_ptr<SchemePolicy> policy)
+    : policy_(policy ? std::move(policy) : make_scheme_policy(spec.scheme)) {
   runtime_ = RuntimeBuilder(std::move(spec)).policy(*policy_).build();
   services_ = runtime_->services();
   services_.resume = [this](Comp* comp, int start_ts) {
@@ -68,6 +95,11 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
       comp->metrics.cum_get_response_s += result.response_time.seconds();
       comp->metrics.wrong_version_reads += result.wrong_version;
       comp->metrics.corrupt_reads += result.corrupt;
+      if (services_.read_probe) {
+        services_.read_probe(*comp, ts, read.var, pieces_checksum(result.pieces),
+                             result.nominal_bytes, result.wrong_version,
+                             result.corrupt);
+      }
       trace.record(ctx.now(), TraceKind::kReadDone, comp->spec.name, ts,
                    static_cast<std::int64_t>(result.nominal_bytes));
     }
@@ -100,8 +132,8 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
 
 sim::Task<void> WorkflowRunner::run_component_recovered(Comp* comp) {
   sim::Ctx ctx = runtime_->cluster().ctx_for(comp->vproc);
-  const bool logged = policy_->component_logged(comp->spec);
-  co_await stage_reattach_and_replay(services_, *comp, logged, ctx);
+  const bool replay = policy_->replay_on_restart(comp->spec);
+  co_await stage_reattach_and_replay(services_, *comp, replay, ctx);
   co_await run_component(comp, comp->last_ckpt_ts);
 }
 

@@ -18,6 +18,11 @@ namespace dstage::core {
 class WorkflowRunner {
  public:
   explicit WorkflowRunner(WorkflowSpec spec);
+  /// Run with a caller-supplied policy instead of make_scheme_policy(
+  /// spec.scheme). Used by fault-injection harnesses (src/check) to drive
+  /// runs through deliberately broken policies; a null policy falls back
+  /// to the spec's scheme.
+  WorkflowRunner(WorkflowSpec spec, std::unique_ptr<SchemePolicy> policy);
   ~WorkflowRunner();
   WorkflowRunner(const WorkflowRunner&) = delete;
   WorkflowRunner& operator=(const WorkflowRunner&) = delete;
@@ -39,6 +44,9 @@ class WorkflowRunner {
   [[nodiscard]] const SchemePolicy& policy() const { return *policy_; }
   /// The assembled runtime (engine, cluster, staging, components).
   [[nodiscard]] Runtime& runtime() { return *runtime_; }
+  /// The services view this runner drives; the consistency oracle installs
+  /// its read/recovery probes here before run().
+  [[nodiscard]] RuntimeServices& services() { return services_; }
 
  private:
   sim::Task<void> run_component(Comp* comp, int start_ts);

@@ -12,6 +12,9 @@ sim::Task<void> stage_process_recovery(RuntimeServices& rt, Comp& comp,
                                        sim::Ctx sys) {
   rt.trace->record(sys.now(), TraceKind::kRecoveryStart, comp.spec.name,
                    comp.current_ts);
+  if (rt.recovery_probe) {
+    rt.recovery_probe(TraceKind::kRecoveryStart, &comp, comp.current_ts);
+  }
   // ULFM: revoke, shrink, agree, then a spare joins the communicator.
   co_await sys.delay(rt.spec->costs.ulfm_time(comp.spec.cores));
 }
@@ -37,6 +40,9 @@ sim::Task<void> stage_reattach_and_replay(RuntimeServices& rt, Comp& comp,
         ctx, static_cast<staging::Version>(comp.last_ckpt_ts));
     rt.trace->record(ctx.now(), TraceKind::kReplayDone, comp.spec.name,
                      comp.last_ckpt_ts, static_cast<std::int64_t>(replay));
+    if (rt.recovery_probe) {
+      rt.recovery_probe(TraceKind::kReplayDone, &comp, comp.last_ckpt_ts);
+    }
   } else {
     co_await ctx.delay(comp.client->params().reconnect_cost);
   }
@@ -52,17 +58,26 @@ sim::Task<void> run_checkpoint_restart_recovery(RuntimeServices& rt,
   comp.recovering = false;
   rt.trace->record(sys.now(), TraceKind::kRecoveryDone, comp.spec.name,
                    comp.last_ckpt_ts);
+  if (rt.recovery_probe) {
+    rt.recovery_probe(TraceKind::kRecoveryDone, &comp, comp.last_ckpt_ts);
+  }
   rt.resume_recovered(&comp);
 }
 
 sim::Task<void> run_failover_recovery(RuntimeServices& rt, Comp& comp) {
   sim::Ctx sys = rt.system_ctx();
+  if (rt.recovery_probe) {
+    rt.recovery_probe(TraceKind::kRecoveryStart, &comp, comp.current_ts);
+  }
   // The replica takes over; the interrupted timestep is re-executed by the
   // surviving copy. No rollback, no staging recovery event.
   co_await sys.delay(sim::from_seconds(rt.spec->costs.failover_s));
   rt.cluster->revive(comp.vproc);
   comp.recovering = false;
   const int resume_from = comp.current_ts;
+  if (rt.recovery_probe) {
+    rt.recovery_probe(TraceKind::kRecoveryDone, &comp, resume_from);
+  }
   rt.resume(&comp, resume_from);
 }
 
@@ -70,6 +85,9 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
                                          int global_ckpt_ts,
                                          std::function<void()> on_restarted) {
   sim::Ctx sys = rt.system_ctx();
+  if (rt.recovery_probe) {
+    rt.recovery_probe(TraceKind::kRecoveryStart, nullptr, global_ckpt_ts);
+  }
   // Everyone rolls back: kill all surviving components.
   for (auto& c : *rt.comps) {
     if (rt.cluster->vproc(c->vproc).alive) rt.cluster->kill(c->vproc);
@@ -100,6 +118,9 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
     rt.cluster->revive(c->vproc);
   }
   if (on_restarted) on_restarted();
+  if (rt.recovery_probe) {
+    rt.recovery_probe(TraceKind::kRecoveryDone, nullptr, global_ckpt_ts);
+  }
   for (auto& c : *rt.comps) {
     rt.resume(c.get(), global_ckpt_ts);
   }

@@ -142,8 +142,27 @@ void Runtime::build(const SchemePolicy& policy) {
 }
 
 void Runtime::plan_failures() {
+  // Hand-specified schedules (the consistency campaign and its shrinker)
+  // bypass the randomized planner entirely: the plan is the spec, verbatim.
+  if (!spec_.failures.explicit_failures.empty()) {
+    for (const auto& e : spec_.failures.explicit_failures) {
+      PlannedFailure f;
+      f.comp = e.comp;
+      f.ts = e.ts;
+      f.phase = e.phase;
+      f.node_level = e.node_level;
+      // A negative phase is the false-alarm sentinel; it only has an effect
+      // when the predictor raises it.
+      f.predicted = e.predicted || e.phase < 0;
+      plan_.push_back(f);
+    }
+    return;
+  }
   const int count = spec_.failures.count;
-  if (count <= 0 && spec_.failures.predictor_false_alarms <= 0) return;
+  const bool mtbf = count <= 0 && spec_.failures.mtbf_s > 0;
+  if (count <= 0 && !mtbf && spec_.failures.predictor_false_alarms <= 0) {
+    return;
+  }
   std::vector<double> weights;
   weights.reserve(comps_.size());
   for (const auto& c : comps_)
@@ -156,6 +175,30 @@ void Runtime::plan_failures() {
     f.node_level = rng_.next_double() < spec_.failures.node_failure_fraction;
     f.predicted = rng_.next_double() < spec_.failures.predictor_recall;
     plan_.push_back(f);
+  }
+  if (mtbf) {
+    // Exponential arrivals with the configured MTBF, truncated to the
+    // failure-free run-length estimate and mapped onto (timestep, phase)
+    // using the slowest component's compute time as the timestep scale.
+    double est_ts = 0;
+    for (const auto& c : comps_)
+      est_ts = std::max(est_ts, c->spec.compute_per_ts_s);
+    if (est_ts <= 0) est_ts = 1.0;
+    const double window = est_ts * spec_.total_ts;
+    double t = 0;
+    for (;;) {
+      t += rng_.exponential(spec_.failures.mtbf_s);
+      if (t >= window) break;
+      PlannedFailure f;
+      f.comp = rng_.weighted_pick(weights);
+      const double pos = t / est_ts;
+      f.ts = std::min(spec_.total_ts, 1 + static_cast<int>(pos));
+      f.phase = pos - std::floor(pos);
+      f.node_level =
+          rng_.next_double() < spec_.failures.node_failure_fraction;
+      f.predicted = rng_.next_double() < spec_.failures.predictor_recall;
+      plan_.push_back(f);
+    }
   }
   // Predictor false alarms: emergency checkpoints with no failure behind
   // them, modeled as predicted "failures" that never kill anything.

@@ -81,6 +81,20 @@ struct RuntimeServices {
   /// process context, then resume its loop from its restored checkpoint.
   std::function<void(Comp*)> resume_recovered;
 
+  // Consistency-oracle probes (null by default; installed by src/check).
+  // Probes observe without consuming virtual time or touching the trace,
+  // so installing them never changes a run's digest.
+  /// Fires after every completed consumer get: order-independent payload
+  /// checksum, nominal bytes, and the anomaly counts the client detected.
+  std::function<void(const Comp&, int ts, const std::string& var,
+                     std::uint64_t checksum, std::uint64_t bytes,
+                     int wrong_version, int corrupt)>
+      read_probe;
+  /// Fires at recovery-pipeline milestones (kRecoveryStart, kRecoveryDone,
+  /// kReplayDone). `comp` is null for whole-workflow (coordinated) stages.
+  std::function<void(TraceKind stage, const Comp* comp, int ts)>
+      recovery_probe;
+
   /// Context for system activities that survive component kills.
   [[nodiscard]] sim::Ctx system_ctx() const { return {engine, sys_token}; }
   [[nodiscard]] int total_app_cores() const;

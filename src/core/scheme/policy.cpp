@@ -23,9 +23,14 @@ sim::Task<void> SchemePolicy::emergency_checkpoint(RuntimeServices& rt,
   co_await ctx.delay(sim::from_seconds(
       static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
       rt.spec->costs.local_ckpt_bw));
+  // Emergency checkpoints land in node-local storage, which a node-level
+  // failure wipes — so, like the regular node-local level, they anchor a
+  // replay script but must not advance the staging GC watermark (the
+  // predicted failure may be the very node failure that forces a
+  // PFS-level fallback restart).
   if (component_logged(comp.spec)) {
-    co_await comp.client->workflow_check(ctx,
-                                         static_cast<staging::Version>(ts));
+    co_await comp.client->workflow_check(ctx, static_cast<staging::Version>(ts),
+                                         /*durable=*/false);
   }
   comp.last_ckpt_ts = ts;
   ++comp.metrics.proactive_checkpoints;

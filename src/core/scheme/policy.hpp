@@ -33,6 +33,15 @@ class SchemePolicy {
     return uses_logging() && c.method == FtMethod::kCheckpointRestart;
   }
 
+  /// Should `c` run the log-replay stage after a checkpoint/restart
+  /// recovery? Defaults to exactly the logged components — the paper's
+  /// protocol. Overridden only by fault-injection harnesses (the
+  /// consistency campaign's sabotage policies skip replay to prove the
+  /// oracle catches the omission); production schemes keep the default.
+  [[nodiscard]] virtual bool replay_on_restart(const ComponentSpec& c) const {
+    return component_logged(c);
+  }
+
   /// May `c` take a predictor-triggered emergency checkpoint?
   [[nodiscard]] virtual bool proactive_eligible(const ComponentSpec& c) const {
     return c.method == FtMethod::kCheckpointRestart;

@@ -21,18 +21,27 @@ sim::Task<void> UncoordinatedPolicy::checkpoint(RuntimeServices& rt,
     comp.last_pfs_ckpt_ts = ts;
     ++comp.metrics.checkpoints;
     rt.trace->record(ctx.now(), TraceKind::kCheckpoint, comp.spec.name, ts);
+    if (component_logged(comp.spec)) {
+      co_await comp.client->workflow_check(ctx,
+                                           static_cast<staging::Version>(ts));
+    }
   } else {
-    // Node-local level: fast, uncontended, lost on node failure.
+    // Node-local level: fast, uncontended, lost on node failure. The
+    // staging servers still record a replay anchor for it, but marked
+    // non-durable: a node failure falls back to the PFS level, so letting
+    // this level advance the GC watermark would allow logged versions the
+    // fallback restart still has to replay to be reclaimed (the oracle
+    // catches that as a retention violation followed by a replay deadlock).
     co_await ctx.delay(sim::from_seconds(
         static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
         rt.spec->costs.local_ckpt_bw));
     ++comp.metrics.local_checkpoints;
     rt.trace->record(ctx.now(), TraceKind::kLocalCheckpoint, comp.spec.name,
                      ts);
-  }
-  if (component_logged(comp.spec)) {
-    co_await comp.client->workflow_check(ctx,
-                                         static_cast<staging::Version>(ts));
+    if (component_logged(comp.spec)) {
+      co_await comp.client->workflow_check(
+          ctx, static_cast<staging::Version>(ts), /*durable=*/false);
+    }
   }
   comp.last_ckpt_ts = ts;
 }

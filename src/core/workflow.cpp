@@ -33,6 +33,15 @@ void WorkflowSpec::validate() const {
   if (failures.predictor_false_alarms < 0) {
     reject("failures.predictor_false_alarms must be >= 0");
   }
+  for (const auto& e : failures.explicit_failures) {
+    if (e.comp < 0 || e.comp >= static_cast<int>(components.size())) {
+      reject("explicit failure comp index out of range");
+    }
+    if (e.ts < 1 || e.ts > total_ts) {
+      reject("explicit failure ts must be in [1, total_ts]");
+    }
+    if (e.phase > 1) reject("explicit failure phase must be <= 1");
+  }
   for (const auto& c : components) {
     if (c.name.empty()) reject("component name must be non-empty");
     const std::string who = "component '" + c.name + "': ";

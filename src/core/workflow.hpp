@@ -67,11 +67,31 @@ struct ComponentSpec {
   std::vector<CouplingRead> reads;
 };
 
+/// One hand-specified failure. Used by the consistency campaign and its
+/// shrinker, which need full control over the schedule (dropping a single
+/// failure or bisecting its time must not re-shuffle the rest, which any
+/// seed-drawn plan would).
+struct ExplicitFailure {
+  int comp = 0;             // index into WorkflowSpec::components
+  int ts = 1;               // timestep the failure strikes
+  double phase = 0.5;       // fraction of the timestep's compute before death;
+                            // < 0 means predictor false alarm (no kill)
+  bool node_level = false;  // node failure: local checkpoints are lost
+  bool predicted = false;   // the failure predictor flagged it in advance
+
+  friend bool operator==(const ExplicitFailure&,
+                         const ExplicitFailure&) = default;
+};
+
 struct FailurePlan {
   /// Exactly this many failures, uniformly placed in the run window.
   int count = 0;
-  /// When > 0, draw failures from an exponential process instead.
+  /// When > 0 and count == 0, draw failures from an exponential
+  /// inter-arrival process with this MTBF instead (Table III's rows).
   double mtbf_s = 0;
+  /// When non-empty, use exactly these failures and ignore the randomized
+  /// planner (count/mtbf_s) entirely.
+  std::vector<ExplicitFailure> explicit_failures;
   std::uint64_t seed = 1;
   /// Fraction of failures that take the whole node down (local checkpoints
   /// lost); the rest are process failures.

@@ -12,6 +12,7 @@ void GarbageCollector::register_var(
 void GarbageCollector::on_checkpoint(AppId app, Version version) {
   auto& v = last_ckpt_[app];
   v = std::max(v, version);
+  if (checkpoint_probe_) checkpoint_probe_(app, version);
 }
 
 Version GarbageCollector::last_checkpoint(AppId app) const {
@@ -26,6 +27,10 @@ Version GarbageCollector::watermark(const std::string& var) const {
   for (const auto& [app, can_rollback] : it->second) {
     if (!can_rollback) continue;  // replicated consumer: never replays
     mark = std::min(mark, last_checkpoint(app));
+  }
+  if (watermark_bias_ > 0 &&
+      mark < std::numeric_limits<Version>::max() - watermark_bias_) {
+    mark += watermark_bias_;  // fault-injection seam (campaign sabotage)
   }
   return mark;
 }
@@ -43,8 +48,10 @@ SweepResult GarbageCollector::sweep(wlog::DataLog& log) const {
     const Version upto =
         std::min<Version>(mark, latest > 0 ? latest - 1 : 0);
     const std::uint64_t before = log.nominal_bytes();
-    result.versions_dropped += log.drop_upto(var, upto);
+    const std::size_t dropped = log.drop_upto(var, upto);
+    result.versions_dropped += dropped;
     result.nominal_freed += before - log.nominal_bytes();
+    if (sweep_probe_) sweep_probe_(var, mark, upto, dropped);
   }
   return result;
 }

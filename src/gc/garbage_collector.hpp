@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "staging/types.hpp"
@@ -48,9 +50,30 @@ class GarbageCollector {
 
   [[nodiscard]] Version last_checkpoint(AppId app) const;
 
+  /// Consistency-oracle instrumentation. The checkpoint probe observes
+  /// every on_checkpoint(); the sweep probe fires once per swept variable
+  /// with the watermark used, the reclaim bound, and the drop count.
+  using CheckpointProbe = std::function<void(AppId, Version)>;
+  using SweepProbe = std::function<void(const std::string& var,
+                                        Version watermark, Version upto,
+                                        std::size_t dropped)>;
+  void set_probes(CheckpointProbe on_checkpoint, SweepProbe on_sweep) {
+    checkpoint_probe_ = std::move(on_checkpoint);
+    sweep_probe_ = std::move(on_sweep);
+  }
+
+  /// Fault-injection seam for the consistency campaign: saturating offset
+  /// added to every computed watermark, making the GC overcollect (drop
+  /// payloads a rolled-back consumer could still replay). Production code
+  /// never sets this.
+  void set_watermark_bias(Version bias) { watermark_bias_ = bias; }
+
  private:
   std::map<std::string, std::vector<std::pair<AppId, bool>>> consumers_;
   std::map<AppId, Version> last_ckpt_;
+  CheckpointProbe checkpoint_probe_;
+  SweepProbe sweep_probe_;
+  Version watermark_bias_ = 0;
 };
 
 }  // namespace dstage::gc

@@ -124,19 +124,21 @@ sim::Task<GetResult> StagingClient::get_impl(sim::Ctx ctx, std::string var,
 }
 
 sim::Task<std::uint64_t> StagingClient::workflow_check(sim::Ctx ctx,
-                                                       Version version) {
+                                                       Version version,
+                                                       bool durable) {
   std::vector<sim::Task<CheckpointAck>> sends;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    sends.push_back([](StagingClient* self, sim::Ctx c,
-                       int server, Version v) -> sim::Task<CheckpointAck> {
+    sends.push_back([](StagingClient* self, sim::Ctx c, int server, Version v,
+                       bool dur) -> sim::Task<CheckpointAck> {
       auto reply = net::make_reply<CheckpointAck>(*c.eng);
-      CheckpointEvent ev{self->params_.app, v, self->self_endpoint(), reply};
+      CheckpointEvent ev{self->params_.app, v, self->self_endpoint(), reply,
+                         dur};
       std::any payload = Request{std::move(ev)};
       co_await self->cluster_->fabric().send(
           c, self->self_endpoint(), self->server_endpoint(server),
           std::move(payload), 64);
       co_return co_await reply->take(c);
-    }(this, ctx, static_cast<int>(s), version));
+    }(this, ctx, static_cast<int>(s), version, durable));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
   std::uint64_t max_id = 0;

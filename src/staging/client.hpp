@@ -90,8 +90,12 @@ class StagingClient {
   }
 
   /// workflow_check(): notify every staging server of a checkpoint event at
-  /// timestep `version`. Returns the highest assigned W_Chk_ID.
-  sim::Task<std::uint64_t> workflow_check(sim::Ctx ctx, Version version);
+  /// timestep `version`. Returns the highest assigned W_Chk_ID. Pass
+  /// `durable = false` for checkpoint levels a node failure can wipe
+  /// (node-local, emergency): the marker still anchors replay, but must
+  /// not advance the staging GC watermark.
+  sim::Task<std::uint64_t> workflow_check(sim::Ctx ctx, Version version,
+                                          bool durable = true);
 
   /// workflow_restart(): re-initialize the client after recovery (RDMA
   /// reconnect) and notify servers; returns the total number of logged

@@ -32,17 +32,21 @@ void ObjectStore::put(Chunk chunk) {
       account(existing, -1);
       account(chunk, +1);
       existing = std::move(chunk);
+      if (put_probe_) put_probe_(existing);
       return;
     }
   }
   account(chunk, +1);
+  const std::string var = chunk.var;
   chunks.push_back(std::move(chunk));
+  if (put_probe_) put_probe_(chunks.back());
   // Rotate versions that fell out of the retention window.
   while (static_cast<int>(versions.size()) > version_window_) {
     auto oldest = versions.begin();
     // Never rotate out a version newer than the one just written.
     if (oldest->first >= versions.rbegin()->first) break;
     for (const Chunk& c : oldest->second) account(c, -1);
+    if (drop_probe_) drop_probe_(var, oldest->first, DropReason::kRotation);
     versions.erase(oldest);
   }
 }
@@ -115,6 +119,7 @@ std::size_t ObjectStore::drop_versions_above(Version version) {
   for (auto& [var, versions] : store_) {
     for (auto it = versions.upper_bound(version); it != versions.end();) {
       for (const Chunk& c : it->second) account(c, -1);
+      if (drop_probe_) drop_probe_(var, it->first, DropReason::kRollback);
       it = versions.erase(it);
       ++dropped;
     }
@@ -128,6 +133,7 @@ bool ObjectStore::drop_version(const std::string& var, Version version) {
   auto it = vit->second.find(version);
   if (it == vit->second.end()) return false;
   for (const Chunk& c : it->second) account(c, -1);
+  if (drop_probe_) drop_probe_(var, version, DropReason::kExplicit);
   vit->second.erase(it);
   return true;
 }

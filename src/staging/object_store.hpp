@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -15,6 +16,13 @@
 #include "util/stats.hpp"
 
 namespace dstage::staging {
+
+/// Why a version left the store (consistency-oracle probe classification).
+enum class DropReason {
+  kRotation,  // rotated out of the base store's version window
+  kExplicit,  // dropped deliberately (GC reclaim)
+  kRollback,  // discarded by a coordinated-restart rollback
+};
 
 class ObjectStore {
  public:
@@ -59,6 +67,17 @@ class ObjectStore {
   [[nodiscard]] std::size_t object_count() const;
   [[nodiscard]] int version_window() const { return version_window_; }
 
+  /// Consistency-oracle instrumentation. The probes observe every applied
+  /// chunk and every dropped (var, version) without touching virtual time
+  /// or store behavior; null probes (the default) cost one branch.
+  using PutProbe = std::function<void(const Chunk&)>;
+  using DropProbe =
+      std::function<void(const std::string& var, Version, DropReason)>;
+  void set_probes(PutProbe on_put, DropProbe on_drop) {
+    put_probe_ = std::move(on_put);
+    drop_probe_ = std::move(on_drop);
+  }
+
  private:
   void account(const Chunk& c, int sign);
 
@@ -68,6 +87,8 @@ class ObjectStore {
   std::uint64_t nominal_bytes_ = 0;
   std::uint64_t physical_bytes_ = 0;
   Watermark watermark_;
+  PutProbe put_probe_;
+  DropProbe drop_probe_;
 };
 
 }  // namespace dstage::staging

@@ -214,8 +214,14 @@ sim::Task<void> StagingServer::handle_get(GetRequest req) {
     auto& q = queues_[req.app];
     if (q.replaying()) {
       const wlog::LogEvent* expected = q.expected();
+      // The version is part of the match, exactly as for puts: after a
+      // fallback restart from a checkpoint older than the replay anchor
+      // (node failure wiping a node-local checkpoint), the app re-reads
+      // versions from before the script — matching on var/region alone
+      // would serve the script's newer version for those reads.
       if (expected != nullptr && expected->kind == wlog::EventKind::kGet &&
           expected->var == req.desc.var &&
+          expected->version == req.desc.version &&
           expected->region == req.desc.region) {
         // Serve the version observed during the initial execution.
         const Version logged_version = expected->version;
@@ -343,7 +349,11 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
 
   CheckpointAck ack;
   ack.chk_id = next_chk_id_++;
-  gc_.on_checkpoint(ev.app, ev.version);
+  // Only durable checkpoints move the watermark: a non-durable level
+  // (node-local, emergency) is wiped by a node failure, whose recovery
+  // falls back to the last durable checkpoint and must still be able to
+  // replay every logged version above it.
+  if (ev.durable) gc_.on_checkpoint(ev.app, ev.version);
 
   if (params_.logging) {
     auto& q = queues_[ev.app];
@@ -351,9 +361,13 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
                           {}, Box{}, 0, ack.chk_id};
     q.record(marker);
     sim::spawn(cluster_->engine(), mirror_event(std::move(marker)));
-    // End of a checkpoint cycle: clean the event queue and reclaim
-    // unreachable logged payloads.
+    // End of a checkpoint cycle: clean the event queue. The marker is
+    // recorded for every level — it anchors the replay script for a
+    // restart from this checkpoint — but payload reclamation below only
+    // runs when the watermark may actually have advanced.
     q.truncate_before_last_checkpoint();
+  }
+  if (params_.logging && ev.durable) {
     const gc::SweepResult sweep = gc_.sweep(dlog_);
     stats_.gc_versions_dropped += sweep.versions_dropped;
     stats_.gc_nominal_freed += sweep.nominal_freed;

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -98,10 +99,35 @@ class StagingServer {
     gc_.register_var(var, std::move(consumers));
   }
 
+  /// Consistency-oracle instrumentation: one bundle of observation hooks
+  /// covering the base store, the data log, and the garbage collector.
+  /// Probes observe state transitions without touching virtual time; any
+  /// member may be null.
+  struct ProbeSet {
+    ObjectStore::PutProbe store_put;
+    ObjectStore::DropProbe store_drop;
+    ObjectStore::PutProbe log_put;
+    ObjectStore::DropProbe log_drop;
+    gc::GarbageCollector::CheckpointProbe gc_checkpoint;
+    gc::GarbageCollector::SweepProbe gc_sweep;
+  };
+  void install_probes(ProbeSet probes) {
+    store_.set_probes(std::move(probes.store_put),
+                      std::move(probes.store_drop));
+    dlog_.set_probes(std::move(probes.log_put), std::move(probes.log_drop));
+    gc_.set_probes(std::move(probes.gc_checkpoint),
+                   std::move(probes.gc_sweep));
+  }
+
+  /// Fault-injection seam for the consistency campaign (see
+  /// gc::GarbageCollector::set_watermark_bias).
+  void set_gc_watermark_bias(Version bias) { gc_.set_watermark_bias(bias); }
+
   [[nodiscard]] cluster::VprocId vproc() const { return vproc_; }
   [[nodiscard]] net::EndpointId endpoint() const;
   [[nodiscard]] const ObjectStore& store() const { return store_; }
   [[nodiscard]] const wlog::DataLog& data_log() const { return dlog_; }
+  [[nodiscard]] const gc::GarbageCollector& gc() const { return gc_; }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] MemoryReport memory() const;
   /// Peak total nominal bytes observed at request boundaries.

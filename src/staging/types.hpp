@@ -118,6 +118,14 @@ struct CheckpointEvent {
   Version version = 0;  // app's timestep at the checkpoint
   net::EndpointId reply_to = -1;
   net::ReplyPtr<CheckpointAck> reply;
+  // A checkpoint marker plays two roles: it anchors the app's replay
+  // script (valid for every checkpoint level) and it advances the GC
+  // watermark (only sound for a checkpoint that survives the worst
+  // failure the app can suffer). Node-local and emergency checkpoints
+  // are wiped by a node failure, whose recovery falls back to the PFS
+  // level — announcing them as durable would let GC reclaim logged
+  // versions the fallback restart still has to replay.
+  bool durable = true;
 };
 
 /// workflow_restart(): app recovered from its latest checkpoint and

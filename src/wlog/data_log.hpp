@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "staging/object_store.hpp"
@@ -51,6 +52,14 @@ class DataLog {
   }
   [[nodiscard]] std::size_t entry_count() const {
     return store_.object_count();
+  }
+
+  /// Consistency-oracle instrumentation, forwarded to the backing store:
+  /// observes retained payloads and reclaimed versions without perturbing
+  /// the simulation.
+  void set_probes(staging::ObjectStore::PutProbe on_put,
+                  staging::ObjectStore::DropProbe on_drop) {
+    store_.set_probes(std::move(on_put), std::move(on_drop));
   }
 
  private:

@@ -1,0 +1,65 @@
+// End-to-end consistency campaign, run under the ctest label `campaign`
+// (CI runs a larger sweep via tools/campaign; this keeps a fast,
+// deterministic slice in the default test suite).
+#include <gtest/gtest.h>
+
+#include "check/campaign.hpp"
+
+namespace dstage::check {
+namespace {
+
+TEST(CampaignTest, MixedSchemeCampaignPassesAllInvariants) {
+  CampaignOptions opts;
+  opts.gen.count = 20;
+  opts.gen.seed = 3;
+  opts.threads = 2;
+  const CampaignResult result = run_campaign(opts);
+  EXPECT_EQ(result.schedules, 20);
+  EXPECT_EQ(result.passed, 20);
+  EXPECT_TRUE(result.ok());
+  for (const CampaignFailure& f : result.failures) {
+    ADD_FAILURE() << f.schedule.repro() << "\n" << f.report.summary();
+  }
+}
+
+TEST(CampaignTest, VerdictIndependentOfThreadCount) {
+  CampaignOptions opts;
+  opts.gen.count = 12;
+  opts.gen.seed = 11;
+  opts.shrink = false;
+  opts.threads = 1;
+  const CampaignResult serial = run_campaign(opts);
+  opts.threads = 4;
+  const CampaignResult parallel = run_campaign(opts);
+  EXPECT_EQ(serial.passed, parallel.passed);
+  EXPECT_EQ(serial.total_failures_injected, parallel.total_failures_injected);
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].schedule, parallel.failures[i].schedule);
+  }
+}
+
+TEST(CampaignTest, SkipReplaySabotageFailsAndShrinks) {
+  CampaignOptions opts;
+  opts.gen.count = 12;
+  opts.gen.seed = 1;
+  // Logging schemes only: the sabotage disables their replay stage.
+  opts.gen.schemes = {core::Scheme::kUncoordinated, core::Scheme::kHybrid};
+  opts.threads = 2;
+  opts.sabotage = Sabotage::kSkipReplay;
+  opts.max_shrunk = 2;
+  const CampaignResult result = run_campaign(opts);
+  ASSERT_FALSE(result.ok());
+  // The shrinker must deliver a small reproducer for the sabotage.
+  bool small_repro = false;
+  for (const CampaignFailure& f : result.failures) {
+    EXPECT_FALSE(f.report.ok());
+    if (f.shrink_attempts > 0 && f.shrunk.failures.size() <= 2) {
+      small_repro = true;
+    }
+  }
+  EXPECT_TRUE(small_repro);
+}
+
+}  // namespace
+}  // namespace dstage::check

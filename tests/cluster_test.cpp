@@ -176,6 +176,97 @@ TEST(FailureInjectorTest, InvalidArguments) {
                std::invalid_argument);
 }
 
+// Property sweep across seeds: every uniform plan stays inside its window,
+// comes out sorted, and only names registered victim groups — regardless
+// of the seed or the requested count.
+TEST(FailureInjectorPropertyTest, UniformPlanInvariantsHoldAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rig rig;
+    FailureInjector inj(rig.cluster, Rng(seed));
+    inj.add_group({"sim", 256});
+    inj.add_group({"analytic", 64});
+    inj.add_group({"viz", 16});
+    const auto start = sim::TimePoint{} + sim::seconds(2);
+    const auto end = sim::TimePoint{} + sim::seconds(42);
+    const int count = static_cast<int>(seed % 13);
+    auto plan = inj.plan_uniform(count, start, end);
+    ASSERT_EQ(plan.size(), static_cast<std::size_t>(count)) << seed;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_GE(plan[i].at.ns, start.ns) << seed;
+      EXPECT_LT(plan[i].at.ns, end.ns) << seed;
+      if (i > 0) EXPECT_GE(plan[i].at.ns, plan[i - 1].at.ns) << seed;
+      EXPECT_GE(plan[i].group, 0) << seed;
+      EXPECT_LE(plan[i].group, 2) << seed;
+    }
+  }
+}
+
+TEST(FailureInjectorPropertyTest, MtbfPlanInvariantsHoldAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rig rig;
+    FailureInjector inj(rig.cluster, Rng(seed));
+    inj.add_group({"sim", 256});
+    inj.add_group({"analytic", 64});
+    const auto start = sim::TimePoint{} + sim::seconds(5);
+    const auto end = sim::TimePoint{} + sim::seconds(405);
+    auto plan = inj.plan_mtbf(sim::seconds(20), start, end);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      // Exponential arrivals are strictly ordered (zero increments have
+      // probability zero) and never land on or past the window end.
+      EXPECT_GT(plan[i].at.ns, start.ns) << seed;
+      EXPECT_LT(plan[i].at.ns, end.ns) << seed;
+      if (i > 0) EXPECT_GT(plan[i].at.ns, plan[i - 1].at.ns) << seed;
+      EXPECT_GE(plan[i].group, 0) << seed;
+      EXPECT_LE(plan[i].group, 1) << seed;
+    }
+  }
+}
+
+// Victim selection converges to the core-count weights in both planning
+// modes — the Table II ratio (256:64 cores → 4:1 failures) emerges from
+// the sampler rather than being hard-coded anywhere.
+TEST(FailureInjectorPropertyTest, VictimWeightsConvergeInBothModes) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(17));
+  inj.add_group({"sim", 256});
+  inj.add_group({"analytic", 64});
+  int uniform_sim = 0, uniform_total = 0;
+  auto uplan = inj.plan_uniform(4000, sim::TimePoint{},
+                                sim::TimePoint{} + sim::seconds(1));
+  for (const auto& f : uplan) {
+    uniform_sim += (f.group == 0);
+    ++uniform_total;
+  }
+  EXPECT_NEAR(static_cast<double>(uniform_sim) / uniform_total, 0.8, 0.03);
+
+  FailureInjector minj(rig.cluster, Rng(23));
+  minj.add_group({"sim", 256});
+  minj.add_group({"analytic", 64});
+  int mtbf_sim = 0, mtbf_total = 0;
+  auto mplan = minj.plan_mtbf(sim::seconds(1), sim::TimePoint{},
+                              sim::TimePoint{} + sim::seconds(4000));
+  for (const auto& f : mplan) {
+    mtbf_sim += (f.group == 0);
+    ++mtbf_total;
+  }
+  ASSERT_GT(mtbf_total, 2000);
+  EXPECT_NEAR(static_cast<double>(mtbf_sim) / mtbf_total, 0.8, 0.03);
+}
+
+// Mean inter-arrival converges to the configured MTBF (Table III's rows
+// depend on this calibration).
+TEST(FailureInjectorPropertyTest, MtbfMeanInterArrivalConverges) {
+  Rig rig;
+  FailureInjector inj(rig.cluster, Rng(29));
+  inj.add_group({"g", 1});
+  auto plan = inj.plan_mtbf(sim::seconds(50), sim::TimePoint{},
+                            sim::TimePoint{} + sim::seconds(200000));
+  ASSERT_GT(plan.size(), 3000u);
+  const double span = plan.back().at.seconds() - plan.front().at.seconds();
+  const double mean = span / static_cast<double>(plan.size() - 1);
+  EXPECT_NEAR(mean, 50.0, 3.0);
+}
+
 TEST(PfsTest, WriteTimeMatchesBandwidth) {
   Rig rig;
   Pfs pfs(rig.eng, Pfs::Params{.write_bw = 60e9,

@@ -60,13 +60,49 @@ TEST(GoldenTraceTest, Table2PresetDigestsAreStable) {
 // The multi-level + proactive extension path (local checkpoints every
 // timestep, perfect predictor) exercises emergency checkpoints, local
 // restore, and the local/PFS retention split.
+//
+// Digest updated (was 0x4d553f5cdc60dda3) for an intentional semantic
+// change: node-local and emergency checkpoints no longer advance the
+// staging GC watermark. The consistency oracle caught the old behavior
+// reclaiming logged versions that a node-failure fallback to the PFS
+// checkpoint still had to replay, deadlocking the replaying consumer.
+// Non-durable checkpoints still record a replay-anchor marker, but the
+// GC sweep (and its simulated latency) now only runs on PFS-level
+// checkpoints, shifting this config's timing.
+// Table III drives the same presets with an exponential (MTBF) failure
+// process instead of a fixed count. Pin the Individual and Hybrid traces
+// under plan_mtbf-driven injection for two Table III rows, so drift in the
+// MTBF planner (arrival sampling, victim weighting, truncation) is caught
+// the same way plan_uniform drift is.
+TEST(GoldenTraceTest, MtbfPlanDigestsAreStable) {
+  struct Case {
+    Scheme scheme;
+    double mtbf_s;
+    std::uint64_t digest;
+  };
+  const Case cases[] = {
+      {Scheme::kIndividual, 600.0, 0x87f786d78cc2e74bull},
+      {Scheme::kIndividual, 300.0, 0x7b0ff692690fdd97ull},
+      {Scheme::kHybrid, 600.0, 0x95ad24d8804c11f9ull},
+      {Scheme::kHybrid, 300.0, 0x7bad9a3fe948b954ull},
+  };
+  for (const Case& c : cases) {
+    WorkflowSpec spec = golden_spec(c.scheme, 0, 1);
+    spec.failures.mtbf_s = c.mtbf_s;
+    WorkflowRunner runner(spec);
+    runner.run();
+    EXPECT_EQ(runner.trace().digest(), c.digest)
+        << scheme_name(c.scheme) << " mtbf_s=" << c.mtbf_s;
+  }
+}
+
 TEST(GoldenTraceTest, ExtensionConfigDigestIsStable) {
   WorkflowSpec spec = golden_spec(Scheme::kUncoordinated, 2, 1);
   for (auto& c : spec.components) c.local_ckpt_period = 1;
   spec.failures.predictor_recall = 1.0;
   WorkflowRunner runner(spec);
   runner.run();
-  EXPECT_EQ(runner.trace().digest(), 0x4d553f5cdc60dda3ull);
+  EXPECT_EQ(runner.trace().digest(), 0xa2c3d910effd8315ull);
 }
 
 }  // namespace

@@ -124,5 +124,71 @@ TEST(GarbageCollectorTest, SweepEmptyLogIsNoop) {
   EXPECT_EQ(result.entries_scanned, 0u);
 }
 
+TEST(GarbageCollectorTest, RepeatedSweepsConvergeAsConsumersAdvance) {
+  // The drop_upto/watermark interaction over a whole run: each consumer
+  // checkpoint advance releases exactly the newly unreachable versions,
+  // and a sweep with no watermark movement reclaims nothing.
+  GarbageCollector gc;
+  gc.register_var("f", {{1, true}, {2, true}});
+  auto log = log_with_versions("f", 8);
+  EXPECT_EQ(gc.sweep(log).versions_dropped, 0u);  // no checkpoints yet
+  gc.on_checkpoint(1, 6);
+  EXPECT_EQ(gc.sweep(log).versions_dropped, 0u);  // app 2 still pins v1+
+  gc.on_checkpoint(2, 3);
+  EXPECT_EQ(gc.sweep(log).versions_dropped, 3u);  // v1..3 released
+  EXPECT_EQ(gc.sweep(log).versions_dropped, 0u);  // steady state
+  gc.on_checkpoint(2, 8);
+  EXPECT_EQ(gc.sweep(log).versions_dropped, 3u);  // v4..6; app 1 pins v7+
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{7, 8}));
+  gc.on_checkpoint(1, 8);
+  EXPECT_EQ(gc.sweep(log).versions_dropped, 1u);  // v7; v8 is latest
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{8}));
+}
+
+TEST(GarbageCollectorTest, SweepProbeReportsWatermarkAndBound) {
+  GarbageCollector gc;
+  gc.register_var("f", {{1, true}});
+  gc.on_checkpoint(1, 5);
+  auto log = log_with_versions("f", 9);
+  std::string probed_var;
+  Version probed_mark = 0, probed_upto = 0;
+  std::size_t probed_dropped = 0;
+  gc.set_probes(nullptr, [&](const std::string& var, Version mark,
+                             Version upto, std::size_t dropped) {
+    probed_var = var;
+    probed_mark = mark;
+    probed_upto = upto;
+    probed_dropped = dropped;
+  });
+  gc.sweep(log);
+  EXPECT_EQ(probed_var, "f");
+  EXPECT_EQ(probed_mark, 5u);
+  EXPECT_EQ(probed_upto, 5u);
+  EXPECT_EQ(probed_dropped, 5u);
+}
+
+TEST(GarbageCollectorTest, WatermarkBiasSeamOvercollects) {
+  // The campaign's fault-injection seam: a biased watermark must make the
+  // GC reclaim versions a rolled-back consumer could still replay — this
+  // is exactly what the oracle's retention invariant exists to catch.
+  GarbageCollector gc;
+  gc.register_var("f", {{1, true}});
+  gc.on_checkpoint(1, 3);
+  gc.set_watermark_bias(2);
+  EXPECT_EQ(gc.watermark("f"), 5u);
+  auto log = log_with_versions("f", 8);
+  gc.sweep(log);
+  EXPECT_FALSE(log.covers("f", 4, Box::from_dims(8, 8, 8)));
+  EXPECT_FALSE(log.covers("f", 5, Box::from_dims(8, 8, 8)));
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{6, 7, 8}));
+}
+
+TEST(GarbageCollectorTest, WatermarkBiasSaturatesAtMax) {
+  GarbageCollector gc;
+  gc.register_var("f", {});  // no rollback consumers: watermark already max
+  gc.set_watermark_bias(2);
+  EXPECT_EQ(gc.watermark("f"), kMax);
+}
+
 }  // namespace
 }  // namespace dstage::gc

@@ -228,6 +228,77 @@ TEST(ReedSolomonTest, RejectsBadParameters) {
   EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
 }
 
+int popcount_mask(unsigned mask) {
+  int n = 0;
+  for (; mask != 0; mask &= mask - 1) ++n;
+  return n;
+}
+
+// Exhaustive erasure fuzz: unlike the sampled patterns above, enumerate
+// EVERY loss pattern of up to m shards for the codes the staging policies
+// actually use, over randomized payload lengths (including empty and
+// non-multiple-of-k). Each must round-trip via decode() and restore the
+// exact shard set via reconstruct().
+TEST(ReedSolomonFuzzTest, EveryErasurePatternUpToParityRoundTrips) {
+  const std::tuple<int, int> codes[] = {{2, 1}, {3, 2}, {4, 2}};
+  for (const auto& [k, m] : codes) {
+    ReedSolomon rs(k, m);
+    const int n = k + m;
+    Rng rng(static_cast<std::uint64_t>(k * 1000 + m));
+    // Lengths start at 1: a zero-length payload makes every shard empty,
+    // indistinguishable from "lost" (the EmptyData test covers it without
+    // erasures).
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::size_t len =
+          static_cast<std::size_t>(rng.uniform_u64(1, 313));
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+      }
+      const auto shards = rs.encode(data);
+      ASSERT_TRUE(rs.verify(shards));
+      for (unsigned mask = 1; mask < (1u << n); ++mask) {
+        if (popcount_mask(mask) > m) continue;
+        auto damaged = shards;
+        for (int i = 0; i < n; ++i) {
+          if (mask & (1u << i)) damaged[static_cast<std::size_t>(i)].clear();
+        }
+        auto decoded = rs.decode(damaged, data.size());
+        ASSERT_TRUE(decoded) << "k=" << k << " m=" << m << " mask=" << mask;
+        EXPECT_EQ(*decoded, data)
+            << "k=" << k << " m=" << m << " mask=" << mask;
+        ASSERT_TRUE(rs.reconstruct(damaged))
+            << "k=" << k << " m=" << m << " mask=" << mask;
+        EXPECT_EQ(damaged, shards)
+            << "k=" << k << " m=" << m << " mask=" << mask;
+      }
+    }
+  }
+}
+
+// One erasure past the parity budget must fail loudly (nullopt / false),
+// never return silently corrupt data — for EVERY (m+1)-sized pattern.
+TEST(ReedSolomonFuzzTest, EveryPatternBeyondParityFailsLoudly) {
+  const std::tuple<int, int> codes[] = {{2, 1}, {3, 2}, {4, 2}};
+  for (const auto& [k, m] : codes) {
+    ReedSolomon rs(k, m);
+    const int n = k + m;
+    std::vector<std::uint8_t> data(257, 0x5a);
+    const auto shards = rs.encode(data);
+    for (unsigned mask = 1; mask < (1u << n); ++mask) {
+      if (popcount_mask(mask) != m + 1) continue;
+      auto damaged = shards;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) damaged[static_cast<std::size_t>(i)].clear();
+      }
+      EXPECT_FALSE(rs.decode(damaged, data.size()).has_value())
+          << "k=" << k << " m=" << m << " mask=" << mask;
+      EXPECT_FALSE(rs.reconstruct(damaged))
+          << "k=" << k << " m=" << m << " mask=" << mask;
+    }
+  }
+}
+
 TEST(PolicyTest, NoneHasNoOverhead) {
   ResiliencePolicy p;
   EXPECT_EQ(p.redundancy_bytes(1000), 0u);

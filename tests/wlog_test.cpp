@@ -188,5 +188,57 @@ TEST(DataLogTest, GetServesHistoricalVersion) {
             staging::ChunkCheck::kOk);
 }
 
+TEST(DataLogTest, DropUptoEdgeCases) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  // Unknown variable and empty log: nothing to drop, no throw.
+  EXPECT_EQ(log.drop_upto("ghost", 100), 0u);
+  for (Version v = 2; v <= 5; ++v)
+    log.add(make_chunk("f", v, r, 8.0, 1024));
+  // Watermark 0 and watermark below the oldest retained version: no-ops.
+  EXPECT_EQ(log.drop_upto("f", 0), 0u);
+  EXPECT_EQ(log.drop_upto("f", 1), 0u);
+  EXPECT_EQ(log.versions_of("f").size(), 4u);
+  // Watermark at the oldest version drops exactly that one.
+  EXPECT_EQ(log.drop_upto("f", 2), 1u);
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{3, 4, 5}));
+  // Watermark beyond the newest drops everything: the raw log has no
+  // keep-latest rule — that safety belongs to the GC sweep above it.
+  EXPECT_EQ(log.drop_upto("f", 99), 3u);
+  EXPECT_TRUE(log.versions_of("f").empty());
+  EXPECT_EQ(log.nominal_bytes(), 0u);
+  // A different variable is never touched by another variable's drop.
+  log.add(make_chunk("g", 1, r, 8.0, 1024));
+  EXPECT_EQ(log.drop_upto("f", 99), 0u);
+  EXPECT_EQ(log.versions_of("g").size(), 1u);
+}
+
+TEST(DataLogTest, DropUptoSkipsGapsInVersionHistory) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  for (Version v : {1u, 4u, 7u, 10u})
+    log.add(make_chunk("f", v, r, 8.0, 1024));
+  // Only versions that actually exist count toward the drop total.
+  EXPECT_EQ(log.drop_upto("f", 8), 3u);
+  EXPECT_EQ(log.versions_of("f"), (std::vector<Version>{10}));
+}
+
+TEST(DataLogTest, DropUptoFiresExplicitDropProbe) {
+  DataLog log;
+  Box r = Box::from_dims(8, 8, 8);
+  for (Version v = 1; v <= 4; ++v)
+    log.add(make_chunk("f", v, r, 8.0, 1024));
+  std::vector<Version> dropped;
+  log.set_probes(nullptr,
+                 [&](const std::string& var, Version v,
+                     staging::DropReason reason) {
+                   EXPECT_EQ(var, "f");
+                   EXPECT_EQ(reason, staging::DropReason::kExplicit);
+                   dropped.push_back(v);
+                 });
+  EXPECT_EQ(log.drop_upto("f", 3), 3u);
+  EXPECT_EQ(dropped, (std::vector<Version>{1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace dstage::wlog

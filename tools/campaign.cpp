@@ -1,0 +1,149 @@
+// campaign — randomized crash-consistency campaigns over the staging
+// runtime. Generates failure schedules, runs each under the consistency
+// oracle (four machine-checked recovery invariants against a failure-free
+// reference run), and shrinks anything that fails into a minimal
+// reproducer printed as a re-runnable --repro flag.
+//
+//   campaign --schedules=500 --all-schemes            # the acceptance run
+//   campaign --schedules=50 --schemes=un,hy --seed=7
+//   campaign --break=skip-replay --expect-fail        # oracle self-test
+//   campaign --repro='cc1;id=3;sch=un;ts=12;...'      # replay one schedule
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/campaign.hpp"
+#include "check/oracle.hpp"
+#include "check/schedule.hpp"
+#include "check/shrink.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace dstage;
+
+int usage() {
+  std::puts(
+      "usage: campaign [options]\n"
+      "  --schedules=N       randomized schedules to run        [100]\n"
+      "  --seed=N            campaign seed                      [1]\n"
+      "  --all-schemes       draw from ds,co,un,in,hy (default)\n"
+      "  --schemes=a,b,..    restrict to these schemes\n"
+      "  --timesteps=N       timesteps per schedule             [12]\n"
+      "  --max-failures=N    failures per schedule, at most     [3]\n"
+      "  --threads=N         worker threads                     [auto]\n"
+      "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
+      "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
+      "  --no-shrink         keep failing schedules unminimized\n"
+      "  --shrink-budget=N   oracle runs per shrink             [120]\n"
+      "  --repro=SPEC        run one schedule from a repro string and exit\n"
+      "  --help              this text");
+  return 2;
+}
+
+std::vector<core::Scheme> parse_scheme_list(const std::string& csv) {
+  std::vector<core::Scheme> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t end = csv.find(',', start);
+    const std::string token =
+        end == std::string::npos ? csv.substr(start)
+                                 : csv.substr(start, end - start);
+    if (!token.empty()) out.push_back(check::parse_scheme_token(token));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+void print_report(const check::Schedule& schedule,
+                  const check::OracleReport& report) {
+  std::printf("schedule %d [%s]: %s (%d failure%s injected",
+              schedule.id, check::scheme_token(schedule.scheme),
+              report.ok() ? "PASS" : "FAIL", report.failures_injected,
+              report.failures_injected == 1 ? "" : "s");
+  if (report.alarms_fired > 0) {
+    std::printf(", %d false alarm%s", report.alarms_fired,
+                report.alarms_fired == 1 ? "" : "s");
+  }
+  std::printf(")\n");
+  if (!report.ok()) std::fputs(report.summary().c_str(), stdout);
+}
+
+int run_repro(const std::string& spec, check::Sabotage sabotage) {
+  const check::Schedule schedule = check::Schedule::parse(spec);
+  check::ReferenceCache cache;
+  const check::OracleReport report =
+      check::check_schedule(schedule, cache, sabotage);
+  print_report(schedule, report);
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) return usage();
+
+  check::CampaignOptions opts;
+  opts.gen.count = flags.get_int("schedules", 100);
+  opts.gen.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opts.gen.total_ts = flags.get_int("timesteps", 12);
+  opts.gen.max_failures = flags.get_int("max-failures", 3);
+  opts.threads = flags.get_int("threads", 0);
+  opts.sabotage = check::parse_sabotage(flags.get("break", "none"));
+  opts.shrink = !flags.get_bool("no-shrink", false);
+  opts.shrink_budget = flags.get_int("shrink-budget", 120);
+  flags.get_bool("all-schemes", true);  // the default; accepted for clarity
+  if (flags.has("schemes")) {
+    opts.gen.schemes = parse_scheme_list(flags.get("schemes", ""));
+  }
+  const bool expect_fail = flags.get_bool("expect-fail", false);
+  const std::string repro = flags.get("repro", "");
+
+  for (const std::string& flag : flags.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return usage();
+  }
+
+  if (!repro.empty()) return run_repro(repro, opts.sabotage);
+
+  const check::CampaignResult result = check::run_campaign(opts);
+  std::printf("campaign: %d/%d schedules passed, %d invariant violation%s "
+              "(%d failures injected, sabotage=%s)\n",
+              result.passed, result.schedules,
+              static_cast<int>(result.failures.size()),
+              result.failures.size() == 1 ? "" : "s",
+              result.total_failures_injected,
+              check::sabotage_name(opts.sabotage));
+
+  for (const check::CampaignFailure& failure : result.failures) {
+    std::printf("---\n");
+    // The report tracks the shrunk schedule (== the original when the
+    // shrinker was disabled or out of budget).
+    print_report(failure.shrunk, failure.report);
+    if (failure.shrink_attempts > 0) {
+      std::printf("shrunk to %d failure%s in %d oracle runs\n",
+                  static_cast<int>(failure.shrunk.failures.size()),
+                  failure.shrunk.failures.size() == 1 ? "" : "s",
+                  failure.shrink_attempts);
+    }
+    std::printf("REPRO: --repro='%s'\n", failure.shrunk.repro().c_str());
+  }
+
+  const bool ok = expect_fail ? !result.ok() : result.ok();
+  if (expect_fail && result.ok()) {
+    std::fputs("expected at least one invariant violation, found none\n",
+               stdout);
+  }
+  return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
