@@ -19,6 +19,7 @@
 #include "core/executor.hpp"
 #include "core/setups.hpp"
 #include "core/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 
@@ -47,6 +48,18 @@ double mean_over(const std::vector<core::SweepRun>& runs, F f) {
   return total / static_cast<double>(runs.size());
 }
 
+/// Per-put response samples of one component pooled over a sweep's runs —
+/// the population whose p50/p95/p99 the fig9 benches report alongside the
+/// paper's cumulative means.
+inline SampleSet pooled_put_response(const std::vector<core::SweepRun>& runs,
+                                     const std::string& component) {
+  SampleSet pooled;
+  for (const auto& r : runs) {
+    pooled.merge(r.metrics.component(component).put_response_s);
+  }
+  return pooled;
+}
+
 /// Mean total execution time over `seeds` runs of `make(seed)` — the
 /// classic serial helper, now backed by the parallel sweep.
 template <class MakeSpec>
@@ -55,27 +68,41 @@ double mean_total_time(MakeSpec make, int seeds) {
 }
 
 /// Flag plumbing + JSON accumulation shared by the figure benches.
+/// `--obs` turns on the observability layer for every swept run: each run's
+/// metrics registry is merged into a sweep-wide aggregate, and finish()
+/// writes it (with p50/p95/p99 response histograms) into the BENCH JSON.
 class Harness {
  public:
   Harness(std::string name, int argc, char** argv, int default_seeds)
       : name_(std::move(name)), flags_(argc, argv) {
     seeds_ = flags_.get_int("seeds", default_seeds);
     threads_ = flags_.get_int("threads", 0);
+    obs_ = flags_.get_bool("obs", false);
     json_path_ = flags_.get("json", "");
     if (json_path_ == "true") json_path_ = "BENCH_" + name_ + ".json";
   }
 
   [[nodiscard]] int seeds() const { return seeds_; }
-  [[nodiscard]] core::SweepOptions sweep_options() const {
+  [[nodiscard]] bool obs_enabled() const { return obs_; }
+  [[nodiscard]] const obs::MetricsRegistry& obs_metrics() const {
+    return obs_metrics_;
+  }
+  [[nodiscard]] core::SweepOptions sweep_options() {
     core::SweepOptions opts;
     opts.threads = threads_;
+    if (obs_) opts.metrics = &obs_metrics_;
     return opts;
   }
 
   /// Parallel sweep of make(seed) for seeds 1..seeds().
   std::vector<core::SweepRun> sweep(
-      const std::function<core::WorkflowSpec(std::uint64_t)>& make) const {
-    return core::run_seed_sweep(make, seeds_, sweep_options());
+      const std::function<core::WorkflowSpec(std::uint64_t)>& make) {
+    auto wrapped = [&](std::uint64_t seed) {
+      core::WorkflowSpec spec = make(seed);
+      if (obs_) spec.obs.enabled = true;
+      return spec;
+    };
+    return core::run_seed_sweep(wrapped, seeds_, sweep_options());
   }
 
   /// One measured cell of the figure (a subset fraction, a scale, ...).
@@ -95,6 +122,9 @@ class Harness {
     doc.set("bench", name_);
     doc.set("seeds", seeds_);
     doc.set("points", std::move(points_));
+    if (obs_ && !obs_metrics_.empty()) {
+      doc.set("obs_metrics", obs_metrics_.to_json());
+    }
     std::ofstream out(json_path_);
     if (!out) {
       std::fprintf(stderr, "cannot open %s\n", json_path_.c_str());
@@ -110,8 +140,10 @@ class Harness {
   Flags flags_;
   int seeds_ = 1;
   int threads_ = 0;
+  bool obs_ = false;
   std::string json_path_;
   Json points_ = Json::array();
+  obs::MetricsRegistry obs_metrics_;  // sweep-wide aggregate (--obs)
 };
 
 }  // namespace dstage::bench

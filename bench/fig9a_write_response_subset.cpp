@@ -35,11 +35,25 @@ int main(int argc, char** argv) {
     const double delta = bench::pct(log_wr, ds_wr);
     std::printf("%7.0f%% %14.3f %14.3f %+9.1f%% %+11.0f%%\n", fraction * 100,
                 ds_wr, log_wr, delta, paper[i]);
+    const SampleSet ds_resp = bench::pooled_put_response(ds, "simulation");
+    const SampleSet log_resp =
+        bench::pooled_put_response(logged, "simulation");
+    std::printf("        per-put p50/p95/p99 (ms): Ds %.2f/%.2f/%.2f   "
+                "Ds+log %.2f/%.2f/%.2f\n",
+                ds_resp.percentile(50) * 1e3, ds_resp.percentile(95) * 1e3,
+                ds_resp.percentile(99) * 1e3, log_resp.percentile(50) * 1e3,
+                log_resp.percentile(95) * 1e3, log_resp.percentile(99) * 1e3);
 
     Json p = Json::object();
     p.set("subset_fraction", fraction);
     p.set("ds_cum_write_response_s", ds_wr);
     p.set("logged_cum_write_response_s", log_wr);
+    p.set("ds_p50_put_response_s", ds_resp.percentile(50));
+    p.set("ds_p95_put_response_s", ds_resp.percentile(95));
+    p.set("ds_p99_put_response_s", ds_resp.percentile(99));
+    p.set("logged_p50_put_response_s", log_resp.percentile(50));
+    p.set("logged_p95_put_response_s", log_resp.percentile(95));
+    p.set("logged_p99_put_response_s", log_resp.percentile(99));
     p.set("delta_pct", delta);
     p.set("paper_delta_pct", paper[i]);
     h.add_point(std::move(p));

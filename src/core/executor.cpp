@@ -65,6 +65,7 @@ RunMetrics WorkflowRunner::run() {
   }
 
   runtime_->engine().run();
+  runtime_->finalize_obs();
 
   if (!runtime_->all_done().is_set()) {
     std::string stuck;
@@ -81,11 +82,22 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
   const WorkflowSpec& spec = runtime_->spec();
   Trace& trace = runtime_->trace();
   sim::Ctx ctx = runtime_->cluster().ctx_for(comp->vproc);
+  obs::Observability* obs = services_.obs;
   for (int ts = start_ts + 1; ts <= spec.total_ts; ++ts) {
     trace.record(ctx.now(), TraceKind::kTimestepStart, comp->spec.name, ts);
     co_await maybe_fail(comp, ts, ctx);
 
     // Reads first (consumers pull the coupled data for this timestep).
+    obs::SpanId read_span = 0;
+    if (obs != nullptr) {
+      for (const auto& read : comp->spec.reads) {
+        if (ts % read.every == 0) {
+          read_span = obs->tracer().begin(comp->spec.name, "read",
+                                          obs::Phase::kRead, ctx.now(), 0, ts);
+          break;
+        }
+      }
+    }
     for (const auto& read : comp->spec.reads) {
       if (ts % read.every != 0) continue;
       auto result = co_await comp->client->get(
@@ -95,6 +107,11 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
       comp->metrics.cum_get_response_s += result.response_time.seconds();
       comp->metrics.wrong_version_reads += result.wrong_version;
       comp->metrics.corrupt_reads += result.corrupt;
+      if (obs != nullptr) {
+        obs->metrics()
+            .histogram("get_response_s", comp->spec.name)
+            .observe(result.response_time.seconds());
+      }
       if (services_.read_probe) {
         services_.read_probe(*comp, ts, read.var, pieces_checksum(result.pieces),
                              result.nominal_bytes, result.wrong_version,
@@ -103,10 +120,22 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
       trace.record(ctx.now(), TraceKind::kReadDone, comp->spec.name, ts,
                    static_cast<std::int64_t>(result.nominal_bytes));
     }
+    if (obs != nullptr) obs->tracer().end(read_span, ctx.now());
 
+    obs::SpanId compute_span = 0;
+    if (obs != nullptr) {
+      compute_span = obs->tracer().begin(comp->spec.name, "compute",
+                                         obs::Phase::kCompute, ctx.now(), 0, ts);
+    }
     co_await ctx.delay(sim::from_seconds(comp->spec.compute_per_ts_s));
+    if (obs != nullptr) obs->tracer().end(compute_span, ctx.now());
     trace.record(ctx.now(), TraceKind::kComputeDone, comp->spec.name, ts);
 
+    obs::SpanId write_span = 0;
+    if (obs != nullptr && !comp->spec.writes.empty()) {
+      write_span = obs->tracer().begin(comp->spec.name, "write",
+                                       obs::Phase::kWrite, ctx.now(), 0, ts);
+    }
     for (const auto& write : comp->spec.writes) {
       auto result = co_await comp->client->put(
           ctx, write.var, static_cast<staging::Version>(ts),
@@ -115,9 +144,15 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
       comp->metrics.cum_put_response_s += result.response_time.seconds();
       comp->metrics.put_bytes += result.nominal_bytes;
       comp->metrics.suppressed_puts += result.suppressed;
+      if (obs != nullptr) {
+        obs->metrics()
+            .histogram("put_response_s", comp->spec.name)
+            .observe(result.response_time.seconds());
+      }
       trace.record(ctx.now(), TraceKind::kWriteDone, comp->spec.name, ts,
                    static_cast<std::int64_t>(result.nominal_bytes));
     }
+    if (obs != nullptr) obs->tracer().end(write_span, ctx.now());
 
     comp->current_ts = ts;
     ++comp->metrics.timesteps_done;
@@ -134,6 +169,14 @@ sim::Task<void> WorkflowRunner::run_component_recovered(Comp* comp) {
   sim::Ctx ctx = runtime_->cluster().ctx_for(comp->vproc);
   const bool replay = policy_->replay_on_restart(comp->spec);
   co_await stage_reattach_and_replay(services_, *comp, replay, ctx);
+  if (services_.obs != nullptr) {
+    // The recovery root opened at the failure instant closes once the
+    // component is back in its timestep loop.
+    services_.obs->tracer().end(comp->obs_recovery_span, ctx.now());
+    comp->obs_recovery_span = 0;
+    comp->obs_detect_span = 0;
+    services_.obs->metrics().counter("recoveries", comp->spec.name).inc();
+  }
   co_await run_component(comp, comp->last_ckpt_ts);
 }
 
@@ -149,11 +192,34 @@ sim::Task<void> WorkflowRunner::maybe_fail(Comp* comp, int ts, sim::Ctx ctx) {
     if (f.phase < 0) continue;  // false alarm: no failure follows
     ++failures_injected_;
     // Die partway into this timestep's work.
+    obs::SpanId partial = 0;
+    if (services_.obs != nullptr) {
+      partial = services_.obs->tracer().begin(comp->spec.name,
+                                              "compute (interrupted)",
+                                              obs::Phase::kCompute, ctx.now(),
+                                              0, ts);
+    }
     co_await ctx.delay(
         sim::from_seconds(f.phase * comp->spec.compute_per_ts_s));
     if (f.node_level) comp->last_ckpt_ts = comp->last_pfs_ckpt_ts;
     runtime_->trace().record(ctx.now(), TraceKind::kFailure, comp->spec.name,
                              ts, f.node_level ? 1 : 0);
+    if (services_.obs != nullptr) {
+      obs::SpanTracer& tracer = services_.obs->tracer();
+      tracer.end(partial, ctx.now());
+      tracer.instant(comp->spec.name, "failure", ctx.now(),
+                     f.node_level ? 1 : 0);
+      // Root of this recovery's causal tree; the detect child covers the
+      // failure-detection window and is closed by the recovery path that
+      // eventually picks the component up.
+      comp->obs_recovery_span =
+          tracer.begin(comp->spec.name, "recovery", obs::Phase::kRestart,
+                       ctx.now(), 0, ts);
+      comp->obs_detect_span =
+          tracer.begin(comp->spec.name, "detect", obs::Phase::kRestart,
+                       ctx.now(), comp->obs_recovery_span);
+      services_.obs->metrics().counter("failures", comp->spec.name).inc();
+    }
     runtime_->cluster().kill(comp->vproc);
     co_await ctx.delay({0});  // the cancelled token unwinds here
   }

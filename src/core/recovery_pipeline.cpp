@@ -15,12 +15,27 @@ sim::Task<void> stage_process_recovery(RuntimeServices& rt, Comp& comp,
   if (rt.recovery_probe) {
     rt.recovery_probe(TraceKind::kRecoveryStart, &comp, comp.current_ts);
   }
+  obs::SpanId ulfm = 0;
+  if (rt.obs != nullptr) {
+    rt.obs->tracer().end(comp.obs_detect_span, sys.now());
+    comp.obs_detect_span = 0;
+    ulfm = rt.obs->tracer().begin(comp.spec.name, "ulfm", obs::Phase::kRestart,
+                                  sys.now(), comp.obs_recovery_span);
+  }
   // ULFM: revoke, shrink, agree, then a spare joins the communicator.
   co_await sys.delay(rt.spec->costs.ulfm_time(comp.spec.cores));
+  if (rt.obs != nullptr) rt.obs->tracer().end(ulfm, sys.now());
 }
 
 sim::Task<void> stage_data_recovery(RuntimeServices& rt, Comp& comp,
                                     sim::Ctx sys) {
+  obs::SpanId restore = 0;
+  if (rt.obs != nullptr) {
+    restore = rt.obs->tracer().begin(comp.spec.name, "restore",
+                                     obs::Phase::kRestart, sys.now(),
+                                     comp.obs_recovery_span,
+                                     comp.last_ckpt_ts);
+  }
   if (comp.last_ckpt_ts > comp.last_pfs_ckpt_ts) {
     co_await sys.delay(sim::from_seconds(
         static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
@@ -28,11 +43,19 @@ sim::Task<void> stage_data_recovery(RuntimeServices& rt, Comp& comp,
   } else {
     co_await rt.pfs->read(sys, rt.spec->costs.state_bytes(comp.spec.cores));
   }
+  if (rt.obs != nullptr) rt.obs->tracer().end(restore, sys.now());
   comp.metrics.timesteps_reworked += comp.current_ts - comp.last_ckpt_ts;
 }
 
 sim::Task<void> stage_reattach_and_replay(RuntimeServices& rt, Comp& comp,
                                           bool logged, sim::Ctx ctx) {
+  obs::SpanId reattach = 0;
+  if (rt.obs != nullptr) {
+    reattach = rt.obs->tracer().begin(
+        comp.spec.name, logged ? "replay" : "reattach",
+        logged ? obs::Phase::kReplay : obs::Phase::kRestart, ctx.now(),
+        comp.obs_recovery_span, comp.last_ckpt_ts);
+  }
   if (logged) {
     // workflow_restart(): client re-init + recovery event; the servers
     // switch this app's queues into replay mode.
@@ -46,6 +69,7 @@ sim::Task<void> stage_reattach_and_replay(RuntimeServices& rt, Comp& comp,
   } else {
     co_await ctx.delay(comp.client->params().reconnect_cost);
   }
+  if (rt.obs != nullptr) rt.obs->tracer().end(reattach, ctx.now());
   comp.current_ts = comp.last_ckpt_ts;
 }
 
@@ -69,6 +93,14 @@ sim::Task<void> run_failover_recovery(RuntimeServices& rt, Comp& comp) {
   if (rt.recovery_probe) {
     rt.recovery_probe(TraceKind::kRecoveryStart, &comp, comp.current_ts);
   }
+  obs::SpanId failover = 0;
+  if (rt.obs != nullptr) {
+    rt.obs->tracer().end(comp.obs_detect_span, sys.now());
+    comp.obs_detect_span = 0;
+    failover = rt.obs->tracer().begin(comp.spec.name, "failover",
+                                      obs::Phase::kRestart, sys.now(),
+                                      comp.obs_recovery_span);
+  }
   // The replica takes over; the interrupted timestep is re-executed by the
   // surviving copy. No rollback, no staging recovery event.
   co_await sys.delay(sim::from_seconds(rt.spec->costs.failover_s));
@@ -77,6 +109,12 @@ sim::Task<void> run_failover_recovery(RuntimeServices& rt, Comp& comp) {
   const int resume_from = comp.current_ts;
   if (rt.recovery_probe) {
     rt.recovery_probe(TraceKind::kRecoveryDone, &comp, resume_from);
+  }
+  if (rt.obs != nullptr) {
+    rt.obs->tracer().end(failover, sys.now());
+    rt.obs->tracer().end(comp.obs_recovery_span, sys.now());
+    comp.obs_recovery_span = 0;
+    rt.obs->metrics().counter("recoveries", comp.spec.name).inc();
   }
   rt.resume(&comp, resume_from);
 }
@@ -92,9 +130,41 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
   for (auto& c : *rt.comps) {
     if (rt.cluster->vproc(c->vproc).alive) rt.cluster->kill(c->vproc);
   }
+  obs::SpanId coord = 0;
+  if (rt.obs != nullptr) {
+    obs::SpanTracer& tracer = rt.obs->tracer();
+    obs::SpanId parent = 0;
+    for (auto& c : *rt.comps) {
+      if (c->obs_recovery_span != 0) {
+        // A component that failed: its recovery root stays open across the
+        // whole global restart; close only the detect child.
+        tracer.end(c->obs_detect_span, sys.now());
+        c->obs_detect_span = 0;
+        if (parent == 0) parent = c->obs_recovery_span;
+      } else {
+        // A survivor killed mid-activity by the rollback.
+        tracer.end_open_for_track(c->spec.name, sys.now());
+      }
+    }
+    coord = tracer.begin("workflow", "coordinated restart",
+                         obs::Phase::kRestart, sys.now(), parent,
+                         global_ckpt_ts);
+  }
+  auto child = [&](const char* name) {
+    return rt.obs == nullptr
+               ? obs::SpanId{0}
+               : rt.obs->tracer().begin("workflow", name, obs::Phase::kRestart,
+                                        sys.now(), coord);
+  };
+  auto close = [&](obs::SpanId id) {
+    if (rt.obs != nullptr) rt.obs->tracer().end(id, sys.now());
+  };
   // Global ULFM recovery across the whole workflow.
+  obs::SpanId stage = child("ulfm");
   co_await sys.delay(rt.spec->costs.ulfm_time(rt.total_app_cores()));
+  close(stage);
   // Every component restores its state from the PFS (contended).
+  stage = child("restore");
   {
     std::vector<sim::Task<void>> reads;
     for (auto& c : *rt.comps) {
@@ -103,11 +173,16 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
     }
     co_await sim::when_all(sys, std::move(reads));
   }
+  close(stage);
   // Roll the staging area back to the global snapshot.
+  stage = child("rollback");
   co_await rt.control_client->rollback_staging(
       sys, static_cast<staging::Version>(global_ckpt_ts));
+  close(stage);
   // Post-recovery resynchronization barrier.
+  stage = child("resync barrier");
   co_await sys.delay(rt.spec->costs.barrier_time(rt.total_app_cores()));
+  close(stage);
   for (auto& c : *rt.comps) {
     c->metrics.timesteps_reworked +=
         std::max(0, c->current_ts - global_ckpt_ts);
@@ -120,6 +195,17 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
   if (on_restarted) on_restarted();
   if (rt.recovery_probe) {
     rt.recovery_probe(TraceKind::kRecoveryDone, nullptr, global_ckpt_ts);
+  }
+  if (rt.obs != nullptr) {
+    obs::SpanTracer& tracer = rt.obs->tracer();
+    tracer.end(coord, sys.now());
+    for (auto& c : *rt.comps) {
+      if (c->obs_recovery_span != 0) {
+        tracer.end(c->obs_recovery_span, sys.now());
+        c->obs_recovery_span = 0;
+      }
+    }
+    rt.obs->metrics().counter("recoveries", "workflow").inc();
   }
   for (auto& c : *rt.comps) {
     rt.resume(c.get(), global_ckpt_ts);

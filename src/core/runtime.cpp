@@ -56,6 +56,9 @@ void Runtime::check_all_done() {
 }
 
 void Runtime::build(const SchemePolicy& policy) {
+  if (obs::compiled_in() && spec_.obs.enabled) {
+    obs_ = std::make_unique<obs::Observability>();
+  }
   cluster_.set_detection_delay(
       sim::from_seconds(spec_.costs.detection_delay_s));
   index_ = std::make_unique<dht::SpatialIndex>(
@@ -67,10 +70,52 @@ void Runtime::build(const SchemePolicy& policy) {
   server_params.logging = policy.uses_logging();
   for (int s = 0; s < spec_.staging_servers; ++s) {
     const auto node = cluster_.add_node();
-    const auto vp = cluster_.add_vproc("staging-" + std::to_string(s), node);
+    const std::string name = "staging-" + std::to_string(s);
+    const auto vp = cluster_.add_vproc(name, node);
     server_vprocs_.push_back(vp);
     servers_.push_back(
         std::make_unique<staging::StagingServer>(cluster_, vp, server_params));
+    if (obs_ != nullptr) {
+      staging::StagingServer& server = *servers_.back();
+      server.set_obs(obs_.get(), name);
+      // Surface staging-internal GC and log milestones as trace events.
+      // These kinds only exist in instrumented runs, so the golden digests
+      // of uninstrumented traces are untouched.
+      staging::StagingServer::ObsHooks hooks;
+      hooks.gc_sweep = [this, name](staging::Version ckpt_version,
+                                    std::size_t versions_dropped,
+                                    std::uint64_t nominal_freed,
+                                    std::size_t entries_scanned) {
+        trace_.record(engine_.now(), TraceKind::kGcSweep, name,
+                      static_cast<int>(ckpt_version),
+                      static_cast<std::int64_t>(nominal_freed));
+        obs_->metrics().counter("gc.sweeps", name).inc();
+        obs_->metrics()
+            .counter("gc.entries_scanned", name)
+            .inc(entries_scanned);
+        (void)versions_dropped;  // counted at the sweep site
+      };
+      hooks.gc_watermark_advance = [this, name](const std::string& var,
+                                                staging::Version from,
+                                                staging::Version to) {
+        trace_.record(engine_.now(), TraceKind::kGcWatermarkAdvance,
+                      name + "/" + var, static_cast<int>(from),
+                      static_cast<std::int64_t>(to));
+        obs_->metrics().counter("gc.watermark_advances", name).inc();
+      };
+      hooks.log_truncate = [this, name](staging::AppId app,
+                                        staging::Version ckpt_version,
+                                        std::size_t events_dropped) {
+        trace_.record(engine_.now(), TraceKind::kLogTruncate, name,
+                      static_cast<int>(ckpt_version),
+                      static_cast<std::int64_t>(events_dropped));
+        obs_->metrics()
+            .counter("wlog.events_truncated", name)
+            .inc(events_dropped);
+        (void)app;
+      };
+      server.set_obs_hooks(std::move(hooks));
+    }
   }
 
   {
@@ -228,6 +273,7 @@ RuntimeServices Runtime::services() {
   rt.sys_token = &sys_token_;
   rt.trace = &trace_;
   rt.runtime = this;
+  rt.obs = obs_.get();
   return rt;
 }
 
@@ -259,6 +305,33 @@ RunMetrics Runtime::collect(int failures_injected) const {
   m.pfs_bytes_read = pfs_.bytes_read();
   m.events_processed = engine_.processed();
   return m;
+}
+
+void Runtime::finalize_obs() {
+  if (obs_ == nullptr) return;
+  obs::SpanTracer& tracer = obs_->tracer();
+  tracer.end_all(engine_.now());
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("fabric.packets_sent").inc(fabric_.packets_sent());
+  m.counter("fabric.bytes_sent").inc(fabric_.bytes_sent());
+  m.counter("pfs.bytes_written").inc(pfs_.bytes_written());
+  m.counter("pfs.bytes_read").inc(pfs_.bytes_read());
+  m.counter("engine.events_processed").inc(engine_.processed());
+  m.counter("dht.lookups").inc(index_->lookups());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const std::string name = "staging-" + std::to_string(s);
+    const staging::ServerStats& st = servers_[s]->stats();
+    m.counter("staging.puts", name).inc(st.puts);
+    m.counter("staging.gets", name).inc(st.gets);
+    m.counter("staging.puts_suppressed", name).inc(st.puts_suppressed);
+    m.counter("staging.gets_from_log", name).inc(st.gets_from_log);
+    m.counter("staging.checkpoints", name).inc(st.checkpoints);
+    m.counter("staging.mirrored_events", name).inc(st.mirrored_events);
+    m.gauge("staging.peak_total_bytes", name)
+        .set(static_cast<double>(servers_[s]->peak_total_bytes()));
+    m.gauge("staging.mean_total_bytes", name)
+        .set(servers_[s]->mean_total_bytes());
+  }
 }
 
 void Runtime::teardown() {

@@ -20,6 +20,7 @@
 #include "core/workflow.hpp"
 #include "dht/spatial_index.hpp"
 #include "net/fabric.hpp"
+#include "obs/observability.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
 #include "staging/client.hpp"
@@ -44,6 +45,10 @@ struct Comp {
   bool done = false;
   bool recovering = false;
   ComponentMetrics metrics;
+  // Open observability spans (0 = none); raw ids so this header stays
+  // decoupled from the tracer's lifetime.
+  obs::SpanId obs_recovery_span = 0;  // root span of the in-flight recovery
+  obs::SpanId obs_detect_span = 0;    // its "detect" child
 };
 
 /// One entry of the pre-drawn failure plan.
@@ -73,6 +78,9 @@ struct RuntimeServices {
   sim::CancelToken* sys_token = nullptr;
   Trace* trace = nullptr;
   Runtime* runtime = nullptr;
+  /// Observability bundle; null when disabled (the common case), so every
+  /// instrumentation site is a single pointer test.
+  obs::Observability* obs = nullptr;
 
   // Orchestrator hooks, installed by the executor before run():
   /// Respawn a component's timestep loop, resuming after `start_ts`.
@@ -129,6 +137,10 @@ class Runtime {
   }
   [[nodiscard]] std::vector<PlannedFailure>& plan() { return plan_; }
   [[nodiscard]] sim::OneShotEvent& all_done() { return *all_done_; }
+  /// Null unless the spec enables observability on a build that compiles
+  /// it in.
+  [[nodiscard]] obs::Observability* obs() { return obs_.get(); }
+  [[nodiscard]] const obs::Observability* obs() const { return obs_.get(); }
 
   /// Subsystem view with unset orchestrator hooks.
   [[nodiscard]] RuntimeServices services();
@@ -141,6 +153,10 @@ class Runtime {
   void check_all_done();
   /// Aggregate per-component, staging, PFS, and engine metrics.
   [[nodiscard]] RunMetrics collect(int failures_injected) const;
+  /// Close any spans still open at end of run and register the final
+  /// fabric/PFS/server/engine counters and gauges. No-op when obs is off;
+  /// called by WorkflowRunner after the engine drains.
+  void finalize_obs();
   /// Unwind every suspended actor so coroutine frames are reclaimed.
   /// Idempotent; also run by the destructor.
   void teardown();
@@ -166,6 +182,7 @@ class Runtime {
   std::vector<PlannedFailure> plan_;
   Rng rng_;
   Trace trace_;
+  std::unique_ptr<obs::Observability> obs_;  // null = observability off
   bool torn_down_ = false;
 };
 

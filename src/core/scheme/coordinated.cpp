@@ -22,6 +22,12 @@ sim::Task<void> CoordinatedPolicy::on_timestep_end(RuntimeServices& rt,
 
 sim::Task<void> CoordinatedPolicy::checkpoint(RuntimeServices& rt, Comp& comp,
                                               int ts, sim::Ctx ctx) {
+  obs::SpanId span = 0;
+  if (rt.obs != nullptr) {
+    // Covers both barriers: the coordination wait is checkpoint cost.
+    span = rt.obs->tracer().begin(comp.spec.name, "checkpoint (coordinated)",
+                                  obs::Phase::kCheckpoint, ctx.now(), 0, ts);
+  }
   // Synchronizing barriers before and after the snapshot flush any
   // in-flight coupling traffic (Section II).
   co_await rt.barrier->arrive_and_wait(ctx.tok);
@@ -29,6 +35,7 @@ sim::Task<void> CoordinatedPolicy::checkpoint(RuntimeServices& rt, Comp& comp,
   co_await rt.pfs->write(ctx, rt.spec->costs.state_bytes(comp.spec.cores));
   co_await rt.barrier->arrive_and_wait(ctx.tok);
   co_await ctx.delay(barrier_cost(rt));
+  if (rt.obs != nullptr) rt.obs->tracer().end(span, ctx.now());
   comp.last_ckpt_ts = ts;
   comp.last_pfs_ckpt_ts = ts;
   global_ckpt_ts_ = ts;

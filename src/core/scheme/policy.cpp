@@ -20,6 +20,11 @@ sim::Task<void> SchemePolicy::emergency_checkpoint(RuntimeServices& rt,
                                                    Comp& comp, int ts,
                                                    sim::Ctx ctx) {
   if (ts <= comp.last_ckpt_ts) co_return;  // already covered
+  obs::SpanId span = 0;
+  if (rt.obs != nullptr) {
+    span = rt.obs->tracer().begin(comp.spec.name, "emergency checkpoint",
+                                  obs::Phase::kCheckpoint, ctx.now(), 0, ts);
+  }
   co_await ctx.delay(sim::from_seconds(
       static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
       rt.spec->costs.local_ckpt_bw));
@@ -36,6 +41,10 @@ sim::Task<void> SchemePolicy::emergency_checkpoint(RuntimeServices& rt,
   ++comp.metrics.proactive_checkpoints;
   rt.trace->record(ctx.now(), TraceKind::kProactiveCheckpoint, comp.spec.name,
                    ts);
+  if (rt.obs != nullptr) {
+    rt.obs->tracer().end(span, ctx.now());
+    rt.obs->metrics().counter("proactive_checkpoints", comp.spec.name).inc();
+  }
 }
 
 void SchemePolicy::recover_local(RuntimeServices& rt, Comp& comp) {

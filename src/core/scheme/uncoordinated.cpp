@@ -17,6 +17,11 @@ sim::Task<void> UncoordinatedPolicy::checkpoint(RuntimeServices& rt,
                                                 Comp& comp, int ts,
                                                 sim::Ctx ctx) {
   if (ts % comp.spec.ckpt_period == 0) {
+    obs::SpanId span = 0;
+    if (rt.obs != nullptr) {
+      span = rt.obs->tracer().begin(comp.spec.name, "checkpoint",
+                                    obs::Phase::kCheckpoint, ctx.now(), 0, ts);
+    }
     co_await rt.pfs->write(ctx, rt.spec->costs.state_bytes(comp.spec.cores));
     comp.last_pfs_ckpt_ts = ts;
     ++comp.metrics.checkpoints;
@@ -25,6 +30,7 @@ sim::Task<void> UncoordinatedPolicy::checkpoint(RuntimeServices& rt,
       co_await comp.client->workflow_check(ctx,
                                            static_cast<staging::Version>(ts));
     }
+    if (rt.obs != nullptr) rt.obs->tracer().end(span, ctx.now());
   } else {
     // Node-local level: fast, uncontended, lost on node failure. The
     // staging servers still record a replay anchor for it, but marked
@@ -32,6 +38,11 @@ sim::Task<void> UncoordinatedPolicy::checkpoint(RuntimeServices& rt,
     // this level advance the GC watermark would allow logged versions the
     // fallback restart still has to replay to be reclaimed (the oracle
     // catches that as a retention violation followed by a replay deadlock).
+    obs::SpanId span = 0;
+    if (rt.obs != nullptr) {
+      span = rt.obs->tracer().begin(comp.spec.name, "local checkpoint",
+                                    obs::Phase::kCheckpoint, ctx.now(), 0, ts);
+    }
     co_await ctx.delay(sim::from_seconds(
         static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
         rt.spec->costs.local_ckpt_bw));
@@ -42,6 +53,7 @@ sim::Task<void> UncoordinatedPolicy::checkpoint(RuntimeServices& rt,
       co_await comp.client->workflow_check(
           ctx, static_cast<staging::Version>(ts), /*durable=*/false);
     }
+    if (rt.obs != nullptr) rt.obs->tracer().end(span, ctx.now());
   }
   comp.last_ckpt_ts = ts;
 }

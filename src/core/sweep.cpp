@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/executor.hpp"
+#include "obs/report.hpp"
 
 namespace dstage::core {
 
@@ -38,6 +39,14 @@ std::vector<SweepRun> run_sweep(std::vector<WorkflowSpec> specs,
             WorkflowRunner runner(std::move(spec));
             out[idx].metrics = runner.run();
             out[idx].trace_digest = runner.trace().digest();
+            if (const obs::Observability* o = runner.runtime().obs()) {
+              Json oj = Json::object();
+              oj.set("metrics", o->metrics().to_json());
+              oj.set("phases",
+                     obs::breakdown_to_json(obs::phase_breakdown(o->tracer())));
+              out[idx].obs = std::move(oj);
+              if (opts.metrics != nullptr) opts.metrics->merge(o->metrics());
+            }
           } catch (...) {
             errors[idx] = std::current_exception();
           }
@@ -101,6 +110,12 @@ Json metrics_to_json(const RunMetrics& m) {
     cj.set("proactive_checkpoints", c.proactive_checkpoints);
     cj.set("mean_put_response_s", c.put_response_s.mean());
     cj.set("mean_get_response_s", c.get_response_s.mean());
+    cj.set("p50_put_response_s", c.put_response_s.percentile(50));
+    cj.set("p95_put_response_s", c.put_response_s.percentile(95));
+    cj.set("p99_put_response_s", c.put_response_s.percentile(99));
+    cj.set("p50_get_response_s", c.get_response_s.percentile(50));
+    cj.set("p95_get_response_s", c.get_response_s.percentile(95));
+    cj.set("p99_get_response_s", c.get_response_s.percentile(99));
     cj.set("cum_put_response_s", c.cum_put_response_s);
     cj.set("cum_get_response_s", c.cum_get_response_s);
     cj.set("put_bytes", c.put_bytes);
@@ -133,6 +148,7 @@ Json sweep_to_json(const std::vector<SweepRun>& runs) {
     rj.set("seed", r.seed);
     rj.set("trace_digest", digest_hex(r.trace_digest));
     rj.set("metrics", metrics_to_json(r.metrics));
+    if (!r.obs.is_null()) rj.set("obs", r.obs);
     arr.push(std::move(rj));
   }
   return arr;

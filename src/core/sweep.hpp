@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/workflow.hpp"
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace dstage::core {
@@ -20,12 +21,19 @@ struct SweepRun {
   std::uint64_t seed = 0;  // spec.failures.seed of this run
   RunMetrics metrics;
   std::uint64_t trace_digest = 0;
+  /// Per-run observability snapshot ({"metrics": ..., "phases": ...});
+  /// JSON null when the run's spec had observability off.
+  Json obs;
 };
 
 struct SweepOptions {
   /// Worker threads; <= 0 means hardware concurrency. Thread count never
   /// affects results, only wall-clock time.
   int threads = 0;
+  /// Optional cross-run aggregate: every instrumented run's registry is
+  /// merged in (thread-safe; merge is commutative, so the aggregate is
+  /// identical for serial and parallel sweeps). Null = no aggregation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Run every spec to completion. Throws the first run's exception (after

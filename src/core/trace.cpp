@@ -32,6 +32,12 @@ const char* trace_kind_name(TraceKind k) {
       return "recovery_done";
     case TraceKind::kReplayDone:
       return "replay_done";
+    case TraceKind::kGcSweep:
+      return "gc_sweep";
+    case TraceKind::kGcWatermarkAdvance:
+      return "gc_watermark_advance";
+    case TraceKind::kLogTruncate:
+      return "log_truncate";
   }
   return "?";
 }
@@ -42,21 +48,41 @@ void Trace::record(sim::TimePoint at, TraceKind kind, std::string component,
       TraceEvent{at, kind, std::move(component), timestep, value});
 }
 
-std::vector<TraceEvent> Trace::of_kind(TraceKind kind) const {
-  std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
-    if (e.kind == kind) out.push_back(e);
-  }
-  return out;
+TraceView::iterator& TraceView::iterator::operator++() {
+  ++i_;
+  skip_non_matching();
+  return *this;
 }
 
-std::vector<TraceEvent> Trace::of_component(
-    const std::string& component) const {
-  std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
-    if (e.component == component) out.push_back(e);
-  }
-  return out;
+void TraceView::iterator::skip_non_matching() {
+  events_ = view_->events_;
+  while (i_ < events_->size() && !view_->matches((*events_)[i_])) ++i_;
+}
+
+TraceView::iterator TraceView::end() const {
+  iterator it;
+  it.view_ = this;
+  it.events_ = events_;
+  it.i_ = events_->size();
+  return it;
+}
+
+std::size_t TraceView::size() const {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const TraceEvent& e : *this) ++n;
+  return n;
+}
+
+const TraceEvent& TraceView::back() const {
+  const TraceEvent* last = nullptr;
+  for (const TraceEvent& e : *this) last = &e;
+  return *last;
+}
+
+const TraceEvent& TraceView::operator[](std::size_t i) const {
+  auto it = begin();
+  for (std::size_t k = 0; k < i; ++k) ++it;
+  return *it;
 }
 
 std::uint64_t Trace::digest() const {

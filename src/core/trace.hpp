@@ -5,9 +5,12 @@
 // deterministic, so trace digests double as whole-run fingerprints.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -27,6 +30,12 @@ enum class TraceKind {
   kRecoveryStart,
   kRecoveryDone,
   kReplayDone,
+  // Staging-internal kinds, surfaced by the observability layer. They are
+  // recorded only when ObsConfig::enabled is set, so the golden digests of
+  // uninstrumented runs (which hash every event) are unaffected.
+  kGcSweep,              // value = nominal bytes reclaimed
+  kGcWatermarkAdvance,   // value = new watermark version
+  kLogTruncate,          // value = metadata log entries dropped
 };
 
 const char* trace_kind_name(TraceKind k);
@@ -40,6 +49,75 @@ struct TraceEvent {
   std::int64_t value = 0;
 };
 
+/// Lazy, allocation-free view over a trace filtered by kind or component.
+/// Iterable with range-for; size() and operator[] walk the underlying
+/// event vector (O(n)), which is fine for the tests and tools that use
+/// them. The view borrows the trace — don't outlive it.
+class TraceView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = TraceEvent;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const TraceEvent*;
+    using reference = const TraceEvent&;
+
+    iterator() = default;
+    reference operator*() const { return (*events_)[i_]; }
+    pointer operator->() const { return &(*events_)[i_]; }
+    iterator& operator++();
+    iterator operator++(int) {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    friend class TraceView;
+    iterator(const TraceView* view, std::size_t i) : view_(view), i_(i) {
+      skip_non_matching();
+    }
+    void skip_non_matching();
+
+    const TraceView* view_ = nullptr;
+    const std::vector<TraceEvent>* events_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const;
+  [[nodiscard]] bool empty() const { return begin() == end(); }
+  /// Number of matching events (walks the trace).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const TraceEvent& front() const { return *begin(); }
+  [[nodiscard]] const TraceEvent& back() const;
+  /// i-th matching event (walks the trace).
+  [[nodiscard]] const TraceEvent& operator[](std::size_t i) const;
+
+ private:
+  friend class Trace;
+  enum class Mode { kByKind, kByComponent };
+  TraceView(const std::vector<TraceEvent>& events, TraceKind kind)
+      : events_(&events), mode_(Mode::kByKind), kind_(kind) {}
+  TraceView(const std::vector<TraceEvent>& events, std::string component)
+      : events_(&events),
+        mode_(Mode::kByComponent),
+        component_(std::move(component)) {}
+  [[nodiscard]] bool matches(const TraceEvent& e) const {
+    return mode_ == Mode::kByKind ? e.kind == kind_
+                                  : e.component == component_;
+  }
+
+  const std::vector<TraceEvent>* events_;
+  Mode mode_;
+  TraceKind kind_ = TraceKind::kTimestepStart;
+  std::string component_;
+};
+
 class Trace {
  public:
   void record(sim::TimePoint at, TraceKind kind, std::string component,
@@ -50,11 +128,14 @@ class Trace {
   }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
 
-  /// Events of one kind, in order.
-  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceKind kind) const;
-  /// Events of one component, in order.
-  [[nodiscard]] std::vector<TraceEvent> of_component(
-      const std::string& component) const;
+  /// Lazy view over events of one kind, in order (no copy).
+  [[nodiscard]] TraceView of_kind(TraceKind kind) const {
+    return {events_, kind};
+  }
+  /// Lazy view over events of one component, in order (no copy).
+  [[nodiscard]] TraceView of_component(std::string component) const {
+    return {events_, std::move(component)};
+  }
 
   /// Order- and content-sensitive digest (FNV over the serialized records);
   /// equal digests ⇔ identical executions.

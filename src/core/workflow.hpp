@@ -11,6 +11,7 @@
 #include "cluster/pfs.hpp"
 #include "core/cost_model.hpp"
 #include "net/fabric.hpp"
+#include "obs/config.hpp"
 #include "staging/server.hpp"
 #include "util/geometry.hpp"
 #include "util/stats.hpp"
@@ -125,6 +126,9 @@ struct WorkflowSpec {
   staging::ServerParams server;  // `logging` is overridden by the scheme
   /// DHT grid resolution.
   int cells_per_axis = 8;
+  /// Cross-layer observability (metrics registry + span tracing). Off by
+  /// default: golden-trace digests are recorded without it.
+  obs::ObsConfig obs;
 
   /// Reject malformed specs before the runtime is assembled. Throws
   /// std::invalid_argument with a message naming the offending field (and

@@ -70,6 +70,7 @@ Box SpatialIndex::cell_box(std::uint32_t cx, std::uint32_t cy,
 }
 
 std::vector<Placement> SpatialIndex::place(const Box& query) const {
+  ++lookups_;
   std::map<int, Placement> by_server;
   const Box clipped = query.intersection(domain_);
   if (clipped.empty()) return {};

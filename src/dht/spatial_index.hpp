@@ -42,6 +42,9 @@ class SpatialIndex {
   /// Number of curve cells owned by each server (for balance tests).
   [[nodiscard]] std::vector<std::uint64_t> cells_per_server() const;
 
+  /// Geometric queries resolved since construction (observability).
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+
   /// Box covered by cell (cx, cy, cz), clipped to the domain.
   [[nodiscard]] Box cell_box(std::uint32_t cx, std::uint32_t cy,
                              std::uint32_t cz) const;
@@ -52,6 +55,7 @@ class SpatialIndex {
                                          std::int64_t cell_size) const;
 
   Box domain_;
+  mutable std::uint64_t lookups_ = 0;  // counted in const place()
   int server_count_;
   int cells_;
   int order_;

@@ -50,6 +50,15 @@ class GarbageCollector {
 
   [[nodiscard]] Version last_checkpoint(AppId app) const;
 
+  /// Registered variable names, in deterministic (map) order — used by the
+  /// observability layer to diff watermarks across a checkpoint event.
+  [[nodiscard]] std::vector<std::string> variables() const {
+    std::vector<std::string> out;
+    out.reserve(consumers_.size());
+    for (const auto& [var, _] : consumers_) out.push_back(var);
+    return out;
+  }
+
   /// Consistency-oracle instrumentation. The checkpoint probe observes
   /// every on_checkpoint(); the sweep probe fires once per swept variable
   /// with the watermark used, the reclaim bound, and the drop count.

@@ -1,0 +1,469 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace dstage::obs {
+
+namespace {
+
+constexpr std::size_t kMaxErrors = 16;
+
+double to_us(sim::TimePoint t) {
+  return static_cast<double>(t.ns) / 1000.0;
+}
+
+struct EmittedEvent {
+  std::int64_t ts_ns = 0;
+  std::size_t seq = 0;  // canonical order among equal timestamps
+  Json json;
+};
+
+Json base_event(const char* ph, const std::string& name, int tid,
+                sim::TimePoint at) {
+  Json e = Json::object();
+  e.set("name", name);
+  e.set("ph", ph);
+  e.set("ts", to_us(at));
+  e.set("pid", 0);
+  e.set("tid", tid);
+  return e;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const SpanTracer& tracer) {
+  const std::vector<std::string> track_names = tracer.tracks();
+  std::map<std::string, int> tid_of;
+  for (std::size_t i = 0; i < track_names.size(); ++i) {
+    tid_of[track_names[i]] = static_cast<int>(i);
+  }
+
+  std::vector<EmittedEvent> events;
+  std::size_t seq = 0;
+
+  // Per-track linearization of the (properly nested) span intervals into
+  // matched B/E pairs: walk spans in begin order, keeping a stack; a span
+  // whose end precedes the next span's start is closed first. Our
+  // instrumentation never produces partially-overlapping spans on one
+  // track (phases are sequential, recovery stages are nested), which this
+  // linearization — and the B/E format itself — relies on.
+  for (const std::string& track : track_names) {
+    const int tid = tid_of[track];
+    std::vector<const Span*> spans;
+    for (const Span& s : tracer.spans()) {
+      if (s.track == track) spans.push_back(&s);
+    }
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const Span* a, const Span* b) {
+                       if (a->start.ns != b->start.ns)
+                         return a->start.ns < b->start.ns;
+                       return a->id < b->id;
+                     });
+    std::vector<const Span*> stack;
+    auto emit_begin = [&](const Span* s) {
+      Json b = base_event("B", s->name, tid, s->start);
+      Json args = Json::object();
+      args.set("cat", phase_name(s->phase));
+      args.set("id", s->id);
+      if (s->parent != 0) args.set("parent", s->parent);
+      if (s->value != 0) args.set("value", s->value);
+      b.set("args", std::move(args));
+      events.push_back(EmittedEvent{s->start.ns, seq++, std::move(b)});
+    };
+    auto emit_end = [&](const Span* s) {
+      events.push_back(
+          EmittedEvent{s->end.ns, seq++, base_event("E", s->name, tid, s->end)});
+    };
+    for (const Span* s : spans) {
+      while (!stack.empty() && stack.back()->end.ns <= s->start.ns) {
+        emit_end(stack.back());
+        stack.pop_back();
+      }
+      emit_begin(s);
+      stack.push_back(s);
+    }
+    while (!stack.empty()) {
+      emit_end(stack.back());
+      stack.pop_back();
+    }
+  }
+
+  for (const Instant& i : tracer.instants()) {
+    Json e = base_event("i", i.name, tid_of[i.track], i.at);
+    e.set("s", "t");
+    if (i.value != 0) {
+      Json args = Json::object();
+      args.set("value", i.value);
+      e.set("args", std::move(args));
+    }
+    events.push_back(EmittedEvent{i.at.ns, seq++, std::move(e)});
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const EmittedEvent& a, const EmittedEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.seq < b.seq;
+                   });
+
+  Json arr = Json::array();
+  // Thread-name metadata first (no timestamps).
+  for (const std::string& track : track_names) {
+    Json m = Json::object();
+    m.set("name", "thread_name");
+    m.set("ph", "M");
+    m.set("pid", 0);
+    m.set("tid", tid_of[track]);
+    Json args = Json::object();
+    args.set("name", track);
+    m.set("args", std::move(args));
+    arr.push(std::move(m));
+  }
+  for (EmittedEvent& e : events) arr.push(std::move(e.json));
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(arr));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: a self-contained JSON reader (the writer in util/json is
+// write-only by design) plus the structural trace-event checks.
+
+namespace {
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  [[nodiscard]] const JValue* member(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class MiniParser {
+ public:
+  MiniParser(const std::string& text, std::vector<std::string>& errors)
+      : p_(text.data()), end_(text.data() + text.size()), errors_(&errors) {}
+
+  bool parse_document(JValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (errors_->size() < kMaxErrors) {
+      errors_->push_back("json: " + msg + " at offset " +
+                         std::to_string(offset_));
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      advance();
+    }
+  }
+
+  void advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool literal(const char* word) {
+    const char* q = word;
+    while (*q != '\0') {
+      if (p_ == end_ || *p_ != *q) return fail("bad literal");
+      advance();
+      ++q;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    advance();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        advance();
+        if (p_ == end_) return fail("truncated escape");
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              advance();
+              if (p_ == end_ || std::isxdigit(static_cast<unsigned char>(
+                                    *p_)) == 0) {
+                return fail("bad \\u escape");
+              }
+            }
+            out += '?';  // code point value irrelevant for validation
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        advance();
+      } else {
+        out += *p_;
+        advance();
+      }
+    }
+    if (p_ == end_) return fail("unterminated string");
+    advance();  // closing quote
+    return true;
+  }
+
+  bool parse_number(double& out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) advance();
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        digits = true;
+        advance();
+      }
+    };
+    eat_digits();
+    if (p_ != end_ && *p_ == '.') {
+      advance();
+      eat_digits();
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      advance();
+      if (p_ != end_ && (*p_ == '-' || *p_ == '+')) advance();
+      eat_digits();
+    }
+    if (!digits) return fail("expected number");
+    out = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(JValue& out) {
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        out.kind = JValue::Kind::kObject;
+        advance();
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          advance();
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          advance();
+          JValue v;
+          if (!parse_value(v)) return false;
+          out.object.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            advance();
+            continue;
+          }
+          if (p_ != end_ && *p_ == '}') {
+            advance();
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out.kind = JValue::Kind::kArray;
+        advance();
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          advance();
+          return true;
+        }
+        for (;;) {
+          JValue v;
+          if (!parse_value(v)) return false;
+          out.array.push_back(std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            advance();
+            continue;
+          }
+          if (p_ != end_ && *p_ == ']') {
+            advance();
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.kind = JValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JValue::Kind::kNull;
+        return literal("null");
+      default:
+        out.kind = JValue::Kind::kNumber;
+        return parse_number(out.number);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::size_t offset_ = 0;
+  std::vector<std::string>* errors_;
+};
+
+void add_error(TraceValidation& v, std::string msg) {
+  if (v.errors.size() < kMaxErrors) v.errors.push_back(std::move(msg));
+}
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(const std::string& text) {
+  TraceValidation v;
+  JValue doc;
+  {
+    MiniParser parser(text, v.errors);
+    if (!parser.parse_document(doc)) return v;
+  }
+  if (doc.kind != JValue::Kind::kObject) {
+    add_error(v, "top-level value is not an object");
+    return v;
+  }
+  const JValue* events = doc.member("traceEvents");
+  if (events == nullptr || events->kind != JValue::Kind::kArray) {
+    add_error(v, "missing traceEvents array");
+    return v;
+  }
+
+  // Per-(pid, tid) begin/end stacks.
+  std::map<std::pair<double, double>, std::vector<std::string>> stacks;
+  double last_ts = -1;
+  bool have_ts = false;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JValue& e = events->array[i];
+    const std::string at = "event " + std::to_string(i);
+    if (e.kind != JValue::Kind::kObject) {
+      add_error(v, at + ": not an object");
+      continue;
+    }
+    ++v.events;
+    const JValue* ph = e.member("ph");
+    if (ph == nullptr || ph->kind != JValue::Kind::kString ||
+        ph->string.size() != 1) {
+      add_error(v, at + ": missing ph");
+      continue;
+    }
+    const char kind = ph->string[0];
+    if (kind == 'M') continue;  // metadata: no timestamp semantics
+    const JValue* pid = e.member("pid");
+    const JValue* tid = e.member("tid");
+    const JValue* ts = e.member("ts");
+    const JValue* name = e.member("name");
+    if (pid == nullptr || pid->kind != JValue::Kind::kNumber ||
+        tid == nullptr || tid->kind != JValue::Kind::kNumber) {
+      add_error(v, at + ": missing pid/tid");
+      continue;
+    }
+    if (ts == nullptr || ts->kind != JValue::Kind::kNumber ||
+        !std::isfinite(ts->number)) {
+      add_error(v, at + ": missing ts");
+      continue;
+    }
+    if (ts->number < 0) add_error(v, at + ": negative ts");
+    if (have_ts && ts->number < last_ts) {
+      add_error(v, at + ": timestamps not monotone (" +
+                       std::to_string(ts->number) + " after " +
+                       std::to_string(last_ts) + ")");
+    }
+    last_ts = ts->number;
+    have_ts = true;
+
+    auto& stack = stacks[{pid->number, tid->number}];
+    switch (kind) {
+      case 'B': {
+        if (name == nullptr || name->kind != JValue::Kind::kString) {
+          add_error(v, at + ": B event without name");
+          break;
+        }
+        stack.push_back(name->string);
+        break;
+      }
+      case 'E': {
+        if (stack.empty()) {
+          add_error(v, at + ": E event with no open span");
+          break;
+        }
+        if (name != nullptr && name->kind == JValue::Kind::kString &&
+            name->string != stack.back()) {
+          add_error(v, at + ": E event '" + name->string +
+                           "' does not match open span '" + stack.back() +
+                           "'");
+        }
+        stack.pop_back();
+        break;
+      }
+      case 'X': {
+        const JValue* dur = e.member("dur");
+        if (dur == nullptr || dur->kind != JValue::Kind::kNumber ||
+            dur->number < 0) {
+          add_error(v, at + ": X event without non-negative dur");
+        }
+        break;
+      }
+      case 'i':
+        break;
+      default:
+        add_error(v, at + ": unknown ph '" + ph->string + "'");
+        break;
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    if (!stack.empty()) {
+      add_error(v, "tid " + std::to_string(key.second) + ": " +
+                       std::to_string(stack.size()) +
+                       " unmatched begin event(s), innermost '" +
+                       stack.back() + "'");
+    }
+  }
+  v.ok = v.errors.empty();
+  return v;
+}
+
+}  // namespace dstage::obs

@@ -1,0 +1,37 @@
+// Chrome trace-event exporter and validator. chrome_trace_json() renders a
+// SpanTracer as the JSON Object Format consumed by Perfetto and
+// chrome://tracing: one process ("dstage"), one named thread track per
+// component/server/workflow track, "B"/"E" duration events for spans and
+// "i" instant events for point records, all in microseconds of virtual
+// time and sorted by timestamp.
+//
+// validate_chrome_trace() is the independent check the CI smoke step runs
+// on the exported file: it re-parses the JSON text with its own minimal
+// parser (no shared code with the writer) and verifies well-formedness,
+// globally monotone timestamps, and per-track begin/end matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "util/json.hpp"
+
+namespace dstage::obs {
+
+/// Render the tracer's spans and instants as a trace-event document.
+/// Every span must be closed (SpanTracer::end_all() at teardown
+/// guarantees this for crashed activities).
+[[nodiscard]] Json chrome_trace_json(const SpanTracer& tracer);
+
+struct TraceValidation {
+  bool ok = false;
+  std::size_t events = 0;
+  std::vector<std::string> errors;
+};
+
+/// Re-parse and check an exported trace-event JSON text. Errors are
+/// human-readable and bounded (first 16).
+[[nodiscard]] TraceValidation validate_chrome_trace(const std::string& text);
+
+}  // namespace dstage::obs

@@ -1,0 +1,28 @@
+// Observability gates. ObsConfig is the runtime switch carried by
+// WorkflowSpec; compiled_in() is the compile-time switch (CMake option
+// DSTAGE_OBS, which defines DSTAGE_OBS_OFF when disabled). With either
+// gate off the Runtime allocates no Observability object, records no
+// spans, fires no GC/log trace hooks, and every run is byte-identical —
+// trace digests included — to an uninstrumented build.
+#pragma once
+
+namespace dstage::obs {
+
+struct ObsConfig {
+  /// Master switch. Off by default so golden-trace digests, the
+  /// consistency oracle, and the failure campaign see exactly the
+  /// pre-observability event stream.
+  bool enabled = false;
+};
+
+/// Compile-time gate; the runtime consults this before honoring
+/// ObsConfig::enabled.
+constexpr bool compiled_in() {
+#ifdef DSTAGE_OBS_OFF
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace dstage::obs

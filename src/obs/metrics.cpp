@@ -1,0 +1,74 @@
+#include "obs/metrics.hpp"
+
+namespace dstage::obs {
+
+namespace {
+
+std::string key_str(const MetricKey& k) {
+  return k.label.empty() ? k.name : k.name + "{" + k.label + "}";
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string name, std::string label) {
+  std::lock_guard lock(mu_);
+  return counters_[MetricKey{std::move(name), std::move(label)}];
+}
+
+Gauge& MetricsRegistry::gauge(std::string name, std::string label) {
+  std::lock_guard lock(mu_);
+  return gauges_[MetricKey{std::move(name), std::move(label)}];
+}
+
+Histogram& MetricsRegistry::histogram(std::string name, std::string label) {
+  std::lock_guard lock(mu_);
+  return histograms_[MetricKey{std::move(name), std::move(label)}];
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // `other` must be quiescent (its run has finished); lock only ourselves
+  // so concurrent workers can merge into one aggregate.
+  std::lock_guard lock(mu_);
+  for (const auto& [k, c] : other.counters_) counters_[k].merge(c);
+  for (const auto& [k, g] : other.gauges_) gauges_[k].merge(g);
+  for (const auto& [k, h] : other.histograms_) histograms_[k].merge(h);
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard lock(mu_);
+  Json j = Json::object();
+  if (!counters_.empty()) {
+    Json c = Json::object();
+    for (const auto& [k, v] : counters_) c.set(key_str(k), v.value());
+    j.set("counters", std::move(c));
+  }
+  if (!gauges_.empty()) {
+    Json g = Json::object();
+    for (const auto& [k, v] : gauges_) g.set(key_str(k), v.value());
+    j.set("gauges", std::move(g));
+  }
+  if (!histograms_.empty()) {
+    Json h = Json::object();
+    for (const auto& [k, v] : histograms_) {
+      const SampleSet& s = v.samples();
+      Json d = Json::object();
+      d.set("count", static_cast<std::uint64_t>(s.count()));
+      d.set("mean", s.mean());
+      d.set("min", s.percentile(0));
+      d.set("max", s.percentile(100));
+      d.set("p50", s.percentile(50));
+      d.set("p95", s.percentile(95));
+      d.set("p99", s.percentile(99));
+      h.set(key_str(k), std::move(d));
+    }
+    j.set("histograms", std::move(h));
+  }
+  return j;
+}
+
+}  // namespace dstage::obs

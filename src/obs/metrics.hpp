@@ -1,0 +1,115 @@
+// Labeled metrics registry. Every instrumented layer (staging servers, the
+// net fabric, GC, the resilience encoder, scheme policies, the recovery
+// pipeline) registers counters, gauges, and sample histograms here via
+// RuntimeServices. One registry belongs to one run; a multi-seed sweep
+// aggregates per-run registries into a shared one with merge(), which is
+// commutative (counter sums, gauge maxima, order-insensitive histogram
+// stats), so a parallel sweep's aggregate equals a serial one's exactly.
+//
+// Thread-safety contract: handle mutation (Counter::inc and friends) is
+// single-threaded — each run's simulation engine is single-threaded, and
+// runs never share a registry. Registry-level operations (counter()/
+// gauge()/histogram() lookup, merge(), to_json()) are mutex-guarded so a
+// shared *aggregate* registry may be fed concurrently from sweep workers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace dstage::obs {
+
+/// Metric identity: a name plus an optional label (typically the component
+/// or staging-server track the sample came from).
+struct MetricKey {
+  std::string name;
+  std::string label;
+  auto operator<=>(const MetricKey&) const = default;
+};
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  /// Cross-run aggregation: counts add.
+  void merge(const Counter& other) { value_ += other.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level. Merging keeps the maximum, so an aggregated gauge
+/// reads as the high-water mark over the merged runs — the only
+/// order-insensitive (hence sweep-deterministic) combination.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = set_ ? std::max(value_, v) : v;
+    last_ = v;
+    set_ = true;
+  }
+  [[nodiscard]] double value() const { return value_; }  // high-water
+  [[nodiscard]] double last() const { return last_; }
+  void merge(const Gauge& other) {
+    if (!other.set_) return;
+    set(other.value_);
+    last_ = other.last_;
+  }
+
+ private:
+  double value_ = 0;
+  double last_ = 0;
+  bool set_ = false;
+};
+
+/// Retained-sample distribution (p50/p95/p99 and friends); wraps the
+/// util/stats SampleSet accumulator.
+class Histogram {
+ public:
+  void observe(double x) { samples_.add(x); }
+  [[nodiscard]] const SampleSet& samples() const { return samples_; }
+  void merge(const Histogram& other) { samples_.merge(other.samples_); }
+
+ private:
+  SampleSet samples_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Returned references are stable for the registry's
+  /// lifetime (std::map node stability); mutate them only from the run's
+  /// own (single) engine thread.
+  Counter& counter(std::string name, std::string label = {});
+  Gauge& gauge(std::string name, std::string label = {});
+  Histogram& histogram(std::string name, std::string label = {});
+
+  /// Fold another (quiescent) registry into this one. Thread-safe on the
+  /// destination and commutative, so sweep workers may merge their
+  /// finished runs in any order with identical results.
+  void merge(const MetricsRegistry& other);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Deterministic snapshot: keys sorted (map order), histograms reduced
+  /// to order-insensitive stats (count/mean/min/max/p50/p95/p99).
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<MetricKey, Counter> counters_;
+  std::map<MetricKey, Gauge> gauges_;
+  std::map<MetricKey, Histogram> histograms_;
+};
+
+}  // namespace dstage::obs

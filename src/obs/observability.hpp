@@ -1,0 +1,27 @@
+// Per-run observability bundle: one MetricsRegistry plus one SpanTracer,
+// owned by the Runtime and handed to every layer through RuntimeServices
+// (or, for the staging servers, a set_obs() call at assembly time). The
+// object only exists when ObsConfig::enabled is set on a build with
+// observability compiled in; a null pointer is the disabled state, so the
+// hot path pays a single pointer test.
+#pragma once
+
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace dstage::obs {
+
+class Observability {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] SpanTracer& tracer() { return tracer_; }
+  [[nodiscard]] const SpanTracer& tracer() const { return tracer_; }
+
+ private:
+  MetricsRegistry metrics_;
+  SpanTracer tracer_;
+};
+
+}  // namespace dstage::obs

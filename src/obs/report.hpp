@@ -1,0 +1,71 @@
+// Fig. 9(e)-style execution-time breakdown and recovery critical path,
+// derived from the span stream.
+//
+// Attribution rule: at every instant the time of a track is charged to the
+// phase of the innermost open span (a "gc sweep" child inside a
+// "checkpoint" request charges checkpoint time to the child's phase while
+// it is open). Arithmetic is integer nanoseconds end to end, so the phase
+// columns of one track sum to that track's completion time *exactly*; the
+// gap no span covers is reported as "other". The 1e-9 s acceptance bound
+// in the report tooling is therefore conservative, not load-bearing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "util/json.hpp"
+
+namespace dstage::obs {
+
+constexpr std::size_t kPhaseCount = 7;  // matches enum class Phase
+
+/// Per-track phase totals, in nanoseconds of virtual time.
+struct TrackBreakdown {
+  std::string track;
+  std::array<std::int64_t, kPhaseCount> phase_ns{};
+  std::int64_t total_ns = 0;  // first span begin -> last span end
+
+  [[nodiscard]] std::int64_t phase(Phase p) const {
+    return phase_ns[static_cast<std::size_t>(p)];
+  }
+  /// Sum of all phase columns (== total_ns by construction).
+  [[nodiscard]] std::int64_t attributed_ns() const;
+};
+
+struct Breakdown {
+  std::vector<TrackBreakdown> tracks;  // first-appearance order
+  /// Wall-clock of the whole run in virtual time: max end over all spans.
+  std::int64_t span_horizon_ns = 0;
+};
+
+/// Walk the span stream and attribute every track's time to phases.
+[[nodiscard]] Breakdown phase_breakdown(const SpanTracer& tracer);
+
+/// Render the breakdown as a fixed-width table (seconds, 3 decimals).
+void print_breakdown(std::ostream& os, const Breakdown& b);
+
+[[nodiscard]] Json breakdown_to_json(const Breakdown& b);
+
+/// One node of a recovery critical-path tree.
+struct PathNode {
+  const Span* span = nullptr;
+  std::vector<PathNode> children;  // begin order
+  bool on_critical_path = false;   // member of the longest root-to-leaf chain
+};
+
+/// Recovery trees: one per root span named "recovery" (parent == 0), in
+/// begin order. Children are linked via Span::parent; the longest
+/// root-to-leaf chain (by child duration) is flagged.
+[[nodiscard]] std::vector<PathNode> recovery_paths(const SpanTracer& tracer);
+
+/// Render one tree, e.g.:
+///   recovery [app1] 12.400s  (critical path: detect -> restore)
+///     ├─ detect   0.500s  *
+///     └─ restore 10.000s  *
+void print_recovery_tree(std::ostream& os, const PathNode& root);
+
+}  // namespace dstage::obs

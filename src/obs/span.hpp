@@ -1,0 +1,99 @@
+// Causal span tracing over virtual time. A span is an interval on a named
+// track (one track per application component, staging server, or the
+// "workflow" itself) with an optional parent span, so a recovery's critical
+// path — detect → ULFM → restore → replay — is reconstructable as a tree.
+// Span ids are assigned in begin() order; since the simulation engine is
+// single-threaded and deterministic, the whole span stream is a pure
+// function of the WorkflowSpec, exactly like the core Trace.
+//
+// Recording never consumes virtual time, so enabling the tracer cannot
+// perturb a run's timing, metrics, or trace digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dstage::obs {
+
+/// Span identifier; 0 means "no span" (and "no parent").
+using SpanId = std::uint64_t;
+
+/// Execution-time phase a span's duration is attributed to in the
+/// Fig. 9(e)-style breakdown. kOther covers intervals no phase claims
+/// (coupling waits, request service on server tracks, ...).
+enum class Phase {
+  kOther,
+  kRead,
+  kCompute,
+  kWrite,
+  kCheckpoint,
+  kRestart,  // failure detection + ULFM + state restore (+ failover)
+  kReplay,   // staging re-attach + log replay
+};
+
+const char* phase_name(Phase p);
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string track;
+  std::string name;
+  Phase phase = Phase::kOther;
+  sim::TimePoint start{};
+  sim::TimePoint end{};
+  std::int64_t value = 0;  // event-specific detail (timestep, bytes, ...)
+  bool open = true;
+
+  [[nodiscard]] sim::Duration duration() const { return end - start; }
+};
+
+/// Point event on a track (failures, watermark advances, ...).
+struct Instant {
+  std::string track;
+  std::string name;
+  sim::TimePoint at{};
+  std::int64_t value = 0;
+};
+
+class SpanTracer {
+ public:
+  /// Open a span. `parent` links causally (0 for a root span).
+  SpanId begin(std::string track, std::string name, Phase phase,
+               sim::TimePoint at, SpanId parent = 0, std::int64_t value = 0);
+
+  /// Close a span. Ignores id 0 and already-closed spans, so callers can
+  /// close unconditionally on every exit path.
+  void end(SpanId id, sim::TimePoint at);
+
+  void instant(std::string track, std::string name, sim::TimePoint at,
+               std::int64_t value = 0);
+
+  /// Close every open span on `track` at `at`, innermost (most recently
+  /// begun) first — used when a virtual process is killed mid-activity so
+  /// exported begin/end pairs stay matched.
+  void end_open_for_track(const std::string& track, sim::TimePoint at);
+
+  /// Close every open span (run teardown safety net).
+  void end_all(sim::TimePoint at);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<Instant>& instants() const {
+    return instants_;
+  }
+  [[nodiscard]] const Span* find(SpanId id) const;
+  [[nodiscard]] std::vector<const Span*> children_of(SpanId id) const;
+  [[nodiscard]] std::size_t open_count() const;
+
+  /// Track names in first-appearance order (stable tid assignment for the
+  /// Chrome trace export).
+  [[nodiscard]] std::vector<std::string> tracks() const;
+
+ private:
+  std::vector<Span> spans_;  // spans_[id - 1] is span `id`
+  std::vector<Instant> instants_;
+};
+
+}  // namespace dstage::obs

@@ -93,6 +93,17 @@ sim::Task<void> StagingServer::run() {
 }
 
 sim::Task<void> StagingServer::handle(Request request) {
+  static constexpr const char* kRequestName[] = {
+      "put",           "get",           "checkpoint",  "recovery",
+      "rollback",      "fragment_put",  "fragment_prune",
+      "queue_backup",  "recovery_pull", "query"};
+  if (obs_ != nullptr) {
+    const std::size_t idx = std::min<std::size_t>(request.index(), 9);
+    current_request_span_ =
+        obs_->tracer().begin(obs_track_, kRequestName[idx], obs::Phase::kOther,
+                             cluster_->engine().now());
+    obs_->metrics().counter("staging.requests", obs_track_).inc();
+  }
   switch (request.index()) {
     case 0:
       co_await handle_put(std::get<0>(std::move(request)));
@@ -124,6 +135,10 @@ sim::Task<void> StagingServer::handle(Request request) {
     default:
       co_await handle_query(std::get<9>(std::move(request)));
       break;
+  }
+  if (obs_ != nullptr) {
+    obs_->tracer().end(current_request_span_, cluster_->engine().now());
+    current_request_span_ = 0;
   }
 }
 
@@ -347,6 +362,16 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
   co_await c.delay(params_.request_overhead);
   ++stats_.checkpoints;
 
+  // Watermark diffing for the observability hooks: snapshot before the
+  // checkpoint is applied, compare after. Skipped entirely when no hook is
+  // installed, so uninstrumented runs pay nothing.
+  std::vector<std::pair<std::string, Version>> pre_watermarks;
+  if (obs_hooks_.gc_watermark_advance && ev.durable) {
+    for (const std::string& var : gc_.variables()) {
+      pre_watermarks.emplace_back(var, gc_.watermark(var));
+    }
+  }
+
   CheckpointAck ack;
   ack.chk_id = next_chk_id_++;
   // Only durable checkpoints move the watermark: a non-durable level
@@ -354,6 +379,11 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
   // falls back to the last durable checkpoint and must still be able to
   // replay every logged version above it.
   if (ev.durable) gc_.on_checkpoint(ev.app, ev.version);
+
+  for (const auto& [var, from] : pre_watermarks) {
+    const Version to = gc_.watermark(var);
+    if (to > from) obs_hooks_.gc_watermark_advance(var, from, to);
+  }
 
   if (params_.logging) {
     auto& q = queues_[ev.app];
@@ -365,14 +395,36 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
     // recorded for every level — it anchors the replay script for a
     // restart from this checkpoint — but payload reclamation below only
     // runs when the watermark may actually have advanced.
-    q.truncate_before_last_checkpoint();
+    const std::size_t events_dropped = q.truncate_before_last_checkpoint();
+    if (obs_hooks_.log_truncate) {
+      obs_hooks_.log_truncate(ev.app, ev.version, events_dropped);
+    }
   }
   if (params_.logging && ev.durable) {
+    obs::SpanId sweep_span = 0;
+    if (obs_ != nullptr) {
+      sweep_span = obs_->tracer().begin(
+          obs_track_, "gc sweep", obs::Phase::kOther,
+          cluster_->engine().now(), current_request_span_);
+    }
     const gc::SweepResult sweep = gc_.sweep(dlog_);
     stats_.gc_versions_dropped += sweep.versions_dropped;
     stats_.gc_nominal_freed += sweep.nominal_freed;
     co_await c.delay(params_.gc_cost_per_entry *
                      static_cast<std::int64_t>(sweep.entries_scanned + 1));
+    if (obs_ != nullptr) {
+      obs_->tracer().end(sweep_span, cluster_->engine().now());
+      obs_->metrics()
+          .counter("gc.versions_dropped", obs_track_)
+          .inc(sweep.versions_dropped);
+      obs_->metrics()
+          .counter("gc.nominal_freed_bytes", obs_track_)
+          .inc(sweep.nominal_freed);
+    }
+    if (obs_hooks_.gc_sweep) {
+      obs_hooks_.gc_sweep(ev.version, sweep.versions_dropped,
+                          sweep.nominal_freed, sweep.entries_scanned);
+    }
     // Peers can reclaim fragments that neither the log's retention nor the
     // base store's window still needs.
     if (params_.policy.kind != resilience::Redundancy::kNone &&

@@ -14,6 +14,7 @@
 
 #include "cluster/cluster.hpp"
 #include "gc/garbage_collector.hpp"
+#include "obs/observability.hpp"
 #include "resilience/policy.hpp"
 #include "staging/object_store.hpp"
 #include "staging/types.hpp"
@@ -123,6 +124,30 @@ class StagingServer {
   /// gc::GarbageCollector::set_watermark_bias).
   void set_gc_watermark_bias(Version bias) { gc_.set_watermark_bias(bias); }
 
+  /// Observability callbacks surfacing staging-internal events (GC sweeps,
+  /// watermark advances, metadata-log truncation) to whoever owns the
+  /// workflow trace. Installed by the core Runtime when observability is
+  /// on; firing them costs no virtual time. Any member may be null.
+  struct ObsHooks {
+    std::function<void(Version ckpt_version, std::size_t versions_dropped,
+                       std::uint64_t nominal_freed,
+                       std::size_t entries_scanned)>
+        gc_sweep;
+    std::function<void(const std::string& var, Version from, Version to)>
+        gc_watermark_advance;
+    std::function<void(AppId app, Version ckpt_version,
+                       std::size_t events_dropped)>
+        log_truncate;
+  };
+  void set_obs_hooks(ObsHooks hooks) { obs_hooks_ = std::move(hooks); }
+
+  /// Attach the run's observability bundle (null = off). `track` names
+  /// this server's span track ("staging-N").
+  void set_obs(obs::Observability* obs, std::string track) {
+    obs_ = obs;
+    obs_track_ = std::move(track);
+  }
+
   [[nodiscard]] cluster::VprocId vproc() const { return vproc_; }
   [[nodiscard]] net::EndpointId endpoint() const;
   [[nodiscard]] const ObjectStore& store() const { return store_; }
@@ -200,6 +225,12 @@ class StagingServer {
   double byte_seconds_ = 0;
   sim::TimePoint last_sample_{};
   std::uint64_t last_total_ = 0;
+  // Observability (null/empty = off). Requests are handled sequentially,
+  // so one "current request" span id suffices for parenting child spans.
+  obs::Observability* obs_ = nullptr;
+  std::string obs_track_;
+  ObsHooks obs_hooks_;
+  obs::SpanId current_request_span_ = 0;
 };
 
 }  // namespace dstage::staging

@@ -32,6 +32,7 @@ class Json {
   /// Array element.
   Json& push(Json value);
 
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
   [[nodiscard]] std::size_t size() const {

@@ -52,6 +52,10 @@ void SampleSet::ensure_sorted() const {
 }
 
 double SampleSet::sum() const {
+  // Accumulate in sorted order so the result is a function of the sample
+  // multiset, not of insertion order — merge() stays commutative down to
+  // the last ulp (cross-thread sweep aggregates must be bit-identical).
+  ensure_sorted();
   double s = 0;
   for (double x : samples_) s += x;
   return s;
@@ -71,6 +75,12 @@ double SampleSet::percentile(double p) const {
   const double frac = rank - static_cast<double>(lo);
   if (lo + 1 >= samples_.size()) return samples_.back();
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
 }
 
 void Watermark::add(std::int64_t delta) {

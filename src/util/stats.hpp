@@ -36,12 +36,21 @@ class RunningStats {
 /// (e.g. per-put response under contention).
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;  // a percentile() call may have sorted the prefix
+  }
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// Sum over the *sorted* samples — order-insensitive like percentile().
   [[nodiscard]] double sum() const;
   [[nodiscard]] double mean() const;
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile on an (n - 1) rank basis, p clamped to
+  /// [0, 100]. Empty set reads 0.0; a single sample is every percentile.
   [[nodiscard]] double percentile(double p) const;
+  /// Concatenate another set's samples (cross-thread sweep aggregation).
+  /// Percentiles of the merged set are order-insensitive, so merging runs
+  /// in any order yields identical stats.
+  void merge(const SampleSet& other);
 
  private:
   mutable std::vector<double> samples_;

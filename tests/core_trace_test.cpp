@@ -49,11 +49,38 @@ TEST(TraceTest, CsvRoundTripShape) {
 
 TEST(TraceTest, KindNamesAreUnique) {
   std::set<std::string> names;
-  for (int k = 0; k <= static_cast<int>(TraceKind::kReplayDone); ++k) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kLogTruncate); ++k) {
     names.insert(trace_kind_name(static_cast<TraceKind>(k)));
   }
   EXPECT_EQ(names.size(),
-            static_cast<std::size_t>(TraceKind::kReplayDone) + 1);
+            static_cast<std::size_t>(TraceKind::kLogTruncate) + 1);
+}
+
+TEST(TraceTest, ViewsAreLazyAndIterable) {
+  Trace t;
+  t.record(sim::TimePoint{} + sim::seconds(1), TraceKind::kGcSweep, "s0", 4,
+           100);
+  t.record(sim::TimePoint{} + sim::seconds(2), TraceKind::kGcWatermarkAdvance,
+           "s0/field", 0, 4);
+  t.record(sim::TimePoint{} + sim::seconds(3), TraceKind::kGcSweep, "s1", 4,
+           200);
+
+  // Range-for over a filtered view visits matching events in trace order.
+  std::int64_t reclaimed = 0;
+  for (const TraceEvent& e : t.of_kind(TraceKind::kGcSweep)) {
+    reclaimed += e.value;
+  }
+  EXPECT_EQ(reclaimed, 300);
+
+  const TraceView sweeps = t.of_kind(TraceKind::kGcSweep);
+  EXPECT_EQ(sweeps.size(), 2u);
+  EXPECT_EQ(sweeps.front().component, "s0");
+  EXPECT_EQ(sweeps.back().component, "s1");
+  EXPECT_EQ(sweeps[1].value, 200);
+
+  EXPECT_TRUE(t.of_kind(TraceKind::kLogTruncate).empty());
+  EXPECT_TRUE(t.of_component("nope").empty());
+  EXPECT_EQ(t.of_component("s0/field").size(), 1u);
 }
 
 WorkflowSpec spec_for_trace(int failures, std::uint64_t seed) {

@@ -1,0 +1,178 @@
+// End-to-end tests of the observability layer threaded through the
+// runtime: zero perturbation when enabled, staging-internal trace kinds
+// gated on ObsConfig, breakdown/critical-path reporting on a real failure
+// run, Chrome export validity, and sweep aggregation determinism.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+#include "core/sweep.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+
+namespace dstage::core {
+namespace {
+
+WorkflowSpec small_spec(Scheme scheme, int failures, std::uint64_t seed,
+                        bool obs_on) {
+  WorkflowSpec spec = table2_setup(scheme);
+  spec.total_ts = 10;
+  spec.failures.count = failures;
+  spec.failures.seed = seed;
+  spec.obs.enabled = obs_on;
+  return spec;
+}
+
+bool is_obs_kind(TraceKind k) {
+  return k == TraceKind::kGcSweep || k == TraceKind::kGcWatermarkAdvance ||
+         k == TraceKind::kLogTruncate;
+}
+
+TEST(ObsRuntimeTest, DisabledByDefault) {
+  WorkflowRunner runner(small_spec(Scheme::kUncoordinated, 0, 1, false));
+  runner.run();
+  EXPECT_EQ(runner.runtime().obs(), nullptr);
+  for (const TraceEvent& e : runner.trace().events()) {
+    EXPECT_FALSE(is_obs_kind(e.kind)) << trace_kind_name(e.kind);
+  }
+}
+
+TEST(ObsRuntimeTest, EnablingObsDoesNotPerturbTheRun) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with DSTAGE_OBS=OFF";
+  WorkflowRunner off(small_spec(Scheme::kUncoordinated, 1, 6, false));
+  WorkflowRunner on(small_spec(Scheme::kUncoordinated, 1, 6, true));
+  const RunMetrics m_off = off.run();
+  const RunMetrics m_on = on.run();
+
+  // Identical timing and staging behaviour...
+  EXPECT_EQ(m_on.total_time_s, m_off.total_time_s);
+  EXPECT_EQ(m_on.staging.puts, m_off.staging.puts);
+  EXPECT_EQ(m_on.events_processed, m_off.events_processed);
+  // ...and the workflow-level event stream is identical once the
+  // obs-gated staging-internal kinds are filtered out.
+  std::vector<const TraceEvent*> a, b;
+  for (const TraceEvent& e : off.trace().events()) a.push_back(&e);
+  for (const TraceEvent& e : on.trace().events()) {
+    if (!is_obs_kind(e.kind)) b.push_back(&e);
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->at.ns, b[i]->at.ns);
+    EXPECT_EQ(a[i]->kind, b[i]->kind);
+    EXPECT_EQ(a[i]->component, b[i]->component);
+    EXPECT_EQ(a[i]->value, b[i]->value);
+  }
+}
+
+TEST(ObsRuntimeTest, GcKindsRecordedOnlyWhenEnabled) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with DSTAGE_OBS=OFF";
+  // Uncoordinated logging + periodic durable checkpoints exercise the GC:
+  // watermarks advance and sweeps run on every checkpoint.
+  WorkflowRunner on(small_spec(Scheme::kUncoordinated, 0, 1, true));
+  on.run();
+  EXPECT_FALSE(on.trace().of_kind(TraceKind::kGcWatermarkAdvance).empty());
+  EXPECT_FALSE(on.trace().of_kind(TraceKind::kGcSweep).empty());
+
+  obs::Observability* o = on.runtime().obs();
+  ASSERT_NE(o, nullptr);
+  // Per-server counters agree with the trace (counter() is find-or-create,
+  // so a non-const registry handle is needed even to read).
+  std::uint64_t advances = 0, sweeps = 0;
+  for (int s = 0; s < on.runtime().server_count(); ++s) {
+    const std::string label = "staging-" + std::to_string(s);
+    advances += o->metrics().counter("gc.watermark_advances", label).value();
+    sweeps += o->metrics().counter("gc.sweeps", label).value();
+  }
+  EXPECT_EQ(advances, on.trace().of_kind(TraceKind::kGcWatermarkAdvance).size());
+  EXPECT_EQ(sweeps, on.trace().of_kind(TraceKind::kGcSweep).size());
+}
+
+TEST(ObsRuntimeTest, CoordinatedFailureBreakdownAndCriticalPath) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with DSTAGE_OBS=OFF";
+  WorkflowRunner runner(small_spec(Scheme::kCoordinated, 1, 6, true));
+  const RunMetrics m = runner.run();
+  ASSERT_EQ(m.failures_injected, 1);
+  const obs::Observability* o = runner.runtime().obs();
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->tracer().open_count(), 0u);  // finalize closed everything
+
+  // Acceptance: per-phase breakdown whose phase columns sum to the track
+  // total within 1e-9 s (exact in integer ns, in fact).
+  const obs::Breakdown b = obs::phase_breakdown(o->tracer());
+  ASSERT_FALSE(b.tracks.empty());
+  bool saw_restart = false;
+  for (const auto& t : b.tracks) {
+    EXPECT_EQ(t.attributed_ns(), t.total_ns) << t.track;
+    saw_restart = saw_restart || t.phase(obs::Phase::kRestart) > 0;
+  }
+  EXPECT_TRUE(saw_restart);  // the recovery shows up as restart time
+
+  // Acceptance: a reconstructable recovery tree with the detect -> ...
+  // stages as children, critical path marked.
+  const auto recoveries = obs::recovery_paths(o->tracer());
+  ASSERT_EQ(recoveries.size(), 1u);
+  const obs::PathNode& root = recoveries[0];
+  EXPECT_FALSE(root.children.empty());
+  bool saw_detect = false, critical = false;
+  for (const auto& c : root.children) {
+    saw_detect = saw_detect || c.span->name == "detect";
+    critical = critical || c.on_critical_path;
+  }
+  EXPECT_TRUE(saw_detect);
+  EXPECT_TRUE(critical);
+
+  // Acceptance: the exported Chrome trace passes the independent validator.
+  const obs::TraceValidation v =
+      obs::validate_chrome_trace(obs::chrome_trace_json(o->tracer()).str());
+  EXPECT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors[0]);
+  EXPECT_GT(v.events, 0u);
+}
+
+TEST(ObsRuntimeTest, KilledProcessSpansStayMatchedInExport) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with DSTAGE_OBS=OFF";
+  // Node-level failures under Hybrid kill several processes mid-activity;
+  // every span must still export as a matched begin/end pair.
+  WorkflowSpec spec = small_spec(Scheme::kHybrid, 2, 3, true);
+  spec.failures.node_failure_fraction = 1.0;
+  WorkflowRunner runner(spec);
+  runner.run();
+  const obs::Observability* o = runner.runtime().obs();
+  ASSERT_NE(o, nullptr);
+  const obs::TraceValidation v =
+      obs::validate_chrome_trace(obs::chrome_trace_json(o->tracer()).str());
+  EXPECT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors[0]);
+}
+
+// Satellite acceptance: metrics collected under an N-thread sweep equal a
+// serial collection exactly — same runs, same aggregate, any thread count.
+TEST(ObsRuntimeTest, ParallelSweepAggregateEqualsSerial) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with DSTAGE_OBS=OFF";
+  auto make = [](std::uint64_t seed) {
+    return small_spec(Scheme::kUncoordinated, 1, seed, true);
+  };
+  obs::MetricsRegistry serial, parallel;
+  SweepOptions so;
+  so.threads = 1;
+  so.metrics = &serial;
+  const auto runs_serial = run_seed_sweep(make, 6, so);
+  SweepOptions po;
+  po.threads = 4;
+  po.metrics = &parallel;
+  const auto runs_parallel = run_seed_sweep(make, 6, po);
+
+  EXPECT_EQ(serial.to_json().str(), parallel.to_json().str());
+  ASSERT_EQ(runs_serial.size(), runs_parallel.size());
+  for (std::size_t i = 0; i < runs_serial.size(); ++i) {
+    EXPECT_EQ(runs_serial[i].trace_digest, runs_parallel[i].trace_digest);
+    // Each run also carries its own obs snapshot in the sweep result.
+    EXPECT_FALSE(runs_serial[i].obs.is_null());
+    EXPECT_EQ(runs_serial[i].obs.str(), runs_parallel[i].obs.str());
+  }
+}
+
+}  // namespace
+}  // namespace dstage::core

@@ -1,0 +1,177 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+
+namespace dstage::obs {
+namespace {
+
+sim::TimePoint at(double s) {
+  return sim::TimePoint{} + sim::Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+TEST(SpanTracerTest, BeginEndAndCausalLinks) {
+  SpanTracer t;
+  const SpanId root = t.begin("app", "recovery", Phase::kRestart, at(1));
+  const SpanId child =
+      t.begin("app", "detect", Phase::kRestart, at(1), root, 7);
+  t.end(child, at(2));
+  t.end(root, at(4));
+
+  ASSERT_EQ(t.spans().size(), 2u);
+  const Span* r = t.find(root);
+  const Span* c = t.find(child);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(r->parent, 0u);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(c->value, 7);
+  EXPECT_FALSE(r->open);
+  EXPECT_EQ(r->duration().ns, sim::seconds(3).ns);
+  ASSERT_EQ(t.children_of(root).size(), 1u);
+  EXPECT_EQ(t.children_of(root)[0]->id, child);
+}
+
+TEST(SpanTracerTest, EndIsIdempotentAndIgnoresZero) {
+  SpanTracer t;
+  const SpanId s = t.begin("a", "x", Phase::kCompute, at(0));
+  t.end(0, at(1));  // no-op
+  t.end(s, at(1));
+  t.end(s, at(5));  // already closed: keeps the first end
+  EXPECT_EQ(t.find(s)->end.ns, at(1).ns);
+  EXPECT_EQ(t.open_count(), 0u);
+}
+
+TEST(SpanTracerTest, EndOpenForTrackClosesInnermostFirst) {
+  SpanTracer t;
+  const SpanId outer = t.begin("app", "request", Phase::kOther, at(0));
+  const SpanId inner =
+      t.begin("app", "gc sweep", Phase::kCheckpoint, at(1), outer);
+  const SpanId other = t.begin("elsewhere", "compute", Phase::kCompute, at(0));
+  t.end_open_for_track("app", at(3));
+  EXPECT_FALSE(t.find(outer)->open);
+  EXPECT_FALSE(t.find(inner)->open);
+  EXPECT_TRUE(t.find(other)->open);  // other tracks untouched
+  t.end_all(at(9));
+  EXPECT_EQ(t.open_count(), 0u);
+  EXPECT_EQ(t.find(other)->end.ns, at(9).ns);
+}
+
+TEST(SpanTracerTest, TracksInFirstAppearanceOrder) {
+  SpanTracer t;
+  t.begin("b", "x", Phase::kOther, at(0));
+  t.begin("a", "y", Phase::kOther, at(1));
+  t.instant("c", "failure", at(2));
+  t.begin("b", "z", Phase::kOther, at(3));
+  const auto tracks = t.tracks();
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[0], "b");
+  EXPECT_EQ(tracks[1], "a");
+  EXPECT_EQ(tracks[2], "c");
+}
+
+TEST(ChromeTraceTest, ExportPassesIndependentValidator) {
+  SpanTracer t;
+  const SpanId ts = t.begin("sim", "timestep", Phase::kOther, at(0));
+  const SpanId rd = t.begin("sim", "read", Phase::kRead, at(0), ts);
+  t.end(rd, at(1));
+  const SpanId wr = t.begin("sim", "write", Phase::kWrite, at(1), ts);
+  t.end(wr, at(2));
+  t.end(ts, at(2));
+  t.instant("sim", "failure", at(2), 1);
+  t.begin("staging-0", "put", Phase::kOther, at(0.5));
+  t.end_all(at(3));
+
+  const std::string text = chrome_trace_json(t).str();
+  const TraceValidation v = validate_chrome_trace(text);
+  EXPECT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors[0]);
+  // 6 B/E pairs? 4 spans -> 8 B/E + 1 instant + 2 thread_name metadata.
+  EXPECT_EQ(v.events, 4u * 2 + 1 + 2);
+}
+
+TEST(ChromeTraceTest, ValidatorRejectsMalformedInput) {
+  EXPECT_FALSE(validate_chrome_trace("not json").ok);
+  EXPECT_FALSE(validate_chrome_trace("{\"traceEvents\": 3}").ok);
+  // Unbalanced begin/end on a track.
+  const std::string unbalanced =
+      "{\"traceEvents\":[{\"ph\":\"B\",\"name\":\"a\",\"pid\":0,\"tid\":0,"
+      "\"ts\":1}]}";
+  const TraceValidation v = validate_chrome_trace(unbalanced);
+  EXPECT_FALSE(v.ok);
+  // Non-monotone timestamps.
+  const std::string backwards =
+      "{\"traceEvents\":["
+      "{\"ph\":\"B\",\"name\":\"a\",\"pid\":0,\"tid\":0,\"ts\":5},"
+      "{\"ph\":\"E\",\"name\":\"a\",\"pid\":0,\"tid\":0,\"ts\":2}]}";
+  EXPECT_FALSE(validate_chrome_trace(backwards).ok);
+}
+
+TEST(ReportTest, BreakdownAttributesInnermostPhaseAndSumsExactly) {
+  SpanTracer t;
+  // Track "sim": [0,10) timestep(kOther) with read [0,2), compute [2,7),
+  // write [7,9); [9,10) falls back to the enclosing span's phase (kOther).
+  const SpanId ts = t.begin("sim", "timestep", Phase::kOther, at(0));
+  const SpanId rd = t.begin("sim", "read", Phase::kRead, at(0), ts);
+  t.end(rd, at(2));
+  const SpanId cp = t.begin("sim", "compute", Phase::kCompute, at(2), ts);
+  t.end(cp, at(7));
+  const SpanId wr = t.begin("sim", "write", Phase::kWrite, at(7), ts);
+  t.end(wr, at(9));
+  t.end(ts, at(10));
+
+  const Breakdown b = phase_breakdown(t);
+  ASSERT_EQ(b.tracks.size(), 1u);
+  const TrackBreakdown& sim = b.tracks[0];
+  EXPECT_EQ(sim.track, "sim");
+  EXPECT_EQ(sim.phase(Phase::kRead), sim::seconds(2).ns);
+  EXPECT_EQ(sim.phase(Phase::kCompute), sim::seconds(5).ns);
+  EXPECT_EQ(sim.phase(Phase::kWrite), sim::seconds(2).ns);
+  EXPECT_EQ(sim.phase(Phase::kOther), sim::seconds(1).ns);
+  EXPECT_EQ(sim.total_ns, sim::seconds(10).ns);
+  EXPECT_EQ(sim.attributed_ns(), sim.total_ns);  // exact, by construction
+  EXPECT_EQ(b.span_horizon_ns, sim::seconds(10).ns);
+}
+
+TEST(ReportTest, BreakdownChargesGapsToOther) {
+  SpanTracer t;
+  const SpanId a = t.begin("s", "a", Phase::kWrite, at(0));
+  t.end(a, at(1));
+  const SpanId c = t.begin("s", "b", Phase::kCheckpoint, at(3));
+  t.end(c, at(4));
+  const Breakdown b = phase_breakdown(t);
+  ASSERT_EQ(b.tracks.size(), 1u);
+  EXPECT_EQ(b.tracks[0].phase(Phase::kWrite), sim::seconds(1).ns);
+  EXPECT_EQ(b.tracks[0].phase(Phase::kCheckpoint), sim::seconds(1).ns);
+  EXPECT_EQ(b.tracks[0].phase(Phase::kOther), sim::seconds(2).ns);
+  EXPECT_EQ(b.tracks[0].attributed_ns(), b.tracks[0].total_ns);
+}
+
+TEST(ReportTest, RecoveryPathsMarkCriticalChain) {
+  SpanTracer t;
+  const SpanId root = t.begin("app", "recovery", Phase::kRestart, at(10));
+  const SpanId detect =
+      t.begin("app", "detect", Phase::kRestart, at(10), root);
+  t.end(detect, at(11));
+  const SpanId restore =
+      t.begin("app", "restore", Phase::kRestart, at(11), root);
+  t.end(restore, at(15));
+  const SpanId replay =
+      t.begin("app", "replay", Phase::kReplay, at(15), root);
+  t.end(replay, at(16));
+  t.end(root, at(16));
+
+  const auto roots = recovery_paths(t);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].span->id, root);
+  ASSERT_EQ(roots[0].children.size(), 3u);
+  // The longest child ("restore", 4 s) anchors the critical path.
+  EXPECT_TRUE(roots[0].children[1].on_critical_path);
+  EXPECT_EQ(roots[0].children[1].span->name, "restore");
+}
+
+}  // namespace
+}  // namespace dstage::obs

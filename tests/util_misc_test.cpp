@@ -131,6 +131,85 @@ TEST(SampleSetTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
+TEST(SampleSetTest, SingleSampleIsEveryPercentile) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleSetTest, PercentileArgumentIsClamped) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(250), 3.0);
+}
+
+TEST(SampleSetTest, AddAfterPercentileKeepsSamplesVisible) {
+  // Regression: add() must invalidate the sorted flag, otherwise samples
+  // appended after a percentile() call land in an "already sorted" vector
+  // and later percentile queries read a garbled order.
+  SampleSet s;
+  s.add(10.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);  // sorts {1, 10}
+  s.add(0.5);                                 // appended after the sort
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+  EXPECT_NEAR(s.percentile(50), 1.0, 1e-12);
+}
+
+TEST(SampleSetTest, LinearInterpolationOnRankBasis) {
+  // percentile(p) interpolates on the (n - 1) rank basis: with samples
+  // {0, 10, 20, 30}, rank = p/100 * 3, so p=25 -> 7.5 and p=90 -> 27.
+  SampleSet s;
+  for (double x : {30.0, 0.0, 20.0, 10.0}) s.add(x);
+  EXPECT_NEAR(s.percentile(25), 7.5, 1e-12);
+  EXPECT_NEAR(s.percentile(50), 15.0, 1e-12);
+  EXPECT_NEAR(s.percentile(90), 27.0, 1e-12);
+}
+
+TEST(SampleSetTest, PercentileIsOrderInsensitive) {
+  // Property: any insertion order of the same multiset yields identical
+  // percentiles, and every percentile lies within [min, max].
+  const double vals[] = {5, 1, 4, 1, 3, 9, 2, 6, 5, 3};
+  SampleSet fwd, rev;
+  for (double v : vals) fwd.add(v);
+  for (std::size_t i = std::size(vals); i-- > 0;) rev.add(vals[i]);
+  for (double p = 0; p <= 100; p += 2.5) {
+    EXPECT_DOUBLE_EQ(fwd.percentile(p), rev.percentile(p)) << "p=" << p;
+    EXPECT_GE(fwd.percentile(p), 1.0);
+    EXPECT_LE(fwd.percentile(p), 9.0);
+  }
+}
+
+TEST(SampleSetTest, MergeConcatenatesAndCommutes) {
+  SampleSet a, b, all;
+  for (double v : {3.0, 1.0, 4.0}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (double v : {2.0, 5.0}) {
+    b.add(v);
+    all.add(v);
+  }
+  SampleSet ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), 5u);
+  EXPECT_EQ(ba.count(), 5u);
+  for (double p : {0.0, 25.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(ab.percentile(p), all.percentile(p));
+    EXPECT_DOUBLE_EQ(ba.percentile(p), all.percentile(p));
+  }
+  SampleSet empty;
+  ab.merge(empty);
+  EXPECT_EQ(ab.count(), 5u);
+}
+
 TEST(WatermarkTest, TracksPeak) {
   Watermark w;
   w.add(100);

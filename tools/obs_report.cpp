@@ -1,0 +1,213 @@
+// obs_report — run one instrumented workflow and print the Fig. 9(e)-style
+// per-phase execution-time breakdown plus the causal critical path of every
+// recovery, from the observability span stream. Optionally export the span
+// stream as Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+// and the breakdown as a JSON document.
+//
+//   obs_report --scheme=co --failures=1 --seed=3
+//   obs_report --scheme=hy --failures=2 --trace-json=run.trace.json
+//   obs_report --validate=run.trace.json        # CI: exit 1 if malformed
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/executor.hpp"
+#include "core/setups.hpp"
+#include "core/sweep.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace dstage;
+
+core::Scheme parse_scheme(const std::string& name) {
+  if (name == "ds" || name == "none") return core::Scheme::kNone;
+  if (name == "co") return core::Scheme::kCoordinated;
+  if (name == "un") return core::Scheme::kUncoordinated;
+  if (name == "in") return core::Scheme::kIndividual;
+  if (name == "hy") return core::Scheme::kHybrid;
+  throw std::invalid_argument("unknown scheme '" + name +
+                              "' (expected ds|co|un|in|hy)");
+}
+
+int usage() {
+  std::puts(
+      "usage: obs_report [options]\n"
+      "  --setup=table2|table3       experiment preset        [table2]\n"
+      "  --scale=0..4                table3 scale index       [0]\n"
+      "  --scheme=ds|co|un|in|hy     fault-tolerance scheme   [co]\n"
+      "  --failures=N                injected failures        [1]\n"
+      "  --seed=N                    failure seed             [1]\n"
+      "  --timesteps=N               run length               [40]\n"
+      "  --trace-json=FILE           export Chrome trace-event JSON\n"
+      "  --json=FILE                 export breakdown + metrics JSON\n"
+      "  --validate=FILE             validate an exported trace instead\n"
+      "  --help                      this text");
+  return 2;
+}
+
+int run_validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::TraceValidation v = obs::validate_chrome_trace(buf.str());
+  if (!v.ok) {
+    std::fprintf(stderr, "%s: INVALID (%zu events)\n", path.c_str(),
+                 v.events);
+    for (const auto& e : v.errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+    return 1;
+  }
+  std::printf("%s: OK (%zu events)\n", path.c_str(), v.events);
+  return 0;
+}
+
+}  // namespace
+
+int run_report(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_report(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+int run_report(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) return usage();
+
+  const std::string validate_file = flags.get("validate", "");
+  if (!validate_file.empty()) {
+    for (const auto& unknown : flags.unused()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+      return usage();
+    }
+    return run_validate(validate_file);
+  }
+
+  core::WorkflowSpec spec;
+  const std::string setup = flags.get("setup", "table2");
+  const core::Scheme scheme = parse_scheme(flags.get("scheme", "co"));
+  if (setup == "table2") {
+    spec = core::table2_setup(scheme);
+  } else if (setup == "table3") {
+    spec = core::table3_setup(scheme, flags.get_int("scale", 0), 0);
+  } else {
+    std::fprintf(stderr, "unknown setup '%s'\n", setup.c_str());
+    return usage();
+  }
+  spec.total_ts = flags.get_int("timesteps", spec.total_ts);
+  spec.failures.count = flags.get_int("failures", 1);
+  spec.failures.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.obs.enabled = true;
+  const std::string trace_file = flags.get("trace-json", "");
+  const std::string json_file = flags.get("json", "");
+
+  for (const auto& unknown : flags.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    return usage();
+  }
+
+  if (!obs::compiled_in()) {
+    std::fprintf(stderr,
+                 "obs_report: built with DSTAGE_OBS=OFF; nothing to report\n");
+    return 1;
+  }
+
+  core::WorkflowRunner runner(spec);
+  const core::RunMetrics m = runner.run();
+  const obs::Observability* obs = runner.runtime().obs();
+  if (obs == nullptr) {
+    std::fprintf(stderr, "obs_report: observability layer did not attach\n");
+    return 1;
+  }
+
+  std::printf("scheme %s | %d ts | %d failure(s) injected | seed %llu | "
+              "total %.2f s (virtual)\n",
+              core::scheme_name(m.scheme), spec.total_ts, m.failures_injected,
+              static_cast<unsigned long long>(spec.failures.seed),
+              m.total_time_s);
+
+  const obs::Breakdown breakdown = obs::phase_breakdown(obs->tracer());
+  std::printf("\nExecution-time breakdown (virtual seconds per phase):\n\n");
+  print_breakdown(std::cout, breakdown);
+
+  // Self-check: the integer-ns sweep attributes every nanosecond, so each
+  // track's phase columns must sum to its total (acceptance bound 1e-9 s).
+  for (const auto& t : breakdown.tracks) {
+    const double gap_s = std::abs(static_cast<double>(t.attributed_ns()) -
+                                  static_cast<double>(t.total_ns)) *
+                         1e-9;
+    if (gap_s > 1e-9) {
+      std::fprintf(stderr,
+                   "obs_report: phase sum mismatch on track %s (%.3e s)\n",
+                   t.track.c_str(), gap_s);
+      return 1;
+    }
+  }
+
+  const auto recoveries = obs::recovery_paths(obs->tracer());
+  if (recoveries.empty()) {
+    std::printf("\nno recoveries (failure-free run)\n");
+  } else {
+    std::printf("\nRecovery critical paths (%zu recover%s):\n\n",
+                recoveries.size(), recoveries.size() == 1 ? "y" : "ies");
+    for (const auto& root : recoveries) {
+      print_recovery_tree(std::cout, root);
+      std::printf("\n");
+    }
+  }
+
+  if (!trace_file.empty()) {
+    const Json doc = obs::chrome_trace_json(obs->tracer());
+    const std::string text = doc.str();
+    // Never ship a trace the independent validator rejects.
+    const obs::TraceValidation v = obs::validate_chrome_trace(text);
+    if (!v.ok) {
+      std::fprintf(stderr, "exported trace failed validation:\n");
+      for (const auto& e : v.errors) {
+        std::fprintf(stderr, "  %s\n", e.c_str());
+      }
+      return 1;
+    }
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_file.c_str());
+      return 1;
+    }
+    out << text;
+    std::printf("Chrome trace (%zu events) written to %s — open in "
+                "https://ui.perfetto.dev\n",
+                v.events, trace_file.c_str());
+  }
+
+  if (!json_file.empty()) {
+    Json doc = Json::object();
+    doc.set("run", core::metrics_to_json(m));
+    doc.set("phases", obs::breakdown_to_json(breakdown));
+    doc.set("metrics", obs->metrics().to_json());
+    std::ofstream out(json_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_file.c_str());
+      return 1;
+    }
+    doc.dump(out);
+    std::printf("breakdown JSON written to %s\n", json_file.c_str());
+  }
+  return m.total_anomalies() == 0 ? 0 : 1;
+}
