@@ -1,0 +1,74 @@
+// Transport batching sweep: the Table II workload with per-chunk messages
+// (the golden-trace baseline) versus opt-in request coalescing
+// (WorkflowSpec::net.batching), which aggregates a producer's
+// same-destination DHT shards into one BatchPut per staging server.
+// Reports fabric message/byte totals and the producer-side write response,
+// so the message reduction (roughly shard-count-fold on the put path) and
+// its latency effect are visible side by side.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dstage;
+  bench::Harness h("fig_batching", argc, argv, 4);
+  bench::print_header(
+      "Transport batching — fabric messages under request coalescing",
+      "Table II workload (Un scheme, 1 failure); batching=off is the "
+      "golden-trace baseline, batching=on coalesces same-destination "
+      "chunk puts into one message per server.");
+
+  std::printf("%10s %14s %14s %12s %12s %10s\n", "batching", "fabric msgs",
+              "fabric bytes", "batch msgs", "cum write(s)", "time (s)");
+
+  struct Cell {
+    double packets = 0, bytes = 0, batch_puts = 0, write_s = 0, time_s = 0;
+  };
+  auto measure = [&](bool batching) {
+    auto runs = h.sweep([&](std::uint64_t seed) {
+      core::WorkflowSpec spec =
+          core::table2_setup(core::Scheme::kUncoordinated);
+      spec.failures.count = 1;
+      spec.failures.seed = seed;
+      spec.net.batching = batching;
+      return spec;
+    });
+    Cell c;
+    c.packets = bench::mean_over(
+        runs, [](const core::RunMetrics& m) {
+          return static_cast<double>(m.fabric_packets);
+        });
+    c.bytes = bench::mean_over(runs, [](const core::RunMetrics& m) {
+      return static_cast<double>(m.fabric_bytes);
+    });
+    c.batch_puts = bench::mean_over(runs, [](const core::RunMetrics& m) {
+      return static_cast<double>(m.staging.batch_puts);
+    });
+    c.write_s = bench::mean_over(runs, [](const core::RunMetrics& m) {
+      return m.cum_write_response_s();
+    });
+    c.time_s = core::mean_total_time(runs);
+    std::printf("%10s %14.0f %14.0f %12.0f %12.2f %10.1f\n",
+                batching ? "on" : "off", c.packets, c.bytes, c.batch_puts,
+                c.write_s, c.time_s);
+    return c;
+  };
+
+  const Cell off = measure(false);
+  const Cell on = measure(true);
+  const double reduction = on.packets > 0 ? off.packets / on.packets : 0;
+  std::printf("\nmessage_reduction: %.2fx fewer fabric messages with "
+              "batching on\n", reduction);
+
+  Json p = Json::object();
+  p.set("fabric_packets_off", off.packets);
+  p.set("fabric_packets_on", on.packets);
+  p.set("fabric_bytes_off", off.bytes);
+  p.set("fabric_bytes_on", on.bytes);
+  p.set("batch_puts_on", on.batch_puts);
+  p.set("cum_write_response_off_s", off.write_s);
+  p.set("cum_write_response_on_s", on.write_s);
+  p.set("total_time_off_s", off.time_s);
+  p.set("total_time_on_s", on.time_s);
+  p.set("message_reduction", reduction);
+  h.add_point(std::move(p));
+  return h.finish();
+}

@@ -1,12 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the building blocks under the
 // workflow harness: DES engine throughput, Hilbert mapping, spatial
-// placement, object-store operations, event-queue bookkeeping, GF(256)
-// arithmetic, and Reed–Solomon encode/decode.
+// placement, fabric round-trips through the typed RPC transport,
+// object-store operations, event-queue bookkeeping, GF(256) arithmetic,
+// and Reed–Solomon encode/decode.
 #include <benchmark/benchmark.h>
+
+#include <any>
 
 #include "dht/spatial_index.hpp"
 #include "gc/garbage_collector.hpp"
+#include "net/rpc.hpp"
 #include "resilience/reed_solomon.hpp"
+#include "sim/channel.hpp"
 #include "sim/spawn.hpp"
 #include "staging/object_store.hpp"
 #include "util/hilbert.hpp"
@@ -53,6 +58,73 @@ void BM_CoroutinePingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CoroutinePingPong);
+
+// Host-side wall-clock throughput of a full typed RPC round trip across
+// the fabric (request in the mailbox, response over the control path).
+void BM_FabricRpcRoundTrip(benchmark::State& state) {
+  constexpr int kCalls = 256;
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Fabric fabric(eng, {});
+    const auto n0 = fabric.add_node();
+    const auto n1 = fabric.add_node();
+    const auto client_ep = fabric.add_endpoint(n0);
+    const auto server_ep = fabric.add_endpoint(n1);
+    net::Rpc client(fabric, client_ep);
+    net::Rpc server(fabric, server_ep);
+    sim::spawn(eng, [&]() -> sim::Task<void> {
+      sim::Ctx ctx{&eng, nullptr};
+      for (int i = 0; i < kCalls; ++i) {
+        net::Packet pkt = co_await fabric.endpoint(server_ep).recv(nullptr);
+        auto& req = std::get<net::QueryRequest>(pkt.payload);
+        net::QueryResponse resp;
+        resp.store_versions = {1, 2};
+        co_await server.fulfill(ctx, req.reply_to, std::move(req.reply),
+                                std::move(resp));
+      }
+    });
+    sim::spawn(eng, [&]() -> sim::Task<void> {
+      sim::Ctx ctx{&eng, nullptr};
+      for (int i = 0; i < kCalls; ++i) {
+        net::QueryRequest req;
+        req.var = "f";
+        auto resp = co_await client.call(ctx, server_ep, std::move(req));
+        benchmark::DoNotOptimize(resp.store_versions.size());
+      }
+    });
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+}
+BENCHMARK(BM_FabricRpcRoundTrip);
+
+// Envelope pack/unpack only: the std::any packet payload the typed codec
+// replaced (kept here, outside src/, as the before/after reference).
+void BM_PayloadEnvelopeAny(benchmark::State& state) {
+  for (auto _ : state) {
+    net::FragmentPrune prune;
+    prune.owner = 1;
+    prune.var = "field";
+    prune.upto = 7;
+    std::any envelope = std::move(prune);
+    auto& out = std::any_cast<net::FragmentPrune&>(envelope);
+    benchmark::DoNotOptimize(out.upto);
+  }
+}
+BENCHMARK(BM_PayloadEnvelopeAny);
+
+void BM_PayloadEnvelopeTyped(benchmark::State& state) {
+  for (auto _ : state) {
+    net::FragmentPrune prune;
+    prune.owner = 1;
+    prune.var = "field";
+    prune.upto = 7;
+    net::Message envelope{std::move(prune)};
+    auto& out = std::get<net::FragmentPrune>(envelope);
+    benchmark::DoNotOptimize(out.upto);
+  }
+}
+BENCHMARK(BM_PayloadEnvelopeTyped);
 
 void BM_HilbertIndexOf(benchmark::State& state) {
   HilbertCurve curve(static_cast<int>(state.range(0)));

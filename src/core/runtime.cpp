@@ -145,6 +145,7 @@ void Runtime::build(const SchemePolicy& policy) {
     cp.logged = policy.component_logged(comp->spec);
     cp.bytes_per_point = spec_.bytes_per_point;
     cp.mem_scale = spec_.mem_scale;
+    cp.batching = spec_.net.batching;
     comp->client = std::make_unique<staging::StagingClient>(
         cluster_, *index_, server_vprocs_, comp->vproc, cp);
     comps_.push_back(std::move(comp));
@@ -291,6 +292,7 @@ RunMetrics Runtime::collect(int failures_injected) const {
     const auto& st = server->stats();
     m.staging.puts += st.puts;
     m.staging.gets += st.gets;
+    m.staging.batch_puts += st.batch_puts;
     m.staging.puts_suppressed += st.puts_suppressed;
     m.staging.gets_from_log += st.gets_from_log;
     m.staging.replay_mismatches += st.replay_mismatches;
@@ -304,6 +306,13 @@ RunMetrics Runtime::collect(int failures_injected) const {
   m.pfs_bytes_written = pfs_.bytes_written();
   m.pfs_bytes_read = pfs_.bytes_read();
   m.events_processed = engine_.processed();
+  m.fabric_packets = fabric_.packets_sent();
+  m.fabric_bytes = fabric_.bytes_sent();
+  for (const auto& c : comps_) {
+    const net::RpcStats& rs = c->client->rpc_stats();
+    m.rpc_retries += rs.retries;
+    m.rpc_exhausted += rs.exhausted;
+  }
   return m;
 }
 
@@ -318,6 +327,12 @@ void Runtime::finalize_obs() {
   m.counter("pfs.bytes_read").inc(pfs_.bytes_read());
   m.counter("engine.events_processed").inc(engine_.processed());
   m.counter("dht.lookups").inc(index_->lookups());
+  for (const auto& c : comps_) {
+    const net::RpcStats& rs = c->client->rpc_stats();
+    m.counter("rpc.calls").inc(rs.calls);
+    m.counter("rpc.retries").inc(rs.retries);
+    m.counter("rpc.exhausted").inc(rs.exhausted);
+  }
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     const std::string name = "staging-" + std::to_string(s);
     const staging::ServerStats& st = servers_[s]->stats();

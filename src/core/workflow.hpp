@@ -10,6 +10,7 @@
 
 #include "cluster/pfs.hpp"
 #include "core/cost_model.hpp"
+#include "net/config.hpp"
 #include "net/fabric.hpp"
 #include "obs/config.hpp"
 #include "staging/server.hpp"
@@ -129,6 +130,9 @@ struct WorkflowSpec {
   /// Cross-layer observability (metrics registry + span tracing). Off by
   /// default: golden-trace digests are recorded without it.
   obs::ObsConfig obs;
+  /// Transport options (request coalescing). Off by default: golden-trace
+  /// digests are recorded with per-chunk messages.
+  net::Config net;
 
   /// Reject malformed specs before the runtime is assembled. Throws
   /// std::invalid_argument with a message naming the offending field (and
@@ -166,6 +170,7 @@ struct StagingMetrics {
   std::uint64_t log_payload_bytes_peak = 0;
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
+  std::uint64_t batch_puts = 0;  // coalesced put messages unpacked
   std::uint64_t puts_suppressed = 0;
   std::uint64_t gets_from_log = 0;
   std::uint64_t replay_mismatches = 0;
@@ -181,6 +186,13 @@ struct RunMetrics {
   std::uint64_t pfs_bytes_written = 0;
   std::uint64_t pfs_bytes_read = 0;
   std::uint64_t events_processed = 0;
+  /// Fabric totals (messages/bytes across all traffic classes) — the
+  /// batching bench's headline numbers.
+  std::uint64_t fabric_packets = 0;
+  std::uint64_t fabric_bytes = 0;
+  /// Client-side transport counters summed over component clients.
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_exhausted = 0;
 
   [[nodiscard]] const ComponentMetrics& component(
       const std::string& name) const;

@@ -1,0 +1,16 @@
+// Transport feature gates carried by WorkflowSpec (mirrors the obs gating
+// pattern: a plain struct, everything off by default so golden-trace
+// digests see exactly the ungated event stream).
+#pragma once
+
+namespace dstage::net {
+
+struct Config {
+  /// Coalesce same-destination chunk puts of one producer write into a
+  /// single BatchPut message (one per-message overhead per server instead
+  /// of one per chunk). Off by default: with batching disabled the wire
+  /// event stream is byte-identical to the pre-batching transport.
+  bool batching = false;
+};
+
+}  // namespace dstage::net

@@ -55,10 +55,21 @@ sim::Duration Fabric::injection_time(std::uint64_t bytes, NodeId node) const {
 }
 
 sim::Task<void> Fabric::send_impl(sim::Ctx ctx, EndpointId src, EndpointId dst,
-                             std::any payload, std::uint64_t bytes) {
+                                  Message payload) {
+  const std::uint64_t bytes = serialized_size(payload);
+  Endpoint& from = endpoint(src);
   Endpoint* target = &endpoint(dst);
+  if (from.node() == target->node()) {
+    // Same node: shared-memory handoff, no NIC, no wire latency. The
+    // message moves straight into the mailbox (no deliver closure, no
+    // heap envelope) — the common fast path for co-located endpoints.
+    ++packets_sent_;
+    bytes_sent_ += bytes;
+    target->mailbox_.send(Packet{src, std::move(payload), bytes});
+    co_return;
+  }
   auto deliver = [target, src, bytes,
-                  p = std::make_shared<std::any>(std::move(payload))] {
+                  p = std::make_shared<Message>(std::move(payload))] {
     target->mailbox_.send(Packet{src, std::move(*p), bytes});
   };
   co_await transmit_impl(ctx, src, dst, bytes, std::move(deliver));

@@ -3,15 +3,20 @@
 // store-and-forward, so injection contention emerges under load) and is
 // delivered hop_latency later. Calibrated loosely on a Cray Aries NIC; see
 // DESIGN.md §6.
+//
+// The payload is the typed net::Message vocabulary (message.hpp); the
+// fabric computes every packet's modeled serialized size through the codec,
+// so callers cannot drift from the cost model.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
+#include <utility>
 #include <vector>
 
+#include "net/message.hpp"
+#include "net/reply.hpp"
 #include "sim/channel.hpp"
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
@@ -21,13 +26,11 @@
 
 namespace dstage::net {
 
-using EndpointId = int;
-using NodeId = int;
-
-/// Envelope delivered to an endpoint's mailbox.
+/// Envelope delivered to an endpoint's mailbox. `bytes` is the codec's
+/// serialized_size of the payload, recorded at send time.
 struct Packet {
   EndpointId src = -1;
-  std::any payload;
+  Message payload;
   std::uint64_t bytes = 0;
 };
 
@@ -87,12 +90,14 @@ class Fabric {
   // parameters and moves them across the coroutine boundary, so call sites
   // may safely pass temporaries.
 
-  /// Transmit `bytes` from `src`'s node to `dst`; suspends the caller for the
-  /// injection (serialization) time, then delivery happens asynchronously
-  /// after the wire latency. Intra-node sends skip the NIC and latency.
+  /// Transmit `payload` from `src`'s node to `dst`; the wire footprint is
+  /// the codec's serialized_size of the message. Suspends the caller for
+  /// the injection (serialization) time, then delivery happens
+  /// asynchronously after the wire latency. Intra-node sends skip the NIC
+  /// and latency.
   sim::Task<void> send(sim::Ctx ctx, EndpointId src, EndpointId dst,
-                       std::any payload, std::uint64_t bytes) {
-    return send_impl(ctx, src, dst, std::move(payload), bytes);
+                       Message payload) {
+    return send_impl(ctx, src, dst, std::move(payload));
   }
 
   /// Pay the sender-side transport cost of `bytes` from `src` to `dst`,
@@ -123,7 +128,7 @@ class Fabric {
 
  private:
   sim::Task<void> send_impl(sim::Ctx ctx, EndpointId src, EndpointId dst,
-                            std::any payload, std::uint64_t bytes);
+                            Message payload);
   sim::Task<void> transmit_impl(sim::Ctx ctx, EndpointId src, EndpointId dst,
                                 std::uint64_t bytes,
                                 std::function<void()> deliver);
@@ -138,50 +143,5 @@ class Fabric {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };
-
-/// One-shot completion slot for request/response exchanges. The client
-/// co_awaits take(); the server fulfills through the fabric so the response
-/// pays transport costs like any other message.
-template <class T>
-class Reply {
- public:
-  explicit Reply(sim::Engine& eng) : done_(eng) {}
-
-  /// Server side: set the value and wake the client (call after paying any
-  /// response-transport cost).
-  void fulfill(T value) {
-    value_ = std::move(value);
-    done_.set();
-  }
-
-  /// Client side: wait for the response.
-  sim::Task<T> take(sim::Ctx ctx) {
-    co_await done_.wait(ctx.tok);
-    co_return std::move(*value_);
-  }
-
-  /// Wait at most `timeout`; nullopt when the server never answered (e.g.
-  /// it crashed mid-request) so the caller can retry with a fresh Reply.
-  sim::Task<std::optional<T>> take_for(sim::Ctx ctx, sim::Duration timeout) {
-    const sim::EventId timer =
-        ctx.eng->schedule_call(timeout, [this] { done_.set(); });
-    co_await done_.wait(ctx.tok);
-    ctx.eng->cancel_event(timer);
-    if (value_.has_value()) co_return std::move(*value_);
-    co_return std::nullopt;
-  }
-
- private:
-  sim::OneShotEvent done_;
-  std::optional<T> value_;
-};
-
-template <class T>
-using ReplyPtr = std::shared_ptr<Reply<T>>;
-
-template <class T>
-ReplyPtr<T> make_reply(sim::Engine& eng) {
-  return std::make_shared<Reply<T>>(eng);
-}
 
 }  // namespace dstage::net

@@ -1,0 +1,293 @@
+// The closed wire vocabulary of the staging service. Every packet the
+// fabric carries is one alternative of net::Message, so endpoint dispatch
+// is an exhaustive std::visit and the modeled serialized size of every
+// message (and every response) is computed in exactly one place: the
+// wire_size() codec below. Callers never supply byte counts.
+//
+// Layering: this header sits between reply.hpp (addressing + reply slots)
+// and fabric.hpp (which carries Message in its Packet envelope). Both the
+// staging layer and the write-ahead log layer build on this vocabulary —
+// wlog::LogEvent *is* net::EventRecord, which is what lets QueueBackup
+// mirror queue records without a field-for-field flattening.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/reply.hpp"
+#include "util/geometry.hpp"
+
+namespace dstage::net {
+
+using AppId = int;
+using Version = std::uint32_t;
+
+/// Geometric descriptor: a named, versioned region of the global domain.
+struct ObjectDesc {
+  std::string var;
+  Version version = 0;
+  Box region;
+
+  friend bool operator==(const ObjectDesc&, const ObjectDesc&) = default;
+};
+
+/// A stored piece of an object. `data` holds real bytes scaled down by the
+/// configured mem_scale; `nominal_bytes` is the unscaled size used by all
+/// virtual-time cost models and accounting.
+struct Chunk {
+  std::string var;
+  Version version = 0;
+  Box region;  // source region this piece covers
+  std::uint64_t nominal_bytes = 0;
+  std::uint64_t content_key = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> data;
+
+  [[nodiscard]] std::uint64_t physical_bytes() const {
+    return data ? data->size() : 0;
+  }
+};
+
+/// Event-queue record kinds (Section III's queue-based consistency
+/// algorithm records these per application).
+enum class EventKind { kPut, kGet, kCheckpoint, kRecovery };
+
+/// One event-queue record: the shared POD used both by wlog::EventQueue
+/// (as its LogEvent) and by the QueueBackup mirror message.
+struct EventRecord {
+  EventKind kind = EventKind::kPut;
+  AppId app = -1;
+  Version version = 0;  // data version; for checkpoints, the app's timestep
+  std::string var;
+  Box region;
+  std::uint64_t nominal_bytes = 0;
+  std::uint64_t chk_id = 0;  // W_Chk_ID for checkpoint markers
+};
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+struct PutResponse {
+  bool applied = false;     // false when suppressed as a replayed duplicate
+  bool suppressed = false;  // true when recognized from the replay script
+};
+
+struct GetResponse {
+  bool found = false;
+  std::vector<Chunk> pieces;
+  /// True when the pieces were resolved from the data log (replay mode)
+  /// rather than the live store.
+  bool from_log = false;
+};
+
+struct CheckpointAck {
+  std::uint64_t chk_id = 0;
+};
+
+struct RecoveryAck {
+  /// Number of logged events the server will replay for this app.
+  std::size_t replay_events = 0;
+};
+
+struct RollbackAck {
+  std::size_t versions_dropped = 0;
+};
+
+/// Per-chunk results of a coalesced put, in the batch's chunk order.
+struct BatchPutResponse {
+  std::vector<PutResponse> results;
+};
+
+/// Metadata query: which versions of `var` does this server hold?
+struct QueryResponse {
+  std::vector<Version> store_versions;   // base-store window
+  std::vector<Version> logged_versions;  // data-log retention
+};
+
+// ---------------------------------------------------------------------------
+// Client → server messages. Every request carries the issuing app and a
+// Reply the server fulfills after paying response transport costs; the
+// transport (net::Rpc) fills reply_to/reply, so application code only
+// supplies the payload fields.
+// ---------------------------------------------------------------------------
+
+struct PutRequest {
+  using Response = PutResponse;
+  AppId app = -1;
+  Chunk chunk;
+  bool logged = false;
+  EndpointId reply_to = -1;
+  ReplyPtr<PutResponse> reply;
+};
+
+struct GetRequest {
+  using Response = GetResponse;
+  AppId app = -1;
+  ObjectDesc desc;
+  bool logged = false;
+  EndpointId reply_to = -1;
+  ReplyPtr<GetResponse> reply;
+};
+
+/// workflow_check(): a checkpoint event for `app`; the server assigns and
+/// records a W_Chk_ID and truncates the app's queue (GC).
+struct CheckpointEvent {
+  using Response = CheckpointAck;
+  AppId app = -1;
+  Version version = 0;  // app's timestep at the checkpoint
+  EndpointId reply_to = -1;
+  ReplyPtr<CheckpointAck> reply;
+  // A checkpoint marker plays two roles: it anchors the app's replay
+  // script (valid for every checkpoint level) and it advances the GC
+  // watermark (only sound for a checkpoint that survives the worst
+  // failure the app can suffer). Node-local and emergency checkpoints
+  // are wiped by a node failure, whose recovery falls back to the PFS
+  // level — announcing them as durable would let GC reclaim logged
+  // versions the fallback restart still has to replay.
+  bool durable = true;
+};
+
+/// workflow_restart(): app recovered from its latest checkpoint and
+/// re-attached; the server switches the app's queue into replay mode.
+struct RecoveryEvent {
+  using Response = RecoveryAck;
+  AppId app = -1;
+  Version restored_version = 0;
+  EndpointId reply_to = -1;
+  ReplyPtr<RecoveryAck> reply;
+};
+
+/// Coordinated-restart support: discard every version newer than
+/// `version` so the staging state matches the global snapshot.
+struct RollbackRequest {
+  using Response = RollbackAck;
+  Version version = 0;
+  EndpointId reply_to = -1;
+  ReplyPtr<RollbackAck> reply;
+};
+
+// ---------------------------------------------------------------------------
+// Inter-server resilience traffic (CoREC-style). Every staged (and logged)
+// payload is protected by redundancy fragments pushed to peer servers, and
+// each server mirrors its event queues to its successor, so a failed
+// staging server can be rebuilt from its peers.
+// ---------------------------------------------------------------------------
+
+/// One-way: a redundancy fragment (full replica or RS shard) pushed by the
+/// owning server to a peer.
+struct FragmentPut {
+  int owner = -1;  // staging server index that owns the object
+  std::string var;
+  Version version = 0;
+  Box region;          // the owner's chunk region
+  int frag_index = 0;  // 1 .. fragments-1 (the owner's payload is index 0)
+  std::uint64_t nominal_bytes = 0;    // paper-scale share for accounting
+  std::size_t original_physical = 0;  // owner chunk's physical byte count
+  std::uint64_t content_key = 0;      // source chunk key, for verification
+  bool logged = false;                // restore into the data log too
+  std::shared_ptr<const std::vector<std::uint8_t>> data;  // fragment bytes
+};
+
+/// One-way: owner → peers, reclaim fragments of versions <= `upto`.
+struct FragmentPrune {
+  int owner = -1;
+  std::string var;
+  Version upto = 0;
+};
+
+/// One-way: a mirrored event-queue record (queue resilience). Carries the
+/// wlog record verbatim — wlog::LogEvent is net::EventRecord.
+struct QueueBackup {
+  int owner = -1;
+  EventRecord record;
+};
+
+struct RecoveryPullResponse {
+  std::vector<FragmentPut> fragments;
+  std::vector<QueueBackup> events;
+};
+
+/// Replacement server → every peer: send back everything you hold on my
+/// behalf (fragments + mirrored queue events).
+struct RecoveryPull {
+  using Response = RecoveryPullResponse;
+  int owner = -1;
+  EndpointId reply_to = -1;
+  ReplyPtr<RecoveryPullResponse> reply;
+};
+
+struct QueryRequest {
+  using Response = QueryResponse;
+  std::string var;
+  EndpointId reply_to = -1;
+  ReplyPtr<QueryResponse> reply;
+};
+
+/// Opt-in write-path coalescing: every chunk of one producer put that maps
+/// to the same destination server travels as one message, paying the
+/// fabric's per-message overhead once (see WorkflowSpec::net.batching).
+struct BatchPut {
+  using Response = BatchPutResponse;
+  AppId app = -1;
+  bool logged = false;
+  std::vector<Chunk> chunks;
+  EndpointId reply_to = -1;
+  ReplyPtr<BatchPutResponse> reply;
+};
+
+/// Any fabric message (std::variant keeps dispatch exhaustive).
+using Message =
+    std::variant<PutRequest, GetRequest, CheckpointEvent, RecoveryEvent,
+                 RollbackRequest, FragmentPut, FragmentPrune, QueueBackup,
+                 RecoveryPull, QueryRequest, BatchPut>;
+
+// ---------------------------------------------------------------------------
+// Codec: the modeled serialized footprint of every message and response.
+// Descriptor-only messages cost 64 B (a verbs work request with an inline
+// header); requests that name an object cost 128 B; payload-bearing
+// messages add their nominal bytes. These constants are load-bearing:
+// the Table II golden-trace digests are recorded against them.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::uint64_t wire_size(const PutRequest& m);
+[[nodiscard]] std::uint64_t wire_size(const GetRequest& m);
+[[nodiscard]] std::uint64_t wire_size(const CheckpointEvent& m);
+[[nodiscard]] std::uint64_t wire_size(const RecoveryEvent& m);
+[[nodiscard]] std::uint64_t wire_size(const RollbackRequest& m);
+[[nodiscard]] std::uint64_t wire_size(const FragmentPut& m);
+[[nodiscard]] std::uint64_t wire_size(const FragmentPrune& m);
+[[nodiscard]] std::uint64_t wire_size(const QueueBackup& m);
+[[nodiscard]] std::uint64_t wire_size(const RecoveryPull& m);
+[[nodiscard]] std::uint64_t wire_size(const QueryRequest& m);
+[[nodiscard]] std::uint64_t wire_size(const BatchPut& m);
+
+[[nodiscard]] std::uint64_t wire_size(const PutResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const GetResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const CheckpointAck& m);
+[[nodiscard]] std::uint64_t wire_size(const RecoveryAck& m);
+[[nodiscard]] std::uint64_t wire_size(const RollbackAck& m);
+[[nodiscard]] std::uint64_t wire_size(const BatchPutResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const RecoveryPullResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const QueryResponse& m);
+
+/// Serialized size of any message — what the fabric charges a send.
+[[nodiscard]] std::uint64_t serialized_size(const Message& m);
+
+/// Stable short name for tracing/metrics, per alternative.
+[[nodiscard]] const char* message_name(const PutRequest&);
+[[nodiscard]] const char* message_name(const GetRequest&);
+[[nodiscard]] const char* message_name(const CheckpointEvent&);
+[[nodiscard]] const char* message_name(const RecoveryEvent&);
+[[nodiscard]] const char* message_name(const RollbackRequest&);
+[[nodiscard]] const char* message_name(const FragmentPut&);
+[[nodiscard]] const char* message_name(const FragmentPrune&);
+[[nodiscard]] const char* message_name(const QueueBackup&);
+[[nodiscard]] const char* message_name(const RecoveryPull&);
+[[nodiscard]] const char* message_name(const QueryRequest&);
+[[nodiscard]] const char* message_name(const BatchPut&);
+[[nodiscard]] const char* message_name(const Message& m);
+
+}  // namespace dstage::net

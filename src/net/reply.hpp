@@ -1,0 +1,65 @@
+// Endpoint addressing and one-shot reply slots — the part of the transport
+// vocabulary the message layer needs without pulling in the full fabric
+// model (message.hpp includes this; fabric.hpp includes message.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/task.hpp"
+
+namespace dstage::net {
+
+using EndpointId = int;
+using NodeId = int;
+
+/// One-shot completion slot for request/response exchanges. The client
+/// co_awaits take(); the server fulfills through the fabric so the response
+/// pays transport costs like any other message.
+template <class T>
+class Reply {
+ public:
+  explicit Reply(sim::Engine& eng) : done_(eng) {}
+
+  /// Server side: set the value and wake the client (call after paying any
+  /// response-transport cost).
+  void fulfill(T value) {
+    value_ = std::move(value);
+    done_.set();
+  }
+
+  /// Client side: wait for the response.
+  sim::Task<T> take(sim::Ctx ctx) {
+    co_await done_.wait(ctx.tok);
+    co_return std::move(*value_);
+  }
+
+  /// Wait at most `timeout`; nullopt when the server never answered (e.g.
+  /// it crashed mid-request) so the caller can retry with a fresh Reply.
+  sim::Task<std::optional<T>> take_for(sim::Ctx ctx, sim::Duration timeout) {
+    const sim::EventId timer =
+        ctx.eng->schedule_call(timeout, [this] { done_.set(); });
+    co_await done_.wait(ctx.tok);
+    ctx.eng->cancel_event(timer);
+    if (value_.has_value()) co_return std::move(*value_);
+    co_return std::nullopt;
+  }
+
+ private:
+  sim::OneShotEvent done_;
+  std::optional<T> value_;
+};
+
+template <class T>
+using ReplyPtr = std::shared_ptr<Reply<T>>;
+
+template <class T>
+ReplyPtr<T> make_reply(sim::Engine& eng) {
+  return std::make_shared<Reply<T>>(eng);
+}
+
+}  // namespace dstage::net

@@ -1,0 +1,149 @@
+// Unified RPC transport over the fabric. One Rpc per endpoint owner
+// (staging client or server) routes every message — typed request/response
+// calls, one-way sends, and response fulfilment — through the codec, and
+// owns the timeout/retry/backoff loop that used to be re-implemented by
+// every caller.
+//
+// GCC 12 note: every public entry point is a plain-function shim over a
+// private coroutine (GCC 12 double-destroys *prvalue* arguments bound to
+// by-value coroutine parameters; the shim materializes caller temporaries
+// into named parameters and moves them — xvalues — across the coroutine
+// boundary). Keep it that way when adding entry points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/fabric.hpp"
+#include "net/message.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dstage::net {
+
+/// Retry discipline for a call(). The defaults reproduce the historical
+/// client behavior: timeout 0 waits forever (no retries — coupling reads
+/// legitimately block for long stretches), and a zero backoff re-sends
+/// immediately on timeout.
+struct RetryPolicy {
+  /// Per-attempt response timeout; <= 0 waits forever on the first send.
+  sim::Duration timeout{0};
+  /// Total sends before the call gives up (first attempt included).
+  int max_attempts = 6;
+  /// Delay before re-sending, doubled after every failed attempt
+  /// (0 = immediate re-send).
+  sim::Duration backoff{0};
+};
+
+struct RpcStats {
+  std::uint64_t calls = 0;      // call<Req>() invocations
+  std::uint64_t oneways = 0;    // fire-and-forget send()s
+  std::uint64_t responses = 0;  // calls answered
+  std::uint64_t retries = 0;    // re-sends after a timeout
+  std::uint64_t exhausted = 0;  // calls that gave up after max_attempts
+};
+
+/// Responses at or below this ride the control path (RDMA completion
+/// notification); larger responses pay NIC bandwidth like any bulk send.
+inline constexpr std::uint64_t kControlPathBytes = 256;
+
+class Rpc {
+ public:
+  Rpc(Fabric& fabric, EndpointId self) : fabric_(&fabric), self_(self) {}
+
+  [[nodiscard]] EndpointId self() const { return self_; }
+  [[nodiscard]] const RpcStats& stats() const { return stats_; }
+
+  /// One-way message: pays send-side transport, no response expected.
+  sim::Task<void> send(sim::Ctx ctx, EndpointId dst, Message message) {
+    return send_impl(ctx, dst, std::move(message));
+  }
+
+  /// Typed request/response call. Fills in the request's reply slot (a
+  /// fresh one per attempt, so a late response to a lost attempt cannot
+  /// satisfy a retry), sends, and waits per `policy`. Throws
+  /// std::runtime_error when every attempt times out.
+  template <class Req>
+  sim::Task<typename Req::Response> call(sim::Ctx ctx, EndpointId dst,
+                                         Req request,
+                                         RetryPolicy policy = {}) {
+    return call_impl<Req>(ctx, dst, std::move(request), policy);
+  }
+
+  /// Server side: pay response transport for `value` (codec-sized), then
+  /// fulfill the client's reply slot after the wire latency.
+  template <class Resp>
+  sim::Task<void> fulfill(sim::Ctx ctx, EndpointId dst, ReplyPtr<Resp> reply,
+                          Resp value) {
+    return fulfill_impl<Resp>(ctx, dst, std::move(reply), std::move(value));
+  }
+
+  /// Response-path transport: control path for small messages, bulk
+  /// transmit otherwise. `deliver` runs after the wire latency.
+  sim::Task<void> respond(sim::Ctx ctx, EndpointId dst, std::uint64_t bytes,
+                          std::function<void()> deliver) {
+    return respond_impl(ctx, dst, bytes, std::move(deliver));
+  }
+
+ private:
+  sim::Task<void> send_impl(sim::Ctx ctx, EndpointId dst, Message message);
+  sim::Task<void> respond_impl(sim::Ctx ctx, EndpointId dst,
+                               std::uint64_t bytes,
+                               std::function<void()> deliver);
+
+  template <class Req>
+  sim::Task<typename Req::Response> call_impl(sim::Ctx ctx, EndpointId dst,
+                                              Req request,
+                                              RetryPolicy policy) {
+    ++stats_.calls;
+    for (int attempt = 0;; ++attempt) {
+      auto reply = make_reply<typename Req::Response>(*ctx.eng);
+      request.reply_to = self_;
+      request.reply = reply;
+      // The request is retained across attempts; each send carries a copy.
+      Message message{request};
+      co_await fabric_->send(ctx, self_, dst, std::move(message));
+      if (policy.timeout.ns <= 0) {
+        auto value = co_await reply->take(ctx);
+        ++stats_.responses;
+        co_return value;
+      }
+      auto value = co_await reply->take_for(ctx, policy.timeout);
+      if (value) {
+        ++stats_.responses;
+        co_return std::move(*value);
+      }
+      if (attempt + 1 >= policy.max_attempts) {
+        ++stats_.exhausted;
+        throw std::runtime_error(std::string("rpc ") + message_name(request) +
+                                 " timed out after retries");
+      }
+      ++stats_.retries;
+      if (policy.backoff.ns > 0) {
+        // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
+        const int shift = attempt < 16 ? attempt : 16;
+        co_await ctx.delay(sim::Duration{policy.backoff.ns << shift});
+      }
+    }
+  }
+
+  template <class Resp>
+  sim::Task<void> fulfill_impl(sim::Ctx ctx, EndpointId dst,
+                               ReplyPtr<Resp> reply, Resp value) {
+    const std::uint64_t bytes = wire_size(value);
+    std::function<void()> deliver = [reply = std::move(reply),
+                                     v = std::move(value)]() mutable {
+      reply->fulfill(std::move(v));
+    };
+    co_await respond_impl(ctx, dst, bytes, std::move(deliver));
+  }
+
+  Fabric* fabric_;
+  EndpointId self_;
+  RpcStats stats_;
+};
+
+}  // namespace dstage::net

@@ -2,7 +2,6 @@
 
 #include <map>
 #include <set>
-#include <stdexcept>
 #include <utility>
 
 #include "sim/spawn.hpp"
@@ -17,11 +16,8 @@ StagingClient::StagingClient(cluster::Cluster& cluster,
       index_(&index),
       servers_(std::move(servers)),
       self_(self),
-      params_(params) {}
-
-net::EndpointId StagingClient::self_endpoint() const {
-  return cluster_->vproc(self_).endpoint;
-}
+      params_(params),
+      rpc_(cluster.fabric(), cluster.vproc(self).endpoint) {}
 
 net::EndpointId StagingClient::server_endpoint(int server) const {
   return cluster_->vproc(servers_[static_cast<std::size_t>(server)]).endpoint;
@@ -29,39 +25,32 @@ net::EndpointId StagingClient::server_endpoint(int server) const {
 
 sim::Task<PutResponse> StagingClient::send_put(sim::Ctx ctx, int server,
                                                Chunk chunk) {
-  const std::uint64_t bytes = chunk.nominal_bytes + 128;
-  for (int attempt = 0;; ++attempt) {
-    auto reply = net::make_reply<PutResponse>(*ctx.eng);
-    PutRequest req{params_.app, chunk, params_.logged, self_endpoint(),
-                   reply};
-    std::any payload = Request{std::move(req)};
-    co_await cluster_->fabric().send(ctx, self_endpoint(),
-                                     server_endpoint(server),
-                                     std::move(payload), bytes);
-    if (params_.put_timeout.ns <= 0) co_return co_await reply->take(ctx);
-    auto resp = co_await reply->take_for(ctx, params_.put_timeout);
-    if (resp) co_return std::move(*resp);
-    if (attempt + 1 >= params_.max_retries)
-      throw std::runtime_error("staging put timed out after retries");
-  }
+  PutRequest req;
+  req.app = params_.app;
+  req.chunk = std::move(chunk);
+  req.logged = params_.logged;
+  return rpc_.call(ctx, server_endpoint(server), std::move(req),
+                   put_policy());
+}
+
+sim::Task<BatchPutResponse> StagingClient::send_batch(
+    sim::Ctx ctx, int server, std::vector<Chunk> chunks) {
+  BatchPut req;
+  req.app = params_.app;
+  req.logged = params_.logged;
+  req.chunks = std::move(chunks);
+  return rpc_.call(ctx, server_endpoint(server), std::move(req),
+                   put_policy());
 }
 
 sim::Task<GetResponse> StagingClient::send_get(sim::Ctx ctx, int server,
                                                ObjectDesc desc) {
-  for (int attempt = 0;; ++attempt) {
-    auto reply = net::make_reply<GetResponse>(*ctx.eng);
-    GetRequest req{params_.app, desc, params_.logged, self_endpoint(),
-                   reply};
-    std::any payload = Request{std::move(req)};
-    co_await cluster_->fabric().send(ctx, self_endpoint(),
-                                     server_endpoint(server),
-                                     std::move(payload), 128);
-    if (params_.get_timeout.ns <= 0) co_return co_await reply->take(ctx);
-    auto resp = co_await reply->take_for(ctx, params_.get_timeout);
-    if (resp) co_return std::move(*resp);
-    if (attempt + 1 >= params_.max_retries)
-      throw std::runtime_error("staging get timed out after retries");
-  }
+  GetRequest req;
+  req.app = params_.app;
+  req.desc = std::move(desc);
+  req.logged = params_.logged;
+  return rpc_.call(ctx, server_endpoint(server), std::move(req),
+                   get_policy());
 }
 
 sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
@@ -70,6 +59,45 @@ sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
   ++puts_issued_;
   PutResult result;
 
+  if (params_.batching) {
+    // Coalesce: all chunks bound for the same server travel as one
+    // BatchPut, paying the fabric's per-message overhead once.
+    std::vector<std::pair<int, std::vector<Chunk>>> groups;
+    for (const dht::Placement& placement : index_->place(region)) {
+      auto group = groups.end();
+      for (auto it = groups.begin(); it != groups.end(); ++it) {
+        if (it->first == placement.server) {
+          group = it;
+          break;
+        }
+      }
+      if (group == groups.end()) {
+        groups.emplace_back(placement.server, std::vector<Chunk>{});
+        group = groups.end() - 1;
+      }
+      for (const Box& piece : placement.pieces) {
+        Chunk chunk = make_chunk(var, version, piece, params_.bytes_per_point,
+                                 params_.mem_scale);
+        result.nominal_bytes += chunk.nominal_bytes;
+        ++result.pieces;
+        group->second.push_back(std::move(chunk));
+      }
+    }
+    std::vector<sim::Task<BatchPutResponse>> sends;
+    for (auto& [server, chunks] : groups) {
+      ++result.messages;
+      sends.push_back(send_batch(ctx, server, std::move(chunks)));
+    }
+    auto responses = co_await sim::when_all(ctx, std::move(sends));
+    for (const BatchPutResponse& batch : responses) {
+      for (const PutResponse& r : batch.results) {
+        if (r.suppressed) ++result.suppressed;
+      }
+    }
+    result.response_time = ctx.now() - start;
+    co_return result;
+  }
+
   std::vector<sim::Task<PutResponse>> sends;
   for (const dht::Placement& placement : index_->place(region)) {
     for (const Box& piece : placement.pieces) {
@@ -77,6 +105,7 @@ sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
                                params_.mem_scale);
       result.nominal_bytes += chunk.nominal_bytes;
       ++result.pieces;
+      ++result.messages;
       sends.push_back(send_put(ctx, placement.server, std::move(chunk)));
     }
   }
@@ -128,17 +157,12 @@ sim::Task<std::uint64_t> StagingClient::workflow_check(sim::Ctx ctx,
                                                        bool durable) {
   std::vector<sim::Task<CheckpointAck>> sends;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    sends.push_back([](StagingClient* self, sim::Ctx c, int server, Version v,
-                       bool dur) -> sim::Task<CheckpointAck> {
-      auto reply = net::make_reply<CheckpointAck>(*c.eng);
-      CheckpointEvent ev{self->params_.app, v, self->self_endpoint(), reply,
-                         dur};
-      std::any payload = Request{std::move(ev)};
-      co_await self->cluster_->fabric().send(
-          c, self->self_endpoint(), self->server_endpoint(server),
-          std::move(payload), 64);
-      co_return co_await reply->take(c);
-    }(this, ctx, static_cast<int>(s), version, durable));
+    CheckpointEvent ev;
+    ev.app = params_.app;
+    ev.version = version;
+    ev.durable = durable;
+    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
+                              std::move(ev)));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
   std::uint64_t max_id = 0;
@@ -154,16 +178,11 @@ sim::Task<std::size_t> StagingClient::workflow_restart(
 
   std::vector<sim::Task<RecoveryAck>> sends;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    sends.push_back([](StagingClient* self, sim::Ctx c, int server,
-                       Version v) -> sim::Task<RecoveryAck> {
-      auto reply = net::make_reply<RecoveryAck>(*c.eng);
-      RecoveryEvent ev{self->params_.app, v, self->self_endpoint(), reply};
-      std::any payload = Request{std::move(ev)};
-      co_await self->cluster_->fabric().send(
-          c, self->self_endpoint(), self->server_endpoint(server),
-          std::move(payload), 64);
-      co_return co_await reply->take(c);
-    }(this, ctx, static_cast<int>(s), restored_version));
+    RecoveryEvent ev;
+    ev.app = params_.app;
+    ev.restored_version = restored_version;
+    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
+                              std::move(ev)));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
   std::size_t total = 0;
@@ -175,16 +194,10 @@ sim::Task<QueryResult> StagingClient::query_impl(sim::Ctx ctx,
                                                  std::string var) {
   std::vector<sim::Task<QueryResponse>> sends;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    sends.push_back([](StagingClient* self, sim::Ctx c, int server,
-                       std::string v) -> sim::Task<QueryResponse> {
-      auto reply = net::make_reply<QueryResponse>(*c.eng);
-      QueryRequest req{std::move(v), self->self_endpoint(), reply};
-      std::any payload = Request{std::move(req)};
-      co_await self->cluster_->fabric().send(
-          c, self->self_endpoint(), self->server_endpoint(server),
-          std::move(payload), 64);
-      co_return co_await reply->take(c);
-    }(this, ctx, static_cast<int>(s), var));
+    QueryRequest req;
+    req.var = var;
+    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
+                              std::move(req)));
   }
   auto responses = co_await sim::when_all(ctx, std::move(sends));
 
@@ -206,16 +219,10 @@ sim::Task<void> StagingClient::rollback_staging(sim::Ctx ctx,
                                                 Version version) {
   std::vector<sim::Task<RollbackAck>> sends;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    sends.push_back([](StagingClient* self, sim::Ctx c, int server,
-                       Version v) -> sim::Task<RollbackAck> {
-      auto reply = net::make_reply<RollbackAck>(*c.eng);
-      RollbackRequest req{v, self->self_endpoint(), reply};
-      std::any payload = Request{std::move(req)};
-      co_await self->cluster_->fabric().send(
-          c, self->self_endpoint(), self->server_endpoint(server),
-          std::move(payload), 64);
-      co_return co_await reply->take(c);
-    }(this, ctx, static_cast<int>(s), version));
+    RollbackRequest req;
+    req.version = version;
+    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
+                              std::move(req)));
   }
   co_await sim::when_all(ctx, std::move(sends));
 }

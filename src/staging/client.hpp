@@ -1,7 +1,9 @@
 // Staging client: the application-side half of the Global User Interface
 // (Table 1 of the paper). Geometric puts/gets are sharded across servers by
 // the spatial DHT and issued in parallel; workflow_check()/workflow_restart()
-// broadcast checkpoint and recovery events to every server.
+// broadcast checkpoint and recovery events to every server. All traffic
+// flows through the typed net::Rpc transport, which owns the
+// timeout/retry/backoff loop.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,7 @@
 
 #include "cluster/cluster.hpp"
 #include "dht/spatial_index.hpp"
+#include "net/rpc.hpp"
 #include "staging/types.hpp"
 
 namespace dstage::staging {
@@ -34,6 +37,12 @@ struct ClientParams {
   sim::Duration put_timeout{0};
   sim::Duration get_timeout{0};
   int max_retries = 6;
+  /// Initial retry backoff, doubled per attempt (0 = immediate re-send,
+  /// the historical behavior).
+  sim::Duration retry_backoff{0};
+  /// Coalesce same-destination chunk puts of one write into a single
+  /// BatchPut message per server (see net::Config::batching).
+  bool batching = false;
 };
 
 struct PutResult {
@@ -41,6 +50,7 @@ struct PutResult {
   std::uint64_t nominal_bytes = 0;
   std::size_t pieces = 0;
   std::size_t suppressed = 0;  // pieces recognized as replay duplicates
+  std::size_t messages = 0;    // fabric messages the write fanned out into
 };
 
 /// Aggregated version metadata across the staging group.
@@ -117,10 +127,19 @@ class StagingClient {
   [[nodiscard]] const ClientParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t puts_issued() const { return puts_issued_; }
   [[nodiscard]] std::uint64_t gets_issued() const { return gets_issued_; }
+  /// Transport-level counters (calls, retries, exhausted attempts).
+  [[nodiscard]] const net::RpcStats& rpc_stats() const {
+    return rpc_.stats();
+  }
 
  private:
-  [[nodiscard]] net::EndpointId self_endpoint() const;
   [[nodiscard]] net::EndpointId server_endpoint(int server) const;
+  [[nodiscard]] net::RetryPolicy put_policy() const {
+    return {params_.put_timeout, params_.max_retries, params_.retry_backoff};
+  }
+  [[nodiscard]] net::RetryPolicy get_policy() const {
+    return {params_.get_timeout, params_.max_retries, params_.retry_backoff};
+  }
 
   sim::Task<PutResult> put_impl(sim::Ctx ctx, std::string var,
                                 Version version, Box region);
@@ -128,6 +147,8 @@ class StagingClient {
   sim::Task<GetResult> get_impl(sim::Ctx ctx, std::string var,
                                 Version version, Box region);
   sim::Task<PutResponse> send_put(sim::Ctx ctx, int server, Chunk chunk);
+  sim::Task<BatchPutResponse> send_batch(sim::Ctx ctx, int server,
+                                         std::vector<Chunk> chunks);
   sim::Task<GetResponse> send_get(sim::Ctx ctx, int server,
                                   ObjectDesc desc);
 
@@ -136,6 +157,7 @@ class StagingClient {
   std::vector<cluster::VprocId> servers_;
   cluster::VprocId self_;
   ClientParams params_;
+  net::Rpc rpc_;
   std::uint64_t puts_issued_ = 0;
   std::uint64_t gets_issued_ = 0;
 };

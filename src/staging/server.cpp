@@ -3,34 +3,34 @@
 #include <algorithm>
 #include <tuple>
 #include <utility>
+#include <variant>
 
 #include "resilience/reed_solomon.hpp"
 #include "sim/spawn.hpp"
 
 namespace dstage::staging {
 
+namespace {
+/// Exhaustive-visit helper: adding a Message alternative without a matching
+/// handler lambda is a compile error.
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+}  // namespace
+
 StagingServer::StagingServer(cluster::Cluster& cluster,
                              cluster::VprocId vproc, ServerParams params)
     : cluster_(&cluster),
       vproc_(vproc),
       params_(params),
+      rpc_(cluster.fabric(), cluster.vproc(vproc).endpoint),
       store_(params.version_window) {}
 
 net::EndpointId StagingServer::endpoint() const {
   return cluster_->vproc(vproc_).endpoint;
-}
-
-sim::Task<void> StagingServer::respond(net::EndpointId dst,
-                                       std::uint64_t bytes,
-                                       std::function<void()> fulfil) {
-  if (bytes <= 256) {
-    // Small acks are RDMA completion notifications: control path only.
-    co_await cluster_->fabric().notify(ctx(), endpoint(), dst,
-                                       std::move(fulfil));
-  } else {
-    co_await cluster_->fabric().transmit(ctx(), endpoint(), dst, bytes,
-                                         std::move(fulfil));
-  }
 }
 
 sim::Duration StagingServer::copy_time(std::uint64_t bytes) const {
@@ -85,79 +85,60 @@ sim::Task<void> StagingServer::run() {
   sim::Ctx c = ctx();
   for (;;) {
     net::Packet packet = co_await ep.recv(c.tok);
-    auto* request = std::any_cast<Request>(&packet.payload);
-    if (request == nullptr) continue;  // foreign packet: ignore
-    co_await handle(std::move(*request));
+    co_await handle(std::move(packet.payload));
     sample_memory();
   }
 }
 
 sim::Task<void> StagingServer::handle(Request request) {
-  static constexpr const char* kRequestName[] = {
-      "put",           "get",           "checkpoint",  "recovery",
-      "rollback",      "fragment_put",  "fragment_prune",
-      "queue_backup",  "recovery_pull", "query"};
   if (obs_ != nullptr) {
-    const std::size_t idx = std::min<std::size_t>(request.index(), 9);
-    current_request_span_ =
-        obs_->tracer().begin(obs_track_, kRequestName[idx], obs::Phase::kOther,
-                             cluster_->engine().now());
+    current_request_span_ = obs_->tracer().begin(
+        obs_track_, net::message_name(request), obs::Phase::kOther,
+        cluster_->engine().now());
     obs_->metrics().counter("staging.requests", obs_track_).inc();
   }
-  switch (request.index()) {
-    case 0:
-      co_await handle_put(std::get<0>(std::move(request)));
-      break;
-    case 1:
-      co_await handle_get(std::get<1>(std::move(request)));
-      break;
-    case 2:
-      co_await handle_checkpoint(std::get<2>(std::move(request)));
-      break;
-    case 3:
-      co_await handle_recovery(std::get<3>(std::move(request)));
-      break;
-    case 4:
-      co_await handle_rollback(std::get<4>(std::move(request)));
-      break;
-    case 5:
-      handle_fragment_put(std::get<5>(std::move(request)));
-      break;
-    case 6:
-      handle_fragment_prune(std::get<6>(request));
-      break;
-    case 7:
-      handle_queue_backup(std::get<7>(std::move(request)));
-      break;
-    case 8:
-      co_await handle_recovery_pull(std::get<8>(std::move(request)));
-      break;
-    default:
-      co_await handle_query(std::get<9>(std::move(request)));
-      break;
-  }
+  co_await std::visit(
+      Overloaded{
+          [this](PutRequest&& m) { return handle_put(std::move(m)); },
+          [this](GetRequest&& m) { return handle_get(std::move(m)); },
+          [this](CheckpointEvent&& m) {
+            return handle_checkpoint(std::move(m));
+          },
+          [this](RecoveryEvent&& m) { return handle_recovery(std::move(m)); },
+          [this](RollbackRequest&& m) { return handle_rollback(std::move(m)); },
+          [this](FragmentPut&& m) { return handle_fragment_put(std::move(m)); },
+          [this](FragmentPrune&& m) {
+            return handle_fragment_prune(std::move(m));
+          },
+          [this](QueueBackup&& m) { return handle_queue_backup(std::move(m)); },
+          [this](RecoveryPull&& m) {
+            return handle_recovery_pull(std::move(m));
+          },
+          [this](QueryRequest&& m) { return handle_query(std::move(m)); },
+          [this](BatchPut&& m) { return handle_batch_put(std::move(m)); },
+      },
+      std::move(request));
   if (obs_ != nullptr) {
     obs_->tracer().end(current_request_span_, cluster_->engine().now());
     current_request_span_ = 0;
   }
 }
 
-sim::Task<void> StagingServer::handle_put(PutRequest req) {
+sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
+                                                Chunk chunk) {
   sim::Ctx c = ctx();
-  co_await c.delay(params_.request_overhead);
   ++stats_.puts;
 
   PutResponse resp;
   bool apply = true;
 
-  if (params_.logging && req.logged) {
-    auto& q = queues_[req.app];
+  if (params_.logging && logged) {
+    auto& q = queues_[app];
     if (q.replaying()) {
       const wlog::LogEvent* expected = q.expected();
       if (expected != nullptr && expected->kind == wlog::EventKind::kPut &&
-          expected->var == req.chunk.var &&
-          expected->version == req.chunk.version &&
-          expected->region == req.chunk.region) {
+          expected->var == chunk.var && expected->version == chunk.version &&
+          expected->region == chunk.region) {
         // Redundant write from a rolled-back producer: the payload is
         // already staged/logged, so the write request is omitted.
         q.advance();
@@ -171,53 +152,71 @@ sim::Task<void> StagingServer::handle_put(PutRequest req) {
     if (apply) {
       // Client retries are idempotent: an identical chunk already staged is
       // acknowledged without re-applying or re-logging.
-      auto existing =
-          store_.get(req.chunk.var, req.chunk.version, req.chunk.region);
-      if (existing.size() == 1 && existing[0].region == req.chunk.region &&
-          existing[0].content_key == req.chunk.content_key) {
+      auto existing = store_.get(chunk.var, chunk.version, chunk.region);
+      if (existing.size() == 1 && existing[0].region == chunk.region &&
+          existing[0].content_key == chunk.content_key) {
         apply = false;
         resp.applied = true;
       }
     }
     if (apply) {
       co_await c.delay(params_.log_event_overhead);
-      wlog::LogEvent event{wlog::EventKind::kPut, req.app,
-                           req.chunk.version, req.chunk.var,
-                           req.chunk.region, req.chunk.nominal_bytes, 0};
+      wlog::LogEvent event{wlog::EventKind::kPut, app,
+                           chunk.version,         chunk.var,
+                           chunk.region,          chunk.nominal_bytes,
+                           0};
       q.record(event);
       sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
     }
   }
 
   if (apply) {
-    co_await c.delay(copy_time(req.chunk.nominal_bytes));
-    if (params_.logging && req.logged) {
+    co_await c.delay(copy_time(chunk.nominal_bytes));
+    if (params_.logging && logged) {
       // Log append: the data log retains the payload for replay (buffer
       // shared with the base store; the cost is version/index bookkeeping).
-      co_await c.delay(sim::from_seconds(
-          copy_time(req.chunk.nominal_bytes).seconds() *
-          params_.log_append_fraction));
-      dlog_.add(req.chunk);
+      co_await c.delay(
+          sim::from_seconds(copy_time(chunk.nominal_bytes).seconds() *
+                            params_.log_append_fraction));
+      dlog_.add(chunk);
     }
-    const std::string var = req.chunk.var;
-    const Version version = req.chunk.version;
+    const std::string var = chunk.var;
+    const Version version = chunk.version;
     if (params_.policy.kind != resilience::Redundancy::kNone) {
-      co_await c.delay(params_.policy.encode_time(req.chunk.nominal_bytes));
-      const bool was_logged = params_.logging && req.logged;
-      sim::spawn(cluster_->engine(),
-                 push_fragments(req.chunk, was_logged));
+      co_await c.delay(params_.policy.encode_time(chunk.nominal_bytes));
+      const bool was_logged = params_.logging && logged;
+      sim::spawn(cluster_->engine(), push_fragments(chunk, was_logged));
     }
-    store_.put(std::move(req.chunk));
+    store_.put(std::move(chunk));
     resp.applied = true;
     poke_pending(var, version);
   }
+  co_return resp;
+}
 
-  // Named deliver closure: GCC 12 double-destroys non-trivial prvalue
-  // temporaries inside co_await full-expressions.
-  std::function<void()> deliver = [reply = req.reply, resp] {
-    reply->fulfill(resp);
-  };
-  co_await respond(req.reply_to, 64, std::move(deliver));
+sim::Task<void> StagingServer::handle_put(PutRequest req) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  PutResponse resp = co_await apply_put(req.app, req.logged,
+                                        std::move(req.chunk));
+  co_await rpc_.fulfill(c, req.reply_to, std::move(req.reply), resp);
+}
+
+sim::Task<void> StagingServer::handle_batch_put(BatchPut req) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.batch_puts;
+  BatchPutResponse resp;
+  resp.results.reserve(req.chunks.size());
+  // The chunks are applied sequentially — the same server-side pipeline a
+  // sequence of single puts runs through — but the fabric charged the
+  // message overhead only once, and the response below acks all of them.
+  for (Chunk& chunk : req.chunks) {
+    resp.results.push_back(
+        co_await apply_put(req.app, req.logged, std::move(chunk)));
+  }
+  co_await rpc_.fulfill(c, req.reply_to, std::move(req.reply),
+                        std::move(resp));
 }
 
 sim::Task<void> StagingServer::handle_get(GetRequest req) {
@@ -315,15 +314,11 @@ sim::Task<void> StagingServer::respond_get(GetRequest req,
   GetResponse resp;
   resp.found = !pieces.empty();
   resp.from_log = from_log;
-  std::uint64_t bytes = 128;
-  for (const Chunk& piece : pieces) bytes += piece.nominal_bytes;
   resp.pieces = std::move(pieces);
+  const std::uint64_t bytes = net::wire_size(resp);
   co_await ctx().delay(copy_time(bytes));  // gather/pack on the server
-  std::function<void()> deliver = [reply = req.reply,
-                                   resp = std::move(resp)]() mutable {
-    reply->fulfill(std::move(resp));
-  };
-  co_await respond(req.reply_to, bytes, std::move(deliver));
+  co_await rpc_.fulfill(ctx(), req.reply_to, std::move(req.reply),
+                        std::move(resp));
 }
 
 void StagingServer::poke_pending(const std::string& var, Version version) {
@@ -441,21 +436,15 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
         for (std::size_t p = 0; p < peer_endpoints_.size(); ++p) {
           if (static_cast<int>(p) == self_index_) continue;
           sim::Ctx sc = ctx();
-          std::any payload =
-              Request{FragmentPrune{self_index_, var, keep_from - 1}};
+          net::Message prune{FragmentPrune{self_index_, var, keep_from - 1}};
           sim::spawn(cluster_->engine(),
-                     cluster_->fabric().send(sc, endpoint(),
-                                             peer_endpoints_[p],
-                                             std::move(payload), 64));
+                     rpc_.send(sc, peer_endpoints_[p], std::move(prune)));
         }
       }
     }
   }
 
-  std::function<void()> deliver = [reply = ev.reply, ack] {
-    reply->fulfill(ack);
-  };
-  co_await respond(ev.reply_to, 64, std::move(deliver));
+  co_await rpc_.fulfill(c, ev.reply_to, std::move(ev.reply), ack);
 }
 
 sim::Task<void> StagingServer::handle_recovery(RecoveryEvent ev) {
@@ -470,10 +459,7 @@ sim::Task<void> StagingServer::handle_recovery(RecoveryEvent ev) {
                             ev.restored_version, {}, Box{}, 0, 0});
     ack.replay_events = q.begin_replay();
   }
-  std::function<void()> deliver = [reply = ev.reply, ack] {
-    reply->fulfill(ack);
-  };
-  co_await respond(ev.reply_to, 64, std::move(deliver));
+  co_await rpc_.fulfill(c, ev.reply_to, std::move(ev.reply), ack);
 }
 
 sim::Task<void> StagingServer::handle_rollback(RollbackRequest req) {
@@ -489,39 +475,35 @@ sim::Task<void> StagingServer::handle_rollback(RollbackRequest req) {
     return g.desc.version > req.version;
   });
 
-  std::function<void()> deliver = [reply = req.reply, ack] {
-    reply->fulfill(ack);
-  };
-  co_await respond(req.reply_to, 64, std::move(deliver));
+  co_await rpc_.fulfill(c, req.reply_to, std::move(req.reply), ack);
 }
 
-void StagingServer::handle_fragment_put(FragmentPut frag) {
+sim::Task<void> StagingServer::handle_fragment_put(FragmentPut frag) {
   fragment_bytes_ += frag.nominal_bytes;
   ++stats_.fragments_held;
   fragments_[frag.owner].push_back(std::move(frag));
+  co_return;
 }
 
-void StagingServer::handle_fragment_prune(const FragmentPrune& prune) {
+sim::Task<void> StagingServer::handle_fragment_prune(FragmentPrune prune) {
   auto it = fragments_.find(prune.owner);
-  if (it == fragments_.end()) return;
+  if (it == fragments_.end()) co_return;
   std::erase_if(it->second, [&](const FragmentPut& f) {
     const bool drop = f.var == prune.var && f.version <= prune.upto;
     if (drop) fragment_bytes_ -= f.nominal_bytes;
     return drop;
   });
+  co_return;
 }
 
-void StagingServer::handle_queue_backup(QueueBackup backup) {
+sim::Task<void> StagingServer::handle_queue_backup(QueueBackup backup) {
   ++stats_.mirrored_events;
-  auto& q = mirrors_[backup.owner][backup.app];
-  q.record(wlog::LogEvent{static_cast<wlog::EventKind>(backup.kind),
-                          backup.app, backup.version, std::move(backup.var),
-                          backup.region, backup.nominal_bytes,
-                          backup.chk_id});
-  if (static_cast<wlog::EventKind>(backup.kind) ==
-      wlog::EventKind::kCheckpoint) {
-    q.truncate_before_last_checkpoint();
-  }
+  auto& q = mirrors_[backup.owner][backup.record.app];
+  const bool checkpoint =
+      backup.record.kind == wlog::EventKind::kCheckpoint;
+  q.record(std::move(backup.record));
+  if (checkpoint) q.truncate_before_last_checkpoint();
+  co_return;
 }
 
 sim::Task<void> StagingServer::handle_recovery_pull(RecoveryPull pull) {
@@ -534,23 +516,14 @@ sim::Task<void> StagingServer::handle_recovery_pull(RecoveryPull pull) {
   if (auto it = mirrors_.find(pull.owner); it != mirrors_.end()) {
     for (const auto& [app, queue] : it->second) {
       for (const wlog::LogEvent& e : queue.events()) {
-        resp.events.push_back(QueueBackup{pull.owner, app,
-                                          static_cast<int>(e.kind),
-                                          e.version, e.var, e.region,
-                                          e.nominal_bytes, e.chk_id});
+        resp.events.push_back(QueueBackup{pull.owner, e});
       }
     }
   }
-  for (const FragmentPut& f : resp.fragments)
-    resp.transport_bytes += f.nominal_bytes;
-  resp.transport_bytes += 96 * resp.events.size() + 128;
-  const std::uint64_t bytes = resp.transport_bytes;
+  const std::uint64_t bytes = net::wire_size(resp);
   co_await c.delay(copy_time(bytes));
-  std::function<void()> deliver = [reply = pull.reply,
-                                   resp = std::move(resp)]() mutable {
-    reply->fulfill(std::move(resp));
-  };
-  co_await respond(pull.reply_to, bytes, std::move(deliver));
+  co_await rpc_.fulfill(c, pull.reply_to, std::move(pull.reply),
+                        std::move(resp));
 }
 
 sim::Task<void> StagingServer::handle_query(QueryRequest query) {
@@ -559,27 +532,16 @@ sim::Task<void> StagingServer::handle_query(QueryRequest query) {
   QueryResponse resp;
   resp.store_versions = store_.versions_of(query.var);
   resp.logged_versions = dlog_.versions_of(query.var);
-  const std::uint64_t bytes =
-      64 + 4 * (resp.store_versions.size() + resp.logged_versions.size());
-  std::function<void()> deliver = [reply = query.reply,
-                                   resp = std::move(resp)]() mutable {
-    reply->fulfill(std::move(resp));
-  };
-  co_await respond(query.reply_to, bytes, std::move(deliver));
+  co_await rpc_.fulfill(c, query.reply_to, std::move(query.reply),
+                        std::move(resp));
 }
 
 sim::Task<void> StagingServer::mirror_event(wlog::LogEvent event) {
   if (peer_endpoints_.size() < 2) co_return;
   const auto successor = static_cast<std::size_t>(
       (self_index_ + 1) % static_cast<int>(peer_endpoints_.size()));
-  QueueBackup backup{self_index_,       event.app,
-                     static_cast<int>(event.kind), event.version,
-                     std::move(event.var),         event.region,
-                     event.nominal_bytes,          event.chk_id};
-  sim::Ctx c = ctx();
-  std::any payload = Request{std::move(backup)};
-  co_await cluster_->fabric().send(c, endpoint(), peer_endpoints_[successor],
-                                   std::move(payload), 96);
+  net::Message backup{QueueBackup{self_index_, std::move(event)}};
+  co_await rpc_.send(ctx(), peer_endpoints_[successor], std::move(backup));
 }
 
 sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
@@ -596,15 +558,13 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
     const auto peer = static_cast<std::size_t>(
         (self_index_ + 1 + (frag_index - 1) % (total_servers - 1)) %
         total_servers);
-    FragmentPut frag{self_index_,       chunk.var,
-                     chunk.version,     chunk.region,
-                     frag_index,        nominal,
-                     chunk.data ? chunk.data->size() : 0,
-                     chunk.content_key, logged,
-                     std::move(data)};
-    std::any payload = Request{std::move(frag)};
-    return cluster_->fabric().send(c, endpoint(), peer_endpoints_[peer],
-                                   std::move(payload), nominal);
+    net::Message frag{FragmentPut{self_index_,       chunk.var,
+                                  chunk.version,     chunk.region,
+                                  frag_index,        nominal,
+                                  chunk.data ? chunk.data->size() : 0,
+                                  chunk.content_key, logged,
+                                  std::move(data)}};
+    return rpc_.send(c, peer_endpoints_[peer], std::move(frag));
   };
 
   if (params_.policy.kind == resilience::Redundancy::kReplication) {
@@ -647,16 +607,11 @@ sim::Task<void> StagingServer::rebuild_from_peers() {
   std::vector<sim::Task<RecoveryPullResponse>> pulls;
   for (int p = 0; p < total_servers; ++p) {
     if (p == self_index_) continue;
-    pulls.push_back([](StagingServer* self, sim::Ctx ctx2,
-                       net::EndpointId peer)
-                        -> sim::Task<RecoveryPullResponse> {
-      auto reply = net::make_reply<RecoveryPullResponse>(*ctx2.eng);
-      RecoveryPull pull{self->self_index_, self->endpoint(), reply};
-      std::any payload = Request{std::move(pull)};
-      co_await self->cluster_->fabric().send(ctx2, self->endpoint(), peer,
-                                             std::move(payload), 64);
-      co_return co_await reply->take(ctx2);
-    }(this, c, peer_endpoints_[static_cast<std::size_t>(p)]));
+    RecoveryPull pull;
+    pull.owner = self_index_;
+    pulls.push_back(
+        rpc_.call(c, peer_endpoints_[static_cast<std::size_t>(p)],
+                  std::move(pull)));
   }
   auto responses = co_await sim::when_all(c, std::move(pulls));
 
@@ -678,10 +633,8 @@ sim::Task<void> StagingServer::rebuild_from_peers() {
           std::move(f));
     }
     for (QueueBackup& e : resp.events) {
-      auto& q = queues_[e.app];
-      q.record(wlog::LogEvent{static_cast<wlog::EventKind>(e.kind), e.app,
-                              e.version, std::move(e.var), e.region,
-                              e.nominal_bytes, e.chk_id});
+      auto& q = queues_[e.record.app];
+      q.record(std::move(e.record));
     }
   }
 

@@ -14,6 +14,7 @@
 
 #include "cluster/cluster.hpp"
 #include "gc/garbage_collector.hpp"
+#include "net/rpc.hpp"
 #include "obs/observability.hpp"
 #include "resilience/policy.hpp"
 #include "staging/object_store.hpp"
@@ -48,6 +49,7 @@ struct ServerParams {
 
 struct ServerStats {
   std::uint64_t puts = 0;
+  std::uint64_t batch_puts = 0;  // coalesced put messages unpacked
   std::uint64_t fragments_held = 0;     // fragments stored for peers
   std::uint64_t fragments_pushed = 0;   // fragments sent to peers
   std::uint64_t mirrored_events = 0;    // queue records mirrored here
@@ -169,15 +171,23 @@ class StagingServer {
   sim::Task<void> run();
   sim::Task<void> handle(Request request);
   sim::Task<void> handle_put(PutRequest req);
+  sim::Task<void> handle_batch_put(BatchPut req);
   sim::Task<void> handle_get(GetRequest req);
   sim::Task<void> handle_checkpoint(CheckpointEvent ev);
   sim::Task<void> handle_recovery(RecoveryEvent ev);
   sim::Task<void> handle_rollback(RollbackRequest req);
-  void handle_fragment_put(FragmentPut frag);
-  void handle_fragment_prune(const FragmentPrune& prune);
-  void handle_queue_backup(QueueBackup backup);
+  sim::Task<void> handle_fragment_put(FragmentPut frag);
+  sim::Task<void> handle_fragment_prune(FragmentPrune prune);
+  sim::Task<void> handle_queue_backup(QueueBackup backup);
   sim::Task<void> handle_recovery_pull(RecoveryPull pull);
   sim::Task<void> handle_query(QueryRequest query);
+
+  /// The put state machine shared by single and batched puts: replay
+  /// suppression, idempotent-duplicate detection, event logging, the store
+  /// copy, log append, and redundancy encode/push. Pays every virtual-time
+  /// cost except the per-request overhead (charged once per *message* by
+  /// the caller).
+  sim::Task<PutResponse> apply_put(AppId app, bool logged, Chunk chunk);
 
   /// Push redundancy fragments of a freshly applied chunk to peers and
   /// notify them of reclaimable older versions (detached).
@@ -190,11 +200,6 @@ class StagingServer {
   /// Serve a get whose data is present; pays response transport.
   sim::Task<void> respond_get(GetRequest req, std::vector<Chunk> pieces,
                               bool from_log);
-  /// Pay response transport for `bytes`, then run `fulfil` after the wire
-  /// latency. Call sites must pass a *named* std::function via std::move
-  /// (GCC 12 double-destroys prvalue temporaries in co_await expressions).
-  sim::Task<void> respond(net::EndpointId dst, std::uint64_t bytes,
-                          std::function<void()> fulfil);
   /// Re-check pending gets after a put made (var, version) more complete.
   void poke_pending(const std::string& var, Version version);
 
@@ -205,6 +210,7 @@ class StagingServer {
   cluster::Cluster* cluster_;
   cluster::VprocId vproc_;
   ServerParams params_;
+  net::Rpc rpc_;
   ObjectStore store_;
   wlog::DataLog dlog_;
   std::map<AppId, wlog::EventQueue> queues_;

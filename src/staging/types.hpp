@@ -1,31 +1,50 @@
-// Shared vocabulary of the staging service: geometric object descriptors
-// (DataSpaces-style), payload chunks carrying real (scaled) bytes, and the
-// request/response messages exchanged between clients and servers.
+// Shared vocabulary of the staging service. The wire-facing types —
+// geometric object descriptors (DataSpaces-style), payload chunks carrying
+// real (scaled) bytes, and every request/response message — live in the
+// net message layer (net/message.hpp) so the transport codec and the
+// endpoints agree on one closed vocabulary; this header aliases them into
+// the staging namespace and adds the payload-synthesis/verification
+// helpers that are staging-side concerns.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <variant>
-#include <vector>
 
-#include "net/fabric.hpp"
+#include "net/message.hpp"
 #include "util/checksum.hpp"
 #include "util/geometry.hpp"
 
 namespace dstage::staging {
 
-using AppId = int;
-using Version = std::uint32_t;
+using AppId = net::AppId;
+using Version = net::Version;
 
-/// Geometric descriptor: a named, versioned region of the global domain.
-struct ObjectDesc {
-  std::string var;
-  Version version = 0;
-  Box region;
+using ObjectDesc = net::ObjectDesc;
+using Chunk = net::Chunk;
 
-  friend bool operator==(const ObjectDesc&, const ObjectDesc&) = default;
-};
+using PutResponse = net::PutResponse;
+using GetResponse = net::GetResponse;
+using CheckpointAck = net::CheckpointAck;
+using RecoveryAck = net::RecoveryAck;
+using RollbackAck = net::RollbackAck;
+using BatchPutResponse = net::BatchPutResponse;
+using RecoveryPullResponse = net::RecoveryPullResponse;
+using QueryResponse = net::QueryResponse;
+
+using PutRequest = net::PutRequest;
+using GetRequest = net::GetRequest;
+using CheckpointEvent = net::CheckpointEvent;
+using RecoveryEvent = net::RecoveryEvent;
+using RollbackRequest = net::RollbackRequest;
+using FragmentPut = net::FragmentPut;
+using FragmentPrune = net::FragmentPrune;
+using QueueBackup = net::QueueBackup;
+using RecoveryPull = net::RecoveryPull;
+using QueryRequest = net::QueryRequest;
+using BatchPut = net::BatchPut;
+
+/// Any staging message (historical name for net::Message).
+using Request = net::Message;
 
 /// Stable hash of a region, mixed into payload content keys.
 std::uint64_t region_hash(const Box& b);
@@ -34,22 +53,6 @@ std::uint64_t region_hash(const Box& b);
 /// source region). Consumers recompute it to detect version anomalies.
 std::uint64_t chunk_content_key(const std::string& var, Version version,
                                 const Box& source_region);
-
-/// A stored piece of an object. `data` holds real bytes scaled down by the
-/// configured mem_scale; `nominal_bytes` is the unscaled size used by all
-/// virtual-time cost models and accounting.
-struct Chunk {
-  std::string var;
-  Version version = 0;
-  Box region;  // source region this piece covers
-  std::uint64_t nominal_bytes = 0;
-  std::uint64_t content_key = 0;
-  std::shared_ptr<const std::vector<std::uint8_t>> data;
-
-  [[nodiscard]] std::uint64_t physical_bytes() const {
-    return data ? data->size() : 0;
-  }
-};
 
 /// Synthesizes a chunk whose bytes are the deterministic stream for
 /// (var, version, region). `bytes_per_point` sets the nominal size;
@@ -63,160 +66,5 @@ Chunk make_chunk(const std::string& var, Version version, const Box& region,
 enum class ChunkCheck { kOk, kWrongVersion, kCorrupt };
 ChunkCheck check_chunk(const Chunk& chunk, const std::string& expected_var,
                        Version expected_version);
-
-// ---------------------------------------------------------------------------
-// Client → server messages. Every request carries the issuing app and a
-// Reply the server fulfills after paying response transport costs.
-// ---------------------------------------------------------------------------
-
-struct PutResponse {
-  bool applied = false;     // false when suppressed as a replayed duplicate
-  bool suppressed = false;  // true when recognized from the replay script
-};
-
-struct GetResponse {
-  bool found = false;
-  std::vector<Chunk> pieces;
-  /// True when the pieces were resolved from the data log (replay mode)
-  /// rather than the live store.
-  bool from_log = false;
-};
-
-struct CheckpointAck {
-  std::uint64_t chk_id = 0;
-};
-
-struct RecoveryAck {
-  /// Number of logged events the server will replay for this app.
-  std::size_t replay_events = 0;
-};
-
-struct RollbackAck {
-  std::size_t versions_dropped = 0;
-};
-
-struct PutRequest {
-  AppId app = -1;
-  Chunk chunk;
-  bool logged = false;
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<PutResponse> reply;
-};
-
-struct GetRequest {
-  AppId app = -1;
-  ObjectDesc desc;
-  bool logged = false;
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<GetResponse> reply;
-};
-
-/// workflow_check(): a checkpoint event for `app`; the server assigns and
-/// records a W_Chk_ID and truncates the app's queue (GC).
-struct CheckpointEvent {
-  AppId app = -1;
-  Version version = 0;  // app's timestep at the checkpoint
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<CheckpointAck> reply;
-  // A checkpoint marker plays two roles: it anchors the app's replay
-  // script (valid for every checkpoint level) and it advances the GC
-  // watermark (only sound for a checkpoint that survives the worst
-  // failure the app can suffer). Node-local and emergency checkpoints
-  // are wiped by a node failure, whose recovery falls back to the PFS
-  // level — announcing them as durable would let GC reclaim logged
-  // versions the fallback restart still has to replay.
-  bool durable = true;
-};
-
-/// workflow_restart(): app recovered from its latest checkpoint and
-/// re-attached; the server switches the app's queue into replay mode.
-struct RecoveryEvent {
-  AppId app = -1;
-  Version restored_version = 0;
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<RecoveryAck> reply;
-};
-
-/// Coordinated-restart support: discard every version newer than
-/// `version` so the staging state matches the global snapshot.
-struct RollbackRequest {
-  Version version = 0;
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<RollbackAck> reply;
-};
-
-// ---------------------------------------------------------------------------
-// Inter-server resilience traffic (CoREC-style). Every staged (and logged)
-// payload is protected by redundancy fragments pushed to peer servers, and
-// each server mirrors its event queues to its successor, so a failed
-// staging server can be rebuilt from its peers.
-// ---------------------------------------------------------------------------
-
-/// One-way: a redundancy fragment (full replica or RS shard) pushed by the
-/// owning server to a peer.
-struct FragmentPut {
-  int owner = -1;  // staging server index that owns the object
-  std::string var;
-  Version version = 0;
-  Box region;          // the owner's chunk region
-  int frag_index = 0;  // 1 .. fragments-1 (the owner's payload is index 0)
-  std::uint64_t nominal_bytes = 0;    // paper-scale share for accounting
-  std::size_t original_physical = 0;  // owner chunk's physical byte count
-  std::uint64_t content_key = 0;      // source chunk key, for verification
-  bool logged = false;                // restore into the data log too
-  std::shared_ptr<const std::vector<std::uint8_t>> data;  // fragment bytes
-};
-
-/// One-way: owner → peers, reclaim fragments of versions <= `upto`.
-struct FragmentPrune {
-  int owner = -1;
-  std::string var;
-  Version upto = 0;
-};
-
-/// One-way: a mirrored event-queue record (queue resilience). Field-for-
-/// field copy of wlog::LogEvent, flattened to avoid a layering cycle.
-struct QueueBackup {
-  int owner = -1;
-  AppId app = -1;
-  int kind = 0;  // wlog::EventKind as int
-  Version version = 0;
-  std::string var;
-  Box region;
-  std::uint64_t nominal_bytes = 0;
-  std::uint64_t chk_id = 0;
-};
-
-struct RecoveryPullResponse {
-  std::vector<FragmentPut> fragments;
-  std::vector<QueueBackup> events;
-  std::uint64_t transport_bytes = 0;
-};
-
-/// Replacement server → every peer: send back everything you hold on my
-/// behalf (fragments + mirrored queue events).
-struct RecoveryPull {
-  int owner = -1;
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<RecoveryPullResponse> reply;
-};
-
-/// Metadata query: which versions of `var` does this server hold?
-struct QueryResponse {
-  std::vector<Version> store_versions;   // base-store window
-  std::vector<Version> logged_versions;  // data-log retention
-};
-
-struct QueryRequest {
-  std::string var;
-  net::EndpointId reply_to = -1;
-  net::ReplyPtr<QueryResponse> reply;
-};
-
-/// Any staging message (std::variant keeps dispatch exhaustive).
-using Request =
-    std::variant<PutRequest, GetRequest, CheckpointEvent, RecoveryEvent,
-                 RollbackRequest, FragmentPut, FragmentPrune, QueueBackup,
-                 RecoveryPull, QueryRequest>;
 
 }  // namespace dstage::staging

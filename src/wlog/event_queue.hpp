@@ -10,28 +10,23 @@
 #include <deque>
 #include <string>
 
-#include "staging/types.hpp"
+#include "net/message.hpp"
 #include "util/geometry.hpp"
 
 namespace dstage::wlog {
 
-using staging::AppId;
-using staging::Version;
+using net::AppId;
+using net::Version;
 
 /// Workflow-checkpoint identifier (unique per checkpoint event).
 using WChkId = std::uint64_t;
 
-enum class EventKind { kPut, kGet, kCheckpoint, kRecovery };
+using EventKind = net::EventKind;
 
-struct LogEvent {
-  EventKind kind = EventKind::kPut;
-  AppId app = -1;
-  Version version = 0;  // data version; for checkpoints, the app's timestep
-  std::string var;
-  Box region;
-  std::uint64_t nominal_bytes = 0;
-  WChkId chk_id = 0;
-};
+/// One queue record. This *is* the shared net::EventRecord POD — the same
+/// record the QueueBackup mirror message carries verbatim, so queue
+/// resilience involves no per-field flattening between layers.
+using LogEvent = net::EventRecord;
 
 /// Modeled serialized footprint of one queue record (descriptor + indexing
 /// entry), used by the staging memory accounting.

@@ -24,6 +24,16 @@ struct Rig {
         b(fabric.add_endpoint(n1)) {}
 };
 
+/// Payload whose codec size is exactly `nominal` bytes (a FragmentPut's
+/// wire footprint is its nominal payload share).
+Message sized_payload(std::uint64_t nominal, std::string var = "f") {
+  FragmentPut frag;
+  frag.owner = 0;
+  frag.var = std::move(var);
+  frag.nominal_bytes = nominal;
+  return Message{std::move(frag)};
+}
+
 TEST(FabricTest, InjectionTimeModel) {
   Rig rig;
   const auto& p = rig.fabric.params();
@@ -36,19 +46,22 @@ TEST(FabricTest, CrossNodeDeliveryPaysInjectionAndLatency) {
   Rig rig;
   sim::TimePoint recv_at{};
   std::string got;
+  std::uint64_t packet_bytes = 0;
   sim::spawn(rig.eng, [&]() -> sim::Task<void> {
-    auto pkt = co_await rig.fabric.endpoint(rig.b).recv(nullptr);
-    got = std::any_cast<std::string>(pkt.payload);
+    Packet pkt = co_await rig.fabric.endpoint(rig.b).recv(nullptr);
+    got = std::get<FragmentPut>(pkt.payload).var;
+    packet_bytes = pkt.bytes;
     recv_at = rig.eng.now();
   });
   sim::spawn(rig.eng, [&]() -> sim::Task<void> {
     sim::Ctx ctx{&rig.eng, nullptr};
-    std::any payload = std::string("hello");
-    co_await rig.fabric.send(ctx, rig.a, rig.b, std::move(payload),
-                             8'000'000'000ull);
+    co_await rig.fabric.send(ctx, rig.a, rig.b,
+                             sized_payload(8'000'000'000ull, "hello"));
   });
   rig.eng.run();
   EXPECT_EQ(got, "hello");
+  // The envelope records the codec's size — callers never supply one.
+  EXPECT_EQ(packet_bytes, 8'000'000'000ull);
   const auto expect = rig.fabric.injection_time(8'000'000'000ull) +
                       rig.fabric.params().latency;
   EXPECT_EQ(recv_at.ns, expect.ns);
@@ -64,8 +77,7 @@ TEST(FabricTest, IntraNodeSkipsNicAndLatency) {
   });
   sim::spawn(rig.eng, [&]() -> sim::Task<void> {
     sim::Ctx ctx{&rig.eng, nullptr};
-    std::any payload = 42;
-    co_await rig.fabric.send(ctx, rig.a, a2, std::move(payload), 1 << 20);
+    co_await rig.fabric.send(ctx, rig.a, a2, sized_payload(1 << 20));
   });
   rig.eng.run();
   EXPECT_EQ(recv_at.ns, 0);  // same virtual instant
@@ -86,9 +98,8 @@ TEST(FabricTest, NicContentionSerializesSenders) {
     sim::Ctx ctx{&rig.eng, nullptr};
     std::vector<sim::Task<void>> sends;
     for (int i = 0; i < 3; ++i) {
-      std::any payload = i;
-      sends.push_back(rig.fabric.send(ctx, rig.a, rig.b, std::move(payload),
-                                      8'000'000'000ull));
+      sends.push_back(
+          rig.fabric.send(ctx, rig.a, rig.b, sized_payload(8'000'000'000ull)));
     }
     co_await sim::when_all(ctx, std::move(sends));
   });
@@ -100,14 +111,12 @@ TEST(FabricTest, NicContentionSerializesSenders) {
   EXPECT_LT(last.seconds(), 3.1);
 }
 
-TEST(FabricTest, StatisticsAccumulate) {
+TEST(FabricTest, StatisticsAccumulateCodecBytes) {
   Rig rig;
   sim::spawn(rig.eng, [&]() -> sim::Task<void> {
     sim::Ctx ctx{&rig.eng, nullptr};
-    std::any p1 = 1;
-    co_await rig.fabric.send(ctx, rig.a, rig.b, std::move(p1), 100);
-    std::any p2 = 2;
-    co_await rig.fabric.send(ctx, rig.a, rig.b, std::move(p2), 200);
+    co_await rig.fabric.send(ctx, rig.a, rig.b, sized_payload(100));
+    co_await rig.fabric.send(ctx, rig.a, rig.b, sized_payload(200));
   });
   rig.eng.run();
   EXPECT_EQ(rig.fabric.packets_sent(), 2u);
@@ -126,8 +135,7 @@ TEST(FabricTest, SenderKilledAfterInjectionStillDelivers) {
   });
   sim::spawn(rig.eng, [&]() -> sim::Task<void> {
     sim::Ctx ctx{&rig.eng, &tok};
-    std::any payload = 7;
-    co_await rig.fabric.send(ctx, rig.a, rig.b, std::move(payload), 64);
+    co_await rig.fabric.send(ctx, rig.a, rig.b, sized_payload(64));
     co_await ctx.delay(sim::seconds(100));  // killed here
   });
   rig.eng.schedule_call(sim::microseconds(10), [&] { tok.cancel(); });
