@@ -51,6 +51,10 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
 
   for (std::size_t i = 0; i < schedules.size(); ++i) {
     result.total_failures_injected += reports[i].failures_injected;
+    result.spilled_versions += reports[i].spilled_versions;
+    result.spill_fetches += reports[i].spill_fetches;
+    result.puts_rejected += reports[i].puts_rejected;
+    result.backpressure_waits += reports[i].backpressure_waits;
     if (reports[i].ok()) {
       ++result.passed;
       continue;

@@ -38,6 +38,14 @@ struct CampaignResult {
   int passed = 0;
   int total_failures_injected = 0;
   std::vector<CampaignFailure> failures;
+  /// Aggregated memory-governor activity across all schedules (zero when
+  /// gen.memory_budget_mb == 0). A memory-governed campaign should assert
+  /// these are nonzero: a budget loose enough that neither spill nor
+  /// backpressure ever fires has verified nothing.
+  std::uint64_t spilled_versions = 0;
+  std::uint64_t spill_fetches = 0;
+  std::uint64_t puts_rejected = 0;
+  std::uint64_t backpressure_waits = 0;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };

@@ -242,10 +242,29 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     // Invariant 3, at reclaim time: a log drop is legal only at or below
     // the watermark this server could honestly have derived from the
     // checkpoints it has seen.
-    probes.log_drop = [&obs, &consumers, &report, si](
+    probes.log_drop = [&obs, &consumers, &report, &runner, si](
                           const std::string& var, Version version,
                           staging::DropReason why) {
       if (why == staging::DropReason::kRollback) return;
+      if (why == staging::DropReason::kSpill) {
+        // A spill eviction is legal at any version — but only if the PFS
+        // gateway really holds the evicted version at the instant the log
+        // lets go of it (the server must ack-then-drop, never drop-then-
+        // spill).
+        const staging::SpillGateway* gw = runner.runtime().spill_gateway();
+        bool covered = false;
+        if (gw != nullptr) {
+          for (Version v : gw->versions_of(var)) covered |= v == version;
+        }
+        if (!covered) {
+          add_violation(report.violations, 1,
+                        "server " + std::to_string(si) + " spilled " + var +
+                            " v" + std::to_string(version) +
+                            " out of its log with no PFS copy at the "
+                            "gateway");
+        }
+        return;
+      }
       if (why == staging::DropReason::kRotation) {
         add_violation(report.violations, 3,
                       "data log rotated out " + var + " v" +
@@ -296,7 +315,11 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
 
   bool deadlocked = false;
   try {
-    runner.run();
+    const core::RunMetrics metrics = runner.run();
+    report.spilled_versions = metrics.staging.spilled_versions;
+    report.spill_fetches = metrics.staging.spill_fetches;
+    report.puts_rejected = metrics.staging.puts_rejected;
+    report.backpressure_waits = metrics.rpc_backpressure_waits;
   } catch (const std::runtime_error& e) {
     deadlocked = true;
     add_violation(report.violations, 4,
@@ -478,6 +501,22 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     verify_holdings(srv.store(), "store");
     verify_holdings(srv.data_log(), "data log");
   }
+  // The spill gateway is one more holder: everything it persisted on the
+  // servers' behalf must be byte-exact too.
+  if (const staging::SpillGateway* gw = runner.runtime().spill_gateway()) {
+    for (const std::string& var : gw->variables()) {
+      for (Version v : gw->versions_of(var)) {
+        for (const staging::Chunk& chunk : gw->get(var, v, rspec.domain)) {
+          if (staging::check_chunk(chunk, var, v) !=
+              staging::ChunkCheck::kOk) {
+            add_violation(report.violations, 1,
+                          "spill gateway retains a corrupt " + var + " v" +
+                              std::to_string(v) + " chunk");
+          }
+        }
+      }
+    }
+  }
 
   // Retention: under a logging scheme, every committed version a
   // rolled-back consumer could still demand must remain fully covered by
@@ -502,6 +541,13 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
             cover.push_back(chunk.region);
           for (const staging::Chunk& chunk :
                srv->data_log().get(var, v, region))
+            cover.push_back(chunk.region);
+        }
+        // Spilled versions count as retained: replay faults them back in
+        // from the PFS transparently.
+        if (const staging::SpillGateway* gw =
+                runner.runtime().spill_gateway()) {
+          for (const staging::Chunk& chunk : gw->get(var, v, region))
             cover.push_back(chunk.region);
         }
         if (!boxes_cover(region, cover)) {

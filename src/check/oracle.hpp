@@ -64,6 +64,13 @@ struct OracleReport {
   int alarms_fired = 0;       // false-alarm entries that perturbed the run
   std::uint64_t trace_digest = 0;
   std::uint64_t reference_digest = 0;
+  // Memory-governor activity observed during the run (all zero when the
+  // schedule carries no memory budget). Campaigns aggregate these to
+  // assert that a tight budget really exercised spill and backpressure.
+  std::uint64_t spilled_versions = 0;
+  std::uint64_t spill_fetches = 0;
+  std::uint64_t puts_rejected = 0;
+  std::uint64_t backpressure_waits = 0;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Human-readable one-per-line violation list (empty string when ok).

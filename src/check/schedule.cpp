@@ -110,6 +110,10 @@ core::WorkflowSpec Schedule::to_spec() const {
   for (auto& comp : spec.components) {
     comp.local_ckpt_period = local_ckpt_period;
   }
+  if (memory_budget_mb > 0) {
+    spec.staging.memory_budget =
+        static_cast<std::uint64_t>(memory_budget_mb) << 20;
+  }
   spec.failures.seed = static_cast<std::uint64_t>(id) + 1;
   for (const ScheduleFailure& f : failures) {
     spec.failures.explicit_failures.push_back(
@@ -128,6 +132,11 @@ std::string Schedule::repro() const {
                 analytic_period, local_ckpt_period, resilience,
                 mtbf ? 1 : 0);
   out += buf;
+  // Emitted only when set, so pre-governor repro strings stay stable.
+  if (memory_budget_mb > 0) {
+    std::snprintf(buf, sizeof(buf), ";mb=%d", memory_budget_mb);
+    out += buf;
+  }
   for (const ScheduleFailure& f : failures) {
     std::string flags;
     if (f.phase < 0) flags += 'a';
@@ -171,6 +180,8 @@ Schedule Schedule::parse(const std::string& repro) {
       s.resilience = parse_int(val, "res");
     } else if (key == "mtbf") {
       s.mtbf = parse_int(val, "mtbf") != 0;
+    } else if (key == "mb") {
+      s.memory_budget_mb = parse_int(val, "mb");
     } else if (key == "f") {
       const auto parts = split(val, ':');
       if (parts.size() != 4) {
@@ -229,6 +240,7 @@ std::vector<Schedule> generate_schedules(const GenerateOptions& opts) {
     s.local_ckpt_period = rng.next_double() < 0.3 ? 2 : 0;
     s.resilience = rng.uniform_int(0, kResilienceKinds - 1);
     s.mtbf = rng.next_double() < 0.5;
+    s.memory_budget_mb = opts.memory_budget_mb;
 
     auto draw_flags = [&](ScheduleFailure& f) {
       f.node_level = rng.next_double() < 0.3;

@@ -42,6 +42,10 @@ struct Schedule {
   int local_ckpt_period = 0; // multi-level local checkpoints (0 disables)
   int resilience = 0;        // see kResilienceKinds
   bool mtbf = false;         // provenance: failure times drawn via MTBF
+  /// Per-server staging memory budget in MB (0 = governor disabled). Part
+  /// of the configuration, so memory-governed campaigns get their own
+  /// reference runs.
+  int memory_budget_mb = 0;
   std::vector<ScheduleFailure> failures;
 
   /// The Table-II workflow spec this schedule runs: total_ts shortened to
@@ -63,6 +67,9 @@ struct GenerateOptions {
   std::vector<core::Scheme> schemes;
   int total_ts = 12;
   int max_failures = 3;
+  /// Per-server staging memory budget in MB applied to every generated
+  /// schedule (0 = governor disabled).
+  int memory_budget_mb = 0;
 };
 
 /// Draw `count` independent schedules. Schedule i depends only on

@@ -58,6 +58,7 @@ RunMetrics WorkflowRunner::run() {
   ran_ = true;
 
   for (auto& server : runtime_->servers()) server->start();
+  if (runtime_->spill_gateway() != nullptr) runtime_->spill_gateway()->start();
   runtime_->cluster().on_failure(
       [this](cluster::VprocId vp) { on_vproc_failure(vp); });
   for (auto& comp : runtime_->comps()) {

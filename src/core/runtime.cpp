@@ -68,6 +68,7 @@ void Runtime::build(const SchemePolicy& policy) {
   // Staging servers: one vproc on its own node each.
   staging::ServerParams server_params = spec_.server;
   server_params.logging = policy.uses_logging();
+  server_params.governor = spec_.staging;
   for (int s = 0; s < spec_.staging_servers; ++s) {
     const auto node = cluster_.add_node();
     const std::string name = "staging-" + std::to_string(s);
@@ -160,6 +161,19 @@ void Runtime::build(const SchemePolicy& policy) {
     cp.logged = false;
     control_client_ = std::make_unique<staging::StagingClient>(
         cluster_, *index_, server_vprocs_, control_vproc_, cp);
+  }
+
+  // PFS spill gateway, only when the memory governor is armed. Created
+  // after every pre-existing vproc so governed-off runs keep their exact
+  // endpoint/vproc numbering (the golden-trace digests depend on it).
+  if (spec_.staging.memory_budget > 0) {
+    const auto node = cluster_.add_node();
+    spill_vproc_ = cluster_.add_vproc("spill-gw", node);
+    spill_gateway_ =
+        std::make_unique<staging::SpillGateway>(cluster_, spill_vproc_, pfs_);
+    if (obs_ != nullptr) spill_gateway_->set_obs(obs_.get(), "spill-gw");
+    const auto ep = cluster_.vproc(spill_vproc_).endpoint;
+    for (auto& server : servers_) server->set_spill_endpoint(ep);
   }
 
   // Variable registry for GC retention: consumers pin retention only when
@@ -297,6 +311,15 @@ RunMetrics Runtime::collect(int failures_injected) const {
     m.staging.gets_from_log += st.gets_from_log;
     m.staging.replay_mismatches += st.replay_mismatches;
     m.staging.gc_versions_dropped += st.gc_versions_dropped;
+    m.staging.spilled_versions += st.spill_versions;
+    m.staging.spilled_bytes += st.spill_bytes;
+    m.staging.spill_fetches += st.spill_fetches;
+    m.staging.spill_fetch_bytes += st.spill_fetch_bytes;
+    m.staging.spills_aborted += st.spills_aborted;
+    m.staging.urgent_gc_sweeps += st.urgent_gc_sweeps;
+    m.staging.puts_rejected += st.puts_rejected;
+    m.staging.governor_overruns += st.governor_overruns;
+    m.staging.placement_clamped += st.placement_clamped;
     m.staging.store_bytes_peak += server->store().peak_nominal_bytes();
     m.staging.total_bytes_peak += server->peak_total_bytes();
     m.staging.total_bytes_mean += server->mean_total_bytes();
@@ -312,6 +335,7 @@ RunMetrics Runtime::collect(int failures_injected) const {
     const net::RpcStats& rs = c->client->rpc_stats();
     m.rpc_retries += rs.retries;
     m.rpc_exhausted += rs.exhausted;
+    m.rpc_backpressure_waits += rs.backpressure_waits;
   }
   return m;
 }
@@ -332,6 +356,8 @@ void Runtime::finalize_obs() {
     m.counter("rpc.calls").inc(rs.calls);
     m.counter("rpc.retries").inc(rs.retries);
     m.counter("rpc.exhausted").inc(rs.exhausted);
+    if (rs.backpressure_waits > 0)
+      m.counter("rpc.backpressure_waits").inc(rs.backpressure_waits);
   }
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     const std::string name = "staging-" + std::to_string(s);
@@ -346,6 +372,19 @@ void Runtime::finalize_obs() {
         .set(static_cast<double>(servers_[s]->peak_total_bytes()));
     m.gauge("staging.mean_total_bytes", name)
         .set(servers_[s]->mean_total_bytes());
+    // Governor counters, only when the governor actually acted, so
+    // governed-off instrumented runs export an unchanged metric set.
+    if (st.spill_versions > 0)
+      m.counter("governor.spilled_versions", name).inc(st.spill_versions);
+    if (st.spill_bytes > 0)
+      m.counter("governor.spilled_bytes", name).inc(st.spill_bytes);
+    if (st.spill_fetches > 0)
+      m.counter("governor.spill_fetches", name).inc(st.spill_fetches);
+    if (st.puts_rejected > 0)
+      m.counter("governor.puts_rejected_total", name).inc(st.puts_rejected);
+    if (st.placement_clamped > 0)
+      m.counter("resilience.placement_clamped_total", name)
+          .inc(st.placement_clamped);
   }
 }
 
@@ -358,6 +397,9 @@ void Runtime::teardown() {
   }
   for (auto vp : server_vprocs_) {
     if (cluster_.vproc(vp).alive) cluster_.kill(vp);
+  }
+  if (spill_vproc_ >= 0 && cluster_.vproc(spill_vproc_).alive) {
+    cluster_.kill(spill_vproc_);
   }
   engine_.run();
 }

@@ -25,6 +25,7 @@
 #include "sim/event.hpp"
 #include "staging/client.hpp"
 #include "staging/server.hpp"
+#include "staging/spill_gateway.hpp"
 #include "util/rng.hpp"
 
 namespace dstage::core {
@@ -141,6 +142,14 @@ class Runtime {
   /// it in.
   [[nodiscard]] obs::Observability* obs() { return obs_.get(); }
   [[nodiscard]] const obs::Observability* obs() const { return obs_.get(); }
+  /// PFS spill gateway for memory-governed runs; null when the governor is
+  /// disabled (spec.staging.memory_budget == 0, the default).
+  [[nodiscard]] staging::SpillGateway* spill_gateway() {
+    return spill_gateway_.get();
+  }
+  [[nodiscard]] const staging::SpillGateway* spill_gateway() const {
+    return spill_gateway_.get();
+  }
 
   /// Subsystem view with unset orchestrator hooks.
   [[nodiscard]] RuntimeServices services();
@@ -178,6 +187,8 @@ class Runtime {
   std::unique_ptr<sim::OneShotEvent> all_done_;
   std::unique_ptr<staging::StagingClient> control_client_;
   cluster::VprocId control_vproc_ = -1;
+  std::unique_ptr<staging::SpillGateway> spill_gateway_;
+  cluster::VprocId spill_vproc_ = -1;
   sim::CancelToken sys_token_;
   std::vector<PlannedFailure> plan_;
   Rng rng_;

@@ -21,6 +21,22 @@ void WorkflowSpec::validate() const {
   if (cells_per_axis < 1) reject("cells_per_axis must be >= 1");
   if (!(bytes_per_point > 0)) reject("bytes_per_point must be > 0");
   if (mem_scale < 1) reject("mem_scale must be >= 1");
+  if (staging.memory_budget > 0) {
+    if (!(staging.soft_watermark > 0) || staging.soft_watermark > 1) {
+      reject("staging.soft_watermark must be in (0, 1]");
+    }
+    if (!(staging.hard_watermark > 0) || staging.hard_watermark > 1) {
+      reject("staging.hard_watermark must be in (0, 1]");
+    }
+    if (staging.soft_watermark > staging.hard_watermark) {
+      reject("staging.soft_watermark must be <= staging.hard_watermark");
+    }
+  }
+  try {
+    server.policy.validate(staging_servers);
+  } catch (const std::invalid_argument& e) {
+    reject(e.what());
+  }
   if (failures.count < 0) reject("failures.count must be >= 0");
   if (failures.mtbf_s < 0) reject("failures.mtbf_s must be >= 0");
   if (failures.node_failure_fraction < 0 ||

@@ -13,6 +13,7 @@
 #include "net/config.hpp"
 #include "net/fabric.hpp"
 #include "obs/config.hpp"
+#include "staging/memory_governor.hpp"
 #include "staging/server.hpp"
 #include "util/geometry.hpp"
 #include "util/stats.hpp"
@@ -125,6 +126,12 @@ struct WorkflowSpec {
   net::Fabric::Params fabric;
   cluster::Pfs::Params pfs;
   staging::ServerParams server;  // `logging` is overridden by the scheme
+  /// Memory governor for the staging service: per-server budget covering
+  /// object store + data log + event-queue metadata, with soft-watermark
+  /// spill-to-PFS and hard-watermark client backpressure. Disabled by
+  /// default (memory_budget = 0): golden-trace digests are recorded with
+  /// unbounded staging memory.
+  staging::GovernorParams staging;
   /// DHT grid resolution.
   int cells_per_axis = 8;
   /// Cross-layer observability (metrics registry + span tracing). Off by
@@ -175,6 +182,16 @@ struct StagingMetrics {
   std::uint64_t gets_from_log = 0;
   std::uint64_t replay_mismatches = 0;
   std::uint64_t gc_versions_dropped = 0;
+  // Memory-governor counters (all zero when the governor is disabled).
+  std::uint64_t spilled_versions = 0;    // log versions evicted to the PFS
+  std::uint64_t spilled_bytes = 0;       // nominal bytes evicted
+  std::uint64_t spill_fetches = 0;       // spilled versions faulted back in
+  std::uint64_t spill_fetch_bytes = 0;
+  std::uint64_t spills_aborted = 0;      // evictions raced by GC/rollback
+  std::uint64_t urgent_gc_sweeps = 0;    // soft-watermark sweeps
+  std::uint64_t puts_rejected = 0;       // hard-watermark RetryLater bounces
+  std::uint64_t governor_overruns = 0;   // single puts larger than the budget
+  std::uint64_t placement_clamped = 0;   // fragment placements that wrapped
 };
 
 struct RunMetrics {
@@ -193,6 +210,9 @@ struct RunMetrics {
   /// Client-side transport counters summed over component clients.
   std::uint64_t rpc_retries = 0;
   std::uint64_t rpc_exhausted = 0;
+  /// Backpressure pauses honored by clients (RetryLater bounces waited out,
+  /// including batched-put partial-admission re-sends).
+  std::uint64_t rpc_backpressure_waits = 0;
 
   [[nodiscard]] const ComponentMetrics& component(
       const std::string& name) const;

@@ -33,7 +33,24 @@ std::uint64_t wire_size(const BatchPut& m) {
   return bytes;
 }
 
+std::uint64_t wire_size(const SpillPut& m) {
+  return kObjectHeader + m.chunk.nominal_bytes;
+}
+std::uint64_t wire_size(const SpillFetch&) { return kObjectHeader; }
+std::uint64_t wire_size(const SpillPrune&) { return kDescriptor; }
+
 std::uint64_t wire_size(const PutResponse&) { return kDescriptor; }
+std::uint64_t wire_size(const SpillAck&) { return kDescriptor; }
+
+std::uint64_t wire_size(const SpillFetchResponse& m) {
+  // Payload fetches carry real chunk bytes; index_only fetches carry a
+  // descriptor per chunk (data pointer absent).
+  std::uint64_t bytes = kObjectHeader;
+  for (const Chunk& chunk : m.chunks)
+    bytes += kDescriptor + (chunk.data ? chunk.nominal_bytes : 0);
+  return bytes;
+}
+
 std::uint64_t wire_size(const CheckpointAck&) { return kDescriptor; }
 std::uint64_t wire_size(const RecoveryAck&) { return kDescriptor; }
 std::uint64_t wire_size(const RollbackAck&) { return kDescriptor; }
@@ -76,6 +93,9 @@ const char* message_name(const QueueBackup&) { return "queue_backup"; }
 const char* message_name(const RecoveryPull&) { return "recovery_pull"; }
 const char* message_name(const QueryRequest&) { return "query"; }
 const char* message_name(const BatchPut&) { return "batch_put"; }
+const char* message_name(const SpillPut&) { return "spill_put"; }
+const char* message_name(const SpillFetch&) { return "spill_fetch"; }
+const char* message_name(const SpillPrune&) { return "spill_prune"; }
 
 const char* message_name(const Message& m) {
   return std::visit([](const auto& alt) { return message_name(alt); }, m);

@@ -73,6 +73,10 @@ struct EventRecord {
 struct PutResponse {
   bool applied = false;     // false when suppressed as a replayed duplicate
   bool suppressed = false;  // true when recognized from the replay script
+  /// Memory-governor backpressure: the server is above its hard watermark
+  /// and refused admission. The put left no trace (no event logged, no
+  /// bytes stored); the client must back off and re-send.
+  bool retry_later = false;
 };
 
 struct GetResponse {
@@ -238,11 +242,64 @@ struct BatchPut {
   ReplyPtr<BatchPutResponse> reply;
 };
 
-/// Any fabric message (std::variant keeps dispatch exhaustive).
+// ---------------------------------------------------------------------------
+// Memory-governor spill traffic (staging server ↔ PFS spill gateway). When a
+// server crosses its soft memory watermark it evicts cold, reclaim-ineligible
+// log versions to the parallel file system; the gateway pays the PFS cost
+// model and retains the chunks until the owner prunes them (GC watermark
+// advance or rollback). Replay-path gets fault spilled payloads back in.
+// ---------------------------------------------------------------------------
+
+struct SpillAck {
+  bool ok = false;
+};
+
+/// Server → gateway: persist one evicted log chunk on the PFS.
+struct SpillPut {
+  using Response = SpillAck;
+  int owner = -1;  // staging server index that evicted the chunk
+  Chunk chunk;
+  EndpointId reply_to = -1;
+  ReplyPtr<SpillAck> reply;
+};
+
+struct SpillFetchResponse {
+  /// Full chunks for a payload fetch; descriptor-only chunks (no data) for
+  /// an index_only fetch.
+  std::vector<Chunk> chunks;
+};
+
+/// Server → gateway: read spilled chunks back. A payload fetch names one
+/// (var, version) and pays the PFS read cost; an index_only fetch (empty
+/// var) returns descriptors for everything the gateway holds on the
+/// owner's behalf, letting a replacement server rebuild its spill index.
+struct SpillFetch {
+  using Response = SpillFetchResponse;
+  int owner = -1;
+  std::string var;
+  Version version = 0;
+  bool index_only = false;
+  EndpointId reply_to = -1;
+  ReplyPtr<SpillFetchResponse> reply;
+};
+
+/// One-way, server → gateway: reclaim spilled versions of `var` that are
+/// <= `upto` (GC watermark advance) or, with `above` set, > `upto`
+/// (rollback).
+struct SpillPrune {
+  int owner = -1;
+  std::string var;
+  Version upto = 0;
+  bool above = false;
+};
+
+/// Any fabric message (std::variant keeps dispatch exhaustive). New
+/// alternatives are appended so existing variant indices stay stable.
 using Message =
     std::variant<PutRequest, GetRequest, CheckpointEvent, RecoveryEvent,
                  RollbackRequest, FragmentPut, FragmentPrune, QueueBackup,
-                 RecoveryPull, QueryRequest, BatchPut>;
+                 RecoveryPull, QueryRequest, BatchPut, SpillPut, SpillFetch,
+                 SpillPrune>;
 
 // ---------------------------------------------------------------------------
 // Codec: the modeled serialized footprint of every message and response.
@@ -263,6 +320,9 @@ using Message =
 [[nodiscard]] std::uint64_t wire_size(const RecoveryPull& m);
 [[nodiscard]] std::uint64_t wire_size(const QueryRequest& m);
 [[nodiscard]] std::uint64_t wire_size(const BatchPut& m);
+[[nodiscard]] std::uint64_t wire_size(const SpillPut& m);
+[[nodiscard]] std::uint64_t wire_size(const SpillFetch& m);
+[[nodiscard]] std::uint64_t wire_size(const SpillPrune& m);
 
 [[nodiscard]] std::uint64_t wire_size(const PutResponse& m);
 [[nodiscard]] std::uint64_t wire_size(const GetResponse& m);
@@ -272,6 +332,8 @@ using Message =
 [[nodiscard]] std::uint64_t wire_size(const BatchPutResponse& m);
 [[nodiscard]] std::uint64_t wire_size(const RecoveryPullResponse& m);
 [[nodiscard]] std::uint64_t wire_size(const QueryResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const SpillAck& m);
+[[nodiscard]] std::uint64_t wire_size(const SpillFetchResponse& m);
 
 /// Serialized size of any message — what the fabric charges a send.
 [[nodiscard]] std::uint64_t serialized_size(const Message& m);
@@ -288,6 +350,9 @@ using Message =
 [[nodiscard]] const char* message_name(const RecoveryPull&);
 [[nodiscard]] const char* message_name(const QueryRequest&);
 [[nodiscard]] const char* message_name(const BatchPut&);
+[[nodiscard]] const char* message_name(const SpillPut&);
+[[nodiscard]] const char* message_name(const SpillFetch&);
+[[nodiscard]] const char* message_name(const SpillPrune&);
 [[nodiscard]] const char* message_name(const Message& m);
 
 }  // namespace dstage::net

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -36,6 +37,11 @@ struct RetryPolicy {
   /// Delay before re-sending, doubled after every failed attempt
   /// (0 = immediate re-send).
   sim::Duration backoff{0};
+  /// Separate cap for memory-governor RetryLater rejections. These are
+  /// answered requests, not lost ones, so they never consume timeout
+  /// attempts; they resolve when consumer checkpoints let GC (or a spill)
+  /// free memory, which can legitimately take many backoff rounds.
+  int max_backpressure_retries = 32;
 };
 
 struct RpcStats {
@@ -44,7 +50,13 @@ struct RpcStats {
   std::uint64_t responses = 0;  // calls answered
   std::uint64_t retries = 0;    // re-sends after a timeout
   std::uint64_t exhausted = 0;  // calls that gave up after max_attempts
+  /// Backoff waits honoring a RetryLater (memory-governor backpressure).
+  std::uint64_t backpressure_waits = 0;
 };
+
+/// Backpressure backoff base when the policy's backoff is 0 (immediate
+/// re-send would hammer a server that just said "not now").
+inline constexpr sim::Duration kBackpressureBackoff = sim::microseconds(200);
 
 /// Responses at or below this ride the control path (RDMA completion
 /// notification); larger responses pay NIC bandwidth like any bulk send.
@@ -99,34 +111,58 @@ class Rpc {
                                               Req request,
                                               RetryPolicy policy) {
     ++stats_.calls;
-    for (int attempt = 0;; ++attempt) {
+    int timeouts = 0;
+    int rejections = 0;
+    for (;;) {
       auto reply = make_reply<typename Req::Response>(*ctx.eng);
       request.reply_to = self_;
       request.reply = reply;
       // The request is retained across attempts; each send carries a copy.
       Message message{request};
       co_await fabric_->send(ctx, self_, dst, std::move(message));
+      std::optional<typename Req::Response> value;
       if (policy.timeout.ns <= 0) {
-        auto value = co_await reply->take(ctx);
-        ++stats_.responses;
-        co_return value;
+        value.emplace(co_await reply->take(ctx));
+      } else {
+        value = co_await reply->take_for(ctx, policy.timeout);
       }
-      auto value = co_await reply->take_for(ctx, policy.timeout);
-      if (value) {
-        ++stats_.responses;
-        co_return std::move(*value);
+      if (!value) {
+        if (++timeouts >= policy.max_attempts) {
+          ++stats_.exhausted;
+          throw std::runtime_error(std::string("rpc ") +
+                                   message_name(request) +
+                                   " timed out after retries");
+        }
+        ++stats_.retries;
+        if (policy.backoff.ns > 0) {
+          // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
+          const int shift = timeouts - 1 < 16 ? timeouts - 1 : 16;
+          co_await ctx.delay(sim::Duration{policy.backoff.ns << shift});
+        }
+        continue;
       }
-      if (attempt + 1 >= policy.max_attempts) {
-        ++stats_.exhausted;
-        throw std::runtime_error(std::string("rpc ") + message_name(request) +
-                                 " timed out after retries");
+      if constexpr (requires { value->retry_later; }) {
+        // Memory-governor backpressure: the server answered but refused
+        // admission. Not a timeout — wait out the pressure with an
+        // escalating backoff, without consuming timeout attempts.
+        if (value->retry_later) {
+          if (++rejections > policy.max_backpressure_retries) {
+            ++stats_.exhausted;
+            throw std::runtime_error(
+                std::string("rpc ") + message_name(request) +
+                " rejected by memory governor after retries");
+          }
+          ++stats_.backpressure_waits;
+          const std::int64_t base =
+              policy.backoff.ns > 0 ? policy.backoff.ns
+                                    : kBackpressureBackoff.ns;
+          const int shift = rejections - 1 < 16 ? rejections - 1 : 16;
+          co_await ctx.delay(sim::Duration{base << shift});
+          continue;
+        }
       }
-      ++stats_.retries;
-      if (policy.backoff.ns > 0) {
-        // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
-        const int shift = attempt < 16 ? attempt : 16;
-        co_await ctx.delay(sim::Duration{policy.backoff.ns << shift});
-      }
+      ++stats_.responses;
+      co_return std::move(*value);
     }
   }
 

@@ -1,6 +1,7 @@
 #include "resilience/policy.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace dstage::resilience {
 
@@ -64,9 +65,36 @@ int ResiliencePolicy::max_losses() const {
   return fragments_total() - fragments_needed();
 }
 
+void ResiliencePolicy::validate(int server_count) const {
+  if (kind == Redundancy::kNone) return;
+  if (encode_bw <= 0) {
+    throw std::invalid_argument(
+        "resilience policy: encode_bw must be positive");
+  }
+  if (kind == Redundancy::kReplication && replicas < 2) {
+    throw std::invalid_argument(
+        "resilience policy: replication needs replicas >= 2");
+  }
+  if (kind == Redundancy::kErasureCode && (rs_k < 1 || rs_m < 1)) {
+    throw std::invalid_argument(
+        "resilience policy: erasure coding needs rs_k >= 1 and rs_m >= 1");
+  }
+  if (server_count < 2) {
+    throw std::invalid_argument(
+        "resilience policy: redundancy is unsatisfiable with fewer than 2 "
+        "servers (no peer can hold a second fragment)");
+  }
+}
+
 std::vector<int> fragment_placement(int owner, int fragments,
                                     int server_count) {
   if (server_count < 1) throw std::invalid_argument("no servers");
+  if (fragments > server_count) {
+    throw std::invalid_argument(
+        "fragment_placement: " + std::to_string(fragments) +
+        " fragments cannot land on distinct servers in a group of " +
+        std::to_string(server_count));
+  }
   std::vector<int> out;
   out.reserve(static_cast<std::size_t>(fragments));
   for (int j = 0; j < fragments; ++j) {

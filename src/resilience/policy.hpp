@@ -37,12 +37,24 @@ struct ResiliencePolicy {
   [[nodiscard]] int fragments_total() const;
   /// Maximum concurrent fragment losses that remain recoverable.
   [[nodiscard]] int max_losses() const;
+
+  /// Rejects (std::invalid_argument) configs that are fundamentally
+  /// unsatisfiable on a group of `server_count` servers: degenerate
+  /// parameters (replicas < 2, rs_k/rs_m < 1, non-positive encode
+  /// bandwidth) or redundancy with no peer to hold a second fragment
+  /// (server_count < 2). A group merely smaller than fragments_total() is
+  /// allowed — placement clamps with a loud warning and a metric, and
+  /// survivability degrades (see StagingServer::push_fragments) — because
+  /// partial redundancy still beats none.
+  void validate(int server_count) const;
 };
 
 /// Deterministic placement of a payload's fragments across servers:
 /// fragment j of an object owned by `owner` lands on (owner + j) % count.
-/// Guarantees all fragments of one object land on distinct servers when
-/// count >= fragments.
+/// Throws std::invalid_argument when count < fragments: the modulo would
+/// silently wrap several fragments of one object onto the same server,
+/// and every caller of this helper relies on the distinct-servers
+/// guarantee (callers that can tolerate wrapping clamp explicitly).
 std::vector<int> fragment_placement(int owner, int fragments,
                                     int server_count);
 

@@ -2,6 +2,8 @@
 
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "sim/spawn.hpp"
@@ -23,34 +25,105 @@ net::EndpointId StagingClient::server_endpoint(int server) const {
   return cluster_->vproc(servers_[static_cast<std::size_t>(server)]).endpoint;
 }
 
+void StagingClient::fail_if_degraded(int server) const {
+  if (degraded_probe_ && degraded_probe_(server)) {
+    throw std::runtime_error("staging degraded: server " +
+                             std::to_string(server) + " unrecovered");
+  }
+}
+
 sim::Task<PutResponse> StagingClient::send_put(sim::Ctx ctx, int server,
                                                Chunk chunk) {
+  fail_if_degraded(server);
   PutRequest req;
   req.app = params_.app;
   req.chunk = std::move(chunk);
   req.logged = params_.logged;
-  return rpc_.call(ctx, server_endpoint(server), std::move(req),
-                   put_policy());
+  try {
+    co_return co_await rpc_.call(ctx, server_endpoint(server), std::move(req),
+                                 put_policy());
+  } catch (const std::runtime_error&) {
+    // Retries exhausted: distinguish "the server is gone for good" from a
+    // transient stall before re-surfacing.
+    fail_if_degraded(server);
+    throw;
+  }
 }
 
 sim::Task<BatchPutResponse> StagingClient::send_batch(
     sim::Ctx ctx, int server, std::vector<Chunk> chunks) {
+  fail_if_degraded(server);
   BatchPut req;
   req.app = params_.app;
   req.logged = params_.logged;
   req.chunks = std::move(chunks);
-  return rpc_.call(ctx, server_endpoint(server), std::move(req),
-                   put_policy());
+  try {
+    co_return co_await rpc_.call(ctx, server_endpoint(server), std::move(req),
+                                 put_policy());
+  } catch (const std::runtime_error&) {
+    fail_if_degraded(server);
+    throw;
+  }
+}
+
+sim::Task<BatchPutResponse> StagingClient::send_batch_admitted(
+    sim::Ctx ctx, int server, std::vector<Chunk> chunks, PutResult* result) {
+  BatchPutResponse merged;
+  merged.results.resize(chunks.size());
+  // Slot i of the current round maps back to slots[i] of the original batch.
+  std::vector<std::size_t> slots(chunks.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) slots[i] = i;
+
+  const net::RetryPolicy policy = put_policy();
+  int rounds = 0;
+  while (!chunks.empty()) {
+    BatchPutResponse resp = co_await send_batch(ctx, server, chunks);
+    std::vector<Chunk> rejected;
+    std::vector<std::size_t> rejected_slots;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const PutResponse& r = resp.results[i];
+      if (r.retry_later) {
+        rejected.push_back(std::move(chunks[i]));
+        rejected_slots.push_back(slots[i]);
+      } else {
+        merged.results[slots[i]] = r;
+      }
+    }
+    if (rejected.empty()) break;
+    // A partially admitted batch must not ack as fully durable: keep
+    // re-sending the bounced remainder (alone) with an escalating backoff,
+    // mirroring the transport's single-put backpressure loop.
+    if (++rounds > policy.max_backpressure_retries) {
+      throw std::runtime_error(
+          "rpc batch_put rejected by memory governor after retries");
+    }
+    const std::int64_t base = policy.backoff.ns > 0
+                                  ? policy.backoff.ns
+                                  : net::kBackpressureBackoff.ns;
+    const int shift = rounds - 1 < 16 ? rounds - 1 : 16;
+    co_await ctx.delay(sim::Duration{base << shift});
+    result->backpressure_resends += rejected.size();
+    ++result->messages;
+    chunks = std::move(rejected);
+    slots = std::move(rejected_slots);
+  }
+  co_return merged;
 }
 
 sim::Task<GetResponse> StagingClient::send_get(sim::Ctx ctx, int server,
                                                ObjectDesc desc) {
+  fail_if_degraded(server);
   GetRequest req;
   req.app = params_.app;
   req.desc = std::move(desc);
   req.logged = params_.logged;
-  return rpc_.call(ctx, server_endpoint(server), std::move(req),
-                   get_policy());
+  try {
+    co_return co_await rpc_.call(ctx, server_endpoint(server), std::move(req),
+                                 get_policy());
+  } catch (const std::runtime_error&) {
+    fail_if_degraded(server);
+    throw;
+  }
 }
 
 sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
@@ -86,7 +159,8 @@ sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
     std::vector<sim::Task<BatchPutResponse>> sends;
     for (auto& [server, chunks] : groups) {
       ++result.messages;
-      sends.push_back(send_batch(ctx, server, std::move(chunks)));
+      sends.push_back(
+          send_batch_admitted(ctx, server, std::move(chunks), &result));
     }
     auto responses = co_await sim::when_all(ctx, std::move(sends));
     for (const BatchPutResponse& batch : responses) {

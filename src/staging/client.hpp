@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +52,10 @@ struct PutResult {
   std::size_t pieces = 0;
   std::size_t suppressed = 0;  // pieces recognized as replay duplicates
   std::size_t messages = 0;    // fabric messages the write fanned out into
+  /// Chunks a memory-governed server bounced with RetryLater and the client
+  /// re-sent after backing off. The put only returns once every piece is
+  /// admitted, so a partially admitted batch is never acked as durable.
+  std::size_t backpressure_resends = 0;
 };
 
 /// Aggregated version metadata across the staging group.
@@ -123,6 +128,15 @@ class StagingClient {
     return query_impl(ctx, std::move(owned));
   }
 
+  /// Install a probe reporting whether a staging server is in degraded
+  /// (failed, spares exhausted, never recovered) state. When set, requests
+  /// to such a server fail fast — and retry-exhausted requests re-surface —
+  /// as a distinct "staging degraded" error instead of a generic rpc
+  /// timeout, so callers can tell unrecoverable loss from transient stalls.
+  void set_degraded_probe(std::function<bool(int)> probe) {
+    degraded_probe_ = std::move(probe);
+  }
+
   [[nodiscard]] AppId app() const { return params_.app; }
   [[nodiscard]] const ClientParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t puts_issued() const { return puts_issued_; }
@@ -149,8 +163,18 @@ class StagingClient {
   sim::Task<PutResponse> send_put(sim::Ctx ctx, int server, Chunk chunk);
   sim::Task<BatchPutResponse> send_batch(sim::Ctx ctx, int server,
                                          std::vector<Chunk> chunks);
+  /// send_batch plus the backpressure protocol: chunks the server bounced
+  /// with RetryLater are re-sent (alone) after an escalating backoff until
+  /// every piece is admitted. Returns the merged per-chunk results in the
+  /// original chunk order.
+  sim::Task<BatchPutResponse> send_batch_admitted(sim::Ctx ctx, int server,
+                                                  std::vector<Chunk> chunks,
+                                                  PutResult* result);
   sim::Task<GetResponse> send_get(sim::Ctx ctx, int server,
                                   ObjectDesc desc);
+  /// Throws the distinct degraded error when the probe reports `server`
+  /// unrecovered; otherwise returns.
+  void fail_if_degraded(int server) const;
 
   cluster::Cluster* cluster_;
   const dht::SpatialIndex* index_;
@@ -158,6 +182,7 @@ class StagingClient {
   cluster::VprocId self_;
   ClientParams params_;
   net::Rpc rpc_;
+  std::function<bool(int)> degraded_probe_;
   std::uint64_t puts_issued_ = 0;
   std::uint64_t gets_issued_ = 0;
 };

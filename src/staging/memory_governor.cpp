@@ -1,0 +1,15 @@
+#include "staging/memory_governor.hpp"
+
+namespace dstage::staging {
+
+MemoryGovernor::Admission MemoryGovernor::admit(std::uint64_t governed,
+                                                std::uint64_t incoming) const {
+  if (!enabled()) return Admission::kAdmit;
+  if (governed + incoming <= hard_bytes()) return Admission::kAdmit;
+  // A put that cannot fit even into an empty server would be rejected on
+  // every retry; admit it loudly instead of livelocking the producer.
+  if (incoming > hard_bytes()) return Admission::kAdmitOverrun;
+  return Admission::kReject;
+}
+
+}  // namespace dstage::staging

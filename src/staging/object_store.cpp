@@ -127,15 +127,25 @@ std::size_t ObjectStore::drop_versions_above(Version version) {
   return dropped;
 }
 
-bool ObjectStore::drop_version(const std::string& var, Version version) {
+bool ObjectStore::drop_version(const std::string& var, Version version,
+                               DropReason reason) {
   auto vit = store_.find(var);
   if (vit == store_.end()) return false;
   auto it = vit->second.find(version);
   if (it == vit->second.end()) return false;
   for (const Chunk& c : it->second) account(c, -1);
-  if (drop_probe_) drop_probe_(var, version, DropReason::kExplicit);
+  if (drop_probe_) drop_probe_(var, version, reason);
   vit->second.erase(it);
   return true;
+}
+
+std::vector<Chunk> ObjectStore::chunks_of(const std::string& var,
+                                          Version version) const {
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return {};
+  auto it = vit->second.find(version);
+  if (it == vit->second.end()) return {};
+  return it->second;
 }
 
 std::size_t ObjectStore::object_count() const {

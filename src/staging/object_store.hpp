@@ -22,6 +22,7 @@ enum class DropReason {
   kRotation,  // rotated out of the base store's version window
   kExplicit,  // dropped deliberately (GC reclaim)
   kRollback,  // discarded by a coordinated-restart rollback
+  kSpill,     // evicted to the PFS spill gateway (still durable there)
 };
 
 class ObjectStore {
@@ -54,8 +55,15 @@ class ObjectStore {
   /// variable. Returns the number of dropped (var, version) entries.
   std::size_t drop_versions_above(Version version);
 
-  /// Explicitly drop one version of a variable (GC helper).
-  bool drop_version(const std::string& var, Version version);
+  /// Explicitly drop one version of a variable (GC helper). The reason is
+  /// reported to the drop probe: kExplicit for GC reclaim, kSpill when the
+  /// memory governor evicted the version to the PFS.
+  bool drop_version(const std::string& var, Version version,
+                    DropReason reason = DropReason::kExplicit);
+
+  /// All stored pieces of (var, version), unclipped (spill-eviction helper).
+  [[nodiscard]] std::vector<Chunk> chunks_of(const std::string& var,
+                                             Version version) const;
 
   [[nodiscard]] std::uint64_t nominal_bytes() const { return nominal_bytes_; }
   [[nodiscard]] std::uint64_t physical_bytes() const {

@@ -1,5 +1,7 @@
 #include "staging/recovery.hpp"
 
+#include <cstdio>
+
 #include "sim/spawn.hpp"
 
 namespace dstage::staging {
@@ -11,14 +13,39 @@ void StagingRecoveryManager::arm() {
 void StagingRecoveryManager::on_failure(cluster::VprocId vproc) {
   for (std::size_t i = 0; i < server_vprocs_.size(); ++i) {
     if (server_vprocs_[i] != vproc) continue;
+    const int index = static_cast<int>(i);
     ++stats_.server_failures;
-    if (!spares_.acquire()) {
-      ++stats_.spare_exhausted;
-      return;  // no replacement available; staging runs degraded
+    if (recovering_.count(index) > 0) {
+      // A recovery for this server is already in flight. Spawning another
+      // would double-acquire a spare and race two replacements into the
+      // same slot; coalesce instead and re-check when the first one lands.
+      ++stats_.coalesced_failures;
+      pending_.insert(index);
+      return;
     }
-    sim::spawn(cluster_->engine(), recover(static_cast<int>(i)));
+    start_recovery(index);
     return;
   }
+}
+
+void StagingRecoveryManager::start_recovery(int index) {
+  if (!spares_.acquire()) {
+    ++stats_.spare_exhausted;
+    // No replacement is coming: the group runs degraded and every
+    // request to this server is lost. That must be loud.
+    degraded_.insert(index);
+    std::fprintf(stderr,
+                 "[staging] WARNING: spare pool exhausted; server %d is "
+                 "down and will NOT be recovered (degraded mode)\n",
+                 index);
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("recovery.degraded_servers", obs_track_).inc();
+    }
+    if (on_degraded_) on_degraded_(index);
+    return;
+  }
+  recovering_.insert(index);
+  sim::spawn(cluster_->engine(), recover(index));
 }
 
 sim::Task<void> StagingRecoveryManager::recover(int index) {
@@ -37,9 +64,21 @@ sim::Task<void> StagingRecoveryManager::recover(int index) {
   for (auto v : server_vprocs_)
     endpoints.push_back(cluster_->vproc(v).endpoint);
   replacement->set_peers(index, std::move(endpoints));
+  if (spill_endpoint_ >= 0) replacement->set_spill_endpoint(spill_endpoint_);
   (*servers_)[static_cast<std::size_t>(index)] = std::move(replacement);
   (*servers_)[static_cast<std::size_t>(index)]->start_with_recovery();
   ++stats_.servers_recovered;
+  degraded_.erase(index);
+  recovering_.erase(index);
+
+  // Failures coalesced while this recovery was in flight: the replacement
+  // we just started rebuilt from post-failure peer state, so they are
+  // normally covered — but if the vproc died again after the revive above,
+  // a fresh recovery round is needed (the failure was already counted when
+  // it was coalesced).
+  if (pending_.erase(index) > 0 && !cluster_->vproc(vp).alive) {
+    start_recovery(index);
+  }
 }
 
 }  // namespace dstage::staging

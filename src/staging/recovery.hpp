@@ -9,9 +9,12 @@
 
 #include <functional>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/observability.hpp"
 #include "staging/server.hpp"
 
 namespace dstage::staging {
@@ -20,6 +23,10 @@ struct RecoveryManagerStats {
   int server_failures = 0;
   int servers_recovered = 0;
   int spare_exhausted = 0;
+  /// Failures observed for a server whose recovery was already in flight;
+  /// coalesced into that recovery instead of spawning a duplicate (which
+  /// would double-acquire a spare and race two replacements).
+  int coalesced_failures = 0;
 };
 
 class StagingRecoveryManager {
@@ -43,8 +50,36 @@ class StagingRecoveryManager {
   /// Recovery latency model: spare join + service re-registration.
   void set_respawn_cost(sim::Duration d) { respawn_cost_ = d; }
 
+  /// True while server `index` is failed with no replacement coming (the
+  /// spare pool was exhausted when it died). Wire this into
+  /// StagingClient::set_degraded_probe so client requests to the dead
+  /// server surface the distinct "staging degraded" error instead of
+  /// timing out silently.
+  [[nodiscard]] bool is_degraded(int index) const {
+    return degraded_.count(index) > 0;
+  }
+  [[nodiscard]] int degraded_count() const {
+    return static_cast<int>(degraded_.size());
+  }
+  /// Optional notification when a server enters degraded mode.
+  void set_on_degraded(std::function<void(int)> cb) {
+    on_degraded_ = std::move(cb);
+  }
+  /// Attach the run's observability bundle (null = off) for the
+  /// degraded-mode metric/event.
+  void set_obs(obs::Observability* obs, std::string track) {
+    obs_ = obs;
+    obs_track_ = std::move(track);
+  }
+  /// Spill-gateway endpoint replacement servers should be wired to
+  /// (memory-governed runs only; -1 = none).
+  void set_spill_endpoint(net::EndpointId ep) { spill_endpoint_ = ep; }
+
  private:
   void on_failure(cluster::VprocId vproc);
+  /// Acquire a spare and spawn recover(index), or enter degraded mode when
+  /// the pool is empty. (The failure itself is counted by the caller.)
+  void start_recovery(int index);
   sim::Task<void> recover(int index);
 
   cluster::Cluster* cluster_;
@@ -54,6 +89,19 @@ class StagingRecoveryManager {
   cluster::SparePool spares_;
   sim::Duration respawn_cost_ = sim::seconds(2);
   RecoveryManagerStats stats_;
+  /// Per-index recovery-in-flight guard: a second failure of the same
+  /// vproc while recover(index) is awaiting the respawn delay must not
+  /// spawn a second recovery.
+  std::set<int> recovering_;
+  /// Indexes that failed again mid-recovery; re-checked when the in-flight
+  /// recovery lands.
+  std::set<int> pending_;
+  /// Indexes running degraded (failed, spare pool empty, unrecovered).
+  std::set<int> degraded_;
+  std::function<void(int)> on_degraded_;
+  obs::Observability* obs_ = nullptr;
+  std::string obs_track_;
+  net::EndpointId spill_endpoint_ = -1;
 };
 
 }  // namespace dstage::staging

@@ -1,6 +1,7 @@
 #include "staging/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <tuple>
 #include <utility>
 #include <variant>
@@ -27,6 +28,7 @@ StagingServer::StagingServer(cluster::Cluster& cluster,
       vproc_(vproc),
       params_(params),
       rpc_(cluster.fabric(), cluster.vproc(vproc).endpoint),
+      governor_(params.governor),
       store_(params.version_window) {}
 
 net::EndpointId StagingServer::endpoint() const {
@@ -53,6 +55,12 @@ void StagingServer::sample_memory() {
   last_sample_ = now;
   last_total_ = memory().total();
   peak_total_ = std::max(peak_total_, last_total_);
+  if (obs_ != nullptr && governor_.enabled()) {
+    // Gauges merge by max, so the final registry reports peak pressure.
+    obs_->metrics()
+        .gauge("governor.pressure", obs_track_)
+        .set(governor_.pressure(memory().governed()));
+  }
 }
 
 double StagingServer::mean_total_bytes() const {
@@ -116,6 +124,12 @@ sim::Task<void> StagingServer::handle(Request request) {
           },
           [this](QueryRequest&& m) { return handle_query(std::move(m)); },
           [this](BatchPut&& m) { return handle_batch_put(std::move(m)); },
+          // Spill traffic is addressed to the gateway endpoint; a server
+          // receiving it means a routing bug, and dropping is the safe
+          // answer (the sender's reply slot times out loudly).
+          [this](SpillPut&&) { return ignore_message(); },
+          [this](SpillFetch&&) { return ignore_message(); },
+          [this](SpillPrune&&) { return ignore_message(); },
       },
       std::move(request));
   if (obs_ != nullptr) {
@@ -159,15 +173,42 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
         resp.applied = true;
       }
     }
-    if (apply) {
-      co_await c.delay(params_.log_event_overhead);
-      wlog::LogEvent event{wlog::EventKind::kPut, app,
-                           chunk.version,         chunk.var,
-                           chunk.region,          chunk.nominal_bytes,
-                           0};
-      q.record(event);
-      sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
+  }
+
+  // Memory-governor admission: decided before the event is recorded, so a
+  // rejected put leaves no trace anywhere (no replay-script entry, no
+  // bytes) — the client's re-send is a genuinely fresh request.
+  if (apply && governor_.enabled()) {
+    const std::uint64_t incoming =
+        chunk.nominal_bytes *
+        (params_.logging && logged ? 2u : 1u);  // store copy + log retention
+    switch (governor_.admit(memory().governed(), incoming)) {
+      case MemoryGovernor::Admission::kAdmit:
+        break;
+      case MemoryGovernor::Admission::kAdmitOverrun:
+        ++stats_.governor_overruns;
+        if (obs_ != nullptr)
+          obs_->metrics().counter("governor.overruns", obs_track_).inc();
+        break;
+      case MemoryGovernor::Admission::kReject:
+        ++stats_.puts_rejected;
+        if (obs_ != nullptr)
+          obs_->metrics().counter("governor.puts_rejected", obs_track_).inc();
+        resp.applied = false;
+        resp.retry_later = true;
+        poke_governor();  // make sure relief is under way before the retry
+        co_return resp;
     }
+  }
+
+  if (apply && params_.logging && logged) {
+    co_await c.delay(params_.log_event_overhead);
+    wlog::LogEvent event{wlog::EventKind::kPut, app,
+                         chunk.version,         chunk.var,
+                         chunk.region,          chunk.nominal_bytes,
+                         0};
+    queues_[app].record(event);
+    sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
   }
 
   if (apply) {
@@ -190,6 +231,7 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
     store_.put(std::move(chunk));
     resp.applied = true;
     poke_pending(var, version);
+    poke_governor();  // the footprint just grew; spill if over the soft mark
   }
   co_return resp;
 }
@@ -240,6 +282,9 @@ sim::Task<void> StagingServer::handle_get(GetRequest req) {
         // Serve the version observed during the initial execution.
         const Version logged_version = expected->version;
         q.advance();
+        // The replayed version may have been spilled to the PFS under
+        // memory pressure: fault it back into the log first.
+        co_await ensure_log_resident(req.desc.var, logged_version);
         std::vector<Chunk> pieces =
             dlog_.get(req.desc.var, logged_version, req.desc.region);
         if (pieces.empty() ||
@@ -269,9 +314,12 @@ sim::Task<void> StagingServer::handle_get(GetRequest req) {
     co_return;
   }
   if (params_.logging && req.logged &&
-      dlog_.covers(req.desc.var, req.desc.version, req.desc.region)) {
+      (dlog_.covers(req.desc.var, req.desc.version, req.desc.region) ||
+       spill_covers(req.desc.var, req.desc.version))) {
     // Version already rotated out of the base window but still retained in
-    // the log (slow consumer).
+    // the log (slow consumer) — or spilled to the PFS, in which case the
+    // read-through below faults it back in first.
+    co_await ensure_log_resident(req.desc.var, req.desc.version);
     co_await c.delay(params_.log_event_overhead);
     wlog::LogEvent levent{wlog::EventKind::kGet, req.app, req.desc.version,
                           req.desc.var, req.desc.region, 0, 0};
@@ -420,6 +468,9 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
       obs_hooks_.gc_sweep(ev.version, sweep.versions_dropped,
                           sweep.nominal_freed, sweep.entries_scanned);
     }
+    // Spilled versions the watermark has now passed are as unreachable as
+    // swept log versions: retire their PFS spill files too.
+    prune_spilled_upto_watermark();
     // Peers can reclaim fragments that neither the log's retention nor the
     // base store's window still needs.
     if (params_.policy.kind != resilience::Redundancy::kNone &&
@@ -469,6 +520,22 @@ sim::Task<void> StagingServer::handle_rollback(RollbackRequest req) {
   RollbackAck ack;
   ack.versions_dropped = store_.drop_versions_above(req.version);
   dlog_.drop_above(req.version);
+  // Spilled versions newer than the snapshot are rolled back with the log:
+  // drop the index entries and have the gateway discard the spill files.
+  if (!spilled_.empty()) {
+    for (auto vit = spilled_.begin(); vit != spilled_.end();) {
+      auto& versions = vit->second;
+      versions.erase(versions.upper_bound(req.version), versions.end());
+      vit = versions.empty() ? spilled_.erase(vit) : std::next(vit);
+    }
+    if (spill_endpoint_ >= 0) {
+      sim::Ctx sc = ctx();
+      net::Message prune{
+          SpillPrune{self_index_, std::string{}, req.version, true}};
+      sim::spawn(cluster_->engine(),
+                 rpc_.send(sc, spill_endpoint_, std::move(prune)));
+    }
+  }
   queues_.clear();
   // Parked gets for discarded versions belong to rolled-back clients.
   std::erase_if(pending_, [&](const GetRequest& g) {
@@ -532,6 +599,16 @@ sim::Task<void> StagingServer::handle_query(QueryRequest query) {
   QueryResponse resp;
   resp.store_versions = store_.versions_of(query.var);
   resp.logged_versions = dlog_.versions_of(query.var);
+  // Spilled versions are still logically retained by the log — they are
+  // just parked on the PFS — so metadata queries report them.
+  if (auto it = spilled_.find(query.var); it != spilled_.end()) {
+    for (const auto& [version, bytes] : it->second)
+      resp.logged_versions.push_back(version);
+    std::sort(resp.logged_versions.begin(), resp.logged_versions.end());
+    resp.logged_versions.erase(std::unique(resp.logged_versions.begin(),
+                                           resp.logged_versions.end()),
+                               resp.logged_versions.end());
+  }
   co_await rpc_.fulfill(c, query.reply_to, std::move(query.reply),
                         std::move(resp));
 }
@@ -549,6 +626,29 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
   if (total_servers < 2) co_return;
   sim::Ctx c = ctx();
   ++stats_.fragments_pushed;
+
+  // The round-robin below wraps when the policy's fan-out exceeds the
+  // group: several fragments of one object land on the same peer, so the
+  // policy's nominal max_losses() overstates survivability. The push still
+  // proceeds (single-failure tolerance holds: the owner's loss leaves all
+  // pushed fragments intact), but the degradation is loud — once on
+  // stderr, and per push in stats/metrics.
+  if (params_.policy.fragments_total() > total_servers) {
+    ++stats_.placement_clamped;
+    if (!placement_warned_) {
+      placement_warned_ = true;
+      std::fprintf(stderr,
+                   "dstage: staging-%d: resilience policy wants %d distinct "
+                   "fragment holders but the group has %d servers; placement "
+                   "wraps and survivability is degraded\n",
+                   self_index_, params_.policy.fragments_total(),
+                   total_servers);
+    }
+    if (obs_ != nullptr)
+      obs_->metrics()
+          .counter("resilience.placement_clamped", obs_track_)
+          .inc();
+  }
 
   auto push_one = [&](int frag_index, std::uint64_t nominal,
                       std::shared_ptr<const std::vector<std::uint8_t>> data)
@@ -596,12 +696,32 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
 }
 
 sim::Task<void> StagingServer::rebuild_from_peers() {
+  const int total_servers = static_cast<int>(peer_endpoints_.size());
+  if (total_servers >= 2 &&
+      params_.policy.kind != resilience::Redundancy::kNone) {
+    co_await rebuild_objects_from_peers();
+  }
+  // The spill gateway outlived the failed incarnation: ask it what it still
+  // holds on our behalf (a descriptor-only inventory) and rebuild the
+  // spill index, so replay-path reads keep faulting those versions in.
+  // Versions the fragment rebuild already restored to the log stay local.
+  if (governor_.enabled() && spill_endpoint_ >= 0) {
+    sim::Ctx c = ctx();
+    SpillFetch fetch;
+    fetch.owner = self_index_;
+    fetch.index_only = true;
+    SpillFetchResponse inventory =
+        co_await rpc_.call(c, spill_endpoint_, std::move(fetch));
+    for (const Chunk& chunk : inventory.chunks) {
+      if (dlog_.has(chunk.var, chunk.version)) continue;
+      spilled_[chunk.var][chunk.version] += chunk.nominal_bytes;
+    }
+  }
+}
+
+sim::Task<void> StagingServer::rebuild_objects_from_peers() {
   sim::Ctx c = ctx();
   const int total_servers = static_cast<int>(peer_endpoints_.size());
-  if (total_servers < 2 ||
-      params_.policy.kind == resilience::Redundancy::kNone) {
-    co_return;  // nothing recoverable
-  }
 
   // Pull everything our peers hold on our behalf.
   std::vector<sim::Task<RecoveryPullResponse>> pulls;
@@ -693,6 +813,183 @@ sim::Task<void> StagingServer::rebuild_from_peers() {
     } else {
       ++stats_.rebuild_failures;
     }
+  }
+}
+
+sim::Task<void> StagingServer::ignore_message() { co_return; }
+
+bool StagingServer::spill_covers(const std::string& var,
+                                 Version version) const {
+  auto it = spilled_.find(var);
+  return it != spilled_.end() && it->second.count(version) > 0;
+}
+
+void StagingServer::poke_governor() {
+  if (!governor_.enabled() || maintenance_inflight_) return;
+  if (!governor_.over_soft(memory().governed())) return;
+  maintenance_inflight_ = true;
+  sim::spawn(cluster_->engine(), maintain_memory());
+}
+
+sim::Task<void> StagingServer::maintain_memory() {
+  sim::Ctx c = ctx();
+  // Urgent GC sweep first: versions the watermark already passed are freed
+  // for an index walk, no PFS traffic.
+  if (params_.logging) {
+    const gc::SweepResult sweep = gc_.sweep(dlog_);
+    ++stats_.urgent_gc_sweeps;
+    stats_.gc_versions_dropped += sweep.versions_dropped;
+    stats_.gc_nominal_freed += sweep.nominal_freed;
+    co_await c.delay(params_.gc_cost_per_entry *
+                     static_cast<std::int64_t>(sweep.entries_scanned + 1));
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("governor.urgent_sweeps", obs_track_).inc();
+      obs_->metrics()
+          .counter("gc.versions_dropped", obs_track_)
+          .inc(sweep.versions_dropped);
+      obs_->metrics()
+          .counter("gc.nominal_freed_bytes", obs_track_)
+          .inc(sweep.nominal_freed);
+    }
+    prune_spilled_upto_watermark();
+  }
+
+  // Then spill the coldest reclaim-ineligible log versions until the
+  // governed footprint is back under the soft watermark. The victim is the
+  // globally oldest retained version that is not its variable's newest —
+  // the newest is live coupling data, which even GC never reclaims.
+  while (spill_endpoint_ >= 0 && params_.logging &&
+         governor_.over_soft(memory().governed())) {
+    std::string victim_var;
+    Version victim_version = 0;
+    bool found = false;
+    for (const std::string& var : dlog_.variables()) {
+      const auto versions = dlog_.versions_of(var);
+      if (versions.size() < 2) continue;
+      if (!found || versions.front() < victim_version) {
+        found = true;
+        victim_var = var;
+        victim_version = versions.front();
+      }
+    }
+    if (!found) break;
+
+    auto chunks = dlog_.chunks_of(victim_var, victim_version);
+    if (chunks.empty()) break;
+    obs::SpanId span = 0;
+    if (obs_ != nullptr) {
+      span = obs_->tracer().begin(obs_track_, "spill", obs::Phase::kOther,
+                                  cluster_->engine().now());
+    }
+    std::uint64_t bytes = 0;
+    for (Chunk& chunk : chunks) {
+      bytes += chunk.nominal_bytes;
+      SpillPut sp;
+      sp.owner = self_index_;
+      sp.chunk = std::move(chunk);
+      co_await rpc_.call(c, spill_endpoint_, std::move(sp));
+    }
+    if (obs_ != nullptr) obs_->tracer().end(span, cluster_->engine().now());
+
+    // The gateway round-trip let the request loop run: a checkpoint-driven
+    // GC sweep or a rollback may have reclaimed the victim meanwhile. The
+    // gateway's copy is then an orphan that the next prune retires; the
+    // log must NOT be touched (the version is already gone, and dropping
+    // a re-added successor would lose data).
+    if (!dlog_.has(victim_var, victim_version)) {
+      ++stats_.spills_aborted;
+      if (obs_ != nullptr)
+        obs_->metrics().counter("governor.spills_aborted", obs_track_).inc();
+      continue;
+    }
+    dlog_.drop_spilled(victim_var, victim_version);
+    spilled_[victim_var][victim_version] = bytes;
+    ++stats_.spill_versions;
+    stats_.spill_bytes += bytes;
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("governor.spill_versions", obs_track_).inc();
+      obs_->metrics().counter("governor.spill_bytes", obs_track_).inc(bytes);
+    }
+    if (obs_hooks_.spill)
+      obs_hooks_.spill(victim_var, victim_version, bytes);
+  }
+  // Nothing left to sweep or spill, yet still above the hard watermark:
+  // the budget is below the workload's working-set floor (base window +
+  // newest log versions, which are never evictable). Every put will bounce
+  // until clients give up — say so once instead of deadlocking silently.
+  if (!budget_warned_ &&
+      !governor_.admitting(memory().governed())) {
+    budget_warned_ = true;
+    std::fprintf(stderr,
+                 "[staging] WARNING: server %d governed footprint %llu B "
+                 "exceeds the hard watermark %llu B with nothing left to "
+                 "spill; memory_budget is below the workload's working-set "
+                 "floor\n",
+                 self_index_,
+                 static_cast<unsigned long long>(memory().governed()),
+                 static_cast<unsigned long long>(governor_.hard_bytes()));
+  }
+  maintenance_inflight_ = false;
+}
+
+sim::Task<void> StagingServer::ensure_log_resident(std::string var,
+                                                   Version version) {
+  if (spill_endpoint_ < 0 || !spill_covers(var, version)) co_return;
+  sim::Ctx c = ctx();
+  obs::SpanId span = 0;
+  if (obs_ != nullptr) {
+    span = obs_->tracer().begin(obs_track_, "spill fetch", obs::Phase::kOther,
+                                cluster_->engine().now(),
+                                current_request_span_);
+  }
+  SpillFetch fetch;
+  fetch.owner = self_index_;
+  fetch.var = var;
+  fetch.version = version;
+  SpillFetchResponse resp =
+      co_await rpc_.call(c, spill_endpoint_, std::move(fetch));
+  std::uint64_t bytes = 0;
+  for (Chunk& chunk : resp.chunks) {
+    bytes += chunk.nominal_bytes;
+    dlog_.add(std::move(chunk));
+  }
+  co_await c.delay(copy_time(bytes));  // re-ingest into the log's index
+  ++stats_.spill_fetches;
+  stats_.spill_fetch_bytes += bytes;
+  if (auto it = spilled_.find(var); it != spilled_.end()) {
+    it->second.erase(version);
+    if (it->second.empty()) spilled_.erase(it);
+  }
+  if (obs_ != nullptr) {
+    obs_->tracer().end(span, cluster_->engine().now());
+    obs_->metrics().counter("governor.spill_fetches", obs_track_).inc();
+    obs_->metrics()
+        .counter("governor.spill_fetch_bytes", obs_track_)
+        .inc(bytes);
+  }
+  if (obs_hooks_.spill_fetch) obs_hooks_.spill_fetch(var, version, bytes);
+  poke_governor();  // the fault-in may have pushed us over the soft mark
+}
+
+void StagingServer::prune_spilled_upto_watermark() {
+  if (spilled_.empty()) return;
+  for (auto vit = spilled_.begin(); vit != spilled_.end();) {
+    const std::string& var = vit->first;
+    const Version mark = gc_.watermark(var);
+    auto& versions = vit->second;
+    std::size_t dropped = 0;
+    for (auto it = versions.begin();
+         it != versions.end() && it->first <= mark;) {
+      it = versions.erase(it);
+      ++dropped;
+    }
+    if (dropped > 0 && spill_endpoint_ >= 0) {
+      sim::Ctx sc = ctx();
+      net::Message prune{SpillPrune{self_index_, var, mark, false}};
+      sim::spawn(cluster_->engine(),
+                 rpc_.send(sc, spill_endpoint_, std::move(prune)));
+    }
+    vit = versions.empty() ? spilled_.erase(vit) : std::next(vit);
   }
 }
 

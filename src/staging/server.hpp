@@ -17,6 +17,7 @@
 #include "net/rpc.hpp"
 #include "obs/observability.hpp"
 #include "resilience/policy.hpp"
+#include "staging/memory_governor.hpp"
 #include "staging/object_store.hpp"
 #include "staging/types.hpp"
 #include "wlog/data_log.hpp"
@@ -45,6 +46,8 @@ struct ServerParams {
   resilience::ResiliencePolicy policy;
   /// Versions per variable retained by the base store.
   int version_window = 2;
+  /// Memory governor (budget 0 = disabled, the default).
+  GovernorParams governor;
 };
 
 struct ServerStats {
@@ -64,6 +67,19 @@ struct ServerStats {
   std::uint64_t replay_mismatches = 0;
   std::uint64_t gc_versions_dropped = 0;
   std::uint64_t gc_nominal_freed = 0;
+  // Memory-governor counters.
+  std::uint64_t spill_versions = 0;      // log versions evicted to the PFS
+  std::uint64_t spill_bytes = 0;         // nominal bytes evicted
+  std::uint64_t spill_fetches = 0;       // spilled versions faulted back in
+  std::uint64_t spill_fetch_bytes = 0;
+  std::uint64_t spills_aborted = 0;      // victim reclaimed mid-spill
+  std::uint64_t urgent_gc_sweeps = 0;    // sweeps forced by the soft mark
+  std::uint64_t puts_rejected = 0;       // RetryLater backpressure responses
+  std::uint64_t governor_overruns = 0;   // oversized puts admitted anyway
+  /// Fragment pushes whose round-robin placement wrapped onto a peer that
+  /// already holds a fragment of the same object (server_count too small
+  /// for the policy's fan-out — survivability is degraded).
+  std::uint64_t placement_clamped = 0;
 };
 
 /// Point-in-time memory report (nominal, i.e. paper-scale bytes).
@@ -75,6 +91,12 @@ struct MemoryReport {
   [[nodiscard]] std::uint64_t total() const {
     return store_bytes + log_payload_bytes + log_metadata_bytes +
            redundancy_bytes;
+  }
+  /// The memory governor's budgeted footprint: what this server holds for
+  /// its *own* objects. Redundancy fragments held on peers' behalf are
+  /// excluded — they are budgeted by their owners.
+  [[nodiscard]] std::uint64_t governed() const {
+    return store_bytes + log_payload_bytes + log_metadata_bytes;
   }
 };
 
@@ -140,8 +162,26 @@ class StagingServer {
     std::function<void(AppId app, Version ckpt_version,
                        std::size_t events_dropped)>
         log_truncate;
+    std::function<void(const std::string& var, Version version,
+                       std::uint64_t bytes)>
+        spill;
+    std::function<void(const std::string& var, Version version,
+                       std::uint64_t bytes)>
+        spill_fetch;
   };
   void set_obs_hooks(ObsHooks hooks) { obs_hooks_ = std::move(hooks); }
+
+  /// Wire the memory governor to the PFS spill gateway. Without a gateway
+  /// the governor still enforces admission (backpressure), but has nowhere
+  /// to evict cold log versions.
+  void set_spill_endpoint(net::EndpointId ep) { spill_endpoint_ = ep; }
+
+  /// Spilled log versions per variable (version → nominal bytes) — the
+  /// read-through index that replay-path gets consult.
+  [[nodiscard]] const std::map<std::string, std::map<Version, std::uint64_t>>&
+  spilled() const {
+    return spilled_;
+  }
 
   /// Attach the run's observability bundle (null = off). `track` names
   /// this server's span track ("staging-N").
@@ -181,6 +221,9 @@ class StagingServer {
   sim::Task<void> handle_queue_backup(QueueBackup backup);
   sim::Task<void> handle_recovery_pull(RecoveryPull pull);
   sim::Task<void> handle_query(QueryRequest query);
+  /// No-op arm for messages this endpoint does not speak (spill traffic
+  /// belongs to the gateway); keeps the Message visit exhaustive.
+  sim::Task<void> ignore_message();
 
   /// The put state machine shared by single and batched puts: replay
   /// suppression, idempotent-duplicate detection, event logging, the store
@@ -195,7 +238,25 @@ class StagingServer {
   sim::Task<void> mirror_event(wlog::LogEvent event);
   /// Rebuild state from peers (runs before the replacement serves traffic).
   sim::Task<void> rebuild_from_peers();
+  /// The fragment-pull/decode/re-push half of rebuild_from_peers.
+  sim::Task<void> rebuild_objects_from_peers();
   sim::Task<void> run_after_recovery();
+
+  /// Soft-watermark maintenance (detached, single-flight): urgent GC sweep,
+  /// then spill the coldest reclaim-ineligible log versions to the gateway
+  /// until the governed footprint is back under the soft watermark.
+  sim::Task<void> maintain_memory();
+  /// Fault a spilled (var, version) back into the data log before a
+  /// replay-path read (no-op when it is not spilled).
+  sim::Task<void> ensure_log_resident(std::string var, Version version);
+  [[nodiscard]] bool spill_covers(const std::string& var,
+                                  Version version) const;
+  /// Kick maintain_memory() if the governor is over its soft watermark and
+  /// no maintenance pass is already in flight.
+  void poke_governor();
+  /// Drop spilled-index entries the GC watermark has passed and tell the
+  /// gateway to reclaim the corresponding spill files.
+  void prune_spilled_upto_watermark();
 
   /// Serve a get whose data is present; pays response transport.
   sim::Task<void> respond_get(GetRequest req, std::vector<Chunk> pieces,
@@ -211,6 +272,7 @@ class StagingServer {
   cluster::VprocId vproc_;
   ServerParams params_;
   net::Rpc rpc_;
+  MemoryGovernor governor_;
   ObjectStore store_;
   wlog::DataLog dlog_;
   std::map<AppId, wlog::EventQueue> queues_;
@@ -226,6 +288,14 @@ class StagingServer {
   std::uint64_t fragment_bytes_ = 0;
   // owner → app → mirrored event queue.
   std::map<int, std::map<AppId, wlog::EventQueue>> mirrors_;
+  // Memory-governor state: gateway endpoint (-1 = none), the spill index
+  // (var → version → nominal bytes evicted), and the single-flight latch
+  // for the maintenance coroutine.
+  net::EndpointId spill_endpoint_ = -1;
+  std::map<std::string, std::map<Version, std::uint64_t>> spilled_;
+  bool maintenance_inflight_ = false;
+  bool placement_warned_ = false;
+  bool budget_warned_ = false;
   // Memory sampling for peak / time-averaged usage.
   std::uint64_t peak_total_ = 0;
   double byte_seconds_ = 0;

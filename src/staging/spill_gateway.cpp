@@ -1,0 +1,156 @@
+#include "staging/spill_gateway.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "sim/spawn.hpp"
+
+namespace dstage::staging {
+
+SpillGateway::SpillGateway(cluster::Cluster& cluster, cluster::VprocId vproc,
+                           cluster::Pfs& pfs)
+    : cluster_(&cluster),
+      vproc_(vproc),
+      pfs_(&pfs),
+      rpc_(cluster.fabric(), cluster.vproc(vproc).endpoint) {}
+
+net::EndpointId SpillGateway::endpoint() const {
+  return cluster_->vproc(vproc_).endpoint;
+}
+
+void SpillGateway::start() { sim::spawn(cluster_->engine(), run()); }
+
+sim::Task<void> SpillGateway::run() {
+  auto& ep = cluster_->fabric().endpoint(endpoint());
+  sim::Ctx c = ctx();
+  for (;;) {
+    net::Packet packet = co_await ep.recv(c.tok);
+    net::Message msg = std::move(packet.payload);
+    if (auto* put = std::get_if<SpillPut>(&msg)) {
+      co_await handle_put(std::move(*put));
+    } else if (auto* fetch = std::get_if<SpillFetch>(&msg)) {
+      co_await handle_fetch(std::move(*fetch));
+    } else if (auto* prune = std::get_if<SpillPrune>(&msg)) {
+      handle_prune(*prune);
+    }
+    // Anything else is misrouted: the gateway speaks only the spill
+    // vocabulary, and dropping keeps it inert for non-governed runs.
+  }
+}
+
+sim::Task<void> SpillGateway::handle_put(SpillPut put) {
+  sim::Ctx c = ctx();
+  const std::uint64_t bytes = put.chunk.nominal_bytes;
+  // Persisting the evicted chunk is a real PFS write: it queues on the
+  // same FIFO channel as checkpoint traffic.
+  co_await pfs_->write(c, bytes);
+  auto [it, inserted] = per_owner_.try_emplace(put.owner, 1 << 30);
+  it->second.put(std::move(put.chunk));
+  ++stats_.spill_puts;
+  stats_.spill_bytes += bytes;
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("spill.chunks", obs_track_).inc();
+    obs_->metrics().counter("spill.bytes", obs_track_).inc(bytes);
+  }
+  co_await rpc_.fulfill(c, put.reply_to, std::move(put.reply), SpillAck{true});
+}
+
+sim::Task<void> SpillGateway::handle_fetch(SpillFetch fetch) {
+  sim::Ctx c = ctx();
+  SpillFetchResponse resp;
+  auto it = per_owner_.find(fetch.owner);
+  if (fetch.index_only) {
+    // Descriptor-only inventory: what does the gateway hold on the owner's
+    // behalf? (Replacement servers rebuild their spill index from this.)
+    if (it != per_owner_.end()) {
+      for (const std::string& var : it->second.variables()) {
+        for (Version v : it->second.versions_of(var)) {
+          for (Chunk chunk : it->second.chunks_of(var, v)) {
+            chunk.data.reset();  // index entries carry no payload
+            resp.chunks.push_back(std::move(chunk));
+          }
+        }
+      }
+    }
+    ++stats_.index_fetches;
+  } else {
+    std::uint64_t bytes = 0;
+    if (it != per_owner_.end()) {
+      resp.chunks = it->second.chunks_of(fetch.var, fetch.version);
+      for (const Chunk& chunk : resp.chunks) bytes += chunk.nominal_bytes;
+    }
+    // Reading the spill file back is a real PFS read. The file stays put —
+    // reclamation is the owner's explicit SpillPrune, mirroring how GC (not
+    // reads) retires log versions.
+    if (bytes > 0) co_await pfs_->read(c, bytes);
+    ++stats_.fetches;
+    stats_.fetch_bytes += bytes;
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("spill.fetches", obs_track_).inc();
+      obs_->metrics().counter("spill.fetch_bytes", obs_track_).inc(bytes);
+    }
+  }
+  co_await rpc_.fulfill(c, fetch.reply_to, std::move(fetch.reply),
+                        std::move(resp));
+}
+
+void SpillGateway::handle_prune(const SpillPrune& prune) {
+  auto it = per_owner_.find(prune.owner);
+  if (it == per_owner_.end()) return;
+  ObjectStore& store = it->second;
+  std::size_t dropped = 0;
+  if (prune.above) {
+    // Rollback: discard spilled versions newer than the snapshot (empty
+    // var = every variable, matching the staging rollback semantics).
+    dropped = store.drop_versions_above(prune.upto);
+  } else {
+    for (Version v : store.versions_of(prune.var)) {
+      if (v > prune.upto) break;
+      if (store.drop_version(prune.var, v)) ++dropped;
+    }
+  }
+  stats_.pruned_versions += dropped;
+  if (obs_ != nullptr && dropped > 0)
+    obs_->metrics().counter("spill.pruned_versions", obs_track_).inc(dropped);
+}
+
+std::vector<std::string> SpillGateway::variables() const {
+  std::vector<std::string> out;
+  for (const auto& [owner, store] : per_owner_) {
+    for (std::string& var : store.variables()) {
+      if (std::find(out.begin(), out.end(), var) == out.end())
+        out.push_back(std::move(var));
+    }
+  }
+  return out;
+}
+
+std::vector<Version> SpillGateway::versions_of(const std::string& var) const {
+  std::vector<Version> out;
+  for (const auto& [owner, store] : per_owner_) {
+    for (Version v : store.versions_of(var)) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Chunk> SpillGateway::get(const std::string& var, Version version,
+                                     const Box& region) const {
+  std::vector<Chunk> out;
+  for (const auto& [owner, store] : per_owner_) {
+    for (Chunk& chunk : store.get(var, version, region))
+      out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+std::uint64_t SpillGateway::nominal_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [owner, store] : per_owner_) total += store.nominal_bytes();
+  return total;
+}
+
+}  // namespace dstage::staging

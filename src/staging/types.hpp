@@ -43,6 +43,12 @@ using RecoveryPull = net::RecoveryPull;
 using QueryRequest = net::QueryRequest;
 using BatchPut = net::BatchPut;
 
+using SpillAck = net::SpillAck;
+using SpillFetchResponse = net::SpillFetchResponse;
+using SpillPut = net::SpillPut;
+using SpillFetch = net::SpillFetch;
+using SpillPrune = net::SpillPrune;
+
 /// Any staging message (historical name for net::Message).
 using Request = net::Message;
 

@@ -36,6 +36,23 @@ class DataLog {
       const std::string& var) const;
   [[nodiscard]] std::vector<std::string> variables() const;
 
+  /// All retained pieces of one version, unclipped (spill-eviction helper).
+  [[nodiscard]] std::vector<staging::Chunk> chunks_of(
+      const std::string& var, staging::Version version) const {
+    return store_.chunks_of(var, version);
+  }
+  /// True when the log retains any piece of (var, version).
+  [[nodiscard]] bool has(const std::string& var,
+                         staging::Version version) const {
+    return !store_.chunks_of(var, version).empty();
+  }
+  /// Memory-governor eviction: drop one retained version because its
+  /// payload now lives on the PFS spill gateway. Reported to the oracle's
+  /// drop probe as kSpill (durability is preserved, just relocated).
+  bool drop_spilled(const std::string& var, staging::Version version) {
+    return store_.drop_version(var, version, staging::DropReason::kSpill);
+  }
+
   /// Drop all retained versions of `var` up to and including `watermark`.
   /// Returns the number of versions dropped.
   std::size_t drop_upto(const std::string& var, staging::Version watermark);

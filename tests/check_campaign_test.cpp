@@ -39,6 +39,29 @@ TEST(CampaignTest, VerdictIndependentOfThreadCount) {
   }
 }
 
+TEST(CampaignTest, MemoryGovernedCampaignExercisesSpillAndBackpressure) {
+  // A 512 MB/server budget on the Table-II-sized campaign workload is
+  // tight enough that both relief mechanisms fire (versions spilled to the
+  // PFS, puts bounced with RetryLater) while every recovery invariant
+  // still holds — the oracle's read-equivalence and durability checks run
+  // against memory-governed references.
+  CampaignOptions opts;
+  opts.gen.count = 8;
+  opts.gen.seed = 3;
+  opts.gen.schemes = {core::Scheme::kUncoordinated, core::Scheme::kHybrid};
+  opts.gen.memory_budget_mb = 512;
+  opts.threads = 2;
+  const CampaignResult result = run_campaign(opts);
+  EXPECT_EQ(result.passed, 8);
+  EXPECT_TRUE(result.ok());
+  for (const CampaignFailure& f : result.failures) {
+    ADD_FAILURE() << f.schedule.repro() << "\n" << f.report.summary();
+  }
+  EXPECT_GT(result.spilled_versions, 0u);
+  EXPECT_GT(result.puts_rejected, 0u);
+  EXPECT_GT(result.backpressure_waits, 0u);
+}
+
 TEST(CampaignTest, SkipReplaySabotageFailsAndShrinks) {
   CampaignOptions opts;
   opts.gen.count = 12;

@@ -61,6 +61,31 @@ TEST(ScheduleTest, GeneratorRespectsSchemePoolAndBounds) {
   }
 }
 
+TEST(ScheduleTest, MemoryBudgetRoundTripsAndGatesTheSpec) {
+  // mb= is part of the schedule's identity (it changes the reference run),
+  // round-trips through the repro string, and is omitted when zero so
+  // pre-governor repro strings stay byte-stable.
+  Schedule s = basic_un_schedule();
+  EXPECT_EQ(s.repro().find(";mb="), std::string::npos);
+  EXPECT_EQ(s.to_spec().staging.memory_budget, 0u);
+
+  s.memory_budget_mb = 512;
+  const std::string line = s.repro();
+  EXPECT_NE(line.find(";mb=512"), std::string::npos);
+  const Schedule parsed = Schedule::parse(line);
+  EXPECT_EQ(parsed, s);
+  EXPECT_EQ(parsed.to_spec().staging.memory_budget, 512ull << 20);
+
+  GenerateOptions opts;
+  opts.count = 10;
+  opts.seed = 9;
+  opts.memory_budget_mb = 768;
+  for (const Schedule& g : generate_schedules(opts)) {
+    EXPECT_EQ(g.memory_budget_mb, 768);
+    EXPECT_EQ(Schedule::parse(g.repro()), g);
+  }
+}
+
 TEST(ScheduleTest, ParseRejectsMalformedInput) {
   EXPECT_THROW(Schedule::parse(""), std::invalid_argument);
   EXPECT_THROW(Schedule::parse("cc2;sch=un"), std::invalid_argument);

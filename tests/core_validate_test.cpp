@@ -136,5 +136,50 @@ TEST(ValidateTest, CouplingFields) {
   expect_rejected(bad, "every");
 }
 
+TEST(ValidateTest, MemoryGovernorFields) {
+  auto spec = table2_setup(Scheme::kUncoordinated);
+  // Watermarks are only meaningful when the governor is on; a disabled
+  // governor (budget 0, the default) accepts anything.
+  auto bad = spec;
+  bad.staging.soft_watermark = -1;
+  EXPECT_NO_THROW(bad.validate());
+
+  bad = spec;
+  bad.staging.memory_budget = 512ull << 20;
+  EXPECT_NO_THROW(bad.validate());
+
+  bad.staging.soft_watermark = 0;
+  expect_rejected(bad, "soft_watermark");
+
+  bad.staging.soft_watermark = 1.2;
+  expect_rejected(bad, "soft_watermark");
+
+  bad.staging.soft_watermark = 0.7;
+  bad.staging.hard_watermark = 0;
+  expect_rejected(bad, "hard_watermark");
+
+  bad.staging.hard_watermark = 0.5;  // below soft
+  expect_rejected(bad, "soft_watermark must be <=");
+}
+
+TEST(ValidateTest, UnsatisfiableResiliencePolicyRejected) {
+  auto spec = table2_setup(Scheme::kUncoordinated);
+  auto bad = spec;
+  bad.server.policy.kind = resilience::Redundancy::kReplication;
+  bad.server.policy.replicas = 1;
+  expect_rejected(bad, "replicas");
+
+  bad = spec;
+  bad.server.policy.kind = resilience::Redundancy::kErasureCode;
+  bad.server.policy.rs_k = 0;
+  expect_rejected(bad, "rs_k");
+
+  bad = spec;
+  bad.server.policy.kind = resilience::Redundancy::kReplication;
+  bad.server.policy.replicas = 2;
+  bad.staging_servers = 1;
+  expect_rejected(bad, "server");
+}
+
 }  // namespace
 }  // namespace dstage::core

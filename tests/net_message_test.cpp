@@ -88,7 +88,7 @@ TEST(MessageCodecTest, OneChunkBatchCostsExactlyOnePut) {
 }
 
 TEST(MessageCodecTest, SerializedSizeDispatchesOverEveryAlternative) {
-  static_assert(std::variant_size_v<Message> == 11);
+  static_assert(std::variant_size_v<Message> == 14);
   FragmentPut frag;
   frag.nominal_bytes = 777;
   EXPECT_EQ(serialized_size(Message{std::move(frag)}), 777u);
@@ -112,6 +112,9 @@ TEST(MessageCodecTest, MessageNamesMatchSpanVocabulary) {
   EXPECT_STREQ(message_name(RecoveryPull{}), "recovery_pull");
   EXPECT_STREQ(message_name(QueryRequest{}), "query");
   EXPECT_STREQ(message_name(BatchPut{}), "batch_put");
+  EXPECT_STREQ(message_name(SpillPut{}), "spill_put");
+  EXPECT_STREQ(message_name(SpillFetch{}), "spill_fetch");
+  EXPECT_STREQ(message_name(SpillPrune{}), "spill_prune");
   EXPECT_STREQ(message_name(Message{QueryRequest{}}), "query");
 }
 

@@ -348,5 +348,47 @@ TEST(PolicyTest, FragmentPlacementWrapsAround) {
   EXPECT_THROW(fragment_placement(0, 2, 0), std::invalid_argument);
 }
 
+TEST(PolicyTest, FragmentPlacementRefusesToCollide) {
+  // More fragments than servers: the modulo would silently wrap several
+  // fragments of one object onto the same server, voiding the
+  // distinct-holders guarantee the helper promises. It must throw, not
+  // return a colliding placement.
+  EXPECT_THROW(fragment_placement(0, 6, 4), std::invalid_argument);
+  EXPECT_THROW(fragment_placement(2, 3, 2), std::invalid_argument);
+  // Exactly as many servers as fragments is still fine.
+  auto placement = fragment_placement(1, 4, 4);
+  std::set<int> unique(placement.begin(), placement.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(PolicyTest, ValidateRejectsUnsatisfiableConfigs) {
+  ResiliencePolicy p;  // kNone: anything goes, even a single server
+  p.validate(1);
+
+  p.kind = Redundancy::kReplication;
+  p.replicas = 2;
+  p.validate(2);
+  EXPECT_THROW(p.validate(1), std::invalid_argument);  // no peer to hold
+  p.replicas = 1;  // "replication" with a single copy is a config bug
+  EXPECT_THROW(p.validate(8), std::invalid_argument);
+  p.replicas = 2;
+  p.encode_bw = 0;
+  EXPECT_THROW(p.validate(8), std::invalid_argument);
+  p.encode_bw = 44e9;
+
+  p.kind = Redundancy::kErasureCode;
+  p.rs_k = 0;
+  EXPECT_THROW(p.validate(8), std::invalid_argument);
+  p.rs_k = 4;
+  p.rs_m = 0;
+  EXPECT_THROW(p.validate(8), std::invalid_argument);
+  p.rs_m = 2;
+  p.validate(8);
+  // A group smaller than fragments_total() is allowed: placement clamps
+  // loudly at the staging layer and survivability degrades, but partial
+  // redundancy still beats rejecting the deployment.
+  p.validate(3);
+}
+
 }  // namespace
 }  // namespace dstage::resilience

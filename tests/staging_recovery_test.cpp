@@ -202,6 +202,96 @@ TEST(StagingRecoveryTest, FragmentsPrunedAtCheckpoints) {
   EXPECT_LT(after, before);
 }
 
+TEST(StagingRecoveryTest, RefailureDuringRecoveryIsCoalesced) {
+  // The same vproc fails again while its recovery is still awaiting the
+  // respawn delay. The manager must coalesce the second failure into the
+  // in-flight recovery — a single spare, a single replacement — instead of
+  // racing two replacements into the same slot. spares=1 makes a
+  // double-acquire observable: it would exhaust the pool and mark the
+  // server degraded.
+  Rig rig(3, params_with(resilience::Redundancy::kErasureCode), /*spares=*/1);
+  auto producer = rig.make_client(0);
+  auto consumer = rig.make_client(1);
+  int wrong = 0;
+  std::uint64_t got = 0;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await producer->put(ctx, "f", 1, rig.domain);
+    co_await ctx.delay(sim::seconds(2));  // fragments propagate
+
+    rig.cluster.kill(rig.server_vprocs[0]);
+    // Recovery is now sleeping through the 2 s respawn delay. Flap the
+    // vproc: briefly back up, then dead again — a second failure event for
+    // a server whose recovery is already in flight.
+    co_await ctx.delay(sim::seconds(1));
+    rig.cluster.revive(rig.server_vprocs[0]);
+    rig.cluster.kill(rig.server_vprocs[0]);
+
+    co_await ctx.delay(sim::seconds(15));  // let the recovery land
+    auto gr = co_await consumer->get(ctx, "f", 1, rig.domain);
+    wrong = gr.wrong_version + gr.corrupt;
+    got = gr.nominal_bytes;
+  });
+  rig.run();
+  EXPECT_EQ(rig.manager->stats().server_failures, 2);
+  EXPECT_EQ(rig.manager->stats().coalesced_failures, 1);
+  EXPECT_EQ(rig.manager->stats().servers_recovered, 1);
+  // No double-acquire: the single spare covered both failure events.
+  EXPECT_EQ(rig.manager->stats().spare_exhausted, 0);
+  EXPECT_FALSE(rig.manager->is_degraded(0));
+  EXPECT_EQ(wrong, 0);
+  EXPECT_EQ(got, rig.domain.volume() * 8);
+}
+
+TEST(StagingRecoveryTest, DegradedServerSurfacesDistinctClientError) {
+  // Spare pool empty: the dead server is never coming back. With the
+  // degraded probe wired, client requests to it must fail fast with the
+  // distinct "staging degraded" error (not a generic rpc timeout), and the
+  // manager must report the condition loudly.
+  Rig rig(3, params_with(resilience::Redundancy::kErasureCode), /*spares=*/0);
+  auto producer = rig.make_client(0);
+  producer->set_degraded_probe(
+      [&rig](int server) { return rig.manager->is_degraded(server); });
+  int degraded_server = -1;
+  rig.manager->set_on_degraded([&](int index) { degraded_server = index; });
+  std::string error;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await producer->put(ctx, "f", 1, rig.domain);
+    rig.cluster.kill(rig.server_vprocs[0]);
+    co_await ctx.delay(sim::seconds(1));
+    try {
+      co_await producer->put(ctx, "f", 2, rig.domain);
+    } catch (const std::runtime_error& e) {
+      error = e.what();
+    }
+  });
+  rig.run();
+  EXPECT_EQ(rig.manager->stats().spare_exhausted, 1);
+  EXPECT_EQ(rig.manager->degraded_count(), 1);
+  EXPECT_TRUE(rig.manager->is_degraded(0));
+  EXPECT_EQ(degraded_server, 0);
+  EXPECT_NE(error.find("staging degraded: server"), std::string::npos)
+      << "got: " << error;
+}
+
+TEST(StagingRecoveryTest, UndersizedGroupClampsPlacementLoudly) {
+  // Two servers cannot hold the 6 distinct fragments RS(4,2) wants; the
+  // push clamps (wrapping onto repeat peers) and says so in stats instead
+  // of silently overstating survivability.
+  Rig rig(2, params_with(resilience::Redundancy::kErasureCode));
+  auto producer = rig.make_client(0);
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await producer->put(ctx, "f", 1, rig.domain);
+    co_await ctx.delay(sim::seconds(2));
+  });
+  rig.run();
+  std::uint64_t clamped = 0;
+  for (const auto& s : rig.servers) clamped += s->stats().placement_clamped;
+  EXPECT_GT(clamped, 0u);
+}
+
 TEST(StagingRecoveryTest, NoSparesMeansDegradedNotCrashed) {
   Rig rig(3, params_with(resilience::Redundancy::kErasureCode), /*spares=*/0);
   auto producer = rig.make_client(0);

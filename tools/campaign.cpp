@@ -32,6 +32,8 @@ int usage() {
       "  --timesteps=N       timesteps per schedule             [12]\n"
       "  --max-failures=N    failures per schedule, at most     [3]\n"
       "  --threads=N         worker threads                     [auto]\n"
+      "  --memory-budget=MB  per-server staging memory budget   [0 = off]\n"
+      "  --require-pressure  fail unless spill AND backpressure both fired\n"
       "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
       "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
       "  --no-shrink         keep failing schedules unminimized\n"
@@ -90,6 +92,12 @@ int run_cli(int argc, char** argv) {
   opts.gen.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   opts.gen.total_ts = flags.get_int("timesteps", 12);
   opts.gen.max_failures = flags.get_int("max-failures", 3);
+  opts.gen.memory_budget_mb = flags.get_int("memory-budget", 0);
+  if (opts.gen.memory_budget_mb < 0) {
+    std::fputs("--memory-budget must be >= 0 (0 disables the governor)\n",
+               stderr);
+    return usage();
+  }
   opts.threads = flags.get_int("threads", 0);
   opts.sabotage = check::parse_sabotage(flags.get("break", "none"));
   opts.shrink = !flags.get_bool("no-shrink", false);
@@ -99,6 +107,7 @@ int run_cli(int argc, char** argv) {
     opts.gen.schemes = parse_scheme_list(flags.get("schemes", ""));
   }
   const bool expect_fail = flags.get_bool("expect-fail", false);
+  const bool require_pressure = flags.get_bool("require-pressure", false);
   const std::string repro = flags.get("repro", "");
 
   for (const std::string& flag : flags.unused()) {
@@ -116,6 +125,16 @@ int run_cli(int argc, char** argv) {
               result.failures.size() == 1 ? "" : "s",
               result.total_failures_injected,
               check::sabotage_name(opts.sabotage));
+  if (opts.gen.memory_budget_mb > 0) {
+    std::printf("memory governor (%d MB/server): %llu versions spilled, "
+                "%llu faulted back, %llu puts bounced, %llu backpressure "
+                "waits\n",
+                opts.gen.memory_budget_mb,
+                static_cast<unsigned long long>(result.spilled_versions),
+                static_cast<unsigned long long>(result.spill_fetches),
+                static_cast<unsigned long long>(result.puts_rejected),
+                static_cast<unsigned long long>(result.backpressure_waits));
+  }
 
   for (const check::CampaignFailure& failure : result.failures) {
     std::printf("---\n");
@@ -131,10 +150,17 @@ int run_cli(int argc, char** argv) {
     std::printf("REPRO: --repro='%s'\n", failure.shrunk.repro().c_str());
   }
 
-  const bool ok = expect_fail ? !result.ok() : result.ok();
+  bool ok = expect_fail ? !result.ok() : result.ok();
   if (expect_fail && result.ok()) {
     std::fputs("expected at least one invariant violation, found none\n",
                stdout);
+  }
+  if (require_pressure &&
+      (result.spilled_versions == 0 || result.backpressure_waits == 0)) {
+    std::fputs("--require-pressure: budget too loose — spill and "
+               "backpressure must both fire for the run to prove anything\n",
+               stdout);
+    ok = false;
   }
   return ok ? 0 : 1;
 }
