@@ -55,6 +55,10 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     result.spill_fetches += reports[i].spill_fetches;
     result.puts_rejected += reports[i].puts_rejected;
     result.backpressure_waits += reports[i].backpressure_waits;
+    result.resilver_chunks_moved += reports[i].resilver_chunks_moved;
+    result.resilver_drops += reports[i].resilver_drops;
+    result.wrong_epoch_rejects += reports[i].wrong_epoch_rejects;
+    result.degraded_reads += reports[i].degraded_reads;
     if (reports[i].ok()) {
       ++result.passed;
       continue;

@@ -46,6 +46,14 @@ struct CampaignResult {
   std::uint64_t spill_fetches = 0;
   std::uint64_t puts_rejected = 0;
   std::uint64_t backpressure_waits = 0;
+  /// Aggregated elastic-membership activity (zero when
+  /// gen.elastic_probability == 0). An elastic campaign should assert
+  /// resilver_chunks_moved and resilver_drops are nonzero: membership
+  /// changes that moved no data have verified nothing.
+  std::uint64_t resilver_chunks_moved = 0;
+  std::uint64_t resilver_drops = 0;
+  std::uint64_t wrong_epoch_rejects = 0;
+  std::uint64_t degraded_reads = 0;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };

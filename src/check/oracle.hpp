@@ -71,6 +71,15 @@ struct OracleReport {
   std::uint64_t spill_fetches = 0;
   std::uint64_t puts_rejected = 0;
   std::uint64_t backpressure_waits = 0;
+  // Elastic-membership activity (all zero for fixed-group schedules).
+  // resilver_drops counts kResilver hand-off releases the oracle audited:
+  // each one was only legal because another server already held the data.
+  std::uint64_t membership_epoch = 0;
+  std::uint64_t resilver_chunks_moved = 0;
+  std::uint64_t resilver_bytes_moved = 0;
+  std::uint64_t wrong_epoch_rejects = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t resilver_drops = 0;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Human-readable one-per-line violation list (empty string when ok).

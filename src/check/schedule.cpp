@@ -114,11 +114,23 @@ core::WorkflowSpec Schedule::to_spec() const {
     spec.staging.memory_budget =
         static_cast<std::uint64_t>(memory_budget_mb) << 20;
   }
+  if (staging_servers > 0) spec.staging_servers = staging_servers;
   spec.failures.seed = static_cast<std::uint64_t>(id) + 1;
   for (const ScheduleFailure& f : failures) {
     spec.failures.explicit_failures.push_back(
         core::ExplicitFailure{f.comp, f.ts, f.phase, f.node_level,
                               f.predicted});
+  }
+  if (!elastic.empty()) {
+    // One standby per join keeps every event sequence admissible; the
+    // group manager picks the concrete server (lowest standby / highest
+    // active), so events carry no server id.
+    int joins = 0;
+    for (const ElasticScheduleEvent& e : elastic) joins += e.join ? 1 : 0;
+    spec.elastic.standby_servers = joins;
+    for (const ElasticScheduleEvent& e : elastic) {
+      spec.elastic.events.push_back(core::ElasticEvent{e.ts, e.join, -1});
+    }
   }
   return spec;
 }
@@ -136,6 +148,19 @@ std::string Schedule::repro() const {
   if (memory_budget_mb > 0) {
     std::snprintf(buf, sizeof(buf), ";mb=%d", memory_budget_mb);
     out += buf;
+  }
+  if (staging_servers > 0) {
+    std::snprintf(buf, sizeof(buf), ";ss=%d", staging_servers);
+    out += buf;
+  }
+  // Emitted only when non-empty, so fixed-group repro strings stay stable.
+  if (!elastic.empty()) {
+    out += ";elastic=";
+    for (std::size_t i = 0; i < elastic.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%c%d", i > 0 ? "," : "",
+                    elastic[i].join ? 'j' : 'r', elastic[i].ts);
+      out += buf;
+    }
   }
   for (const ScheduleFailure& f : failures) {
     std::string flags;
@@ -182,6 +207,19 @@ Schedule Schedule::parse(const std::string& repro) {
       s.mtbf = parse_int(val, "mtbf") != 0;
     } else if (key == "mb") {
       s.memory_budget_mb = parse_int(val, "mb");
+    } else if (key == "ss") {
+      s.staging_servers = parse_int(val, "ss");
+    } else if (key == "elastic") {
+      for (const std::string& tok : split(val, ',')) {
+        if (tok.size() < 2 || (tok[0] != 'j' && tok[0] != 'r')) {
+          throw std::invalid_argument(
+              "repro: elastic event wants j<ts> or r<ts>, got '" + tok + "'");
+        }
+        ElasticScheduleEvent e;
+        e.join = tok[0] == 'j';
+        e.ts = parse_int(tok.substr(1), "elastic ts");
+        s.elastic.push_back(e);
+      }
     } else if (key == "f") {
       const auto parts = split(val, ':');
       if (parts.size() != 4) {
@@ -275,6 +313,19 @@ std::vector<Schedule> generate_schedules(const GenerateOptions& opts) {
         draw_flags(f);
         s.failures.push_back(f);
       }
+    }
+    // An elastic episode: one standby joins mid-run and one server retires
+    // later. Drawn last so fixed-group schedules consume the same random
+    // stream as before this field existed.
+    if (opts.elastic_probability > 0 &&
+        rng.next_double() < opts.elastic_probability && s.total_ts >= 3) {
+      const int join_ts = rng.uniform_int(2, s.total_ts - 1);
+      const int retire_ts = rng.uniform_int(join_ts + 1, s.total_ts);
+      s.elastic.push_back(ElasticScheduleEvent{join_ts, true});
+      s.elastic.push_back(ElasticScheduleEvent{retire_ts, false});
+      // Aim the first failure into the join's resilver window, so the
+      // campaign exercises crashes *during* a membership rebuild.
+      if (!s.failures.empty()) s.failures.front().ts = join_ts;
     }
     out.push_back(std::move(s));
   }

@@ -29,6 +29,18 @@ struct ScheduleFailure {
                          const ScheduleFailure&) = default;
 };
 
+/// One elastic membership change of a schedule: a standby joins the
+/// staging group at `ts` (join) or an active server retires (not join).
+/// The shrinker never touches these — a crash aimed into a resilver
+/// window stays aimed there through every shrink candidate.
+struct ElasticScheduleEvent {
+  int ts = 1;
+  bool join = true;
+
+  friend bool operator==(const ElasticScheduleEvent&,
+                         const ElasticScheduleEvent&) = default;
+};
+
 /// Redundancy applied to staged payloads by the schedule.
 /// 0 = none, 1 = replication x2, 2 = Reed-Solomon RS(2, 1).
 inline constexpr int kResilienceKinds = 3;
@@ -46,7 +58,14 @@ struct Schedule {
   /// of the configuration, so memory-governed campaigns get their own
   /// reference runs.
   int memory_budget_mb = 0;
+  /// Initial active staging servers (0 = the Table-II default; serialized
+  /// as `;ss=` only when set). Lets a repro string pin the paper's
+  /// grow/shrink scenario exactly (e.g. 3 servers growing to 5).
+  int staging_servers = 0;
   std::vector<ScheduleFailure> failures;
+  /// Membership changes driven mid-run (empty = fixed group, the default;
+  /// serialized as the `;elastic=` repro field only when non-empty).
+  std::vector<ElasticScheduleEvent> elastic;
 
   /// The Table-II workflow spec this schedule runs: total_ts shortened to
   /// the schedule's horizon and the failures injected verbatim.
@@ -70,6 +89,11 @@ struct GenerateOptions {
   /// Per-server staging memory budget in MB applied to every generated
   /// schedule (0 = governor disabled).
   int memory_budget_mb = 0;
+  /// Fraction of schedules that carry an elastic grow/shrink episode (a
+  /// join and a later retire). When an episode is drawn and the schedule
+  /// has failures, the first failure is re-aimed at the join timestep so
+  /// crashes land during the resilver window.
+  double elastic_probability = 0.0;
 };
 
 /// Draw `count` independent schedules. Schedule i depends only on

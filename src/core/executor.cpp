@@ -1,5 +1,6 @@
 #include "core/executor.hpp"
 
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -13,20 +14,28 @@ namespace dstage::core {
 namespace {
 
 /// Order-independent fingerprint of a get's returned pieces: equal piece
-/// multisets give equal checksums regardless of server response order.
+/// sets give equal checksums regardless of server response order. Set (not
+/// multiset) semantics over (content key, source region, payload): after an
+/// elastic rebalance a chunk straddling two successors' cells is held whole
+/// by both, so a fan-out read can return the same source chunk twice, each
+/// clipped to a different request region (and hence a different nominal
+/// fraction). The duplicates carry no extra content and the clipped nominal
+/// size is placement-dependent, so neither may perturb cross-epoch read
+/// equivalence — total bytes are compared separately.
 std::uint64_t pieces_checksum(const std::vector<staging::Chunk>& pieces) {
-  std::uint64_t sum = 0;
+  std::set<std::uint64_t> hashes;
   for (const staging::Chunk& piece : pieces) {
-    std::uint64_t h = piece.content_key ^ staging::region_hash(piece.region) ^
-                      (piece.nominal_bytes * 0x100000001b3ULL);
+    std::uint64_t h = piece.content_key ^ staging::region_hash(piece.region);
     if (piece.data) {
       h ^= fnv1a(std::as_bytes(std::span{*piece.data}));
     }
     // SplitMix64 finalizer decorrelates before the XOR combine.
     h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
     h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
-    sum ^= h ^ (h >> 31);
+    hashes.insert(h ^ (h >> 31));
   }
+  std::uint64_t sum = 0;
+  for (std::uint64_t h : hashes) sum ^= h;
   return sum;
 }
 
@@ -40,6 +49,7 @@ WorkflowRunner::WorkflowRunner(WorkflowSpec spec,
     : policy_(policy ? std::move(policy) : make_scheme_policy(spec.scheme)) {
   runtime_ = RuntimeBuilder(std::move(spec)).policy(*policy_).build();
   services_ = runtime_->services();
+  elastic_fired_.assign(runtime_->spec().elastic.events.size(), false);
   services_.resume = [this](Comp* comp, int start_ts) {
     sim::spawn(runtime_->engine(), run_component(comp, start_ts));
   };
@@ -59,6 +69,7 @@ RunMetrics WorkflowRunner::run() {
 
   for (auto& server : runtime_->servers()) server->start();
   if (runtime_->spill_gateway() != nullptr) runtime_->spill_gateway()->start();
+  if (runtime_->group_manager() != nullptr) runtime_->group_manager()->start();
   runtime_->cluster().on_failure(
       [this](cluster::VprocId vp) { on_vproc_failure(vp); });
   for (auto& comp : runtime_->comps()) {
@@ -86,6 +97,7 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
   obs::Observability* obs = services_.obs;
   for (int ts = start_ts + 1; ts <= spec.total_ts; ++ts) {
     trace.record(ctx.now(), TraceKind::kTimestepStart, comp->spec.name, ts);
+    fire_elastic_events(ts);
     co_await maybe_fail(comp, ts, ctx);
 
     // Reads first (consumers pull the coupled data for this timestep).
@@ -224,6 +236,28 @@ sim::Task<void> WorkflowRunner::maybe_fail(Comp* comp, int ts, sim::Ctx ctx) {
     runtime_->cluster().kill(comp->vproc);
     co_await ctx.delay({0});  // the cancelled token unwinds here
   }
+}
+
+void WorkflowRunner::fire_elastic_events(int ts) {
+  const auto& events = runtime_->spec().elastic.events;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (elastic_fired_[i] || events[i].ts > ts) continue;
+    elastic_fired_[i] = true;
+    sim::spawn(runtime_->engine(), drive_elastic_event(events[i]));
+  }
+}
+
+sim::Task<void> WorkflowRunner::drive_elastic_event(ElasticEvent event) {
+  // Membership changes are system activity: they survive component kills
+  // and run concurrently with the timestep loops they rebalance under.
+  sim::Ctx ctx = services_.system_ctx();
+  Trace& trace = runtime_->trace();
+  trace.record(ctx.now(), TraceKind::kMembershipChange, "group-mgr", event.ts,
+               event.join ? 1 : 0);
+  staging::GroupChangeAck ack =
+      co_await runtime_->group_change(ctx, event.join, event.server);
+  trace.record(ctx.now(), TraceKind::kResilverDone, "group-mgr", event.ts,
+               ack.ok ? static_cast<std::int64_t>(ack.server) : -1);
 }
 
 void WorkflowRunner::on_vproc_failure(cluster::VprocId vproc) {

@@ -53,10 +53,16 @@ class WorkflowRunner {
   sim::Task<void> run_component_recovered(Comp* comp);
   sim::Task<void> maybe_fail(Comp* comp, int ts, sim::Ctx ctx);
   void on_vproc_failure(cluster::VprocId vproc);
+  /// Launch every not-yet-fired elastic membership event scheduled at or
+  /// before `ts`. Fired flags live in the runner, so replayed timesteps
+  /// after a recovery never re-issue a change.
+  void fire_elastic_events(int ts);
+  sim::Task<void> drive_elastic_event(ElasticEvent event);
 
   std::unique_ptr<SchemePolicy> policy_;
   std::unique_ptr<Runtime> runtime_;
   RuntimeServices services_;
+  std::vector<bool> elastic_fired_;
   int failures_injected_ = 0;
   bool ran_ = false;
   bool tearing_down_ = false;

@@ -65,11 +65,16 @@ void Runtime::build(const SchemePolicy& policy) {
       spec_.domain, spec_.staging_servers, spec_.cells_per_axis);
   all_done_ = std::make_unique<sim::OneShotEvent>(engine_);
 
-  // Staging servers: one vproc on its own node each.
+  // Staging servers: one vproc on its own node each. Elastic standbys are
+  // built exactly like actives (same params, same registry) but start
+  // outside the membership view; a JoinGroup admits them. With no standbys
+  // this loop is byte-identical to the classic fixed-group build.
   staging::ServerParams server_params = spec_.server;
   server_params.logging = policy.uses_logging();
   server_params.governor = spec_.staging;
-  for (int s = 0; s < spec_.staging_servers; ++s) {
+  const int total_servers =
+      spec_.staging_servers + spec_.elastic.standby_servers;
+  for (int s = 0; s < total_servers; ++s) {
     const auto node = cluster_.add_node();
     const std::string name = "staging-" + std::to_string(s);
     const auto vp = cluster_.add_vproc(name, node);
@@ -176,6 +181,33 @@ void Runtime::build(const SchemePolicy& policy) {
     for (auto& server : servers_) server->set_spill_endpoint(ep);
   }
 
+  // Elastic membership control plane. Created after every fixed vproc;
+  // with the elastic block disabled (the default) none of this runs and
+  // the build — and thus the golden-trace digests — is untouched.
+  if (spec_.elastic.enabled()) {
+    const auto node = cluster_.add_node();
+    group_vproc_ = cluster_.add_vproc("group-mgr", node);
+    std::vector<staging::StagingServer*> group_servers;
+    group_servers.reserve(servers_.size());
+    for (auto& server : servers_) group_servers.push_back(server.get());
+    group_manager_ = std::make_unique<staging::GroupManager>(
+        cluster_, group_vproc_, *index_, std::move(group_servers));
+    if (obs_ != nullptr) group_manager_->set_obs(obs_.get(), "group-mgr");
+    for (auto& server : servers_) {
+      server->set_group_index(index_.get());
+      server->apply_membership(index_->epoch(), index_->active_servers());
+    }
+    const auto gep = group_manager_->endpoint();
+    for (auto& comp : comps_) {
+      comp->client->set_group_endpoint(gep);
+      comp->client->set_resilience_policy(spec_.server.policy);
+      comp->client->set_degraded_reads(spec_.elastic.degraded_reads);
+    }
+    control_client_->set_group_endpoint(gep);
+    control_rpc_ = std::make_unique<net::Rpc>(
+        fabric_, cluster_.vproc(control_vproc_).endpoint);
+  }
+
   // Variable registry for GC retention: consumers pin retention only when
   // they are rollback-capable.
   for (const auto& producer : comps_) {
@@ -273,6 +305,23 @@ void Runtime::plan_failures() {
   }
 }
 
+sim::Task<staging::GroupChangeAck> Runtime::group_change_impl(sim::Ctx ctx,
+                                                              bool join,
+                                                              int server) {
+  if (group_manager_ == nullptr || control_rpc_ == nullptr) {
+    throw std::logic_error("group_change: elastic staging is not enabled");
+  }
+  const net::EndpointId dst = group_manager_->endpoint();
+  if (join) {
+    staging::JoinGroup req;
+    req.server = server;
+    co_return co_await control_rpc_->call(ctx, dst, std::move(req));
+  }
+  staging::RetireServer req;
+  req.server = server;
+  co_return co_await control_rpc_->call(ctx, dst, std::move(req));
+}
+
 RuntimeServices Runtime::services() {
   RuntimeServices rt;
   rt.spec = &spec_;
@@ -320,6 +369,7 @@ RunMetrics Runtime::collect(int failures_injected) const {
     m.staging.puts_rejected += st.puts_rejected;
     m.staging.governor_overruns += st.governor_overruns;
     m.staging.placement_clamped += st.placement_clamped;
+    m.staging.wrong_epoch_rejects += st.wrong_epoch_rejects;
     m.staging.store_bytes_peak += server->store().peak_nominal_bytes();
     m.staging.total_bytes_peak += server->peak_total_bytes();
     m.staging.total_bytes_mean += server->mean_total_bytes();
@@ -336,6 +386,16 @@ RunMetrics Runtime::collect(int failures_injected) const {
     m.rpc_retries += rs.retries;
     m.rpc_exhausted += rs.exhausted;
     m.rpc_backpressure_waits += rs.backpressure_waits;
+    m.staging.degraded_reads += c->client->degraded_read_count();
+  }
+  if (group_manager_ != nullptr) {
+    const staging::GroupManagerStats& gs = group_manager_->stats();
+    m.staging.membership_epoch = index_->epoch();
+    m.staging.membership_joins = gs.joins;
+    m.staging.membership_retires = gs.retires;
+    m.staging.resilver_chunks_moved = gs.resilver_chunks;
+    m.staging.resilver_bytes_moved = gs.resilver_bytes;
+    m.staging.resilver_time_s = gs.resilver_time_s;
   }
   return m;
 }
@@ -386,6 +446,18 @@ void Runtime::finalize_obs() {
       m.counter("resilience.placement_clamped_total", name)
           .inc(st.placement_clamped);
   }
+  // Elastic counters, only when the control plane exists, so classic runs
+  // export an unchanged metric set.
+  if (group_manager_ != nullptr) {
+    m.gauge("elastic.epoch", "group-mgr")
+        .set(static_cast<double>(index_->epoch()));
+    const staging::GroupManagerStats& gs = group_manager_->stats();
+    if (gs.membership_updates > 0)
+      m.counter("elastic.membership_updates", "group-mgr")
+          .inc(gs.membership_updates);
+    if (gs.drain_sweeps > 0)
+      m.counter("elastic.drain_sweeps", "group-mgr").inc(gs.drain_sweeps);
+  }
 }
 
 void Runtime::teardown() {
@@ -400,6 +472,9 @@ void Runtime::teardown() {
   }
   if (spill_vproc_ >= 0 && cluster_.vproc(spill_vproc_).alive) {
     cluster_.kill(spill_vproc_);
+  }
+  if (group_vproc_ >= 0 && cluster_.vproc(group_vproc_).alive) {
+    cluster_.kill(group_vproc_);
   }
   engine_.run();
 }

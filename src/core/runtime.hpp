@@ -24,6 +24,7 @@
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
 #include "staging/client.hpp"
+#include "staging/group.hpp"
 #include "staging/server.hpp"
 #include "staging/spill_gateway.hpp"
 #include "util/rng.hpp"
@@ -150,6 +151,23 @@ class Runtime {
   [[nodiscard]] const staging::SpillGateway* spill_gateway() const {
     return spill_gateway_.get();
   }
+  /// Elastic membership control plane; null unless spec.elastic.enabled().
+  [[nodiscard]] staging::GroupManager* group_manager() {
+    return group_manager_.get();
+  }
+  [[nodiscard]] const staging::GroupManager* group_manager() const {
+    return group_manager_.get();
+  }
+
+  /// Issue a membership change (join = admit a standby, otherwise retire an
+  /// active server; server == -1 lets the GroupManager pick) and wait for
+  /// the rebalance — including the background resilver — to complete.
+  /// Throws std::logic_error when elastic staging is not enabled. Plain
+  /// shim over a private coroutine (GCC 12 coroutine-parameter caveat).
+  sim::Task<staging::GroupChangeAck> group_change(sim::Ctx ctx, bool join,
+                                                  int server = -1) {
+    return group_change_impl(ctx, join, server);
+  }
 
   /// Subsystem view with unset orchestrator hooks.
   [[nodiscard]] RuntimeServices services();
@@ -173,6 +191,8 @@ class Runtime {
  private:
   void build(const SchemePolicy& policy);
   void plan_failures();
+  sim::Task<staging::GroupChangeAck> group_change_impl(sim::Ctx ctx,
+                                                       bool join, int server);
 
   WorkflowSpec spec_;
   sim::Engine engine_;
@@ -189,6 +209,12 @@ class Runtime {
   cluster::VprocId control_vproc_ = -1;
   std::unique_ptr<staging::SpillGateway> spill_gateway_;
   cluster::VprocId spill_vproc_ = -1;
+  std::unique_ptr<staging::GroupManager> group_manager_;
+  cluster::VprocId group_vproc_ = -1;
+  /// Control-plane transport for group_change(); shares the control
+  /// client's endpoint (replies are fulfilled through their ReplyPtr, not
+  /// the endpoint mailbox, so two Rpc instances coexist safely).
+  std::unique_ptr<net::Rpc> control_rpc_;
   sim::CancelToken sys_token_;
   std::vector<PlannedFailure> plan_;
   Rng rng_;

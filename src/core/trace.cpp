@@ -38,6 +38,10 @@ const char* trace_kind_name(TraceKind k) {
       return "gc_watermark_advance";
     case TraceKind::kLogTruncate:
       return "log_truncate";
+    case TraceKind::kMembershipChange:
+      return "membership_change";
+    case TraceKind::kResilverDone:
+      return "resilver_done";
   }
   return "?";
 }

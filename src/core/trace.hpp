@@ -36,6 +36,10 @@ enum class TraceKind {
   kGcSweep,              // value = nominal bytes reclaimed
   kGcWatermarkAdvance,   // value = new watermark version
   kLogTruncate,          // value = metadata log entries dropped
+  // Elastic-membership kinds, recorded only when the spec schedules
+  // membership events, so fixed-group golden digests are unaffected.
+  kMembershipChange,     // value = 1 join / 0 retire
+  kResilverDone,         // value = admitted/retired server id, -1 on reject
 };
 
 const char* trace_kind_name(TraceKind k);

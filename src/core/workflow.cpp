@@ -37,6 +37,32 @@ void WorkflowSpec::validate() const {
   } catch (const std::invalid_argument& e) {
     reject(e.what());
   }
+  if (elastic.standby_servers < 0) {
+    reject("elastic.standby_servers must be >= 0");
+  }
+  if (elastic.degraded_reads &&
+      server.policy.kind == resilience::Redundancy::kNone) {
+    reject("elastic.degraded_reads requires a redundancy policy");
+  }
+  {
+    // Walk the membership events in order: a join needs a standby left, a
+    // retire needs a survivor.
+    int active = staging_servers;
+    const int total = staging_servers + elastic.standby_servers;
+    for (const auto& e : elastic.events) {
+      if (e.ts < 1 || e.ts > total_ts) {
+        reject("elastic event ts must be in [1, total_ts]");
+      }
+      if (e.server >= total) reject("elastic event server index out of range");
+      if (e.join) {
+        if (active >= total) reject("elastic join with no standby available");
+        ++active;
+      } else {
+        if (active < 2) reject("elastic retire would empty the staging group");
+        --active;
+      }
+    }
+  }
   if (failures.count < 0) reject("failures.count must be >= 0");
   if (failures.mtbf_s < 0) reject("failures.mtbf_s must be >= 0");
   if (failures.node_failure_fraction < 0 ||

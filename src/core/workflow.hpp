@@ -110,6 +110,36 @@ struct FailurePlan {
   int predictor_false_alarms = 0;
 };
 
+/// One scheduled membership change: at the start of timestep `ts`, either
+/// admit a standby into the staging group (join) or retire an active
+/// server. `server` == -1 lets the GroupManager pick (lowest standby /
+/// highest active).
+struct ElasticEvent {
+  int ts = 1;
+  bool join = true;
+  int server = -1;
+
+  friend bool operator==(const ElasticEvent&, const ElasticEvent&) = default;
+};
+
+/// Elastic staging-group configuration. Inert by default: with no standbys
+/// and no events the runtime builds the classic fixed group and the golden
+/// digests are byte-identical.
+struct ElasticSpec {
+  /// Extra servers built alongside the group but not initially active;
+  /// JoinGroup events admit them.
+  int standby_servers = 0;
+  /// Serve reads by reconstructing redundancy fragments when a fragment
+  /// owner is down or mid-resilver (requires a redundancy policy).
+  bool degraded_reads = false;
+  /// Membership changes, fired at the named timesteps in spec order.
+  std::vector<ElasticEvent> events;
+
+  [[nodiscard]] bool enabled() const {
+    return standby_servers > 0 || degraded_reads || !events.empty();
+  }
+};
+
 struct WorkflowSpec {
   Box domain = Box::from_dims(512, 512, 256);
   double bytes_per_point = 8.0;
@@ -140,6 +170,10 @@ struct WorkflowSpec {
   /// Transport options (request coalescing). Off by default: golden-trace
   /// digests are recorded with per-chunk messages.
   net::Config net;
+  /// Elastic staging group (standbys, membership events, degraded reads).
+  /// Inert by default: golden-trace digests are recorded with a fixed
+  /// group.
+  ElasticSpec elastic;
 
   /// Reject malformed specs before the runtime is assembled. Throws
   /// std::invalid_argument with a message naming the offending field (and
@@ -192,6 +226,16 @@ struct StagingMetrics {
   std::uint64_t puts_rejected = 0;       // hard-watermark RetryLater bounces
   std::uint64_t governor_overruns = 0;   // single puts larger than the budget
   std::uint64_t placement_clamped = 0;   // fragment placements that wrapped
+  // Elastic-membership counters (all zero with elasticity off).
+  std::uint64_t membership_epoch = 0;     // final epoch of the run
+  std::uint64_t membership_joins = 0;     // servers admitted mid-run
+  std::uint64_t membership_retires = 0;   // servers drained + retired
+  std::uint64_t resilver_chunks_moved = 0;
+  std::uint64_t resilver_bytes_moved = 0;
+  double resilver_time_s = 0;             // wall-clock spent moving data
+  std::uint64_t wrong_epoch_rejects = 0;  // stale-view requests bounced
+  std::uint64_t degraded_reads = 0;       // pieces reconstructed from
+                                          // fragments on the get path
 };
 
 struct RunMetrics {

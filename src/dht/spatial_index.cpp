@@ -8,6 +8,8 @@ namespace dstage::dht {
 
 namespace {
 int log2_exact(int v) {
+  if (v < 1)
+    throw std::invalid_argument("cells_per_axis must be positive");
   int order = 0;
   while ((1 << order) < v) ++order;
   if ((1 << order) != v)
@@ -33,6 +35,23 @@ SpatialIndex::SpatialIndex(Box domain, int server_count, int cells_per_axis)
   cell_sx_ = std::max<std::int64_t>(1, ceil_div(ext[0], cells_));
   cell_sy_ = std::max<std::int64_t>(1, ceil_div(ext[1], cells_));
   cell_sz_ = std::max<std::int64_t>(1, ceil_div(ext[2], cells_));
+
+  // Epoch 0 reproduces the classic split exactly: contiguous equal curve
+  // segments per server. Placement (and therefore every golden trace) is
+  // byte-identical to the pre-elastic constructor-time map.
+  const std::uint64_t total = curve_.length();
+  std::vector<int> owners(static_cast<std::size_t>(total));
+  for (std::uint64_t idx = 0; idx < total; ++idx) {
+    const auto server = static_cast<int>(
+        (idx * static_cast<std::uint64_t>(server_count_)) / total);
+    owners[static_cast<std::size_t>(idx)] =
+        std::min(server, server_count_ - 1);
+  }
+  owners_ = std::make_shared<const std::vector<int>>(std::move(owners));
+  std::vector<int> active(static_cast<std::size_t>(server_count_));
+  for (int s = 0; s < server_count_; ++s)
+    active[static_cast<std::size_t>(s)] = s;
+  active_ = std::make_shared<const std::vector<int>>(std::move(active));
 }
 
 std::uint32_t SpatialIndex::cell_coord(std::int64_t v, std::int64_t lo,
@@ -43,11 +62,7 @@ std::uint32_t SpatialIndex::cell_coord(std::int64_t v, std::int64_t lo,
 }
 
 int SpatialIndex::server_of_index(std::uint64_t curve_index) const {
-  // Contiguous equal curve segments per server.
-  const std::uint64_t total = curve_.length();
-  const auto server = static_cast<int>(
-      (curve_index * static_cast<std::uint64_t>(server_count_)) / total);
-  return std::min(server, server_count_ - 1);
+  return (*owners_)[static_cast<std::size_t>(curve_index)];
 }
 
 int SpatialIndex::server_of(const Point3& p) const {
@@ -69,8 +84,143 @@ Box SpatialIndex::cell_box(std::uint32_t cx, std::uint32_t cy,
   return b.intersection(domain_);
 }
 
+Box SpatialIndex::cell_box_of(std::uint64_t curve_index) const {
+  const auto pt = curve_.point_of(curve_index);
+  const auto limit = static_cast<std::uint32_t>(cells_);
+  if (pt[0] >= limit || pt[1] >= limit || pt[2] >= limit) return Box{};
+  return cell_box(pt[0], pt[1], pt[2]);
+}
+
+PlacementView SpatialIndex::snapshot() const {
+  return PlacementView{epoch_, owners_, active_};
+}
+
+std::vector<std::uint64_t> SpatialIndex::cells_of(
+    const std::vector<int>& owners, int server) const {
+  std::vector<std::uint64_t> cells;
+  for (std::uint64_t idx = 0; idx < owners.size(); ++idx) {
+    if (owners[static_cast<std::size_t>(idx)] == server)
+      cells.push_back(idx);
+  }
+  return cells;
+}
+
+std::vector<CellMove> SpatialIndex::add_server(int server) {
+  if (server < 0) throw std::invalid_argument("negative server id");
+  if (std::find(active_->begin(), active_->end(), server) != active_->end())
+    throw std::invalid_argument("server already in group");
+
+  const auto n_old = static_cast<int>(active_->size());
+  const auto n_new = n_old + 1;
+  // The newcomer's fair share of the curve.
+  const std::uint64_t target = curve_.length() / static_cast<std::uint64_t>(
+                                                     n_new);
+  std::vector<int> owners = *owners_;
+  std::vector<CellMove> moves;
+  moves.reserve(static_cast<std::size_t>(target));
+  // Steal an even slice from each existing owner, always from the tail of
+  // its segment so every owner keeps a contiguous prefix and only
+  // `target` cells move in total.
+  for (int i = 0; i < n_old; ++i) {
+    const int victim = (*active_)[static_cast<std::size_t>(i)];
+    const std::uint64_t lo = target * static_cast<std::uint64_t>(i) /
+                             static_cast<std::uint64_t>(n_old);
+    const std::uint64_t hi = target * static_cast<std::uint64_t>(i + 1) /
+                             static_cast<std::uint64_t>(n_old);
+    const auto steal = hi - lo;
+    if (steal == 0) continue;
+    const auto held = cells_of(owners, victim);
+    const auto take = std::min<std::uint64_t>(steal, held.size());
+    for (std::uint64_t j = 0; j < take; ++j) {
+      const std::uint64_t cell = held[held.size() - take + j];
+      owners[static_cast<std::size_t>(cell)] = server;
+      moves.push_back(CellMove{cell, victim, server});
+    }
+  }
+
+  std::vector<int> active = *active_;
+  active.insert(std::upper_bound(active.begin(), active.end(), server),
+                server);
+  owners_ = std::make_shared<const std::vector<int>>(std::move(owners));
+  active_ = std::make_shared<const std::vector<int>>(std::move(active));
+  ++epoch_;
+  return moves;
+}
+
+std::vector<CellMove> SpatialIndex::remove_server(int server) {
+  const auto it = std::find(active_->begin(), active_->end(), server);
+  if (it == active_->end())
+    throw std::invalid_argument("server not in group");
+  if (active_->size() < 2)
+    throw std::invalid_argument("cannot retire the last server");
+
+  std::vector<int> survivors;
+  survivors.reserve(active_->size() - 1);
+  for (int s : *active_)
+    if (s != server) survivors.push_back(s);
+
+  // Only the leaver's cells move: hand out contiguous runs of its cell
+  // list (curve order) to the survivors in turn, so spatial locality is
+  // preserved and no survivor-to-survivor motion happens.
+  std::vector<int> owners = *owners_;
+  const auto leaving = cells_of(owners, server);
+  const auto n_rem = static_cast<std::uint64_t>(survivors.size());
+  const auto cnt = static_cast<std::uint64_t>(leaving.size());
+  std::vector<CellMove> moves;
+  moves.reserve(leaving.size());
+  for (std::uint64_t j = 0; j < n_rem; ++j) {
+    const std::uint64_t lo = cnt * j / n_rem;
+    const std::uint64_t hi = cnt * (j + 1) / n_rem;
+    const int heir = survivors[static_cast<std::size_t>(j)];
+    for (std::uint64_t c = lo; c < hi; ++c) {
+      const std::uint64_t cell = leaving[static_cast<std::size_t>(c)];
+      owners[static_cast<std::size_t>(cell)] = heir;
+      moves.push_back(CellMove{cell, server, heir});
+    }
+  }
+
+  owners_ = std::make_shared<const std::vector<int>>(std::move(owners));
+  active_ = std::make_shared<const std::vector<int>>(std::move(survivors));
+  ++epoch_;
+  return moves;
+}
+
 std::vector<Placement> SpatialIndex::place(const Box& query) const {
   ++lookups_;
+  return place_impl(query, *owners_);
+}
+
+std::vector<Placement> SpatialIndex::place(const Box& query,
+                                           const PlacementView& view) const {
+  ++lookups_;
+  return place_impl(query, *view.owners);
+}
+
+int SpatialIndex::sole_owner(const Box& region) const {
+  const Box clipped = region.intersection(domain_);
+  if (clipped.empty()) return -1;
+  const auto c0x = cell_coord(clipped.lo.x, domain_.lo.x, cell_sx_);
+  const auto c1x = cell_coord(clipped.hi.x, domain_.lo.x, cell_sx_);
+  const auto c0y = cell_coord(clipped.lo.y, domain_.lo.y, cell_sy_);
+  const auto c1y = cell_coord(clipped.hi.y, domain_.lo.y, cell_sy_);
+  const auto c0z = cell_coord(clipped.lo.z, domain_.lo.z, cell_sz_);
+  const auto c1z = cell_coord(clipped.hi.z, domain_.lo.z, cell_sz_);
+  int owner = -1;
+  for (std::uint32_t cz = c0z; cz <= c1z; ++cz) {
+    for (std::uint32_t cy = c0y; cy <= c1y; ++cy) {
+      for (std::uint32_t cx = c0x; cx <= c1x; ++cx) {
+        if (cell_box(cx, cy, cz).intersection(clipped).empty()) continue;
+        const int s = server_of_index(curve_.index_of(cx, cy, cz));
+        if (owner == -1) owner = s;
+        else if (owner != s) return -1;
+      }
+    }
+  }
+  return owner;
+}
+
+std::vector<Placement> SpatialIndex::place_impl(
+    const Box& query, const std::vector<int>& owners) const {
   std::map<int, Placement> by_server;
   const Box clipped = query.intersection(domain_);
   if (clipped.empty()) return {};
@@ -87,7 +237,8 @@ std::vector<Placement> SpatialIndex::place(const Box& query) const {
       for (std::uint32_t cx = c0x; cx <= c1x; ++cx) {
         const Box overlap = cell_box(cx, cy, cz).intersection(clipped);
         if (overlap.empty()) continue;
-        const int server = server_of_index(curve_.index_of(cx, cy, cz));
+        const int server =
+            owners[static_cast<std::size_t>(curve_.index_of(cx, cy, cz))];
         Placement& p = by_server[server];
         p.server = server;
         p.total_points += overlap.volume();
@@ -115,8 +266,10 @@ std::vector<Placement> SpatialIndex::place(const Box& query) const {
 }
 
 std::vector<std::uint64_t> SpatialIndex::cells_per_server() const {
-  std::vector<std::uint64_t> counts(
-      static_cast<std::size_t>(server_count_), 0);
+  int highest = server_count_ - 1;
+  for (int s : *active_) highest = std::max(highest, s);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(highest + 1),
+                                    0);
   for (std::uint64_t idx = 0; idx < curve_.length(); ++idx) {
     ++counts[static_cast<std::size_t>(server_of_index(idx))];
   }

@@ -2,9 +2,17 @@
 // across staging servers by Hilbert space-filling-curve index, so each
 // server owns a contiguous curve segment (spatially compact set of cells)
 // and any geometric query resolves to a small server set.
+//
+// Ownership is epoch-versioned: the constructor seeds epoch 0 with the
+// classic contiguous-equal-segments split, and `add_server` /
+// `remove_server` advance the epoch while moving only the cells whose
+// owner actually changed (minimal data motion). Callers that must agree
+// on a placement across a membership change route lookups through an
+// immutable `PlacementView` snapshot.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/geometry.hpp"
@@ -19,19 +27,58 @@ struct Placement {
   std::uint64_t total_points = 0;   // sum of piece volumes
 };
 
+/// One cell whose owner changes across a membership transition.
+struct CellMove {
+  std::uint64_t cell = 0;  // Hilbert curve index
+  int from = -1;
+  int to = -1;
+};
+
+/// Immutable snapshot of the ownership map at one epoch. Cheap to copy
+/// (shared, copy-on-write under membership changes); lookups through a
+/// view are stable even while the live index rebalances.
+struct PlacementView {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const std::vector<int>> owners;  // per curve cell
+  std::shared_ptr<const std::vector<int>> active;  // ascending server ids
+
+  [[nodiscard]] bool valid() const { return owners != nullptr; }
+};
+
 class SpatialIndex {
  public:
   /// @param domain          global domain box (non-empty)
   /// @param server_count    number of staging servers (>= 1)
-  /// @param cells_per_axis  power of two; the domain is coarsened to a
-  ///                        cells³ grid that the curve runs over
+  /// @param cells_per_axis  positive power of two; the domain is coarsened
+  ///                        to a cells³ grid that the curve runs over
   SpatialIndex(Box domain, int server_count, int cells_per_axis = 16);
 
   [[nodiscard]] int server_count() const { return server_count_; }
   [[nodiscard]] int cells_per_axis() const { return cells_; }
   [[nodiscard]] const Box& domain() const { return domain_; }
 
-  /// Owning server of the cell containing `p`.
+  /// Current membership epoch (0 until the first add/remove).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Snapshot of the current ownership map.
+  [[nodiscard]] PlacementView snapshot() const;
+
+  /// Servers active in the current epoch, ascending.
+  [[nodiscard]] const std::vector<int>& active_servers() const {
+    return *active_;
+  }
+
+  /// Admit `server` into the group: steals an even share of cells from the
+  /// tail of every existing owner's segment and returns exactly the cells
+  /// that changed owner. Advances the epoch.
+  std::vector<CellMove> add_server(int server);
+
+  /// Retire `server` from the group: redistributes only its cells across
+  /// the survivors (in curve order) and returns the moves. Advances the
+  /// epoch. At least one server must remain.
+  std::vector<CellMove> remove_server(int server);
+
+  /// Owning server of the cell containing `p` (current epoch).
   [[nodiscard]] int server_of(const Point3& p) const;
 
   /// Split `query` into per-server placements (cell-granular, clipped).
@@ -39,7 +86,17 @@ class SpatialIndex {
   /// are omitted.
   [[nodiscard]] std::vector<Placement> place(const Box& query) const;
 
+  /// Same split evaluated against a snapshot instead of the live map.
+  [[nodiscard]] std::vector<Placement> place(const Box& query,
+                                             const PlacementView& view) const;
+
+  /// Server owning every cell that `region` overlaps in the current
+  /// epoch, or -1 if ownership is split (or the region misses the
+  /// domain). Servers use this to detect stale-view requests.
+  [[nodiscard]] int sole_owner(const Box& region) const;
+
   /// Number of curve cells owned by each server (for balance tests).
+  /// Sized to cover the highest server id ever admitted.
   [[nodiscard]] std::vector<std::uint64_t> cells_per_server() const;
 
   /// Geometric queries resolved since construction (observability).
@@ -49,10 +106,20 @@ class SpatialIndex {
   [[nodiscard]] Box cell_box(std::uint32_t cx, std::uint32_t cy,
                              std::uint32_t cz) const;
 
+  /// Box covered by the cell at `curve_index`, clipped to the domain.
+  /// Empty when the curve point falls outside the cells³ grid (the curve
+  /// always spans a power-of-two cube).
+  [[nodiscard]] Box cell_box_of(std::uint64_t curve_index) const;
+
  private:
   [[nodiscard]] int server_of_index(std::uint64_t curve_index) const;
   [[nodiscard]] std::uint32_t cell_coord(std::int64_t v, std::int64_t lo,
                                          std::int64_t cell_size) const;
+  [[nodiscard]] std::vector<Placement> place_impl(
+      const Box& query, const std::vector<int>& owners) const;
+  /// Cells owned by `server`, ascending curve order.
+  [[nodiscard]] std::vector<std::uint64_t> cells_of(
+      const std::vector<int>& owners, int server) const;
 
   Box domain_;
   mutable std::uint64_t lookups_ = 0;  // counted in const place()
@@ -61,6 +128,9 @@ class SpatialIndex {
   int order_;
   HilbertCurve curve_;
   std::int64_t cell_sx_, cell_sy_, cell_sz_;  // cell extents per axis
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<const std::vector<int>> owners_;
+  std::shared_ptr<const std::vector<int>> active_;
 };
 
 }  // namespace dstage::dht

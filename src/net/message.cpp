@@ -39,6 +39,17 @@ std::uint64_t wire_size(const SpillPut& m) {
 std::uint64_t wire_size(const SpillFetch&) { return kObjectHeader; }
 std::uint64_t wire_size(const SpillPrune&) { return kDescriptor; }
 
+std::uint64_t wire_size(const JoinGroup&) { return kDescriptor; }
+std::uint64_t wire_size(const RetireServer&) { return kDescriptor; }
+std::uint64_t wire_size(const MembershipUpdate& m) {
+  return kDescriptor + 4 * static_cast<std::uint64_t>(m.active.size());
+}
+std::uint64_t wire_size(const MembershipQuery&) { return kDescriptor; }
+std::uint64_t wire_size(const FragmentFetch&) { return kObjectHeader; }
+std::uint64_t wire_size(const ResilverPut& m) {
+  return kObjectHeader + m.chunk.nominal_bytes;
+}
+
 std::uint64_t wire_size(const PutResponse&) { return kDescriptor; }
 std::uint64_t wire_size(const SpillAck&) { return kDescriptor; }
 
@@ -72,6 +83,17 @@ std::uint64_t wire_size(const RecoveryPullResponse& m) {
   return bytes;
 }
 
+std::uint64_t wire_size(const GroupChangeAck&) { return kDescriptor; }
+std::uint64_t wire_size(const MembershipInfo& m) {
+  return kDescriptor + 4 * static_cast<std::uint64_t>(m.active.size());
+}
+std::uint64_t wire_size(const FragmentFetchResponse& m) {
+  std::uint64_t bytes = kObjectHeader;
+  for (const FragmentPut& f : m.fragments) bytes += f.nominal_bytes;
+  return bytes;
+}
+std::uint64_t wire_size(const ResilverAck&) { return kDescriptor; }
+
 std::uint64_t wire_size(const QueryResponse& m) {
   return kDescriptor +
          4 * static_cast<std::uint64_t>(m.store_versions.size() +
@@ -96,6 +118,16 @@ const char* message_name(const BatchPut&) { return "batch_put"; }
 const char* message_name(const SpillPut&) { return "spill_put"; }
 const char* message_name(const SpillFetch&) { return "spill_fetch"; }
 const char* message_name(const SpillPrune&) { return "spill_prune"; }
+const char* message_name(const JoinGroup&) { return "join_group"; }
+const char* message_name(const RetireServer&) { return "retire_server"; }
+const char* message_name(const MembershipUpdate&) {
+  return "membership_update";
+}
+const char* message_name(const MembershipQuery&) {
+  return "membership_query";
+}
+const char* message_name(const FragmentFetch&) { return "fragment_fetch"; }
+const char* message_name(const ResilverPut&) { return "resilver_put"; }
 
 const char* message_name(const Message& m) {
   return std::visit([](const auto& alt) { return message_name(alt); }, m);

@@ -77,6 +77,11 @@ struct PutResponse {
   /// and refused admission. The put left no trace (no event logged, no
   /// bytes stored); the client must back off and re-send.
   bool retry_later = false;
+  /// Elastic membership: the addressed server no longer owns the chunk's
+  /// region (the client placed against a stale epoch). Nothing was
+  /// applied; the client must refresh its membership view and re-place.
+  bool wrong_epoch = false;
+  std::uint64_t epoch = 0;  // server's epoch when it rejected
 };
 
 struct GetResponse {
@@ -85,6 +90,10 @@ struct GetResponse {
   /// True when the pieces were resolved from the data log (replay mode)
   /// rather than the live store.
   bool from_log = false;
+  /// Elastic membership: region not owned here anymore — refresh the
+  /// placement view and re-issue (see PutResponse::wrong_epoch).
+  bool wrong_epoch = false;
+  std::uint64_t epoch = 0;
 };
 
 struct CheckpointAck {
@@ -293,13 +302,102 @@ struct SpillPrune {
   bool above = false;
 };
 
+// ---------------------------------------------------------------------------
+// Elastic group membership (client/tool ↔ GroupManager ↔ servers). The
+// membership view is epoch-versioned: control verbs change it, servers and
+// clients learn the new epoch via MembershipUpdate / wrong_epoch rejects,
+// and the resilver traffic below moves only the cells whose owner changed.
+// ---------------------------------------------------------------------------
+
+struct GroupChangeAck {
+  bool ok = false;
+  std::uint64_t epoch = 0;  // epoch after the change (or current on reject)
+  int server = -1;          // the server that joined/retired
+};
+
+/// Admit a standby server into the staging group. `server` == -1 lets the
+/// GroupManager pick the lowest-numbered standby.
+struct JoinGroup {
+  using Response = GroupChangeAck;
+  int server = -1;
+  EndpointId reply_to = -1;
+  ReplyPtr<GroupChangeAck> reply;
+};
+
+/// Retire an active server: its cells are drained to the survivors before
+/// the ack fires; the retiree stays up as a warm standby.
+struct RetireServer {
+  using Response = GroupChangeAck;
+  int server = -1;  // -1 picks the highest-numbered active server
+  EndpointId reply_to = -1;
+  ReplyPtr<GroupChangeAck> reply;
+};
+
+/// One-way, GroupManager → server: the authoritative membership view for
+/// `epoch`. Servers use it to re-aim redundancy (mirror successor,
+/// fragment round-robin) at the active set only.
+struct MembershipUpdate {
+  std::uint64_t epoch = 0;
+  std::vector<int> active;  // ascending server ids
+};
+
+struct MembershipInfo {
+  std::uint64_t epoch = 0;
+  std::vector<int> active;
+};
+
+/// Client → GroupManager: fetch the current membership view (issued after
+/// a wrong_epoch reject before re-placing).
+struct MembershipQuery {
+  using Response = MembershipInfo;
+  EndpointId reply_to = -1;
+  ReplyPtr<MembershipInfo> reply;
+};
+
+struct FragmentFetchResponse {
+  std::vector<FragmentPut> fragments;
+};
+
+/// Degraded read support: fetch whatever redundancy fragments the
+/// addressed peer holds for (`owner`, `var`, `version`) so the reader can
+/// reconstruct without waiting for the owner's recovery.
+struct FragmentFetch {
+  using Response = FragmentFetchResponse;
+  int owner = -1;
+  std::string var;
+  Version version = 0;
+  EndpointId reply_to = -1;
+  ReplyPtr<FragmentFetchResponse> reply;
+};
+
+struct ResilverAck {
+  bool ok = false;
+  /// Destination governor pressure (governed footprint / soft watermark);
+  /// sources back off above 1.0 so resilver yields to foreground puts.
+  double pressure = 0;
+};
+
+/// Resilver transfer: old owner → new owner, one store/log chunk whose
+/// cell changed hands. Acknowledged so the source only drops its copy
+/// once the destination has durably applied it.
+struct ResilverPut {
+  using Response = ResilverAck;
+  int from = -1;  // source staging server index
+  Chunk chunk;
+  bool logged = false;    // retain in the destination's data log
+  bool in_store = true;   // install in the destination's base store
+  EndpointId reply_to = -1;
+  ReplyPtr<ResilverAck> reply;
+};
+
 /// Any fabric message (std::variant keeps dispatch exhaustive). New
 /// alternatives are appended so existing variant indices stay stable.
 using Message =
     std::variant<PutRequest, GetRequest, CheckpointEvent, RecoveryEvent,
                  RollbackRequest, FragmentPut, FragmentPrune, QueueBackup,
                  RecoveryPull, QueryRequest, BatchPut, SpillPut, SpillFetch,
-                 SpillPrune>;
+                 SpillPrune, JoinGroup, RetireServer, MembershipUpdate,
+                 MembershipQuery, FragmentFetch, ResilverPut>;
 
 // ---------------------------------------------------------------------------
 // Codec: the modeled serialized footprint of every message and response.
@@ -323,6 +421,12 @@ using Message =
 [[nodiscard]] std::uint64_t wire_size(const SpillPut& m);
 [[nodiscard]] std::uint64_t wire_size(const SpillFetch& m);
 [[nodiscard]] std::uint64_t wire_size(const SpillPrune& m);
+[[nodiscard]] std::uint64_t wire_size(const JoinGroup& m);
+[[nodiscard]] std::uint64_t wire_size(const RetireServer& m);
+[[nodiscard]] std::uint64_t wire_size(const MembershipUpdate& m);
+[[nodiscard]] std::uint64_t wire_size(const MembershipQuery& m);
+[[nodiscard]] std::uint64_t wire_size(const FragmentFetch& m);
+[[nodiscard]] std::uint64_t wire_size(const ResilverPut& m);
 
 [[nodiscard]] std::uint64_t wire_size(const PutResponse& m);
 [[nodiscard]] std::uint64_t wire_size(const GetResponse& m);
@@ -334,6 +438,10 @@ using Message =
 [[nodiscard]] std::uint64_t wire_size(const QueryResponse& m);
 [[nodiscard]] std::uint64_t wire_size(const SpillAck& m);
 [[nodiscard]] std::uint64_t wire_size(const SpillFetchResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const GroupChangeAck& m);
+[[nodiscard]] std::uint64_t wire_size(const MembershipInfo& m);
+[[nodiscard]] std::uint64_t wire_size(const FragmentFetchResponse& m);
+[[nodiscard]] std::uint64_t wire_size(const ResilverAck& m);
 
 /// Serialized size of any message — what the fabric charges a send.
 [[nodiscard]] std::uint64_t serialized_size(const Message& m);
@@ -353,6 +461,12 @@ using Message =
 [[nodiscard]] const char* message_name(const SpillPut&);
 [[nodiscard]] const char* message_name(const SpillFetch&);
 [[nodiscard]] const char* message_name(const SpillPrune&);
+[[nodiscard]] const char* message_name(const JoinGroup&);
+[[nodiscard]] const char* message_name(const RetireServer&);
+[[nodiscard]] const char* message_name(const MembershipUpdate&);
+[[nodiscard]] const char* message_name(const MembershipQuery&);
+[[nodiscard]] const char* message_name(const FragmentFetch&);
+[[nodiscard]] const char* message_name(const ResilverPut&);
 [[nodiscard]] const char* message_name(const Message& m);
 
 }  // namespace dstage::net

@@ -1,14 +1,24 @@
 #include "staging/client.hpp"
 
 #include <map>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "sim/spawn.hpp"
+#include "staging/degraded_read.hpp"
 
 namespace dstage::staging {
+
+namespace {
+/// Bound on wrong_epoch refresh/re-place rounds per request. Each round
+/// re-snapshots the placement map, so a request can only keep bouncing if
+/// membership churns faster than the client can follow — a configuration
+/// error worth failing loudly on, not retrying forever.
+constexpr int kMaxEpochRounds = 8;
+}  // namespace
 
 StagingClient::StagingClient(cluster::Cluster& cluster,
                              const dht::SpatialIndex& index,
@@ -128,6 +138,9 @@ sim::Task<GetResponse> StagingClient::send_get(sim::Ctx ctx, int server,
 
 sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
                                              Version version, Box region) {
+  if (elastic()) {
+    co_return co_await put_elastic(ctx, std::move(var), version, region);
+  }
   const sim::TimePoint start = ctx.now();
   ++puts_issued_;
   PutResult result;
@@ -193,6 +206,9 @@ sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
 
 sim::Task<GetResult> StagingClient::get_impl(sim::Ctx ctx, std::string var,
                                              Version version, Box region) {
+  if (elastic()) {
+    co_return co_await get_elastic(ctx, std::move(var), version, region);
+  }
   const sim::TimePoint start = ctx.now();
   ++gets_issued_;
   GetResult result;
@@ -230,13 +246,12 @@ sim::Task<std::uint64_t> StagingClient::workflow_check(sim::Ctx ctx,
                                                        Version version,
                                                        bool durable) {
   std::vector<sim::Task<CheckpointAck>> sends;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
+  for (int s : fanout_targets()) {
     CheckpointEvent ev;
     ev.app = params_.app;
     ev.version = version;
     ev.durable = durable;
-    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
-                              std::move(ev)));
+    sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(ev)));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
   std::uint64_t max_id = 0;
@@ -251,12 +266,11 @@ sim::Task<std::size_t> StagingClient::workflow_restart(
   co_await ctx.delay(params_.reconnect_cost);
 
   std::vector<sim::Task<RecoveryAck>> sends;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
+  for (int s : fanout_targets()) {
     RecoveryEvent ev;
     ev.app = params_.app;
     ev.restored_version = restored_version;
-    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
-                              std::move(ev)));
+    sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(ev)));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
   std::size_t total = 0;
@@ -267,11 +281,10 @@ sim::Task<std::size_t> StagingClient::workflow_restart(
 sim::Task<QueryResult> StagingClient::query_impl(sim::Ctx ctx,
                                                  std::string var) {
   std::vector<sim::Task<QueryResponse>> sends;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
+  for (int s : fanout_targets()) {
     QueryRequest req;
     req.var = var;
-    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
-                              std::move(req)));
+    sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(req)));
   }
   auto responses = co_await sim::when_all(ctx, std::move(sends));
 
@@ -292,13 +305,265 @@ sim::Task<QueryResult> StagingClient::query_impl(sim::Ctx ctx,
 sim::Task<void> StagingClient::rollback_staging(sim::Ctx ctx,
                                                 Version version) {
   std::vector<sim::Task<RollbackAck>> sends;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
+  for (int s : fanout_targets()) {
     RollbackRequest req;
     req.version = version;
-    sends.push_back(rpc_.call(ctx, server_endpoint(static_cast<int>(s)),
-                              std::move(req)));
+    sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(req)));
   }
   co_await sim::when_all(ctx, std::move(sends));
+}
+
+void StagingClient::ensure_view() {
+  if (!view_.valid()) view_ = index_->snapshot();
+}
+
+std::vector<int> StagingClient::fanout_targets() const {
+  // In elastic mode workflow events follow the live active set: retired
+  // standbys are drained and joiners must see checkpoints so their GC
+  // watermarks advance. Otherwise: every server, in index order (the
+  // pre-elastic broadcast, byte-identical traffic).
+  if (elastic()) return index_->active_servers();
+  std::vector<int> all(servers_.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+sim::Task<void> StagingClient::refresh_view(sim::Ctx ctx) {
+  if (group_ep_ < 0) {
+    view_ = index_->snapshot();
+    co_return;
+  }
+  MembershipQuery query;
+  MembershipInfo info =
+      co_await rpc_.call(ctx, group_ep_, std::move(query), get_policy());
+  // The round-trip models fetching the view from the GroupManager; the
+  // snapshot is the authoritative owner map for (at least) info.epoch.
+  view_ = index_->snapshot();
+  ++epoch_refreshes_;
+  (void)info;
+}
+
+sim::Task<PutResult> StagingClient::put_elastic(sim::Ctx ctx, std::string var,
+                                               Version version, Box region) {
+  const sim::TimePoint start = ctx.now();
+  ++puts_issued_;
+  PutResult result;
+  ensure_view();
+
+  std::vector<Box> todo{region};
+  int rounds = 0;
+  while (!todo.empty()) {
+    if (++rounds > kMaxEpochRounds) {
+      throw std::runtime_error(
+          "staging put: membership refresh retries exhausted");
+    }
+    // Place the outstanding boxes through the cached view, grouped per
+    // server so the batching path coalesces exactly as the static one.
+    std::vector<int> servers;
+    std::vector<std::vector<Box>> boxes;
+    std::vector<std::vector<std::uint64_t>> nominals;
+    std::vector<std::vector<Chunk>> chunks;
+    for (const Box& box : todo) {
+      for (const dht::Placement& placement : index_->place(box, view_)) {
+        std::size_t g = 0;
+        while (g < servers.size() && servers[g] != placement.server) ++g;
+        if (g == servers.size()) {
+          servers.push_back(placement.server);
+          boxes.emplace_back();
+          nominals.emplace_back();
+          chunks.emplace_back();
+        }
+        for (const Box& piece : placement.pieces) {
+          Chunk chunk = make_chunk(var, version, piece,
+                                   params_.bytes_per_point, params_.mem_scale);
+          boxes[g].push_back(piece);
+          nominals[g].push_back(chunk.nominal_bytes);
+          chunks[g].push_back(std::move(chunk));
+        }
+      }
+    }
+    todo.clear();
+
+    std::vector<BatchPutResponse> responses;
+    if (params_.batching) {
+      std::vector<sim::Task<BatchPutResponse>> sends;
+      for (std::size_t g = 0; g < servers.size(); ++g) {
+        ++result.messages;
+        sends.push_back(
+            send_batch_admitted(ctx, servers[g], std::move(chunks[g]),
+                                &result));
+      }
+      responses = co_await sim::when_all(ctx, std::move(sends));
+    } else {
+      std::vector<sim::Task<PutResponse>> sends;
+      for (std::size_t g = 0; g < servers.size(); ++g) {
+        for (Chunk& chunk : chunks[g]) {
+          ++result.messages;
+          sends.push_back(send_put(ctx, servers[g], std::move(chunk)));
+        }
+      }
+      auto flat = co_await sim::when_all(ctx, std::move(sends));
+      responses.resize(servers.size());
+      std::size_t i = 0;
+      for (std::size_t g = 0; g < servers.size(); ++g) {
+        for (std::size_t j = 0; j < boxes[g].size(); ++j) {
+          responses[g].results.push_back(flat[i++]);
+        }
+      }
+    }
+
+    bool refresh = false;
+    for (std::size_t g = 0; g < servers.size(); ++g) {
+      for (std::size_t j = 0; j < responses[g].results.size(); ++j) {
+        const PutResponse& r = responses[g].results[j];
+        if (r.wrong_epoch) {
+          // The cell moved under us: re-place just this piece against the
+          // refreshed view. Admitted siblings stay admitted.
+          todo.push_back(boxes[g][j]);
+          ++result.wrong_epoch_retries;
+          refresh = true;
+          continue;
+        }
+        result.nominal_bytes += nominals[g][j];
+        ++result.pieces;
+        if (r.suppressed) ++result.suppressed;
+      }
+    }
+    if (refresh) co_await refresh_view(ctx);
+  }
+  result.response_time = ctx.now() - start;
+  co_return result;
+}
+
+sim::Task<StagingClient::PieceOutcome> StagingClient::get_piece_guarded(
+    sim::Ctx ctx, int server, ObjectDesc desc) {
+  PieceOutcome out;
+  try {
+    out.resp = co_await send_get(ctx, server, std::move(desc));
+    if (out.resp.wrong_epoch) out.status = PieceOutcome::Status::kWrongEpoch;
+  } catch (const DataLossError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    // Only the degraded-server error is recoverable (via fragment
+    // reconstruction); anything else re-surfaces.
+    if (degraded_reads_ && degraded_probe_ && degraded_probe_(server) &&
+        policy_.kind != resilience::Redundancy::kNone) {
+      out.status = PieceOutcome::Status::kDegraded;
+    } else {
+      throw;
+    }
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<Chunk>> StagingClient::degraded_fetch(sim::Ctx ctx,
+                                                            int owner,
+                                                            std::string var,
+                                                            Version version,
+                                                            Box piece) {
+  // Gather whatever fragments the surviving peers hold for the owner.
+  // Peers that are themselves down are skipped — reconstruction succeeds
+  // from any k survivors (RS) or any replica.
+  std::vector<FragmentPut> fragments;
+  for (int s : fanout_targets()) {
+    if (s == owner) continue;
+    if (degraded_probe_ && degraded_probe_(s)) continue;
+    FragmentFetch fetch;
+    fetch.owner = owner;
+    fetch.var = var;
+    fetch.version = version;
+    try {
+      FragmentFetchResponse resp = co_await rpc_.call(
+          ctx, server_endpoint(s), std::move(fetch), get_policy());
+      for (FragmentPut& f : resp.fragments) fragments.push_back(std::move(f));
+    } catch (const std::runtime_error&) {
+      // Unreachable peer: reconstruct from whoever answered.
+    }
+  }
+  ObjectDesc desc{std::move(var), version, piece};
+  DegradedReconstruction rec =
+      reconstruct_from_fragments(fragments, desc, policy_);
+  // Decoding the survivors costs what encoding them did.
+  co_await ctx.delay(policy_.encode_time(rec.nominal_bytes));
+  ++degraded_read_count_;
+  co_return std::move(rec.pieces);
+}
+
+sim::Task<GetResult> StagingClient::get_elastic(sim::Ctx ctx, std::string var,
+                                               Version version, Box region) {
+  const sim::TimePoint start = ctx.now();
+  ++gets_issued_;
+  GetResult result;
+  ensure_view();
+
+  auto accumulate = [&](Chunk piece) {
+    result.nominal_bytes += piece.nominal_bytes;
+    switch (check_chunk(piece, var, version)) {
+      case ChunkCheck::kOk:
+        break;
+      case ChunkCheck::kWrongVersion:
+        ++result.wrong_version;
+        break;
+      case ChunkCheck::kCorrupt:
+        ++result.corrupt;
+        break;
+    }
+    result.pieces.push_back(std::move(piece));
+  };
+
+  std::vector<Box> todo{region};
+  int rounds = 0;
+  while (!todo.empty()) {
+    if (++rounds > kMaxEpochRounds) {
+      throw std::runtime_error(
+          "staging get: membership refresh retries exhausted");
+    }
+    std::vector<int> targets;
+    std::vector<Box> pieces;
+    for (const Box& box : todo) {
+      for (const dht::Placement& placement : index_->place(box, view_)) {
+        for (const Box& piece : placement.pieces) {
+          targets.push_back(placement.server);
+          pieces.push_back(piece);
+        }
+      }
+    }
+    todo.clear();
+
+    std::vector<sim::Task<PieceOutcome>> sends;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      ObjectDesc desc{var, version, pieces[i]};
+      sends.push_back(get_piece_guarded(ctx, targets[i], std::move(desc)));
+    }
+    auto outcomes = co_await sim::when_all(ctx, std::move(sends));
+
+    bool refresh = false;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      PieceOutcome& o = outcomes[i];
+      switch (o.status) {
+        case PieceOutcome::Status::kOk:
+          result.any_from_log |= o.resp.from_log;
+          for (Chunk& piece : o.resp.pieces) accumulate(std::move(piece));
+          break;
+        case PieceOutcome::Status::kWrongEpoch:
+          todo.push_back(pieces[i]);
+          ++result.wrong_epoch_retries;
+          refresh = true;
+          break;
+        case PieceOutcome::Status::kDegraded: {
+          auto rebuilt =
+              co_await degraded_fetch(ctx, targets[i], var, version,
+                                      pieces[i]);
+          ++result.degraded_pieces;
+          for (Chunk& piece : rebuilt) accumulate(std::move(piece));
+          break;
+        }
+      }
+    }
+    if (refresh) co_await refresh_view(ctx);
+  }
+  result.response_time = ctx.now() - start;
+  co_return result;
 }
 
 }  // namespace dstage::staging

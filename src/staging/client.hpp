@@ -15,6 +15,7 @@
 #include "cluster/cluster.hpp"
 #include "dht/spatial_index.hpp"
 #include "net/rpc.hpp"
+#include "resilience/policy.hpp"
 #include "staging/types.hpp"
 
 namespace dstage::staging {
@@ -56,6 +57,9 @@ struct PutResult {
   /// re-sent after backing off. The put only returns once every piece is
   /// admitted, so a partially admitted batch is never acked as durable.
   std::size_t backpressure_resends = 0;
+  /// Pieces bounced with wrong_epoch and re-placed against a refreshed
+  /// membership view (elastic mode only).
+  std::size_t wrong_epoch_retries = 0;
 };
 
 /// Aggregated version metadata across the staging group.
@@ -74,6 +78,11 @@ struct GetResult {
   int wrong_version = 0;  // Fig.-2 anomaly: stale/newer version observed
   int corrupt = 0;
   bool any_from_log = false;
+  /// Pieces re-placed after a wrong_epoch bounce (elastic mode only).
+  std::size_t wrong_epoch_retries = 0;
+  /// Pieces served by reconstructing redundancy fragments off surviving
+  /// peers because the owner was down or mid-resilver.
+  std::size_t degraded_pieces = 0;
 };
 
 class StagingClient {
@@ -137,6 +146,30 @@ class StagingClient {
     degraded_probe_ = std::move(probe);
   }
 
+  /// Elastic membership: point the client at the GroupManager's endpoint.
+  /// Non-negative enables elastic mode — placements route through a cached
+  /// membership view, and a typed wrong_epoch reject triggers a
+  /// MembershipQuery refresh plus re-placement of only the bounced pieces.
+  void set_group_endpoint(net::EndpointId ep) { group_ep_ = ep; }
+  [[nodiscard]] bool elastic() const { return group_ep_ >= 0; }
+
+  /// The group's resilience policy, needed to reconstruct degraded reads
+  /// from redundancy fragments (replica pick or RS decode).
+  void set_resilience_policy(resilience::ResiliencePolicy policy) {
+    policy_ = policy;
+  }
+  /// Enable fragment-reconstruction reads when a fragment owner is down or
+  /// mid-resilver (requires a redundancy policy and elastic mode). A read
+  /// whose losses exceed the policy's tolerance throws DataLossError.
+  void set_degraded_reads(bool on) { degraded_reads_ = on; }
+
+  [[nodiscard]] std::uint64_t degraded_read_count() const {
+    return degraded_read_count_;
+  }
+  [[nodiscard]] std::uint64_t epoch_refreshes() const {
+    return epoch_refreshes_;
+  }
+
   [[nodiscard]] AppId app() const { return params_.app; }
   [[nodiscard]] const ClientParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t puts_issued() const { return puts_issued_; }
@@ -176,6 +209,36 @@ class StagingClient {
   /// unrecovered; otherwise returns.
   void fail_if_degraded(int server) const;
 
+  // Elastic-mode request paths: placement through the cached view, bounded
+  // wrong_epoch refresh/re-place loops, and (for gets) the degraded
+  // fragment-reconstruction fallback.
+  sim::Task<PutResult> put_elastic(sim::Ctx ctx, std::string var,
+                                   Version version, Box region);
+  sim::Task<GetResult> get_elastic(sim::Ctx ctx, std::string var,
+                                   Version version, Box region);
+  /// One get attempt that converts the two recoverable outcomes into data
+  /// instead of exceptions: kWrongEpoch (re-place) and kDegraded
+  /// (reconstruct from fragments).
+  struct PieceOutcome {
+    enum class Status { kOk, kWrongEpoch, kDegraded };
+    Status status = Status::kOk;
+    GetResponse resp;
+  };
+  sim::Task<PieceOutcome> get_piece_guarded(sim::Ctx ctx, int server,
+                                            ObjectDesc desc);
+  /// Degraded read: broadcast FragmentFetch to the surviving peers of
+  /// `owner`, reconstruct `piece`, and pay the decode cost.
+  sim::Task<std::vector<Chunk>> degraded_fetch(sim::Ctx ctx, int owner,
+                                               std::string var,
+                                               Version version, Box piece);
+  /// Fetch the current membership view from the GroupManager and re-snapshot
+  /// the placement map.
+  sim::Task<void> refresh_view(sim::Ctx ctx);
+  void ensure_view();
+  /// Broadcast targets for workflow events: the active membership view in
+  /// elastic mode, every server otherwise.
+  [[nodiscard]] std::vector<int> fanout_targets() const;
+
   cluster::Cluster* cluster_;
   const dht::SpatialIndex* index_;
   std::vector<cluster::VprocId> servers_;
@@ -185,6 +248,13 @@ class StagingClient {
   std::function<bool(int)> degraded_probe_;
   std::uint64_t puts_issued_ = 0;
   std::uint64_t gets_issued_ = 0;
+  // Elastic membership state (inert unless set_group_endpoint is called).
+  net::EndpointId group_ep_ = -1;
+  dht::PlacementView view_;
+  resilience::ResiliencePolicy policy_;
+  bool degraded_reads_ = false;
+  std::uint64_t degraded_read_count_ = 0;
+  std::uint64_t epoch_refreshes_ = 0;
 };
 
 }  // namespace dstage::staging

@@ -58,13 +58,23 @@ std::vector<Chunk> ObjectStore::get(const std::string& var, Version version,
   if (vit == store_.end()) return out;
   auto it = vit->second.find(version);
   if (it == vit->second.end()) return out;
+  std::vector<Box> served;
   for (const Chunk& c : it->second) {
     const Box overlap = c.region.intersection(region);
     if (overlap.empty()) continue;
+    // After an elastic rebalance a version may be held in redundant
+    // overlapping copies (a straddler delivered whole to several
+    // successors, or a replayed put re-shaped by a newer epoch's
+    // placement). Serve each point of the request once: a piece's nominal
+    // size covers only the volume no earlier piece already served, and a
+    // fully redundant copy is omitted outright.
+    const std::uint64_t fresh = uncovered_volume(overlap, served);
+    if (fresh == 0) continue;
+    served.push_back(overlap);
     // Return the piece clipped to the overlap; bytes stay shared, and the
     // clipped nominal size is proportional to the clipped volume.
     Chunk piece = c;
-    const double frac = static_cast<double>(overlap.volume()) /
+    const double frac = static_cast<double>(fresh) /
                         static_cast<double>(c.region.volume());
     piece.nominal_bytes = static_cast<std::uint64_t>(
         static_cast<double>(c.nominal_bytes) * frac);
@@ -137,6 +147,27 @@ bool ObjectStore::drop_version(const std::string& var, Version version,
   if (drop_probe_) drop_probe_(var, version, reason);
   vit->second.erase(it);
   return true;
+}
+
+std::size_t ObjectStore::drop_pieces(
+    const std::string& var, Version version,
+    const std::function<bool(const Chunk&)>& pred, DropReason reason) {
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return 0;
+  auto it = vit->second.find(version);
+  if (it == vit->second.end()) return 0;
+  std::size_t dropped = 0;
+  std::erase_if(it->second, [&](const Chunk& c) {
+    if (!pred(c)) return false;
+    account(c, -1);
+    ++dropped;
+    return true;
+  });
+  if (it->second.empty()) {
+    if (drop_probe_) drop_probe_(var, version, reason);
+    vit->second.erase(it);
+  }
+  return dropped;
 }
 
 std::vector<Chunk> ObjectStore::chunks_of(const std::string& var,

@@ -23,6 +23,7 @@ enum class DropReason {
   kExplicit,  // dropped deliberately (GC reclaim)
   kRollback,  // discarded by a coordinated-restart rollback
   kSpill,     // evicted to the PFS spill gateway (still durable there)
+  kResilver,  // handed off to the cell's new owner (durable there)
 };
 
 class ObjectStore {
@@ -64,6 +65,14 @@ class ObjectStore {
   /// All stored pieces of (var, version), unclipped (spill-eviction helper).
   [[nodiscard]] std::vector<Chunk> chunks_of(const std::string& var,
                                              Version version) const;
+
+  /// Drop the individual pieces of (var, version) for which `pred` returns
+  /// true (resilver hand-off helper: a chunk leaves only once the new cell
+  /// owner holds it). The drop probe fires — with `reason` — only when the
+  /// version's last piece leaves. Returns the number of pieces dropped.
+  std::size_t drop_pieces(const std::string& var, Version version,
+                          const std::function<bool(const Chunk&)>& pred,
+                          DropReason reason = DropReason::kResilver);
 
   [[nodiscard]] std::uint64_t nominal_bytes() const { return nominal_bytes_; }
   [[nodiscard]] std::uint64_t physical_bytes() const {

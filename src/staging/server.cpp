@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <tuple>
 #include <utility>
 #include <variant>
@@ -73,6 +74,31 @@ void StagingServer::set_peers(int self_index,
                               std::vector<net::EndpointId> endpoints) {
   self_index_ = self_index;
   peer_endpoints_ = std::move(endpoints);
+  // Default membership view: every peer is active. Elastic runs overwrite
+  // this via apply_membership / MembershipUpdate; non-elastic runs keep it,
+  // which makes the view-based fan-out below byte-identical to the old
+  // index-over-all-peers loops.
+  active_view_.resize(peer_endpoints_.size());
+  for (std::size_t s = 0; s < active_view_.size(); ++s)
+    active_view_[s] = static_cast<int>(s);
+}
+
+void StagingServer::apply_membership(std::uint64_t epoch,
+                                     std::vector<int> active) {
+  view_epoch_ = epoch;
+  active_view_ = std::move(active);
+}
+
+int StagingServer::active_pos() const {
+  const auto it =
+      std::find(active_view_.begin(), active_view_.end(), self_index_);
+  if (it == active_view_.end()) return -1;
+  return static_cast<int>(it - active_view_.begin());
+}
+
+bool StagingServer::not_owner(const Box& region) const {
+  return group_index_ != nullptr &&
+         group_index_->sole_owner(region) != self_index_;
 }
 
 void StagingServer::start() {
@@ -130,6 +156,21 @@ sim::Task<void> StagingServer::handle(Request request) {
           [this](SpillPut&&) { return ignore_message(); },
           [this](SpillFetch&&) { return ignore_message(); },
           [this](SpillPrune&&) { return ignore_message(); },
+          // Group-membership control verbs belong to the GroupManager;
+          // servers only consume the resulting view updates and the
+          // resilver/degraded-read data traffic.
+          [this](JoinGroup&&) { return ignore_message(); },
+          [this](RetireServer&&) { return ignore_message(); },
+          [this](MembershipQuery&&) { return ignore_message(); },
+          [this](MembershipUpdate&& m) {
+            return handle_membership_update(std::move(m));
+          },
+          [this](FragmentFetch&& m) {
+            return handle_fragment_fetch(std::move(m));
+          },
+          [this](ResilverPut&& m) {
+            return handle_resilver_put(std::move(m));
+          },
       },
       std::move(request));
   if (obs_ != nullptr) {
@@ -144,6 +185,19 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
   ++stats_.puts;
 
   PutResponse resp;
+
+  // Elastic ownership gate, before any state is touched: a put placed
+  // against a stale membership view must leave no trace here — the client
+  // refreshes its view and re-places against the current epoch.
+  if (not_owner(chunk.region)) {
+    ++stats_.wrong_epoch_rejects;
+    if (obs_ != nullptr)
+      obs_->metrics().counter("elastic.wrong_epoch", obs_track_).inc();
+    resp.wrong_epoch = true;
+    resp.epoch = group_index_->epoch();
+    co_return resp;
+  }
+
   bool apply = true;
 
   if (params_.logging && logged) {
@@ -265,6 +319,20 @@ sim::Task<void> StagingServer::handle_get(GetRequest req) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
   ++stats_.gets;
+
+  // Elastic ownership gate: the cell moved — tell the reader to re-place
+  // rather than parking a request no local put will ever satisfy.
+  if (not_owner(req.desc.region)) {
+    ++stats_.wrong_epoch_rejects;
+    if (obs_ != nullptr)
+      obs_->metrics().counter("elastic.wrong_epoch", obs_track_).inc();
+    GetResponse resp;
+    resp.wrong_epoch = true;
+    resp.epoch = group_index_->epoch();
+    co_await rpc_.fulfill(c, req.reply_to, std::move(req.reply),
+                          std::move(resp));
+    co_return;
+  }
 
   if (params_.logging && req.logged) {
     auto& q = queues_[req.app];
@@ -472,9 +540,10 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
     // swept log versions: retire their PFS spill files too.
     prune_spilled_upto_watermark();
     // Peers can reclaim fragments that neither the log's retention nor the
-    // base store's window still needs.
+    // base store's window still needs. The fan-out follows the membership
+    // view: retired standbys hold no fragments worth pruning.
     if (params_.policy.kind != resilience::Redundancy::kNone &&
-        peer_endpoints_.size() > 1) {
+        active_view_.size() > 1) {
       for (const std::string& var : store_.variables()) {
         const auto store_versions = store_.versions_of(var);
         const Version oldest_store =
@@ -484,12 +553,14 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
             log_versions.empty() ? oldest_store : log_versions.front();
         const Version keep_from = std::min(oldest_store, oldest_log);
         if (keep_from == 0) continue;
-        for (std::size_t p = 0; p < peer_endpoints_.size(); ++p) {
-          if (static_cast<int>(p) == self_index_) continue;
+        for (int p : active_view_) {
+          if (p == self_index_) continue;
           sim::Ctx sc = ctx();
           net::Message prune{FragmentPrune{self_index_, var, keep_from - 1}};
           sim::spawn(cluster_->engine(),
-                     rpc_.send(sc, peer_endpoints_[p], std::move(prune)));
+                     rpc_.send(sc,
+                               peer_endpoints_[static_cast<std::size_t>(p)],
+                               std::move(prune)));
         }
       }
     }
@@ -546,6 +617,19 @@ sim::Task<void> StagingServer::handle_rollback(RollbackRequest req) {
 }
 
 sim::Task<void> StagingServer::handle_fragment_put(FragmentPut frag) {
+  if (group_index_ != nullptr) {
+    // Elastic runs re-push fragments during resilver and retirement
+    // hand-off; an identical fragment already held must not be counted
+    // twice (durability accounting would overstate redundancy).
+    for (const FragmentPut& held : fragments_[frag.owner]) {
+      if (held.var == frag.var && held.version == frag.version &&
+          held.frag_index == frag.frag_index &&
+          held.region == frag.region) {
+        ++stats_.fragments_deduped;
+        co_return;
+      }
+    }
+  }
   fragment_bytes_ += frag.nominal_bytes;
   ++stats_.fragments_held;
   fragments_[frag.owner].push_back(std::move(frag));
@@ -614,16 +698,27 @@ sim::Task<void> StagingServer::handle_query(QueryRequest query) {
 }
 
 sim::Task<void> StagingServer::mirror_event(wlog::LogEvent event) {
-  if (peer_endpoints_.size() < 2) co_return;
+  // Successor in the membership view (identical to the old index-order
+  // successor while every peer is active). A retired standby generates no
+  // events worth mirroring.
+  if (active_view_.size() < 2) co_return;
+  const int pos = active_pos();
+  if (pos < 0) co_return;
   const auto successor = static_cast<std::size_t>(
-      (self_index_ + 1) % static_cast<int>(peer_endpoints_.size()));
+      active_view_[(static_cast<std::size_t>(pos) + 1) %
+                   active_view_.size()]);
   net::Message backup{QueueBackup{self_index_, std::move(event)}};
   co_await rpc_.send(ctx(), peer_endpoints_[successor], std::move(backup));
 }
 
 sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
-  const int total_servers = static_cast<int>(peer_endpoints_.size());
-  if (total_servers < 2) co_return;
+  // Fragment placement round-robins over the *active* membership view, so
+  // joins widen the fan-out and retiring servers stop receiving new
+  // fragments. With every peer active this reduces to the old
+  // index-arithmetic placement exactly.
+  const int group = static_cast<int>(active_view_.size());
+  const int self_pos = active_pos();
+  if (group < 2 || self_pos < 0) co_return;
   sim::Ctx c = ctx();
   ++stats_.fragments_pushed;
 
@@ -633,7 +728,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
   // proceeds (single-failure tolerance holds: the owner's loss leaves all
   // pushed fragments intact), but the degradation is loud — once on
   // stderr, and per push in stats/metrics.
-  if (params_.policy.fragments_total() > total_servers) {
+  if (params_.policy.fragments_total() > group) {
     ++stats_.placement_clamped;
     if (!placement_warned_) {
       placement_warned_ = true;
@@ -641,8 +736,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
                    "dstage: staging-%d: resilience policy wants %d distinct "
                    "fragment holders but the group has %d servers; placement "
                    "wraps and survivability is degraded\n",
-                   self_index_, params_.policy.fragments_total(),
-                   total_servers);
+                   self_index_, params_.policy.fragments_total(), group);
     }
     if (obs_ != nullptr)
       obs_->metrics()
@@ -653,11 +747,12 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
   auto push_one = [&](int frag_index, std::uint64_t nominal,
                       std::shared_ptr<const std::vector<std::uint8_t>> data)
       -> sim::Task<void> {
-    // Round-robin over the *other* servers only: a fragment stored on its
-    // own owner would die with it.
-    const auto peer = static_cast<std::size_t>(
-        (self_index_ + 1 + (frag_index - 1) % (total_servers - 1)) %
-        total_servers);
+    // Round-robin over the *other* active servers only: a fragment stored
+    // on its own owner would die with it.
+    const auto peer = static_cast<std::size_t>(active_view_[
+        static_cast<std::size_t>((self_pos + 1 + (frag_index - 1) %
+                                                     (group - 1)) %
+                                 group)]);
     net::Message frag{FragmentPut{self_index_,       chunk.var,
                                   chunk.version,     chunk.region,
                                   frag_index,        nominal,
@@ -669,7 +764,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
 
   if (params_.policy.kind == resilience::Redundancy::kReplication) {
     // Full copies on the next replicas-1 peers.
-    for (int j = 1; j < params_.policy.replicas && j < total_servers; ++j) {
+    for (int j = 1; j < params_.policy.replicas && j < group; ++j) {
       co_await push_one(j, chunk.nominal_bytes, chunk.data);
     }
     co_return;
@@ -814,6 +909,342 @@ sim::Task<void> StagingServer::rebuild_objects_from_peers() {
       ++stats_.rebuild_failures;
     }
   }
+}
+
+sim::Task<void> StagingServer::handle_membership_update(
+    MembershipUpdate update) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  apply_membership(update.epoch, std::move(update.active));
+}
+
+sim::Task<void> StagingServer::handle_fragment_fetch(FragmentFetch fetch) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.fragment_fetches;
+  FragmentFetchResponse resp;
+  if (auto it = fragments_.find(fetch.owner); it != fragments_.end()) {
+    for (const FragmentPut& f : it->second) {
+      if (f.var == fetch.var && f.version == fetch.version)
+        resp.fragments.push_back(f);
+    }
+  }
+  co_await c.delay(copy_time(net::wire_size(resp)));  // gather/pack
+  co_await rpc_.fulfill(c, fetch.reply_to, std::move(fetch.reply),
+                        std::move(resp));
+}
+
+sim::Task<void> StagingServer::handle_resilver_put(ResilverPut put) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.resilver_chunks_in;
+  stats_.resilver_bytes_in += put.chunk.nominal_bytes;
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("elastic.resilver_chunks_in", obs_track_).inc();
+    obs_->metrics()
+        .counter("elastic.resilver_bytes_in", obs_track_)
+        .inc(put.chunk.nominal_bytes);
+  }
+  co_await c.delay(copy_time(put.chunk.nominal_bytes));
+  const std::string var = put.chunk.var;
+  const Version version = put.chunk.version;
+  if (params_.logging && put.logged) {
+    co_await c.delay(
+        sim::from_seconds(copy_time(put.chunk.nominal_bytes).seconds() *
+                          params_.log_append_fraction));
+    dlog_.add(put.chunk);
+  }
+  if (put.in_store) {
+    store_.put(std::move(put.chunk));
+    poke_pending(var, version);
+  } else if (params_.logging && put.logged) {
+    // A log-only version landed: poke_pending only consults the base
+    // store, so wake parked logged readers the data log now covers.
+    for (std::size_t i = 0; i < pending_.size();) {
+      GetRequest& req = pending_[i];
+      if (req.logged && req.desc.var == var && req.desc.version == version &&
+          dlog_.covers(var, version, req.desc.region)) {
+        GetRequest ready = std::move(req);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        wlog::LogEvent event{wlog::EventKind::kGet, ready.app,
+                             ready.desc.version, ready.desc.var,
+                             ready.desc.region, 0, 0};
+        queues_[ready.app].record(event);
+        sim::spawn(cluster_->engine(), mirror_event(std::move(event)));
+        auto pieces = dlog_.get(var, version, ready.desc.region);
+        ++stats_.gets_from_log;
+        sim::spawn(cluster_->engine(),
+                   respond_get(std::move(ready), std::move(pieces), true));
+      } else {
+        ++i;
+      }
+    }
+  }
+  poke_governor();
+  ResilverAck ack;
+  ack.ok = true;
+  if (governor_.enabled()) {
+    ack.pressure = static_cast<double>(memory().governed()) /
+                   static_cast<double>(governor_.soft_bytes());
+  }
+  co_await rpc_.fulfill(c, put.reply_to, std::move(put.reply), ack);
+}
+
+sim::Task<StagingServer::ResilverOutcome> StagingServer::resilver_out_impl(
+    int dest, net::EndpointId dest_ep, std::vector<Box> regions) {
+  sim::Ctx c = ctx();
+  ResilverOutcome outcome;
+  obs::SpanId span = 0;
+  if (obs_ != nullptr) {
+    span = obs_->tracer().begin(obs_track_, "resilver", obs::Phase::kOther,
+                                cluster_->engine().now());
+  }
+
+  const auto moved = [&](const Box& region) {
+    for (const Box& r : regions) {
+      if (!region.intersection(r).empty()) return true;
+    }
+    return false;
+  };
+  // Drop a local piece only when the hand-off fully covers it; a chunk
+  // straddling moved and kept cells stays behind (safe duplication — the
+  // oracle's coverage invariant unions holdings across servers).
+  const auto covered = [&](const Chunk& ch) {
+    return boxes_cover(ch.region, regions);
+  };
+
+  // Spilled log versions park their payload on the PFS gateway under
+  // *this* server's spill index, which the new owner cannot read. Fault
+  // them back in first so the sweep below can hand them off.
+  {
+    std::vector<std::pair<std::string, Version>> parked;
+    for (const auto& [var, versions] : spilled_) {
+      for (const auto& [version, bytes] : versions)
+        parked.emplace_back(var, version);
+    }
+    for (auto& [var, version] : parked) {
+      co_await ensure_log_resident(var, version);
+    }
+  }
+
+  std::vector<std::string> vars = store_.variables();
+  for (const std::string& var : dlog_.variables()) {
+    if (std::find(vars.begin(), vars.end(), var) == vars.end())
+      vars.push_back(var);
+  }
+  std::sort(vars.begin(), vars.end());
+
+  for (const std::string& var : vars) {
+    std::vector<Version> versions = store_.versions_of(var);
+    for (Version v : dlog_.versions_of(var)) {
+      if (std::find(versions.begin(), versions.end(), v) == versions.end())
+        versions.push_back(v);
+    }
+    std::sort(versions.begin(), versions.end());
+
+    // Ascending versions: the destination's window rotation keeps the
+    // newest, matching what the old owner would retain.
+    for (const Version version : versions) {
+      const bool in_store = !store_.chunks_of(var, version).empty();
+      const bool logged =
+          params_.logging && dlog_.has(var, version);
+      std::vector<Chunk> chunks = in_store ? store_.chunks_of(var, version)
+                                           : dlog_.chunks_of(var, version);
+      bool sent_any = false;
+      for (Chunk& chunk : chunks) {
+        if (!moved(chunk.region)) continue;
+        const std::uint64_t bytes = chunk.nominal_bytes;
+        ResilverPut rp;
+        rp.from = self_index_;
+        rp.chunk = std::move(chunk);
+        rp.logged = logged;
+        rp.in_store = in_store;
+        ResilverAck ack = co_await rpc_.call(c, dest_ep, std::move(rp));
+        if (!ack.ok) continue;
+        sent_any = true;
+        ++outcome.chunks;
+        outcome.bytes += bytes;
+        ++stats_.resilver_chunks_out;
+        stats_.resilver_bytes_out += bytes;
+        if (obs_ != nullptr) {
+          obs_->metrics()
+              .counter("elastic.resilver_chunks_out", obs_track_)
+              .inc();
+          obs_->metrics()
+              .counter("elastic.resilver_bytes_out", obs_track_)
+              .inc(bytes);
+        }
+        // Yield to foreground traffic while the destination's governor
+        // reports pressure: resilver is background work.
+        if (ack.pressure > 1.0) {
+          co_await c.delay(net::kBackpressureBackoff);
+        }
+      }
+      if (sent_any) {
+        if (in_store) store_.drop_pieces(var, version, covered);
+        if (logged) dlog_.drop_resilvered(var, version, covered);
+      }
+    }
+  }
+
+  // Parked gets for regions this server no longer owns would wait forever
+  // (no local put will cover them): bounce them so the reader re-places
+  // against the current epoch.
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (not_owner(pending_[i].desc.region)) {
+      GetRequest bounced = std::move(pending_[i]);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats_.wrong_epoch_rejects;
+      GetResponse resp;
+      resp.wrong_epoch = true;
+      resp.epoch = group_index_ != nullptr ? group_index_->epoch() : 0;
+      sim::spawn(cluster_->engine(),
+                 rpc_.fulfill(c, bounced.reply_to, std::move(bounced.reply),
+                              std::move(resp)));
+    } else {
+      ++i;
+    }
+  }
+
+  if (obs_ != nullptr) obs_->tracer().end(span, cluster_->engine().now());
+  (void)dest;
+  co_return outcome;
+}
+
+sim::Task<StagingServer::ResilverOutcome> StagingServer::drain_out_impl(
+    std::vector<DrainDest> dests) {
+  sim::Ctx c = ctx();
+  ResilverOutcome outcome;
+
+  // Late spills between sweeps would strand payloads under this server's
+  // spill index; fault them back in before walking the holdings.
+  {
+    std::vector<std::pair<std::string, Version>> parked;
+    for (const auto& [var, versions] : spilled_) {
+      for (const auto& [version, bytes] : versions)
+        parked.emplace_back(var, version);
+    }
+    for (auto& [var, version] : parked) {
+      co_await ensure_log_resident(var, version);
+    }
+  }
+
+  const auto intersects = [](const Box& region,
+                             const std::vector<Box>& boxes) {
+    for (const Box& b : boxes) {
+      if (!region.intersection(b).empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> vars = store_.variables();
+  for (const std::string& var : dlog_.variables()) {
+    if (std::find(vars.begin(), vars.end(), var) == vars.end())
+      vars.push_back(var);
+  }
+  std::sort(vars.begin(), vars.end());
+
+  for (const std::string& var : vars) {
+    std::vector<Version> versions = store_.versions_of(var);
+    for (Version v : dlog_.versions_of(var)) {
+      if (std::find(versions.begin(), versions.end(), v) == versions.end())
+        versions.push_back(v);
+    }
+    std::sort(versions.begin(), versions.end());
+
+    for (const Version version : versions) {
+      const bool in_store = !store_.chunks_of(var, version).empty();
+      const bool logged = params_.logging && dlog_.has(var, version);
+      const std::vector<Chunk> chunks = in_store
+                                            ? store_.chunks_of(var, version)
+                                            : dlog_.chunks_of(var, version);
+      std::set<std::uint64_t> released;
+      for (const Chunk& chunk : chunks) {
+        // The whole piece goes to every successor that now owns part of
+        // it; the local copy is released only once all of them hold it,
+        // so no reader's placement target is ever missing the bytes.
+        bool all_acked = true;
+        bool any_dest = false;
+        for (const DrainDest& dest : dests) {
+          if (!intersects(chunk.region, dest.regions)) continue;
+          any_dest = true;
+          ResilverPut rp;
+          rp.from = self_index_;
+          rp.chunk = chunk;
+          rp.logged = logged;
+          rp.in_store = in_store;
+          ResilverAck ack =
+              co_await rpc_.call(c, dest.endpoint, std::move(rp));
+          if (!ack.ok) {
+            all_acked = false;
+            continue;
+          }
+          ++outcome.chunks;
+          outcome.bytes += chunk.nominal_bytes;
+          ++stats_.resilver_chunks_out;
+          stats_.resilver_bytes_out += chunk.nominal_bytes;
+          if (ack.pressure > 1.0) {
+            co_await c.delay(net::kBackpressureBackoff);
+          }
+        }
+        if (any_dest && all_acked) released.insert(region_hash(chunk.region));
+      }
+      if (!released.empty()) {
+        const auto is_released = [&](const Chunk& ch) {
+          return released.count(region_hash(ch.region)) > 0;
+        };
+        if (in_store) store_.drop_pieces(var, version, is_released);
+        if (logged) dlog_.drop_resilvered(var, version, is_released);
+      }
+    }
+  }
+  co_return outcome;
+}
+
+sim::Task<void> StagingServer::handoff_redundancy_impl() {
+  sim::Ctx c = ctx();
+  const int n_act = static_cast<int>(active_view_.size());
+
+  // Re-home fragments held for still-active owners using the owner's own
+  // round-robin placement over the current view — the same peer the owner
+  // would choose when re-pushing, so the receiver's dedup absorbs any
+  // overlap instead of double-counting durability. Fragments for owners
+  // that also left the group die here: their primaries drained with them.
+  if (n_act >= 2) {
+    for (auto& [owner, frags] : fragments_) {
+      const auto oit =
+          std::find(active_view_.begin(), active_view_.end(), owner);
+      if (oit == active_view_.end()) continue;
+      const int pos = static_cast<int>(oit - active_view_.begin());
+      for (FragmentPut& f : frags) {
+        const int slot = f.frag_index >= 1 ? f.frag_index : 1;
+        const auto target = static_cast<std::size_t>(active_view_[
+            static_cast<std::size_t>((pos + 1 + (slot - 1) % (n_act - 1)) %
+                                     n_act)]);
+        if (static_cast<int>(target) == owner) continue;
+        net::Message msg{f};
+        co_await rpc_.send(c, peer_endpoints_[target], std::move(msg));
+      }
+    }
+    for (auto& [owner, apps] : mirrors_) {
+      const auto oit =
+          std::find(active_view_.begin(), active_view_.end(), owner);
+      if (oit == active_view_.end()) continue;
+      const int pos = static_cast<int>(oit - active_view_.begin());
+      const auto successor = static_cast<std::size_t>(
+          active_view_[static_cast<std::size_t>((pos + 1) % n_act)]);
+      if (static_cast<int>(successor) == owner) continue;
+      for (auto& [app, queue] : apps) {
+        for (const wlog::LogEvent& e : queue.events()) {
+          net::Message msg{QueueBackup{owner, e}};
+          co_await rpc_.send(c, peer_endpoints_[successor], std::move(msg));
+        }
+      }
+    }
+  }
+  fragments_.clear();
+  fragment_bytes_ = 0;
+  mirrors_.clear();
 }
 
 sim::Task<void> StagingServer::ignore_message() { co_return; }

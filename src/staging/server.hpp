@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "dht/spatial_index.hpp"
 #include "gc/garbage_collector.hpp"
 #include "net/rpc.hpp"
 #include "obs/observability.hpp"
@@ -80,6 +81,14 @@ struct ServerStats {
   /// already holds a fragment of the same object (server_count too small
   /// for the policy's fan-out — survivability is degraded).
   std::uint64_t placement_clamped = 0;
+  // Elastic-membership counters.
+  std::uint64_t wrong_epoch_rejects = 0;   // stale-view requests bounced
+  std::uint64_t resilver_chunks_out = 0;   // chunks handed to new owners
+  std::uint64_t resilver_bytes_out = 0;
+  std::uint64_t resilver_chunks_in = 0;    // chunks received as new owner
+  std::uint64_t resilver_bytes_in = 0;
+  std::uint64_t fragments_deduped = 0;     // duplicate fragment pushes skipped
+  std::uint64_t fragment_fetches = 0;      // degraded-read fragment requests
 };
 
 /// Point-in-time memory report (nominal, i.e. paper-scale bytes).
@@ -176,6 +185,65 @@ class StagingServer {
   /// to evict cold log versions.
   void set_spill_endpoint(net::EndpointId ep) { spill_endpoint_ = ep; }
 
+  /// Elastic membership: point this server at the live placement index so
+  /// it verifies ownership of every put/get against the current epoch.
+  /// Non-null enables elastic mode — requests for cells this server no
+  /// longer owns bounce with a typed wrong_epoch instead of being applied.
+  void set_group_index(const dht::SpatialIndex* group) {
+    group_index_ = group;
+  }
+  [[nodiscard]] bool elastic() const { return group_index_ != nullptr; }
+
+  /// Install a membership view (epoch + active server ids, ascending).
+  /// Also delivered at runtime via MembershipUpdate messages; redundancy
+  /// (mirror successor, fragment round-robin, prune fan-out) follows the
+  /// active set only.
+  void apply_membership(std::uint64_t epoch, std::vector<int> active);
+  [[nodiscard]] std::uint64_t membership_epoch() const { return view_epoch_; }
+
+  /// Outcome of one resilver sweep (see resilver_out).
+  struct ResilverOutcome {
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Resilver hand-off, driven by the GroupManager: push every store/log
+  /// piece intersecting `regions` to the new owner at `dest_ep` (each
+  /// transfer is acknowledged before the local copy is dropped), then
+  /// bounce parked gets for regions no longer owned. Sources back off
+  /// while the destination's governor reports pressure. Plain shim over a
+  /// private coroutine (GCC 12 coroutine-parameter caveat, see client).
+  sim::Task<ResilverOutcome> resilver_out(int dest, net::EndpointId dest_ep,
+                                          std::vector<Box> regions) {
+    return resilver_out_impl(dest, dest_ep, std::move(regions));
+  }
+
+  /// One successor of a retiring server: the new owner of `regions`.
+  struct DrainDest {
+    int server = -1;
+    net::EndpointId endpoint = 0;
+    std::vector<Box> regions;
+  };
+
+  /// Retirement drain for chunks resilver_out cannot release: a piece
+  /// straddling cells that moved to *different* successors is covered by
+  /// no single transfer. This pass hands each remaining piece whole to
+  /// every successor whose regions intersect it — sequentially, so every
+  /// new owner holds the data before the local copy is dropped.
+  sim::Task<ResilverOutcome> drain_out(std::vector<DrainDest> dests) {
+    return drain_out_impl(std::move(dests));
+  }
+
+  /// Retirement: re-home fragments held for other owners and forward
+  /// mirrored queue events onto the active set, so redundancy survives
+  /// this server leaving the group.
+  sim::Task<void> handoff_redundancy() { return handoff_redundancy_impl(); }
+
+  /// True when this server holds no primary data (retirement is complete).
+  [[nodiscard]] bool drained() const {
+    return store_.nominal_bytes() == 0 && dlog_.nominal_bytes() == 0;
+  }
+
   /// Spilled log versions per variable (version → nominal bytes) — the
   /// read-through index that replay-path gets consult.
   [[nodiscard]] const std::map<std::string, std::map<Version, std::uint64_t>>&
@@ -221,6 +289,19 @@ class StagingServer {
   sim::Task<void> handle_queue_backup(QueueBackup backup);
   sim::Task<void> handle_recovery_pull(RecoveryPull pull);
   sim::Task<void> handle_query(QueryRequest query);
+  sim::Task<void> handle_membership_update(MembershipUpdate update);
+  sim::Task<void> handle_fragment_fetch(FragmentFetch fetch);
+  sim::Task<void> handle_resilver_put(ResilverPut put);
+  sim::Task<ResilverOutcome> resilver_out_impl(int dest,
+                                               net::EndpointId dest_ep,
+                                               std::vector<Box> regions);
+  sim::Task<ResilverOutcome> drain_out_impl(std::vector<DrainDest> dests);
+  sim::Task<void> handoff_redundancy_impl();
+  /// Position of this server in the active view, or -1 when retired.
+  [[nodiscard]] int active_pos() const;
+  /// True in elastic mode when the current epoch maps any cell of
+  /// `region` to a different owner.
+  [[nodiscard]] bool not_owner(const Box& region) const;
   /// No-op arm for messages this endpoint does not speak (spill traffic
   /// belongs to the gateway); keeps the Message visit exhaustive.
   sim::Task<void> ignore_message();
@@ -283,6 +364,13 @@ class StagingServer {
   // Resilience state.
   int self_index_ = 0;
   std::vector<net::EndpointId> peer_endpoints_;  // all servers, by index
+  // Elastic membership: the live placement index (null = elastic off) and
+  // the last membership view applied. Redundancy fan-out follows
+  // active_view_; peer_endpoints_ keeps every server (standbys included)
+  // addressable for recovery pulls.
+  const dht::SpatialIndex* group_index_ = nullptr;
+  std::uint64_t view_epoch_ = 0;
+  std::vector<int> active_view_;  // ascending server ids
   // owner → fragments held on that owner's behalf.
   std::map<int, std::vector<FragmentPut>> fragments_;
   std::uint64_t fragment_bytes_ = 0;

@@ -49,6 +49,17 @@ using SpillPut = net::SpillPut;
 using SpillFetch = net::SpillFetch;
 using SpillPrune = net::SpillPrune;
 
+using GroupChangeAck = net::GroupChangeAck;
+using MembershipInfo = net::MembershipInfo;
+using FragmentFetchResponse = net::FragmentFetchResponse;
+using ResilverAck = net::ResilverAck;
+using JoinGroup = net::JoinGroup;
+using RetireServer = net::RetireServer;
+using MembershipUpdate = net::MembershipUpdate;
+using MembershipQuery = net::MembershipQuery;
+using FragmentFetch = net::FragmentFetch;
+using ResilverPut = net::ResilverPut;
+
 /// Any staging message (historical name for net::Message).
 using Request = net::Message;
 

@@ -214,4 +214,22 @@ bool boxes_cover(const Box& region, const std::vector<Box>& cover) {
   return uncovered.empty();
 }
 
+std::uint64_t uncovered_volume(const Box& region,
+                               const std::vector<Box>& cover) {
+  std::vector<Box> uncovered;
+  if (!region.empty()) uncovered.push_back(region);
+  for (const Box& c : cover) {
+    if (uncovered.empty()) break;
+    std::vector<Box> next;
+    for (const Box& u : uncovered) {
+      auto pieces = box_difference(u, c);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    uncovered = std::move(next);
+  }
+  std::uint64_t total = 0;
+  for (const Box& u : uncovered) total += u.volume();
+  return total;
+}
+
 }  // namespace dstage

@@ -82,4 +82,9 @@ std::vector<Box> box_difference(const Box& a, const Box& b);
 /// Exact even when cover boxes overlap each other.
 bool boxes_cover(const Box& region, const std::vector<Box>& cover);
 
+/// Number of points of `region` NOT covered by the union of `cover`.
+/// Exact even when cover boxes overlap each other.
+std::uint64_t uncovered_volume(const Box& region,
+                               const std::vector<Box>& cover);
+
 }  // namespace dstage

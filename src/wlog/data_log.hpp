@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +52,16 @@ class DataLog {
   /// drop probe as kSpill (durability is preserved, just relocated).
   bool drop_spilled(const std::string& var, staging::Version version) {
     return store_.drop_version(var, version, staging::DropReason::kSpill);
+  }
+
+  /// Elastic rebalance: drop the retained pieces of (var, version) that
+  /// the cell's new owner now logs. Reported as kResilver only when the
+  /// version's last piece leaves (durability moved, not lost).
+  std::size_t drop_resilvered(
+      const std::string& var, staging::Version version,
+      const std::function<bool(const staging::Chunk&)>& pred) {
+    return store_.drop_pieces(var, version, pred,
+                              staging::DropReason::kResilver);
   }
 
   /// Drop all retained versions of `var` up to and including `watermark`.

@@ -41,6 +41,19 @@ TEST(MessageCodecTest, RequestSizesLockedDown) {
   FragmentPut frag;
   frag.nominal_bytes = 5000;
   EXPECT_EQ(wire_size(frag), 5000u);  // fragment payload rides raw
+
+  // Elastic-membership control verbs are descriptor-sized; the view
+  // payload pays 4 bytes per member.
+  EXPECT_EQ(wire_size(JoinGroup{}), 64u);
+  EXPECT_EQ(wire_size(RetireServer{}), 64u);
+  EXPECT_EQ(wire_size(MembershipQuery{}), 64u);
+  MembershipUpdate update;
+  update.active = {0, 1, 2};
+  EXPECT_EQ(wire_size(update), 64u + 4u * 3u);
+  EXPECT_EQ(wire_size(FragmentFetch{}), 128u);
+  ResilverPut resilver;
+  resilver.chunk = chunk_of(1000);
+  EXPECT_EQ(wire_size(resilver), 1128u);  // same envelope as a put
 }
 
 TEST(MessageCodecTest, ResponseSizesLockedDown) {
@@ -71,6 +84,16 @@ TEST(MessageCodecTest, ResponseSizesLockedDown) {
   pull.fragments.push_back(frag);
   pull.events.emplace_back();
   EXPECT_EQ(wire_size(pull), 128u + 5000u + 96u);
+
+  EXPECT_EQ(wire_size(GroupChangeAck{}), 64u);
+  EXPECT_EQ(wire_size(ResilverAck{}), 64u);
+  MembershipInfo info;
+  info.active = {0, 1};
+  EXPECT_EQ(wire_size(info), 64u + 4u * 2u);
+  FragmentFetchResponse fetch;
+  EXPECT_EQ(wire_size(fetch), 128u);
+  fetch.fragments.push_back(frag);
+  EXPECT_EQ(wire_size(fetch), 128u + 5000u);
 }
 
 TEST(MessageCodecTest, OneChunkBatchCostsExactlyOnePut) {
@@ -88,7 +111,7 @@ TEST(MessageCodecTest, OneChunkBatchCostsExactlyOnePut) {
 }
 
 TEST(MessageCodecTest, SerializedSizeDispatchesOverEveryAlternative) {
-  static_assert(std::variant_size_v<Message> == 14);
+  static_assert(std::variant_size_v<Message> == 20);
   FragmentPut frag;
   frag.nominal_bytes = 777;
   EXPECT_EQ(serialized_size(Message{std::move(frag)}), 777u);
@@ -115,6 +138,12 @@ TEST(MessageCodecTest, MessageNamesMatchSpanVocabulary) {
   EXPECT_STREQ(message_name(SpillPut{}), "spill_put");
   EXPECT_STREQ(message_name(SpillFetch{}), "spill_fetch");
   EXPECT_STREQ(message_name(SpillPrune{}), "spill_prune");
+  EXPECT_STREQ(message_name(JoinGroup{}), "join_group");
+  EXPECT_STREQ(message_name(RetireServer{}), "retire_server");
+  EXPECT_STREQ(message_name(MembershipUpdate{}), "membership_update");
+  EXPECT_STREQ(message_name(MembershipQuery{}), "membership_query");
+  EXPECT_STREQ(message_name(FragmentFetch{}), "fragment_fetch");
+  EXPECT_STREQ(message_name(ResilverPut{}), "resilver_put");
   EXPECT_STREQ(message_name(Message{QueryRequest{}}), "query");
 }
 

@@ -34,6 +34,11 @@ int usage() {
       "  --threads=N         worker threads                     [auto]\n"
       "  --memory-budget=MB  per-server staging memory budget   [0 = off]\n"
       "  --require-pressure  fail unless spill AND backpressure both fired\n"
+      "  --elastic=P         fraction of schedules with a join/retire\n"
+      "                      episode (first failure aimed into the\n"
+      "                      resilver window)                    [0 = off]\n"
+      "  --require-elastic   fail unless resilver moved data and a\n"
+      "                      hand-off release was audited\n"
       "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
       "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
       "  --no-shrink         keep failing schedules unminimized\n"
@@ -98,6 +103,11 @@ int run_cli(int argc, char** argv) {
                stderr);
     return usage();
   }
+  opts.gen.elastic_probability = flags.get_double("elastic", 0.0);
+  if (opts.gen.elastic_probability < 0 || opts.gen.elastic_probability > 1) {
+    std::fputs("--elastic must be in [0, 1]\n", stderr);
+    return usage();
+  }
   opts.threads = flags.get_int("threads", 0);
   opts.sabotage = check::parse_sabotage(flags.get("break", "none"));
   opts.shrink = !flags.get_bool("no-shrink", false);
@@ -108,6 +118,7 @@ int run_cli(int argc, char** argv) {
   }
   const bool expect_fail = flags.get_bool("expect-fail", false);
   const bool require_pressure = flags.get_bool("require-pressure", false);
+  const bool require_elastic = flags.get_bool("require-elastic", false);
   const std::string repro = flags.get("repro", "");
 
   for (const std::string& flag : flags.unused()) {
@@ -135,6 +146,15 @@ int run_cli(int argc, char** argv) {
                 static_cast<unsigned long long>(result.puts_rejected),
                 static_cast<unsigned long long>(result.backpressure_waits));
   }
+  if (opts.gen.elastic_probability > 0) {
+    std::printf("elastic membership: %llu chunks resilvered, %llu hand-off "
+                "releases audited, %llu wrong-epoch bounces, %llu degraded "
+                "reads\n",
+                static_cast<unsigned long long>(result.resilver_chunks_moved),
+                static_cast<unsigned long long>(result.resilver_drops),
+                static_cast<unsigned long long>(result.wrong_epoch_rejects),
+                static_cast<unsigned long long>(result.degraded_reads));
+  }
 
   for (const check::CampaignFailure& failure : result.failures) {
     std::printf("---\n");
@@ -159,6 +179,13 @@ int run_cli(int argc, char** argv) {
       (result.spilled_versions == 0 || result.backpressure_waits == 0)) {
     std::fputs("--require-pressure: budget too loose — spill and "
                "backpressure must both fire for the run to prove anything\n",
+               stdout);
+    ok = false;
+  }
+  if (require_elastic &&
+      (result.resilver_chunks_moved == 0 || result.resilver_drops == 0)) {
+    std::fputs("--require-elastic: no resilver data motion observed — "
+               "membership changes that moved nothing verified nothing\n",
                stdout);
     ok = false;
   }
