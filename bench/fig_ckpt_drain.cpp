@@ -1,0 +1,104 @@
+// Multi-level checkpoint hierarchy vs classic synchronous PFS checkpoints.
+// Three modes of the Table II logged setup on a contended PFS share
+// (write_bw scaled down to model checkpoint traffic competing with the
+// rest of the machine):
+//
+//   sync-pfs      hierarchy off: every due checkpoint blocks the app for
+//                 the full PFS write (the stall the drain collapses)
+//   async-drain   hierarchy on (XOR group 3), no failures: the app pays
+//                 only the node-local cache write; the drain agent flushes
+//                 to the PFS in the background
+//   cache-restart hierarchy on, one process failure and one node failure:
+//                 restarts come from the cache and a partner rebuild
+//                 instead of a cold PFS read
+//
+// The point of the figure: ckpt_stall_s collapses from the full PFS write
+// cost to the local-device write cost, while drains_completed shows the
+// same sets still reaching durability — and with failures, restarts are
+// served by the fast levels (cache_restarts / partner_rebuilds nonzero).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dstage;
+  bench::Harness h("fig_ckpt_drain", argc, argv, 3);
+  bench::print_header(
+      "Multi-level checkpointing — async drain vs synchronous PFS",
+      "Table II setup, 40 ts, uncoordinated logging; contended PFS share.");
+
+  struct Mode {
+    const char* name;
+    int xor_group;      // 0 = hierarchy off
+    bool failures;      // inject one process + one node failure
+  };
+  const Mode modes[] = {
+      {"sync-pfs", 0, false},
+      {"async-drain", 3, false},
+      {"cache-restart", 3, true},
+  };
+
+  std::printf("%14s %12s %8s %8s %8s %8s %10s\n", "mode", "ckpt stall",
+              "drains", "cache", "partner", "pfs-rst", "time");
+
+  double sync_stall = 0;  // sync-pfs mode's stall (the baseline to collapse)
+  for (const Mode& mode : modes) {
+    auto runs = h.sweep([&mode](std::uint64_t seed) {
+      auto spec = core::table2_setup(core::Scheme::kUncoordinated);
+      spec.failures.seed = seed;
+      // Checkpoint traffic competes with the rest of the machine for the
+      // PFS: give it a contended share instead of the full aggregate.
+      spec.pfs.write_bw = 2e9;
+      spec.ckpt.xor_group = mode.xor_group;
+      if (mode.failures) {
+        // One process failure (freshest cache set survives) and one later
+        // node failure (cache lost, partners rebuild the missing blocks).
+        spec.failures.explicit_failures = {
+            {.comp = 0, .ts = 14, .phase = 0.5, .node_level = false},
+            {.comp = 0, .ts = 26, .phase = 0.5, .node_level = true},
+        };
+      }
+      return spec;
+    });
+    const double stall = bench::mean_over(runs, [](const core::RunMetrics& m) {
+      double total = 0;
+      for (const auto& c : m.components) total += c.ckpt_stall_s;
+      return total;
+    });
+    const double time = bench::mean_over(runs, [](const core::RunMetrics& m) {
+      return m.total_time_s;
+    });
+    auto sum = [&runs](auto pick) {
+      double total = 0;
+      for (const auto& r : runs) total += static_cast<double>(pick(r.metrics));
+      return total / static_cast<double>(runs.size());
+    };
+    const double drains = sum([](const core::RunMetrics& m) {
+      return m.ckpt.drains_completed;
+    });
+    const double cache = sum([](const core::RunMetrics& m) {
+      return m.ckpt.cache_restarts;
+    });
+    const double partner = sum([](const core::RunMetrics& m) {
+      return m.ckpt.partner_rebuilds;
+    });
+    const double pfs_restarts = sum([](const core::RunMetrics& m) {
+      return m.ckpt.pfs_restarts;
+    });
+    if (mode.xor_group == 0 && !mode.failures) sync_stall = stall;
+
+    std::printf("%14s %11.2fs %8.0f %8.0f %8.0f %8.0f %9.1fs\n", mode.name,
+                stall, drains, cache, partner, pfs_restarts, time);
+
+    Json p = Json::object();
+    p.set("mode", std::string(mode.name));
+    p.set("ckpt_stall_s", stall);
+    p.set("stall_delta_pct",
+          sync_stall > 0 ? bench::pct(stall, sync_stall) : 0.0);
+    p.set("drains_completed", drains);
+    p.set("cache_restarts", cache);
+    p.set("partner_rebuilds", partner);
+    p.set("pfs_restarts", pfs_restarts);
+    p.set("total_time_s", time);
+    h.add_point(std::move(p));
+  }
+  return h.finish();
+}

@@ -59,6 +59,10 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     result.resilver_drops += reports[i].resilver_drops;
     result.wrong_epoch_rejects += reports[i].wrong_epoch_rejects;
     result.degraded_reads += reports[i].degraded_reads;
+    result.ckpt_drains_completed += reports[i].ckpt_drains_completed;
+    result.ckpt_cache_restarts += reports[i].ckpt_cache_restarts;
+    result.ckpt_partner_rebuilds += reports[i].ckpt_partner_rebuilds;
+    result.ckpt_pfs_restarts += reports[i].ckpt_pfs_restarts;
     if (reports[i].ok()) {
       ++result.passed;
       continue;

@@ -54,6 +54,15 @@ struct CampaignResult {
   std::uint64_t resilver_drops = 0;
   std::uint64_t wrong_epoch_rejects = 0;
   std::uint64_t degraded_reads = 0;
+  /// Aggregated multi-level checkpoint activity (zero when
+  /// gen.ckpt_probability == 0). A hierarchy campaign should assert
+  /// ckpt_cache_restarts and ckpt_partner_rebuilds are nonzero: a run
+  /// where every restart fell through to the PFS has not verified the
+  /// cache or partner levels at all.
+  std::uint64_t ckpt_drains_completed = 0;
+  std::uint64_t ckpt_cache_restarts = 0;
+  std::uint64_t ckpt_partner_rebuilds = 0;
+  std::uint64_t ckpt_pfs_restarts = 0;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };

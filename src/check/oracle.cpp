@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ckpt/hierarchy.hpp"
 #include "core/executor.hpp"
 #include "core/scheme/policy.hpp"
 #include "staging/server.hpp"
@@ -362,6 +363,10 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     report.resilver_bytes_moved = metrics.staging.resilver_bytes_moved;
     report.wrong_epoch_rejects = metrics.staging.wrong_epoch_rejects;
     report.degraded_reads = metrics.staging.degraded_reads;
+    report.ckpt_drains_completed = metrics.ckpt.drains_completed;
+    report.ckpt_cache_restarts = metrics.ckpt.cache_restarts;
+    report.ckpt_partner_rebuilds = metrics.ckpt.partner_rebuilds;
+    report.ckpt_pfs_restarts = metrics.ckpt.pfs_restarts;
   } catch (const std::runtime_error& e) {
     deadlocked = true;
     add_violation(report.violations, 4,
@@ -467,6 +472,36 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
                         std::to_string(e.timestep) +
                         (resumed ? " and resumed without log replay"
                                  : " but never replayed or resumed"));
+    }
+  }
+
+  // ---- Invariant 5: restart-level equivalence (hierarchy only). ----
+  // Every restart the hierarchy served must (a) have byte-verified the
+  // restored state against the checksum taken at write time — so a cache
+  // or partner-rebuilt restart is provably identical to what a PFS restart
+  // of the same set would load — and (b) never be older than the durable
+  // PFS anchor available at the same instant, which is how a partial or
+  // in-flight drain could smuggle in a stale restart point.
+  if (const ckpt::CheckpointHierarchy* hier =
+          runner.runtime().ckpt_hierarchy()) {
+    for (const ckpt::RestartRecord& r : hier->restart_records()) {
+      if (!r.checksum_ok) {
+        add_violation(report.violations, 5,
+                      "restart of app " + std::to_string(r.app) + " at ts " +
+                          std::to_string(r.ts) + " from level " +
+                          ckpt::ckpt_level_name(r.level) +
+                          " failed byte verification against the write-time "
+                          "checksum");
+      }
+      if (r.ts < r.pfs_ts_at_choice) {
+        add_violation(report.violations, 5,
+                      "restart of app " + std::to_string(r.app) +
+                          " chose ts " + std::to_string(r.ts) + " from level " +
+                          ckpt::ckpt_level_name(r.level) +
+                          " although a durable PFS checkpoint at ts " +
+                          std::to_string(r.pfs_ts_at_choice) +
+                          " was already available");
+      }
     }
   }
 

@@ -21,6 +21,14 @@
 //      diverges from the reference before the first injected failure
 //      strikes, and every recovered logged component passes through log
 //      replay before resuming timesteps.
+//   5. Restart-level equivalence (multi-level hierarchy only) — every
+//      restart served from the checkpoint cache or a partner rebuild is
+//      byte-verified against the checksum taken at write time and is never
+//      older than the durable PFS anchor available at the same instant:
+//      restart-from-cache ≡ restart-from-PFS, and a partial or in-flight
+//      drain is never observable as a valid restart point. (Invariant 2's
+//      read equivalence against the failure-free reference then proves the
+//      post-restart execution is indistinguishable.)
 //
 // Reference runs are memoized per failure-free configuration so a campaign
 // pays for each distinct (scheme, periods, resilience) combination once.
@@ -80,6 +88,13 @@ struct OracleReport {
   std::uint64_t wrong_epoch_rejects = 0;
   std::uint64_t degraded_reads = 0;
   std::uint64_t resilver_drops = 0;
+  // Multi-level checkpoint activity (all zero for hierarchy-off
+  // schedules). Campaigns aggregate these to assert the hierarchy really
+  // exercised cache restarts and partner rebuilds.
+  std::uint64_t ckpt_drains_completed = 0;
+  std::uint64_t ckpt_cache_restarts = 0;
+  std::uint64_t ckpt_partner_rebuilds = 0;
+  std::uint64_t ckpt_pfs_restarts = 0;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Human-readable one-per-line violation list (empty string when ok).

@@ -115,6 +115,7 @@ core::WorkflowSpec Schedule::to_spec() const {
         static_cast<std::uint64_t>(memory_budget_mb) << 20;
   }
   if (staging_servers > 0) spec.staging_servers = staging_servers;
+  if (ckpt_group > 0) spec.ckpt.xor_group = ckpt_group;
   spec.failures.seed = static_cast<std::uint64_t>(id) + 1;
   for (const ScheduleFailure& f : failures) {
     spec.failures.explicit_failures.push_back(
@@ -161,6 +162,11 @@ std::string Schedule::repro() const {
                     elastic[i].join ? 'j' : 'r', elastic[i].ts);
       out += buf;
     }
+  }
+  // Emitted only when set, so hierarchy-off repro strings stay stable.
+  if (ckpt_group > 0) {
+    std::snprintf(buf, sizeof(buf), ";ckpt=%d", ckpt_group);
+    out += buf;
   }
   for (const ScheduleFailure& f : failures) {
     std::string flags;
@@ -209,6 +215,8 @@ Schedule Schedule::parse(const std::string& repro) {
       s.memory_budget_mb = parse_int(val, "mb");
     } else if (key == "ss") {
       s.staging_servers = parse_int(val, "ss");
+    } else if (key == "ckpt") {
+      s.ckpt_group = parse_int(val, "ckpt");
     } else if (key == "elastic") {
       for (const std::string& tok : split(val, ',')) {
         if (tok.size() < 2 || (tok[0] != 'j' && tok[0] != 'r')) {
@@ -326,6 +334,13 @@ std::vector<Schedule> generate_schedules(const GenerateOptions& opts) {
       // Aim the first failure into the join's resilver window, so the
       // campaign exercises crashes *during* a membership rebuild.
       if (!s.failures.empty()) s.failures.front().ts = join_ts;
+    }
+    // Multi-level checkpoint hierarchy. Drawn after the elastic episode —
+    // i.e. last — so hierarchy-off schedules consume the same random
+    // stream as before this field existed.
+    if (opts.ckpt_probability > 0 &&
+        rng.next_double() < opts.ckpt_probability) {
+      s.ckpt_group = rng.uniform_int(2, 4);
     }
     out.push_back(std::move(s));
   }

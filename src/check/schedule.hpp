@@ -62,6 +62,11 @@ struct Schedule {
   /// as `;ss=` only when set). Lets a repro string pin the paper's
   /// grow/shrink scenario exactly (e.g. 3 servers growing to 5).
   int staging_servers = 0;
+  /// Multi-level checkpoint hierarchy: XOR partner-group size (0 = off,
+  /// the default; serialized as `;ckpt=` only when set, so hierarchy-off
+  /// repro strings stay stable). Part of the configuration, so hierarchy
+  /// schedules get their own reference runs.
+  int ckpt_group = 0;
   std::vector<ScheduleFailure> failures;
   /// Membership changes driven mid-run (empty = fixed group, the default;
   /// serialized as the `;elastic=` repro field only when non-empty).
@@ -94,6 +99,9 @@ struct GenerateOptions {
   /// has failures, the first failure is re-aimed at the join timestep so
   /// crashes land during the resilver window.
   double elastic_probability = 0.0;
+  /// Fraction of schedules that run the multi-level checkpoint hierarchy
+  /// (XOR partner-group size drawn from {2, 3, 4}).
+  double ckpt_probability = 0.0;
 };
 
 /// Draw `count` independent schedules. Schedule i depends only on

@@ -1,0 +1,28 @@
+#include "ckpt/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dstage::ckpt {
+
+AdaptiveInterval::AdaptiveInterval(Params params) : params_(params) {}
+
+double AdaptiveInterval::optimum_s() const {
+  if (params_.mtbf_s <= 0 || params_.ckpt_cost_s <= 0) return 0;
+  return std::sqrt(2.0 * params_.ckpt_cost_s * params_.mtbf_s);
+}
+
+int AdaptiveInterval::interval_ts() const {
+  const double opt = optimum_s();
+  if (opt <= 0 || params_.compute_per_ts_s <= 0) {
+    return std::max(1, params_.fixed_period);
+  }
+  return std::max(
+      1, static_cast<int>(std::lround(opt / params_.compute_per_ts_s)));
+}
+
+bool AdaptiveInterval::need_checkpoint(int ts, int last_ckpt_ts) const {
+  return ts - last_ckpt_ts >= interval_ts();
+}
+
+}  // namespace dstage::ckpt

@@ -1,0 +1,39 @@
+// Vaidya-style adaptive checkpoint-interval policy (SCR_Need_checkpoint).
+// Given a failure rate and a per-checkpoint cost, the first-order optimum
+// interval between checkpoints is T_opt = sqrt(2 * delta * MTBF) (Young's
+// formula; Vaidya's refinement differs only in higher-order terms the cost
+// model below can't resolve). The scheme layer asks `need_checkpoint` at
+// each timestep boundary instead of taking `ts % period == 0`; with no
+// failure statistics the policy degrades to the configured fixed period, so
+// plugging it in is never worse-informed than the paper's static scheme.
+#pragma once
+
+namespace dstage::ckpt {
+
+class AdaptiveInterval {
+ public:
+  struct Params {
+    double mtbf_s = 0;           // mean time between failures (0 = unknown)
+    double ckpt_cost_s = 0;      // delta: time to take one checkpoint
+    double compute_per_ts_s = 0; // timestep length, to quantize the optimum
+    int fixed_period = 1;        // fallback when stats are absent
+  };
+
+  explicit AdaptiveInterval(Params params);
+
+  /// The closed-form optimum interval in seconds (0 when stats are absent).
+  [[nodiscard]] double optimum_s() const;
+
+  /// The optimum quantized to whole timesteps, never below 1; the fixed
+  /// period when failure statistics are absent or degenerate.
+  [[nodiscard]] int interval_ts() const;
+
+  /// SCR_Need_checkpoint: has the adaptive interval elapsed since the last
+  /// checkpoint anchor?
+  [[nodiscard]] bool need_checkpoint(int ts, int last_ckpt_ts) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace dstage::ckpt

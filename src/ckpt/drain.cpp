@@ -1,0 +1,101 @@
+#include "ckpt/drain.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "net/message.hpp"
+#include "sim/spawn.hpp"
+
+namespace dstage::ckpt {
+
+using net::CkptDrainAck;
+using net::CkptStoreLocal;
+using net::CkptXorShard;
+
+DrainAgent::DrainAgent(cluster::Cluster& cluster, cluster::VprocId vproc,
+                       cluster::Pfs& pfs, CheckpointHierarchy& hierarchy)
+    : cluster_(&cluster),
+      vproc_(vproc),
+      pfs_(&pfs),
+      hierarchy_(&hierarchy),
+      rpc_(cluster.fabric(), cluster.vproc(vproc).endpoint) {}
+
+net::EndpointId DrainAgent::endpoint() const {
+  return cluster_->vproc(vproc_).endpoint;
+}
+
+void DrainAgent::start() { sim::spawn(cluster_->engine(), run()); }
+
+sim::Task<void> DrainAgent::run() {
+  auto& ep = cluster_->fabric().endpoint(endpoint());
+  sim::Ctx c = ctx();
+  for (;;) {
+    net::Packet packet = co_await ep.recv(c.tok);
+    net::Message msg = std::move(packet.payload);
+    if (auto* store = std::get_if<CkptStoreLocal>(&msg)) {
+      // Level-0 bookkeeping only: the scheme wrote the cache entry into the
+      // hierarchy synchronously; this notice just tells the drain the set
+      // exists.
+      (void)*store;
+      ++stats_.store_notices;
+      if (obs_ != nullptr)
+        obs_->metrics().counter("ckpt.store_notices", obs_track_).inc();
+    } else if (auto* shard = std::get_if<CkptXorShard>(&msg)) {
+      // The parity distribution landed: the set is now partner-protected
+      // and eligible for the background PFS flush.
+      if (hierarchy_->encode_set(shard->app, static_cast<int>(shard->version))) {
+        ++stats_.shards_encoded;
+        if (obs_ != nullptr)
+          obs_->metrics().counter("ckpt.shards_encoded", obs_track_).inc();
+        if (!draining_) {
+          draining_ = true;
+          sim::spawn(cluster_->engine(), drain_loop());
+        }
+      }
+    }
+    // Anything else is misrouted: the drain agent speaks only the ckpt
+    // vocabulary, and dropping keeps it inert when the hierarchy is off.
+  }
+}
+
+sim::Task<void> DrainAgent::drain_loop() {
+  sim::Ctx c = ctx();
+  while (auto next = hierarchy_->next_drain()) {
+    // Yield to staging memory pressure: durability is background work, and
+    // the governor's foreground puts win the PFS channel. Escalating
+    // backoff, capped so a permanently loaded governor still drains.
+    int backoff = 1;
+    while (pressure_ && pressure_() > 1.0) {
+      ++stats_.pressure_stalls;
+      if (obs_ != nullptr)
+        obs_->metrics().counter("ckpt.pressure_stalls", obs_track_).inc();
+      co_await c.delay(sim::milliseconds(backoff));
+      backoff = std::min(backoff * 2, 64);
+    }
+    hierarchy_->begin_drain(next->app, next->ts);
+    co_await pfs_->write(c, next->nominal_bytes);
+    hierarchy_->complete_drain(next->app, next->ts);
+    ++stats_.drains_completed;
+    stats_.drain_bytes += next->nominal_bytes;
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("ckpt.drains", obs_track_).inc();
+      obs_->metrics()
+          .counter("ckpt.drain_bytes", obs_track_)
+          .inc(next->nominal_bytes);
+    }
+    if (on_complete_) on_complete_(next->app, next->ts);
+    // Durable promotion: only now may the staging GC watermark advance past
+    // this checkpoint (the cached copy alone is not crash-consistent).
+    for (net::EndpointId server : server_endpoints_) {
+      co_await rpc_.send(
+          c, server,
+          net::Message{
+              CkptDrainAck{next->app, static_cast<net::Version>(next->ts)}});
+      ++stats_.acks_sent;
+    }
+  }
+  draining_ = false;
+}
+
+}  // namespace dstage::ckpt

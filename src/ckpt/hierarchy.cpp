@@ -1,0 +1,241 @@
+#include "ckpt/hierarchy.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "ckpt/xor_group.hpp"
+#include "util/checksum.hpp"
+
+namespace dstage::ckpt {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* ckpt_level_name(CkptLevel level) {
+  switch (level) {
+    case CkptLevel::kCache:
+      return "cache";
+    case CkptLevel::kPartner:
+      return "partner";
+    case CkptLevel::kPfs:
+      return "pfs";
+  }
+  return "?";
+}
+
+CheckpointHierarchy::CheckpointHierarchy(int xor_group) : group_(xor_group) {
+  if (group_ < 2) {
+    throw std::invalid_argument("ckpt hierarchy: xor_group must be >= 2");
+  }
+}
+
+std::vector<std::uint8_t> CheckpointHierarchy::make_block(int app, int ts,
+                                                          int index) {
+  std::vector<std::uint8_t> block(kBlockBytes);
+  std::uint64_t seed =
+      splitmix64((static_cast<std::uint64_t>(app) << 40) ^
+                 (static_cast<std::uint64_t>(ts) << 16) ^
+                 static_cast<std::uint64_t>(index));
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (i % 8 == 0) word = seed = splitmix64(seed);
+    block[i] = static_cast<std::uint8_t>(word >> ((i % 8) * 8));
+  }
+  return block;
+}
+
+std::uint64_t CheckpointHierarchy::blocks_checksum(const Set& s) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& block : s.blocks) {
+    h = fnv1a(std::as_bytes(std::span{block}), h);
+  }
+  return h;
+}
+
+void CheckpointHierarchy::write_set(int app, int ts,
+                                    std::uint64_t nominal_bytes) {
+  Set set;
+  set.nominal_bytes = nominal_bytes;
+  set.blocks.reserve(static_cast<std::size_t>(group_));
+  for (int i = 0; i < group_; ++i) set.blocks.push_back(make_block(app, ts, i));
+  set.lost.assign(static_cast<std::size_t>(group_), false);
+  set.checksum = blocks_checksum(set);
+  sets_[app][ts] = std::move(set);
+  ++stats_.sets_written;
+}
+
+bool CheckpointHierarchy::encode_set(int app, int ts) {
+  auto app_it = sets_.find(app);
+  if (app_it == sets_.end()) return false;
+  auto it = app_it->second.find(ts);
+  if (it == app_it->second.end()) return false;
+  Set& set = it->second;
+  // A member already lost means its shard never reached the group: parity
+  // cannot be formed and the set stays at the node-local level.
+  if (set.state != SetState::kLocalWritten || set.lost_count > 0 ||
+      set.evicted) {
+    return false;
+  }
+  set.parity = xor_encode(std::span{set.blocks});
+  set.state = SetState::kEncoded;
+  ++stats_.sets_encoded;
+  return true;
+}
+
+std::optional<DrainItem> CheckpointHierarchy::next_drain() const {
+  std::optional<DrainItem> oldest;
+  for (const auto& [app, by_ts] : sets_) {
+    for (const auto& [ts, set] : by_ts) {
+      if (set.state != SetState::kEncoded) continue;
+      if (!oldest || ts < oldest->ts) {
+        oldest = DrainItem{app, ts, set.nominal_bytes};
+      }
+      break;  // by_ts is ordered: the first encoded set is this app's oldest
+    }
+  }
+  return oldest;
+}
+
+void CheckpointHierarchy::begin_drain(int app, int ts) {
+  Set& set = sets_.at(app).at(ts);
+  if (set.state != SetState::kEncoded) {
+    throw std::logic_error("ckpt hierarchy: begin_drain on un-encoded set");
+  }
+  set.state = SetState::kDraining;
+}
+
+void CheckpointHierarchy::complete_drain(int app, int ts) {
+  auto& by_ts = sets_.at(app);
+  Set& set = by_ts.at(ts);
+  if (set.state != SetState::kDraining) {
+    throw std::logic_error("ckpt hierarchy: complete_drain on idle set");
+  }
+  set.state = SetState::kPfsComplete;
+  ++stats_.drains_completed;
+  // The durable frontier passed every older set: release their buffers so
+  // no cache entry outlives watermark passage (the no-leak rule the drain
+  // property tests pin).
+  for (auto& [older_ts, older] : by_ts) {
+    if (older_ts >= ts || older.evicted) continue;
+    older.blocks.clear();
+    older.parity.clear();
+    older.evicted = true;
+    ++stats_.cache_evictions;
+  }
+}
+
+void CheckpointHierarchy::on_node_failure(int app) {
+  const int cursor = loss_cursor_[app]++;
+  auto app_it = sets_.find(app);
+  if (app_it == sets_.end()) return;
+  const auto idx = static_cast<std::size_t>(cursor % group_);
+  for (auto& [ts, set] : app_it->second) {
+    if (set.evicted || set.lost[idx]) continue;
+    set.lost[idx] = true;
+    ++set.lost_count;
+    set.blocks[idx].clear();  // the member's bytes really are gone
+    ++stats_.blocks_lost;
+  }
+}
+
+std::optional<CkptLevel> CheckpointHierarchy::restart_level(
+    const Set& s) const {
+  if (!s.evicted && s.lost_count == 0 && !s.blocks.empty()) {
+    return CkptLevel::kCache;
+  }
+  if (!s.evicted && s.lost_count == 1 && !s.parity.empty()) {
+    return CkptLevel::kPartner;
+  }
+  if (s.state == SetState::kPfsComplete) return CkptLevel::kPfs;
+  return std::nullopt;
+}
+
+int CheckpointHierarchy::best_restart_ts(int app, int classic_pfs_ts) const {
+  auto app_it = sets_.find(app);
+  if (app_it == sets_.end()) return classic_pfs_ts;
+  for (auto it = app_it->second.rbegin(); it != app_it->second.rend(); ++it) {
+    if (it->first <= classic_pfs_ts) break;  // the durable anchor wins
+    if (restart_level(it->second)) return it->first;
+  }
+  return classic_pfs_ts;
+}
+
+Restore CheckpointHierarchy::restore(int app, int ts, int classic_pfs_ts) {
+  Restore result;
+  Set* set = nullptr;
+  auto app_it = sets_.find(app);
+  if (app_it != sets_.end()) {
+    auto it = app_it->second.find(ts);
+    if (it != app_it->second.end()) set = &it->second;
+  }
+  const std::optional<CkptLevel> level =
+      set != nullptr ? restart_level(*set) : std::nullopt;
+  if (!level) {
+    // No hierarchy set survives at this point: the classic durable anchor
+    // (including ts 0, before any checkpoint) restores from the PFS.
+    result.level = CkptLevel::kPfs;
+    ++stats_.pfs_restarts;
+  } else {
+    result.level = *level;
+    switch (*level) {
+      case CkptLevel::kCache:
+        result.checksum_ok = blocks_checksum(*set) == set->checksum;
+        ++stats_.cache_restarts;
+        break;
+      case CkptLevel::kPartner: {
+        std::size_t missing = 0;
+        std::vector<const std::vector<std::uint8_t>*> members;
+        members.reserve(set->blocks.size());
+        for (std::size_t i = 0; i < set->blocks.size(); ++i) {
+          if (set->lost[i]) {
+            missing = i;
+            members.push_back(nullptr);
+          } else {
+            members.push_back(&set->blocks[i]);
+          }
+        }
+        set->blocks[missing] = xor_rebuild(std::span{members}, set->parity);
+        set->lost[missing] = false;
+        set->lost_count = 0;
+        result.checksum_ok = blocks_checksum(*set) == set->checksum;
+        ++stats_.partner_rebuilds;
+        break;
+      }
+      case CkptLevel::kPfs:
+        ++stats_.pfs_restarts;
+        break;
+    }
+  }
+  records_.push_back(
+      RestartRecord{app, ts, result.level, result.checksum_ok,
+                    classic_pfs_ts});
+  return result;
+}
+
+std::size_t CheckpointHierarchy::cached_blocks(int app) const {
+  auto app_it = sets_.find(app);
+  if (app_it == sets_.end()) return 0;
+  std::size_t live = 0;
+  for (const auto& [ts, set] : app_it->second) {
+    for (const auto& block : set.blocks) live += block.empty() ? 0 : 1;
+  }
+  return live;
+}
+
+std::optional<SetState> CheckpointHierarchy::set_state(int app, int ts) const {
+  auto app_it = sets_.find(app);
+  if (app_it == sets_.end()) return std::nullopt;
+  auto it = app_it->second.find(ts);
+  if (it == app_it->second.end()) return std::nullopt;
+  return it->second.state;
+}
+
+}  // namespace dstage::ckpt

@@ -1,0 +1,152 @@
+// Multi-level checkpoint hierarchy (DESIGN.md §12): node-local cache ->
+// XOR partner group -> durable PFS, in the SCR mold. Each checkpoint *set*
+// carries real (small, deterministic) member blocks so rebuilds and
+// restarts verify bytes, not just protocol state. The level state machine:
+//
+//   kLocalWritten --encode--> kEncoded --begin_drain--> kDraining
+//        |                                                  |
+//        `--- node loss: one member block lost ---'   complete_drain
+//                                                           v
+//                                                     kPfsComplete
+//
+// Restart picks the newest set restartable at *some* level (cache when all
+// blocks are intact, partner rebuild when exactly one is lost and parity
+// exists, PFS only once the drain fully completed) — a set mid-drain is
+// never observable as durable. Only kPfsComplete may advance the staging
+// GC watermark (the drain agent's CkptDrainAck carries that promotion).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace dstage::ckpt {
+
+/// Restart source, fastest first. Numeric values are stable: they are
+/// recorded in traces and oracle restart records.
+enum class CkptLevel : int { kCache = 0, kPartner = 1, kPfs = 2 };
+
+const char* ckpt_level_name(CkptLevel level);
+
+enum class SetState : int {
+  kLocalWritten = 0,  // cached on the node, no redundancy yet
+  kEncoded = 1,       // XOR parity distributed to the partner group
+  kDraining = 2,      // async flush to PFS in flight
+  kPfsComplete = 3,   // durable; may advance the GC watermark
+};
+
+/// What a restart actually used, plus whether the restored bytes matched
+/// the checksum taken at write time.
+struct Restore {
+  CkptLevel level = CkptLevel::kPfs;
+  bool checksum_ok = true;
+};
+
+/// One restart decision, kept for the oracle: restart-from-cache must
+/// restore a point no older than the durable anchor, byte-verified.
+struct RestartRecord {
+  int app = -1;
+  int ts = 0;
+  CkptLevel level = CkptLevel::kPfs;
+  bool checksum_ok = true;
+  int pfs_ts_at_choice = 0;  // the classic durable anchor when deciding
+};
+
+struct CkptStats {
+  std::uint64_t sets_written = 0;
+  std::uint64_t sets_encoded = 0;
+  std::uint64_t drains_completed = 0;
+  std::uint64_t cache_restarts = 0;
+  std::uint64_t partner_rebuilds = 0;
+  std::uint64_t pfs_restarts = 0;
+  std::uint64_t cache_evictions = 0;  // sets whose buffers were released
+  std::uint64_t blocks_lost = 0;
+};
+
+/// What the drain agent flushes next: always the oldest encoded set, so
+/// the durable frontier advances in order and eviction below it is safe.
+struct DrainItem {
+  int app = -1;
+  int ts = 0;
+  std::uint64_t nominal_bytes = 0;
+};
+
+class CheckpointHierarchy {
+ public:
+  explicit CheckpointHierarchy(int xor_group);
+
+  /// Physical block size per group member. Sets are *modeled* at their
+  /// nominal size for every cost computation, but materialized small so a
+  /// 2 GB checkpoint doesn't allocate 2 GB of simulator heap.
+  static constexpr std::size_t kBlockBytes = 4096;
+
+  /// Deterministic member-block content for (app, ts, index): rebuilds are
+  /// checked byte-identical against regeneration, not just length.
+  static std::vector<std::uint8_t> make_block(int app, int ts, int index);
+
+  // --- write path --------------------------------------------------------
+  /// Level 1: the component cached a checkpoint set on its node.
+  void write_set(int app, int ts, std::uint64_t nominal_bytes);
+  /// Level 2: distribute XOR parity to the partner group. Returns false
+  /// when the set is missing or already lost a member (parity can no
+  /// longer be formed) — the set then stays kLocalWritten.
+  bool encode_set(int app, int ts);
+
+  // --- drain path --------------------------------------------------------
+  [[nodiscard]] std::optional<DrainItem> next_drain() const;
+  void begin_drain(int app, int ts);
+  /// Level 3 reached: the set is durable. Buffers of every strictly older
+  /// set of this app are released — nothing may linger in cache once the
+  /// durable frontier (and hence the GC watermark) passed it.
+  void complete_drain(int app, int ts);
+
+  // --- failure & restart -------------------------------------------------
+  /// A node-level failure of `app`'s node: one member block of every set
+  /// still holding buffers is lost (round-robin over members per failure,
+  /// so campaigns exercise varied loss patterns).
+  void on_node_failure(int app);
+  /// Newest timestep restartable at any level, never older than the
+  /// classic durable anchor `classic_pfs_ts`.
+  [[nodiscard]] int best_restart_ts(int app, int classic_pfs_ts) const;
+  /// Restore `app` at `ts`: picks the fastest level holding a complete
+  /// set, performs the partner rebuild when needed, verifies bytes, and
+  /// appends a RestartRecord for the oracle.
+  Restore restore(int app, int ts, int classic_pfs_ts);
+
+  // --- introspection -----------------------------------------------------
+  [[nodiscard]] int xor_group() const { return group_; }
+  [[nodiscard]] const CkptStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<RestartRecord>& restart_records() const {
+    return records_;
+  }
+  /// Live (un-evicted, un-lost) member buffers for `app` — the leak probe
+  /// the drain property tests watch.
+  [[nodiscard]] std::size_t cached_blocks(int app) const;
+  [[nodiscard]] std::optional<SetState> set_state(int app, int ts) const;
+
+ private:
+  struct Set {
+    SetState state = SetState::kLocalWritten;
+    std::uint64_t nominal_bytes = 0;
+    std::vector<std::vector<std::uint8_t>> blocks;  // one per group member
+    std::vector<bool> lost;
+    int lost_count = 0;
+    std::vector<std::uint8_t> parity;  // empty until encoded
+    std::uint64_t checksum = 0;        // fnv1a over blocks, in member order
+    bool evicted = false;              // buffers released (durable frontier)
+  };
+
+  /// Fastest level this set restarts from, or nullopt when unrestorable
+  /// (e.g. two members lost before the drain completed).
+  [[nodiscard]] std::optional<CkptLevel> restart_level(const Set& s) const;
+  [[nodiscard]] std::uint64_t blocks_checksum(const Set& s) const;
+
+  int group_;
+  std::map<int, std::map<int, Set>> sets_;  // app -> ts -> set
+  std::map<int, int> loss_cursor_;          // app -> round-robin member
+  CkptStats stats_;
+  std::vector<RestartRecord> records_;
+};
+
+}  // namespace dstage::ckpt

@@ -1,0 +1,47 @@
+#include "ckpt/xor_group.hpp"
+
+namespace dstage::ckpt {
+
+std::vector<std::uint8_t> xor_encode(
+    std::span<const std::vector<std::uint8_t>> blocks) {
+  if (blocks.empty()) {
+    throw std::invalid_argument("ckpt xor group: cannot encode empty group");
+  }
+  std::vector<std::uint8_t> parity(blocks[0].size(), 0);
+  for (const auto& block : blocks) {
+    if (block.size() != parity.size()) {
+      throw std::invalid_argument(
+          "ckpt xor group: member blocks must be equal length");
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) parity[i] ^= block[i];
+  }
+  return parity;
+}
+
+std::vector<std::uint8_t> xor_rebuild(
+    std::span<const std::vector<std::uint8_t>* const> blocks,
+    const std::vector<std::uint8_t>& parity) {
+  int missing = 0;
+  for (const auto* block : blocks) {
+    if (block == nullptr) ++missing;
+  }
+  if (missing >= 2) {
+    throw XorLossError(missing, static_cast<int>(blocks.size()));
+  }
+  if (missing == 0) {
+    throw std::invalid_argument(
+        "ckpt xor group: rebuild called with no member missing");
+  }
+  std::vector<std::uint8_t> rebuilt = parity;
+  for (const auto* block : blocks) {
+    if (block == nullptr) continue;
+    if (block->size() != rebuilt.size()) {
+      throw std::invalid_argument(
+          "ckpt xor group: member blocks must match parity length");
+    }
+    for (std::size_t i = 0; i < block->size(); ++i) rebuilt[i] ^= (*block)[i];
+  }
+  return rebuilt;
+}
+
+}  // namespace dstage::ckpt

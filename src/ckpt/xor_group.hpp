@@ -1,0 +1,50 @@
+// XOR partner-group codec for the multi-level checkpoint hierarchy
+// (DESIGN.md §12). A checkpoint set is striped across a small group of
+// nodes; one parity block (the XOR of every member block) lives with the
+// group so any *single* node loss is rebuilt from the survivors without
+// touching the PFS. Two losses in one group exceed the code's tolerance
+// and must degrade loudly to the durable level — the same contract the
+// RS-coded staging fragments enforce via DataLossError.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dstage::ckpt {
+
+/// Raised when a rebuild is attempted past the XOR code's single-loss
+/// tolerance (>= 2 members missing, or parity missing alongside a member).
+class XorLossError : public std::runtime_error {
+ public:
+  XorLossError(int missing, int group)
+      : std::runtime_error("ckpt xor group: " + std::to_string(missing) +
+                           " of " + std::to_string(group) +
+                           " members lost exceeds single-loss tolerance"),
+        missing_(missing),
+        group_(group) {}
+
+  [[nodiscard]] int missing() const { return missing_; }
+  [[nodiscard]] int group() const { return group_; }
+
+ private:
+  int missing_ = 0;
+  int group_ = 0;
+};
+
+/// XOR of all member blocks. Throws std::invalid_argument on an empty
+/// group or mismatched block lengths.
+std::vector<std::uint8_t> xor_encode(
+    std::span<const std::vector<std::uint8_t>> blocks);
+
+/// Rebuild the single missing member of a group. `blocks[i] == nullptr`
+/// marks member i as lost; exactly one member may be missing. Returns the
+/// reconstructed block (parity XOR survivors). Throws XorLossError when
+/// zero survivable (>= 2 missing) and std::invalid_argument on length
+/// mismatch or when nothing is missing.
+std::vector<std::uint8_t> xor_rebuild(
+    std::span<const std::vector<std::uint8_t>* const> blocks,
+    const std::vector<std::uint8_t>& parity);
+
+}  // namespace dstage::ckpt

@@ -36,6 +36,12 @@ struct CostModel {
   /// uncontended per component.
   double local_ckpt_bw = 5e9;
 
+  /// Partner-rebuild bandwidth for the multi-level hierarchy: pulling a
+  /// lost node's checkpoint blocks off its XOR group peers crosses the
+  /// fabric, so it is slower than the local device but far faster than a
+  /// cold PFS read.
+  double partner_rebuild_bw = 2e9;
+
   // --- recovery ----------------------------------------------------------
   /// Time from crash to detection (heartbeat timeout).
   double detection_delay_s = 0.5;

@@ -70,6 +70,7 @@ RunMetrics WorkflowRunner::run() {
   for (auto& server : runtime_->servers()) server->start();
   if (runtime_->spill_gateway() != nullptr) runtime_->spill_gateway()->start();
   if (runtime_->group_manager() != nullptr) runtime_->group_manager()->start();
+  if (runtime_->drain_agent() != nullptr) runtime_->drain_agent()->start();
   runtime_->cluster().on_failure(
       [this](cluster::VprocId vp) { on_vproc_failure(vp); });
   for (auto& comp : runtime_->comps()) {
@@ -214,7 +215,19 @@ sim::Task<void> WorkflowRunner::maybe_fail(Comp* comp, int ts, sim::Ctx ctx) {
     }
     co_await ctx.delay(
         sim::from_seconds(f.phase * comp->spec.compute_per_ts_s));
-    if (f.node_level) comp->last_ckpt_ts = comp->last_pfs_ckpt_ts;
+    if (f.node_level) {
+      if (services_.ckpt != nullptr) {
+        // Multi-level hierarchy: the node loss wipes one member's cached
+        // blocks per affected set; the freshest level still complete (cache
+        // intact, partner-rebuildable, or PFS-drained) is the restart point.
+        // Mid-drain sets don't qualify until their CkptDrainAck lands.
+        services_.ckpt->on_node_failure(comp->id);
+        comp->last_ckpt_ts = services_.ckpt->best_restart_ts(
+            comp->id, comp->last_pfs_ckpt_ts);
+      } else {
+        comp->last_ckpt_ts = comp->last_pfs_ckpt_ts;
+      }
+    }
     runtime_->trace().record(ctx.now(), TraceKind::kFailure, comp->spec.name,
                              ts, f.node_level ? 1 : 0);
     if (services_.obs != nullptr) {

@@ -36,12 +36,43 @@ sim::Task<void> stage_data_recovery(RuntimeServices& rt, Comp& comp,
                                      comp.obs_recovery_span,
                                      comp.last_ckpt_ts);
   }
-  if (comp.last_ckpt_ts > comp.last_pfs_ckpt_ts) {
-    co_await sys.delay(sim::from_seconds(
-        static_cast<double>(rt.spec->costs.state_bytes(comp.spec.cores)) /
-        rt.spec->costs.local_ckpt_bw));
+  const std::uint64_t bytes = rt.spec->costs.state_bytes(comp.spec.cores);
+  if (rt.ckpt != nullptr) {
+    // A drain may have landed between the failure instant and this restore,
+    // promoting a set newer than the choice made at failure time — and the
+    // staging GC watermark may already have advanced past the older choice.
+    // Restart from the freshest durable set instead.
+    comp.last_ckpt_ts = std::max(comp.last_ckpt_ts, comp.last_pfs_ckpt_ts);
+  }
+  if (rt.ckpt != nullptr && comp.last_ckpt_ts > 0) {
+    // Multi-level hierarchy: restore from the fastest level that still
+    // holds a complete set — intact cache, partner rebuild (XOR decode of
+    // the survivors' blocks), or the durable PFS copy. The hierarchy
+    // verifies checksums and records the choice for the oracle.
+    const ckpt::Restore r =
+        rt.ckpt->restore(comp.id, comp.last_ckpt_ts, comp.last_pfs_ckpt_ts);
+    switch (r.level) {
+      case ckpt::CkptLevel::kCache:
+        co_await sys.delay(sim::from_seconds(static_cast<double>(bytes) /
+                                             rt.spec->costs.local_ckpt_bw));
+        break;
+      case ckpt::CkptLevel::kPartner:
+        // Pull the lost member's worth of blocks off the group peers and
+        // decode; slower than local NVRAM, far faster than a cold PFS read.
+        co_await sys.delay(sim::from_seconds(
+            static_cast<double>(bytes) / rt.spec->costs.partner_rebuild_bw));
+        break;
+      case ckpt::CkptLevel::kPfs:
+        co_await rt.pfs->read(sys, bytes);
+        break;
+    }
+    rt.trace->record(sys.now(), TraceKind::kCkptRestore, comp.spec.name,
+                     comp.last_ckpt_ts, static_cast<std::int64_t>(r.level));
+  } else if (comp.last_ckpt_ts > comp.last_pfs_ckpt_ts) {
+    co_await sys.delay(sim::from_seconds(static_cast<double>(bytes) /
+                                         rt.spec->costs.local_ckpt_bw));
   } else {
-    co_await rt.pfs->read(sys, rt.spec->costs.state_bytes(comp.spec.cores));
+    co_await rt.pfs->read(sys, bytes);
   }
   if (rt.obs != nullptr) rt.obs->tracer().end(restore, sys.now());
   comp.metrics.timesteps_reworked += comp.current_ts - comp.last_ckpt_ts;

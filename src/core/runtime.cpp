@@ -208,6 +208,48 @@ void Runtime::build(const SchemePolicy& policy) {
         fabric_, cluster_.vproc(control_vproc_).endpoint);
   }
 
+  // Multi-level checkpoint hierarchy + async drain agent. Created after
+  // every fixed vproc; with the hierarchy disabled (the default) none of
+  // this runs, so endpoint/vproc numbering — and the golden digests — are
+  // untouched.
+  if (spec_.ckpt.hierarchy_enabled()) {
+    ckpt_hierarchy_ =
+        std::make_unique<ckpt::CheckpointHierarchy>(spec_.ckpt.xor_group);
+    const auto node = cluster_.add_node();
+    drain_vproc_ = cluster_.add_vproc("ckpt-drain", node);
+    drain_agent_ = std::make_unique<ckpt::DrainAgent>(
+        cluster_, drain_vproc_, pfs_, *ckpt_hierarchy_);
+    std::vector<net::EndpointId> server_endpoints;
+    server_endpoints.reserve(server_vprocs_.size());
+    for (auto vp : server_vprocs_)
+      server_endpoints.push_back(cluster_.vproc(vp).endpoint);
+    drain_agent_->set_server_endpoints(std::move(server_endpoints));
+    // Governor pressure probe: the worst (max) soft-watermark ratio across
+    // the group. Always 0 with the governor off, so the drain never stalls.
+    if (spec_.staging.memory_budget > 0) {
+      const double soft =
+          static_cast<double>(spec_.staging.memory_budget) *
+          spec_.staging.soft_watermark;
+      drain_agent_->set_pressure([this, soft]() {
+        double worst = 0;
+        for (const auto& server : servers_) {
+          worst = std::max(
+              worst, static_cast<double>(server->memory().governed()) / soft);
+        }
+        return worst;
+      });
+    }
+    // A completed drain is the durable promotion: advance the component's
+    // PFS anchor (node failures may now restart here) and stamp the trace.
+    drain_agent_->set_on_complete([this](int app, int ts) {
+      auto& comp = comps_[static_cast<std::size_t>(app)];
+      comp->last_pfs_ckpt_ts = std::max(comp->last_pfs_ckpt_ts, ts);
+      trace_.record(engine_.now(), TraceKind::kCkptDrainDone, comp->spec.name,
+                    ts, ts);
+    });
+    if (obs_ != nullptr) drain_agent_->set_obs(obs_.get(), "ckpt-drain");
+  }
+
   // Variable registry for GC retention: consumers pin retention only when
   // they are rollback-capable.
   for (const auto& producer : comps_) {
@@ -338,6 +380,8 @@ RuntimeServices Runtime::services() {
   rt.trace = &trace_;
   rt.runtime = this;
   rt.obs = obs_.get();
+  rt.ckpt = ckpt_hierarchy_.get();
+  if (drain_agent_ != nullptr) rt.ckpt_drain_ep = drain_agent_->endpoint();
   return rt;
 }
 
@@ -396,6 +440,23 @@ RunMetrics Runtime::collect(int failures_injected) const {
     m.staging.resilver_chunks_moved = gs.resilver_chunks;
     m.staging.resilver_bytes_moved = gs.resilver_bytes;
     m.staging.resilver_time_s = gs.resilver_time_s;
+  }
+  if (ckpt_hierarchy_ != nullptr) {
+    const ckpt::CkptStats& cs = ckpt_hierarchy_->stats();
+    m.ckpt.sets_written = cs.sets_written;
+    m.ckpt.sets_encoded = cs.sets_encoded;
+    m.ckpt.drains_completed = cs.drains_completed;
+    m.ckpt.cache_restarts = cs.cache_restarts;
+    m.ckpt.partner_rebuilds = cs.partner_rebuilds;
+    m.ckpt.pfs_restarts = cs.pfs_restarts;
+    m.ckpt.cache_evictions = cs.cache_evictions;
+    m.ckpt.blocks_lost = cs.blocks_lost;
+    const ckpt::DrainAgentStats& ds = drain_agent_->stats();
+    m.ckpt.drain_bytes = ds.drain_bytes;
+    m.ckpt.pressure_stalls = ds.pressure_stalls;
+    for (const auto& server : servers_) {
+      m.ckpt.drain_promotions += server->stats().drain_promotions;
+    }
   }
   return m;
 }
@@ -458,6 +519,20 @@ void Runtime::finalize_obs() {
     if (gs.drain_sweeps > 0)
       m.counter("elastic.drain_sweeps", "group-mgr").inc(gs.drain_sweeps);
   }
+  // Ckpt-hierarchy counters, only when the drain agent exists, so classic
+  // runs export an unchanged metric set.
+  if (drain_agent_ != nullptr) {
+    const ckpt::CkptStats& cs = ckpt_hierarchy_->stats();
+    if (cs.sets_written > 0)
+      m.counter("ckpt.sets_written", "ckpt-drain").inc(cs.sets_written);
+    if (cs.cache_restarts > 0)
+      m.counter("ckpt.cache_restarts", "ckpt-drain").inc(cs.cache_restarts);
+    if (cs.partner_rebuilds > 0)
+      m.counter("ckpt.partner_rebuilds", "ckpt-drain")
+          .inc(cs.partner_rebuilds);
+    if (cs.pfs_restarts > 0)
+      m.counter("ckpt.pfs_restarts", "ckpt-drain").inc(cs.pfs_restarts);
+  }
 }
 
 void Runtime::teardown() {
@@ -475,6 +550,9 @@ void Runtime::teardown() {
   }
   if (group_vproc_ >= 0 && cluster_.vproc(group_vproc_).alive) {
     cluster_.kill(group_vproc_);
+  }
+  if (drain_vproc_ >= 0 && cluster_.vproc(drain_vproc_).alive) {
+    cluster_.kill(drain_vproc_);
   }
   engine_.run();
 }

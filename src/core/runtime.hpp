@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/drain.hpp"
+#include "ckpt/hierarchy.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/pfs.hpp"
 #include "core/trace.hpp"
@@ -83,6 +85,12 @@ struct RuntimeServices {
   /// Observability bundle; null when disabled (the common case), so every
   /// instrumentation site is a single pointer test.
   obs::Observability* obs = nullptr;
+  /// Multi-level checkpoint hierarchy; null unless
+  /// spec.ckpt.hierarchy_enabled(). Schemes route checkpoints through it
+  /// and the recovery pipeline restores from the fastest complete level.
+  ckpt::CheckpointHierarchy* ckpt = nullptr;
+  /// Drain-agent endpoint for ckpt_announce traffic (-1 = hierarchy off).
+  net::EndpointId ckpt_drain_ep = -1;
 
   // Orchestrator hooks, installed by the executor before run():
   /// Respawn a component's timestep loop, resuming after `start_ts`.
@@ -158,6 +166,19 @@ class Runtime {
   [[nodiscard]] const staging::GroupManager* group_manager() const {
     return group_manager_.get();
   }
+  /// Multi-level checkpoint hierarchy; null unless
+  /// spec.ckpt.hierarchy_enabled().
+  [[nodiscard]] ckpt::CheckpointHierarchy* ckpt_hierarchy() {
+    return ckpt_hierarchy_.get();
+  }
+  [[nodiscard]] const ckpt::CheckpointHierarchy* ckpt_hierarchy() const {
+    return ckpt_hierarchy_.get();
+  }
+  /// Async PFS drain agent; null unless the hierarchy is enabled.
+  [[nodiscard]] ckpt::DrainAgent* drain_agent() { return drain_agent_.get(); }
+  [[nodiscard]] const ckpt::DrainAgent* drain_agent() const {
+    return drain_agent_.get();
+  }
 
   /// Issue a membership change (join = admit a standby, otherwise retire an
   /// active server; server == -1 lets the GroupManager pick) and wait for
@@ -211,6 +232,9 @@ class Runtime {
   cluster::VprocId spill_vproc_ = -1;
   std::unique_ptr<staging::GroupManager> group_manager_;
   cluster::VprocId group_vproc_ = -1;
+  std::unique_ptr<ckpt::CheckpointHierarchy> ckpt_hierarchy_;
+  std::unique_ptr<ckpt::DrainAgent> drain_agent_;
+  cluster::VprocId drain_vproc_ = -1;
   /// Control-plane transport for group_change(); shares the control
   /// client's endpoint (replies are fulfilled through their ReplyPtr, not
   /// the endpoint mailbox, so two Rpc instances coexist safely).

@@ -22,6 +22,7 @@ sim::Task<void> CoordinatedPolicy::on_timestep_end(RuntimeServices& rt,
 
 sim::Task<void> CoordinatedPolicy::checkpoint(RuntimeServices& rt, Comp& comp,
                                               int ts, sim::Ctx ctx) {
+  const sim::TimePoint stall_start = ctx.now();
   obs::SpanId span = 0;
   if (rt.obs != nullptr) {
     // Covers both barriers: the coordination wait is checkpoint cost.
@@ -40,6 +41,7 @@ sim::Task<void> CoordinatedPolicy::checkpoint(RuntimeServices& rt, Comp& comp,
   comp.last_pfs_ckpt_ts = ts;
   global_ckpt_ts_ = ts;
   ++comp.metrics.checkpoints;
+  comp.metrics.ckpt_stall_s += (ctx.now() - stall_start).seconds();
   rt.trace->record(ctx.now(), TraceKind::kCheckpoint, comp.spec.name, ts);
 }
 

@@ -20,6 +20,14 @@ sim::Task<void> SchemePolicy::emergency_checkpoint(RuntimeServices& rt,
                                                    Comp& comp, int ts,
                                                    sim::Ctx ctx) {
   if (ts <= comp.last_ckpt_ts) co_return;  // already covered
+  if (rt.ckpt != nullptr) {
+    // Multi-level hierarchy: the emergency snapshot is a regular cache-level
+    // set — partner-protected once its parity lands, durable once drained —
+    // instead of a bare node-local copy a node failure wipes entirely.
+    co_await hierarchy_checkpoint(rt, comp, ts, ctx, /*emergency=*/true);
+    co_return;
+  }
+  const sim::TimePoint stall_start = ctx.now();
   obs::SpanId span = 0;
   if (rt.obs != nullptr) {
     span = rt.obs->tracer().begin(comp.spec.name, "emergency checkpoint",
@@ -39,11 +47,63 @@ sim::Task<void> SchemePolicy::emergency_checkpoint(RuntimeServices& rt,
   }
   comp.last_ckpt_ts = ts;
   ++comp.metrics.proactive_checkpoints;
+  comp.metrics.ckpt_stall_s += (ctx.now() - stall_start).seconds();
   rt.trace->record(ctx.now(), TraceKind::kProactiveCheckpoint, comp.spec.name,
                    ts);
   if (rt.obs != nullptr) {
     rt.obs->tracer().end(span, ctx.now());
     rt.obs->metrics().counter("proactive_checkpoints", comp.spec.name).inc();
+  }
+}
+
+sim::Task<void> SchemePolicy::hierarchy_checkpoint(RuntimeServices& rt,
+                                                   Comp& comp, int ts,
+                                                   sim::Ctx ctx,
+                                                   bool emergency) {
+  const sim::TimePoint stall_start = ctx.now();
+  obs::SpanId span = 0;
+  if (rt.obs != nullptr) {
+    span = rt.obs->tracer().begin(comp.spec.name,
+                                  emergency
+                                      ? "emergency checkpoint (hierarchy)"
+                                      : "checkpoint (hierarchy)",
+                                  obs::Phase::kCheckpoint, ctx.now(), 0, ts);
+  }
+  const std::uint64_t bytes = rt.spec->costs.state_bytes(comp.spec.cores);
+  // Level 0: node-local cache write — the only synchronous I/O the
+  // component pays. PFS durability is the drain agent's job.
+  co_await ctx.delay(sim::from_seconds(static_cast<double>(bytes) /
+                                       rt.spec->costs.local_ckpt_bw));
+  rt.ckpt->write_set(comp.id, ts, bytes);
+  // The replay anchor is non-durable: only the drain's CkptDrainAck (set
+  // PFS-complete) may advance the staging GC watermark past it.
+  if (component_logged(comp.spec)) {
+    co_await comp.client->workflow_check(
+        ctx, static_cast<staging::Version>(ts), /*durable=*/false);
+  }
+  // Level 1: ship the XOR parity share and notify the drain agent. One-way
+  // sends — restart correctness never waits on them; the hierarchy state
+  // above was updated synchronously.
+  co_await comp.client->ckpt_announce(
+      ctx, static_cast<staging::Version>(ts),
+      bytes / static_cast<std::uint64_t>(rt.spec->ckpt.xor_group),
+      rt.ckpt_drain_ep);
+  comp.last_ckpt_ts = ts;
+  if (emergency) {
+    ++comp.metrics.proactive_checkpoints;
+    rt.trace->record(ctx.now(), TraceKind::kProactiveCheckpoint,
+                     comp.spec.name, ts);
+  } else {
+    ++comp.metrics.local_checkpoints;
+    rt.trace->record(ctx.now(), TraceKind::kLocalCheckpoint, comp.spec.name,
+                     ts);
+  }
+  comp.metrics.ckpt_stall_s += (ctx.now() - stall_start).seconds();
+  if (rt.obs != nullptr) {
+    rt.obs->tracer().end(span, ctx.now());
+    rt.obs->metrics()
+        .counter("ckpt.hierarchy_writes", comp.spec.name)
+        .inc();
   }
 }
 

@@ -67,9 +67,19 @@ class SchemePolicy {
 
   /// Emergency (proactive) checkpoint to node-local storage, plus a
   /// staging checkpoint event for logged components. Shared across schemes;
-  /// invoked when the failure predictor flags an imminent crash.
+  /// invoked when the failure predictor flags an imminent crash. Routes
+  /// through the multi-level hierarchy when the spec enables it.
   sim::Task<void> emergency_checkpoint(RuntimeServices& rt, Comp& comp,
                                        int ts, sim::Ctx ctx);
+
+  /// Multi-level hierarchy checkpoint (DESIGN.md §12): write the node-local
+  /// cache level (the only synchronous I/O the component pays), record a
+  /// non-durable replay anchor, then ship the XOR parity share and hand the
+  /// set to the async drain agent. Requires rt.ckpt != nullptr.
+  /// Deliberately non-virtual: fault-injection wrappers intercept only the
+  /// virtual interface, so they can never skip a hierarchy level.
+  sim::Task<void> hierarchy_checkpoint(RuntimeServices& rt, Comp& comp,
+                                       int ts, sim::Ctx ctx, bool emergency);
 
  protected:
   /// Per-component recovery dispatch shared by every non-coordinated

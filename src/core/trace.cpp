@@ -42,6 +42,10 @@ const char* trace_kind_name(TraceKind k) {
       return "membership_change";
     case TraceKind::kResilverDone:
       return "resilver_done";
+    case TraceKind::kCkptDrainDone:
+      return "ckpt_drain_done";
+    case TraceKind::kCkptRestore:
+      return "ckpt_restore";
   }
   return "?";
 }

@@ -40,6 +40,11 @@ enum class TraceKind {
   // membership events, so fixed-group golden digests are unaffected.
   kMembershipChange,     // value = 1 join / 0 retire
   kResilverDone,         // value = admitted/retired server id, -1 on reject
+  // Multi-level checkpoint kinds, recorded only when the hierarchy is
+  // enabled, so hierarchy-off golden digests are unaffected.
+  kCkptDrainDone,        // value = drained timestep (now PFS-durable)
+  kCkptRestore,          // value = restart level (0 cache / 1 partner /
+                         //         2 pfs)
 };
 
 const char* trace_kind_name(TraceKind k);

@@ -63,6 +63,9 @@ void WorkflowSpec::validate() const {
       }
     }
   }
+  if (ckpt.xor_group != 0 && (ckpt.xor_group < 2 || ckpt.xor_group > 16)) {
+    reject("ckpt.xor_group must be 0 (off) or in [2, 16]");
+  }
   if (failures.count < 0) reject("failures.count must be >= 0");
   if (failures.mtbf_s < 0) reject("failures.mtbf_s must be >= 0");
   if (failures.node_failure_fraction < 0 ||

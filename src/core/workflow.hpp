@@ -140,6 +140,25 @@ struct ElasticSpec {
   }
 };
 
+/// Multi-level checkpoint hierarchy (DESIGN.md §12): node-local cache,
+/// XOR-encoded partner redundancy, and an asynchronous background drain to
+/// the PFS. Inert by default (xor_group == 0): schemes take classic
+/// synchronous PFS checkpoints and the golden digests are byte-identical.
+struct CkptSpec {
+  /// XOR partner-group size (numbers of peers sharing one parity block).
+  /// 0 disables the hierarchy; enabled values must lie in [2, 16]. A single
+  /// node loss inside a group is rebuilt from the survivors + parity; two
+  /// losses degrade loudly to the PFS level.
+  int xor_group = 0;
+  /// Vaidya-style adaptive checkpoint interval (SCR_Need_checkpoint):
+  /// period = sqrt(2 * ckpt_cost * MTBF) instead of the fixed
+  /// ckpt_period. Falls back to the fixed period when failure statistics
+  /// are absent (mtbf_s == 0).
+  bool adaptive_interval = false;
+
+  [[nodiscard]] bool hierarchy_enabled() const { return xor_group >= 2; }
+};
+
 struct WorkflowSpec {
   Box domain = Box::from_dims(512, 512, 256);
   double bytes_per_point = 8.0;
@@ -174,6 +193,10 @@ struct WorkflowSpec {
   /// Inert by default: golden-trace digests are recorded with a fixed
   /// group.
   ElasticSpec elastic;
+  /// Multi-level checkpoint hierarchy + async PFS drain. Inert by default:
+  /// golden-trace digests are recorded with classic synchronous
+  /// checkpoints.
+  CkptSpec ckpt;
 
   /// Reject malformed specs before the runtime is assembled. Throws
   /// std::invalid_argument with a message naming the offending field (and
@@ -201,6 +224,10 @@ struct ComponentMetrics {
   std::uint64_t suppressed_puts = 0;
   int wrong_version_reads = 0;  // Fig.-2 case-1 anomalies observed
   int corrupt_reads = 0;
+  /// Virtual time this component spent blocked on checkpoint I/O (the
+  /// stall the async drain is built to collapse). Accumulated by every
+  /// checkpoint path, hierarchy on or off.
+  double ckpt_stall_s = 0;
 };
 
 struct StagingMetrics {
@@ -238,12 +265,29 @@ struct StagingMetrics {
                                           // fragments on the get path
 };
 
+/// Multi-level checkpoint hierarchy counters (all zero with the hierarchy
+/// off).
+struct CkptMetrics {
+  std::uint64_t sets_written = 0;      // level-0 cache writes
+  std::uint64_t sets_encoded = 0;      // parity distributions completed
+  std::uint64_t drains_completed = 0;  // sets flushed durable to the PFS
+  std::uint64_t drain_bytes = 0;       // nominal bytes the drain flushed
+  std::uint64_t pressure_stalls = 0;   // drain backoffs under governor load
+  std::uint64_t drain_promotions = 0;  // CkptDrainAck applied at servers
+  std::uint64_t cache_restarts = 0;    // restarts served from level 0
+  std::uint64_t partner_rebuilds = 0;  // restarts served by XOR rebuild
+  std::uint64_t pfs_restarts = 0;      // restarts that fell through to PFS
+  std::uint64_t cache_evictions = 0;   // superseded sets dropped post-drain
+  std::uint64_t blocks_lost = 0;       // cached blocks wiped by node loss
+};
+
 struct RunMetrics {
   Scheme scheme = Scheme::kNone;
   double total_time_s = 0;
   int failures_injected = 0;
   std::vector<ComponentMetrics> components;
   StagingMetrics staging;
+  CkptMetrics ckpt;
   std::uint64_t pfs_bytes_written = 0;
   std::uint64_t pfs_bytes_read = 0;
   std::uint64_t events_processed = 0;

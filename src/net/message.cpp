@@ -49,6 +49,12 @@ std::uint64_t wire_size(const FragmentFetch&) { return kObjectHeader; }
 std::uint64_t wire_size(const ResilverPut& m) {
   return kObjectHeader + m.chunk.nominal_bytes;
 }
+std::uint64_t wire_size(const CkptStoreLocal&) { return kDescriptor; }
+std::uint64_t wire_size(const CkptXorShard& m) {
+  // The parity share really travels to the partner group.
+  return kDescriptor + m.nominal_bytes;
+}
+std::uint64_t wire_size(const CkptDrainAck&) { return kDescriptor; }
 
 std::uint64_t wire_size(const PutResponse&) { return kDescriptor; }
 std::uint64_t wire_size(const SpillAck&) { return kDescriptor; }
@@ -128,6 +134,9 @@ const char* message_name(const MembershipQuery&) {
 }
 const char* message_name(const FragmentFetch&) { return "fragment_fetch"; }
 const char* message_name(const ResilverPut&) { return "resilver_put"; }
+const char* message_name(const CkptStoreLocal&) { return "ckpt_store_local"; }
+const char* message_name(const CkptXorShard&) { return "ckpt_xor_shard"; }
+const char* message_name(const CkptDrainAck&) { return "ckpt_drain_ack"; }
 
 const char* message_name(const Message& m) {
   return std::visit([](const auto& alt) { return message_name(alt); }, m);

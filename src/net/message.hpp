@@ -390,6 +390,42 @@ struct ResilverPut {
   ReplyPtr<ResilverAck> reply;
 };
 
+// ---------------------------------------------------------------------------
+// Multi-level checkpoint traffic (component client ↔ ckpt::DrainAgent ↔
+// staging servers). The hierarchy itself lives in ckpt::CheckpointHierarchy;
+// these verbs announce level transitions: a set cached node-locally, its XOR
+// parity distributed to the partner group, and — once the async drain's PFS
+// flush lands — the durable promotion that lets the GC watermark advance.
+// ---------------------------------------------------------------------------
+
+/// One-way, client → drain agent: a checkpoint set was written to the
+/// node-local cache (level 1). Bookkeeping only — the hierarchy state was
+/// updated synchronously by the scheme layer, so restart correctness never
+/// depends on this message's delivery.
+struct CkptStoreLocal {
+  AppId app = -1;
+  Version version = 0;  // app's timestep at the checkpoint
+};
+
+/// One-way, client → drain agent: distribute the set's XOR parity share to
+/// the partner group (level 2) and make the set eligible for draining.
+/// Carries the parity share's nominal bytes so the transfer is charged at
+/// paper scale.
+struct CkptXorShard {
+  AppId app = -1;
+  Version version = 0;
+  std::uint64_t nominal_bytes = 0;  // parity share = state bytes / group
+};
+
+/// One-way, drain agent → every staging server: the set's PFS flush
+/// completed (level 3). The durable promotion: servers treat it exactly
+/// like a durable CheckpointEvent for GC purposes — advance the watermark,
+/// sweep, prune spilled and peer fragments.
+struct CkptDrainAck {
+  AppId app = -1;
+  Version version = 0;
+};
+
 /// Any fabric message (std::variant keeps dispatch exhaustive). New
 /// alternatives are appended so existing variant indices stay stable.
 using Message =
@@ -397,7 +433,8 @@ using Message =
                  RollbackRequest, FragmentPut, FragmentPrune, QueueBackup,
                  RecoveryPull, QueryRequest, BatchPut, SpillPut, SpillFetch,
                  SpillPrune, JoinGroup, RetireServer, MembershipUpdate,
-                 MembershipQuery, FragmentFetch, ResilverPut>;
+                 MembershipQuery, FragmentFetch, ResilverPut, CkptStoreLocal,
+                 CkptXorShard, CkptDrainAck>;
 
 // ---------------------------------------------------------------------------
 // Codec: the modeled serialized footprint of every message and response.
@@ -427,6 +464,9 @@ using Message =
 [[nodiscard]] std::uint64_t wire_size(const MembershipQuery& m);
 [[nodiscard]] std::uint64_t wire_size(const FragmentFetch& m);
 [[nodiscard]] std::uint64_t wire_size(const ResilverPut& m);
+[[nodiscard]] std::uint64_t wire_size(const CkptStoreLocal& m);
+[[nodiscard]] std::uint64_t wire_size(const CkptXorShard& m);
+[[nodiscard]] std::uint64_t wire_size(const CkptDrainAck& m);
 
 [[nodiscard]] std::uint64_t wire_size(const PutResponse& m);
 [[nodiscard]] std::uint64_t wire_size(const GetResponse& m);
@@ -467,6 +507,9 @@ using Message =
 [[nodiscard]] const char* message_name(const MembershipQuery&);
 [[nodiscard]] const char* message_name(const FragmentFetch&);
 [[nodiscard]] const char* message_name(const ResilverPut&);
+[[nodiscard]] const char* message_name(const CkptStoreLocal&);
+[[nodiscard]] const char* message_name(const CkptXorShard&);
+[[nodiscard]] const char* message_name(const CkptDrainAck&);
 [[nodiscard]] const char* message_name(const Message& m);
 
 }  // namespace dstage::net

@@ -259,6 +259,16 @@ sim::Task<std::uint64_t> StagingClient::workflow_check(sim::Ctx ctx,
   co_return max_id;
 }
 
+sim::Task<void> StagingClient::ckpt_announce(sim::Ctx ctx, Version version,
+                                             std::uint64_t parity_bytes,
+                                             net::EndpointId drain_ep) {
+  co_await rpc_.send(ctx, drain_ep,
+                     net::Message{CkptStoreLocal{params_.app, version}});
+  co_await rpc_.send(
+      ctx, drain_ep,
+      net::Message{CkptXorShard{params_.app, version, parity_bytes}});
+}
+
 sim::Task<std::size_t> StagingClient::workflow_restart(
     sim::Ctx ctx, Version restored_version) {
   // Re-initialize the staging client: rebuild RDMA connections to every

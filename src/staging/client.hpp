@@ -121,6 +121,16 @@ class StagingClient {
   sim::Task<std::uint64_t> workflow_check(sim::Ctx ctx, Version version,
                                           bool durable = true);
 
+  /// Multi-level checkpointing: announce a freshly cached checkpoint set to
+  /// the drain agent — the level-1 store notification followed by the
+  /// level-2 XOR parity share (whose `parity_bytes` really travel to the
+  /// partner group). Both are one-way: hierarchy state was updated
+  /// synchronously by the scheme layer, so restart correctness never waits
+  /// on these messages.
+  sim::Task<void> ckpt_announce(sim::Ctx ctx, Version version,
+                                std::uint64_t parity_bytes,
+                                net::EndpointId drain_ep);
+
   /// workflow_restart(): re-initialize the client after recovery (RDMA
   /// reconnect) and notify servers; returns the total number of logged
   /// events the servers will replay.

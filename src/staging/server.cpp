@@ -171,6 +171,13 @@ sim::Task<void> StagingServer::handle(Request request) {
           [this](ResilverPut&& m) {
             return handle_resilver_put(std::move(m));
           },
+          // Level-1/2 checkpoint announcements belong to the drain agent;
+          // a server only consumes the final durable promotion.
+          [this](CkptStoreLocal&&) { return ignore_message(); },
+          [this](CkptXorShard&&) { return ignore_message(); },
+          [this](CkptDrainAck&& m) {
+            return handle_ckpt_drain_ack(std::move(m));
+          },
       },
       std::move(request));
   if (obs_ != nullptr) {
@@ -512,61 +519,89 @@ sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
     }
   }
   if (params_.logging && ev.durable) {
-    obs::SpanId sweep_span = 0;
-    if (obs_ != nullptr) {
-      sweep_span = obs_->tracer().begin(
-          obs_track_, "gc sweep", obs::Phase::kOther,
-          cluster_->engine().now(), current_request_span_);
-    }
-    const gc::SweepResult sweep = gc_.sweep(dlog_);
-    stats_.gc_versions_dropped += sweep.versions_dropped;
-    stats_.gc_nominal_freed += sweep.nominal_freed;
-    co_await c.delay(params_.gc_cost_per_entry *
-                     static_cast<std::int64_t>(sweep.entries_scanned + 1));
-    if (obs_ != nullptr) {
-      obs_->tracer().end(sweep_span, cluster_->engine().now());
-      obs_->metrics()
-          .counter("gc.versions_dropped", obs_track_)
-          .inc(sweep.versions_dropped);
-      obs_->metrics()
-          .counter("gc.nominal_freed_bytes", obs_track_)
-          .inc(sweep.nominal_freed);
-    }
-    if (obs_hooks_.gc_sweep) {
-      obs_hooks_.gc_sweep(ev.version, sweep.versions_dropped,
-                          sweep.nominal_freed, sweep.entries_scanned);
-    }
-    // Spilled versions the watermark has now passed are as unreachable as
-    // swept log versions: retire their PFS spill files too.
-    prune_spilled_upto_watermark();
-    // Peers can reclaim fragments that neither the log's retention nor the
-    // base store's window still needs. The fan-out follows the membership
-    // view: retired standbys hold no fragments worth pruning.
-    if (params_.policy.kind != resilience::Redundancy::kNone &&
-        active_view_.size() > 1) {
-      for (const std::string& var : store_.variables()) {
-        const auto store_versions = store_.versions_of(var);
-        const Version oldest_store =
-            store_versions.empty() ? 0 : store_versions.front();
-        const auto log_versions = dlog_.versions_of(var);
-        const Version oldest_log =
-            log_versions.empty() ? oldest_store : log_versions.front();
-        const Version keep_from = std::min(oldest_store, oldest_log);
-        if (keep_from == 0) continue;
-        for (int p : active_view_) {
-          if (p == self_index_) continue;
-          sim::Ctx sc = ctx();
-          net::Message prune{FragmentPrune{self_index_, var, keep_from - 1}};
-          sim::spawn(cluster_->engine(),
-                     rpc_.send(sc,
-                               peer_endpoints_[static_cast<std::size_t>(p)],
-                               std::move(prune)));
-        }
-      }
-    }
+    co_await sweep_after_durable(ev.version);
   }
 
   co_await rpc_.fulfill(c, ev.reply_to, std::move(ev.reply), ack);
+}
+
+sim::Task<void> StagingServer::sweep_after_durable(Version version) {
+  sim::Ctx c = ctx();
+  obs::SpanId sweep_span = 0;
+  if (obs_ != nullptr) {
+    sweep_span = obs_->tracer().begin(
+        obs_track_, "gc sweep", obs::Phase::kOther,
+        cluster_->engine().now(), current_request_span_);
+  }
+  const gc::SweepResult sweep = gc_.sweep(dlog_);
+  stats_.gc_versions_dropped += sweep.versions_dropped;
+  stats_.gc_nominal_freed += sweep.nominal_freed;
+  co_await c.delay(params_.gc_cost_per_entry *
+                   static_cast<std::int64_t>(sweep.entries_scanned + 1));
+  if (obs_ != nullptr) {
+    obs_->tracer().end(sweep_span, cluster_->engine().now());
+    obs_->metrics()
+        .counter("gc.versions_dropped", obs_track_)
+        .inc(sweep.versions_dropped);
+    obs_->metrics()
+        .counter("gc.nominal_freed_bytes", obs_track_)
+        .inc(sweep.nominal_freed);
+  }
+  if (obs_hooks_.gc_sweep) {
+    obs_hooks_.gc_sweep(version, sweep.versions_dropped,
+                        sweep.nominal_freed, sweep.entries_scanned);
+  }
+  // Spilled versions the watermark has now passed are as unreachable as
+  // swept log versions: retire their PFS spill files too.
+  prune_spilled_upto_watermark();
+  // Peers can reclaim fragments that neither the log's retention nor the
+  // base store's window still needs. The fan-out follows the membership
+  // view: retired standbys hold no fragments worth pruning.
+  if (params_.policy.kind != resilience::Redundancy::kNone &&
+      active_view_.size() > 1) {
+    for (const std::string& var : store_.variables()) {
+      const auto store_versions = store_.versions_of(var);
+      const Version oldest_store =
+          store_versions.empty() ? 0 : store_versions.front();
+      const auto log_versions = dlog_.versions_of(var);
+      const Version oldest_log =
+          log_versions.empty() ? oldest_store : log_versions.front();
+      const Version keep_from = std::min(oldest_store, oldest_log);
+      if (keep_from == 0) continue;
+      for (int p : active_view_) {
+        if (p == self_index_) continue;
+        sim::Ctx sc = ctx();
+        net::Message prune{FragmentPrune{self_index_, var, keep_from - 1}};
+        sim::spawn(cluster_->engine(),
+                   rpc_.send(sc,
+                             peer_endpoints_[static_cast<std::size_t>(p)],
+                             std::move(prune)));
+      }
+    }
+  }
+}
+
+sim::Task<void> StagingServer::handle_ckpt_drain_ack(CkptDrainAck ack) {
+  sim::Ctx c = ctx();
+  co_await c.delay(params_.request_overhead);
+  ++stats_.drain_promotions;
+
+  std::vector<std::pair<std::string, Version>> pre_watermarks;
+  if (obs_hooks_.gc_watermark_advance) {
+    for (const std::string& var : gc_.variables()) {
+      pre_watermarks.emplace_back(var, gc_.watermark(var));
+    }
+  }
+  // The async drain completed: the cached set at `version` is durable now,
+  // which is exactly what lets the GC watermark advance. No queue marker is
+  // recorded here — the non-durable CheckpointEvent taken when the set was
+  // cached already anchors the replay script at this timestep.
+  gc_.on_checkpoint(ack.app, ack.version);
+  for (const auto& [var, from] : pre_watermarks) {
+    const Version to = gc_.watermark(var);
+    if (to > from) obs_hooks_.gc_watermark_advance(var, from, to);
+  }
+  if (params_.logging) co_await sweep_after_durable(ack.version);
 }
 
 sim::Task<void> StagingServer::handle_recovery(RecoveryEvent ev) {

@@ -89,6 +89,10 @@ struct ServerStats {
   std::uint64_t resilver_bytes_in = 0;
   std::uint64_t fragments_deduped = 0;     // duplicate fragment pushes skipped
   std::uint64_t fragment_fetches = 0;      // degraded-read fragment requests
+  /// Multi-level checkpoint promotions: CkptDrainAck messages applied. Each
+  /// marks an async PFS drain completing, which is the moment a cached
+  /// checkpoint becomes durable and may advance the GC watermark.
+  std::uint64_t drain_promotions = 0;
 };
 
 /// Point-in-time memory report (nominal, i.e. paper-scale bytes).
@@ -292,6 +296,13 @@ class StagingServer {
   sim::Task<void> handle_membership_update(MembershipUpdate update);
   sim::Task<void> handle_fragment_fetch(FragmentFetch fetch);
   sim::Task<void> handle_resilver_put(ResilverPut put);
+  sim::Task<void> handle_ckpt_drain_ack(CkptDrainAck ack);
+  /// The durable-checkpoint GC path shared by handle_checkpoint and the
+  /// drain agent's CkptDrainAck promotion: sweep the data log behind the
+  /// advanced watermark, retire passed spill files, and tell peers to
+  /// reclaim fragments below the retention floor. Caller guards on
+  /// params_.logging.
+  sim::Task<void> sweep_after_durable(Version version);
   sim::Task<ResilverOutcome> resilver_out_impl(int dest,
                                                net::EndpointId dest_ep,
                                                std::vector<Box> regions);

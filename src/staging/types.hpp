@@ -59,6 +59,9 @@ using MembershipUpdate = net::MembershipUpdate;
 using MembershipQuery = net::MembershipQuery;
 using FragmentFetch = net::FragmentFetch;
 using ResilverPut = net::ResilverPut;
+using CkptStoreLocal = net::CkptStoreLocal;
+using CkptXorShard = net::CkptXorShard;
+using CkptDrainAck = net::CkptDrainAck;
 
 /// Any staging message (historical name for net::Message).
 using Request = net::Message;

@@ -1,0 +1,75 @@
+// Vaidya-style adaptive checkpoint interval (SCR_Need_checkpoint): the
+// computed interval matches the closed-form optimum sqrt(2 * delta * MTBF)
+// across an MTBF sweep, quantizes sanely to timesteps, and degrades to the
+// configured fixed period whenever failure statistics are absent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckpt/adaptive.hpp"
+
+namespace dstage::ckpt {
+namespace {
+
+AdaptiveInterval::Params params(double mtbf, double cost, double per_ts,
+                                int fixed) {
+  AdaptiveInterval::Params p;
+  p.mtbf_s = mtbf;
+  p.ckpt_cost_s = cost;
+  p.compute_per_ts_s = per_ts;
+  p.fixed_period = fixed;
+  return p;
+}
+
+TEST(CkptAdaptiveTest, OptimumMatchesClosedFormAcrossMtbfSweep) {
+  const double cost = 0.8;
+  for (double mtbf : {30.0, 120.0, 600.0, 3600.0, 86400.0}) {
+    const AdaptiveInterval policy(params(mtbf, cost, 9.0, 3));
+    EXPECT_DOUBLE_EQ(policy.optimum_s(), std::sqrt(2.0 * cost * mtbf))
+        << "mtbf " << mtbf;
+    // The quantized interval is the optimum rounded to whole timesteps,
+    // floored at 1.
+    const int expected = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(2.0 * cost * mtbf) / 9.0)));
+    EXPECT_EQ(policy.interval_ts(), expected) << "mtbf " << mtbf;
+  }
+}
+
+TEST(CkptAdaptiveTest, IntervalGrowsWithMtbfAndShrinksWithCheapCheckpoints) {
+  // sqrt scaling: quadrupling MTBF doubles the optimum interval.
+  const AdaptiveInterval base(params(900.0, 2.0, 1.0, 4));
+  const AdaptiveInterval quad(params(3600.0, 2.0, 1.0, 4));
+  EXPECT_DOUBLE_EQ(quad.optimum_s(), 2.0 * base.optimum_s());
+  // Cheaper checkpoints shorten it: less to amortize per checkpoint.
+  const AdaptiveInterval cheap(params(900.0, 0.5, 1.0, 4));
+  EXPECT_LT(cheap.optimum_s(), base.optimum_s());
+}
+
+TEST(CkptAdaptiveTest, DegradesToFixedPeriodWithoutFailureStats) {
+  // Unknown MTBF, unknown cost, or a degenerate timestep length: the
+  // policy is never worse-informed than the paper's static scheme.
+  EXPECT_EQ(AdaptiveInterval(params(0, 0.8, 9.0, 3)).interval_ts(), 3);
+  EXPECT_EQ(AdaptiveInterval(params(600.0, 0, 9.0, 5)).interval_ts(), 5);
+  EXPECT_EQ(AdaptiveInterval(params(600.0, 0.8, 0, 7)).interval_ts(), 7);
+  EXPECT_DOUBLE_EQ(AdaptiveInterval(params(0, 0.8, 9.0, 3)).optimum_s(), 0);
+  // Even a nonsensical fixed period floors at 1.
+  EXPECT_EQ(AdaptiveInterval(params(0, 0, 9.0, 0)).interval_ts(), 1);
+}
+
+TEST(CkptAdaptiveTest, NeedCheckpointFiresExactlyOnTheInterval) {
+  // MTBF 648 s, cost 1 s, 9 s timesteps -> optimum 36 s -> every 4 ts.
+  const AdaptiveInterval policy(params(648.0, 1.0, 9.0, 3));
+  ASSERT_EQ(policy.interval_ts(), 4);
+  EXPECT_FALSE(policy.need_checkpoint(3, 0));
+  EXPECT_TRUE(policy.need_checkpoint(4, 0));
+  EXPECT_TRUE(policy.need_checkpoint(5, 0));  // overdue still fires
+  EXPECT_FALSE(policy.need_checkpoint(7, 4));
+  EXPECT_TRUE(policy.need_checkpoint(8, 4));
+  // A failure-heavy machine checkpoints every timestep.
+  const AdaptiveInterval hot(params(10.0, 1.0, 9.0, 3));
+  ASSERT_EQ(hot.interval_ts(), 1);
+  EXPECT_TRUE(hot.need_checkpoint(1, 0));
+}
+
+}  // namespace
+}  // namespace dstage::ckpt

@@ -1,0 +1,215 @@
+// Multi-level hierarchy state machine: single losses rebuild from the
+// partner level byte-verified, double losses degrade loudly to the PFS,
+// and a drain interrupted at any stage never yields a restart point newer
+// than the last complete set — nor leaks cache buffers past the durable
+// frontier. The randomized property drives 200 seeded op sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "ckpt/hierarchy.hpp"
+
+namespace dstage::ckpt {
+namespace {
+
+/// Drive (app 0, ts) to the requested state.
+void advance_to(CheckpointHierarchy& h, int ts, SetState target) {
+  h.write_set(0, ts, 4096);
+  if (target == SetState::kLocalWritten) return;
+  ASSERT_TRUE(h.encode_set(0, ts));
+  if (target == SetState::kEncoded) return;
+  h.begin_drain(0, ts);
+  if (target == SetState::kDraining) return;
+  h.complete_drain(0, ts);
+}
+
+TEST(CkptHierarchyTest, EverySingleMemberLossRebuildsFromPartners) {
+  for (int group : {2, 3, 4}) {
+    for (int lost = 0; lost < group; ++lost) {
+      CheckpointHierarchy h(group);
+      // The loss cursor round-robins over members; advance it so the next
+      // failure strikes exactly member `lost`.
+      for (int k = 0; k < lost; ++k) h.on_node_failure(0);
+      h.write_set(0, 1, 4096);
+      ASSERT_TRUE(h.encode_set(0, 1));
+      h.on_node_failure(0);
+      EXPECT_EQ(h.cached_blocks(0), static_cast<std::size_t>(group - 1));
+
+      const Restore r = h.restore(0, 1, 0);
+      EXPECT_EQ(r.level, CkptLevel::kPartner)
+          << "group=" << group << " lost member " << lost;
+      // checksum_ok compares the rebuilt member against the fnv1a taken at
+      // write time: the rebuild is byte-identical, not just present.
+      EXPECT_TRUE(r.checksum_ok);
+      EXPECT_EQ(h.stats().partner_rebuilds, 1u);
+      EXPECT_EQ(h.stats().blocks_lost, 1u);
+    }
+  }
+}
+
+TEST(CkptHierarchyTest, DoubleLossDegradesLoudlyToPfs) {
+  for (int group : {2, 3, 4}) {
+    for (int start = 0; start < group; ++start) {
+      // Durable copy exists: a double loss must fall through to the PFS.
+      CheckpointHierarchy h(group);
+      for (int k = 0; k < start; ++k) h.on_node_failure(0);
+      h.write_set(0, 1, 4096);
+      ASSERT_TRUE(h.encode_set(0, 1));
+      h.begin_drain(0, 1);
+      h.complete_drain(0, 1);
+      h.on_node_failure(0);
+      h.on_node_failure(0);
+      EXPECT_EQ(h.best_restart_ts(0, 1), 1);
+      const Restore r = h.restore(0, 1, 1);
+      EXPECT_EQ(r.level, CkptLevel::kPfs) << "group=" << group;
+      EXPECT_TRUE(r.checksum_ok);
+
+      // No durable copy yet: the set is simply not a restart point.
+      CheckpointHierarchy h2(group);
+      for (int k = 0; k < start; ++k) h2.on_node_failure(0);
+      h2.write_set(0, 1, 4096);
+      ASSERT_TRUE(h2.encode_set(0, 1));
+      h2.on_node_failure(0);
+      h2.on_node_failure(0);
+      EXPECT_EQ(h2.best_restart_ts(0, 0), 0);
+    }
+  }
+}
+
+TEST(CkptHierarchyTest, InterruptedDrainNeverYieldsNewerRestartPoint) {
+  // ts 1 drains fully durable; ts 2 is interrupted at each earlier stage by
+  // a node failure that costs it two members. Whatever the stage, ts 2 must
+  // not be chosen over the last complete set.
+  for (SetState stage :
+       {SetState::kLocalWritten, SetState::kEncoded, SetState::kDraining}) {
+    CheckpointHierarchy h(3);
+    advance_to(h, 1, SetState::kPfsComplete);
+    advance_to(h, 2, stage);
+    h.on_node_failure(0);
+    h.on_node_failure(0);
+    EXPECT_EQ(h.best_restart_ts(0, 1), 1)
+        << "stage " << static_cast<int>(stage);
+    const Restore r = h.restore(0, 1, 1);
+    EXPECT_EQ(r.level, CkptLevel::kPfs);
+  }
+  // Only a *completed* drain makes ts 2 survive the same double loss.
+  CheckpointHierarchy h(3);
+  advance_to(h, 1, SetState::kPfsComplete);
+  advance_to(h, 2, SetState::kPfsComplete);
+  h.on_node_failure(0);
+  h.on_node_failure(0);
+  EXPECT_EQ(h.best_restart_ts(0, 1), 2);
+  EXPECT_EQ(h.restore(0, 2, 1).level, CkptLevel::kPfs);
+}
+
+TEST(CkptHierarchyTest, DrainStateMachineRejectsOutOfOrderTransitions) {
+  CheckpointHierarchy h(2);
+  h.write_set(0, 1, 4096);
+  EXPECT_THROW(h.begin_drain(0, 1), std::logic_error);  // not encoded yet
+  ASSERT_TRUE(h.encode_set(0, 1));
+  EXPECT_FALSE(h.encode_set(0, 1));  // double-encode is refused, not fatal
+  EXPECT_THROW(h.complete_drain(0, 1), std::logic_error);  // never began
+  h.begin_drain(0, 1);
+  EXPECT_THROW(h.begin_drain(0, 1), std::logic_error);  // already draining
+  h.complete_drain(0, 1);
+  EXPECT_THROW(h.complete_drain(0, 1), std::logic_error);  // already durable
+  // A set that lost a member before its shard went out cannot encode.
+  h.write_set(0, 2, 4096);
+  h.on_node_failure(0);
+  EXPECT_FALSE(h.encode_set(0, 2));
+  EXPECT_EQ(h.set_state(0, 2), SetState::kLocalWritten);
+}
+
+TEST(CkptHierarchyTest, CompletedDrainEvictsOlderCacheEntries) {
+  CheckpointHierarchy h(3);
+  for (int ts : {1, 2, 3}) advance_to(h, ts, SetState::kEncoded);
+  EXPECT_EQ(h.cached_blocks(0), 9u);
+  // Drain order is oldest-first.
+  const auto d1 = h.next_drain();
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d1->ts, 1);
+  h.begin_drain(0, 1);
+  h.complete_drain(0, 1);
+  EXPECT_EQ(h.cached_blocks(0), 9u);  // nothing older than ts 1 to evict
+  h.begin_drain(0, 2);
+  h.complete_drain(0, 2);
+  // The durable frontier passed ts 1: its buffers are gone.
+  EXPECT_EQ(h.cached_blocks(0), 6u);
+  EXPECT_EQ(h.stats().cache_evictions, 1u);
+  // An evicted set is no longer a restart point below the frontier.
+  EXPECT_EQ(h.best_restart_ts(0, 2), 3);
+}
+
+TEST(CkptHierarchyTest, RandomizedInterruptionNeverLeaksOrRegresses) {
+  // 200 seeded op sequences: writes, encodes, drains interrupted mid-flush,
+  // and node failures in random order. After every op: the best restart
+  // point never precedes the durable frontier, cache buffers never outlive
+  // frontier passage, and the final restore byte-verifies.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    std::mt19937_64 rng(seed);
+    CheckpointHierarchy h(2 + static_cast<int>(seed % 3));
+    const auto group = static_cast<std::size_t>(h.xor_group());
+    std::vector<int> written;
+    int frontier = 0;  // newest kPfsComplete ts
+    int next_ts = 1;
+    for (int step = 0; step < 60; ++step) {
+      switch (rng() % 6) {
+        case 0:
+        case 1:
+          h.write_set(0, next_ts, 4096);
+          written.push_back(next_ts++);
+          break;
+        case 2:
+          if (!written.empty()) {
+            h.encode_set(0, written[rng() % written.size()]);
+          }
+          break;
+        case 3:
+        case 4:
+          if (const auto d = h.next_drain()) {
+            h.begin_drain(d->app, d->ts);
+            if (rng() % 2 == 0) {
+              h.complete_drain(d->app, d->ts);
+              frontier = std::max(frontier, d->ts);
+            }
+            // else: the flush was interrupted mid-PFS-write; the set stays
+            // kDraining and must never be reported durable.
+          }
+          break;
+        case 5:
+          h.on_node_failure(0);
+          break;
+      }
+      const int best = h.best_restart_ts(0, frontier);
+      ASSERT_GE(best, frontier) << "seed " << seed << " step " << step;
+      // Nothing below the frontier may still hold cache buffers.
+      std::size_t above_frontier = 0;
+      for (int ts : written) {
+        if (ts >= frontier) ++above_frontier;
+      }
+      ASSERT_LE(h.cached_blocks(0), above_frontier * group)
+          << "seed " << seed << " step " << step;
+      // An incomplete drain is never observable as durable.
+      for (int ts : written) {
+        if (ts > frontier) {
+          ASSERT_NE(h.set_state(0, ts), SetState::kPfsComplete)
+              << "seed " << seed << " ts " << ts;
+        }
+      }
+    }
+    const int best = h.best_restart_ts(0, frontier);
+    if (best > 0) {
+      const Restore r = h.restore(0, best, frontier);
+      EXPECT_TRUE(r.checksum_ok) << "seed " << seed;
+      const RestartRecord& rec = h.restart_records().back();
+      EXPECT_GE(rec.ts, rec.pfs_ts_at_choice) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dstage::ckpt

@@ -1,0 +1,99 @@
+// XOR partner-group codec: every single-member loss in groups of size
+// {2, 3, 4} rebuilds byte-identically from the survivors + parity, and any
+// two losses in one group exceed the code's tolerance and throw loudly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ckpt/hierarchy.hpp"
+#include "ckpt/xor_group.hpp"
+
+namespace dstage::ckpt {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> group_blocks(int app, int ts,
+                                                    int group) {
+  std::vector<std::vector<std::uint8_t>> blocks;
+  for (int i = 0; i < group; ++i) {
+    blocks.push_back(CheckpointHierarchy::make_block(app, ts, i));
+  }
+  return blocks;
+}
+
+TEST(CkptXorTest, EverySingleLossRebuildsByteIdentically) {
+  for (int group : {2, 3, 4}) {
+    const auto blocks = group_blocks(/*app=*/0, /*ts=*/group, group);
+    const auto parity = xor_encode(blocks);
+    ASSERT_EQ(parity.size(), CheckpointHierarchy::kBlockBytes);
+    // Exhaustive: lose each member in turn.
+    for (int lost = 0; lost < group; ++lost) {
+      std::vector<const std::vector<std::uint8_t>*> view;
+      for (int i = 0; i < group; ++i) {
+        view.push_back(i == lost ? nullptr : &blocks[static_cast<std::size_t>(i)]);
+      }
+      const auto rebuilt = xor_rebuild(view, parity);
+      EXPECT_EQ(rebuilt, blocks[static_cast<std::size_t>(lost)])
+          << "group=" << group << " lost member " << lost;
+      // And against independent regeneration, not just the cached copy.
+      EXPECT_EQ(rebuilt, CheckpointHierarchy::make_block(0, group, lost));
+    }
+  }
+}
+
+TEST(CkptXorTest, EveryDoubleLossDegradesLoudly) {
+  for (int group : {2, 3, 4}) {
+    const auto blocks = group_blocks(/*app=*/1, /*ts=*/7, group);
+    const auto parity = xor_encode(blocks);
+    // Exhaustive: every unordered pair of lost members.
+    for (int a = 0; a < group; ++a) {
+      for (int b = a + 1; b < group; ++b) {
+        std::vector<const std::vector<std::uint8_t>*> view;
+        for (int i = 0; i < group; ++i) {
+          view.push_back(i == a || i == b
+                             ? nullptr
+                             : &blocks[static_cast<std::size_t>(i)]);
+        }
+        try {
+          xor_rebuild(view, parity);
+          ADD_FAILURE() << "group=" << group << " losses {" << a << "," << b
+                        << "} rebuilt past the single-loss tolerance";
+        } catch (const XorLossError& e) {
+          EXPECT_EQ(e.missing(), 2);
+          EXPECT_EQ(e.group(), group);
+        }
+      }
+    }
+  }
+}
+
+TEST(CkptXorTest, RebuildValidatesInputs) {
+  const auto blocks = group_blocks(/*app=*/2, /*ts=*/3, 3);
+  const auto parity = xor_encode(blocks);
+  // Nothing missing: there is nothing to rebuild.
+  std::vector<const std::vector<std::uint8_t>*> intact{&blocks[0], &blocks[1],
+                                                       &blocks[2]};
+  EXPECT_THROW(xor_rebuild(intact, parity), std::invalid_argument);
+  // Length mismatch between a survivor and parity.
+  std::vector<std::uint8_t> short_parity(parity.begin(), parity.end() - 1);
+  std::vector<const std::vector<std::uint8_t>*> one_lost{nullptr, &blocks[1],
+                                                         &blocks[2]};
+  EXPECT_THROW(xor_rebuild(one_lost, short_parity), std::invalid_argument);
+  // Empty group cannot be encoded.
+  EXPECT_THROW(
+      xor_encode(std::span<const std::vector<std::uint8_t>>{}),
+      std::invalid_argument);
+}
+
+TEST(CkptXorTest, BlocksAreDeterministicAndDistinct) {
+  const auto a = CheckpointHierarchy::make_block(0, 5, 1);
+  EXPECT_EQ(a, CheckpointHierarchy::make_block(0, 5, 1));
+  EXPECT_NE(a, CheckpointHierarchy::make_block(0, 5, 2));
+  EXPECT_NE(a, CheckpointHierarchy::make_block(0, 6, 1));
+  EXPECT_NE(a, CheckpointHierarchy::make_block(1, 5, 1));
+  EXPECT_EQ(a.size(), CheckpointHierarchy::kBlockBytes);
+}
+
+}  // namespace
+}  // namespace dstage::ckpt

@@ -105,5 +105,18 @@ TEST(GoldenTraceTest, ExtensionConfigDigestIsStable) {
   EXPECT_EQ(runner.trace().digest(), 0xa2c3d910effd8315ull);
 }
 
+// The Vaidya-style adaptive-interval policy over the MTBF failure process:
+// checkpoint cadence becomes sqrt(2 * delta * MTBF) instead of the fixed
+// period, so drift in the interval computation (or in what it anchors on)
+// changes the checkpoint trace and with it this digest.
+TEST(GoldenTraceTest, AdaptiveIntervalDigestIsStable) {
+  WorkflowSpec spec = golden_spec(Scheme::kUncoordinated, 0, 1);
+  spec.failures.mtbf_s = 600.0;
+  spec.ckpt.adaptive_interval = true;
+  WorkflowRunner runner(spec);
+  runner.run();
+  EXPECT_EQ(runner.trace().digest(), 0x4d9d6b87eaefab43ull);
+}
+
 }  // namespace
 }  // namespace dstage::core

@@ -111,7 +111,7 @@ TEST(MessageCodecTest, OneChunkBatchCostsExactlyOnePut) {
 }
 
 TEST(MessageCodecTest, SerializedSizeDispatchesOverEveryAlternative) {
-  static_assert(std::variant_size_v<Message> == 20);
+  static_assert(std::variant_size_v<Message> == 23);
   FragmentPut frag;
   frag.nominal_bytes = 777;
   EXPECT_EQ(serialized_size(Message{std::move(frag)}), 777u);
@@ -144,6 +144,9 @@ TEST(MessageCodecTest, MessageNamesMatchSpanVocabulary) {
   EXPECT_STREQ(message_name(MembershipQuery{}), "membership_query");
   EXPECT_STREQ(message_name(FragmentFetch{}), "fragment_fetch");
   EXPECT_STREQ(message_name(ResilverPut{}), "resilver_put");
+  EXPECT_STREQ(message_name(CkptStoreLocal{}), "ckpt_store_local");
+  EXPECT_STREQ(message_name(CkptXorShard{}), "ckpt_xor_shard");
+  EXPECT_STREQ(message_name(CkptDrainAck{}), "ckpt_drain_ack");
   EXPECT_STREQ(message_name(Message{QueryRequest{}}), "query");
 }
 

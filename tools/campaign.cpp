@@ -39,6 +39,11 @@ int usage() {
       "                      resilver window)                    [0 = off]\n"
       "  --require-elastic   fail unless resilver moved data and a\n"
       "                      hand-off release was audited\n"
+      "  --ckpt-levels=P     fraction of schedules running the multi-level\n"
+      "                      checkpoint hierarchy (XOR group from {2,3,4})\n"
+      "                                                         [0 = off]\n"
+      "  --require-ckpt      fail unless >= 1 cache restart and >= 1 partner\n"
+      "                      rebuild were exercised\n"
       "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
       "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
       "  --no-shrink         keep failing schedules unminimized\n"
@@ -108,6 +113,11 @@ int run_cli(int argc, char** argv) {
     std::fputs("--elastic must be in [0, 1]\n", stderr);
     return usage();
   }
+  opts.gen.ckpt_probability = flags.get_double("ckpt-levels", 0.0);
+  if (opts.gen.ckpt_probability < 0 || opts.gen.ckpt_probability > 1) {
+    std::fputs("--ckpt-levels must be in [0, 1]\n", stderr);
+    return usage();
+  }
   opts.threads = flags.get_int("threads", 0);
   opts.sabotage = check::parse_sabotage(flags.get("break", "none"));
   opts.shrink = !flags.get_bool("no-shrink", false);
@@ -119,6 +129,7 @@ int run_cli(int argc, char** argv) {
   const bool expect_fail = flags.get_bool("expect-fail", false);
   const bool require_pressure = flags.get_bool("require-pressure", false);
   const bool require_elastic = flags.get_bool("require-elastic", false);
+  const bool require_ckpt = flags.get_bool("require-ckpt", false);
   const std::string repro = flags.get("repro", "");
 
   for (const std::string& flag : flags.unused()) {
@@ -156,6 +167,15 @@ int run_cli(int argc, char** argv) {
                 static_cast<unsigned long long>(result.degraded_reads));
   }
 
+  if (opts.gen.ckpt_probability > 0) {
+    std::printf("ckpt hierarchy: %llu drains completed, %llu cache restarts, "
+                "%llu partner rebuilds, %llu PFS restarts\n",
+                static_cast<unsigned long long>(result.ckpt_drains_completed),
+                static_cast<unsigned long long>(result.ckpt_cache_restarts),
+                static_cast<unsigned long long>(result.ckpt_partner_rebuilds),
+                static_cast<unsigned long long>(result.ckpt_pfs_restarts));
+  }
+
   for (const check::CampaignFailure& failure : result.failures) {
     std::printf("---\n");
     // The report tracks the shrunk schedule (== the original when the
@@ -186,6 +206,14 @@ int run_cli(int argc, char** argv) {
       (result.resilver_chunks_moved == 0 || result.resilver_drops == 0)) {
     std::fputs("--require-elastic: no resilver data motion observed — "
                "membership changes that moved nothing verified nothing\n",
+               stdout);
+    ok = false;
+  }
+  if (require_ckpt &&
+      (result.ckpt_cache_restarts == 0 || result.ckpt_partner_rebuilds == 0)) {
+    std::fputs("--require-ckpt: cache restart and partner rebuild must both "
+               "be exercised — a campaign where every restart fell through "
+               "to the PFS verified neither fast level\n",
                stdout);
     ok = false;
   }
