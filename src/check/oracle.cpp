@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/forensics.hpp"
 #include "ckpt/hierarchy.hpp"
 #include "core/executor.hpp"
 #include "core/scheme/policy.hpp"
@@ -151,6 +152,9 @@ std::shared_ptr<const ReferenceCache::Entry> run_reference(
   runner.run();
   entry->trace = runner.trace().events();
   entry->digest = runner.trace().digest();
+  if (const obs::FlightRecorder* rec = runner.runtime().recorder()) {
+    entry->recorder_events = rec->dump();
+  }
   return entry;
 }
 
@@ -211,7 +215,7 @@ std::shared_ptr<const ReferenceCache::Entry> ReferenceCache::reference_for(
 }
 
 OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
-                            Sabotage sabotage) {
+                            Sabotage sabotage, bool capture_bundle) {
   OracleReport report;
   const auto ref = cache.reference_for(s);
   report.reference_digest = ref->digest;
@@ -374,6 +378,36 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
   }
   report.trace_digest = runner.trace().digest();
 
+  // Forensic capture: freeze the flight recorder's surviving events into a
+  // bundle whenever the run went loudly wrong — any invariant violation,
+  // any recorded degradation — or when the caller forced it (--expect-fail
+  // mismatch documentation). Called at every return point below.
+  const auto attach_bundle = [&report, &runner, &ref, &s, sabotage,
+                              capture_bundle] {
+    const obs::FlightRecorder* rec = runner.runtime().recorder();
+    if (rec == nullptr) return;
+    const bool degraded = !rec->degradations().empty();
+    if (report.violations.empty() && !degraded && !capture_bundle) return;
+    auto bundle = std::make_shared<ForensicBundle>();
+    bundle->trigger = !report.violations.empty() ? "invariant-violation"
+                      : degraded                 ? "degradation"
+                                                 : "expect-fail-mismatch";
+    bundle->detail =
+        !report.violations.empty() ? report.violations.front().detail
+        : degraded                 ? rec->degradations().front()
+                   : "schedule expected to fail but passed clean";
+    bundle->repro = s.repro();
+    bundle->sabotage = sabotage_name(sabotage);
+    bundle->trace_digest = report.trace_digest;
+    bundle->reference_digest = report.reference_digest;
+    bundle->events_recorded = rec->events_recorded();
+    bundle->events_dropped = rec->events_dropped();
+    bundle->events = rec->dump();
+    bundle->reference_events = ref->recorder_events;
+    bundle->degradations = rec->degradations();
+    report.bundle = std::move(bundle);
+  };
+
   bool any_fired = false;
   for (const core::PlannedFailure& f : runner.runtime().plan()) {
     if (!f.fired) continue;
@@ -388,6 +422,7 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
   if (deadlocked) {
     // Mid-flight state is not meaningful for the remaining invariants;
     // the liveness violation above is the verdict.
+    attach_bundle();
     return report;
   }
 
@@ -647,6 +682,7 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     }
   }
 
+  attach_bundle();
   return report;
 }
 

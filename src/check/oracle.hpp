@@ -43,8 +43,11 @@
 
 #include "check/schedule.hpp"
 #include "core/trace.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace dstage::check {
+
+struct ForensicBundle;  // check/forensics.hpp
 
 /// Deliberate protocol corruptions the campaign injects to prove the
 /// oracle catches real bugs (and that the shrinker minimizes them).
@@ -96,6 +99,11 @@ struct OracleReport {
   std::uint64_t ckpt_partner_rebuilds = 0;
   std::uint64_t ckpt_pfs_restarts = 0;
 
+  /// Forensic post-mortem captured from the flight recorder. Non-null when
+  /// the run violated an invariant, the recorder noted a loud degradation,
+  /// or the caller forced capture (campaign --expect-fail mismatches).
+  std::shared_ptr<const ForensicBundle> bundle;
+
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Human-readable one-per-line violation list (empty string when ok).
   [[nodiscard]] std::string summary() const;
@@ -116,6 +124,9 @@ class ReferenceCache {
     std::map<std::string, ReadObs> reads;  // "comp|var|ts" -> observation
     std::vector<core::TraceEvent> trace;
     std::uint64_t digest = 0;
+    /// The reference run's flight-recorder dump: what the forensic diff
+    /// compares a failing run's events against.
+    std::vector<obs::FrDecoded> recorder_events;
   };
 
   /// The failure-free reference for `s`'s configuration (failures and id
@@ -135,7 +146,11 @@ class ReferenceCache {
 std::string read_key(const std::string& comp, const std::string& var, int ts);
 
 /// Run `s` under the oracle and return every invariant violation found.
+/// `capture_bundle` forces a forensic bundle even when the run is clean —
+/// how a campaign documents an --expect-fail schedule that unexpectedly
+/// passed.
 OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
-                            Sabotage sabotage = Sabotage::kNone);
+                            Sabotage sabotage = Sabotage::kNone,
+                            bool capture_bundle = false);
 
 }  // namespace dstage::check

@@ -37,8 +37,11 @@ sim::Task<void> DrainAgent::run() {
       // Level-0 bookkeeping only: the scheme wrote the cache entry into the
       // hierarchy synchronously; this notice just tells the drain the set
       // exists.
-      (void)*store;
       ++stats_.store_notices;
+      if (recorder_ != nullptr)
+        recorder_->record(recorder_track_, cluster_->engine().now(),
+                          obs::FrKind::kCkptStore, std::to_string(store->app),
+                          static_cast<std::int64_t>(store->version));
       if (obs_ != nullptr)
         obs_->metrics().counter("ckpt.store_notices", obs_track_).inc();
     } else if (auto* shard = std::get_if<CkptXorShard>(&msg)) {
@@ -46,8 +49,21 @@ sim::Task<void> DrainAgent::run() {
       // and eligible for the background PFS flush.
       if (hierarchy_->encode_set(shard->app, static_cast<int>(shard->version))) {
         ++stats_.shards_encoded;
-        if (obs_ != nullptr)
+        if (recorder_ != nullptr)
+          recorder_->record(recorder_track_, cluster_->engine().now(),
+                            obs::FrKind::kCkptEncode,
+                            std::to_string(shard->app),
+                            static_cast<std::int64_t>(shard->version),
+                            static_cast<std::int64_t>(shard->nominal_bytes));
+        if (obs_ != nullptr) {
           obs_->metrics().counter("ckpt.shards_encoded", obs_track_).inc();
+          // Zero-length marker span: encoding takes no agent-side virtual
+          // time, but the trace should still show when parity landed.
+          const obs::SpanId enc = obs_->tracer().begin(
+              obs_track_, "encode", obs::Phase::kDrain,
+              cluster_->engine().now());
+          obs_->tracer().end(enc, cluster_->engine().now());
+        }
         if (!draining_) {
           draining_ = true;
           sim::spawn(cluster_->engine(), drain_loop());
@@ -74,11 +90,21 @@ sim::Task<void> DrainAgent::drain_loop() {
       backoff = std::min(backoff * 2, 64);
     }
     hierarchy_->begin_drain(next->app, next->ts);
+    obs::SpanId span = 0;
+    if (obs_ != nullptr)
+      span = obs_->tracer().begin(obs_track_, "drain", obs::Phase::kDrain,
+                                  cluster_->engine().now());
     co_await pfs_->write(c, next->nominal_bytes);
     hierarchy_->complete_drain(next->app, next->ts);
     ++stats_.drains_completed;
     stats_.drain_bytes += next->nominal_bytes;
+    if (recorder_ != nullptr)
+      recorder_->record(recorder_track_, cluster_->engine().now(),
+                        obs::FrKind::kCkptDrain, std::to_string(next->app),
+                        static_cast<std::int64_t>(next->ts),
+                        static_cast<std::int64_t>(next->nominal_bytes));
     if (obs_ != nullptr) {
+      obs_->tracer().end(span, cluster_->engine().now());
       obs_->metrics().counter("ckpt.drains", obs_track_).inc();
       obs_->metrics()
           .counter("ckpt.drain_bytes", obs_track_)

@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/pfs.hpp"
 #include "net/rpc.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 
 namespace dstage::ckpt {
@@ -62,6 +63,11 @@ class DrainAgent {
     obs_ = obs;
     obs_track_ = std::move(track);
   }
+  /// Attach the always-on flight recorder (null = off).
+  void set_recorder(obs::FlightRecorder* recorder, std::uint32_t track) {
+    recorder_ = recorder;
+    recorder_track_ = track;
+  }
 
  private:
   sim::Task<void> run();
@@ -82,6 +88,8 @@ class DrainAgent {
   DrainAgentStats stats_;
   obs::Observability* obs_ = nullptr;
   std::string obs_track_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t recorder_track_ = 0;
 };
 
 }  // namespace dstage::ckpt

@@ -143,6 +143,10 @@ void CheckpointHierarchy::on_node_failure(int app) {
     ++set.lost_count;
     set.blocks[idx].clear();  // the member's bytes really are gone
     ++stats_.blocks_lost;
+    // A second member gone before the PFS flush: no cached level can
+    // restore this set any more (XOR tolerates exactly one loss).
+    if (set.lost_count == 2 && set.state != SetState::kPfsComplete)
+      ++stats_.double_losses;
   }
 }
 

@@ -62,6 +62,10 @@ struct CkptStats {
   std::uint64_t pfs_restarts = 0;
   std::uint64_t cache_evictions = 0;  // sets whose buffers were released
   std::uint64_t blocks_lost = 0;
+  /// Sets that lost a second XOR member before their drain completed:
+  /// unrestorable at any cached level, a loud degradation the runtime
+  /// surfaces through the flight recorder.
+  std::uint64_t double_losses = 0;
 };
 
 /// What the drain agent flushes next: always the oldest encoded set, so

@@ -96,6 +96,9 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
   Trace& trace = runtime_->trace();
   sim::Ctx ctx = runtime_->cluster().ctx_for(comp->vproc);
   obs::Observability* obs = services_.obs;
+  obs::FlightRecorder* rec = services_.recorder;
+  const std::uint32_t rec_track =
+      rec != nullptr ? rec->track(comp->spec.name) : 0;
   for (int ts = start_ts + 1; ts <= spec.total_ts; ++ts) {
     trace.record(ctx.now(), TraceKind::kTimestepStart, comp->spec.name, ts);
     fire_elastic_events(ts);
@@ -126,10 +129,20 @@ sim::Task<void> WorkflowRunner::run_component(Comp* comp, int start_ts) {
             .histogram("get_response_s", comp->spec.name)
             .observe(result.response_time.seconds());
       }
-      if (services_.read_probe) {
-        services_.read_probe(*comp, ts, read.var, pieces_checksum(result.pieces),
-                             result.nominal_bytes, result.wrong_version,
-                             result.corrupt);
+      if (rec != nullptr || services_.read_probe) {
+        const std::uint64_t checksum = pieces_checksum(result.pieces);
+        if (rec != nullptr) {
+          // The order-independent payload fingerprint is the forensic
+          // anchor for replay-equivalence diffs: a replayed read that
+          // serves different bytes than the reference run diverges here.
+          rec->record(rec_track, ctx.now(), obs::FrKind::kGetServe, read.var,
+                      ts, static_cast<std::int64_t>(checksum));
+        }
+        if (services_.read_probe) {
+          services_.read_probe(*comp, ts, read.var, checksum,
+                               result.nominal_bytes, result.wrong_version,
+                               result.corrupt);
+        }
       }
       trace.record(ctx.now(), TraceKind::kReadDone, comp->spec.name, ts,
                    static_cast<std::int64_t>(result.nominal_bytes));
@@ -221,12 +234,28 @@ sim::Task<void> WorkflowRunner::maybe_fail(Comp* comp, int ts, sim::Ctx ctx) {
         // blocks per affected set; the freshest level still complete (cache
         // intact, partner-rebuildable, or PFS-drained) is the restart point.
         // Mid-drain sets don't qualify until their CkptDrainAck lands.
+        const std::uint64_t double_losses_before =
+            services_.ckpt->stats().double_losses;
         services_.ckpt->on_node_failure(comp->id);
+        if (services_.recorder != nullptr &&
+            services_.ckpt->stats().double_losses > double_losses_before) {
+          // Double XOR loss: some cached set is now unrestorable at any
+          // level below the PFS — loud enough to warrant a forensic dump.
+          services_.recorder->note_degradation(
+              services_.recorder->track(comp->spec.name), ctx.now(),
+              "double XOR loss: checkpoint set(s) of " + comp->spec.name +
+                  " unrestorable below the PFS");
+        }
         comp->last_ckpt_ts = services_.ckpt->best_restart_ts(
             comp->id, comp->last_pfs_ckpt_ts);
       } else {
         comp->last_ckpt_ts = comp->last_pfs_ckpt_ts;
       }
+    }
+    if (services_.recorder != nullptr) {
+      services_.recorder->record(services_.recorder->track(comp->spec.name),
+                                 ctx.now(), obs::FrKind::kFailure,
+                                 std::uint32_t{0}, ts, f.node_level ? 1 : 0);
     }
     runtime_->trace().record(ctx.now(), TraceKind::kFailure, comp->spec.name,
                              ts, f.node_level ? 1 : 0);

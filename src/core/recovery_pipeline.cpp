@@ -51,17 +51,31 @@ sim::Task<void> stage_data_recovery(RuntimeServices& rt, Comp& comp,
     // verifies checksums and records the choice for the oracle.
     const ckpt::Restore r =
         rt.ckpt->restore(comp.id, comp.last_ckpt_ts, comp.last_pfs_ckpt_ts);
+    if (rt.recorder != nullptr) {
+      rt.recorder->record(rt.recorder->track(comp.spec.name), sys.now(),
+                          obs::FrKind::kRestartLevel, comp.spec.name,
+                          static_cast<std::int64_t>(r.level),
+                          comp.last_ckpt_ts);
+    }
     switch (r.level) {
       case ckpt::CkptLevel::kCache:
         co_await sys.delay(sim::from_seconds(static_cast<double>(bytes) /
                                              rt.spec->costs.local_ckpt_bw));
         break;
-      case ckpt::CkptLevel::kPartner:
+      case ckpt::CkptLevel::kPartner: {
         // Pull the lost member's worth of blocks off the group peers and
         // decode; slower than local NVRAM, far faster than a cold PFS read.
+        obs::SpanId rebuild = 0;
+        if (rt.obs != nullptr) {
+          rebuild = rt.obs->tracer().begin(comp.spec.name, "rebuild",
+                                           obs::Phase::kDrain, sys.now(),
+                                           restore, comp.last_ckpt_ts);
+        }
         co_await sys.delay(sim::from_seconds(
             static_cast<double>(bytes) / rt.spec->costs.partner_rebuild_bw));
+        if (rt.obs != nullptr) rt.obs->tracer().end(rebuild, sys.now());
         break;
+      }
       case ckpt::CkptLevel::kPfs:
         co_await rt.pfs->read(sys, bytes);
         break;
@@ -69,9 +83,22 @@ sim::Task<void> stage_data_recovery(RuntimeServices& rt, Comp& comp,
     rt.trace->record(sys.now(), TraceKind::kCkptRestore, comp.spec.name,
                      comp.last_ckpt_ts, static_cast<std::int64_t>(r.level));
   } else if (comp.last_ckpt_ts > comp.last_pfs_ckpt_ts) {
+    // Hierarchy off, but a fresher local (cache-level) checkpoint exists.
+    if (rt.recorder != nullptr) {
+      rt.recorder->record(rt.recorder->track(comp.spec.name), sys.now(),
+                          obs::FrKind::kRestartLevel, comp.spec.name,
+                          static_cast<std::int64_t>(ckpt::CkptLevel::kCache),
+                          comp.last_ckpt_ts);
+    }
     co_await sys.delay(sim::from_seconds(static_cast<double>(bytes) /
                                          rt.spec->costs.local_ckpt_bw));
   } else {
+    if (rt.recorder != nullptr) {
+      rt.recorder->record(rt.recorder->track(comp.spec.name), sys.now(),
+                          obs::FrKind::kRestartLevel, comp.spec.name,
+                          static_cast<std::int64_t>(ckpt::CkptLevel::kPfs),
+                          comp.last_ckpt_ts);
+    }
     co_await rt.pfs->read(sys, bytes);
   }
   if (rt.obs != nullptr) rt.obs->tracer().end(restore, sys.now());
@@ -92,6 +119,12 @@ sim::Task<void> stage_reattach_and_replay(RuntimeServices& rt, Comp& comp,
     // switch this app's queues into replay mode.
     const std::size_t replay = co_await comp.client->workflow_restart(
         ctx, static_cast<staging::Version>(comp.last_ckpt_ts));
+    if (rt.recorder != nullptr) {
+      rt.recorder->record(rt.recorder->track(comp.spec.name), ctx.now(),
+                          obs::FrKind::kReplayDone, comp.spec.name,
+                          static_cast<std::int64_t>(replay),
+                          comp.last_ckpt_ts);
+    }
     rt.trace->record(ctx.now(), TraceKind::kReplayDone, comp.spec.name,
                      comp.last_ckpt_ts, static_cast<std::int64_t>(replay));
     if (rt.recovery_probe) {

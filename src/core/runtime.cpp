@@ -59,6 +59,12 @@ void Runtime::build(const SchemePolicy& policy) {
   if (obs::compiled_in() && spec_.obs.enabled) {
     obs_ = std::make_unique<obs::Observability>();
   }
+  // The flight recorder is pure host-side bookkeeping: no vprocs, no
+  // virtual-time delays, no trace records, no randomness. Allocating it
+  // unconditionally (default-on) cannot move a digest.
+  if (spec_.recorder.enabled) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(spec_.recorder);
+  }
   cluster_.set_detection_delay(
       sim::from_seconds(spec_.costs.detection_delay_s));
   index_ = std::make_unique<dht::SpatialIndex>(
@@ -81,44 +87,96 @@ void Runtime::build(const SchemePolicy& policy) {
     server_vprocs_.push_back(vp);
     servers_.push_back(
         std::make_unique<staging::StagingServer>(cluster_, vp, server_params));
-    if (obs_ != nullptr) {
+    {
       staging::StagingServer& server = *servers_.back();
-      server.set_obs(obs_.get(), name);
-      // Surface staging-internal GC and log milestones as trace events.
-      // These kinds only exist in instrumented runs, so the golden digests
-      // of uninstrumented traces are untouched.
+      if (obs_ != nullptr) server.set_obs(obs_.get(), name);
+      if (recorder_ != nullptr) {
+        server.set_recorder(recorder_.get(), recorder_->track(name));
+      }
+      // GC/log milestone hooks are installed unconditionally: they feed the
+      // always-on flight recorder, and their host-side work (snapshotting
+      // watermarks before a checkpoint) consumes no virtual time. Trace
+      // records and metrics inside them stay obs-gated — those kinds only
+      // exist in instrumented runs, so the golden digests of
+      // uninstrumented traces are untouched.
+      obs::FlightRecorder* rec = recorder_.get();
+      const std::uint32_t rec_track =
+          rec != nullptr ? rec->track(name) : 0;
+      obs::Observability* obs = obs_.get();
       staging::StagingServer::ObsHooks hooks;
-      hooks.gc_sweep = [this, name](staging::Version ckpt_version,
-                                    std::size_t versions_dropped,
-                                    std::uint64_t nominal_freed,
-                                    std::size_t entries_scanned) {
-        trace_.record(engine_.now(), TraceKind::kGcSweep, name,
-                      static_cast<int>(ckpt_version),
+      hooks.gc_sweep = [this, rec, rec_track, obs, name](
+                           staging::Version ckpt_version,
+                           std::size_t versions_dropped,
+                           std::uint64_t nominal_freed,
+                           std::size_t entries_scanned) {
+        if (rec != nullptr) {
+          rec->record(rec_track, engine_.now(), obs::FrKind::kGcSweep,
+                      std::uint32_t{0},
+                      static_cast<std::int64_t>(entries_scanned),
                       static_cast<std::int64_t>(nominal_freed));
-        obs_->metrics().counter("gc.sweeps", name).inc();
-        obs_->metrics()
-            .counter("gc.entries_scanned", name)
-            .inc(entries_scanned);
+        }
+        if (obs != nullptr) {
+          trace_.record(engine_.now(), TraceKind::kGcSweep, name,
+                        static_cast<int>(ckpt_version),
+                        static_cast<std::int64_t>(nominal_freed));
+          obs->metrics().counter("gc.sweeps", name).inc();
+          obs->metrics()
+              .counter("gc.entries_scanned", name)
+              .inc(entries_scanned);
+        }
         (void)versions_dropped;  // counted at the sweep site
       };
-      hooks.gc_watermark_advance = [this, name](const std::string& var,
-                                                staging::Version from,
-                                                staging::Version to) {
-        trace_.record(engine_.now(), TraceKind::kGcWatermarkAdvance,
-                      name + "/" + var, static_cast<int>(from),
-                      static_cast<std::int64_t>(to));
-        obs_->metrics().counter("gc.watermark_advances", name).inc();
+      hooks.gc_watermark_advance = [this, rec, rec_track, obs, name](
+                                       const std::string& var,
+                                       staging::Version from,
+                                       staging::Version to) {
+        if (rec != nullptr) {
+          rec->record(rec_track, engine_.now(), obs::FrKind::kGcWatermark,
+                      var, static_cast<std::int64_t>(to));
+        }
+        if (obs != nullptr) {
+          trace_.record(engine_.now(), TraceKind::kGcWatermarkAdvance,
+                        name + "/" + var, static_cast<int>(from),
+                        static_cast<std::int64_t>(to));
+          obs->metrics().counter("gc.watermark_advances", name).inc();
+        }
       };
-      hooks.log_truncate = [this, name](staging::AppId app,
-                                        staging::Version ckpt_version,
-                                        std::size_t events_dropped) {
-        trace_.record(engine_.now(), TraceKind::kLogTruncate, name,
-                      static_cast<int>(ckpt_version),
+      hooks.log_truncate = [this, rec, rec_track, obs, name](
+                               staging::AppId app,
+                               staging::Version ckpt_version,
+                               std::size_t events_dropped) {
+        if (rec != nullptr) {
+          rec->record(rec_track, engine_.now(), obs::FrKind::kLogTruncate,
+                      std::uint32_t{0},
                       static_cast<std::int64_t>(events_dropped));
-        obs_->metrics()
-            .counter("wlog.events_truncated", name)
-            .inc(events_dropped);
+        }
+        if (obs != nullptr) {
+          trace_.record(engine_.now(), TraceKind::kLogTruncate, name,
+                        static_cast<int>(ckpt_version),
+                        static_cast<std::int64_t>(events_dropped));
+          obs->metrics()
+              .counter("wlog.events_truncated", name)
+              .inc(events_dropped);
+        }
         (void)app;
+      };
+      hooks.spill = [this, rec, rec_track](const std::string& var,
+                                           staging::Version version,
+                                           std::uint64_t bytes) {
+        if (rec != nullptr) {
+          rec->record(rec_track, engine_.now(), obs::FrKind::kSpillOut, var,
+                      static_cast<std::int64_t>(version),
+                      static_cast<std::int64_t>(bytes));
+        }
+      };
+      hooks.spill_fetch = [this, rec, rec_track](const std::string& var,
+                                                 staging::Version version,
+                                                 std::uint64_t bytes) {
+        if (rec != nullptr) {
+          rec->record(rec_track, engine_.now(), obs::FrKind::kSpillFetch, var,
+                      static_cast<std::int64_t>(version),
+                      static_cast<std::int64_t>(bytes));
+        }
       };
       server.set_obs_hooks(std::move(hooks));
     }
@@ -177,6 +235,10 @@ void Runtime::build(const SchemePolicy& policy) {
     spill_gateway_ =
         std::make_unique<staging::SpillGateway>(cluster_, spill_vproc_, pfs_);
     if (obs_ != nullptr) spill_gateway_->set_obs(obs_.get(), "spill-gw");
+    if (recorder_ != nullptr) {
+      spill_gateway_->set_recorder(recorder_.get(),
+                                   recorder_->track("spill-gw"));
+    }
     const auto ep = cluster_.vproc(spill_vproc_).endpoint;
     for (auto& server : servers_) server->set_spill_endpoint(ep);
   }
@@ -193,6 +255,10 @@ void Runtime::build(const SchemePolicy& policy) {
     group_manager_ = std::make_unique<staging::GroupManager>(
         cluster_, group_vproc_, *index_, std::move(group_servers));
     if (obs_ != nullptr) group_manager_->set_obs(obs_.get(), "group-mgr");
+    if (recorder_ != nullptr) {
+      group_manager_->set_recorder(recorder_.get(),
+                                   recorder_->track("group-mgr"));
+    }
     for (auto& server : servers_) {
       server->set_group_index(index_.get());
       server->apply_membership(index_->epoch(), index_->active_servers());
@@ -248,6 +314,10 @@ void Runtime::build(const SchemePolicy& policy) {
                     ts, ts);
     });
     if (obs_ != nullptr) drain_agent_->set_obs(obs_.get(), "ckpt-drain");
+    if (recorder_ != nullptr) {
+      drain_agent_->set_recorder(recorder_.get(),
+                                 recorder_->track("ckpt-drain"));
+    }
   }
 
   // Variable registry for GC retention: consumers pin retention only when
@@ -380,6 +450,7 @@ RuntimeServices Runtime::services() {
   rt.trace = &trace_;
   rt.runtime = this;
   rt.obs = obs_.get();
+  rt.recorder = recorder_.get();
   rt.ckpt = ckpt_hierarchy_.get();
   if (drain_agent_ != nullptr) rt.ckpt_drain_ep = drain_agent_->endpoint();
   return rt;

@@ -22,6 +22,7 @@
 #include "core/workflow.hpp"
 #include "dht/spatial_index.hpp"
 #include "net/fabric.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
@@ -85,6 +86,9 @@ struct RuntimeServices {
   /// Observability bundle; null when disabled (the common case), so every
   /// instrumentation site is a single pointer test.
   obs::Observability* obs = nullptr;
+  /// Always-on flight recorder; null only when RecorderConfig::enabled is
+  /// explicitly cleared. Sites pay one pointer test, exactly like obs.
+  obs::FlightRecorder* recorder = nullptr;
   /// Multi-level checkpoint hierarchy; null unless
   /// spec.ckpt.hierarchy_enabled(). Schemes route checkpoints through it
   /// and the recovery pipeline restores from the fastest complete level.
@@ -151,6 +155,12 @@ class Runtime {
   /// it in.
   [[nodiscard]] obs::Observability* obs() { return obs_.get(); }
   [[nodiscard]] const obs::Observability* obs() const { return obs_.get(); }
+  /// Always-on flight recorder (null only when spec.recorder.enabled is
+  /// cleared).
+  [[nodiscard]] obs::FlightRecorder* recorder() { return recorder_.get(); }
+  [[nodiscard]] const obs::FlightRecorder* recorder() const {
+    return recorder_.get();
+  }
   /// PFS spill gateway for memory-governed runs; null when the governor is
   /// disabled (spec.staging.memory_budget == 0, the default).
   [[nodiscard]] staging::SpillGateway* spill_gateway() {
@@ -244,6 +254,7 @@ class Runtime {
   Rng rng_;
   Trace trace_;
   std::unique_ptr<obs::Observability> obs_;  // null = observability off
+  std::unique_ptr<obs::FlightRecorder> recorder_;  // null = recorder off
   bool torn_down_ = false;
 };
 

@@ -1,12 +1,13 @@
 #include "obs/chrome_trace.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstddef>
-#include <cstdlib>
 #include <map>
 #include <utility>
+
+#include "obs/report.hpp"
+#include "util/json_reader.hpp"
 
 namespace dstage::obs {
 
@@ -133,241 +134,38 @@ Json chrome_trace_json(const SpanTracer& tracer) {
 }
 
 // ---------------------------------------------------------------------------
-// Validator: a self-contained JSON reader (the writer in util/json is
+// Validator: the shared util/json_reader parser (the writer in util/json is
 // write-only by design) plus the structural trace-event checks.
 
 namespace {
 
-struct JValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-
-  [[nodiscard]] const JValue* member(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class MiniParser {
- public:
-  MiniParser(const std::string& text, std::vector<std::string>& errors)
-      : p_(text.data()), end_(text.data() + text.size()), errors_(&errors) {}
-
-  bool parse_document(JValue& out) {
-    skip_ws();
-    if (!parse_value(out)) return false;
-    skip_ws();
-    if (p_ != end_) return fail("trailing characters after document");
-    return true;
-  }
-
- private:
-  bool fail(const std::string& msg) {
-    if (errors_->size() < kMaxErrors) {
-      errors_->push_back("json: " + msg + " at offset " +
-                         std::to_string(offset_));
-    }
-    return false;
-  }
-
-  void skip_ws() {
-    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
-                          *p_ == '\r')) {
-      advance();
-    }
-  }
-
-  void advance() {
-    ++p_;
-    ++offset_;
-  }
-
-  bool literal(const char* word) {
-    const char* q = word;
-    while (*q != '\0') {
-      if (p_ == end_ || *p_ != *q) return fail("bad literal");
-      advance();
-      ++q;
-    }
-    return true;
-  }
-
-  bool parse_string(std::string& out) {
-    if (p_ == end_ || *p_ != '"') return fail("expected string");
-    advance();
-    while (p_ != end_ && *p_ != '"') {
-      if (*p_ == '\\') {
-        advance();
-        if (p_ == end_) return fail("truncated escape");
-        switch (*p_) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            for (int i = 0; i < 4; ++i) {
-              advance();
-              if (p_ == end_ || std::isxdigit(static_cast<unsigned char>(
-                                    *p_)) == 0) {
-                return fail("bad \\u escape");
-              }
-            }
-            out += '?';  // code point value irrelevant for validation
-            break;
-          }
-          default:
-            return fail("unknown escape");
-        }
-        advance();
-      } else {
-        out += *p_;
-        advance();
-      }
-    }
-    if (p_ == end_) return fail("unterminated string");
-    advance();  // closing quote
-    return true;
-  }
-
-  bool parse_number(double& out) {
-    const char* start = p_;
-    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) advance();
-    bool digits = false;
-    auto eat_digits = [&] {
-      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
-        digits = true;
-        advance();
-      }
-    };
-    eat_digits();
-    if (p_ != end_ && *p_ == '.') {
-      advance();
-      eat_digits();
-    }
-    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
-      advance();
-      if (p_ != end_ && (*p_ == '-' || *p_ == '+')) advance();
-      eat_digits();
-    }
-    if (!digits) return fail("expected number");
-    out = std::strtod(std::string(start, p_).c_str(), nullptr);
-    return true;
-  }
-
-  bool parse_value(JValue& out) {
-    skip_ws();
-    if (p_ == end_) return fail("unexpected end of input");
-    switch (*p_) {
-      case '{': {
-        out.kind = JValue::Kind::kObject;
-        advance();
-        skip_ws();
-        if (p_ != end_ && *p_ == '}') {
-          advance();
-          return true;
-        }
-        for (;;) {
-          skip_ws();
-          std::string key;
-          if (!parse_string(key)) return false;
-          skip_ws();
-          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
-          advance();
-          JValue v;
-          if (!parse_value(v)) return false;
-          out.object.emplace_back(std::move(key), std::move(v));
-          skip_ws();
-          if (p_ != end_ && *p_ == ',') {
-            advance();
-            continue;
-          }
-          if (p_ != end_ && *p_ == '}') {
-            advance();
-            return true;
-          }
-          return fail("expected ',' or '}'");
-        }
-      }
-      case '[': {
-        out.kind = JValue::Kind::kArray;
-        advance();
-        skip_ws();
-        if (p_ != end_ && *p_ == ']') {
-          advance();
-          return true;
-        }
-        for (;;) {
-          JValue v;
-          if (!parse_value(v)) return false;
-          out.array.push_back(std::move(v));
-          skip_ws();
-          if (p_ != end_ && *p_ == ',') {
-            advance();
-            continue;
-          }
-          if (p_ != end_ && *p_ == ']') {
-            advance();
-            return true;
-          }
-          return fail("expected ',' or ']'");
-        }
-      }
-      case '"':
-        out.kind = JValue::Kind::kString;
-        return parse_string(out.string);
-      case 't':
-        out.kind = JValue::Kind::kBool;
-        out.boolean = true;
-        return literal("true");
-      case 'f':
-        out.kind = JValue::Kind::kBool;
-        out.boolean = false;
-        return literal("false");
-      case 'n':
-        out.kind = JValue::Kind::kNull;
-        return literal("null");
-      default:
-        out.kind = JValue::Kind::kNumber;
-        return parse_number(out.number);
-    }
-  }
-
-  const char* p_;
-  const char* end_;
-  std::size_t offset_ = 0;
-  std::vector<std::string>* errors_;
-};
-
 void add_error(TraceValidation& v, std::string msg) {
   if (v.errors.size() < kMaxErrors) v.errors.push_back(std::move(msg));
+}
+
+bool known_phase_cat(const std::string& cat) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (cat == phase_name(static_cast<Phase>(i))) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
 TraceValidation validate_chrome_trace(const std::string& text) {
   TraceValidation v;
-  JValue doc;
-  {
-    MiniParser parser(text, v.errors);
-    if (!parser.parse_document(doc)) return v;
+  JsonParse parsed = parse_json(text);
+  if (!parsed.ok) {
+    v.errors = std::move(parsed.errors);
+    return v;
   }
-  if (doc.kind != JValue::Kind::kObject) {
+  const JsonValue& doc = parsed.value;
+  if (!doc.is_object()) {
     add_error(v, "top-level value is not an object");
     return v;
   }
-  const JValue* events = doc.member("traceEvents");
-  if (events == nullptr || events->kind != JValue::Kind::kArray) {
+  const JsonValue* events = doc.member("traceEvents");
+  if (events == nullptr || !events->is_array()) {
     add_error(v, "missing traceEvents array");
     return v;
   }
@@ -377,32 +175,30 @@ TraceValidation validate_chrome_trace(const std::string& text) {
   double last_ts = -1;
   bool have_ts = false;
   for (std::size_t i = 0; i < events->array.size(); ++i) {
-    const JValue& e = events->array[i];
+    const JsonValue& e = events->array[i];
     const std::string at = "event " + std::to_string(i);
-    if (e.kind != JValue::Kind::kObject) {
+    if (!e.is_object()) {
       add_error(v, at + ": not an object");
       continue;
     }
     ++v.events;
-    const JValue* ph = e.member("ph");
-    if (ph == nullptr || ph->kind != JValue::Kind::kString ||
-        ph->string.size() != 1) {
+    const JsonValue* ph = e.member("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
       add_error(v, at + ": missing ph");
       continue;
     }
     const char kind = ph->string[0];
     if (kind == 'M') continue;  // metadata: no timestamp semantics
-    const JValue* pid = e.member("pid");
-    const JValue* tid = e.member("tid");
-    const JValue* ts = e.member("ts");
-    const JValue* name = e.member("name");
-    if (pid == nullptr || pid->kind != JValue::Kind::kNumber ||
-        tid == nullptr || tid->kind != JValue::Kind::kNumber) {
+    const JsonValue* pid = e.member("pid");
+    const JsonValue* tid = e.member("tid");
+    const JsonValue* ts = e.member("ts");
+    const JsonValue* name = e.member("name");
+    if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number()) {
       add_error(v, at + ": missing pid/tid");
       continue;
     }
-    if (ts == nullptr || ts->kind != JValue::Kind::kNumber ||
-        !std::isfinite(ts->number)) {
+    if (ts == nullptr || !ts->is_number() || !std::isfinite(ts->number)) {
       add_error(v, at + ": missing ts");
       continue;
     }
@@ -418,9 +214,20 @@ TraceValidation validate_chrome_trace(const std::string& text) {
     auto& stack = stacks[{pid->number, tid->number}];
     switch (kind) {
       case 'B': {
-        if (name == nullptr || name->kind != JValue::Kind::kString) {
+        if (name == nullptr || !name->is_string()) {
           add_error(v, at + ": B event without name");
           break;
+        }
+        // The exporter stamps every B event's args.cat with the span's
+        // phase; an unknown category means a phase was added without
+        // teaching phase_name() (and the breakdown columns) about it.
+        if (const JsonValue* args = e.member("args"); args != nullptr) {
+          if (const JsonValue* cat = args->member("cat"); cat != nullptr) {
+            if (!cat->is_string() || !known_phase_cat(cat->string)) {
+              add_error(v, at + ": unknown phase category '" +
+                               (cat->is_string() ? cat->string : "?") + "'");
+            }
+          }
         }
         stack.push_back(name->string);
         break;
@@ -430,7 +237,7 @@ TraceValidation validate_chrome_trace(const std::string& text) {
           add_error(v, at + ": E event with no open span");
           break;
         }
-        if (name != nullptr && name->kind == JValue::Kind::kString &&
+        if (name != nullptr && name->is_string() &&
             name->string != stack.back()) {
           add_error(v, at + ": E event '" + name->string +
                            "' does not match open span '" + stack.back() +
@@ -440,9 +247,8 @@ TraceValidation validate_chrome_trace(const std::string& text) {
         break;
       }
       case 'X': {
-        const JValue* dur = e.member("dur");
-        if (dur == nullptr || dur->kind != JValue::Kind::kNumber ||
-            dur->number < 0) {
+        const JsonValue* dur = e.member("dur");
+        if (dur == nullptr || !dur->is_number() || dur->number < 0) {
           add_error(v, at + ": X event without non-negative dur");
         }
         break;

@@ -6,6 +6,8 @@
 // trace digests included — to an uninstrumented build.
 #pragma once
 
+#include <cstddef>
+
 namespace dstage::obs {
 
 struct ObsConfig {
@@ -13,6 +15,17 @@ struct ObsConfig {
   /// consistency oracle, and the failure campaign see exactly the
   /// pre-observability event stream.
   bool enabled = false;
+};
+
+/// Flight-recorder switch, carried by WorkflowSpec next to ObsConfig but
+/// independent of it: the recorder is ON by default because — unlike the
+/// span/metrics bundle — it records no trace events, takes no virtual
+/// time, and draws no randomness, so golden digests are byte-identical
+/// with it enabled or disabled.
+struct RecorderConfig {
+  bool enabled = true;
+  /// Last-K events retained per track before the ring wraps.
+  std::size_t ring_capacity = 256;
 };
 
 /// Compile-time gate; the runtime consults this before honoring

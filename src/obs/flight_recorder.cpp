@@ -1,0 +1,173 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace dstage::obs {
+
+const char* fr_kind_name(FrKind k) {
+  switch (k) {
+    case FrKind::kPutAdmit:
+      return "put-admit";
+    case FrKind::kPutReject:
+      return "put-reject";
+    case FrKind::kPutBounce:
+      return "put-bounce";
+    case FrKind::kGetServe:
+      return "get-serve";
+    case FrKind::kGetAnomaly:
+      return "get-anomaly";
+    case FrKind::kGetBounce:
+      return "get-bounce";
+    case FrKind::kSpillOut:
+      return "spill-out";
+    case FrKind::kSpillFetch:
+      return "spill-fetch";
+    case FrKind::kDrainAck:
+      return "drain-ack";
+    case FrKind::kCkptStore:
+      return "ckpt-store";
+    case FrKind::kCkptEncode:
+      return "ckpt-encode";
+    case FrKind::kCkptDrain:
+      return "ckpt-drain";
+    case FrKind::kResilverOut:
+      return "resilver-out";
+    case FrKind::kResilverIn:
+      return "resilver-in";
+    case FrKind::kEpochChange:
+      return "epoch-change";
+    case FrKind::kGcWatermark:
+      return "gc-watermark";
+    case FrKind::kGcSweep:
+      return "gc-sweep";
+    case FrKind::kLogTruncate:
+      return "log-truncate";
+    case FrKind::kRestartLevel:
+      return "restart-level";
+    case FrKind::kReplayDone:
+      return "replay-done";
+    case FrKind::kFailure:
+      return "failure";
+    case FrKind::kDegradation:
+      return "degradation";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(RecorderConfig cfg) : cfg_(cfg) {
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+  // Id 0 is the empty string so "no detail" needs no interning.
+  strings_.emplace_back();
+  string_ids_.emplace("", 0);
+}
+
+std::uint32_t FlightRecorder::track(std::string_view name) {
+  const auto it = track_ids_.find(std::string(name));
+  if (it != track_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(track_names_.size());
+  track_names_.emplace_back(name);
+  rings_.emplace_back();
+  track_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::uint32_t FlightRecorder::intern(std::string_view s) {
+  const auto it = string_ids_.find(std::string(s));
+  if (it != string_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  string_ids_.emplace(std::string(s), id);
+  return id;
+}
+
+void FlightRecorder::record(std::uint32_t track, sim::TimePoint at,
+                            FrKind kind, std::uint32_t detail, std::int64_t a,
+                            std::int64_t b) {
+  if (track >= rings_.size()) return;
+  Ring& ring = rings_[track];
+  if (ring.buf.size() < cfg_.ring_capacity) {
+    ring.buf.push_back(FrEvent{});
+    ring.next = ring.buf.size() - 1;
+  } else if (ring.total > 0) {
+    ++dropped_;
+  }
+  FrEvent& e = ring.buf[ring.next];
+  e.seq = ++seq_;
+  e.at_ns = at.ns;
+  e.kind = kind;
+  e.track = track;
+  e.detail = detail;
+  e.a = a;
+  e.b = b;
+  ring.next = (ring.next + 1) % cfg_.ring_capacity;
+  ++ring.total;
+  ++recorded_;
+}
+
+void FlightRecorder::record(std::uint32_t track, sim::TimePoint at,
+                            FrKind kind, std::string_view detail,
+                            std::int64_t a, std::int64_t b) {
+  record(track, at, kind, intern(detail), a, b);
+}
+
+void FlightRecorder::note_degradation(std::uint32_t track, sim::TimePoint at,
+                                      std::string what) {
+  record(track, at, FrKind::kDegradation, what);
+  degradations_.push_back(std::move(what));
+}
+
+const std::string& FlightRecorder::track_name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  return id < track_names_.size() ? track_names_[id] : kUnknown;
+}
+
+const std::string& FlightRecorder::detail_name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  return id < strings_.size() ? strings_[id] : kUnknown;
+}
+
+std::vector<FrEvent> FlightRecorder::track_events(std::uint32_t id) const {
+  std::vector<FrEvent> out;
+  if (id >= rings_.size()) return out;
+  const Ring& ring = rings_[id];
+  out.reserve(ring.buf.size());
+  // `next` points at the oldest surviving slot once the ring has wrapped;
+  // before that the buffer is already in record order.
+  const std::size_t n = ring.buf.size();
+  const std::size_t start = ring.total > n ? ring.next : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring.buf[(start + i) % n]);
+  }
+  return out;
+}
+
+std::vector<FrEvent> FlightRecorder::snapshot() const {
+  std::vector<FrEvent> out;
+  for (std::uint32_t t = 0; t < rings_.size(); ++t) {
+    const std::vector<FrEvent> events = track_events(t);
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrEvent& a, const FrEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::vector<FrDecoded> FlightRecorder::dump() const {
+  const std::vector<FrEvent> events = snapshot();
+  std::vector<FrDecoded> out;
+  out.reserve(events.size());
+  for (const FrEvent& e : events) {
+    FrDecoded d;
+    d.seq = e.seq;
+    d.at_ns = e.at_ns;
+    d.kind = fr_kind_name(e.kind);
+    d.track = track_name(e.track);
+    d.detail = detail_name(e.detail);
+    d.a = e.a;
+    d.b = e.b;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace dstage::obs

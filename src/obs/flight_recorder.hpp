@@ -1,0 +1,147 @@
+// Always-on flight recorder: a bounded-memory ring buffer of compact
+// structured events per track (one track per component, staging server, or
+// auxiliary vproc), recorded at near-zero host cost and ZERO virtual-time
+// cost. Unlike the opt-in Observability bundle (spans + metrics, heavy and
+// digest-visible through the obs trace kinds), the recorder is enabled by
+// default and deliberately invisible: it allocates no vprocs, takes no
+// virtual-time delays, records no core::Trace events, and draws no random
+// numbers — so golden trace digests are byte-identical with it on or off.
+//
+// When something goes loudly wrong — an oracle invariant violation, a
+// campaign --expect-fail mismatch, or a degradation (spare-pool
+// exhaustion, double XOR loss) — the last-K events per track are dumped
+// into a forensic bundle (check/forensics) and diffed against the
+// memoized reference run to name the first divergent event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "sim/time.hpp"
+
+namespace dstage::obs {
+
+/// Compact event vocabulary. Names (fr_kind_name) are part of the bundle
+/// format; append new kinds at the end.
+enum class FrKind : std::uint8_t {
+  kPutAdmit,      // detail=var, a=version, b=nominal bytes
+  kPutReject,     // governor admission reject: detail=var, a=version
+  kPutBounce,     // wrong-epoch put bounce: detail=var, a=version, b=epoch
+  kGetServe,      // detail=var, a=timestep, b=order-independent checksum
+  kGetAnomaly,    // wrong-version serve: detail=var, a=requested version,
+                  // b=version actually substituted
+  kGetBounce,     // wrong-epoch get bounce: detail=var, a=version, b=epoch
+  kSpillOut,      // detail=var, a=version, b=bytes spilled to the gateway
+  kSpillFetch,    // detail=var, a=version, b=bytes faulted back in
+  kDrainAck,      // ckpt drain ack promoted the watermark: detail=app, a=ts
+  kCkptStore,     // drain agent accepted a set: detail=app, a=ts, b=bytes
+  kCkptEncode,    // XOR parity distributed: detail=app, a=ts
+  kCkptDrain,     // set reached the PFS: detail=app, a=ts, b=bytes
+  kResilverOut,   // hand-off stream sent: detail=var, a=chunks, b=bytes
+  kResilverIn,    // hand-off stream received: detail=var, a=version, b=bytes
+  kEpochChange,   // membership view installed: a=epoch, b=active servers
+  kGcWatermark,   // detail=var, a=new watermark version
+  kGcSweep,       // a=entries scanned, b=nominal bytes reclaimed
+  kLogTruncate,   // a=metadata entries dropped
+  kRestartLevel,  // detail=component, a=level (0 cache/1 partner/2 pfs),
+                  // b=restart timestep
+  kReplayDone,    // detail=component, a=versions replayed, b=timestep
+  kFailure,       // detail=component, a=timestep, b=1 node-level
+  kDegradation,   // detail=what went loudly wrong, a/b free-form
+};
+
+const char* fr_kind_name(FrKind k);
+
+/// One recorded event. `track` and `detail` are intern-table ids; `seq` is
+/// a recorder-global monotone counter so a merged dump interleaves tracks
+/// in true record order even though each track truncates independently.
+struct FrEvent {
+  std::uint64_t seq = 0;
+  std::int64_t at_ns = 0;
+  FrKind kind = FrKind::kPutAdmit;
+  std::uint32_t track = 0;
+  std::uint32_t detail = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Decoded event for dumps and bundles (strings resolved).
+struct FrDecoded {
+  std::uint64_t seq = 0;
+  std::int64_t at_ns = 0;
+  std::string kind;
+  std::string track;
+  std::string detail;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(RecorderConfig cfg = {});
+
+  /// Intern a track name, creating its ring. Returned ids are dense and
+  /// stable; call once at wiring time, not on the hot path.
+  [[nodiscard]] std::uint32_t track(std::string_view name);
+  /// Intern a detail string (variable/component names repeat heavily, so
+  /// events store 4-byte ids instead of strings).
+  [[nodiscard]] std::uint32_t intern(std::string_view s);
+
+  void record(std::uint32_t track, sim::TimePoint at, FrKind kind,
+              std::uint32_t detail, std::int64_t a = 0, std::int64_t b = 0);
+  /// Convenience: interns `detail` inline.
+  void record(std::uint32_t track, sim::TimePoint at, FrKind kind,
+              std::string_view detail, std::int64_t a = 0,
+              std::int64_t b = 0);
+
+  /// A loud degradation (spare-pool exhaustion, double XOR loss, ...):
+  /// recorded as a kDegradation event AND kept verbatim so the runtime can
+  /// trigger a bundle dump even when no invariant check is watching.
+  void note_degradation(std::uint32_t track, sim::TimePoint at,
+                        std::string what);
+  [[nodiscard]] const std::vector<std::string>& degradations() const {
+    return degradations_;
+  }
+
+  [[nodiscard]] const RecorderConfig& config() const { return cfg_; }
+  /// Total events offered to record() (including overwritten ones).
+  [[nodiscard]] std::uint64_t events_recorded() const { return recorded_; }
+  /// Events lost to ring wraparound across all tracks.
+  [[nodiscard]] std::uint64_t events_dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t track_count() const {
+    return track_names_.size();
+  }
+  [[nodiscard]] const std::string& track_name(std::uint32_t id) const;
+  [[nodiscard]] const std::string& detail_name(std::uint32_t id) const;
+
+  /// Surviving events of one track, oldest first.
+  [[nodiscard]] std::vector<FrEvent> track_events(std::uint32_t id) const;
+  /// Surviving events of every track, merged in global seq order.
+  [[nodiscard]] std::vector<FrEvent> snapshot() const;
+  /// snapshot() with strings resolved — the bundle payload.
+  [[nodiscard]] std::vector<FrDecoded> dump() const;
+
+ private:
+  struct Ring {
+    std::vector<FrEvent> buf;  // capacity-sized once first written
+    std::size_t next = 0;      // slot the next event overwrites
+    std::uint64_t total = 0;   // events ever recorded on this track
+  };
+
+  RecorderConfig cfg_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::string> track_names_;
+  std::vector<Ring> rings_;
+  std::unordered_map<std::string, std::uint32_t> track_ids_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> string_ids_;
+  std::vector<std::string> degradations_;
+};
+
+}  // namespace dstage::obs

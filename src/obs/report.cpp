@@ -10,8 +10,9 @@ namespace dstage::obs {
 namespace {
 
 constexpr std::array<Phase, kPhaseCount> kColumnOrder = {
-    Phase::kRead,       Phase::kCompute, Phase::kWrite, Phase::kCheckpoint,
-    Phase::kRestart,    Phase::kReplay,  Phase::kOther,
+    Phase::kRead,    Phase::kCompute, Phase::kWrite,    Phase::kCheckpoint,
+    Phase::kRestart, Phase::kReplay,  Phase::kDrain,    Phase::kSpill,
+    Phase::kResilver, Phase::kOther,
 };
 
 double sec(std::int64_t ns) { return static_cast<double>(ns) * 1e-9; }

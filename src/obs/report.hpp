@@ -21,7 +21,7 @@
 
 namespace dstage::obs {
 
-constexpr std::size_t kPhaseCount = 7;  // matches enum class Phase
+constexpr std::size_t kPhaseCount = 10;  // matches enum class Phase
 
 /// Per-track phase totals, in nanoseconds of virtual time.
 struct TrackBreakdown {

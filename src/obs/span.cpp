@@ -21,6 +21,12 @@ const char* phase_name(Phase p) {
       return "restart";
     case Phase::kReplay:
       return "replay";
+    case Phase::kDrain:
+      return "drain";
+    case Phase::kSpill:
+      return "spill";
+    case Phase::kResilver:
+      return "resilver";
   }
   return "?";
 }

@@ -30,8 +30,11 @@ enum class Phase {
   kCompute,
   kWrite,
   kCheckpoint,
-  kRestart,  // failure detection + ULFM + state restore (+ failover)
-  kReplay,   // staging re-attach + log replay
+  kRestart,   // failure detection + ULFM + state restore (+ failover)
+  kReplay,    // staging re-attach + log replay
+  kDrain,     // async checkpoint-set flush to the PFS (encode + write)
+  kSpill,     // memory-governor spill to / fetch-back from the gateway
+  kResilver,  // elastic-membership fragment hand-off streams
 };
 
 const char* phase_name(Phase p);

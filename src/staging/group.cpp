@@ -55,6 +55,11 @@ sim::Task<void> GroupManager::broadcast_view() {
   sim::Ctx c = ctx();
   const std::uint64_t epoch = index_->epoch();
   const std::vector<int> active = index_->active_servers();
+  if (recorder_ != nullptr)
+    recorder_->record(recorder_track_, cluster_->engine().now(),
+                      obs::FrKind::kEpochChange, std::uint32_t{0},
+                      static_cast<std::int64_t>(epoch),
+                      static_cast<std::int64_t>(active.size()));
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     ++stats_.membership_updates;
     net::Message update{MembershipUpdate{epoch, active}};
@@ -133,7 +138,7 @@ sim::Task<void> GroupManager::handle_join(JoinGroup req) {
 
   obs::SpanId span = 0;
   if (obs_ != nullptr) {
-    span = obs_->tracer().begin(obs_track_, "join", obs::Phase::kOther,
+    span = obs_->tracer().begin(obs_track_, "join", obs::Phase::kResilver,
                                 cluster_->engine().now());
     obs_->metrics().counter("elastic.joins", obs_track_).inc();
   }
@@ -179,7 +184,7 @@ sim::Task<void> GroupManager::handle_retire(RetireServer req) {
 
   obs::SpanId span = 0;
   if (obs_ != nullptr) {
-    span = obs_->tracer().begin(obs_track_, "retire", obs::Phase::kOther,
+    span = obs_->tracer().begin(obs_track_, "retire", obs::Phase::kResilver,
                                 cluster_->engine().now());
     obs_->metrics().counter("elastic.retires", obs_track_).inc();
   }

@@ -13,6 +13,7 @@
 #include "cluster/cluster.hpp"
 #include "dht/spatial_index.hpp"
 #include "net/rpc.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 #include "staging/server.hpp"
 #include "staging/types.hpp"
@@ -54,6 +55,12 @@ class GroupManager {
     obs_track_ = std::move(track);
   }
 
+  /// Attach the always-on flight recorder (null = off).
+  void set_recorder(obs::FlightRecorder* recorder, std::uint32_t track) {
+    recorder_ = recorder;
+    recorder_track_ = track;
+  }
+
  private:
   sim::Task<void> run();
   sim::Task<void> handle_join(JoinGroup req);
@@ -81,6 +88,8 @@ class GroupManager {
   bool resilver_active_ = false;
   obs::Observability* obs_ = nullptr;
   std::string obs_track_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t recorder_track_ = 0;
 };
 
 }  // namespace dstage::staging

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 #include "staging/server.hpp"
 
@@ -71,6 +72,12 @@ class StagingRecoveryManager {
     obs_ = obs;
     obs_track_ = std::move(track);
   }
+  /// Attach the always-on flight recorder (null = off): spare-pool
+  /// exhaustion is a loud degradation that triggers a forensic dump.
+  void set_recorder(obs::FlightRecorder* recorder, std::uint32_t track) {
+    recorder_ = recorder;
+    recorder_track_ = track;
+  }
   /// Spill-gateway endpoint replacement servers should be wired to
   /// (memory-governed runs only; -1 = none).
   void set_spill_endpoint(net::EndpointId ep) { spill_endpoint_ = ep; }
@@ -101,6 +108,8 @@ class StagingRecoveryManager {
   std::function<void(int)> on_degraded_;
   obs::Observability* obs_ = nullptr;
   std::string obs_track_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t recorder_track_ = 0;
   net::EndpointId spill_endpoint_ = -1;
 };
 

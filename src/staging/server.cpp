@@ -200,6 +200,11 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
     ++stats_.wrong_epoch_rejects;
     if (obs_ != nullptr)
       obs_->metrics().counter("elastic.wrong_epoch", obs_track_).inc();
+    if (recorder_ != nullptr)
+      recorder_->record(recorder_track_, cluster_->engine().now(),
+                        obs::FrKind::kPutBounce, chunk.var,
+                        static_cast<std::int64_t>(chunk.version),
+                        static_cast<std::int64_t>(group_index_->epoch()));
     resp.wrong_epoch = true;
     resp.epoch = group_index_->epoch();
     co_return resp;
@@ -255,6 +260,11 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
         ++stats_.puts_rejected;
         if (obs_ != nullptr)
           obs_->metrics().counter("governor.puts_rejected", obs_track_).inc();
+        if (recorder_ != nullptr)
+          recorder_->record(recorder_track_, cluster_->engine().now(),
+                            obs::FrKind::kPutReject, chunk.var,
+                            static_cast<std::int64_t>(chunk.version),
+                            static_cast<std::int64_t>(chunk.nominal_bytes));
         resp.applied = false;
         resp.retry_later = true;
         poke_governor();  // make sure relief is under way before the retry
@@ -284,6 +294,11 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
     }
     const std::string var = chunk.var;
     const Version version = chunk.version;
+    if (recorder_ != nullptr)
+      recorder_->record(recorder_track_, cluster_->engine().now(),
+                        obs::FrKind::kPutAdmit, var,
+                        static_cast<std::int64_t>(version),
+                        static_cast<std::int64_t>(chunk.nominal_bytes));
     if (params_.policy.kind != resilience::Redundancy::kNone) {
       co_await c.delay(params_.policy.encode_time(chunk.nominal_bytes));
       const bool was_logged = params_.logging && logged;
@@ -333,6 +348,11 @@ sim::Task<void> StagingServer::handle_get(GetRequest req) {
     ++stats_.wrong_epoch_rejects;
     if (obs_ != nullptr)
       obs_->metrics().counter("elastic.wrong_epoch", obs_track_).inc();
+    if (recorder_ != nullptr)
+      recorder_->record(recorder_track_, cluster_->engine().now(),
+                        obs::FrKind::kGetBounce, req.desc.var,
+                        static_cast<std::int64_t>(req.desc.version),
+                        static_cast<std::int64_t>(group_index_->epoch()));
     GetResponse resp;
     resp.wrong_epoch = true;
     resp.epoch = group_index_->epoch();
@@ -415,6 +435,13 @@ sim::Task<void> StagingServer::handle_get(GetRequest req) {
     const auto latest = store_.latest(req.desc.var);
     if (latest && *latest > req.desc.version &&
         store_.covers(req.desc.var, *latest, req.desc.region)) {
+      // Wrong-version serve: the forensic smoking gun for the Fig.-2
+      // anomaly — recorded with the version actually substituted.
+      if (recorder_ != nullptr)
+        recorder_->record(recorder_track_, cluster_->engine().now(),
+                          obs::FrKind::kGetAnomaly, req.desc.var,
+                          static_cast<std::int64_t>(req.desc.version),
+                          static_cast<std::int64_t>(*latest));
       auto pieces = store_.get(req.desc.var, *latest, req.desc.region);
       sim::spawn(cluster_->engine(),
                  respond_get(std::move(req), std::move(pieces), false));
@@ -585,6 +612,10 @@ sim::Task<void> StagingServer::handle_ckpt_drain_ack(CkptDrainAck ack) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
   ++stats_.drain_promotions;
+  if (recorder_ != nullptr)
+    recorder_->record(recorder_track_, cluster_->engine().now(),
+                      obs::FrKind::kDrainAck, std::to_string(ack.app),
+                      static_cast<std::int64_t>(ack.version));
 
   std::vector<std::pair<std::string, Version>> pre_watermarks;
   if (obs_hooks_.gc_watermark_advance) {
@@ -974,6 +1005,11 @@ sim::Task<void> StagingServer::handle_resilver_put(ResilverPut put) {
   co_await c.delay(params_.request_overhead);
   ++stats_.resilver_chunks_in;
   stats_.resilver_bytes_in += put.chunk.nominal_bytes;
+  if (recorder_ != nullptr)
+    recorder_->record(recorder_track_, cluster_->engine().now(),
+                      obs::FrKind::kResilverIn, put.chunk.var,
+                      static_cast<std::int64_t>(put.chunk.version),
+                      static_cast<std::int64_t>(put.chunk.nominal_bytes));
   if (obs_ != nullptr) {
     obs_->metrics().counter("elastic.resilver_chunks_in", obs_track_).inc();
     obs_->metrics()
@@ -1031,7 +1067,7 @@ sim::Task<StagingServer::ResilverOutcome> StagingServer::resilver_out_impl(
   ResilverOutcome outcome;
   obs::SpanId span = 0;
   if (obs_ != nullptr) {
-    span = obs_->tracer().begin(obs_track_, "resilver", obs::Phase::kOther,
+    span = obs_->tracer().begin(obs_track_, "resilver", obs::Phase::kResilver,
                                 cluster_->engine().now());
   }
 
@@ -1141,6 +1177,12 @@ sim::Task<StagingServer::ResilverOutcome> StagingServer::resilver_out_impl(
     }
   }
 
+  if (recorder_ != nullptr && outcome.chunks > 0)
+    recorder_->record(recorder_track_, cluster_->engine().now(),
+                      obs::FrKind::kResilverOut,
+                      "dest-" + std::to_string(dest),
+                      static_cast<std::int64_t>(outcome.chunks),
+                      static_cast<std::int64_t>(outcome.bytes));
   if (obs_ != nullptr) obs_->tracer().end(span, cluster_->engine().now());
   (void)dest;
   co_return outcome;
@@ -1344,7 +1386,7 @@ sim::Task<void> StagingServer::maintain_memory() {
     if (chunks.empty()) break;
     obs::SpanId span = 0;
     if (obs_ != nullptr) {
-      span = obs_->tracer().begin(obs_track_, "spill", obs::Phase::kOther,
+      span = obs_->tracer().begin(obs_track_, "spill", obs::Phase::kSpill,
                                   cluster_->engine().now());
     }
     std::uint64_t bytes = 0;
@@ -1404,7 +1446,7 @@ sim::Task<void> StagingServer::ensure_log_resident(std::string var,
   sim::Ctx c = ctx();
   obs::SpanId span = 0;
   if (obs_ != nullptr) {
-    span = obs_->tracer().begin(obs_track_, "spill fetch", obs::Phase::kOther,
+    span = obs_->tracer().begin(obs_track_, "spill fetch", obs::Phase::kSpill,
                                 cluster_->engine().now(),
                                 current_request_span_);
   }

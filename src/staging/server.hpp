@@ -16,6 +16,7 @@
 #include "dht/spatial_index.hpp"
 #include "gc/garbage_collector.hpp"
 #include "net/rpc.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 #include "resilience/policy.hpp"
 #include "staging/memory_governor.hpp"
@@ -262,6 +263,13 @@ class StagingServer {
     obs_track_ = std::move(track);
   }
 
+  /// Attach the always-on flight recorder (null = off). `track` is this
+  /// server's pre-interned ring id.
+  void set_recorder(obs::FlightRecorder* recorder, std::uint32_t track) {
+    recorder_ = recorder;
+    recorder_track_ = track;
+  }
+
   [[nodiscard]] cluster::VprocId vproc() const { return vproc_; }
   [[nodiscard]] net::EndpointId endpoint() const;
   [[nodiscard]] const ObjectStore& store() const { return store_; }
@@ -404,6 +412,8 @@ class StagingServer {
   // so one "current request" span id suffices for parenting child spans.
   obs::Observability* obs_ = nullptr;
   std::string obs_track_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t recorder_track_ = 0;
   ObsHooks obs_hooks_;
   obs::SpanId current_request_span_ = 0;
 };

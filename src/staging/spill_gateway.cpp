@@ -42,6 +42,15 @@ sim::Task<void> SpillGateway::run() {
 sim::Task<void> SpillGateway::handle_put(SpillPut put) {
   sim::Ctx c = ctx();
   const std::uint64_t bytes = put.chunk.nominal_bytes;
+  obs::SpanId span = 0;
+  if (obs_ != nullptr)
+    span = obs_->tracer().begin(obs_track_, "spill", obs::Phase::kSpill,
+                                cluster_->engine().now());
+  if (recorder_ != nullptr)
+    recorder_->record(recorder_track_, cluster_->engine().now(),
+                      obs::FrKind::kSpillOut, put.chunk.var,
+                      static_cast<std::int64_t>(put.chunk.version),
+                      static_cast<std::int64_t>(bytes));
   // Persisting the evicted chunk is a real PFS write: it queues on the
   // same FIFO channel as checkpoint traffic.
   co_await pfs_->write(c, bytes);
@@ -52,6 +61,7 @@ sim::Task<void> SpillGateway::handle_put(SpillPut put) {
   if (obs_ != nullptr) {
     obs_->metrics().counter("spill.chunks", obs_track_).inc();
     obs_->metrics().counter("spill.bytes", obs_track_).inc(bytes);
+    obs_->tracer().end(span, cluster_->engine().now());
   }
   co_await rpc_.fulfill(c, put.reply_to, std::move(put.reply), SpillAck{true});
 }
@@ -80,6 +90,15 @@ sim::Task<void> SpillGateway::handle_fetch(SpillFetch fetch) {
       resp.chunks = it->second.chunks_of(fetch.var, fetch.version);
       for (const Chunk& chunk : resp.chunks) bytes += chunk.nominal_bytes;
     }
+    obs::SpanId span = 0;
+    if (obs_ != nullptr)
+      span = obs_->tracer().begin(obs_track_, "fetch-back", obs::Phase::kSpill,
+                                  cluster_->engine().now());
+    if (recorder_ != nullptr)
+      recorder_->record(recorder_track_, cluster_->engine().now(),
+                        obs::FrKind::kSpillFetch, fetch.var,
+                        static_cast<std::int64_t>(fetch.version),
+                        static_cast<std::int64_t>(bytes));
     // Reading the spill file back is a real PFS read. The file stays put —
     // reclamation is the owner's explicit SpillPrune, mirroring how GC (not
     // reads) retires log versions.
@@ -89,6 +108,7 @@ sim::Task<void> SpillGateway::handle_fetch(SpillFetch fetch) {
     if (obs_ != nullptr) {
       obs_->metrics().counter("spill.fetches", obs_track_).inc();
       obs_->metrics().counter("spill.fetch_bytes", obs_track_).inc(bytes);
+      obs_->tracer().end(span, cluster_->engine().now());
     }
   }
   co_await rpc_.fulfill(c, fetch.reply_to, std::move(fetch.reply),

@@ -16,6 +16,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/pfs.hpp"
 #include "net/rpc.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 #include "staging/object_store.hpp"
 #include "staging/types.hpp"
@@ -48,6 +49,12 @@ class SpillGateway {
     obs_track_ = std::move(track);
   }
 
+  /// Attach the always-on flight recorder (null = off).
+  void set_recorder(obs::FlightRecorder* recorder, std::uint32_t track) {
+    recorder_ = recorder;
+    recorder_track_ = track;
+  }
+
   // Oracle-facing holdings API (aggregated across owners), shaped like the
   // ObjectStore accessors so check::verify_holdings treats the gateway as
   // one more holder in the durability union.
@@ -76,6 +83,8 @@ class SpillGateway {
   SpillGatewayStats stats_;
   obs::Observability* obs_ = nullptr;
   std::string obs_track_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t recorder_track_ = 0;
 };
 
 }  // namespace dstage::staging

@@ -1,0 +1,233 @@
+#include "util/json_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dstage {
+
+namespace {
+
+constexpr std::size_t kMaxErrors = 16;
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::vector<std::string>& errors)
+      : p_(text.data()), end_(text.data() + text.size()), errors_(&errors) {}
+
+  bool parse_document(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (errors_->size() < kMaxErrors) {
+      errors_->push_back("json: " + msg + " at offset " +
+                         std::to_string(offset_));
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      advance();
+    }
+  }
+
+  void advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool literal(const char* word) {
+    const char* q = word;
+    while (*q != '\0') {
+      if (p_ == end_ || *p_ != *q) return fail("bad literal");
+      advance();
+      ++q;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    advance();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        advance();
+        if (p_ == end_) return fail("truncated escape");
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              advance();
+              if (p_ == end_ || std::isxdigit(static_cast<unsigned char>(
+                                    *p_)) == 0) {
+                return fail("bad \\u escape");
+              }
+            }
+            out += '?';  // code point value irrelevant for our consumers
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        advance();
+      } else {
+        out += *p_;
+        advance();
+      }
+    }
+    if (p_ == end_) return fail("unterminated string");
+    advance();  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) advance();
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        digits = true;
+        advance();
+      }
+    };
+    eat_digits();
+    if (p_ != end_ && *p_ == '.') {
+      advance();
+      eat_digits();
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      advance();
+      if (p_ != end_ && (*p_ == '-' || *p_ == '+')) advance();
+      eat_digits();
+    }
+    if (!digits) return fail("expected number");
+    out.literal.assign(start, p_);
+    out.number = std::strtod(out.literal.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        out.kind = JsonValue::Kind::kObject;
+        advance();
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          advance();
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          advance();
+          JsonValue v;
+          if (!parse_value(v)) return false;
+          out.object.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            advance();
+            continue;
+          }
+          if (p_ != end_ && *p_ == '}') {
+            advance();
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out.kind = JsonValue::Kind::kArray;
+        advance();
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          advance();
+          return true;
+        }
+        for (;;) {
+          JsonValue v;
+          if (!parse_value(v)) return false;
+          out.array.push_back(std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            advance();
+            continue;
+          }
+          if (p_ != end_ && *p_ == ']') {
+            advance();
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        out.kind = JsonValue::Kind::kNumber;
+        return parse_number(out);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::size_t offset_ = 0;
+  std::vector<std::string>* errors_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::member(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtoll(literal.c_str(), nullptr, 10);
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtoull(literal.c_str(), nullptr, 10);
+}
+
+JsonParse parse_json(const std::string& text) {
+  JsonParse out;
+  Parser parser(text, out.errors);
+  out.ok = parser.parse_document(out.value);
+  return out;
+}
+
+}  // namespace dstage

@@ -1,0 +1,53 @@
+// Minimal JSON reader, the counterpart of the write-only util/json.hpp
+// builder. One self-contained recursive-descent parser shared by the
+// Chrome-trace validator, the forensic-bundle loader, and the bench
+// baseline gate. Numbers keep their source literal alongside the parsed
+// double, so 64-bit counters, digests, and checksums survive a round-trip
+// through the writer exactly (a double would silently lose precision
+// above 2^53).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dstage {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  /// Exact source text of a number token (empty for other kinds).
+  std::string literal;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup (first match; nullptr when absent or not an
+  /// object).
+  [[nodiscard]] const JsonValue* member(const std::string& key) const;
+
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Exact 64-bit reads off the preserved literal. Return the fallback
+  /// when the value is not a number.
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+};
+
+struct JsonParse {
+  bool ok = false;
+  JsonValue value;
+  /// Parse errors, at most a handful, each with a byte offset.
+  std::vector<std::string> errors;
+};
+
+/// Parse one complete JSON document (trailing garbage is an error).
+[[nodiscard]] JsonParse parse_json(const std::string& text);
+
+}  // namespace dstage

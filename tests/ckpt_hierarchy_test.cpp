@@ -80,6 +80,20 @@ TEST(CkptHierarchyTest, DoubleLossDegradesLoudlyToPfs) {
   }
 }
 
+TEST(CkptHierarchyTest, DoubleLossStatCountsOnlyPreDrainSets) {
+  // The double_losses counter feeds the flight recorder's degradation
+  // trigger: it must fire exactly when a second member dies before the
+  // set's drain completed, and never for sets the PFS already holds.
+  CheckpointHierarchy h(2);
+  advance_to(h, 1, SetState::kPfsComplete);
+  advance_to(h, 2, SetState::kEncoded);
+  h.on_node_failure(0);
+  EXPECT_EQ(h.stats().double_losses, 0u);
+  h.on_node_failure(0);
+  // Set 1 also lost both members but is PFS-complete: only set 2 counts.
+  EXPECT_EQ(h.stats().double_losses, 1u);
+}
+
 TEST(CkptHierarchyTest, InterruptedDrainNeverYieldsNewerRestartPoint) {
   // ts 1 drains fully durable; ts 2 is interrupted at each earlier stage by
   // a node failure that costs it two members. Whatever the stage, ts 2 must

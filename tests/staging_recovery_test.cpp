@@ -275,6 +275,32 @@ TEST(StagingRecoveryTest, DegradedServerSurfacesDistinctClientError) {
       << "got: " << error;
 }
 
+TEST(StagingRecoveryTest, SpareExhaustionNotesDegradationOnFlightRecorder) {
+  // Trigger class 3 for the forensic dump: spare-pool exhaustion is a loud
+  // degradation. With a recorder wired, the manager must both record the
+  // kDegradation event and keep the verbatim note that makes the runtime
+  // freeze a bundle.
+  Rig rig(3, params_with(resilience::Redundancy::kErasureCode), /*spares=*/0);
+  obs::FlightRecorder recorder;
+  rig.manager->set_recorder(&recorder, recorder.track("recovery-manager"));
+  auto producer = rig.make_client(0);
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    co_await producer->put(ctx, "f", 1, rig.domain);
+    rig.cluster.kill(rig.server_vprocs[0]);
+    co_await ctx.delay(sim::seconds(1));
+  });
+  rig.run();
+  ASSERT_EQ(rig.manager->stats().spare_exhausted, 1);
+  ASSERT_EQ(recorder.degradations().size(), 1u);
+  EXPECT_NE(recorder.degradations()[0].find("spare pool exhausted"),
+            std::string::npos);
+  const auto dump = recorder.dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].kind, "degradation");
+  EXPECT_EQ(dump[0].track, "recovery-manager");
+}
+
 TEST(StagingRecoveryTest, UndersizedGroupClampsPlacementLoudly) {
   // Two servers cannot hold the 6 distinct fragments RS(4,2) wants; the
   // push clamps (wrapping onto repeat peers) and says so in stats instead

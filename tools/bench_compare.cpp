@@ -1,0 +1,191 @@
+// bench_compare — the bench baseline gate. Diffs candidate BENCH_*.json
+// documents (produced by the bench binaries' --json flag) against
+// checked-in baselines and fails on any numeric leaf deviating more than
+// the tolerance (default 15%) or missing from the candidate. The simulator
+// is deterministic in virtual time, so baseline drift means a real
+// behavioral change — the gate forces it to be acknowledged by refreshing
+// bench/baselines/ in the same change.
+//
+//   bench_compare BENCH_fig_memcap.json BENCH_fig9a.json
+//   bench_compare --baselines=bench/baselines --tolerance=0.15 BENCH_*.json
+//
+// Exit codes: 0 = every compared leaf within tolerance, 1 = regression or
+// missing key, 2 = bad input (unreadable/malformed JSON, no files).
+// Candidates with no checked-in baseline are reported and skipped: a new
+// bench must land its baseline to become gated, but does not break the
+// gate for everyone else.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/json_reader.hpp"
+
+namespace {
+
+using namespace dstage;
+
+int usage() {
+  std::puts(
+      "usage: bench_compare [options] BENCH.json [BENCH.json ...]\n"
+      "  --baselines=DIR   baseline directory      [bench/baselines]\n"
+      "  --tolerance=F     max relative deviation  [0.15]\n"
+      "  --help            this text");
+  return 2;
+}
+
+struct Gate {
+  double tolerance = 0.15;
+  int checked = 0;
+  std::vector<std::string> problems;
+
+  void fail(const std::string& path, const std::string& why) {
+    problems.push_back(path + ": " + why);
+  }
+
+  void compare_number(const std::string& path, const JsonValue& base,
+                      const JsonValue& cand) {
+    ++checked;
+    const double b = base.number;
+    const double c = cand.number;
+    if (b == c) return;
+    // A zero baseline has no scale: any nonzero candidate is a change the
+    // baseline never sanctioned (0 backpressure waits becoming 3 is a
+    // behavioral shift, not noise).
+    const double denom = std::abs(b);
+    const double dev =
+        denom > 0 ? std::abs(c - b) / denom
+                  : std::numeric_limits<double>::infinity();
+    if (dev > tolerance) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "baseline %g, candidate %g (%+.1f%% > %.0f%% tolerance)",
+                    b, c,
+                    denom > 0 ? (c - b) / denom * 100.0 : 100.0,
+                    tolerance * 100.0);
+      fail(path, buf);
+    }
+  }
+
+  /// Walk the baseline tree; every numeric leaf must exist in the
+  /// candidate at the same path and match within tolerance. Extra
+  /// candidate keys are fine (new metrics are not regressions).
+  void compare(const std::string& path, const JsonValue& base,
+               const JsonValue& cand) {
+    if (base.is_object()) {
+      if (!cand.is_object()) {
+        fail(path, "baseline is an object, candidate is not");
+        return;
+      }
+      for (const auto& [key, value] : base.object) {
+        const std::string child = path.empty() ? key : path + "." + key;
+        const JsonValue* c = cand.member(key);
+        if (c == nullptr) {
+          fail(child, "present in baseline, missing from candidate");
+          continue;
+        }
+        compare(child, value, *c);
+      }
+      return;
+    }
+    if (base.is_array()) {
+      if (!cand.is_array()) {
+        fail(path, "baseline is an array, candidate is not");
+        return;
+      }
+      if (base.array.size() != cand.array.size()) {
+        fail(path, "array length " + std::to_string(cand.array.size()) +
+                       ", baseline " + std::to_string(base.array.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < base.array.size(); ++i) {
+        compare(path + "[" + std::to_string(i) + "]", base.array[i],
+                cand.array[i]);
+      }
+      return;
+    }
+    if (base.is_number()) {
+      if (!cand.is_number()) {
+        fail(path, "baseline is a number, candidate is not");
+        return;
+      }
+      compare_number(path, base, cand);
+    }
+    // Strings / bools / nulls are labels, not measurements — not gated.
+  }
+};
+
+bool load(const std::string& path, JsonValue& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonParse parsed = parse_json(buf.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 parsed.errors.empty() ? "malformed JSON"
+                                       : parsed.errors.front().c_str());
+    return false;
+  }
+  out = std::move(parsed.value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) return usage();
+  const std::string baselines = flags.get("baselines", "bench/baselines");
+  const double tolerance = flags.get_double("tolerance", 0.15);
+  for (const std::string& flag : flags.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return usage();
+  }
+  if (flags.positional().empty()) {
+    std::fputs("bench_compare: no candidate files given\n", stderr);
+    return usage();
+  }
+
+  int rc = 0;
+  for (const std::string& candidate_path : flags.positional()) {
+    const std::string name =
+        std::filesystem::path(candidate_path).filename().string();
+    const std::string baseline_path = baselines + "/" + name;
+    if (!std::filesystem::exists(baseline_path)) {
+      std::printf("%s: SKIP (no baseline — check one in at %s to gate it)\n",
+                  name.c_str(), baseline_path.c_str());
+      continue;
+    }
+    JsonValue base;
+    JsonValue cand;
+    if (!load(baseline_path, base) || !load(candidate_path, cand)) return 2;
+
+    Gate gate;
+    gate.tolerance = tolerance;
+    gate.compare("", base, cand);
+    if (gate.problems.empty()) {
+      std::printf("%s: OK (%d numeric leaves within %.0f%%)\n", name.c_str(),
+                  gate.checked, tolerance * 100.0);
+    } else {
+      std::printf("%s: FAIL (%zu of %d leaves out of tolerance)\n",
+                  name.c_str(), gate.problems.size(), gate.checked);
+      for (const std::string& p : gate.problems) {
+        std::printf("  %s\n", p.c_str());
+      }
+      rc = 1;
+    }
+  }
+  return rc;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}

@@ -9,10 +9,13 @@
 //   campaign --break=skip-replay --expect-fail        # oracle self-test
 //   campaign --repro='cc1;id=3;sch=un;ts=12;...'      # replay one schedule
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "check/campaign.hpp"
+#include "check/forensics.hpp"
 #include "check/oracle.hpp"
 #include "check/schedule.hpp"
 #include "check/shrink.hpp"
@@ -46,6 +49,9 @@ int usage() {
       "                      rebuild were exercised\n"
       "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
       "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
+      "  --forensics=DIR     write a forensic bundle (JSON) per failing\n"
+      "                      schedule for tools/forensics; on an\n"
+      "                      --expect-fail mismatch, capture one anyway\n"
       "  --no-shrink         keep failing schedules unminimized\n"
       "  --shrink-budget=N   oracle runs per shrink             [120]\n"
       "  --repro=SPEC        run one schedule from a repro string and exit\n"
@@ -82,12 +88,36 @@ void print_report(const check::Schedule& schedule,
   if (!report.ok()) std::fputs(report.summary().c_str(), stdout);
 }
 
-int run_repro(const std::string& spec, check::Sabotage sabotage) {
+/// Write one forensic bundle under `dir` (created on demand). Returns
+/// false (with a note on stderr) if the filesystem refuses.
+bool write_bundle(const std::string& dir, const std::string& name,
+                  const check::ForensicBundle& bundle) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "forensics: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << check::bundle_to_json(bundle) << '\n';
+  std::printf("forensics: wrote %s (%s)\n", path.c_str(),
+              bundle.trigger.c_str());
+  return true;
+}
+
+int run_repro(const std::string& spec, check::Sabotage sabotage,
+              const std::string& forensics_dir) {
   const check::Schedule schedule = check::Schedule::parse(spec);
   check::ReferenceCache cache;
   const check::OracleReport report =
       check::check_schedule(schedule, cache, sabotage);
   print_report(schedule, report);
+  if (!forensics_dir.empty() && report.bundle != nullptr) {
+    write_bundle(forensics_dir,
+                 "bundle-repro-" + std::to_string(schedule.id) + ".json",
+                 *report.bundle);
+  }
   return report.ok() ? 0 : 1;
 }
 
@@ -131,13 +161,14 @@ int run_cli(int argc, char** argv) {
   const bool require_elastic = flags.get_bool("require-elastic", false);
   const bool require_ckpt = flags.get_bool("require-ckpt", false);
   const std::string repro = flags.get("repro", "");
+  const std::string forensics_dir = flags.get("forensics", "");
 
   for (const std::string& flag : flags.unused()) {
     std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
     return usage();
   }
 
-  if (!repro.empty()) return run_repro(repro, opts.sabotage);
+  if (!repro.empty()) return run_repro(repro, opts.sabotage, forensics_dir);
 
   const check::CampaignResult result = check::run_campaign(opts);
   std::printf("campaign: %d/%d schedules passed, %d invariant violation%s "
@@ -188,12 +219,32 @@ int run_cli(int argc, char** argv) {
                   failure.shrink_attempts);
     }
     std::printf("REPRO: --repro='%s'\n", failure.shrunk.repro().c_str());
+    if (!forensics_dir.empty() && failure.report.bundle != nullptr) {
+      write_bundle(forensics_dir,
+                   "bundle-" + std::to_string(failure.schedule.id) + ".json",
+                   *failure.report.bundle);
+    }
   }
 
   bool ok = expect_fail ? !result.ok() : result.ok();
   if (expect_fail && result.ok()) {
     std::fputs("expected at least one invariant violation, found none\n",
                stdout);
+    if (!forensics_dir.empty()) {
+      // Document the mismatch: re-run the first schedule with a forced
+      // bundle so CI has recorder evidence of the run that should have
+      // failed but didn't.
+      const std::vector<check::Schedule> schedules =
+          check::generate_schedules(opts.gen);
+      if (!schedules.empty()) {
+        check::ReferenceCache cache;
+        const check::OracleReport rerun = check::check_schedule(
+            schedules.front(), cache, opts.sabotage, /*capture_bundle=*/true);
+        if (rerun.bundle != nullptr) {
+          write_bundle(forensics_dir, "bundle-mismatch.json", *rerun.bundle);
+        }
+      }
+    }
   }
   if (require_pressure &&
       (result.spilled_versions == 0 || result.backpressure_waits == 0)) {

@@ -144,8 +144,18 @@ int run_report(int argc, char** argv) {
               m.total_time_s);
 
   const obs::Breakdown breakdown = obs::phase_breakdown(obs->tracer());
-  std::printf("\nExecution-time breakdown (virtual seconds per phase):\n\n");
-  print_breakdown(std::cout, breakdown);
+  if (breakdown.tracks.empty()) {
+    // An empty section is a trap to debug: say why it can be empty rather
+    // than printing a headline over nothing.
+    std::fprintf(stderr,
+                 "obs_report: WARNING: no spans matched the breakdown — the "
+                 "span stream is empty. Spans are only emitted when the obs "
+                 "gate is on (spec.obs.enabled, forced on by this tool) and "
+                 "the build has -DDSTAGE_OBS=ON.\n");
+  } else {
+    std::printf("\nExecution-time breakdown (virtual seconds per phase):\n\n");
+    print_breakdown(std::cout, breakdown);
+  }
 
   // Self-check: the integer-ns sweep attributes every nanosecond, so each
   // track's phase columns must sum to its total (acceptance bound 1e-9 s).
@@ -163,7 +173,16 @@ int run_report(int argc, char** argv) {
 
   const auto recoveries = obs::recovery_paths(obs->tracer());
   if (recoveries.empty()) {
-    std::printf("\nno recoveries (failure-free run)\n");
+    if (m.failures_injected > 0) {
+      std::fprintf(stderr,
+                   "obs_report: WARNING: %d failure(s) injected but no "
+                   "\"recovery\" spans matched — the recovery section is "
+                   "empty. Check that the obs gate (spec.obs.enabled) was on "
+                   "when the recovery pipeline ran.\n",
+                   m.failures_injected);
+    } else {
+      std::printf("\nno recoveries (failure-free run)\n");
+    }
   } else {
     std::printf("\nRecovery critical paths (%zu recover%s):\n\n",
                 recoveries.size(), recoveries.size() == 1 ? "y" : "ies");
