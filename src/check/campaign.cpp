@@ -63,6 +63,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     result.ckpt_cache_restarts += reports[i].ckpt_cache_restarts;
     result.ckpt_partner_rebuilds += reports[i].ckpt_partner_rebuilds;
     result.ckpt_pfs_restarts += reports[i].ckpt_pfs_restarts;
+    result.isolation_reads_checked += reports[i].isolation_reads_checked;
     if (reports[i].ok()) {
       ++result.passed;
       continue;

@@ -63,6 +63,12 @@ struct CampaignResult {
   std::uint64_t ckpt_cache_restarts = 0;
   std::uint64_t ckpt_partner_rebuilds = 0;
   std::uint64_t ckpt_pfs_restarts = 0;
+  /// Aggregated bystander read occurrences the isolation invariant
+  /// compared against solo references (zero when gen.tenants <= 1). A
+  /// multi-tenant campaign should assert this is nonzero: an isolation
+  /// invariant that never inspected a cross-tenant read has verified
+  /// nothing.
+  std::uint64_t isolation_reads_checked = 0;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };

@@ -10,8 +10,10 @@
 #include "check/forensics.hpp"
 #include "ckpt/hierarchy.hpp"
 #include "core/executor.hpp"
+#include "core/multi_tenant.hpp"
 #include "core/scheme/policy.hpp"
 #include "staging/server.hpp"
+#include "staging/tenant.hpp"
 #include "util/geometry.hpp"
 
 namespace dstage::check {
@@ -84,9 +86,13 @@ ConsumerMap rollback_consumers(const core::WorkflowSpec& spec,
   ConsumerMap out;
   for (const auto& writer : spec.components) {
     for (const auto& write : writer.writes) {
-      auto& apps = out[write.var];
+      // Keys are tenant-namespaced exactly as the runtime registers them,
+      // and only same-tenant readers are in the retention audience —
+      // tenant A's rollback consumers never pin tenant B's log.
+      auto& apps = out[staging::tenant_key(writer.tenant, write.var)];
       for (std::size_t r = 0; r < spec.components.size(); ++r) {
         const auto& reader = spec.components[r];
+        if (reader.tenant != writer.tenant) continue;
         if (!policy.component_logged(reader)) continue;
         for (const auto& read : reader.reads) {
           if (read.var == write.var) {
@@ -222,6 +228,10 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
 
   const auto real_policy = core::make_scheme_policy(s.scheme);
   core::WorkflowSpec spec = s.to_spec();
+  // Expand tenant clones up front (idempotent — the runtime builder's own
+  // expansion then no-ops) so the consumer map sees the same namespaced
+  // variables and app indices the servers will.
+  core::expand_tenants(spec);
   const ConsumerMap consumers = rollback_consumers(spec, *real_policy);
 
   std::unique_ptr<core::SchemePolicy> run_policy;
@@ -579,6 +589,51 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     }
   }
 
+  // ---- Invariant 6: tenant isolation (multi-tenant schedules only). ----
+  // Failures target tenant 0 (the schedule validator enforces it), so
+  // every other tenant is a bystander whose reads must be bit-for-bit what
+  // the same workflow observes running solo — tenant 0's crashes,
+  // rollbacks, GC sweeps and spills must be invisible to co-tenants.
+  // Bystander read keys carry the "@t<N>" clone suffix; stripping it
+  // rebases them onto the single-tenant reference. Content identity is
+  // tenant-invariant (chunk payloads key on the base variable), so
+  // checksums and byte counts are directly comparable across namespaces.
+  if (s.tenants > 1) {
+    Schedule solo = s;
+    solo.tenants = 1;
+    const auto solo_ref = cache.reference_for(solo);
+    for (const auto& [key, occurrences] : obs.reads) {
+      const std::size_t bar = key.find('|');
+      const std::size_t at = key.rfind("@t", bar);
+      if (at == std::string::npos) continue;  // tenant 0: not a bystander
+      const std::string solo_key = key.substr(0, at) + key.substr(bar);
+      const auto it = solo_ref->reads.find(solo_key);
+      if (it == solo_ref->reads.end()) {
+        add_violation(report.violations, 6,
+                      "bystander read " + key +
+                          " has no solo-run counterpart " + solo_key);
+        continue;
+      }
+      const ReferenceCache::ReadObs& expect = it->second;
+      for (const ReferenceCache::ReadObs& got : occurrences) {
+        ++report.isolation_reads_checked;
+        if ((got.checksum == expect.checksum || !chunking_stable) &&
+            got.bytes == expect.bytes && got.anomalies == expect.anomalies) {
+          continue;
+        }
+        add_violation(
+            report.violations, 6,
+            "bystander read " + key + " differs from the solo run (" +
+                solo_key + "): got checksum=" + std::to_string(got.checksum) +
+                " bytes=" + std::to_string(got.bytes) + " anomalies=" +
+                std::to_string(got.anomalies) + ", solo has checksum=" +
+                std::to_string(expect.checksum) + " bytes=" +
+                std::to_string(expect.bytes) + " anomalies=" +
+                std::to_string(expect.anomalies));
+      }
+    }
+  }
+
   // ---- Invariant 1: durability of committed versions. ----
   // Committed versions per var, recovered from the write trail (replayed
   // re-puts are suppressed but still acknowledged, so a set suffices).
@@ -594,9 +649,10 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     const int k = write_occurrence[e.component][e.timestep]++;
     const auto& w =
         c->writes[static_cast<std::size_t>(k) % c->writes.size()];
-    written[w.var].insert(static_cast<Version>(e.timestep));
+    const std::string var = staging::tenant_key(c->tenant, w.var);
+    written[var].insert(static_cast<Version>(e.timestep));
     write_region.emplace(
-        w.var, runner.runtime().subset_region(w.subset_fraction));
+        var, runner.runtime().subset_region(w.subset_fraction));
   }
 
   // Integrity: every chunk still retained anywhere must be byte-exact for

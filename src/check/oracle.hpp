@@ -1,7 +1,7 @@
 // The crash-consistency oracle. check_schedule() executes one failure
 // schedule through the real runtime with probe instrumentation installed
 // (staging store/log drops, GC checkpoints and sweeps, consumer read
-// checksums, recovery-pipeline milestones) and asserts four machine-checked
+// checksums, recovery-pipeline milestones) and asserts six machine-checked
 // invariants against a failure-free reference run of the same
 // configuration:
 //
@@ -29,6 +29,12 @@
 //      drain is never observable as a valid restart point. (Invariant 2's
 //      read equivalence against the failure-free reference then proves the
 //      post-restart execution is indistinguishable.)
+//   6. Tenant isolation (multi-tenant schedules only) — failures target
+//      tenant 0, so every other tenant is a bystander: its reads, rebased
+//      onto a single-tenant reference run of the same workflow by stripping
+//      the "@t<N>" clone suffix, must be bit-for-bit identical to running
+//      solo. Tenant 0's crashes, rollbacks, GC sweeps and spills must be
+//      invisible to its co-tenants.
 //
 // Reference runs are memoized per failure-free configuration so a campaign
 // pays for each distinct (scheme, periods, resilience) combination once.
@@ -65,7 +71,7 @@ const char* sabotage_name(Sabotage s);
 Sabotage parse_sabotage(const std::string& name);
 
 struct Violation {
-  int invariant = 0;  // 1..4, numbering above
+  int invariant = 0;  // 1..6, numbering above
   std::string detail;
 };
 
@@ -98,6 +104,11 @@ struct OracleReport {
   std::uint64_t ckpt_cache_restarts = 0;
   std::uint64_t ckpt_partner_rebuilds = 0;
   std::uint64_t ckpt_pfs_restarts = 0;
+  // Tenant-isolation activity (zero for single-tenant schedules): bystander
+  // read occurrences rebased onto the solo reference and compared exact.
+  // Campaigns aggregate this to assert --require-isolation really checked
+  // cross-tenant reads rather than vacuously passing.
+  std::uint64_t isolation_reads_checked = 0;
 
   /// Forensic post-mortem captured from the flight recorder. Non-null when
   /// the run violated an invariant, the recorder noted a loud degradation,

@@ -116,6 +116,12 @@ core::WorkflowSpec Schedule::to_spec() const {
   }
   if (staging_servers > 0) spec.staging_servers = staging_servers;
   if (ckpt_group > 0) spec.ckpt.xor_group = ckpt_group;
+  if (tenants > 1) {
+    spec.tenancy.tenants = tenants;
+    // Fair-share QoS only means something with the governor armed; equal
+    // weights are filled in by expand_tenants().
+    spec.tenancy.fair_share = memory_budget_mb > 0;
+  }
   spec.failures.seed = static_cast<std::uint64_t>(id) + 1;
   for (const ScheduleFailure& f : failures) {
     spec.failures.explicit_failures.push_back(
@@ -168,6 +174,11 @@ std::string Schedule::repro() const {
     std::snprintf(buf, sizeof(buf), ";ckpt=%d", ckpt_group);
     out += buf;
   }
+  // Emitted only when > 1, so single-tenant repro strings stay stable.
+  if (tenants > 1) {
+    std::snprintf(buf, sizeof(buf), ";tenants=%d", tenants);
+    out += buf;
+  }
   for (const ScheduleFailure& f : failures) {
     std::string flags;
     if (f.phase < 0) flags += 'a';
@@ -217,6 +228,8 @@ Schedule Schedule::parse(const std::string& repro) {
       s.staging_servers = parse_int(val, "ss");
     } else if (key == "ckpt") {
       s.ckpt_group = parse_int(val, "ckpt");
+    } else if (key == "tenants") {
+      s.tenants = parse_int(val, "tenants");
     } else if (key == "elastic") {
       for (const std::string& tok : split(val, ',')) {
         if (tok.size() < 2 || (tok[0] != 'j' && tok[0] != 'r')) {
@@ -287,6 +300,7 @@ std::vector<Schedule> generate_schedules(const GenerateOptions& opts) {
     s.resilience = rng.uniform_int(0, kResilienceKinds - 1);
     s.mtbf = rng.next_double() < 0.5;
     s.memory_budget_mb = opts.memory_budget_mb;
+    s.tenants = opts.tenants;  // no rng draw: schedules replay 1:1
 
     auto draw_flags = [&](ScheduleFailure& f) {
       f.node_level = rng.next_double() < 0.3;

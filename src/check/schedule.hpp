@@ -67,6 +67,15 @@ struct Schedule {
   /// repro strings stay stable). Part of the configuration, so hierarchy
   /// schedules get their own reference runs.
   int ckpt_group = 0;
+  /// Co-located tenants sharing the staging group (1 = classic
+  /// single-workflow run, the default; serialized as `;tenants=` only when
+  /// > 1, so single-tenant repro strings stay stable). Failures always
+  /// target tenant 0, making tenants 1..N-1 provable bystanders for the
+  /// oracle's isolation invariant. Part of the configuration, so
+  /// multi-tenant schedules get their own (multi-tenant, failure-free)
+  /// reference runs; the isolation check additionally rebases bystander
+  /// reads onto the single-tenant reference.
+  int tenants = 1;
   std::vector<ScheduleFailure> failures;
   /// Membership changes driven mid-run (empty = fixed group, the default;
   /// serialized as the `;elastic=` repro field only when non-empty).
@@ -102,6 +111,11 @@ struct GenerateOptions {
   /// Fraction of schedules that run the multi-level checkpoint hierarchy
   /// (XOR partner-group size drawn from {2, 3, 4}).
   double ckpt_probability = 0.0;
+  /// Co-located tenants applied to every generated schedule (1 = classic
+  /// single-tenant). Set without consuming the random stream, so
+  /// --tenants=N campaigns replay the same failure schedules as their
+  /// single-tenant counterparts.
+  int tenants = 1;
 };
 
 /// Draw `count` independent schedules. Schedule i depends only on

@@ -1,0 +1,38 @@
+#include "core/multi_tenant.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace dstage::core {
+
+std::string tenant_suffix(int tenant) {
+  return "@t" + std::to_string(tenant);
+}
+
+void expand_tenants(WorkflowSpec& spec) {
+  if (spec.tenancy.tenants <= 1 || spec.tenancy.expanded) return;
+  const int tenants = spec.tenancy.tenants;
+
+  std::vector<ComponentSpec> expanded;
+  expanded.reserve(spec.components.size() *
+                   static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    for (const ComponentSpec& base : spec.components) {
+      ComponentSpec clone = base;
+      clone.tenant = t;
+      if (t > 0) clone.name += tenant_suffix(t);
+      expanded.push_back(std::move(clone));
+    }
+  }
+  spec.components = std::move(expanded);
+
+  if (spec.tenancy.fair_share && spec.tenancy.weights.empty()) {
+    for (int t = 0; t < tenants; ++t) spec.tenancy.weights[t] = 1.0;
+  }
+  if (spec.tenancy.fair_share) {
+    spec.staging.tenant_weights = spec.tenancy.weights;
+  }
+  spec.tenancy.expanded = true;
+}
+
+}  // namespace dstage::core

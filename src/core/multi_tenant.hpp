@@ -1,0 +1,29 @@
+// Multi-tenant spec expansion: turn a single-workflow WorkflowSpec with
+// tenancy.tenants == N into N co-located copies of its component graph
+// sharing one cluster, staging group, DHT and spill gateway. The expansion
+// is pure spec surgery — the runtime underneath never special-cases tenant
+// counts — and is idempotent (tenancy.expanded guards re-entry), so
+// callers like bench/fig_multitenant may pre-expand, tweak individual
+// tenants' clones, and still hand the spec to RuntimeBuilder.
+#pragma once
+
+#include "core/workflow.hpp"
+
+namespace dstage::core {
+
+/// Expand `spec.components` to tenancy.tenants copies. Tenant 0's clones
+/// come FIRST and keep their original names, so pre-expansion component
+/// indices (explicit failures, campaign victim picks) and single-tenant
+/// trace component names stay valid; tenant t > 0 clones are renamed
+/// "<name>@t<t>". Every clone is stamped with its tenant id; with
+/// fair_share set, empty weights become equal weights over all tenants and
+/// are forwarded to the staging memory governor. No-op when
+/// tenancy.tenants <= 1 or the spec is already expanded.
+void expand_tenants(WorkflowSpec& spec);
+
+/// The suffix expand_tenants() appends to tenant-t (t > 0) clone names:
+/// "@t<t>". The oracle strips it to rebase bystander reads onto the
+/// solo-run reference.
+std::string tenant_suffix(int tenant);
+
+}  // namespace dstage::core

@@ -185,13 +185,23 @@ sim::Task<void> run_failover_recovery(RuntimeServices& rt, Comp& comp) {
 
 sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
                                          int global_ckpt_ts,
-                                         std::function<void()> on_restarted) {
+                                         std::function<void()> on_restarted,
+                                         int tenant) {
   sim::Ctx sys = rt.system_ctx();
+  // Rollback scope: the whole workflow (tenant < 0, the classic path) or
+  // one tenant's components only — its peers' clocks, checkpoints and
+  // staging keys must come through another tenant's restart untouched.
+  const auto in_scope = [tenant](const std::unique_ptr<Comp>& c) {
+    return tenant < 0 || c->spec.tenant == tenant;
+  };
+  const int scope_cores =
+      tenant < 0 ? rt.total_app_cores() : rt.tenant_app_cores(tenant);
   if (rt.recovery_probe) {
     rt.recovery_probe(TraceKind::kRecoveryStart, nullptr, global_ckpt_ts);
   }
-  // Everyone rolls back: kill all surviving components.
+  // Everyone in scope rolls back: kill the surviving components.
   for (auto& c : *rt.comps) {
+    if (!in_scope(c)) continue;
     if (rt.cluster->vproc(c->vproc).alive) rt.cluster->kill(c->vproc);
   }
   obs::SpanId coord = 0;
@@ -199,6 +209,7 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
     obs::SpanTracer& tracer = rt.obs->tracer();
     obs::SpanId parent = 0;
     for (auto& c : *rt.comps) {
+      if (!in_scope(c)) continue;
       if (c->obs_recovery_span != 0) {
         // A component that failed: its recovery root stays open across the
         // whole global restart; close only the detect child.
@@ -223,31 +234,35 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
   auto close = [&](obs::SpanId id) {
     if (rt.obs != nullptr) rt.obs->tracer().end(id, sys.now());
   };
-  // Global ULFM recovery across the whole workflow.
+  // ULFM recovery across the rollback scope.
   obs::SpanId stage = child("ulfm");
-  co_await sys.delay(rt.spec->costs.ulfm_time(rt.total_app_cores()));
+  co_await sys.delay(rt.spec->costs.ulfm_time(scope_cores));
   close(stage);
-  // Every component restores its state from the PFS (contended).
+  // Every in-scope component restores its state from the PFS (contended).
   stage = child("restore");
   {
     std::vector<sim::Task<void>> reads;
     for (auto& c : *rt.comps) {
+      if (!in_scope(c)) continue;
       reads.push_back(
           rt.pfs->read(sys, rt.spec->costs.state_bytes(c->spec.cores)));
     }
     co_await sim::when_all(sys, std::move(reads));
   }
   close(stage);
-  // Roll the staging area back to the global snapshot.
+  // Roll the staging area back to the global snapshot — scoped to the
+  // tenant's namespaced keys; a whole-workflow rollback (tenant < 0)
+  // truncates everything, as before.
   stage = child("rollback");
   co_await rt.control_client->rollback_staging(
-      sys, static_cast<staging::Version>(global_ckpt_ts));
+      sys, static_cast<staging::Version>(global_ckpt_ts), tenant);
   close(stage);
   // Post-recovery resynchronization barrier.
   stage = child("resync barrier");
-  co_await sys.delay(rt.spec->costs.barrier_time(rt.total_app_cores()));
+  co_await sys.delay(rt.spec->costs.barrier_time(scope_cores));
   close(stage);
   for (auto& c : *rt.comps) {
+    if (!in_scope(c)) continue;
     c->metrics.timesteps_reworked +=
         std::max(0, c->current_ts - global_ckpt_ts);
     c->current_ts = global_ckpt_ts;
@@ -264,6 +279,7 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
     obs::SpanTracer& tracer = rt.obs->tracer();
     tracer.end(coord, sys.now());
     for (auto& c : *rt.comps) {
+      if (!in_scope(c)) continue;
       if (c->obs_recovery_span != 0) {
         tracer.end(c->obs_recovery_span, sys.now());
         c->obs_recovery_span = 0;
@@ -272,6 +288,7 @@ sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
     rt.obs->metrics().counter("recoveries", "workflow").inc();
   }
   for (auto& c : *rt.comps) {
+    if (!in_scope(c)) continue;
     rt.resume(c.get(), global_ckpt_ts);
   }
 }

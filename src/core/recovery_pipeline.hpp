@@ -58,8 +58,16 @@ sim::Task<void> run_failover_recovery(RuntimeServices& rt, Comp& comp);
 /// resumes from `global_ckpt_ts`. `on_restarted` runs after components are
 /// revived and immediately before their loops are respawned (the policy
 /// clears its recovery-active latch there).
+///
+/// `tenant` scopes the rollback under multi-tenancy: >= 0 confines every
+/// step — the kills, the ULFM/barrier cost (that tenant's cores only), the
+/// PFS restores, and the staging rollback — to that tenant's components
+/// and staging keys, leaving every other tenant running untouched. The
+/// default (-1) is the classic whole-workflow rollback, byte-identical to
+/// the pre-tenancy path.
 sim::Task<void> run_coordinated_recovery(RuntimeServices& rt,
                                          int global_ckpt_ts,
-                                         std::function<void()> on_restarted);
+                                         std::function<void()> on_restarted,
+                                         int tenant = -1);
 
 }  // namespace dstage::core

@@ -6,12 +6,22 @@
 #include <string>
 #include <utility>
 
+#include "core/multi_tenant.hpp"
 #include "core/scheme/policy.hpp"
+#include "staging/tenant.hpp"
 
 namespace dstage::core {
 
 int RuntimeServices::total_app_cores() const {
   return runtime->total_app_cores();
+}
+
+int RuntimeServices::tenant_app_cores(int tenant) const {
+  int n = 0;
+  for (const auto& c : *comps) {
+    if (c->spec.tenant == tenant) n += c->spec.cores;
+  }
+  return n;
 }
 
 Runtime::Runtime(WorkflowSpec spec, const SchemePolicy& policy)
@@ -210,6 +220,7 @@ void Runtime::build(const SchemePolicy& policy) {
     cp.bytes_per_point = spec_.bytes_per_point;
     cp.mem_scale = spec_.mem_scale;
     cp.batching = spec_.net.batching;
+    cp.tenant = comp->spec.tenant;
     comp->client = std::make_unique<staging::StagingClient>(
         cluster_, *index_, server_vprocs_, comp->vproc, cp);
     comps_.push_back(std::move(comp));
@@ -321,11 +332,15 @@ void Runtime::build(const SchemePolicy& policy) {
   }
 
   // Variable registry for GC retention: consumers pin retention only when
-  // they are rollback-capable.
+  // they are rollback-capable. Registered under the tenant-namespaced key
+  // — the name the servers actually store under — and coupling only binds
+  // within a tenant, so each tenant's GC watermark is driven solely by its
+  // own consumers' checkpoints. Tenant 0 keys are unprefixed (identity).
   for (const auto& producer : comps_) {
     for (const auto& write : producer->spec.writes) {
       std::vector<std::pair<staging::AppId, bool>> consumers;
       for (const auto& reader : comps_) {
+        if (reader->spec.tenant != producer->spec.tenant) continue;
         for (const auto& read : reader->spec.reads) {
           if (read.var == write.var) {
             consumers.emplace_back(reader->id,
@@ -334,13 +349,27 @@ void Runtime::build(const SchemePolicy& policy) {
         }
       }
       for (auto& server : servers_) {
-        server->register_var(write.var, consumers);
+        server->register_var(
+            staging::tenant_key(producer->spec.tenant, write.var), consumers);
       }
     }
   }
 
   barrier_ = std::make_unique<sim::Barrier>(
       engine_, static_cast<int>(comps_.size()));
+  // Tenant-private coordinated barriers: tenant A's checkpoint cut must
+  // never wait on tenant B's components. Single-tenant runs build none and
+  // barrier_for() falls back to the shared barrier above.
+  if (spec_.tenancy.enabled()) {
+    for (int t = 0; t < spec_.tenancy.tenants; ++t) {
+      int members = 0;
+      for (const auto& c : comps_) {
+        if (c->spec.tenant == t) ++members;
+      }
+      tenant_barriers_.push_back(
+          std::make_unique<sim::Barrier>(engine_, members));
+    }
+  }
 
   plan_failures();
 }
@@ -446,6 +475,7 @@ RuntimeServices Runtime::services() {
   rt.comps = &comps_;
   rt.control_client = control_client_.get();
   rt.barrier = barrier_.get();
+  for (const auto& b : tenant_barriers_) rt.tenant_barriers.push_back(b.get());
   rt.sys_token = &sys_token_;
   rt.trace = &trace_;
   rt.runtime = this;
@@ -485,6 +515,11 @@ RunMetrics Runtime::collect(int failures_injected) const {
     m.staging.governor_overruns += st.governor_overruns;
     m.staging.placement_clamped += st.placement_clamped;
     m.staging.wrong_epoch_rejects += st.wrong_epoch_rejects;
+    m.staging.fair_share_rejects += st.fair_share_rejects;
+    for (net::TenantId t : server->store().tenants()) {
+      m.staging.tenant_store_bytes_peak[t] +=
+          server->store().peak_nominal_bytes(t);
+    }
     m.staging.store_bytes_peak += server->store().peak_nominal_bytes();
     m.staging.total_bytes_peak += server->peak_total_bytes();
     m.staging.total_bytes_mean += server->mean_total_bytes();
@@ -631,6 +666,9 @@ void Runtime::teardown() {
 std::unique_ptr<Runtime> RuntimeBuilder::build() {
   if (policy_ == nullptr)
     throw std::logic_error("RuntimeBuilder: no scheme policy set");
+  // Clone the component graph per tenant (no-op for single-tenant specs
+  // and for specs a caller already pre-expanded to tweak clones).
+  expand_tenants(spec_);
   spec_.validate();
   return std::make_unique<Runtime>(std::move(spec_), *policy_);
 }

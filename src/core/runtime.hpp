@@ -80,6 +80,11 @@ struct RuntimeServices {
   std::vector<std::unique_ptr<Comp>>* comps = nullptr;
   staging::StagingClient* control_client = nullptr;
   sim::Barrier* barrier = nullptr;  // coordinated checkpoint barrier
+  /// Per-tenant coordinated barriers, one per tenant, sized to that
+  /// tenant's component count. Empty for single-tenant runs — barrier_for()
+  /// then returns the classic shared `barrier`, so tenancy-off coordinated
+  /// runs are byte-identical.
+  std::vector<sim::Barrier*> tenant_barriers;
   sim::CancelToken* sys_token = nullptr;
   Trace* trace = nullptr;
   Runtime* runtime = nullptr;
@@ -120,6 +125,16 @@ struct RuntimeServices {
   /// Context for system activities that survive component kills.
   [[nodiscard]] sim::Ctx system_ctx() const { return {engine, sys_token}; }
   [[nodiscard]] int total_app_cores() const;
+  /// Cores of `tenant`'s components only (== total_app_cores() for
+  /// single-tenant specs, where every component is tenant 0).
+  [[nodiscard]] int tenant_app_cores(int tenant) const;
+  /// The coordinated barrier `tenant`'s components synchronize on: the
+  /// tenant-private barrier under multi-tenancy, the classic shared one
+  /// otherwise.
+  [[nodiscard]] sim::Barrier* barrier_for(int tenant) const {
+    if (tenant_barriers.empty()) return barrier;
+    return tenant_barriers[static_cast<std::size_t>(tenant)];
+  }
 };
 
 /// Owns the full simulated deployment for one workflow run.
@@ -235,6 +250,8 @@ class Runtime {
   std::vector<cluster::VprocId> server_vprocs_;
   std::vector<std::unique_ptr<Comp>> comps_;
   std::unique_ptr<sim::Barrier> barrier_;  // coordinated checkpoint barrier
+  /// Tenant-private coordinated barriers (empty unless tenancy.enabled()).
+  std::vector<std::unique_ptr<sim::Barrier>> tenant_barriers_;
   std::unique_ptr<sim::OneShotEvent> all_done_;
   std::unique_ptr<staging::StagingClient> control_client_;
   cluster::VprocId control_vproc_ = -1;

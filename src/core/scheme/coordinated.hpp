@@ -3,6 +3,8 @@
 // failure rolls the whole workflow back to the last global snapshot.
 #pragma once
 
+#include <map>
+
 #include "core/scheme/policy.hpp"
 
 namespace dstage::core {
@@ -20,16 +22,22 @@ class CoordinatedPolicy final : public SchemePolicy {
   /// PFS → barrier, flushing in-flight coupling traffic around the cut.
   sim::Task<void> checkpoint(RuntimeServices& rt, Comp& comp, int ts,
                              sim::Ctx ctx) override;
-  /// First failure starts one global rollback; secondary kills of the same
-  /// restart are absorbed.
+  /// First failure starts one rollback of the victim's tenant (the whole
+  /// workflow for single-tenant runs); secondary kills of the same restart
+  /// are absorbed. Other tenants are never touched.
   void recover(RuntimeServices& rt, Comp& comp) override;
 
-  /// Timestep of the last completed global snapshot.
-  [[nodiscard]] int global_ckpt_ts() const { return global_ckpt_ts_; }
+  /// Timestep of `tenant`'s last completed global snapshot. All protocol
+  /// state is per tenant — a tenant's barrier cut, snapshot anchor, and
+  /// rollback latch are invisible to every other tenant.
+  [[nodiscard]] int global_ckpt_ts(int tenant = 0) const {
+    const auto it = global_ckpt_ts_.find(tenant);
+    return it == global_ckpt_ts_.end() ? 0 : it->second;
+  }
 
  private:
-  int global_ckpt_ts_ = 0;
-  bool recovery_active_ = false;
+  std::map<int, int> global_ckpt_ts_;      // tenant -> snapshot anchor
+  std::map<int, bool> recovery_active_;    // tenant -> rollback in flight
 };
 
 }  // namespace dstage::core

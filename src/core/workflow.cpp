@@ -66,6 +66,20 @@ void WorkflowSpec::validate() const {
   if (ckpt.xor_group != 0 && (ckpt.xor_group < 2 || ckpt.xor_group > 16)) {
     reject("ckpt.xor_group must be 0 (off) or in [2, 16]");
   }
+  if (tenancy.tenants < 1) reject("tenancy.tenants must be >= 1");
+  for (const auto& [t, w] : tenancy.weights) {
+    if (t < 0 || t >= tenancy.tenants) {
+      reject("tenancy.weights key " + std::to_string(t) +
+             " outside [0, tenants)");
+    }
+    if (!(w > 0)) reject("tenancy.weights values must be > 0");
+  }
+  for (const auto& c : components) {
+    if (c.tenant < 0 || c.tenant >= tenancy.tenants) {
+      reject("component '" + c.name + "': tenant " +
+             std::to_string(c.tenant) + " outside [0, tenancy.tenants)");
+    }
+  }
   if (failures.count < 0) reject("failures.count must be >= 0");
   if (failures.mtbf_s < 0) reject("failures.mtbf_s must be >= 0");
   if (failures.node_failure_fraction < 0 ||
@@ -81,6 +95,13 @@ void WorkflowSpec::validate() const {
   for (const auto& e : failures.explicit_failures) {
     if (e.comp < 0 || e.comp >= static_cast<int>(components.size())) {
       reject("explicit failure comp index out of range");
+    }
+    // Multi-tenant isolation campaigns aim every failure at tenant 0 so
+    // the other tenants are provable bystanders; expansion puts tenant 0's
+    // clones first, keeping pre-expansion comp indices valid.
+    if (tenancy.enabled() &&
+        components[static_cast<std::size_t>(e.comp)].tenant != 0) {
+      reject("explicit failures must target tenant 0 components");
     }
     if (e.ts < 1 || e.ts > total_ts) {
       reject("explicit failure ts must be in [1, total_ts]");

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,11 @@ struct ComponentSpec {
   FtMethod method = FtMethod::kCheckpointRestart;
   std::vector<CouplingWrite> writes;
   std::vector<CouplingRead> reads;
+  /// Owning tenant (multi-tenant staging). 0 — the default — is the classic
+  /// single-workflow tenant whose staging keys are unprefixed, so existing
+  /// specs and the golden digests are untouched. Stamped by
+  /// expand_tenants(); appended last so positional initializers compile.
+  int tenant = 0;
 };
 
 /// One hand-specified failure. Used by the consistency campaign and its
@@ -159,6 +165,31 @@ struct CkptSpec {
   [[nodiscard]] bool hierarchy_enabled() const { return xor_group >= 2; }
 };
 
+/// Multi-tenant staging (DESIGN.md §13): run `tenants` independent copies
+/// of the component graph against ONE shared cluster, staging group, DHT
+/// and spill gateway. Every copy's staging keys are namespaced by tenant
+/// (staging/tenant.hpp), its coordinated barriers are tenant-private, and
+/// rollback/GC are tenant-scoped — tenant A's failures must never truncate
+/// or roll back tenant B's data. Inert by default (tenants == 1): the
+/// component list is untouched and the golden digests are byte-identical.
+struct TenancySpec {
+  /// Number of co-located workflow instances sharing the staging group.
+  /// 1 (the default) disables expansion entirely.
+  int tenants = 1;
+  /// Weighted fair-share memory QoS: tenant -> weight, forwarded to the
+  /// memory governor when `fair_share` is set. Empty with fair_share on
+  /// means equal weights for every tenant (filled in by expand_tenants()).
+  std::map<int, double> weights;
+  /// Arm per-tenant governor shares (requires staging.memory_budget > 0 to
+  /// have any effect). Off: tenants compete for the pooled watermark.
+  bool fair_share = false;
+  /// Set by expand_tenants() once components have been cloned and stamped;
+  /// guards against double expansion when a caller pre-expands the spec.
+  bool expanded = false;
+
+  [[nodiscard]] bool enabled() const { return tenants > 1; }
+};
+
 struct WorkflowSpec {
   Box domain = Box::from_dims(512, 512, 256);
   double bytes_per_point = 8.0;
@@ -201,6 +232,10 @@ struct WorkflowSpec {
   /// golden-trace digests are recorded with classic synchronous
   /// checkpoints.
   CkptSpec ckpt;
+  /// Multi-tenant staging (N workflow instances sharing this cluster).
+  /// Inert by default (tenants == 1): golden-trace digests are recorded
+  /// single-tenant.
+  TenancySpec tenancy;
 
   /// Reject malformed specs before the runtime is assembled. Throws
   /// std::invalid_argument with a message naming the offending field (and
@@ -267,6 +302,13 @@ struct StagingMetrics {
   std::uint64_t wrong_epoch_rejects = 0;  // stale-view requests bounced
   std::uint64_t degraded_reads = 0;       // pieces reconstructed from
                                           // fragments on the get path
+  // Multi-tenant counters.
+  std::uint64_t fair_share_rejects = 0;   // puts bounced by a tenant share
+  /// Per-tenant peak nominal store bytes, summed over servers — what the
+  /// fair-share adherence check in bench/fig_multitenant compares against
+  /// each tenant's configured share. Single-tenant runs have one entry
+  /// (tenant 0).
+  std::map<int, std::uint64_t> tenant_store_bytes_peak;
 };
 
 /// Multi-level checkpoint hierarchy counters (all zero with the hierarchy

@@ -24,6 +24,12 @@ namespace dstage::net {
 
 using AppId = int;
 using Version = std::uint32_t;
+/// Workflow tenant sharing the staging fabric. Tenant 0 is the implicit
+/// single-tenant default: every message constructed without an explicit
+/// tenant belongs to it, so single-tenant wire traffic is byte-identical
+/// to the pre-multi-tenant protocol (the tenant field never contributes
+/// to wire_size()).
+using TenantId = int;
 
 /// Geometric descriptor: a named, versioned region of the global domain.
 struct ObjectDesc {
@@ -134,6 +140,7 @@ struct PutRequest {
   bool logged = false;
   EndpointId reply_to = -1;
   ReplyPtr<PutResponse> reply;
+  TenantId tenant = 0;
 };
 
 struct GetRequest {
@@ -143,6 +150,7 @@ struct GetRequest {
   bool logged = false;
   EndpointId reply_to = -1;
   ReplyPtr<GetResponse> reply;
+  TenantId tenant = 0;
 };
 
 /// workflow_check(): a checkpoint event for `app`; the server assigns and
@@ -161,6 +169,7 @@ struct CheckpointEvent {
   // level — announcing them as durable would let GC reclaim logged
   // versions the fallback restart still has to replay.
   bool durable = true;
+  TenantId tenant = 0;
 };
 
 /// workflow_restart(): app recovered from its latest checkpoint and
@@ -171,15 +180,19 @@ struct RecoveryEvent {
   Version restored_version = 0;
   EndpointId reply_to = -1;
   ReplyPtr<RecoveryAck> reply;
+  TenantId tenant = 0;
 };
 
 /// Coordinated-restart support: discard every version newer than
-/// `version` so the staging state matches the global snapshot.
+/// `version` so the staging state matches the global snapshot. `tenant`
+/// scopes the rollback to one tenant's keys and queues; -1 (the
+/// single-tenant default) rolls back everything.
 struct RollbackRequest {
   using Response = RollbackAck;
   Version version = 0;
   EndpointId reply_to = -1;
   ReplyPtr<RollbackAck> reply;
+  TenantId tenant = -1;
 };
 
 // ---------------------------------------------------------------------------
@@ -237,6 +250,7 @@ struct QueryRequest {
   std::string var;
   EndpointId reply_to = -1;
   ReplyPtr<QueryResponse> reply;
+  TenantId tenant = 0;
 };
 
 /// Opt-in write-path coalescing: every chunk of one producer put that maps
@@ -249,6 +263,7 @@ struct BatchPut {
   std::vector<Chunk> chunks;
   EndpointId reply_to = -1;
   ReplyPtr<BatchPutResponse> reply;
+  TenantId tenant = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -300,6 +315,10 @@ struct SpillPrune {
   std::string var;
   Version upto = 0;
   bool above = false;
+  /// Rollback scoping: with `above` set, -1 prunes every tenant's spilled
+  /// versions (single-tenant rollback); >= 0 prunes only keys whose
+  /// tenant prefix matches.
+  TenantId tenant = -1;
 };
 
 // ---------------------------------------------------------------------------

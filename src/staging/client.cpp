@@ -9,6 +9,7 @@
 
 #include "sim/spawn.hpp"
 #include "staging/degraded_read.hpp"
+#include "staging/tenant.hpp"
 
 namespace dstage::staging {
 
@@ -49,6 +50,7 @@ sim::Task<PutResponse> StagingClient::send_put(sim::Ctx ctx, int server,
   req.app = params_.app;
   req.chunk = std::move(chunk);
   req.logged = params_.logged;
+  req.tenant = params_.tenant;
   try {
     co_return co_await rpc_.call(ctx, server_endpoint(server), std::move(req),
                                  put_policy());
@@ -67,6 +69,7 @@ sim::Task<BatchPutResponse> StagingClient::send_batch(
   req.app = params_.app;
   req.logged = params_.logged;
   req.chunks = std::move(chunks);
+  req.tenant = params_.tenant;
   try {
     co_return co_await rpc_.call(ctx, server_endpoint(server), std::move(req),
                                  put_policy());
@@ -127,6 +130,7 @@ sim::Task<GetResponse> StagingClient::send_get(sim::Ctx ctx, int server,
   req.app = params_.app;
   req.desc = std::move(desc);
   req.logged = params_.logged;
+  req.tenant = params_.tenant;
   try {
     co_return co_await rpc_.call(ctx, server_endpoint(server), std::move(req),
                                  get_policy());
@@ -138,6 +142,10 @@ sim::Task<GetResponse> StagingClient::send_get(sim::Ctx ctx, int server,
 
 sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
                                              Version version, Box region) {
+  // Namespace before any placement or send: servers, logs, GC watermarks
+  // and spill indices all key on the tenant-qualified name. Identity for
+  // the default tenant.
+  var = tenant_key(params_.tenant, var);
   if (elastic()) {
     co_return co_await put_elastic(ctx, std::move(var), version, region);
   }
@@ -206,6 +214,7 @@ sim::Task<PutResult> StagingClient::put_impl(sim::Ctx ctx, std::string var,
 
 sim::Task<GetResult> StagingClient::get_impl(sim::Ctx ctx, std::string var,
                                              Version version, Box region) {
+  var = tenant_key(params_.tenant, var);
   if (elastic()) {
     co_return co_await get_elastic(ctx, std::move(var), version, region);
   }
@@ -251,6 +260,7 @@ sim::Task<std::uint64_t> StagingClient::workflow_check(sim::Ctx ctx,
     ev.app = params_.app;
     ev.version = version;
     ev.durable = durable;
+    ev.tenant = params_.tenant;
     sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(ev)));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
@@ -280,6 +290,7 @@ sim::Task<std::size_t> StagingClient::workflow_restart(
     RecoveryEvent ev;
     ev.app = params_.app;
     ev.restored_version = restored_version;
+    ev.tenant = params_.tenant;
     sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(ev)));
   }
   auto acks = co_await sim::when_all(ctx, std::move(sends));
@@ -290,10 +301,12 @@ sim::Task<std::size_t> StagingClient::workflow_restart(
 
 sim::Task<QueryResult> StagingClient::query_impl(sim::Ctx ctx,
                                                  std::string var) {
+  var = tenant_key(params_.tenant, var);
   std::vector<sim::Task<QueryResponse>> sends;
   for (int s : fanout_targets()) {
     QueryRequest req;
     req.var = var;
+    req.tenant = params_.tenant;
     sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(req)));
   }
   auto responses = co_await sim::when_all(ctx, std::move(sends));
@@ -312,12 +325,13 @@ sim::Task<QueryResult> StagingClient::query_impl(sim::Ctx ctx,
   co_return result;
 }
 
-sim::Task<void> StagingClient::rollback_staging(sim::Ctx ctx,
-                                                Version version) {
+sim::Task<void> StagingClient::rollback_staging(sim::Ctx ctx, Version version,
+                                                net::TenantId tenant) {
   std::vector<sim::Task<RollbackAck>> sends;
   for (int s : fanout_targets()) {
     RollbackRequest req;
     req.version = version;
+    req.tenant = tenant;
     sends.push_back(rpc_.call(ctx, server_endpoint(s), std::move(req)));
   }
   co_await sim::when_all(ctx, std::move(sends));

@@ -45,6 +45,12 @@ struct ClientParams {
   /// Coalesce same-destination chunk puts of one write into a single
   /// BatchPut message per server (see net::Config::batching).
   bool batching = false;
+  /// Tenant this client acts for. Every variable name is namespaced through
+  /// tenant_key() before it reaches the DHT or a server, and every request
+  /// carries the tenant so servers can scope admission and rollback. The
+  /// default tenant (0) leaves names — and all traffic — byte-identical to
+  /// the single-tenant build.
+  net::TenantId tenant = 0;
 };
 
 struct PutResult {
@@ -138,7 +144,11 @@ class StagingClient {
                                           Version restored_version);
 
   /// Coordinated-restart support: roll the staging state itself back.
-  sim::Task<void> rollback_staging(sim::Ctx ctx, Version version);
+  /// `tenant < 0` (the pre-multi-tenant default) rolls back every tenant's
+  /// state; `tenant >= 0` scopes the wipe to that tenant's namespace so one
+  /// workflow's coordinated restart never truncates a co-resident tenant.
+  sim::Task<void> rollback_staging(sim::Ctx ctx, Version version,
+                                   net::TenantId tenant = -1);
 
   /// dspaces_query-style metadata lookup: which versions of `var` are
   /// currently available / fully logged across the staging group.

@@ -12,4 +12,34 @@ MemoryGovernor::Admission MemoryGovernor::admit(std::uint64_t governed,
   return Admission::kReject;
 }
 
+namespace {
+std::uint64_t weighted_slice(const std::map<int, double>& weights, int tenant,
+                             std::uint64_t whole) {
+  const auto it = weights.find(tenant);
+  if (it == weights.end()) return whole;
+  double sum = 0;
+  for (const auto& [t, w] : weights) sum += w;
+  if (sum <= 0) return whole;
+  return static_cast<std::uint64_t>(static_cast<double>(whole) *
+                                    (it->second / sum));
+}
+}  // namespace
+
+std::uint64_t MemoryGovernor::share_bytes(int tenant) const {
+  return weighted_slice(params_.tenant_weights, tenant, hard_bytes());
+}
+
+std::uint64_t MemoryGovernor::soft_share_bytes(int tenant) const {
+  return weighted_slice(params_.tenant_weights, tenant, soft_bytes());
+}
+
+MemoryGovernor::Admission MemoryGovernor::admit_tenant(
+    int tenant, std::uint64_t tenant_governed, std::uint64_t incoming) const {
+  if (!fair_share()) return Admission::kAdmit;
+  const std::uint64_t share = share_bytes(tenant);
+  if (tenant_governed + incoming <= share) return Admission::kAdmit;
+  if (incoming > share) return Admission::kAdmitOverrun;
+  return Admission::kReject;
+}
+
 }  // namespace dstage::staging

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 namespace dstage::staging {
 
@@ -28,6 +29,14 @@ struct GovernorParams {
   double soft_watermark = 0.70;
   /// Crossing hard_watermark * budget rejects new puts with RetryLater.
   double hard_watermark = 0.90;
+  /// Weighted fair-share multi-tenancy: tenant id → weight. Empty (the
+  /// default) keeps the single pooled budget and byte-identical behavior.
+  /// Non-empty splits the hard/soft watermarks into per-tenant shares of
+  /// hard_bytes × w/Σw, so admission rejects only tenants over their own
+  /// share (Σ shares = hard_bytes keeps the global footprint bounded).
+  /// Every tenant of the run must appear; an unlisted tenant falls back to
+  /// the full pooled watermark.
+  std::map<int, double> tenant_weights;
 };
 
 class MemoryGovernor {
@@ -71,6 +80,30 @@ class MemoryGovernor {
   /// on top of the current `governed` footprint.
   [[nodiscard]] Admission admit(std::uint64_t governed,
                                 std::uint64_t incoming) const;
+
+  /// True when weighted fair-share admission is active (governor on and
+  /// tenant weights configured).
+  [[nodiscard]] bool fair_share() const {
+    return enabled() && !params_.tenant_weights.empty();
+  }
+  /// `tenant`'s slice of the hard watermark: hard_bytes × w/Σw. Unlisted
+  /// tenants get the full pooled hard watermark.
+  [[nodiscard]] std::uint64_t share_bytes(int tenant) const;
+  /// `tenant`'s slice of the soft watermark (spill-victim preference).
+  [[nodiscard]] std::uint64_t soft_share_bytes(int tenant) const;
+  /// True when `tenant_governed` exceeds the tenant's soft share — the
+  /// tenant is the one memory maintenance should evict from first.
+  [[nodiscard]] bool over_share(int tenant,
+                                std::uint64_t tenant_governed) const {
+    return fair_share() && tenant_governed > soft_share_bytes(tenant);
+  }
+  /// Per-tenant admission, applied on top of (never instead of) the pooled
+  /// admit(): a put must fit both the global hard watermark and its own
+  /// tenant's share, so one tenant's backlog can only ever bounce that
+  /// tenant's writers. Oversized-put livelock avoidance applies per share.
+  [[nodiscard]] Admission admit_tenant(int tenant,
+                                       std::uint64_t tenant_governed,
+                                       std::uint64_t incoming) const;
 
  private:
   [[nodiscard]] std::uint64_t scaled(double fraction) const {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "staging/tenant.hpp"
+
 namespace dstage::staging {
 
 ObjectStore::ObjectStore(int version_window)
@@ -11,15 +13,38 @@ ObjectStore::ObjectStore(int version_window)
 }
 
 void ObjectStore::account(const Chunk& c, int sign) {
+  TenantUsage& usage = tenant_usage_[tenant_of(c.var)];
   if (sign > 0) {
     nominal_bytes_ += c.nominal_bytes;
     physical_bytes_ += c.physical_bytes();
     watermark_.add(static_cast<std::int64_t>(c.nominal_bytes));
+    usage.nominal += c.nominal_bytes;
+    if (usage.nominal > usage.peak) usage.peak = usage.nominal;
   } else {
     nominal_bytes_ -= c.nominal_bytes;
     physical_bytes_ -= c.physical_bytes();
     watermark_.add(-static_cast<std::int64_t>(c.nominal_bytes));
+    usage.nominal -= c.nominal_bytes;
   }
+}
+
+std::uint64_t ObjectStore::nominal_bytes(net::TenantId tenant) const {
+  auto it = tenant_usage_.find(tenant);
+  return it == tenant_usage_.end() ? 0 : it->second.nominal;
+}
+
+std::uint64_t ObjectStore::peak_nominal_bytes(net::TenantId tenant) const {
+  auto it = tenant_usage_.find(tenant);
+  return it == tenant_usage_.end() ? 0 : it->second.peak;
+}
+
+std::vector<net::TenantId> ObjectStore::tenants() const {
+  std::vector<net::TenantId> out;
+  out.reserve(tenant_usage_.size());
+  for (const auto& [tenant, usage] : tenant_usage_) {
+    if (usage.peak > 0) out.push_back(tenant);
+  }
+  return out;
 }
 
 void ObjectStore::put(Chunk chunk) {
@@ -125,8 +150,15 @@ std::vector<std::string> ObjectStore::variables() const {
 }
 
 std::size_t ObjectStore::drop_versions_above(Version version) {
+  return drop_versions_above(version,
+                             [](const std::string&) { return true; });
+}
+
+std::size_t ObjectStore::drop_versions_above(
+    Version version, const std::function<bool(const std::string&)>& var_pred) {
   std::size_t dropped = 0;
   for (auto& [var, versions] : store_) {
+    if (!var_pred(var)) continue;
     for (auto it = versions.upper_bound(version); it != versions.end();) {
       for (const Chunk& c : it->second) account(c, -1);
       if (drop_probe_) drop_probe_(var, it->first, DropReason::kRollback);

@@ -56,6 +56,11 @@ class ObjectStore {
   /// variable. Returns the number of dropped (var, version) entries.
   std::size_t drop_versions_above(Version version);
 
+  /// Tenant-scoped rollback: drop all versions > `version`, but only of
+  /// variables for which `var_pred` returns true (tenant-namespace match).
+  std::size_t drop_versions_above(
+      Version version, const std::function<bool(const std::string&)>& var_pred);
+
   /// Explicitly drop one version of a variable (GC helper). The reason is
   /// reported to the drop probe: kExplicit for GC reclaim, kSpill when the
   /// memory governor evicted the version to the PFS.
@@ -81,6 +86,15 @@ class ObjectStore {
   [[nodiscard]] std::uint64_t peak_nominal_bytes() const {
     return static_cast<std::uint64_t>(watermark_.peak());
   }
+  /// Per-tenant nominal footprint, keyed off each chunk's tenant prefix
+  /// (tenant 0 for bare variable names). Drives the governor's weighted
+  /// fair-share admission; zero-cost for single-tenant stores (one map
+  /// entry for tenant 0).
+  [[nodiscard]] std::uint64_t nominal_bytes(net::TenantId tenant) const;
+  /// Peak of a tenant's nominal footprint over the store's lifetime.
+  [[nodiscard]] std::uint64_t peak_nominal_bytes(net::TenantId tenant) const;
+  /// Tenants with a nonzero lifetime footprint, ascending.
+  [[nodiscard]] std::vector<net::TenantId> tenants() const;
   [[nodiscard]] std::size_t object_count() const;
   [[nodiscard]] int version_window() const { return version_window_; }
 
@@ -104,6 +118,11 @@ class ObjectStore {
   std::uint64_t nominal_bytes_ = 0;
   std::uint64_t physical_bytes_ = 0;
   Watermark watermark_;
+  struct TenantUsage {
+    std::uint64_t nominal = 0;
+    std::uint64_t peak = 0;
+  };
+  std::map<net::TenantId, TenantUsage> tenant_usage_;
   PutProbe put_probe_;
   DropProbe drop_probe_;
 };

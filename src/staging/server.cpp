@@ -9,6 +9,7 @@
 
 #include "resilience/reed_solomon.hpp"
 #include "sim/spawn.hpp"
+#include "staging/tenant.hpp"
 
 namespace dstage::staging {
 
@@ -270,6 +271,38 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
         poke_governor();  // make sure relief is under way before the retry
         co_return resp;
     }
+    // Weighted fair-share: a put that fits the pooled budget must also fit
+    // its own tenant's share, so a hoarding tenant's backlog bounces only
+    // that tenant's writers — co-resident tenants keep their full shares.
+    if (governor_.fair_share()) {
+      const net::TenantId tenant = tenant_of(chunk.var);
+      switch (governor_.admit_tenant(tenant, governed_bytes(tenant),
+                                     incoming)) {
+        case MemoryGovernor::Admission::kAdmit:
+          break;
+        case MemoryGovernor::Admission::kAdmitOverrun:
+          ++stats_.governor_overruns;
+          if (obs_ != nullptr)
+            obs_->metrics().counter("governor.overruns", obs_track_).inc();
+          break;
+        case MemoryGovernor::Admission::kReject:
+          ++stats_.puts_rejected;
+          ++stats_.fair_share_rejects;
+          if (obs_ != nullptr)
+            obs_->metrics()
+                .counter("governor.fair_share_rejects", obs_track_)
+                .inc();
+          if (recorder_ != nullptr)
+            recorder_->record(recorder_track_, cluster_->engine().now(),
+                              obs::FrKind::kPutReject, chunk.var,
+                              static_cast<std::int64_t>(chunk.version),
+                              static_cast<std::int64_t>(chunk.nominal_bytes));
+          resp.applied = false;
+          resp.retry_later = true;
+          poke_governor();
+          co_return resp;
+      }
+    }
   }
 
   if (apply && params_.logging && logged) {
@@ -315,6 +348,7 @@ sim::Task<PutResponse> StagingServer::apply_put(AppId app, bool logged,
 sim::Task<void> StagingServer::handle_put(PutRequest req) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
+  app_tenants_[req.app] = req.tenant;
   PutResponse resp = co_await apply_put(req.app, req.logged,
                                         std::move(req.chunk));
   co_await rpc_.fulfill(c, req.reply_to, std::move(req.reply), resp);
@@ -323,6 +357,7 @@ sim::Task<void> StagingServer::handle_put(PutRequest req) {
 sim::Task<void> StagingServer::handle_batch_put(BatchPut req) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
+  app_tenants_[req.app] = req.tenant;
   ++stats_.batch_puts;
   BatchPutResponse resp;
   resp.results.reserve(req.chunks.size());
@@ -340,6 +375,7 @@ sim::Task<void> StagingServer::handle_batch_put(BatchPut req) {
 sim::Task<void> StagingServer::handle_get(GetRequest req) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
+  app_tenants_[req.app] = req.tenant;
   ++stats_.gets;
 
   // Elastic ownership gate: the cell moved — tell the reader to re-place
@@ -505,6 +541,7 @@ void StagingServer::poke_pending(const std::string& var, Version version) {
 sim::Task<void> StagingServer::handle_checkpoint(CheckpointEvent ev) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
+  app_tenants_[ev.app] = ev.tenant;
   ++stats_.checkpoints;
 
   // Watermark diffing for the observability hooks: snapshot before the
@@ -638,6 +675,7 @@ sim::Task<void> StagingServer::handle_ckpt_drain_ack(CkptDrainAck ack) {
 sim::Task<void> StagingServer::handle_recovery(RecoveryEvent ev) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
+  app_tenants_[ev.app] = ev.tenant;
   ++stats_.recoveries;
 
   RecoveryAck ack;
@@ -654,29 +692,51 @@ sim::Task<void> StagingServer::handle_rollback(RollbackRequest req) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
 
+  // Tenant scoping: a coordinated restart of one workflow (req.tenant >= 0)
+  // must drop only that tenant's namespace. A co-resident tenant's store
+  // window, log retention, spill files, replay queues and parked gets are
+  // invariantly untouched — its GC watermarks and durability never move
+  // because someone else rolled back. The default (-1) is the global wipe
+  // every pre-multi-tenant caller gets, byte-identical to the old path.
+  const net::TenantId tenant = req.tenant;
+  const auto in_scope = [tenant](const std::string& var) {
+    return tenant < 0 || tenant_of(var) == tenant;
+  };
+
   RollbackAck ack;
-  ack.versions_dropped = store_.drop_versions_above(req.version);
-  dlog_.drop_above(req.version);
+  ack.versions_dropped = store_.drop_versions_above(req.version, in_scope);
+  dlog_.drop_above(req.version, in_scope);
   // Spilled versions newer than the snapshot are rolled back with the log:
   // drop the index entries and have the gateway discard the spill files.
   if (!spilled_.empty()) {
     for (auto vit = spilled_.begin(); vit != spilled_.end();) {
+      if (!in_scope(vit->first)) {
+        ++vit;
+        continue;
+      }
       auto& versions = vit->second;
       versions.erase(versions.upper_bound(req.version), versions.end());
       vit = versions.empty() ? spilled_.erase(vit) : std::next(vit);
     }
     if (spill_endpoint_ >= 0) {
       sim::Ctx sc = ctx();
-      net::Message prune{
-          SpillPrune{self_index_, std::string{}, req.version, true}};
+      net::Message prune{SpillPrune{self_index_, std::string{}, req.version,
+                                    true, tenant}};
       sim::spawn(cluster_->engine(),
                  rpc_.send(sc, spill_endpoint_, std::move(prune)));
     }
   }
-  queues_.clear();
+  if (tenant < 0) {
+    queues_.clear();
+  } else {
+    std::erase_if(queues_, [&](const auto& entry) {
+      const auto it = app_tenants_.find(entry.first);
+      return it != app_tenants_.end() && it->second == tenant;
+    });
+  }
   // Parked gets for discarded versions belong to rolled-back clients.
   std::erase_if(pending_, [&](const GetRequest& g) {
-    return g.desc.version > req.version;
+    return in_scope(g.desc.var) && g.desc.version > req.version;
   });
 
   co_await rpc_.fulfill(c, req.reply_to, std::move(req.reply), ack);
@@ -1332,9 +1392,22 @@ bool StagingServer::spill_covers(const std::string& var,
   return it != spilled_.end() && it->second.count(version) > 0;
 }
 
+bool StagingServer::any_tenant_over_share() const {
+  if (!governor_.fair_share()) return false;
+  for (const net::TenantId tenant : store_.tenants()) {
+    if (governor_.over_share(tenant, governed_bytes(tenant))) return true;
+  }
+  return false;
+}
+
 void StagingServer::poke_governor() {
   if (!governor_.enabled() || maintenance_inflight_) return;
-  if (!governor_.over_soft(memory().governed())) return;
+  // Under fair share a single tenant over its slice needs relief even when
+  // the pool as a whole is comfortable — otherwise a hoarding tenant's
+  // writers bounce forever while the pooled watermark never trips.
+  if (!governor_.over_soft(memory().governed()) && !any_tenant_over_share()) {
+    return;
+  }
   maintenance_inflight_ = true;
   sim::spawn(cluster_->engine(), maintain_memory());
 }
@@ -1365,20 +1438,33 @@ sim::Task<void> StagingServer::maintain_memory() {
   // Then spill the coldest reclaim-ineligible log versions until the
   // governed footprint is back under the soft watermark. The victim is the
   // globally oldest retained version that is not its variable's newest —
-  // the newest is live coupling data, which even GC never reclaims.
+  // the newest is live coupling data, which even GC never reclaims. Under
+  // weighted fair-share, victims come from over-share tenants first: the
+  // tenant that outgrew its slice pays the spill latency, not its
+  // co-residents.
   while (spill_endpoint_ >= 0 && params_.logging &&
-         governor_.over_soft(memory().governed())) {
+         (governor_.over_soft(memory().governed()) ||
+          any_tenant_over_share())) {
     std::string victim_var;
     Version victim_version = 0;
     bool found = false;
+    bool found_over_share = false;
     for (const std::string& var : dlog_.variables()) {
       const auto versions = dlog_.versions_of(var);
       if (versions.size() < 2) continue;
-      if (!found || versions.front() < victim_version) {
-        found = true;
-        victim_var = var;
-        victim_version = versions.front();
+      const net::TenantId tenant = tenant_of(var);
+      const bool over_share =
+          governor_.over_share(tenant, governed_bytes(tenant));
+      if (found) {
+        if (found_over_share && !over_share) continue;
+        if (found_over_share == over_share &&
+            versions.front() >= victim_version)
+          continue;
       }
+      found = true;
+      found_over_share = over_share;
+      victim_var = var;
+      victim_version = versions.front();
     }
     if (!found) break;
 
@@ -1456,6 +1542,15 @@ sim::Task<void> StagingServer::ensure_log_resident(std::string var,
   fetch.version = version;
   SpillFetchResponse resp =
       co_await rpc_.call(c, spill_endpoint_, std::move(fetch));
+  // The gateway round-trip let the request loop run: a concurrent fault-in
+  // of the same version (two replay reads racing) may already have
+  // re-ingested it and erased the spill-index entry, or a rollback may have
+  // discarded it. Re-adding here would double-count the footprint — or
+  // resurrect a rolled-back version.
+  if (!spill_covers(var, version) || dlog_.has(var, version)) {
+    if (obs_ != nullptr) obs_->tracer().end(span, cluster_->engine().now());
+    co_return;
+  }
   std::uint64_t bytes = 0;
   for (Chunk& chunk : resp.chunks) {
     bytes += chunk.nominal_bytes;

@@ -78,6 +78,9 @@ struct ServerStats {
   std::uint64_t urgent_gc_sweeps = 0;    // sweeps forced by the soft mark
   std::uint64_t puts_rejected = 0;       // RetryLater backpressure responses
   std::uint64_t governor_overruns = 0;   // oversized puts admitted anyway
+  /// Of puts_rejected, those bounced by the weighted fair-share check: the
+  /// put fit the pooled hard watermark but not its own tenant's share.
+  std::uint64_t fair_share_rejects = 0;
   /// Fragment pushes whose round-robin placement wrapped onto a peer that
   /// already holds a fragment of the same object (server_count too small
   /// for the policy's fan-out — survivability is degraded).
@@ -277,6 +280,12 @@ class StagingServer {
   [[nodiscard]] const gc::GarbageCollector& gc() const { return gc_; }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] MemoryReport memory() const;
+  /// One tenant's governed footprint: its store + retained log payloads
+  /// (event-queue metadata is unattributed — it is bounded by truncation
+  /// and negligible next to payloads).
+  [[nodiscard]] std::uint64_t governed_bytes(net::TenantId tenant) const {
+    return store_.nominal_bytes(tenant) + dlog_.nominal_bytes(tenant);
+  }
   /// Peak total nominal bytes observed at request boundaries.
   [[nodiscard]] std::uint64_t peak_total_bytes() const { return peak_total_; }
   /// Time-averaged total nominal bytes (sampled at request boundaries,
@@ -351,9 +360,14 @@ class StagingServer {
   sim::Task<void> ensure_log_resident(std::string var, Version version);
   [[nodiscard]] bool spill_covers(const std::string& var,
                                   Version version) const;
-  /// Kick maintain_memory() if the governor is over its soft watermark and
-  /// no maintenance pass is already in flight.
+  /// Kick maintain_memory() if the governor is over its soft watermark —
+  /// pooled, or any tenant over its fair share — and no maintenance pass
+  /// is already in flight.
   void poke_governor();
+  /// True when weighted fair-share is armed and some tenant's governed
+  /// footprint exceeds its soft share (always false single-tenant, so the
+  /// pooled paths are byte-identical with tenancy off).
+  [[nodiscard]] bool any_tenant_over_share() const;
   /// Drop spilled-index entries the GC watermark has passed and tell the
   /// gateway to reclaim the corresponding spill files.
   void prune_spilled_upto_watermark();
@@ -376,6 +390,9 @@ class StagingServer {
   ObjectStore store_;
   wlog::DataLog dlog_;
   std::map<AppId, wlog::EventQueue> queues_;
+  // app → tenant, learned from the tenant field every request carries.
+  // Lets a tenant-scoped rollback drop only that tenant's replay queues.
+  std::map<AppId, net::TenantId> app_tenants_;
   gc::GarbageCollector gc_;
   std::vector<GetRequest> pending_;
   std::uint64_t next_chk_id_ = 1;

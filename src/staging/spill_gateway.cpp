@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "sim/spawn.hpp"
+#include "staging/tenant.hpp"
 
 namespace dstage::staging {
 
@@ -122,8 +123,14 @@ void SpillGateway::handle_prune(const SpillPrune& prune) {
   std::size_t dropped = 0;
   if (prune.above) {
     // Rollback: discard spilled versions newer than the snapshot (empty
-    // var = every variable, matching the staging rollback semantics).
-    dropped = store.drop_versions_above(prune.upto);
+    // var = every variable, matching the staging rollback semantics). A
+    // tenant-scoped rollback (tenant >= 0) must leave co-resident tenants'
+    // spill files untouched — their durability does not depend on another
+    // workflow's restart.
+    dropped = store.drop_versions_above(
+        prune.upto, [&](const std::string& var) {
+          return prune.tenant < 0 || tenant_of(var) == prune.tenant;
+        });
   } else {
     for (Version v : store.versions_of(prune.var)) {
       if (v > prune.upto) break;

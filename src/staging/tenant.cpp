@@ -1,0 +1,30 @@
+#include "staging/tenant.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dstage::staging {
+
+std::string tenant_key(net::TenantId t, const std::string& var) {
+  if (t <= kDefaultTenant) return var;
+  char prefix[16];
+  std::snprintf(prefix, sizeof prefix, "t%d%c", t, kTenantSep);
+  return prefix + var;
+}
+
+net::TenantId tenant_of(const std::string& key) {
+  const std::size_t sep = key.find(kTenantSep);
+  if (sep == std::string::npos || sep < 2 || key[0] != 't') {
+    return kDefaultTenant;
+  }
+  return static_cast<net::TenantId>(
+      std::strtol(key.c_str() + 1, nullptr, 10));
+}
+
+std::string base_var(const std::string& key) {
+  const std::size_t sep = key.find(kTenantSep);
+  if (sep == std::string::npos || sep < 2 || key[0] != 't') return key;
+  return key.substr(sep + 1);
+}
+
+}  // namespace dstage::staging

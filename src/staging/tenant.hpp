@@ -1,0 +1,37 @@
+// Tenant namespacing for the staging fabric. Every ObjectStore / DataLog
+// key a multi-tenant run touches is namespaced through tenant_key(), so two
+// workflows sharing one staging group can never collide on a variable name
+// and every per-var mechanism (GC watermarks, spill indices, rollback
+// predicates) becomes per-tenant for free. The default tenant (0) maps to
+// the bare variable name, which keeps every single-tenant code path — and
+// every golden trace digest — byte-identical.
+//
+// These three helpers are the ONLY legal way to build or split a tenant-
+// qualified key; CI lints src/staging + src/wlog for the separator byte
+// appearing anywhere else.
+#pragma once
+
+#include <string>
+
+#include "net/message.hpp"
+
+namespace dstage::staging {
+
+/// The implicit tenant of every pre-multi-tenant caller.
+inline constexpr net::TenantId kDefaultTenant = 0;
+
+/// Separator between the tenant prefix and the logical variable name.
+/// A non-printable byte (ASCII unit separator) that cannot appear in a
+/// spec-declared variable name, so base_var()/tenant_of() are unambiguous.
+inline constexpr char kTenantSep = '\x1f';
+
+/// Storage key of `var` under tenant `t`. Identity for the default tenant.
+[[nodiscard]] std::string tenant_key(net::TenantId t, const std::string& var);
+
+/// The tenant a storage key belongs to (kDefaultTenant for bare names).
+[[nodiscard]] net::TenantId tenant_of(const std::string& key);
+
+/// The logical variable name with any tenant prefix stripped.
+[[nodiscard]] std::string base_var(const std::string& key);
+
+}  // namespace dstage::staging

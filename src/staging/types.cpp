@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "staging/tenant.hpp"
+
 namespace dstage::staging {
 
 std::uint64_t region_hash(const Box& b) {
@@ -13,7 +15,12 @@ std::uint64_t region_hash(const Box& b) {
 
 std::uint64_t chunk_content_key(const std::string& var, Version version,
                                 const Box& source_region) {
-  return content_key(var, version, region_hash(source_region));
+  // Content identity is tenant-invariant: the same logical (var, version,
+  // region) synthesizes the same byte stream under any tenant, so a
+  // bystander tenant's reads are bit-for-bit comparable against a solo run
+  // of the same workflow (the oracle's isolation invariant). The tenant
+  // prefix only namespaces *placement* keys, never content.
+  return content_key(base_var(var), version, region_hash(source_region));
 }
 
 Chunk make_chunk(const std::string& var, Version version, const Box& region,

@@ -8,6 +8,11 @@ namespace dstage {
 namespace {
 
 constexpr std::size_t kMaxErrors = 16;
+// Containers may nest this deep before the parser refuses the document.
+// The parser recurses per nesting level, so an adversarial input like
+// 100k '[' characters would otherwise run the real call stack out long
+// before any content appears.
+constexpr int kMaxDepth = 256;
 
 class Parser {
  public:
@@ -123,13 +128,17 @@ class Parser {
   bool parse_value(JsonValue& out) {
     skip_ws();
     if (p_ == end_) return fail("unexpected end of input");
+    if (depth_ >= kMaxDepth && (*p_ == '{' || *p_ == '['))
+      return fail("nesting too deep");
     switch (*p_) {
       case '{': {
         out.kind = JsonValue::Kind::kObject;
+        ++depth_;
         advance();
         skip_ws();
         if (p_ != end_ && *p_ == '}') {
           advance();
+          --depth_;
           return true;
         }
         for (;;) {
@@ -149,6 +158,7 @@ class Parser {
           }
           if (p_ != end_ && *p_ == '}') {
             advance();
+            --depth_;
             return true;
           }
           return fail("expected ',' or '}'");
@@ -156,10 +166,12 @@ class Parser {
       }
       case '[': {
         out.kind = JsonValue::Kind::kArray;
+        ++depth_;
         advance();
         skip_ws();
         if (p_ != end_ && *p_ == ']') {
           advance();
+          --depth_;
           return true;
         }
         for (;;) {
@@ -173,6 +185,7 @@ class Parser {
           }
           if (p_ != end_ && *p_ == ']') {
             advance();
+            --depth_;
             return true;
           }
           return fail("expected ',' or ']'");
@@ -201,6 +214,7 @@ class Parser {
   const char* p_;
   const char* end_;
   std::size_t offset_ = 0;
+  int depth_ = 0;  // current container nesting, capped at kMaxDepth
   std::vector<std::string>* errors_;
 };
 

@@ -71,9 +71,21 @@ class DataLog {
   std::size_t drop_above(staging::Version version) {
     return store_.drop_versions_above(version);
   }
+  /// Tenant-scoped rollback: drop versions newer than `version`, but only
+  /// of variables matching `var_pred` (a tenant-namespace predicate), so one
+  /// tenant's rollback never truncates another tenant's retained history.
+  std::size_t drop_above(
+      staging::Version version,
+      const std::function<bool(const std::string&)>& var_pred) {
+    return store_.drop_versions_above(version, var_pred);
+  }
 
   [[nodiscard]] std::uint64_t nominal_bytes() const {
     return store_.nominal_bytes();
+  }
+  /// Retained nominal bytes attributable to one tenant's variables.
+  [[nodiscard]] std::uint64_t nominal_bytes(net::TenantId tenant) const {
+    return store_.nominal_bytes(tenant);
   }
   [[nodiscard]] std::uint64_t physical_bytes() const {
     return store_.physical_bytes();

@@ -217,6 +217,59 @@ TEST(StagingGovernorTest, ReplayFaultsSpilledPayloadBackIn) {
   EXPECT_GT(rig.gateway->stats().fetches, 0u);
 }
 
+TEST(StagingGovernorTest, SpilledThenFaultedBackCountsOnce) {
+  // Two replay reads of the same spilled version race: both miss the log,
+  // both issue a gateway fetch, and the second fetch lands after the first
+  // already re-ingested the payload. Re-adding it again would double-count
+  // the governed footprint forever (the log would hold two copies of the
+  // version's chunks). Property: the final per-server footprint with a
+  // racing fault-in is identical to the single-reader footprint.
+  auto run_replay = [](int concurrent_reads) {
+    Rig rig(2, /*budget_bytes=*/6 * kMiB);
+    auto producer = rig.make_client(0);
+    auto consumer = rig.make_client(1);
+    bool was_spilled = false;
+    int bad = 0;
+    int finished = 0;
+    sim::spawn(rig.eng, [&, concurrent_reads]() -> sim::Task<void> {
+      sim::Ctx ctx{&rig.eng, nullptr};
+      co_await producer->put(ctx, "f", 1, rig.domain);
+      co_await consumer->get(ctx, "f", 1, rig.domain);  // recorded for replay
+      for (Version v = 2; v <= 8; ++v)
+        co_await producer->put(ctx, "f", v, rig.domain);
+      co_await ctx.delay(sim::seconds(1));  // let maintenance spill v1
+      for (const auto& s : rig.servers) was_spilled |= !s->spilled().empty();
+      co_await consumer->workflow_restart(ctx, 0);
+      for (int r = 0; r < concurrent_reads; ++r) {
+        sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+          sim::Ctx rctx{&rig.eng, nullptr};
+          auto gr = co_await consumer->get(rctx, "f", 1, rig.domain);
+          bad += gr.wrong_version + gr.corrupt;
+          ++finished;
+        });
+      }
+    });
+    rig.run();
+    EXPECT_TRUE(was_spilled);
+    EXPECT_EQ(bad, 0);
+    EXPECT_EQ(finished, concurrent_reads);
+    // Payload bytes only: the extra reader legitimately appends one more
+    // read event to the replay script (log metadata); what must NOT grow
+    // is the payload accounting — a second copy of the version's chunks.
+    std::vector<std::uint64_t> payload;
+    for (const auto& s : rig.servers) {
+      const auto m = s->memory();
+      payload.push_back(m.store_bytes + m.log_payload_bytes);
+    }
+    return payload;
+  };
+  const auto solo = run_replay(1);
+  const auto raced = run_replay(2);
+  // Same puts, same spill, same faulted-back version — a racing second
+  // reader must not inflate any server's payload footprint.
+  EXPECT_EQ(solo, raced);
+}
+
 TEST(StagingGovernorTest, PartiallyAdmittedBatchIsNotAckedUntilDurable) {
   // With batching on, one BatchPut can straddle the hard watermark: early
   // chunks admitted, later ones bounced. The put must not return until the

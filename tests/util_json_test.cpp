@@ -1,10 +1,16 @@
-// Tests for the minimal ordered JSON writer backing the bench/CLI output.
+// Tests for the minimal ordered JSON writer backing the bench/CLI output,
+// and edge cases of its read-side counterpart (util/json_reader.hpp): the
+// reader ingests bench baselines and forensic bundles from disk, so it must
+// degrade to clean errors — never crashes — on truncated, hostile, or
+// merely odd input.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include "util/json.hpp"
+#include "util/json_reader.hpp"
 
 namespace dstage {
 namespace {
@@ -78,6 +84,77 @@ TEST(JsonTest, NestedPrettyPrint) {
             "  \"empty_list\": [],\n"
             "  \"empty_obj\": {}\n"
             "}\n");
+}
+
+TEST(JsonReaderTest, TruncatedInputsFailWithOffsets) {
+  // Every truncation point of a small document must yield ok=false with at
+  // least one positioned error — and, critically, no crash.
+  const std::string doc = R"({"a": [1, 2.5e3, "x\n"], "b": {"c": null}})";
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    const JsonParse p = parse_json(doc.substr(0, len));
+    EXPECT_FALSE(p.ok) << "prefix length " << len;
+    ASSERT_FALSE(p.errors.empty()) << "prefix length " << len;
+    EXPECT_NE(p.errors.front().find("at offset"), std::string::npos);
+  }
+  EXPECT_TRUE(parse_json(doc).ok);
+  // Mid-escape and mid-keyword truncations, specifically.
+  EXPECT_FALSE(parse_json(R"("ab\)").ok);
+  EXPECT_FALSE(parse_json(R"("ab\u00)").ok);
+  EXPECT_FALSE(parse_json("tru").ok);
+  EXPECT_FALSE(parse_json("[1,").ok);
+}
+
+TEST(JsonReaderTest, DeepNestingIsRefusedNotOverflowed) {
+  // An adversarial document of 100k opening brackets must be rejected by
+  // the parser's depth cap, not by the process's stack guard page.
+  const std::string bombs[] = {std::string(100000, '['),
+                               std::string(50000, '[') + "1" +
+                                   std::string(50000, ']')};
+  for (const std::string& bomb : bombs) {
+    const JsonParse p = parse_json(bomb);
+    EXPECT_FALSE(p.ok);
+    ASSERT_FALSE(p.errors.empty());
+    EXPECT_NE(p.errors.front().find("nesting too deep"), std::string::npos);
+  }
+  // Reasonable nesting still parses: depth resets on the way out, so many
+  // shallow siblings never accumulate toward the cap.
+  std::string wide = "[";
+  for (int i = 0; i < 1000; ++i) wide += "[0],";
+  wide += "[0]]";
+  EXPECT_TRUE(parse_json(wide).ok);
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  deep += "7";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_TRUE(parse_json(deep).ok);
+}
+
+TEST(JsonReaderTest, NonUtf8BytesPassThroughStrings) {
+  // The reader is byte-transparent: invalid UTF-8 inside a string is the
+  // consumer's problem (digests and paths are opaque bytes), so it must
+  // survive the round trip unmodified rather than be mangled or rejected.
+  const std::string raw = {'\x80', '\xff', '\xc3', '(', '\x01'};
+  const JsonParse p = parse_json("\"\x80\xff\xc3(\x01\"");
+  ASSERT_TRUE(p.ok);
+  ASSERT_TRUE(p.value.is_string());
+  EXPECT_EQ(p.value.string, raw);
+}
+
+TEST(JsonReaderTest, DuplicateKeysKeepBothMemberReturnsFirst) {
+  const JsonParse p = parse_json(R"({"k": 1, "k": 2, "other": 3})");
+  ASSERT_TRUE(p.ok);
+  ASSERT_EQ(p.value.object.size(), 3u);  // nothing silently dropped
+  const JsonValue* k = p.value.member("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->as_i64(), 1);  // first wins on lookup, deterministically
+}
+
+TEST(JsonReaderTest, SixtyFourBitLiteralsSurviveExactly) {
+  const JsonParse p =
+      parse_json(R"({"u": 18446744073709551615, "i": -9007199254740993})");
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.value.member("u")->as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(p.value.member("i")->as_i64(), -9007199254740993ll);
 }
 
 }  // namespace

@@ -47,6 +47,12 @@ int usage() {
       "                                                         [0 = off]\n"
       "  --require-ckpt      fail unless >= 1 cache restart and >= 1 partner\n"
       "                      rebuild were exercised\n"
+      "  --tenants=N         co-located tenants per schedule; failures\n"
+      "                      target tenant 0, the rest are bystanders\n"
+      "                      checked bit-for-bit vs solo runs     [1]\n"
+      "  --require-isolation fail unless failures were injected AND the\n"
+      "                      isolation invariant compared >= 1 bystander\n"
+      "                      read against its solo reference\n"
       "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
       "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
       "  --forensics=DIR     write a forensic bundle (JSON) per failing\n"
@@ -148,6 +154,11 @@ int run_cli(int argc, char** argv) {
     std::fputs("--ckpt-levels must be in [0, 1]\n", stderr);
     return usage();
   }
+  opts.gen.tenants = flags.get_int("tenants", 1);
+  if (opts.gen.tenants < 1) {
+    std::fputs("--tenants must be >= 1\n", stderr);
+    return usage();
+  }
   opts.threads = flags.get_int("threads", 0);
   opts.sabotage = check::parse_sabotage(flags.get("break", "none"));
   opts.shrink = !flags.get_bool("no-shrink", false);
@@ -160,6 +171,7 @@ int run_cli(int argc, char** argv) {
   const bool require_pressure = flags.get_bool("require-pressure", false);
   const bool require_elastic = flags.get_bool("require-elastic", false);
   const bool require_ckpt = flags.get_bool("require-ckpt", false);
+  const bool require_isolation = flags.get_bool("require-isolation", false);
   const std::string repro = flags.get("repro", "");
   const std::string forensics_dir = flags.get("forensics", "");
 
@@ -205,6 +217,14 @@ int run_cli(int argc, char** argv) {
                 static_cast<unsigned long long>(result.ckpt_cache_restarts),
                 static_cast<unsigned long long>(result.ckpt_partner_rebuilds),
                 static_cast<unsigned long long>(result.ckpt_pfs_restarts));
+  }
+
+  if (opts.gen.tenants > 1) {
+    std::printf("tenant isolation (%d tenants): %llu bystander reads "
+                "compared bit-for-bit against solo references\n",
+                opts.gen.tenants,
+                static_cast<unsigned long long>(
+                    result.isolation_reads_checked));
   }
 
   for (const check::CampaignFailure& failure : result.failures) {
@@ -265,6 +285,14 @@ int run_cli(int argc, char** argv) {
     std::fputs("--require-ckpt: cache restart and partner rebuild must both "
                "be exercised — a campaign where every restart fell through "
                "to the PFS verified neither fast level\n",
+               stdout);
+    ok = false;
+  }
+  if (require_isolation && (result.isolation_reads_checked == 0 ||
+                            result.total_failures_injected == 0)) {
+    std::fputs("--require-isolation: need injected failures AND compared "
+               "bystander reads — a campaign where tenant 0 never crashed "
+               "or no co-tenant read was checked verified no isolation\n",
                stdout);
     ok = false;
   }

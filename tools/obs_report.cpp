@@ -9,8 +9,10 @@
 //   obs_report --validate=run.trace.json        # CI: exit 1 if malformed
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -20,6 +22,7 @@
 #include "core/sweep.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/report.hpp"
+#include "staging/tenant.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 
@@ -37,6 +40,37 @@ core::Scheme parse_scheme(const std::string& name) {
                               "' (expected ds|co|un|in|hy)");
 }
 
+// The tenant a span track belongs to, parsed from the expand_tenants()
+// "@t<N>" name suffix. Tracks without a suffix — tenant 0's components and
+// shared infrastructure (staging servers, spill gateway) — land in bucket
+// 0, which the rollup labels accordingly.
+int track_tenant(const std::string& track) {
+  const std::size_t at = track.rfind("@t");
+  if (at == std::string::npos) return 0;
+  return std::atoi(track.c_str() + at + 2);
+}
+
+// Collapse the per-track breakdown into one synthetic track per tenant, so
+// print_breakdown() renders a per-tenant phase table. Totals are summed
+// across the tenant's tracks (a rollup of attributed time, not a wall
+// clock).
+obs::Breakdown by_tenant_rollup(const obs::Breakdown& b) {
+  obs::Breakdown out;
+  out.span_horizon_ns = b.span_horizon_ns;
+  std::map<int, obs::TrackBreakdown> buckets;
+  for (const auto& t : b.tracks) {
+    const int tenant = track_tenant(t.track);
+    auto& bucket = buckets[tenant];
+    bucket.track = tenant == 0 ? "tenant 0 (+shared)"
+                               : "tenant " + std::to_string(tenant);
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+      bucket.phase_ns[p] += t.phase_ns[p];
+    bucket.total_ns += t.total_ns;
+  }
+  for (auto& [tenant, bucket] : buckets) out.tracks.push_back(bucket);
+  return out;
+}
+
 int usage() {
   std::puts(
       "usage: obs_report [options]\n"
@@ -46,6 +80,8 @@ int usage() {
       "  --failures=N                injected failures        [1]\n"
       "  --seed=N                    failure seed             [1]\n"
       "  --timesteps=N               run length               [40]\n"
+      "  --tenants=N                 co-located workflow copies [1]\n"
+      "  --by-tenant                 roll the phase breakdown up per tenant\n"
       "  --trace-json=FILE           export Chrome trace-event JSON\n"
       "  --json=FILE                 export breakdown + metrics JSON\n"
       "  --validate=FILE             validate an exported trace instead\n"
@@ -114,6 +150,12 @@ int run_report(int argc, char** argv) {
   spec.total_ts = flags.get_int("timesteps", spec.total_ts);
   spec.failures.count = flags.get_int("failures", 1);
   spec.failures.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.tenancy.tenants = flags.get_int("tenants", 1);
+  if (spec.tenancy.tenants < 1) {
+    std::fprintf(stderr, "--tenants must be >= 1\n");
+    return usage();
+  }
+  const bool by_tenant = flags.get_bool("by-tenant", false);
   spec.obs.enabled = true;
   const std::string trace_file = flags.get("trace-json", "");
   const std::string json_file = flags.get("json", "");
@@ -155,6 +197,21 @@ int run_report(int argc, char** argv) {
   } else {
     std::printf("\nExecution-time breakdown (virtual seconds per phase):\n\n");
     print_breakdown(std::cout, breakdown);
+  }
+
+  obs::Breakdown tenant_rollup;
+  if (by_tenant) {
+    tenant_rollup = by_tenant_rollup(breakdown);
+    std::printf("\nPer-tenant rollup (attributed virtual seconds; tenant 0 "
+                "includes shared staging infrastructure):\n\n");
+    print_breakdown(std::cout, tenant_rollup);
+    if (!m.staging.tenant_store_bytes_peak.empty()) {
+      std::printf("\nPer-tenant staging store peak:\n");
+      for (const auto& [tenant, peak] : m.staging.tenant_store_bytes_peak) {
+        std::printf("  tenant %-3d %8.1f MB\n", tenant,
+                    static_cast<double>(peak) / (1024.0 * 1024.0));
+      }
+    }
   }
 
   // Self-check: the integer-ns sweep attributes every nanosecond, so each
@@ -219,6 +276,8 @@ int run_report(int argc, char** argv) {
     Json doc = Json::object();
     doc.set("run", core::metrics_to_json(m));
     doc.set("phases", obs::breakdown_to_json(breakdown));
+    if (by_tenant)
+      doc.set("phases_by_tenant", obs::breakdown_to_json(tenant_rollup));
     doc.set("metrics", obs->metrics().to_json());
     std::ofstream out(json_file);
     if (!out) {
