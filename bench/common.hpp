@@ -83,6 +83,13 @@ class Harness {
   }
 
   [[nodiscard]] int seeds() const { return seeds_; }
+  /// Bench-specific flags beyond the shared --seeds/--threads/--json/--obs.
+  [[nodiscard]] int flag_int(const std::string& name, int fallback) const {
+    return flags_.get_int(name, fallback);
+  }
+  [[nodiscard]] bool flag_bool(const std::string& name, bool fallback) const {
+    return flags_.get_bool(name, fallback);
+  }
   [[nodiscard]] bool obs_enabled() const { return obs_; }
   [[nodiscard]] const obs::MetricsRegistry& obs_metrics() const {
     return obs_metrics_;
@@ -108,6 +115,12 @@ class Harness {
   /// One measured cell of the figure (a subset fraction, a scale, ...).
   void add_point(Json point) { points_.push(std::move(point)); }
 
+  /// Additional top-level key in the BENCH JSON document (e.g. a second
+  /// series that is not part of the figure's main point array).
+  void set_extra(std::string key, Json value) {
+    extras_.emplace_back(std::move(key), std::move(value));
+  }
+
   /// Validate flags and write the JSON document if requested. Return value
   /// is the process exit code.
   int finish() {
@@ -122,6 +135,7 @@ class Harness {
     doc.set("bench", name_);
     doc.set("seeds", seeds_);
     doc.set("points", std::move(points_));
+    for (auto& [key, value] : extras_) doc.set(key, std::move(value));
     if (obs_ && !obs_metrics_.empty()) {
       doc.set("obs_metrics", obs_metrics_.to_json());
     }
@@ -143,6 +157,7 @@ class Harness {
   bool obs_ = false;
   std::string json_path_;
   Json points_ = Json::array();
+  std::vector<std::pair<std::string, Json>> extras_;
   obs::MetricsRegistry obs_metrics_;  // sweep-wide aggregate (--obs)
 };
 

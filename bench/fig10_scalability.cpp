@@ -5,13 +5,29 @@
 // on which component absorbs the failures (an analytic failure is nearly
 // free under Un but triggers a full global rollback under Co), so both the
 // mean and the best case over the seed batch are reported.
+//
+// Two extensions beyond the paper table:
+//  - each scale is re-run with the write-log codec armed (delta_lz) to
+//    report the staged-byte reduction the codec buys on the figure's own
+//    workload (deterministic, so the ratio is baseline-gated);
+//  - a DES ceiling sweep pushes the engine to 10k..100k staging vprocs and
+//    reports host-side events/sec (wall-clock, so candidate-only).
+//
+// Extra flags:
+//   --ceiling=N       largest ceiling cell to run (default 100000; 0 skips
+//                     the ceiling sweep entirely — CI smoke uses 10000)
+//   --no-wallclock    omit wall_s / events_per_sec from the JSON so the
+//                     document is fully deterministic (baseline generation)
 #include <algorithm>
+#include <chrono>
 
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
   using namespace dstage;
   bench::Harness h("fig10_scalability", argc, argv, 8);
+  const int ceiling = h.flag_int("ceiling", 100000);
+  const bool wallclock = !h.flag_bool("no-wallclock", false);
   bench::print_header(
       "Figure 10 — total execution time at scale (Table III)",
       "704..11264 cores; failures follow Table III's MTBF rows (1..3 per "
@@ -20,21 +36,38 @@ int main(int argc, char** argv) {
 
   const double paper_up_to[] = {7.89, 10.48, 11.5, 12.03, 13.48};
 
-  std::printf("%7s %4s %10s %10s %10s %10s %10s %10s\n", "cores", "fail",
-              "Co (s)", "Un (s)", "Hy (s)", "mean save", "max save",
-              "paper");
+  std::printf("%7s %4s %10s %10s %10s %10s %10s %10s %7s\n", "cores", "fail",
+              "Co (s)", "Un (s)", "Hy (s)", "mean save", "max save", "paper",
+              "codec");
   for (int k = 0; k <= 4; ++k) {
     // Table III: MTBF 600/300/200 s maps to 1/2/3 failures per run; the
     // larger scales keep the highest failure rate.
     const int failures = k == 0 ? 1 : (k == 1 ? 2 : 3);
-    auto sweep_scheme = [&](core::Scheme scheme) {
-      return h.sweep([&, scheme](std::uint64_t seed) {
-        return core::table3_setup(scheme, k, failures, seed);
+    auto sweep_scheme = [&](core::Scheme scheme,
+                            wlog::codec::Scheme codec) {
+      return h.sweep([&, scheme, codec](std::uint64_t seed) {
+        auto spec = core::table3_setup(scheme, k, failures, seed);
+        spec.wlog.codec = codec;
+        return spec;
       });
     };
-    auto co = sweep_scheme(core::Scheme::kCoordinated);
-    auto un = sweep_scheme(core::Scheme::kUncoordinated);
-    auto hy = sweep_scheme(core::Scheme::kHybrid);
+    auto co = sweep_scheme(core::Scheme::kCoordinated,
+                           wlog::codec::Scheme::kNone);
+    auto un = sweep_scheme(core::Scheme::kUncoordinated,
+                           wlog::codec::Scheme::kNone);
+    auto hy = sweep_scheme(core::Scheme::kHybrid, wlog::codec::Scheme::kNone);
+    // The same Un cell with the payload codec armed: the ratio of nominal
+    // bytes presented to the encoder vs nominal-scale bytes retained.
+    auto un_cx = sweep_scheme(core::Scheme::kUncoordinated,
+                              wlog::codec::Scheme::kDeltaLz);
+    double codec_raw = 0, codec_stored = 0;
+    for (const auto& r : un_cx) {
+      codec_raw += static_cast<double>(r.metrics.staging.codec_raw_bytes);
+      codec_stored +=
+          static_cast<double>(r.metrics.staging.codec_stored_bytes);
+    }
+    const double codec_ratio =
+        codec_stored > 0 ? codec_raw / codec_stored : 0.0;
     const double co_mean = core::mean_total_time(co);
     const double un_mean = core::mean_total_time(un);
     const double hy_mean = core::mean_total_time(hy);
@@ -45,9 +78,10 @@ int main(int argc, char** argv) {
                                              co[s].metrics.total_time_s));
     }
     const double mean_save = 100.0 * (1.0 - un_mean / co_mean);
-    std::printf("%7d %4d %10.1f %10.1f %10.1f %9.2f%% %9.2f%% %9.2f%%\n",
-                core::table3_total_cores(k), failures, co_mean, un_mean,
-                hy_mean, mean_save, max_save, paper_up_to[k]);
+    std::printf(
+        "%7d %4d %10.1f %10.1f %10.1f %9.2f%% %9.2f%% %9.2f%% %6.2fx\n",
+        core::table3_total_cores(k), failures, co_mean, un_mean, hy_mean,
+        mean_save, max_save, paper_up_to[k], codec_ratio);
 
     Json p = Json::object();
     p.set("scale_index", k);
@@ -59,7 +93,51 @@ int main(int argc, char** argv) {
     p.set("mean_saving_pct", mean_save);
     p.set("max_saving_pct", max_save);
     p.set("paper_up_to_pct", paper_up_to[k]);
+    p.set("un_codec_raw_bytes", codec_raw);
+    p.set("un_codec_stored_bytes", codec_stored);
+    p.set("un_codec_ratio", codec_ratio);
     h.add_point(std::move(p));
   }
+
+  // DES ceiling sweep: one short uncoordinated run per cell, sized by the
+  // staging-server count so the vproc population — not the data volume —
+  // is what grows. Virtual-time metrics are deterministic; wall_s and
+  // events_per_sec are host measurements and stay out of the baseline.
+  Json ceiling_points = Json::array();
+  if (ceiling > 0) {
+    bench::print_header(
+        "DES ceiling — engine throughput at 10k..100k staging vprocs",
+        "one seed per cell; events/sec is host wall-clock over the whole "
+        "run (build + simulate + collect).");
+    std::printf("%8s %8s %12s %12s %9s %12s\n", "servers", "vprocs",
+                "events", "virt (s)", "wall (s)", "events/sec");
+    for (const int servers : {10'000, 32'000, 100'000}) {
+      if (servers > ceiling) continue;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto m = bench::run(core::ceiling_setup(servers));
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double events_per_sec =
+          wall_s > 0 ? static_cast<double>(m.events_processed) / wall_s : 0.0;
+      std::printf("%8d %8d %12llu %12.1f %9.2f %12.0f\n", servers, m.vprocs,
+                  static_cast<unsigned long long>(m.events_processed),
+                  m.total_time_s, wall_s, events_per_sec);
+
+      Json p = Json::object();
+      p.set("servers", servers);
+      p.set("vprocs", m.vprocs);
+      p.set("events_processed", static_cast<double>(m.events_processed));
+      p.set("total_time_s", m.total_time_s);
+      p.set("fabric_packets", static_cast<double>(m.fabric_packets));
+      p.set("staging_puts", static_cast<double>(m.staging.puts));
+      if (wallclock) {
+        p.set("wall_s", wall_s);
+        p.set("events_per_sec", events_per_sec);
+      }
+      ceiling_points.push(std::move(p));
+    }
+  }
+  h.set_extra("ceiling_points", std::move(ceiling_points));
   return h.finish();
 }

@@ -31,6 +31,10 @@ void BM_EngineScheduleDispatch(benchmark::State& state) {
     benchmark::DoNotOptimize(eng.run());
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  // Headline DES hot-path metric, gated by tools/bench_compare in CI.
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1000),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EngineScheduleDispatch);
 
@@ -56,6 +60,9 @@ void BM_CoroutinePingPong(benchmark::State& state) {
     benchmark::DoNotOptimize(eng.run());
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1000),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoroutinePingPong);
 

@@ -64,6 +64,10 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     result.ckpt_partner_rebuilds += reports[i].ckpt_partner_rebuilds;
     result.ckpt_pfs_restarts += reports[i].ckpt_pfs_restarts;
     result.isolation_reads_checked += reports[i].isolation_reads_checked;
+    result.codec_reads_checked += reports[i].codec_reads_checked;
+    result.codec_blocks_encoded += reports[i].codec_blocks_encoded;
+    result.codec_raw_bytes += reports[i].codec_raw_bytes;
+    result.codec_stored_bytes += reports[i].codec_stored_bytes;
     if (reports[i].ok()) {
       ++result.passed;
       continue;

@@ -69,6 +69,14 @@ struct CampaignResult {
   /// invariant that never inspected a cross-tenant read has verified
   /// nothing.
   std::uint64_t isolation_reads_checked = 0;
+  /// Aggregated codec activity (zero when gen.codec == kNone). A --codec
+  /// campaign should assert codec_blocks_encoded and codec_reads_checked
+  /// are nonzero: a codec run that never encoded a block or never compared
+  /// a read against the codec-off reference has verified nothing.
+  std::uint64_t codec_reads_checked = 0;
+  std::uint64_t codec_blocks_encoded = 0;
+  std::uint64_t codec_raw_bytes = 0;
+  std::uint64_t codec_stored_bytes = 0;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };

@@ -381,6 +381,9 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
     report.ckpt_cache_restarts = metrics.ckpt.cache_restarts;
     report.ckpt_partner_rebuilds = metrics.ckpt.partner_rebuilds;
     report.ckpt_pfs_restarts = metrics.ckpt.pfs_restarts;
+    report.codec_blocks_encoded = metrics.staging.codec_blocks;
+    report.codec_raw_bytes = metrics.staging.codec_raw_bytes;
+    report.codec_stored_bytes = metrics.staging.codec_stored_bytes;
   } catch (const std::runtime_error& e) {
     deadlocked = true;
     add_violation(report.violations, 4,
@@ -631,6 +634,45 @@ OracleReport check_schedule(const Schedule& s, ReferenceCache& cache,
                 std::to_string(expect.bytes) + " anomalies=" +
                 std::to_string(expect.anomalies));
       }
+    }
+  }
+
+  // ---- Invariant 7: codec transparency (codec schedules only). ----
+  // The codec-armed reference run must read exactly what a codec-off run
+  // of the same configuration reads: compression and delta encoding of the
+  // write log are never observable through any read path. Invariant 2
+  // already pins this failure run's reads to the codec-armed reference, so
+  // together the chain run == codec-armed ref == codec-off ref holds
+  // bit-for-bit (checksums compare piece identity; the timing of the two
+  // references may differ — encoded wire sizes are the point — so only
+  // read content is compared, never the trace digest).
+  if (s.codec != wlog::codec::Scheme::kNone) {
+    Schedule raw = s;
+    raw.codec = wlog::codec::Scheme::kNone;
+    const auto raw_ref = cache.reference_for(raw);
+    for (const auto& [key, expect] : ref->reads) {
+      ++report.codec_reads_checked;
+      const auto it = raw_ref->reads.find(key);
+      if (it == raw_ref->reads.end()) {
+        add_violation(report.violations, 7,
+                      "codec-armed read " + key +
+                          " has no codec-off counterpart");
+        continue;
+      }
+      const ReferenceCache::ReadObs& want = it->second;
+      if (expect.checksum == want.checksum && expect.bytes == want.bytes &&
+          expect.anomalies == want.anomalies) {
+        continue;
+      }
+      add_violation(
+          report.violations, 7,
+          "codec-armed read " + key + " differs from the codec-off run: " +
+              "got checksum=" + std::to_string(expect.checksum) + " bytes=" +
+              std::to_string(expect.bytes) + " anomalies=" +
+              std::to_string(expect.anomalies) + ", codec-off has checksum=" +
+              std::to_string(want.checksum) + " bytes=" +
+              std::to_string(want.bytes) + " anomalies=" +
+              std::to_string(want.anomalies));
     }
   }
 

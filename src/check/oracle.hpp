@@ -1,7 +1,7 @@
 // The crash-consistency oracle. check_schedule() executes one failure
 // schedule through the real runtime with probe instrumentation installed
 // (staging store/log drops, GC checkpoints and sweeps, consumer read
-// checksums, recovery-pipeline milestones) and asserts six machine-checked
+// checksums, recovery-pipeline milestones) and asserts seven machine-checked
 // invariants against a failure-free reference run of the same
 // configuration:
 //
@@ -35,6 +35,15 @@
 //      the "@t<N>" clone suffix, must be bit-for-bit identical to running
 //      solo. Tenant 0's crashes, rollbacks, GC sweeps and spills must be
 //      invisible to its co-tenants.
+//   7. Codec transparency (codec-armed schedules only) — every consumer
+//      read of the codec-armed reference run must be bit-for-bit identical
+//      (checksum, byte count, anomaly flags) to the codec-off reference of
+//      the same configuration: compressing and delta-encoding the write
+//      log must never be observable through any read path. Combined with
+//      invariant 2 (the failure run replays identically to its codec-armed
+//      reference), this pins decoded reads to the uncompressed truth, and
+//      invariant 1's holdings sweep byte-verifies every decoded retained
+//      chunk against its content key.
 //
 // Reference runs are memoized per failure-free configuration so a campaign
 // pays for each distinct (scheme, periods, resilience) combination once.
@@ -71,7 +80,7 @@ const char* sabotage_name(Sabotage s);
 Sabotage parse_sabotage(const std::string& name);
 
 struct Violation {
-  int invariant = 0;  // 1..6, numbering above
+  int invariant = 0;  // 1..7, numbering above
   std::string detail;
 };
 
@@ -109,6 +118,15 @@ struct OracleReport {
   // Campaigns aggregate this to assert --require-isolation really checked
   // cross-tenant reads rather than vacuously passing.
   std::uint64_t isolation_reads_checked = 0;
+  // Codec activity (zero for codec-off schedules): reads the transparency
+  // invariant compared against the codec-off reference, and blocks the
+  // run's data logs actually encoded. Campaigns aggregate these to assert
+  // a --codec campaign really exercised the codec rather than vacuously
+  // passing.
+  std::uint64_t codec_reads_checked = 0;
+  std::uint64_t codec_blocks_encoded = 0;
+  std::uint64_t codec_raw_bytes = 0;
+  std::uint64_t codec_stored_bytes = 0;
 
   /// Forensic post-mortem captured from the flight recorder. Non-null when
   /// the run violated an invariant, the recorder noted a loud degradation,

@@ -122,6 +122,7 @@ core::WorkflowSpec Schedule::to_spec() const {
     // weights are filled in by expand_tenants().
     spec.tenancy.fair_share = memory_budget_mb > 0;
   }
+  spec.wlog.codec = codec;
   spec.failures.seed = static_cast<std::uint64_t>(id) + 1;
   for (const ScheduleFailure& f : failures) {
     spec.failures.explicit_failures.push_back(
@@ -179,6 +180,11 @@ std::string Schedule::repro() const {
     std::snprintf(buf, sizeof(buf), ";tenants=%d", tenants);
     out += buf;
   }
+  // Emitted only when armed, so codec-off repro strings stay stable.
+  if (codec != wlog::codec::Scheme::kNone) {
+    out += ";codec=";
+    out += wlog::codec::scheme_name(codec);
+  }
   for (const ScheduleFailure& f : failures) {
     std::string flags;
     if (f.phase < 0) flags += 'a';
@@ -230,6 +236,14 @@ Schedule Schedule::parse(const std::string& repro) {
       s.ckpt_group = parse_int(val, "ckpt");
     } else if (key == "tenants") {
       s.tenants = parse_int(val, "tenants");
+    } else if (key == "codec") {
+      const auto scheme = wlog::codec::parse_scheme(val);
+      if (!scheme) {
+        throw std::invalid_argument(
+            "repro: unknown codec '" + val +
+            "' (want none|lz|delta|delta_lz)");
+      }
+      s.codec = *scheme;
     } else if (key == "elastic") {
       for (const std::string& tok : split(val, ',')) {
         if (tok.size() < 2 || (tok[0] != 'j' && tok[0] != 'r')) {
@@ -301,6 +315,10 @@ std::vector<Schedule> generate_schedules(const GenerateOptions& opts) {
     s.mtbf = rng.next_double() < 0.5;
     s.memory_budget_mb = opts.memory_budget_mb;
     s.tenants = opts.tenants;  // no rng draw: schedules replay 1:1
+    s.codec = opts.codec;      // no rng draw: schedules replay 1:1
+    if (opts.codec_mix) {
+      s.codec = static_cast<wlog::codec::Scheme>((i % 3) + 1);
+    }
 
     auto draw_flags = [&](ScheduleFailure& f) {
       f.node_level = rng.next_double() < 0.3;

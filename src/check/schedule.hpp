@@ -76,6 +76,13 @@ struct Schedule {
   /// reference runs; the isolation check additionally rebases bystander
   /// reads onto the single-tenant reference.
   int tenants = 1;
+  /// Write-log payload codec armed for this schedule (kNone = raw
+  /// retention, the default; serialized as `;codec=` only when set, so
+  /// codec-off repro strings stay stable). Part of the configuration, so
+  /// codec schedules get their own reference runs — and the oracle's
+  /// codec-transparency invariant additionally replays every read against
+  /// a codec-off twin.
+  wlog::codec::Scheme codec = wlog::codec::Scheme::kNone;
   std::vector<ScheduleFailure> failures;
   /// Membership changes driven mid-run (empty = fixed group, the default;
   /// serialized as the `;elastic=` repro field only when non-empty).
@@ -116,6 +123,13 @@ struct GenerateOptions {
   /// --tenants=N campaigns replay the same failure schedules as their
   /// single-tenant counterparts.
   int tenants = 1;
+  /// Write-log payload codec applied to every generated schedule. Set
+  /// without consuming the random stream, so --codec campaigns replay the
+  /// same failure schedules as their raw-retention counterparts.
+  wlog::codec::Scheme codec = wlog::codec::Scheme::kNone;
+  /// Cycle schedule i through lz/delta/delta_lz (overrides `codec`;
+  /// deterministic by index, no rng draw) — the campaign's --codec=mix.
+  bool codec_mix = false;
 };
 
 /// Draw `count` independent schedules. Schedule i depends only on

@@ -88,6 +88,7 @@ void Runtime::build(const SchemePolicy& policy) {
   staging::ServerParams server_params = spec_.server;
   server_params.logging = policy.uses_logging();
   server_params.governor = spec_.staging;
+  server_params.log_codec = spec_.wlog.codec;
   const int total_servers =
       spec_.staging_servers + spec_.elastic.standby_servers;
   for (int s = 0; s < total_servers; ++s) {
@@ -193,12 +194,20 @@ void Runtime::build(const SchemePolicy& policy) {
   }
 
   {
-    std::vector<net::EndpointId> server_endpoints;
-    server_endpoints.reserve(server_vprocs_.size());
+    // One shared endpoint list and one shared identity view for the whole
+    // group: per-server copies are O(N²) bytes across a 100k-server run.
+    auto server_endpoints =
+        std::make_shared<std::vector<net::EndpointId>>();
+    server_endpoints->reserve(server_vprocs_.size());
     for (auto vp : server_vprocs_)
-      server_endpoints.push_back(cluster_.vproc(vp).endpoint);
+      server_endpoints->push_back(cluster_.vproc(vp).endpoint);
+    auto identity_view =
+        std::make_shared<std::vector<int>>(server_vprocs_.size());
+    for (std::size_t s = 0; s < identity_view->size(); ++s)
+      (*identity_view)[s] = static_cast<int>(s);
     for (std::size_t s = 0; s < servers_.size(); ++s) {
-      servers_[s]->set_peers(static_cast<int>(s), server_endpoints);
+      servers_[s]->set_peers(static_cast<int>(s), server_endpoints,
+                             identity_view);
     }
   }
 
@@ -525,10 +534,17 @@ RunMetrics Runtime::collect(int failures_injected) const {
     m.staging.total_bytes_mean += server->mean_total_bytes();
     const auto mem = server->memory();
     m.staging.log_payload_bytes_peak += mem.log_payload_bytes;
+    const wlog::CodecStats& cs = server->data_log().codec_stats();
+    m.staging.codec_raw_bytes += cs.raw_bytes;
+    m.staging.codec_stored_bytes += cs.stored_bytes;
+    m.staging.codec_blocks += cs.blocks_encoded;
+    m.staging.codec_delta_blocks += cs.delta_blocks;
+    m.staging.codec_rebases += cs.rebases;
   }
   m.pfs_bytes_written = pfs_.bytes_written();
   m.pfs_bytes_read = pfs_.bytes_read();
   m.events_processed = engine_.processed();
+  m.vprocs = cluster_.vproc_count();
   m.fabric_packets = fabric_.packets_sent();
   m.fabric_bytes = fabric_.bytes_sent();
   for (const auto& c : comps_) {

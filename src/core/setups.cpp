@@ -85,4 +85,38 @@ WorkflowSpec table3_setup(Scheme scheme, int scale_index, int failures,
   return spec;
 }
 
+WorkflowSpec ceiling_setup(int staging_servers, wlog::codec::Scheme codec) {
+  if (staging_servers < 1)
+    throw std::invalid_argument("staging_servers must be >= 1");
+  WorkflowSpec spec;
+  spec.domain = Box::from_dims(256, 256, 128);
+  spec.bytes_per_point = 8.0;  // 64 MB nominal per full-domain timestep
+  spec.mem_scale = 65536;
+  spec.total_ts = 4;
+  spec.staging_servers = staging_servers;
+  spec.staging_cores = staging_servers;
+  spec.cells_per_axis = 64;
+  spec.scheme = Scheme::kUncoordinated;
+  spec.coordinated_period = 4;
+  spec.wlog.codec = codec;
+
+  ComponentSpec sim;
+  sim.name = "simulation";
+  sim.cores = 512;
+  sim.compute_per_ts_s = spec.costs.sim_compute_per_ts_s;
+  sim.ckpt_period = 2;
+  sim.writes.push_back(CouplingWrite{"field", 1.0});
+  spec.components.push_back(sim);
+
+  ComponentSpec analytic;
+  analytic.name = "analytic";
+  analytic.cores = 128;
+  analytic.compute_per_ts_s = spec.costs.analytic_compute_per_ts_s;
+  analytic.ckpt_period = 3;
+  analytic.reads.push_back(CouplingRead{"field", 1.0, 1});
+  spec.components.push_back(analytic);
+
+  return spec;
+}
+
 }  // namespace dstage::core

@@ -24,4 +24,14 @@ WorkflowSpec table3_setup(Scheme scheme, int scale_index, int failures,
 /// Total core count of a Table III scale index (for labels).
 int table3_total_cores(int scale_index);
 
+/// DES ceiling scenario: `staging_servers` staging vprocs (tens of
+/// thousands) running a short fixed workload. The point is engine/vproc
+/// scalability, not data volume: the domain stays fixed, so per-server
+/// payloads shrink as the group grows while the event population scales
+/// with the server count. cells_per_axis is raised to 64 (262,144 cells)
+/// so every server owns cells even at 100k+ servers.
+WorkflowSpec ceiling_setup(
+    int staging_servers,
+    wlog::codec::Scheme codec = wlog::codec::Scheme::kNone);
+
 }  // namespace dstage::core

@@ -190,6 +190,19 @@ struct TenancySpec {
   [[nodiscard]] bool enabled() const { return tenants > 1; }
 };
 
+/// Write-log payload codec (DESIGN.md §14): LZ block compression plus
+/// XOR-delta encoding of successive versions of the same region, applied
+/// at log-retain time and decoded transparently on every read path.
+/// Inert by default (codec == kNone): payloads are retained raw and the
+/// golden-trace digests are byte-identical.
+struct WlogSpec {
+  wlog::codec::Scheme codec = wlog::codec::Scheme::kNone;
+
+  [[nodiscard]] bool enabled() const {
+    return codec != wlog::codec::Scheme::kNone;
+  }
+};
+
 struct WorkflowSpec {
   Box domain = Box::from_dims(512, 512, 256);
   double bytes_per_point = 8.0;
@@ -236,6 +249,10 @@ struct WorkflowSpec {
   /// Inert by default (tenants == 1): golden-trace digests are recorded
   /// single-tenant.
   TenancySpec tenancy;
+  /// Write-log payload codec (compression + delta encoding). Inert by
+  /// default (kNone): golden-trace digests are recorded with raw payload
+  /// retention.
+  WlogSpec wlog;
 
   /// Reject malformed specs before the runtime is assembled. Throws
   /// std::invalid_argument with a message naming the offending field (and
@@ -302,6 +319,12 @@ struct StagingMetrics {
   std::uint64_t wrong_epoch_rejects = 0;  // stale-view requests bounced
   std::uint64_t degraded_reads = 0;       // pieces reconstructed from
                                           // fragments on the get path
+  // Write-log codec counters (all zero with the codec off).
+  std::uint64_t codec_raw_bytes = 0;     // nominal bytes presented to encode
+  std::uint64_t codec_stored_bytes = 0;  // nominal-scale bytes after encode
+  std::uint64_t codec_blocks = 0;        // payload blocks encoded
+  std::uint64_t codec_delta_blocks = 0;  // encoded against a prior version
+  std::uint64_t codec_rebases = 0;       // deltas re-encoded full pre-drop
   // Multi-tenant counters.
   std::uint64_t fair_share_rejects = 0;   // puts bounced by a tenant share
   /// Per-tenant peak nominal store bytes, summed over servers — what the
@@ -337,6 +360,9 @@ struct RunMetrics {
   std::uint64_t pfs_bytes_written = 0;
   std::uint64_t pfs_bytes_read = 0;
   std::uint64_t events_processed = 0;
+  /// Vprocs the run was built with (staging servers + component actors +
+  /// control/agent processes) — the fig10 ceiling sweep's x axis.
+  int vprocs = 0;
   /// Fabric totals (messages/bytes across all traffic classes) — the
   /// batching bench's headline numbers.
   std::uint64_t fabric_packets = 0;

@@ -34,7 +34,9 @@ std::uint64_t wire_size(const BatchPut& m) {
 }
 
 std::uint64_t wire_size(const SpillPut& m) {
-  return kObjectHeader + m.chunk.nominal_bytes;
+  // Spilled log chunks travel in their stored (possibly codec-encoded)
+  // representation: the PFS write is charged the encoded footprint.
+  return kObjectHeader + m.chunk.accounted_bytes();
 }
 std::uint64_t wire_size(const SpillFetch&) { return kObjectHeader; }
 std::uint64_t wire_size(const SpillPrune&) { return kDescriptor; }
@@ -47,7 +49,8 @@ std::uint64_t wire_size(const MembershipUpdate& m) {
 std::uint64_t wire_size(const MembershipQuery&) { return kDescriptor; }
 std::uint64_t wire_size(const FragmentFetch&) { return kObjectHeader; }
 std::uint64_t wire_size(const ResilverPut& m) {
-  return kObjectHeader + m.chunk.nominal_bytes;
+  // Log chunks resilver in their stored (possibly codec-encoded) form.
+  return kObjectHeader + m.chunk.accounted_bytes();
 }
 std::uint64_t wire_size(const CkptStoreLocal&) { return kDescriptor; }
 std::uint64_t wire_size(const CkptXorShard& m) {
@@ -64,7 +67,7 @@ std::uint64_t wire_size(const SpillFetchResponse& m) {
   // descriptor per chunk (data pointer absent).
   std::uint64_t bytes = kObjectHeader;
   for (const Chunk& chunk : m.chunks)
-    bytes += kDescriptor + (chunk.data ? chunk.nominal_bytes : 0);
+    bytes += kDescriptor + (chunk.data ? chunk.accounted_bytes() : 0);
   return bytes;
 }
 

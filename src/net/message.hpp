@@ -48,11 +48,23 @@ struct Chunk {
   Version version = 0;
   Box region;  // source region this piece covers
   std::uint64_t nominal_bytes = 0;
+  /// Paper-scale size of the *stored* representation when the payload is
+  /// codec-encoded (wlog compression/delta); 0 means "stored raw", i.e.
+  /// same as nominal_bytes. nominal_bytes always describes the raw object,
+  /// so read-side cost models and the consistency oracle see unchanged
+  /// sizes, while accounting and payload-bearing wire traffic charge the
+  /// encoded footprint.
+  std::uint64_t stored_bytes = 0;
   std::uint64_t content_key = 0;
   std::shared_ptr<const std::vector<std::uint8_t>> data;
 
   [[nodiscard]] std::uint64_t physical_bytes() const {
     return data ? data->size() : 0;
+  }
+  /// Paper-scale bytes this chunk occupies as stored/transferred: the
+  /// encoded size when the codec shrank it, the nominal size otherwise.
+  [[nodiscard]] std::uint64_t accounted_bytes() const {
+    return stored_bytes != 0 ? stored_bytes : nominal_bytes;
   }
 };
 

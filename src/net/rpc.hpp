@@ -111,8 +111,15 @@ class Rpc {
                                               Req request,
                                               RetryPolicy policy) {
     ++stats_.calls;
+    // Cumulative counts drive the exhaustion caps; the *consecutive* streak
+    // per error class drives the escalating backoff shift. A timeout after
+    // a run of backpressure bounces (or vice versa) is a fresh condition —
+    // carrying the other class's escalation over would jump straight to a
+    // huge delay for a failure mode that has struck once.
     int timeouts = 0;
     int rejections = 0;
+    int timeout_streak = 0;
+    int reject_streak = 0;
     for (;;) {
       auto reply = make_reply<typename Req::Response>(*ctx.eng);
       request.reply_to = self_;
@@ -134,9 +141,11 @@ class Rpc {
                                    " timed out after retries");
         }
         ++stats_.retries;
+        ++timeout_streak;
+        reject_streak = 0;
         if (policy.backoff.ns > 0) {
           // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
-          const int shift = timeouts - 1 < 16 ? timeouts - 1 : 16;
+          const int shift = timeout_streak - 1 < 16 ? timeout_streak - 1 : 16;
           co_await ctx.delay(sim::Duration{policy.backoff.ns << shift});
         }
         continue;
@@ -153,10 +162,12 @@ class Rpc {
                 " rejected by memory governor after retries");
           }
           ++stats_.backpressure_waits;
+          ++reject_streak;
+          timeout_streak = 0;
           const std::int64_t base =
               policy.backoff.ns > 0 ? policy.backoff.ns
                                     : kBackpressureBackoff.ns;
-          const int shift = rejections - 1 < 16 ? rejections - 1 : 16;
+          const int shift = reject_streak - 1 < 16 ? reject_streak - 1 : 16;
           co_await ctx.delay(sim::Duration{base << shift});
           continue;
         }

@@ -5,7 +5,6 @@
 // root task completes exceptionally.
 #pragma once
 
-#include <algorithm>
 #include <exception>
 #include <vector>
 
@@ -18,7 +17,11 @@ struct Cancelled : std::exception {
   }
 };
 
-/// Implemented by suspended awaiters so cancel() can wake them.
+/// Implemented by suspended awaiters so cancel() can wake them. Waiters are
+/// linked intrusively into their token's list: registration and removal are
+/// O(1), which matters when a component keeps thousands of fragment RPCs
+/// in flight (the old vector + linear find made every completed wait scan
+/// its siblings — quadratic in the in-flight count).
 class CancelWaiter {
  public:
   /// Called exactly once, synchronously, from CancelToken::cancel(). The
@@ -28,38 +31,84 @@ class CancelWaiter {
 
  protected:
   ~CancelWaiter() = default;
+
+ private:
+  friend class CancelToken;
+  CancelWaiter* prev_ = nullptr;
+  CancelWaiter* next_ = nullptr;
+  bool linked_ = false;
 };
 
 class CancelToken {
  public:
   [[nodiscard]] bool cancelled() const { return cancelled_; }
 
-  /// Marks the token cancelled and wakes every registered waiter. Idempotent.
+  /// Marks the token cancelled and wakes every registered waiter, in
+  /// registration order. Idempotent.
   void cancel() {
     if (cancelled_) return;
     cancelled_ = true;
-    // Waiters deregister themselves; iterate over a moved-out copy so
-    // on_cancel() may mutate the live list safely.
+    // Waiters deregister themselves; snapshot the chain and detach it
+    // first so on_cancel() may mutate the live list safely. Wake order is
+    // registration order — identical to the historical vector walk, so
+    // crash schedules (and trace digests) are unchanged.
     std::vector<CancelWaiter*> pending;
-    pending.swap(waiters_);
+    for (CancelWaiter* w = head_; w != nullptr; w = w->next_) {
+      pending.push_back(w);
+    }
+    unlink_all();
     for (CancelWaiter* w : pending) w->on_cancel();
   }
 
   /// Re-arms a token for a process slot being recycled from the spare pool.
   void reset() {
     cancelled_ = false;
-    waiters_.clear();
+    unlink_all();
   }
 
-  void add(CancelWaiter* w) { waiters_.push_back(w); }
+  void add(CancelWaiter* w) {
+    if (w->linked_) return;
+    w->linked_ = true;
+    w->prev_ = tail_;
+    w->next_ = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next_ = w;
+    } else {
+      head_ = w;
+    }
+    tail_ = w;
+  }
+
   void remove(CancelWaiter* w) {
-    auto it = std::find(waiters_.begin(), waiters_.end(), w);
-    if (it != waiters_.end()) waiters_.erase(it);
+    if (!w->linked_) return;
+    if (w->prev_ != nullptr) {
+      w->prev_->next_ = w->next_;
+    } else {
+      head_ = w->next_;
+    }
+    if (w->next_ != nullptr) {
+      w->next_->prev_ = w->prev_;
+    } else {
+      tail_ = w->prev_;
+    }
+    w->prev_ = w->next_ = nullptr;
+    w->linked_ = false;
   }
 
  private:
+  void unlink_all() {
+    for (CancelWaiter* w = head_; w != nullptr;) {
+      CancelWaiter* next = w->next_;
+      w->prev_ = w->next_ = nullptr;
+      w->linked_ = false;
+      w = next;
+    }
+    head_ = tail_ = nullptr;
+  }
+
   bool cancelled_ = false;
-  std::vector<CancelWaiter*> waiters_;
+  CancelWaiter* head_ = nullptr;
+  CancelWaiter* tail_ = nullptr;
 };
 
 }  // namespace dstage::sim

@@ -5,18 +5,59 @@
 
 namespace dstage::sim {
 
-EventId Engine::schedule(Duration d, std::coroutine_handle<> h) {
-  if (d.ns < 0) throw std::invalid_argument("negative delay");
-  const EventId id = next_id_++;
-  queue_.push(Item{now_ + d, id, h, {}});
-  ++live_items_;
-  return id;
+namespace {
+constexpr std::size_t kSlabFrames = 1024;
+}  // namespace
+
+Engine::~Engine() {
+  // Frames still queued hold live callables; cancelled ones were already
+  // discarded at pop-skip time or are still queued too (lazy deletion
+  // only marks the id). Either way, every frame left in the heap owns its
+  // callable exactly once.
+  for (const Item& item : heap_) {
+    if (item.is_frame) {
+      auto* frame = static_cast<CallFrame*>(item.target);
+      frame->discard(frame);
+    }
+  }
 }
 
-EventId Engine::schedule_call(Duration d, std::function<void()> fn) {
+void Engine::check_delay(Duration d) {
   if (d.ns < 0) throw std::invalid_argument("negative delay");
+}
+
+Engine::CallFrame* Engine::alloc_frame() {
+  if (free_frames_ == nullptr) {
+    slabs_.push_back(std::make_unique<CallFrame[]>(kSlabFrames));
+    CallFrame* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlabFrames; ++i) {
+      slab[i].next_free = free_frames_;
+      free_frames_ = &slab[i];
+    }
+  }
+  CallFrame* frame = free_frames_;
+  free_frames_ = frame->next_free;
+  return frame;
+}
+
+void Engine::push_item(const Item& item) {
+  // Hole insertion: shift ancestors down and write the item once, rather
+  // than swapping 32-byte entries at every level.
+  std::size_t i = heap_.size();
+  heap_.push_back(item);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], item)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+EventId Engine::schedule(Duration d, std::coroutine_handle<> h) {
+  check_delay(d);
   const EventId id = next_id_++;
-  queue_.push(Item{now_ + d, id, nullptr, std::move(fn)});
+  push_item(Item{now_.ns + d.ns, id, h.address(), /*is_frame=*/false});
   ++live_items_;
   return id;
 }
@@ -28,12 +69,37 @@ void Engine::cancel_event(EventId id) {
 }
 
 bool Engine::pop_one(Item& out) {
-  while (!queue_.empty()) {
-    out = queue_.top();
-    queue_.pop();
-    if (auto it = dead_.find(out.id); it != dead_.end()) {
-      dead_.erase(it);
-      continue;
+  while (!heap_.empty()) {
+    out = heap_.front();
+    // Pop-min with a hole: sift the last leaf's slot down from the root,
+    // writing it exactly once at its final position.
+    const Item last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      while (true) {
+        const std::size_t l = 2 * i + 1;
+        if (l >= n) break;
+        const std::size_t r = l + 1;
+        const std::size_t best =
+            (r < n && later(heap_[l], heap_[r])) ? r : l;
+        if (!later(last, heap_[best])) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    if (!dead_.empty()) {
+      if (auto it = dead_.find(out.id); it != dead_.end()) {
+        dead_.erase(it);
+        if (out.is_frame) {
+          auto* frame = static_cast<CallFrame*>(out.target);
+          frame->discard(frame);
+          recycle_frame(frame);
+        }
+        continue;
+      }
     }
     --live_items_;
     return true;
@@ -41,14 +107,15 @@ bool Engine::pop_one(Item& out) {
   return false;
 }
 
-void Engine::dispatch(Item& item) {
-  assert(item.at >= now_);
-  now_ = item.at;
+void Engine::dispatch(const Item& item) {
+  assert(item.at_ns >= now_.ns);
+  now_.ns = item.at_ns;
   ++processed_;
-  if (item.handle) {
-    item.handle.resume();
+  if (item.is_frame) {
+    auto* frame = static_cast<CallFrame*>(item.target);
+    frame->invoke(frame, this);
   } else {
-    item.fn();
+    std::coroutine_handle<>::from_address(item.target).resume();
   }
 }
 
@@ -65,12 +132,15 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(TimePoint limit) {
   std::uint64_t n = 0;
   Item item;
-  while (!queue_.empty() && queue_.top().at <= limit) {
+  // Peek-first: dead items at the top are drained by pop_one, and a live
+  // top beyond the limit is simply never popped (the historical code
+  // popped and re-pushed it).
+  while (!heap_.empty() && heap_.front().at_ns <= limit.ns) {
     if (!pop_one(item)) break;
-    if (item.at > limit) {
+    if (item.at_ns > limit.ns) {
       // pop_one skipped dead items and surfaced one beyond the limit; put
       // it back untouched.
-      queue_.push(item);
+      push_item(item);
       ++live_items_;
       break;
     }

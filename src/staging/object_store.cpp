@@ -13,18 +13,23 @@ ObjectStore::ObjectStore(int version_window)
 }
 
 void ObjectStore::account(const Chunk& c, int sign) {
+  // Footprint accounting charges the *stored* representation: for
+  // codec-encoded log chunks that is the (smaller) encoded size, which is
+  // exactly how the memory governor and the spill gateway see the codec's
+  // savings. Raw chunks have stored_bytes == 0 and charge nominal as ever.
+  const std::uint64_t stored = c.accounted_bytes();
   TenantUsage& usage = tenant_usage_[tenant_of(c.var)];
   if (sign > 0) {
-    nominal_bytes_ += c.nominal_bytes;
+    nominal_bytes_ += stored;
     physical_bytes_ += c.physical_bytes();
-    watermark_.add(static_cast<std::int64_t>(c.nominal_bytes));
-    usage.nominal += c.nominal_bytes;
+    watermark_.add(static_cast<std::int64_t>(stored));
+    usage.nominal += stored;
     if (usage.nominal > usage.peak) usage.peak = usage.nominal;
   } else {
-    nominal_bytes_ -= c.nominal_bytes;
+    nominal_bytes_ -= stored;
     physical_bytes_ -= c.physical_bytes();
-    watermark_.add(-static_cast<std::int64_t>(c.nominal_bytes));
-    usage.nominal -= c.nominal_bytes;
+    watermark_.add(-static_cast<std::int64_t>(stored));
+    usage.nominal -= stored;
   }
 }
 
@@ -117,6 +122,11 @@ bool ObjectStore::covers(const std::string& var, Version version,
   if (vit == store_.end()) return false;
   auto it = vit->second.find(version);
   if (it == vit->second.end()) return false;
+  // Fast path: one stored chunk contains the probe outright — the common
+  // case when gets are fragment-aligned with the writes that fed them.
+  for (const Chunk& c : it->second) {
+    if (c.region.contains(region)) return true;
+  }
   std::vector<Box> cover;
   cover.reserve(it->second.size());
   for (const Chunk& c : it->second) cover.push_back(c.region);
@@ -200,6 +210,28 @@ std::size_t ObjectStore::drop_pieces(
     vit->second.erase(it);
   }
   return dropped;
+}
+
+bool ObjectStore::rewrite_payload(
+    const std::string& var, Version version, const Box& region,
+    std::shared_ptr<const std::vector<std::uint8_t>> data,
+    std::uint64_t stored_bytes) {
+  auto vit = store_.find(var);
+  if (vit == store_.end()) return false;
+  auto it = vit->second.find(version);
+  if (it == vit->second.end()) return false;
+  for (Chunk& c : it->second) {
+    if (!(c.region == region)) continue;
+    // Representation change only (codec rebase): identity, nominal size and
+    // content key are untouched, so no probe fires — the oracle's view of
+    // which (var, version) is held does not change.
+    account(c, -1);
+    c.data = std::move(data);
+    c.stored_bytes = stored_bytes;
+    account(c, +1);
+    return true;
+  }
+  return false;
 }
 
 std::vector<Chunk> ObjectStore::chunks_of(const std::string& var,

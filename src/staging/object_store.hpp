@@ -71,6 +71,16 @@ class ObjectStore {
   [[nodiscard]] std::vector<Chunk> chunks_of(const std::string& var,
                                              Version version) const;
 
+  /// Replace the payload representation of the piece at (var, version,
+  /// region) in place — codec support (delta rebase / re-encode). Identity
+  /// and nominal size are unchanged; footprint accounting moves to the new
+  /// stored size. No probes fire: the held (var, version) set is unchanged.
+  /// Returns false when no such piece exists.
+  bool rewrite_payload(const std::string& var, Version version,
+                       const Box& region,
+                       std::shared_ptr<const std::vector<std::uint8_t>> data,
+                       std::uint64_t stored_bytes);
+
   /// Drop the individual pieces of (var, version) for which `pred` returns
   /// true (resilver hand-off helper: a chunk leaves only once the new cell
   /// owner holds it). The drop probe fires — with `reason` — only when the

@@ -31,7 +31,9 @@ StagingServer::StagingServer(cluster::Cluster& cluster,
       params_(params),
       rpc_(cluster.fabric(), cluster.vproc(vproc).endpoint),
       governor_(params.governor),
-      store_(params.version_window) {}
+      store_(params.version_window) {
+  dlog_.set_codec(params.log_codec);
+}
 
 net::EndpointId StagingServer::endpoint() const {
   return cluster_->vproc(vproc_).endpoint;
@@ -71,30 +73,36 @@ double StagingServer::mean_total_bytes() const {
                      : static_cast<double>(last_total_);
 }
 
-void StagingServer::set_peers(int self_index,
-                              std::vector<net::EndpointId> endpoints) {
+void StagingServer::set_peers(
+    int self_index,
+    std::shared_ptr<const std::vector<net::EndpointId>> endpoints,
+    std::shared_ptr<const std::vector<int>> initial_view) {
   self_index_ = self_index;
   peer_endpoints_ = std::move(endpoints);
+  if (initial_view != nullptr) {
+    active_view_ = std::move(initial_view);
+    return;
+  }
   // Default membership view: every peer is active. Elastic runs overwrite
   // this via apply_membership / MembershipUpdate; non-elastic runs keep it,
   // which makes the view-based fan-out below byte-identical to the old
   // index-over-all-peers loops.
-  active_view_.resize(peer_endpoints_.size());
-  for (std::size_t s = 0; s < active_view_.size(); ++s)
-    active_view_[s] = static_cast<int>(s);
+  auto identity = std::make_shared<std::vector<int>>(peers().size());
+  for (std::size_t s = 0; s < identity->size(); ++s)
+    (*identity)[s] = static_cast<int>(s);
+  active_view_ = std::move(identity);
 }
 
 void StagingServer::apply_membership(std::uint64_t epoch,
                                      std::vector<int> active) {
   view_epoch_ = epoch;
-  active_view_ = std::move(active);
+  active_view_ = std::make_shared<const std::vector<int>>(std::move(active));
 }
 
 int StagingServer::active_pos() const {
-  const auto it =
-      std::find(active_view_.begin(), active_view_.end(), self_index_);
-  if (it == active_view_.end()) return -1;
-  return static_cast<int>(it - active_view_.begin());
+  const auto it = std::find(view().begin(), view().end(), self_index_);
+  if (it == view().end()) return -1;
+  return static_cast<int>(it - view().begin());
 }
 
 bool StagingServer::not_owner(const Box& region) const {
@@ -622,7 +630,7 @@ sim::Task<void> StagingServer::sweep_after_durable(Version version) {
   // base store's window still needs. The fan-out follows the membership
   // view: retired standbys hold no fragments worth pruning.
   if (params_.policy.kind != resilience::Redundancy::kNone &&
-      active_view_.size() > 1) {
+      view().size() > 1) {
     for (const std::string& var : store_.variables()) {
       const auto store_versions = store_.versions_of(var);
       const Version oldest_store =
@@ -632,13 +640,13 @@ sim::Task<void> StagingServer::sweep_after_durable(Version version) {
           log_versions.empty() ? oldest_store : log_versions.front();
       const Version keep_from = std::min(oldest_store, oldest_log);
       if (keep_from == 0) continue;
-      for (int p : active_view_) {
+      for (int p : view()) {
         if (p == self_index_) continue;
         sim::Ctx sc = ctx();
         net::Message prune{FragmentPrune{self_index_, var, keep_from - 1}};
         sim::spawn(cluster_->engine(),
                    rpc_.send(sc,
-                             peer_endpoints_[static_cast<std::size_t>(p)],
+                             peers()[static_cast<std::size_t>(p)],
                              std::move(prune)));
       }
     }
@@ -827,14 +835,14 @@ sim::Task<void> StagingServer::mirror_event(wlog::LogEvent event) {
   // Successor in the membership view (identical to the old index-order
   // successor while every peer is active). A retired standby generates no
   // events worth mirroring.
-  if (active_view_.size() < 2) co_return;
+  if (view().size() < 2) co_return;
   const int pos = active_pos();
   if (pos < 0) co_return;
   const auto successor = static_cast<std::size_t>(
-      active_view_[(static_cast<std::size_t>(pos) + 1) %
-                   active_view_.size()]);
+      view()[(static_cast<std::size_t>(pos) + 1) %
+                   view().size()]);
   net::Message backup{QueueBackup{self_index_, std::move(event)}};
-  co_await rpc_.send(ctx(), peer_endpoints_[successor], std::move(backup));
+  co_await rpc_.send(ctx(), peers()[successor], std::move(backup));
 }
 
 sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
@@ -842,7 +850,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
   // joins widen the fan-out and retiring servers stop receiving new
   // fragments. With every peer active this reduces to the old
   // index-arithmetic placement exactly.
-  const int group = static_cast<int>(active_view_.size());
+  const int group = static_cast<int>(view().size());
   const int self_pos = active_pos();
   if (group < 2 || self_pos < 0) co_return;
   sim::Ctx c = ctx();
@@ -875,7 +883,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
       -> sim::Task<void> {
     // Round-robin over the *other* active servers only: a fragment stored
     // on its own owner would die with it.
-    const auto peer = static_cast<std::size_t>(active_view_[
+    const auto peer = static_cast<std::size_t>(view()[
         static_cast<std::size_t>((self_pos + 1 + (frag_index - 1) %
                                                      (group - 1)) %
                                  group)]);
@@ -885,7 +893,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
                                   chunk.data ? chunk.data->size() : 0,
                                   chunk.content_key, logged,
                                   std::move(data)}};
-    return rpc_.send(c, peer_endpoints_[peer], std::move(frag));
+    return rpc_.send(c, peers()[peer], std::move(frag));
   };
 
   if (params_.policy.kind == resilience::Redundancy::kReplication) {
@@ -917,7 +925,7 @@ sim::Task<void> StagingServer::push_fragments(Chunk chunk, bool logged) {
 }
 
 sim::Task<void> StagingServer::rebuild_from_peers() {
-  const int total_servers = static_cast<int>(peer_endpoints_.size());
+  const int total_servers = static_cast<int>(peers().size());
   if (total_servers >= 2 &&
       params_.policy.kind != resilience::Redundancy::kNone) {
     co_await rebuild_objects_from_peers();
@@ -935,14 +943,14 @@ sim::Task<void> StagingServer::rebuild_from_peers() {
         co_await rpc_.call(c, spill_endpoint_, std::move(fetch));
     for (const Chunk& chunk : inventory.chunks) {
       if (dlog_.has(chunk.var, chunk.version)) continue;
-      spilled_[chunk.var][chunk.version] += chunk.nominal_bytes;
+      spilled_[chunk.var][chunk.version] += chunk.accounted_bytes();
     }
   }
 }
 
 sim::Task<void> StagingServer::rebuild_objects_from_peers() {
   sim::Ctx c = ctx();
-  const int total_servers = static_cast<int>(peer_endpoints_.size());
+  const int total_servers = static_cast<int>(peers().size());
 
   // Pull everything our peers hold on our behalf.
   std::vector<sim::Task<RecoveryPullResponse>> pulls;
@@ -951,7 +959,7 @@ sim::Task<void> StagingServer::rebuild_objects_from_peers() {
     RecoveryPull pull;
     pull.owner = self_index_;
     pulls.push_back(
-        rpc_.call(c, peer_endpoints_[static_cast<std::size_t>(p)],
+        rpc_.call(c, peers()[static_cast<std::size_t>(p)],
                   std::move(pull)));
   }
   auto responses = co_await sim::when_all(c, std::move(pulls));
@@ -1064,7 +1072,7 @@ sim::Task<void> StagingServer::handle_resilver_put(ResilverPut put) {
   sim::Ctx c = ctx();
   co_await c.delay(params_.request_overhead);
   ++stats_.resilver_chunks_in;
-  stats_.resilver_bytes_in += put.chunk.nominal_bytes;
+  stats_.resilver_bytes_in += put.chunk.accounted_bytes();
   if (recorder_ != nullptr)
     recorder_->record(recorder_track_, cluster_->engine().now(),
                       obs::FrKind::kResilverIn, put.chunk.var,
@@ -1179,12 +1187,16 @@ sim::Task<StagingServer::ResilverOutcome> StagingServer::resilver_out_impl(
       const bool in_store = !store_.chunks_of(var, version).empty();
       const bool logged =
           params_.logging && dlog_.has(var, version);
-      std::vector<Chunk> chunks = in_store ? store_.chunks_of(var, version)
-                                           : dlog_.chunks_of(var, version);
+      // Log-only versions travel in export form (self-contained blocks);
+      // store-resident versions travel raw, and the destination's log
+      // re-encodes under its own (identical) codec.
+      std::vector<Chunk> chunks = in_store
+                                      ? store_.chunks_of(var, version)
+                                      : dlog_.export_chunks(var, version);
       bool sent_any = false;
       for (Chunk& chunk : chunks) {
         if (!moved(chunk.region)) continue;
-        const std::uint64_t bytes = chunk.nominal_bytes;
+        const std::uint64_t bytes = chunk.accounted_bytes();
         ResilverPut rp;
         rp.from = self_index_;
         rp.chunk = std::move(chunk);
@@ -1292,9 +1304,9 @@ sim::Task<StagingServer::ResilverOutcome> StagingServer::drain_out_impl(
     for (const Version version : versions) {
       const bool in_store = !store_.chunks_of(var, version).empty();
       const bool logged = params_.logging && dlog_.has(var, version);
-      const std::vector<Chunk> chunks = in_store
-                                            ? store_.chunks_of(var, version)
-                                            : dlog_.chunks_of(var, version);
+      const std::vector<Chunk> chunks =
+          in_store ? store_.chunks_of(var, version)
+                   : dlog_.export_chunks(var, version);
       std::set<std::uint64_t> released;
       for (const Chunk& chunk : chunks) {
         // The whole piece goes to every successor that now owns part of
@@ -1317,9 +1329,9 @@ sim::Task<StagingServer::ResilverOutcome> StagingServer::drain_out_impl(
             continue;
           }
           ++outcome.chunks;
-          outcome.bytes += chunk.nominal_bytes;
+          outcome.bytes += chunk.accounted_bytes();
           ++stats_.resilver_chunks_out;
-          stats_.resilver_bytes_out += chunk.nominal_bytes;
+          stats_.resilver_bytes_out += chunk.accounted_bytes();
           if (ack.pressure > 1.0) {
             co_await c.delay(net::kBackpressureBackoff);
           }
@@ -1340,7 +1352,7 @@ sim::Task<StagingServer::ResilverOutcome> StagingServer::drain_out_impl(
 
 sim::Task<void> StagingServer::handoff_redundancy_impl() {
   sim::Ctx c = ctx();
-  const int n_act = static_cast<int>(active_view_.size());
+  const int n_act = static_cast<int>(view().size());
 
   // Re-home fragments held for still-active owners using the owner's own
   // round-robin placement over the current view — the same peer the owner
@@ -1350,31 +1362,31 @@ sim::Task<void> StagingServer::handoff_redundancy_impl() {
   if (n_act >= 2) {
     for (auto& [owner, frags] : fragments_) {
       const auto oit =
-          std::find(active_view_.begin(), active_view_.end(), owner);
-      if (oit == active_view_.end()) continue;
-      const int pos = static_cast<int>(oit - active_view_.begin());
+          std::find(view().begin(), view().end(), owner);
+      if (oit == view().end()) continue;
+      const int pos = static_cast<int>(oit - view().begin());
       for (FragmentPut& f : frags) {
         const int slot = f.frag_index >= 1 ? f.frag_index : 1;
-        const auto target = static_cast<std::size_t>(active_view_[
+        const auto target = static_cast<std::size_t>(view()[
             static_cast<std::size_t>((pos + 1 + (slot - 1) % (n_act - 1)) %
                                      n_act)]);
         if (static_cast<int>(target) == owner) continue;
         net::Message msg{f};
-        co_await rpc_.send(c, peer_endpoints_[target], std::move(msg));
+        co_await rpc_.send(c, peers()[target], std::move(msg));
       }
     }
     for (auto& [owner, apps] : mirrors_) {
       const auto oit =
-          std::find(active_view_.begin(), active_view_.end(), owner);
-      if (oit == active_view_.end()) continue;
-      const int pos = static_cast<int>(oit - active_view_.begin());
+          std::find(view().begin(), view().end(), owner);
+      if (oit == view().end()) continue;
+      const int pos = static_cast<int>(oit - view().begin());
       const auto successor = static_cast<std::size_t>(
-          active_view_[static_cast<std::size_t>((pos + 1) % n_act)]);
+          view()[static_cast<std::size_t>((pos + 1) % n_act)]);
       if (static_cast<int>(successor) == owner) continue;
       for (auto& [app, queue] : apps) {
         for (const wlog::LogEvent& e : queue.events()) {
           net::Message msg{QueueBackup{owner, e}};
-          co_await rpc_.send(c, peer_endpoints_[successor], std::move(msg));
+          co_await rpc_.send(c, peers()[successor], std::move(msg));
         }
       }
     }
@@ -1468,7 +1480,9 @@ sim::Task<void> StagingServer::maintain_memory() {
     }
     if (!found) break;
 
-    auto chunks = dlog_.chunks_of(victim_var, victim_version);
+    // Export form: delta blocks are rebased to self-contained full blocks,
+    // so the gateway's copy decodes without this log's base versions.
+    auto chunks = dlog_.export_chunks(victim_var, victim_version);
     if (chunks.empty()) break;
     obs::SpanId span = 0;
     if (obs_ != nullptr) {
@@ -1477,7 +1491,7 @@ sim::Task<void> StagingServer::maintain_memory() {
     }
     std::uint64_t bytes = 0;
     for (Chunk& chunk : chunks) {
-      bytes += chunk.nominal_bytes;
+      bytes += chunk.accounted_bytes();
       SpillPut sp;
       sp.owner = self_index_;
       sp.chunk = std::move(chunk);
@@ -1553,7 +1567,7 @@ sim::Task<void> StagingServer::ensure_log_resident(std::string var,
   }
   std::uint64_t bytes = 0;
   for (Chunk& chunk : resp.chunks) {
-    bytes += chunk.nominal_bytes;
+    bytes += chunk.accounted_bytes();
     dlog_.add(std::move(chunk));
   }
   co_await c.delay(copy_time(bytes));  // re-ingest into the log's index

@@ -50,6 +50,9 @@ struct ServerParams {
   int version_window = 2;
   /// Memory governor (budget 0 = disabled, the default).
   GovernorParams governor;
+  /// Payload codec applied by the data log at retain time (kNone, the
+  /// default, retains raw buffers and leaves every byte count unchanged).
+  wlog::codec::Scheme log_codec = wlog::codec::Scheme::kNone;
 };
 
 struct ServerStats {
@@ -126,8 +129,19 @@ class StagingServer {
   void start();
 
   /// Wire this server into the staging group: its own index and every
-  /// server's endpoint (enables fragment push and queue mirroring).
-  void set_peers(int self_index, std::vector<net::EndpointId> endpoints);
+  /// server's endpoint (enables fragment push and queue mirroring). All
+  /// servers alias one shared endpoint list and (optionally) one shared
+  /// initial membership view — per-server copies cost O(N²) bytes across
+  /// the group, which forecloses 100k-server ceiling runs.
+  void set_peers(int self_index,
+                 std::shared_ptr<const std::vector<net::EndpointId>> endpoints,
+                 std::shared_ptr<const std::vector<int>> initial_view = {});
+  /// Convenience overload for tests and recovery: wraps the vector.
+  void set_peers(int self_index, std::vector<net::EndpointId> endpoints) {
+    set_peers(self_index,
+              std::make_shared<const std::vector<net::EndpointId>>(
+                  std::move(endpoints)));
+  }
 
   /// Spawn a replacement server's loop: first rebuild the store, log and
   /// event queues from the peers' fragments/mirrors, then serve the (queued)
@@ -397,16 +411,24 @@ class StagingServer {
   std::vector<GetRequest> pending_;
   std::uint64_t next_chk_id_ = 1;
   ServerStats stats_;
-  // Resilience state.
+  // Resilience state. The endpoint list and membership view are shared
+  // across the whole group (copy-on-write: apply_membership installs a
+  // fresh vector rather than mutating in place).
   int self_index_ = 0;
-  std::vector<net::EndpointId> peer_endpoints_;  // all servers, by index
+  std::shared_ptr<const std::vector<net::EndpointId>> peer_endpoints_ =
+      std::make_shared<std::vector<net::EndpointId>>();
+  [[nodiscard]] const std::vector<net::EndpointId>& peers() const {
+    return *peer_endpoints_;
+  }
   // Elastic membership: the live placement index (null = elastic off) and
-  // the last membership view applied. Redundancy fan-out follows
-  // active_view_; peer_endpoints_ keeps every server (standbys included)
+  // the last membership view applied. Redundancy fan-out follows the
+  // active view; peer_endpoints_ keeps every server (standbys included)
   // addressable for recovery pulls.
   const dht::SpatialIndex* group_index_ = nullptr;
   std::uint64_t view_epoch_ = 0;
-  std::vector<int> active_view_;  // ascending server ids
+  std::shared_ptr<const std::vector<int>> active_view_ =
+      std::make_shared<std::vector<int>>();  // ascending server ids
+  [[nodiscard]] const std::vector<int>& view() const { return *active_view_; }
   // owner → fragments held on that owner's behalf.
   std::map<int, std::vector<FragmentPut>> fragments_;
   std::uint64_t fragment_bytes_ = 0;

@@ -1,11 +1,14 @@
 #include "staging/spill_gateway.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 #include <utility>
 #include <variant>
 
 #include "sim/spawn.hpp"
 #include "staging/tenant.hpp"
+#include "wlog/codec.hpp"
 
 namespace dstage::staging {
 
@@ -42,7 +45,9 @@ sim::Task<void> SpillGateway::run() {
 
 sim::Task<void> SpillGateway::handle_put(SpillPut put) {
   sim::Ctx c = ctx();
-  const std::uint64_t bytes = put.chunk.nominal_bytes;
+  // Encoded log blocks spill at their encoded size: the PFS write (and the
+  // spill accounting) should see the codec's savings, not the raw size.
+  const std::uint64_t bytes = put.chunk.accounted_bytes();
   obs::SpanId span = 0;
   if (obs_ != nullptr)
     span = obs_->tracer().begin(obs_track_, "spill", obs::Phase::kSpill,
@@ -89,7 +94,7 @@ sim::Task<void> SpillGateway::handle_fetch(SpillFetch fetch) {
     std::uint64_t bytes = 0;
     if (it != per_owner_.end()) {
       resp.chunks = it->second.chunks_of(fetch.var, fetch.version);
-      for (const Chunk& chunk : resp.chunks) bytes += chunk.nominal_bytes;
+      for (const Chunk& chunk : resp.chunks) bytes += chunk.accounted_bytes();
     }
     obs::SpanId span = 0;
     if (obs_ != nullptr)
@@ -168,8 +173,24 @@ std::vector<Chunk> SpillGateway::get(const std::string& var, Version version,
                                      const Box& region) const {
   std::vector<Chunk> out;
   for (const auto& [owner, store] : per_owner_) {
-    for (Chunk& chunk : store.get(var, version, region))
+    for (Chunk& chunk : store.get(var, version, region)) {
+      if (chunk.data && wlog::codec::is_encoded(*chunk.data)) {
+        // Spilled log blocks are exported self-contained (full, never
+        // delta), so they decode without a base. The oracle's durability
+        // union compares raw bytes; never hand it an encoded block.
+        wlog::codec::DecodeResult decoded = wlog::codec::decode(*chunk.data);
+        if (!decoded.ok()) {
+          throw std::runtime_error(
+              std::string("spill gateway: decode failed (") +
+              wlog::codec::codec_error_name(*decoded.error) + ") for " +
+              chunk.var + " v" + std::to_string(chunk.version));
+        }
+        chunk.data = std::make_shared<std::vector<std::uint8_t>>(
+            std::move(decoded.raw));
+        chunk.stored_bytes = 0;
+      }
       out.push_back(std::move(chunk));
+    }
   }
   return out;
 }

@@ -7,6 +7,40 @@
 
 namespace dstage::staging {
 
+namespace {
+
+/// Thread-local freelist of payload buffers. make_chunk() churns one
+/// buffer per fragment — hundreds of thousands per collective put at
+/// ceiling scale — and a simulated run is pinned to one sweep thread, so
+/// a buffer is always released on the thread that allocated it. Bounded:
+/// oversized buffers and overflow beyond the cap are freed normally.
+constexpr std::size_t kPayloadPoolMaxBuffers = 256;
+constexpr std::size_t kPayloadPoolMaxBytes = 1 << 16;
+
+thread_local std::vector<std::unique_ptr<std::vector<std::uint8_t>>>
+    payload_pool;
+
+std::shared_ptr<std::vector<std::uint8_t>> acquire_payload(std::size_t n) {
+  std::unique_ptr<std::vector<std::uint8_t>> buf;
+  if (!payload_pool.empty()) {
+    buf = std::move(payload_pool.back());
+    payload_pool.pop_back();
+    buf->resize(n);
+  } else {
+    buf = std::make_unique<std::vector<std::uint8_t>>(n);
+  }
+  return {buf.release(), [](std::vector<std::uint8_t>* v) {
+            if (v->capacity() <= kPayloadPoolMaxBytes &&
+                payload_pool.size() < kPayloadPoolMaxBuffers) {
+              payload_pool.emplace_back(v);
+            } else {
+              delete v;
+            }
+          }};
+}
+
+}  // namespace
+
 std::uint64_t region_hash(const Box& b) {
   const std::array<std::int64_t, 6> coords{b.lo.x, b.lo.y, b.lo.z,
                                            b.hi.x, b.hi.y, b.hi.z};
@@ -35,7 +69,7 @@ Chunk make_chunk(const std::string& var, Version version, const Box& region,
   const std::uint64_t physical =
       std::max<std::uint64_t>(16, c.nominal_bytes / std::max<std::uint64_t>(
                                                         1, mem_scale));
-  auto buf = std::make_shared<std::vector<std::uint8_t>>(physical);
+  auto buf = acquire_payload(physical);
   fill_payload(std::as_writable_bytes(std::span{*buf}), c.content_key);
   c.data = std::move(buf);
   return c;

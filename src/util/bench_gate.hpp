@@ -1,0 +1,110 @@
+// The bench baseline gate's comparison core, shared between
+// tools/bench_compare and its unit tests. Walks a baseline JSON tree and
+// flags every numeric leaf that is missing from the candidate or deviates
+// beyond the tolerance.
+//
+// Deviation is |cand - base| / max(|base|, abs_floor): relative to the
+// baseline's magnitude (sign-agnostic, so "lower is better" metrics and
+// negative deltas gate exactly like positive ones), with an absolute floor
+// so a zero or near-zero baseline cannot divide away into infinity — a
+// zero baseline with the default floor of 1 tolerates only candidates
+// within `tolerance` in absolute terms (0 backpressure waits becoming 3 is
+// a behavioral shift, not noise; 0 becoming 0.1 with a 15% tolerance is
+// noise). Non-finite numbers on either side always fail: a NaN candidate
+// must never slip through a `dev > tolerance` comparison that is false for
+// NaN.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/json_reader.hpp"
+
+namespace dstage::bench_gate {
+
+struct Gate {
+  double tolerance = 0.15;
+  /// Absolute floor for the deviation denominator (see file comment).
+  double abs_floor = 1.0;
+  int checked = 0;
+  std::vector<std::string> problems;
+
+  void fail(const std::string& path, const std::string& why) {
+    problems.push_back(path + ": " + why);
+  }
+
+  void compare_number(const std::string& path, const JsonValue& base,
+                      const JsonValue& cand) {
+    ++checked;
+    const double b = base.number;
+    const double c = cand.number;
+    if (!std::isfinite(b) || !std::isfinite(c)) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "non-finite value (baseline %g, candidate %g)", b, c);
+      fail(path, buf);
+      return;
+    }
+    if (b == c) return;
+    const double denom = std::max(std::abs(b), abs_floor);
+    const double dev = std::abs(c - b) / denom;
+    if (dev > tolerance) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "baseline %g, candidate %g (%+.1f%% > %.0f%% tolerance)",
+                    b, c, (c - b) / denom * 100.0, tolerance * 100.0);
+      fail(path, buf);
+    }
+  }
+
+  /// Walk the baseline tree; every numeric leaf must exist in the
+  /// candidate at the same path and match within tolerance. Extra
+  /// candidate keys are fine (new metrics are not regressions).
+  void compare(const std::string& path, const JsonValue& base,
+               const JsonValue& cand) {
+    if (base.is_object()) {
+      if (!cand.is_object()) {
+        fail(path, "baseline is an object, candidate is not");
+        return;
+      }
+      for (const auto& [key, value] : base.object) {
+        const std::string child = path.empty() ? key : path + "." + key;
+        const JsonValue* c = cand.member(key);
+        if (c == nullptr) {
+          fail(child, "present in baseline, missing from candidate");
+          continue;
+        }
+        compare(child, value, *c);
+      }
+      return;
+    }
+    if (base.is_array()) {
+      if (!cand.is_array()) {
+        fail(path, "baseline is an array, candidate is not");
+        return;
+      }
+      if (base.array.size() != cand.array.size()) {
+        fail(path, "array length " + std::to_string(cand.array.size()) +
+                       ", baseline " + std::to_string(base.array.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < base.array.size(); ++i) {
+        compare(path + "[" + std::to_string(i) + "]", base.array[i],
+                cand.array[i]);
+      }
+      return;
+    }
+    if (base.is_number()) {
+      if (!cand.is_number()) {
+        fail(path, "baseline is a number, candidate is not");
+        return;
+      }
+      compare_number(path, base, cand);
+    }
+    // Strings / bools / nulls are labels, not measurements — not gated.
+  }
+};
+
+}  // namespace dstage::bench_gate

@@ -10,6 +10,27 @@ std::uint64_t splitmix64(std::uint64_t& s) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+// Science-like payload texture: a fixed 64-byte background pattern (smooth
+// field data compresses well) with every 8th word carrying key-dependent
+// noise. The noise positions are the same for every key, so two versions
+// of the same region differ only in the noise words — exactly the sparse
+// XOR structure the wlog codec's delta schemes exploit — while a single
+// payload stays LZ-compressible through the repeating background. Any byte
+// flip still breaks verify_payload: the pattern words are position-exact
+// and the noise words are key-exact.
+constexpr std::uint64_t kBackground[8] = {
+    0x1f1f1f1f1f1f1f1fULL, 0x2e2e2e2e2e2e2e2eULL, 0x3d3d3d3d3d3d3d3dULL,
+    0x4c4c4c4c4c4c4c4cULL, 0x5b5b5b5b5b5b5b5bULL, 0x6a6a6a6a6a6a6a6aULL,
+    0x7979797979797979ULL, 0x0808080808080808ULL,
+};
+
+/// Word `i` of the payload stream for a key whose noise state is `s`.
+/// Advances `s` only on noise words, so fill and verify stay in lockstep.
+std::uint64_t payload_word(std::size_t i, std::uint64_t& s) {
+  if ((i & 7) == 0) return splitmix64(s);
+  return kBackground[i & 7];
+}
 }  // namespace
 
 std::uint64_t content_key(std::string_view variable, std::uint32_t version,
@@ -24,15 +45,16 @@ std::uint64_t content_key(std::string_view variable, std::uint32_t version,
 void fill_payload(std::span<std::byte> out, std::uint64_t key) {
   std::uint64_t s = key;
   std::size_t i = 0;
+  std::size_t word = 0;
   while (i + 8 <= out.size()) {
-    const std::uint64_t w = splitmix64(s);
+    const std::uint64_t w = payload_word(word++, s);
     for (int b = 0; b < 8; ++b)
       out[i + static_cast<std::size_t>(b)] =
           static_cast<std::byte>((w >> (8 * b)) & 0xff);
     i += 8;
   }
   if (i < out.size()) {
-    const std::uint64_t w = splitmix64(s);
+    const std::uint64_t w = payload_word(word, s);
     for (int b = 0; i < out.size(); ++i, ++b)
       out[i] = static_cast<std::byte>((w >> (8 * b)) & 0xff);
   }
@@ -47,8 +69,9 @@ std::vector<std::byte> make_payload(std::size_t n, std::uint64_t key) {
 bool verify_payload(std::span<const std::byte> data, std::uint64_t key) {
   std::uint64_t s = key;
   std::size_t i = 0;
+  std::size_t word = 0;
   while (i + 8 <= data.size()) {
-    const std::uint64_t w = splitmix64(s);
+    const std::uint64_t w = payload_word(word++, s);
     for (int b = 0; b < 8; ++b) {
       if (data[i + static_cast<std::size_t>(b)] !=
           static_cast<std::byte>((w >> (8 * b)) & 0xff))
@@ -57,7 +80,7 @@ bool verify_payload(std::span<const std::byte> data, std::uint64_t key) {
     i += 8;
   }
   if (i < data.size()) {
-    const std::uint64_t w = splitmix64(s);
+    const std::uint64_t w = payload_word(word, s);
     for (int b = 0; i < data.size(); ++i, ++b) {
       if (data[i] != static_cast<std::byte>((w >> (8 * b)) & 0xff))
         return false;

@@ -160,11 +160,17 @@ std::vector<Box> split_box(const Box& box, int pieces) {
 
 std::vector<Box> box_difference(const Box& a, const Box& b) {
   std::vector<Box> out;
-  if (a.empty()) return out;
+  append_box_difference(a, b, out);
+  return out;
+}
+
+void append_box_difference(const Box& a, const Box& b,
+                           std::vector<Box>& out) {
+  if (a.empty()) return;
   const Box cut = a.intersection(b);
   if (cut.empty()) {
     out.push_back(a);
-    return out;
+    return;
   }
   // Peel up to six slabs around the cut, axis by axis.
   Box rest = a;
@@ -196,37 +202,48 @@ std::vector<Box> box_difference(const Box& a, const Box& b) {
   if (rest.hi.z > cut.hi.z)
     peel(Box{{rest.lo.x, rest.lo.y, cut.hi.z + 1},
              {rest.hi.x, rest.hi.y, rest.hi.z}});
-  return out;
 }
+
+namespace {
+
+/// Subtracts every cover box from `region`, leaving the uncovered pieces in
+/// `uncovered`. Two scratch vectors ping-pong so the loop allocates nothing
+/// after warm-up.
+void subtract_cover(const Box& region, const std::vector<Box>& cover,
+                    std::vector<Box>& uncovered) {
+  uncovered.clear();
+  if (region.empty()) return;
+  uncovered.push_back(region);
+  std::vector<Box> next;
+  for (const Box& c : cover) {
+    if (uncovered.empty()) return;
+    // Every uncovered piece is a subset of `region`, so a cover box that
+    // misses the region cannot touch any piece.
+    if (region.intersection(c).empty()) continue;
+    next.clear();
+    for (const Box& u : uncovered) {
+      if (u.intersection(c).empty()) {
+        next.push_back(u);
+      } else {
+        append_box_difference(u, c, next);
+      }
+    }
+    uncovered.swap(next);
+  }
+}
+
+}  // namespace
 
 bool boxes_cover(const Box& region, const std::vector<Box>& cover) {
   std::vector<Box> uncovered;
-  if (!region.empty()) uncovered.push_back(region);
-  for (const Box& c : cover) {
-    if (uncovered.empty()) return true;
-    std::vector<Box> next;
-    for (const Box& u : uncovered) {
-      auto pieces = box_difference(u, c);
-      next.insert(next.end(), pieces.begin(), pieces.end());
-    }
-    uncovered = std::move(next);
-  }
+  subtract_cover(region, cover, uncovered);
   return uncovered.empty();
 }
 
 std::uint64_t uncovered_volume(const Box& region,
                                const std::vector<Box>& cover) {
   std::vector<Box> uncovered;
-  if (!region.empty()) uncovered.push_back(region);
-  for (const Box& c : cover) {
-    if (uncovered.empty()) break;
-    std::vector<Box> next;
-    for (const Box& u : uncovered) {
-      auto pieces = box_difference(u, c);
-      next.insert(next.end(), pieces.begin(), pieces.end());
-    }
-    uncovered = std::move(next);
-  }
+  subtract_cover(region, cover, uncovered);
   std::uint64_t total = 0;
   for (const Box& u : uncovered) total += u.volume();
   return total;

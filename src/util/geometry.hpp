@@ -78,6 +78,10 @@ std::vector<Box> split_box(const Box& box, int pieces);
 /// Set difference `a \ b` as up to 6 disjoint boxes (empty when b covers a).
 std::vector<Box> box_difference(const Box& a, const Box& b);
 
+/// As box_difference, appending the pieces to `out` (no per-call vector —
+/// the coverage subtraction loops call this millions of times).
+void append_box_difference(const Box& a, const Box& b, std::vector<Box>& out);
+
 /// True when the union of `cover` contains every point of `region`.
 /// Exact even when cover boxes overlap each other.
 bool boxes_cover(const Box& region, const std::vector<Box>& cover);

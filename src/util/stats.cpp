@@ -68,12 +68,17 @@ double SampleSet::mean() const {
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) return 0.0;
   ensure_sorted();
-  if (p <= 0) return samples_.front();
+  if (samples_.size() == 1) return samples_.front();
+  // !(p > 0) also catches NaN — casting a NaN rank to an index is UB and
+  // could read past the end.
+  if (!(p > 0)) return samples_.front();
   if (p >= 100) return samples_.back();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
+  const std::size_t n = samples_.size();
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  // Clamp the float->index cast so rounding at the top of the range can
+  // never make samples_[lo + 1] index one past the end.
+  const std::size_t lo = std::min(static_cast<std::size_t>(rank), n - 2);
+  const double frac = std::clamp(rank - static_cast<double>(lo), 0.0, 1.0);
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
 }
 

@@ -1,0 +1,417 @@
+#include "wlog/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/checksum.hpp"
+
+namespace dstage::wlog::codec {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x30434C57u;  // "WLC0"
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::uint8_t kFlagHasBase = 0x1;
+constexpr std::uint8_t kFlagStoredRaw = 0x2;
+
+void put_u32(std::vector<std::uint8_t>& out, std::size_t at,
+             std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::size_t at,
+             std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t raw_checksum(std::span<const std::uint8_t> raw) {
+  return fnv1a(std::as_bytes(raw));
+}
+
+// ---------------------------------------------------------------------------
+// LZ block compression (LZSS-style). Token stream:
+//   control c < 0x80: literal run of c+1 bytes follows verbatim;
+//   control c >= 0x80: match of length (c - 0x80) + kMinMatch copied from
+//     `offset` bytes back (2-byte little-endian offset, 1..65535).
+// Matches may overlap their destination (RLE degenerates to offset 1).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 0x7f;  // 131
+constexpr std::size_t kMaxOffset = 0xffff;
+constexpr std::size_t kHashBits = 13;
+
+std::uint32_t lz_hash(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void flush_literals(std::vector<std::uint8_t>& out,
+                    std::span<const std::uint8_t> in, std::size_t lit_start,
+                    std::size_t lit_end) {
+  while (lit_start < lit_end) {
+    const std::size_t run = std::min<std::size_t>(0x80, lit_end - lit_start);
+    out.push_back(static_cast<std::uint8_t>(run - 1));
+    out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               in.begin() + static_cast<std::ptrdiff_t>(lit_start + run));
+    lit_start += run;
+  }
+}
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+  std::array<std::int64_t, (1u << kHashBits)> table;
+  table.fill(-1);
+  const std::size_t n = in.size();
+  std::size_t i = 0;
+  std::size_t lit_start = 0;
+  while (n >= kMinMatch && i + kMinMatch <= n) {
+    const std::uint32_t h = lz_hash(in.data() + i);
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(i);
+    if (cand >= 0 &&
+        static_cast<std::size_t>(i - static_cast<std::size_t>(cand)) <=
+            kMaxOffset &&
+        std::memcmp(in.data() + cand, in.data() + i, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      const std::size_t limit = std::min(kMaxMatch, n - i);
+      while (len < limit &&
+             in[static_cast<std::size_t>(cand) + len] == in[i + len])
+        ++len;
+      flush_literals(out, in, lit_start, i);
+      const std::size_t offset = i - static_cast<std::size_t>(cand);
+      out.push_back(
+          static_cast<std::uint8_t>(0x80 + (len - kMinMatch)));
+      out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+      out.push_back(static_cast<std::uint8_t>((offset >> 8) & 0xff));
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(out, in, lit_start, n);
+  return out;
+}
+
+bool lz_decompress(std::span<const std::uint8_t> in, std::size_t raw_size,
+                   std::vector<std::uint8_t>& out, CodecError& err) {
+  out.clear();
+  out.reserve(raw_size);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t c = in[i++];
+    if (c < 0x80) {
+      const std::size_t run = static_cast<std::size_t>(c) + 1;
+      if (i + run > in.size()) {
+        err = CodecError::kTruncated;
+        return false;
+      }
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      if (i + 2 > in.size()) {
+        err = CodecError::kTruncated;
+        return false;
+      }
+      const std::size_t len =
+          static_cast<std::size_t>(c - 0x80) + kMinMatch;
+      const std::size_t offset =
+          static_cast<std::size_t>(in[i]) |
+          (static_cast<std::size_t>(in[i + 1]) << 8);
+      i += 2;
+      if (offset == 0 || offset > out.size()) {
+        err = CodecError::kCorrupt;
+        return false;
+      }
+      // Byte-wise copy: overlapping matches (offset < len) are legal and
+      // replicate the trailing window, exactly like RLE.
+      std::size_t src = out.size() - offset;
+      for (std::size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    }
+    if (out.size() > raw_size) {
+      err = CodecError::kCorrupt;
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-run RLE for XOR deltas. Token stream:
+//   control c < 0x80: literal run of c+1 bytes follows verbatim;
+//   control c >= 0x80: run of (c - 0x80) + 1 zero bytes (1..128).
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 4 + 16);
+  const std::size_t n = in.size();
+  std::size_t i = 0;
+  std::size_t lit_start = 0;
+  while (i < n) {
+    if (in[i] == 0) {
+      std::size_t z = i;
+      while (z < n && in[z] == 0) ++z;
+      // Runs shorter than 3 zeros cost more as tokens than as literals.
+      if (z - i >= 3) {
+        flush_literals(out, in, lit_start, i);
+        std::size_t left = z - i;
+        while (left > 0) {
+          const std::size_t run = std::min<std::size_t>(0x80, left);
+          out.push_back(static_cast<std::uint8_t>(0x80 + (run - 1)));
+          left -= run;
+        }
+        i = z;
+        lit_start = i;
+        continue;
+      }
+      i = z;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(out, in, lit_start, n);
+  return out;
+}
+
+bool rle_decompress(std::span<const std::uint8_t> in, std::size_t raw_size,
+                    std::vector<std::uint8_t>& out, CodecError& err) {
+  out.clear();
+  out.reserve(raw_size);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t c = in[i++];
+    if (c < 0x80) {
+      const std::size_t run = static_cast<std::size_t>(c) + 1;
+      if (i + run > in.size()) {
+        err = CodecError::kTruncated;
+        return false;
+      }
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      out.insert(out.end(), static_cast<std::size_t>(c - 0x80) + 1, 0);
+    }
+    if (out.size() > raw_size) {
+      err = CodecError::kCorrupt;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> xor_bytes(std::span<const std::uint8_t> a,
+                                    std::span<const std::uint8_t> b) {
+  std::vector<std::uint8_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+std::vector<std::uint8_t> finish_block(std::span<const std::uint8_t> raw,
+                                       Scheme scheme, bool has_base,
+                                       std::uint32_t base_version,
+                                       std::vector<std::uint8_t> payload) {
+  bool stored_raw = false;
+  if (payload.size() >= raw.size()) {
+    // Compression expanded (incompressible input): store verbatim so an
+    // encoded block never costs more than raw + header.
+    payload.assign(raw.begin(), raw.end());
+    stored_raw = true;
+    has_base = false;
+  }
+  std::vector<std::uint8_t> block(kHeaderSize + payload.size());
+  put_u32(block, 0, kMagic);
+  block[4] = kFormatVersion;
+  block[5] = static_cast<std::uint8_t>(scheme);
+  block[6] = static_cast<std::uint8_t>((has_base ? kFlagHasBase : 0) |
+                                       (stored_raw ? kFlagStoredRaw : 0));
+  block[7] = 0;
+  put_u64(block, 8, raw.size());
+  put_u32(block, 16, has_base ? base_version : 0);
+  put_u32(block, 20, 0);
+  put_u64(block, 24, raw_checksum(raw));
+  std::memcpy(block.data() + kHeaderSize, payload.data(), payload.size());
+  return block;
+}
+
+}  // namespace
+
+std::optional<Scheme> parse_scheme(const std::string& name) {
+  if (name == "none") return Scheme::kNone;
+  if (name == "lz") return Scheme::kLz;
+  if (name == "delta") return Scheme::kDelta;
+  if (name == "delta_lz") return Scheme::kDeltaLz;
+  return std::nullopt;
+}
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kNone: return "none";
+    case Scheme::kLz: return "lz";
+    case Scheme::kDelta: return "delta";
+    case Scheme::kDeltaLz: return "delta_lz";
+  }
+  return "?";
+}
+
+const char* codec_error_name(CodecError e) {
+  switch (e) {
+    case CodecError::kNotEncoded: return "not_encoded";
+    case CodecError::kBadHeader: return "bad_header";
+    case CodecError::kTruncated: return "truncated";
+    case CodecError::kCorrupt: return "corrupt";
+    case CodecError::kChecksum: return "checksum";
+    case CodecError::kMissingBase: return "missing_base";
+  }
+  return "?";
+}
+
+bool is_encoded(std::span<const std::uint8_t> data) {
+  return data.size() >= kHeaderSize && get_u32(data, 0) == kMagic &&
+         data[4] == kFormatVersion;
+}
+
+std::optional<BlockInfo> inspect(std::span<const std::uint8_t> data) {
+  if (!is_encoded(data)) return std::nullopt;
+  const std::uint8_t scheme = data[5];
+  if (scheme > static_cast<std::uint8_t>(Scheme::kDeltaLz))
+    return std::nullopt;
+  BlockInfo info;
+  info.scheme = static_cast<Scheme>(scheme);
+  info.has_base = (data[6] & kFlagHasBase) != 0;
+  info.stored_raw = (data[6] & kFlagStoredRaw) != 0;
+  info.raw_size = get_u64(data, 8);
+  info.base_version = get_u32(data, 16);
+  info.raw_checksum = get_u64(data, 24);
+  info.payload_size = data.size() - kHeaderSize;
+  return info;
+}
+
+std::vector<std::uint8_t> encode(std::span<const std::uint8_t> raw,
+                                 Scheme scheme,
+                                 std::span<const std::uint8_t> base,
+                                 std::uint32_t base_version) {
+  // Deltas only apply between equal-size payloads of the same region; a
+  // mismatched base degrades to a full block of the same scheme family.
+  const bool base_ok = !base.empty() && base.size() == raw.size();
+  switch (scheme) {
+    case Scheme::kNone:
+      return finish_block(raw, Scheme::kNone, false, 0,
+                          {raw.begin(), raw.end()});
+    case Scheme::kLz:
+      return finish_block(raw, Scheme::kLz, false, 0, lz_compress(raw));
+    case Scheme::kDelta: {
+      if (!base_ok) {
+        // Full fallback still benefits from zero-run RLE (all-zero pages).
+        return finish_block(raw, Scheme::kDelta, false, 0,
+                            rle_compress(raw));
+      }
+      return finish_block(raw, Scheme::kDelta, true, base_version,
+                          rle_compress(xor_bytes(raw, base)));
+    }
+    case Scheme::kDeltaLz: {
+      std::vector<std::uint8_t> full = lz_compress(raw);
+      if (!base_ok) {
+        return finish_block(raw, Scheme::kDeltaLz, false, 0,
+                            std::move(full));
+      }
+      std::vector<std::uint8_t> delta =
+          lz_compress(xor_bytes(raw, base));
+      if (delta.size() < full.size()) {
+        return finish_block(raw, Scheme::kDeltaLz, true, base_version,
+                            std::move(delta));
+      }
+      return finish_block(raw, Scheme::kDeltaLz, false, 0, std::move(full));
+    }
+  }
+  return finish_block(raw, Scheme::kNone, false, 0, {raw.begin(), raw.end()});
+}
+
+DecodeResult decode(std::span<const std::uint8_t> data,
+                    std::span<const std::uint8_t> base) {
+  DecodeResult result;
+  if (data.size() < kHeaderSize || get_u32(data, 0) != kMagic) {
+    result.error = CodecError::kNotEncoded;
+    return result;
+  }
+  const auto info = inspect(data);
+  if (!info) {
+    result.error = CodecError::kBadHeader;
+    return result;
+  }
+  const std::span<const std::uint8_t> payload = data.subspan(kHeaderSize);
+  // Every token in either stream expands to at most kMaxMatch bytes, so a
+  // header claiming more output than the payload could possibly produce is
+  // corrupt (e.g. a flipped bit in raw_size). Reject it *before* sizing
+  // any buffer from it — a 2^60 raw_size must fail typed, not bad_alloc.
+  if (info->raw_size > payload.size() * kMaxMatch) {
+    result.error = CodecError::kCorrupt;
+    return result;
+  }
+  CodecError err = CodecError::kCorrupt;
+  if (info->stored_raw || info->scheme == Scheme::kNone) {
+    if (payload.size() != info->raw_size) {
+      result.error = CodecError::kTruncated;
+      return result;
+    }
+    result.raw.assign(payload.begin(), payload.end());
+  } else {
+    const bool use_lz =
+        info->scheme == Scheme::kLz || info->scheme == Scheme::kDeltaLz;
+    const bool ok =
+        use_lz ? lz_decompress(payload, info->raw_size, result.raw, err)
+               : rle_decompress(payload, info->raw_size, result.raw, err);
+    if (!ok) {
+      result.error = err;
+      result.raw.clear();
+      return result;
+    }
+    if (info->has_base) {
+      if (base.size() != info->raw_size) {
+        result.error = CodecError::kMissingBase;
+        result.raw.clear();
+        return result;
+      }
+      for (std::size_t i = 0; i < result.raw.size(); ++i)
+        result.raw[i] ^= base[i];
+    }
+  }
+  if (result.raw.size() != info->raw_size) {
+    result.error = CodecError::kCorrupt;
+    result.raw.clear();
+    return result;
+  }
+  if (raw_checksum(result.raw) != info->raw_checksum) {
+    result.error = CodecError::kChecksum;
+    result.raw.clear();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace dstage::wlog::codec

@@ -1,5 +1,7 @@
 #include "wlog/event_queue.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace dstage::wlog {
@@ -67,7 +69,15 @@ std::size_t EventQueue::truncate_before_last_checkpoint() {
   // Keep the checkpoint marker itself so later recoveries can anchor on it.
   const std::size_t drop = start - 1;
   for (std::size_t i = 0; i < drop; ++i) {
-    metadata_bytes_ -= event_metadata_bytes(events_.front());
+    // The tally must cover every retained record — it is rebuilt through
+    // record() on both the normal path and a replayed QueueBackup, so a
+    // shortfall here means some path mutated events_ without accounting.
+    // Unsigned underflow would poison the governor's metadata accounting
+    // for the rest of the run, so clamp (and assert in debug builds).
+    const std::uint64_t bytes = event_metadata_bytes(events_.front());
+    assert(metadata_bytes_ >= bytes &&
+           "event-queue metadata tally out of sync with retained records");
+    metadata_bytes_ -= std::min(metadata_bytes_, bytes);
     events_.pop_front();
   }
   // Shift replay bookkeeping left by the dropped prefix.

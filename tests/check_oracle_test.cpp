@@ -86,6 +86,45 @@ TEST(ScheduleTest, MemoryBudgetRoundTripsAndGatesTheSpec) {
   }
 }
 
+TEST(ScheduleTest, CodecRoundTripsAndArmsTheSpec) {
+  // codec= is part of the schedule's identity (a codec-armed run gets its
+  // own reference), round-trips through the repro string, and is omitted
+  // for kNone so pre-codec repro strings stay byte-stable.
+  Schedule s = basic_un_schedule();
+  EXPECT_EQ(s.repro().find(";codec="), std::string::npos);
+  EXPECT_EQ(s.to_spec().wlog.codec, wlog::codec::Scheme::kNone);
+
+  s.codec = wlog::codec::Scheme::kDeltaLz;
+  const std::string line = s.repro();
+  EXPECT_NE(line.find(";codec=delta_lz"), std::string::npos);
+  const Schedule parsed = Schedule::parse(line);
+  EXPECT_EQ(parsed, s);
+  EXPECT_EQ(parsed.to_spec().wlog.codec, wlog::codec::Scheme::kDeltaLz);
+
+  // Unknown scheme names are loud, not silently kNone.
+  std::string bad = line;
+  bad.replace(bad.find("delta_lz"), 8, "zip");
+  EXPECT_THROW(Schedule::parse(bad), std::invalid_argument);
+
+  GenerateOptions opts;
+  opts.count = 9;
+  opts.seed = 3;
+  opts.codec = wlog::codec::Scheme::kLz;
+  for (const Schedule& g : generate_schedules(opts)) {
+    EXPECT_EQ(g.codec, wlog::codec::Scheme::kLz);
+    EXPECT_EQ(Schedule::parse(g.repro()), g);
+  }
+  opts.codec_mix = true;
+  bool saw_delta = false;
+  for (const Schedule& g : generate_schedules(opts)) {
+    EXPECT_NE(g.codec, wlog::codec::Scheme::kNone);
+    saw_delta = saw_delta || g.codec == wlog::codec::Scheme::kDelta ||
+                g.codec == wlog::codec::Scheme::kDeltaLz;
+    EXPECT_EQ(Schedule::parse(g.repro()), g);
+  }
+  EXPECT_TRUE(saw_delta);
+}
+
 TEST(ScheduleTest, ParseRejectsMalformedInput) {
   EXPECT_THROW(Schedule::parse(""), std::invalid_argument);
   EXPECT_THROW(Schedule::parse("cc2;sch=un"), std::invalid_argument);

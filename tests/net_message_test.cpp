@@ -274,6 +274,57 @@ TEST(RpcTest, BackoffDelaysResends) {
   EXPECT_GE(gave_up.ns, 6 * sim::milliseconds(1).ns);
 }
 
+TEST(RpcTest, BackoffEscalationResetsPerErrorClass) {
+  // Regression: the escalation shift used to ride the *cumulative*
+  // per-class counters, so when timeouts and governor rejections
+  // interleaved within one call, a fresh rejection after a timeout
+  // inherited the previous rejection's escalation and jumped straight to
+  // a doubled wait. The shift must follow the *consecutive* streak, each
+  // class resetting the other.
+  RpcRig rig;
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    // Script: reject, drop (let the client time out), reject, accept.
+    for (int i = 0; i < 4; ++i) {
+      Packet pkt = co_await rig.fabric.endpoint(rig.server_ep).recv(nullptr);
+      auto& req = std::get<PutRequest>(pkt.payload);
+      if (i == 1) continue;  // dropped on the floor
+      PutResponse resp;
+      resp.retry_later = i != 3;
+      resp.applied = i == 3;
+      co_await rig.server.fulfill(ctx, req.reply_to, std::move(req.reply),
+                                  std::move(resp));
+    }
+  });
+  bool applied = false;
+  sim::TimePoint done{};
+  sim::spawn(rig.eng, [&]() -> sim::Task<void> {
+    sim::Ctx ctx{&rig.eng, nullptr};
+    PutRequest req;
+    req.app = 0;
+    req.chunk.var = "f";
+    req.chunk.nominal_bytes = 64;
+    RetryPolicy policy;
+    policy.timeout = sim::milliseconds(100);
+    policy.backoff = sim::seconds(1);
+    policy.max_attempts = 4;
+    const PutResponse resp =
+        co_await rig.client.call(ctx, rig.server_ep, std::move(req), policy);
+    applied = resp.applied;
+    done = rig.eng.now();
+  });
+  rig.eng.run();
+  EXPECT_TRUE(applied);
+  EXPECT_EQ(rig.client.stats().backpressure_waits, 2u);
+  EXPECT_EQ(rig.client.stats().retries, 1u);
+  EXPECT_EQ(rig.client.stats().responses, 1u);
+  // reject (1 s) + timeout (0.1 s) + timeout backoff (1 s) + reject with
+  // its streak RESET (1 s) ≈ 3.1 s. The pre-fix cumulative counter would
+  // have shifted the second rejection to 2 s (total ≈ 4.1 s).
+  EXPECT_GE(done.seconds(), 3.0);
+  EXPECT_LT(done.seconds(), 3.6);
+}
+
 TEST(RpcTest, OneWaySendCountsAndDelivers) {
   RpcRig rig;
   bool got = false;

@@ -1,0 +1,129 @@
+// Unit tests for the bench baseline gate's comparison core. The historic
+// bugs these pin down: a zero baseline divided deviation into infinity
+// (any nonzero candidate "regressed" by inf%), a NaN candidate silently
+// PASSED because `NaN > tolerance` is false, and sign was dropped from the
+// reported delta.
+#include "util/bench_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/json_reader.hpp"
+
+namespace dstage {
+namespace {
+
+using bench_gate::Gate;
+
+JsonValue json(const std::string& text) {
+  JsonParse p = parse_json(text);
+  EXPECT_TRUE(p.ok) << text;
+  return p.value;
+}
+
+JsonValue number(double v) {
+  JsonValue j;
+  j.kind = JsonValue::Kind::kNumber;
+  j.number = v;
+  return j;
+}
+
+TEST(BenchGateTest, IdenticalTreesPass) {
+  Gate g;
+  const JsonValue doc = json(R"({"a": 1.5, "b": {"c": [10, 20]}, "s": "x"})");
+  g.compare("", doc, doc);
+  EXPECT_TRUE(g.problems.empty());
+  EXPECT_EQ(g.checked, 3);  // strings are labels, not gated
+}
+
+TEST(BenchGateTest, ZeroBaselineGatesInAbsoluteTerms) {
+  // Regression: 0-baseline used to divide into inf (or pass everything,
+  // depending on the FP mood). With the abs floor of 1, a zero baseline
+  // tolerates |candidate| <= tolerance and nothing more.
+  Gate g;
+  g.compare("", json(R"({"waits": 0})"), json(R"({"waits": 0.1})"));
+  EXPECT_TRUE(g.problems.empty()) << g.problems.front();
+  g.compare("", json(R"({"waits": 0})"), json(R"({"waits": 3})"));
+  ASSERT_EQ(g.problems.size(), 1u);
+  EXPECT_NE(g.problems[0].find("waits"), std::string::npos);
+}
+
+TEST(BenchGateTest, NegativeDeltaGatesLikePositive) {
+  // A 20% drop must fail a 15% gate exactly like a 20% rise — "lower is
+  // better" metrics regress downward too.
+  Gate g;
+  g.compare("", json(R"({"m": 10})"), json(R"({"m": 8})"));
+  ASSERT_EQ(g.problems.size(), 1u);
+  EXPECT_NE(g.problems[0].find("-20.0%"), std::string::npos)
+      << g.problems[0];
+  g.problems.clear();
+  g.compare("", json(R"({"m": 10})"), json(R"({"m": 11})"));
+  EXPECT_TRUE(g.problems.empty());
+}
+
+TEST(BenchGateTest, NegativeBaselineUsesMagnitude) {
+  Gate g;
+  g.compare("", json(R"({"m": -10})"), json(R"({"m": -8})"));
+  ASSERT_EQ(g.problems.size(), 1u);  // dev = 2/10 = 20%
+  g.problems.clear();
+  g.compare("", json(R"({"m": -10})"), json(R"({"m": -9.5})"));
+  EXPECT_TRUE(g.problems.empty());
+}
+
+TEST(BenchGateTest, MissingMetricFails) {
+  Gate g;
+  g.compare("", json(R"({"kept": 1, "gone": 2})"), json(R"({"kept": 1})"));
+  ASSERT_EQ(g.problems.size(), 1u);
+  EXPECT_NE(g.problems[0].find("gone"), std::string::npos);
+  EXPECT_NE(g.problems[0].find("missing"), std::string::npos);
+  // Extra candidate keys are new metrics, not regressions.
+  g.problems.clear();
+  g.compare("", json(R"({"kept": 1})"), json(R"({"kept": 1, "new": 9})"));
+  EXPECT_TRUE(g.problems.empty());
+}
+
+TEST(BenchGateTest, NonFiniteCandidateAlwaysFails) {
+  // Regression: `dev > tolerance` is false for NaN, so a NaN candidate
+  // (e.g. a 0/0 events_per_sec) sailed through the gate.
+  Gate g;
+  g.compare_number("m", number(10.0), number(std::nan("")));
+  ASSERT_EQ(g.problems.size(), 1u);
+  EXPECT_NE(g.problems[0].find("non-finite"), std::string::npos);
+  g.problems.clear();
+  g.compare_number("m", number(std::nan("")), number(10.0));
+  EXPECT_EQ(g.problems.size(), 1u);
+  g.problems.clear();
+  g.compare_number("m", number(10.0),
+                   number(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(g.problems.size(), 1u);
+}
+
+TEST(BenchGateTest, ArrayLengthAndTypeMismatchesFail) {
+  Gate g;
+  g.compare("", json(R"({"pts": [1, 2, 3]})"), json(R"({"pts": [1, 2]})"));
+  ASSERT_EQ(g.problems.size(), 1u);
+  g.problems.clear();
+  g.compare("", json(R"({"m": 1})"), json(R"({"m": "one"})"));
+  ASSERT_EQ(g.problems.size(), 1u);
+  g.problems.clear();
+  g.compare("", json(R"({"m": {"x": 1}})"), json(R"({"m": 3})"));
+  EXPECT_EQ(g.problems.size(), 1u);
+}
+
+TEST(BenchGateTest, ToleranceAndFloorAreConfigurable) {
+  Gate g;
+  g.tolerance = 0.5;
+  g.compare("", json(R"({"m": 10})"), json(R"({"m": 14})"));
+  EXPECT_TRUE(g.problems.empty());  // 40% < 50%
+  Gate tight;
+  tight.tolerance = 0.5;
+  tight.abs_floor = 0.001;
+  tight.compare("", json(R"({"m": 0})"), json(R"({"m": 0.1})"));
+  EXPECT_EQ(tight.problems.size(), 1u);  // floor gone: 0.1/0.001 >> 50%
+}
+
+}  // namespace
+}  // namespace dstage

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "util/checksum.hpp"
@@ -146,6 +148,70 @@ TEST(SampleSetTest, PercentileArgumentIsClamped) {
   s.add(3.0);
   EXPECT_DOUBLE_EQ(s.percentile(-10), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(250), 3.0);
+  // NaN must clamp too — casting a NaN rank to an index is UB.
+  EXPECT_DOUBLE_EQ(s.percentile(std::nan("")), 1.0);
+}
+
+/// Independent reference: textbook linear interpolation over an
+/// explicitly sorted copy, floor/ceil indexing (no clamp tricks shared
+/// with the implementation under test).
+double reference_percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (!(p > 0)) return v.front();
+  if (p >= 100) return v.back();
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+TEST(SampleSetTest, PercentileMatchesReferenceOnRandomSets) {
+  // Property test across sizes 1..40 (n == 1 and n == 2 are the historic
+  // breakage: the old interpolation indexed past the end and misweighted
+  // the single-sample case). Deterministic LCG so failures reproduce.
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 40) / 16777216.0;  // [0, 1)
+  };
+  const double probes[] = {0, 0.5, 1, 10, 25, 50, 75, 90, 99, 99.9, 100};
+  for (std::size_t n = 1; n <= 40; ++n) {
+    std::vector<double> v;
+    SampleSet s;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Duplicate-heavy: quantized values collide often.
+      const double x = std::floor(next() * 8.0) * 2.5 - 10.0;
+      v.push_back(x);
+      s.add(x);
+    }
+    double prev = -1e300;
+    for (double p : probes) {
+      const double got = s.percentile(p);
+      EXPECT_NEAR(got, reference_percentile(v, p), 1e-9)
+          << "n=" << n << " p=" << p;
+      // Tolerance: interpolation rounding may wiggle by an ulp or two.
+      EXPECT_GE(got, prev - 1e-9) << "percentile not monotone at n=" << n;
+      prev = got;
+    }
+  }
+}
+
+TEST(SampleSetTest, MergedSetsInterpolateLikeOneSet) {
+  SampleSet a, b, all;
+  for (int i = 0; i < 7; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 100; i < 103; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  for (double p : {0.0, 30.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p)) << p;
+  }
 }
 
 TEST(SampleSetTest, AddAfterPercentileKeepsSamplesVisible) {

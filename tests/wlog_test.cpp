@@ -240,5 +240,57 @@ TEST(DataLogTest, DropUptoFiresExplicitDropProbe) {
   EXPECT_EQ(dropped, (std::vector<Version>{1, 2, 3}));
 }
 
+// ---------------------------------------------------------------------------
+// Metadata-byte accounting. Regression for an unsigned underflow: if any
+// path mutated events_ without keeping the tally in step, truncation could
+// subtract more than the remaining count and poison the governor's
+// metadata accounting with a ~2^64 value for the rest of the run.
+// ---------------------------------------------------------------------------
+
+std::uint64_t recount(const EventQueue& q) {
+  std::uint64_t total = 0;
+  for (const LogEvent& e : q.events()) total += event_metadata_bytes(e);
+  return total;
+}
+
+TEST(EventQueueTest, MetadataTallyMatchesRetainedRecords) {
+  EventQueue q;
+  // Mixed kinds and variable-name lengths (the tally is name-dependent).
+  q.record(put_evt(0, 1, "f"));
+  q.record(get_evt(1, 1, "grad_long_name"));
+  q.record(ckpt_evt(0, 1, 11));
+  q.record(put_evt(0, 2, "p"));
+  EXPECT_EQ(q.metadata_bytes(), recount(q));
+
+  EXPECT_EQ(q.truncate_before_last_checkpoint(), 2u);
+  EXPECT_EQ(q.metadata_bytes(), recount(q));
+
+  // Second truncation with no newer checkpoint drops nothing and must not
+  // move the tally (the underflow would have struck here).
+  EXPECT_EQ(q.truncate_before_last_checkpoint(), 0u);
+  EXPECT_EQ(q.metadata_bytes(), recount(q));
+
+  q.record(put_evt(0, 3));
+  q.record(ckpt_evt(0, 3, 12));
+  q.record(get_evt(1, 3));
+  EXPECT_EQ(q.truncate_before_last_checkpoint(), 3u);
+  EXPECT_EQ(q.metadata_bytes(), recount(q));
+  EXPECT_LT(q.metadata_bytes(), 1ull << 32);  // no wrap-around, ever
+}
+
+TEST(EventQueueTest, MetadataTallySurvivesReplayInterleaving) {
+  EventQueue q;
+  q.record(put_evt(0, 1));
+  q.record(ckpt_evt(0, 1, 1));
+  q.record(put_evt(0, 2));
+  q.record(get_evt(0, 2));
+  q.begin_replay();
+  q.advance();  // mid-replay truncation (recovery racing a checkpoint)
+  EXPECT_EQ(q.truncate_before_last_checkpoint(), 1u);
+  EXPECT_EQ(q.metadata_bytes(), recount(q));
+  q.record(put_evt(0, 3));
+  EXPECT_EQ(q.metadata_bytes(), recount(q));
+}
+
 }  // namespace
 }  // namespace dstage::wlog

@@ -14,111 +14,32 @@
 // Candidates with no checked-in baseline are reported and skipped: a new
 // bench must land its baseline to become gated, but does not break the
 // gate for everyone else.
-#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "util/bench_gate.hpp"
 #include "util/flags.hpp"
 #include "util/json_reader.hpp"
 
 namespace {
 
 using namespace dstage;
+using bench_gate::Gate;
 
 int usage() {
   std::puts(
       "usage: bench_compare [options] BENCH.json [BENCH.json ...]\n"
       "  --baselines=DIR   baseline directory      [bench/baselines]\n"
       "  --tolerance=F     max relative deviation  [0.15]\n"
+      "  --abs-floor=F     deviation denominator floor (zero-baseline\n"
+      "                    leaves gate in absolute terms)  [1]\n"
       "  --help            this text");
   return 2;
 }
-
-struct Gate {
-  double tolerance = 0.15;
-  int checked = 0;
-  std::vector<std::string> problems;
-
-  void fail(const std::string& path, const std::string& why) {
-    problems.push_back(path + ": " + why);
-  }
-
-  void compare_number(const std::string& path, const JsonValue& base,
-                      const JsonValue& cand) {
-    ++checked;
-    const double b = base.number;
-    const double c = cand.number;
-    if (b == c) return;
-    // A zero baseline has no scale: any nonzero candidate is a change the
-    // baseline never sanctioned (0 backpressure waits becoming 3 is a
-    // behavioral shift, not noise).
-    const double denom = std::abs(b);
-    const double dev =
-        denom > 0 ? std::abs(c - b) / denom
-                  : std::numeric_limits<double>::infinity();
-    if (dev > tolerance) {
-      char buf[160];
-      std::snprintf(buf, sizeof(buf),
-                    "baseline %g, candidate %g (%+.1f%% > %.0f%% tolerance)",
-                    b, c,
-                    denom > 0 ? (c - b) / denom * 100.0 : 100.0,
-                    tolerance * 100.0);
-      fail(path, buf);
-    }
-  }
-
-  /// Walk the baseline tree; every numeric leaf must exist in the
-  /// candidate at the same path and match within tolerance. Extra
-  /// candidate keys are fine (new metrics are not regressions).
-  void compare(const std::string& path, const JsonValue& base,
-               const JsonValue& cand) {
-    if (base.is_object()) {
-      if (!cand.is_object()) {
-        fail(path, "baseline is an object, candidate is not");
-        return;
-      }
-      for (const auto& [key, value] : base.object) {
-        const std::string child = path.empty() ? key : path + "." + key;
-        const JsonValue* c = cand.member(key);
-        if (c == nullptr) {
-          fail(child, "present in baseline, missing from candidate");
-          continue;
-        }
-        compare(child, value, *c);
-      }
-      return;
-    }
-    if (base.is_array()) {
-      if (!cand.is_array()) {
-        fail(path, "baseline is an array, candidate is not");
-        return;
-      }
-      if (base.array.size() != cand.array.size()) {
-        fail(path, "array length " + std::to_string(cand.array.size()) +
-                       ", baseline " + std::to_string(base.array.size()));
-        return;
-      }
-      for (std::size_t i = 0; i < base.array.size(); ++i) {
-        compare(path + "[" + std::to_string(i) + "]", base.array[i],
-                cand.array[i]);
-      }
-      return;
-    }
-    if (base.is_number()) {
-      if (!cand.is_number()) {
-        fail(path, "baseline is a number, candidate is not");
-        return;
-      }
-      compare_number(path, base, cand);
-    }
-    // Strings / bools / nulls are labels, not measurements — not gated.
-  }
-};
 
 bool load(const std::string& path, JsonValue& out) {
   std::ifstream in(path, std::ios::binary);
@@ -146,6 +67,7 @@ int main(int argc, char** argv) try {
   if (flags.get_bool("help", false)) return usage();
   const std::string baselines = flags.get("baselines", "bench/baselines");
   const double tolerance = flags.get_double("tolerance", 0.15);
+  const double abs_floor = flags.get_double("abs-floor", 1.0);
   for (const std::string& flag : flags.unused()) {
     std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
     return usage();
@@ -171,6 +93,7 @@ int main(int argc, char** argv) try {
 
     Gate gate;
     gate.tolerance = tolerance;
+    gate.abs_floor = abs_floor;
     gate.compare("", base, cand);
     if (gate.problems.empty()) {
       std::printf("%s: OK (%d numeric leaves within %.0f%%)\n", name.c_str(),

@@ -20,6 +20,7 @@
 #include "check/schedule.hpp"
 #include "check/shrink.hpp"
 #include "util/flags.hpp"
+#include "wlog/codec.hpp"
 
 namespace {
 
@@ -53,6 +54,12 @@ int usage() {
       "  --require-isolation fail unless failures were injected AND the\n"
       "                      isolation invariant compared >= 1 bystander\n"
       "                      read against its solo reference\n"
+      "  --codec=MODE        write-log payload codec armed on every\n"
+      "                      schedule: none|lz|delta|delta_lz, or mix to\n"
+      "                      cycle schedules through all three     [none]\n"
+      "  --require-codec     fail unless blocks were encoded AND the\n"
+      "                      transparency invariant compared >= 1 read\n"
+      "                      against its codec-off reference\n"
       "  --break=MODE        none|skip-replay|gc-overcollect    [none]\n"
       "  --expect-fail       exit 0 iff >= 1 schedule violated an invariant\n"
       "  --forensics=DIR     write a forensic bundle (JSON) per failing\n"
@@ -159,6 +166,15 @@ int run_cli(int argc, char** argv) {
     std::fputs("--tenants must be >= 1\n", stderr);
     return usage();
   }
+  const std::string codec_mode = flags.get("codec", "none");
+  if (codec_mode == "mix") {
+    opts.gen.codec_mix = true;
+  } else if (const auto scheme = wlog::codec::parse_scheme(codec_mode)) {
+    opts.gen.codec = *scheme;
+  } else {
+    std::fputs("--codec must be none|lz|delta|delta_lz|mix\n", stderr);
+    return usage();
+  }
   opts.threads = flags.get_int("threads", 0);
   opts.sabotage = check::parse_sabotage(flags.get("break", "none"));
   opts.shrink = !flags.get_bool("no-shrink", false);
@@ -172,6 +188,7 @@ int run_cli(int argc, char** argv) {
   const bool require_elastic = flags.get_bool("require-elastic", false);
   const bool require_ckpt = flags.get_bool("require-ckpt", false);
   const bool require_isolation = flags.get_bool("require-isolation", false);
+  const bool require_codec = flags.get_bool("require-codec", false);
   const std::string repro = flags.get("repro", "");
   const std::string forensics_dir = flags.get("forensics", "");
 
@@ -225,6 +242,23 @@ int run_cli(int argc, char** argv) {
                 opts.gen.tenants,
                 static_cast<unsigned long long>(
                     result.isolation_reads_checked));
+  }
+
+  if (opts.gen.codec_mix ||
+      opts.gen.codec != wlog::codec::Scheme::kNone) {
+    const double ratio =
+        result.codec_stored_bytes > 0
+            ? static_cast<double>(result.codec_raw_bytes) /
+                  static_cast<double>(result.codec_stored_bytes)
+            : 0.0;
+    std::printf("payload codec (%s): %llu blocks encoded (%.2fx over "
+                "%llu MB raw), %llu reads compared against codec-off "
+                "references\n",
+                codec_mode.c_str(),
+                static_cast<unsigned long long>(result.codec_blocks_encoded),
+                ratio,
+                static_cast<unsigned long long>(result.codec_raw_bytes >> 20),
+                static_cast<unsigned long long>(result.codec_reads_checked));
   }
 
   for (const check::CampaignFailure& failure : result.failures) {
@@ -293,6 +327,15 @@ int run_cli(int argc, char** argv) {
     std::fputs("--require-isolation: need injected failures AND compared "
                "bystander reads — a campaign where tenant 0 never crashed "
                "or no co-tenant read was checked verified no isolation\n",
+               stdout);
+    ok = false;
+  }
+  if (require_codec && (result.codec_blocks_encoded == 0 ||
+                        result.codec_reads_checked == 0)) {
+    std::fputs("--require-codec: need encoded blocks AND compared reads — "
+               "a campaign where the codec never encoded a block or no "
+               "read was checked against a codec-off reference verified "
+               "no transparency\n",
                stdout);
     ok = false;
   }
